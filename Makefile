@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: all build vet test bench experiments examples fuzz cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Regenerate every table/figure in EXPERIMENTS.md as benchmark targets.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the evaluation tables directly.
+experiments:
+	$(GO) run ./cmd/experiments
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/automotive
+	$(GO) run ./examples/space
+	$(GO) run ./examples/railway
+
+fuzz:
+	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/nn/
+	$(GO) test -fuzz=FuzzImport -fuzztime=30s ./internal/trace/
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean -testcache

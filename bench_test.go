@@ -1,0 +1,122 @@
+// Benchmark harness: one benchmark per table (T1–T9) and figure (F1–F3)
+// of EXPERIMENTS.md. Each benchmark regenerates its experiment — printing
+// the full table via -v logs — and times a regeneration pass, so
+//
+//	go test -bench=. -benchmem
+//
+// both reproduces the evaluation and tracks its cost. Experiment outputs
+// are deterministic; fixture training is shared across benchmarks within
+// a run.
+package safexplain_test
+
+import (
+	"testing"
+
+	"safexplain/internal/experiments"
+)
+
+// benchExperiment regenerates experiment id once per iteration, logging
+// the table and reporting headline metrics from the first pass.
+func benchExperiment(b *testing.B, id string, headline ...string) {
+	b.Helper()
+	res, err := experiments.Run(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("%s — %s\n%s", res.ID, res.Title, res.Table)
+	for _, h := range headline {
+		if v, ok := res.Metrics[h]; ok {
+			b.ReportMetric(v, h)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT1Supervisors regenerates Table T1: supervisor OOD detection
+// (AUROC / FPR@95TPR) across case studies and OOD kinds.
+func BenchmarkT1Supervisors(b *testing.B) {
+	benchExperiment(b, "T1", "best_mean_auroc")
+}
+
+// BenchmarkT2Explainability regenerates Table T2: explanation
+// faithfulness (deletion/insertion AUC), localization, and stability.
+func BenchmarkT2Explainability(b *testing.B) {
+	benchExperiment(b, "T2", "automotive/integrated-gradients/insertion")
+}
+
+// BenchmarkT3Patterns regenerates Table T3: the safety-pattern ladder
+// under weight and sensor fault injection.
+func BenchmarkT3Patterns(b *testing.B) {
+	benchExperiment(b, "T3", "seu-80/single/hazard", "seu-80/tmr/hazard")
+}
+
+// BenchmarkT4Diversity regenerates Table T4: common-mode failure of
+// identical vs diverse redundancy.
+func BenchmarkT4Diversity(b *testing.B) {
+	benchExperiment(b, "T4", "noise-0.35/identical/identical", "noise-0.35/arch-diverse/identical")
+}
+
+// BenchmarkT5FusaLibrary regenerates Table T5: FUSA library properties —
+// quantization cost, bit-exactness, allocation freedom.
+func BenchmarkT5FusaLibrary(b *testing.B) {
+	benchExperiment(b, "T5", "railway/agreement", "railway/allocs_arena")
+}
+
+// BenchmarkT6Determinism regenerates Table T6: execution-time jitter per
+// platform configuration.
+func BenchmarkT6Determinism(b *testing.B) {
+	benchExperiment(b, "T6", "lru-contended/jitter", "locked-tdma/jitter")
+}
+
+// BenchmarkT7MBPTA regenerates Table T7: MBPTA i.i.d. gate, Gumbel fit,
+// pWCET bounds and the block-size ablation.
+func BenchmarkT7MBPTA(b *testing.B) {
+	benchExperiment(b, "T7", "time-randomized/pwcet1e12")
+}
+
+// BenchmarkT8Traceability regenerates Table T8: certification readiness
+// after the full lifecycle per case study.
+func BenchmarkT8Traceability(b *testing.B) {
+	benchExperiment(b, "T8", "railway/readiness")
+}
+
+// BenchmarkT9EndToEnd regenerates Table T9: safety-machinery overhead and
+// pWCET-budgeted schedulability.
+func BenchmarkT9EndToEnd(b *testing.B) {
+	benchExperiment(b, "T9", "overhead_simplex", "misses_pwcet", "misses_naive")
+}
+
+// BenchmarkT10Robustness regenerates Table T10: certified vs empirical
+// robustness and adversarial detectability.
+func BenchmarkT10Robustness(b *testing.B) {
+	benchExperiment(b, "T10", "mean_certified_radius", "mean_empirical_radius")
+}
+
+// BenchmarkF1PWCETCurve regenerates Figure F1: the pWCET curve on the
+// time-randomized configuration.
+func BenchmarkF1PWCETCurve(b *testing.B) {
+	benchExperiment(b, "F1", "pwcet1e15")
+}
+
+// BenchmarkF2Frontier regenerates Figure F2: the safety-availability
+// frontier per pattern.
+func BenchmarkF2Frontier(b *testing.B) {
+	benchExperiment(b, "F2", "points")
+}
+
+// BenchmarkF3RiskCoverage regenerates Figure F3: risk-coverage curves per
+// supervisor.
+func BenchmarkF3RiskCoverage(b *testing.B) {
+	benchExperiment(b, "F3", "mahalanobis/acc@0.8")
+}
+
+// BenchmarkT11Detection regenerates Table T11: the localization task and
+// the geometric plausibility check it enables.
+func BenchmarkT11Detection(b *testing.B) {
+	benchExperiment(b, "T11", "accuracy", "mean_err_px", "veto_rate")
+}

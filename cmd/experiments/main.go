@@ -1,0 +1,51 @@
+// Command experiments regenerates the evaluation tables and figures
+// recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments            # run everything, in order
+//	experiments -run T1,T7 # run selected experiment IDs
+//	experiments -list      # list available IDs
+//
+// Every experiment is a deterministic function of its hard-coded seeds, so
+// the output is identical across machines and runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"safexplain/internal/experiments"
+)
+
+func main() {
+	runIDs := flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+	list := flag.Bool("list", false, "list available experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := experiments.IDs()
+	if *runIDs != "all" {
+		ids = strings.Split(*runIDs, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		res, err := experiments.Run(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s — %s (%.1fs)\n\n", res.ID, res.Title, time.Since(start).Seconds())
+		fmt.Println(res.Table)
+	}
+}

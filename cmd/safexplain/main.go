@@ -1,0 +1,293 @@
+// Command safexplain is the framework CLI: it drives the safety lifecycle
+// on a chosen case study and inspects the resulting system.
+//
+// Subcommands:
+//
+//	lifecycle  run the full lifecycle and print stage results, the evidence
+//	           log summary, and the assurance case
+//	explain    render an ASCII attribution heatmap for a test sample
+//	infer      stream test samples through the deployed pattern
+//	timing     run the platform timing campaigns and print pWCET bounds
+//
+// Everything is deterministic given -seed; no files are read or written.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"safexplain"
+	"safexplain/internal/data"
+	"safexplain/internal/mbpta"
+	"safexplain/internal/platform"
+	"safexplain/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "lifecycle":
+		err = cmdLifecycle(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
+	case "infer":
+		err = cmdInfer(os.Args[2:])
+	case "timing":
+		err = cmdTiming(os.Args[2:])
+	case "evidence":
+		err = cmdEvidence(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "safexplain:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: safexplain <lifecycle|explain|infer|timing|evidence> [flags]
+run "safexplain <subcommand> -h" for flags`)
+}
+
+func caseByName(name string) (safexplain.CaseStudy, error) {
+	for _, cs := range safexplain.CaseStudies() {
+		if cs.Name == name {
+			return cs, nil
+		}
+	}
+	return safexplain.CaseStudy{}, fmt.Errorf("unknown case study %q (automotive|space|railway)", name)
+}
+
+func buildFlags(fs *flag.FlagSet) (*string, *string, *uint64) {
+	caseName := fs.String("case", "railway", "case study: automotive|space|railway")
+	pattern := fs.String("pattern", "simplex", "safety pattern: single|supervised|simplex")
+	seed := fs.Uint64("seed", 42, "lifecycle seed")
+	return caseName, pattern, seed
+}
+
+func build(caseName, pattern string, seed uint64) (*safexplain.System, error) {
+	cs, err := caseByName(caseName)
+	if err != nil {
+		return nil, err
+	}
+	return safexplain.Build(safexplain.Config{
+		CaseStudy: cs,
+		Pattern:   safexplain.PatternKind(pattern),
+		Seed:      seed,
+	})
+}
+
+func cmdLifecycle(args []string) error {
+	fs := flag.NewFlagSet("lifecycle", flag.ExitOnError)
+	caseName, pattern, seed := buildFlags(fs)
+	verbose := fs.Bool("v", false, "print the full evidence log")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := build(*caseName, *pattern, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("lifecycle for %q complete\n\nverification stages:\n", sys.Name)
+	for _, st := range sys.Stages {
+		state := "PASS"
+		if !st.Passed {
+			state = "FAIL"
+		}
+		fmt.Printf("  [%s] %-14s %s\n", state, st.Stage, st.Detail)
+	}
+	r := sys.Readiness()
+	fmt.Printf("\nreadiness: score %.2f (chain ok=%v, evidence=%d, requirements %d/%d, goals %d/%d)\n",
+		r.Score(), r.ChainOK, r.EvidenceCount, r.RequirementsCov, r.RequirementsAll,
+		r.GoalsSupported, r.GoalsTotal)
+	fmt.Printf("\nassurance case:\n%s", sys.Case.Render(sys.Log))
+	fmt.Printf("\nrequirements:\n%s", sys.Registry.Summary(sys.Log))
+	fmt.Printf("\n%s", sys.FMEA.Render())
+	if *verbose {
+		fmt.Println("\nevidence log:")
+		for _, e := range sys.Log.Events() {
+			fmt.Printf("  %3d %-13s %-22s %s\n", e.Seq, e.Kind, e.ID, e.Detail)
+		}
+	}
+	return nil
+}
+
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	caseName, pattern, seed := buildFlags(fs)
+	sample := fs.Int("sample", 0, "test-sample index to explain")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := build(*caseName, *pattern, *seed)
+	if err != nil {
+		return err
+	}
+	test := sys.TestSet()
+	if *sample < 0 || *sample >= test.Len() {
+		return fmt.Errorf("sample index %d out of range [0,%d)", *sample, test.Len())
+	}
+	x, label := test.Sample(*sample)
+	class, probs := sys.Net.Predict(x)
+	attr := sys.Explain(x)
+	fmt.Printf("sample %d: true=%s predicted=%s (p=%.2f)\n\n",
+		*sample, sys.Classes[label], sys.Classes[class], probs.Data()[class])
+	fmt.Println("input:")
+	renderHeatmap(x.Data())
+	fmt.Println("\nattribution (grad x input):")
+	renderHeatmap(attr.Data())
+	return nil
+}
+
+// renderHeatmap prints a 16x16 map with a density ramp.
+func renderHeatmap(vals []float32) {
+	ramp := []byte(" .:-=+*#%@")
+	var lo, hi float32
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	for y := 0; y < data.Side; y++ {
+		for x := 0; x < data.Side; x++ {
+			v := (vals[y*data.Side+x] - lo) / span
+			idx := int(v * float32(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			fmt.Printf("%c%c", ramp[idx], ramp[idx])
+		}
+		fmt.Println()
+	}
+}
+
+func cmdInfer(args []string) error {
+	fs := flag.NewFlagSet("infer", flag.ExitOnError)
+	caseName, pattern, seed := buildFlags(fs)
+	n := fs.Int("n", 10, "number of test samples to stream")
+	ood := fs.Bool("ood", false, "stream inverted (out-of-distribution) inputs instead")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := build(*caseName, *pattern, *seed)
+	if err != nil {
+		return err
+	}
+	test := sys.TestSet()
+	if *ood {
+		test = data.WithInversion(test)
+	}
+	if *n > test.Len() {
+		*n = test.Len()
+	}
+	for i := 0; i < *n; i++ {
+		x, label := test.Sample(i)
+		v := sys.Process(x)
+		switch {
+		case v.Decision.Fallback && v.Class >= 0:
+			fmt.Printf("%3d true=%-12s -> DEGRADED to %s (%s)\n",
+				i, sys.Classes[label], sys.Classes[v.Class], v.Decision.Reason)
+		case v.Decision.Fallback:
+			fmt.Printf("%3d true=%-12s -> SAFE STATE (%s)\n", i, sys.Classes[label], v.Decision.Reason)
+		default:
+			fmt.Printf("%3d true=%-12s -> %s\n", i, sys.Classes[label], sys.Classes[v.Class])
+		}
+	}
+	incidents := sys.Log.ByKind(trace.KindIncident)
+	fmt.Printf("\n%d incidents recorded; evidence chain valid: %v\n",
+		len(incidents), sys.Log.Verify() == nil)
+	return nil
+}
+
+// cmdEvidence runs a lifecycle, exports the sealed evidence archive, and
+// (optionally round-trips) verifies it — the supplier→assessor handover.
+func cmdEvidence(args []string) error {
+	fs := flag.NewFlagSet("evidence", flag.ExitOnError)
+	caseName, pattern, seed := buildFlags(fs)
+	out := fs.String("out", "", "write the JSON evidence archive to this file ('' prints a summary only)")
+	key := fs.String("key", "assessor-shared-key", "HMAC key sealing the archive")
+	verify := fs.String("verify", "", "verify an archive file instead of producing one (requires -seal)")
+	seal := fs.String("seal", "", "seal to check with -verify")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *verify != "" {
+		blob, err := os.ReadFile(*verify)
+		if err != nil {
+			return err
+		}
+		log, err := trace.Import(blob)
+		if err != nil {
+			return err
+		}
+		if err := log.VerifySeal([]byte(*key), *seal); err != nil {
+			return err
+		}
+		fmt.Printf("archive authentic: %d records, chain and seal verify\n", log.Len())
+		return nil
+	}
+	sys, err := build(*caseName, *pattern, *seed)
+	if err != nil {
+		return err
+	}
+	blob, err := sys.Log.Export()
+	if err != nil {
+		return err
+	}
+	sealHex := sys.Log.Seal([]byte(*key))
+	if *out != "" {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d records (%d bytes) to %s\nseal: %s\n",
+			sys.Log.Len(), len(blob), *out, sealHex)
+		fmt.Printf("verify with: safexplain evidence -verify %s -seal %s -key <key>\n", *out, sealHex)
+		return nil
+	}
+	fmt.Printf("evidence: %d records, %d bytes serialized\nseal: %s\n",
+		sys.Log.Len(), len(blob), sealHex)
+	return nil
+}
+
+func cmdTiming(args []string) error {
+	fs := flag.NewFlagSet("timing", flag.ExitOnError)
+	runs := fs.Int("runs", 300, "campaign size per configuration")
+	seed := fs.Uint64("seed", 7, "campaign seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w := platform.NewCNNWorkload()
+	fmt.Printf("%-18s %12s %12s %14s %14s\n", "config", "mean", "max", "pWCET(1e-9)", "pWCET(1e-12)")
+	for _, cfg := range platform.StandardConfigs() {
+		samples := platform.Campaign(cfg, w, *runs, *seed)
+		a, err := mbpta.Fit(samples, 20)
+		if err != nil {
+			return fmt.Errorf("%s: %w", cfg.Name, err)
+		}
+		mean := 0.0
+		for _, v := range samples {
+			mean += v
+		}
+		mean /= float64(len(samples))
+		fmt.Printf("%-18s %12.0f %12.0f %14.0f %14.0f\n",
+			cfg.Name, mean, a.MaxObs, a.PWCET(1e-9), a.PWCET(1e-12))
+	}
+	return nil
+}

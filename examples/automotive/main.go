@@ -1,0 +1,103 @@
+// Automotive: an ADS perception channel facing sensor degradation.
+//
+// The scenario the paper's introduction motivates: a camera-based object
+// classifier in a vehicle whose sensor degrades mid-drive (noise, then
+// occlusion, then gross failure). A bare DL channel keeps emitting
+// confident wrong answers; the supervised channel detects the degradation
+// and rejects to the safe state, and the evidence log captures every
+// incident for the safety case.
+//
+//	go run ./examples/automotive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"safexplain"
+	"safexplain/internal/data"
+	"safexplain/internal/supervisor"
+	"safexplain/internal/trace"
+)
+
+func main() {
+	sys, err := safexplain.Build(safexplain.Config{
+		CaseStudy: safexplain.Automotive(),
+		Pattern:   safexplain.PatternSupervised,
+		Seed:      7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	test := sys.TestSet()
+
+	phases := []struct {
+		name string
+		set  *safexplain.Dataset
+	}{
+		{"nominal camera", test},
+		{"noise (low light)", data.WithGaussianNoise(test, 0.25, 100)},
+		{"occlusion (dirt on lens)", data.WithOcclusion(test, 8, 101)},
+		{"gross failure (exposure fault)", data.WithInversion(test)},
+	}
+
+	fmt.Println("phase                          answered  correct  rejected")
+	for _, ph := range phases {
+		answered, correct, rejected := 0, 0, 0
+		n := 40
+		if ph.set.Len() < n {
+			n = ph.set.Len()
+		}
+		for i := 0; i < n; i++ {
+			x, label := ph.set.Sample(i)
+			v := sys.Process(x)
+			if v.Decision.Fallback {
+				rejected++
+				continue
+			}
+			answered++
+			if v.Class == label {
+				correct++
+			}
+		}
+		fmt.Printf("%-30s %8d %8d %9d\n", ph.name, answered, correct, rejected)
+	}
+
+	incidents := sys.Log.ByKind(trace.KindIncident)
+	fmt.Printf("\n%d incidents logged during the drive; chain valid: %v\n",
+		len(incidents), sys.Log.Verify() == nil)
+
+	// Slow degradation is a different beast: no single frame trips the
+	// per-frame monitor, but the score *level* creeps up. The CUSUM drift
+	// detector watches for exactly that and raises a maintenance alarm.
+	var calib []float64
+	for i := 0; i < sys.TrainSet().Len(); i++ {
+		x, _ := sys.TrainSet().Sample(i)
+		calib = append(calib, sys.Monitor.Sup.Score(sys.Net, x))
+	}
+	drift, err := supervisor.NewDriftDetector(calib, 0.5, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alarmFrame := -1
+	frame := 0
+	for _, sigma := range []float64{0, 0, 0.05, 0.08, 0.12, 0.16} { // slowly fogging lens
+		stretch := data.WithGaussianNoise(test, sigma, uint64(200+frame))
+		for i := 0; i < 20; i++ {
+			x, _ := stretch.Sample(i)
+			if drift.Observe(sys.Monitor.Sup.Score(sys.Net, x)) && alarmFrame < 0 {
+				alarmFrame = frame
+			}
+			frame++
+		}
+	}
+	if alarmFrame >= 0 {
+		fmt.Printf("\ndrift alarm raised at frame %d/%d as the lens slowly fogged\n", alarmFrame, frame)
+	} else {
+		fmt.Printf("\nno drift alarm in %d frames\n", frame)
+	}
+
+	fmt.Println("\nThe safety argument: as the sensor degrades, the supervised channel")
+	fmt.Println("trades availability (rejections) for safety (few confident wrong answers),")
+	fmt.Println("slow drift raises a maintenance alarm, and every event is auditable evidence.")
+}

@@ -1,0 +1,65 @@
+// Quickstart: build a certified railway obstacle-detection component with
+// one call, run it, and inspect its evidence.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"safexplain"
+)
+
+func main() {
+	// Build runs the whole safety lifecycle: data freeze, deterministic
+	// training, int8 FUSA engine, trust monitor, explainability check,
+	// pWCET timing analysis, safety-pattern assembly — all recorded in a
+	// hash-chained evidence log.
+	sys, err := safexplain.Build(safexplain.Config{
+		CaseStudy: safexplain.Railway(),
+		Pattern:   safexplain.PatternSimplex,
+		Seed:      42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built %q: classes %v\n\n", sys.Name, sys.Classes)
+
+	// Process a frame: the decision comes through the Simplex pattern —
+	// the DL primary when the monitor trusts it, a verified conservative
+	// fallback otherwise.
+	x, label := sys.TestSet().Sample(0)
+	v := sys.Process(x)
+	fmt.Printf("frame 0: truth=%s decision=%s (fallback=%v, %s)\n",
+		sys.Classes[label], sys.Classes[v.Class], v.Decision.Fallback, v.Decision.Reason)
+
+	// Explain it: which pixels drove the prediction.
+	attr := sys.Explain(x)
+	best, total := 0.0, 0.0
+	for _, a := range attr.Data() {
+		if a > 0 {
+			total += float64(a)
+			if a > 0 {
+				best = max(best, float64(a))
+			}
+		}
+	}
+	fmt.Printf("attribution: %d elements, peak %.4f, positive mass %.4f\n",
+		attr.Len(), best, total)
+
+	// Certification snapshot.
+	r := sys.Readiness()
+	fmt.Printf("\nreadiness %.2f — evidence records %d, chain valid %v, requirements %d/%d\n",
+		r.Score(), r.EvidenceCount, r.ChainOK, r.RequirementsCov, r.RequirementsAll)
+	for _, st := range sys.Stages {
+		fmt.Printf("  stage %-14s metric %.3f\n", st.Stage, st.Metric)
+	}
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

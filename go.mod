@@ -1,0 +1,3 @@
+module safexplain
+
+go 1.22

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"safexplain/internal/data"
+	"safexplain/internal/trace"
+)
+
+// One shared lifecycle build per pattern keeps the suite fast.
+var (
+	buildOnce sync.Once
+	builtSys  *System
+	buildErr  error
+)
+
+func builtSystem(t testing.TB) *System {
+	t.Helper()
+	buildOnce.Do(func() {
+		builtSys, buildErr = Build(Config{
+			CaseStudy: data.CaseStudy{Name: "railway", Generate: data.Railway},
+			Pattern:   PatternSimplex,
+			Seed:      1000,
+		})
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return builtSys
+}
+
+func TestBuildRequiresCaseStudy(t *testing.T) {
+	if _, err := Build(Config{}); err == nil {
+		t.Fatal("Build without a case study must error")
+	}
+}
+
+func TestBuildCompletesAllStages(t *testing.T) {
+	s := builtSystem(t)
+	wantStages := []string{"accuracy", "determinism", "trust", "explainability", "timing", "pattern", "fmea"}
+	if len(s.Stages) != len(wantStages) {
+		t.Fatalf("stages: %+v", s.Stages)
+	}
+	for i, st := range s.Stages {
+		if st.Stage != wantStages[i] {
+			t.Fatalf("stage %d = %q, want %q", i, st.Stage, wantStages[i])
+		}
+		if !st.Passed {
+			t.Fatalf("stage %q failed: %s", st.Stage, st.Detail)
+		}
+	}
+	if s.Net == nil || s.Engine == nil || s.Monitor == nil || s.Pattern == nil {
+		t.Fatal("system components missing")
+	}
+	if s.PWCET <= 0 {
+		t.Fatal("no pWCET bound")
+	}
+}
+
+func TestBuildEvidenceChainValid(t *testing.T) {
+	s := builtSystem(t)
+	if err := s.Log.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// All six requirements covered, no orphans.
+	if orphans := s.Registry.Orphans(s.Log); len(orphans) != 0 {
+		t.Fatalf("orphan requirements: %v", orphans)
+	}
+}
+
+func TestBuildReadinessComplete(t *testing.T) {
+	s := builtSystem(t)
+	r := s.Readiness()
+	if !r.ChainOK {
+		t.Fatal("chain not OK")
+	}
+	if r.Score() != 1 {
+		t.Fatalf("readiness score %v, want 1 (case: \n%s)", r.Score(), s.Case.Render(s.Log))
+	}
+}
+
+func TestAssuranceCaseFullySupported(t *testing.T) {
+	s := builtSystem(t)
+	if !s.Case.Supported(s.Log) {
+		t.Fatalf("assurance case unsupported:\n%s", s.Case.Render(s.Log))
+	}
+}
+
+func TestProcessTrustedAndFallback(t *testing.T) {
+	s := builtSystem(t)
+	test := s.TestSet()
+	// In-distribution: mostly trusted outputs.
+	trusted := 0
+	for i := 0; i < test.Len(); i++ {
+		x, _ := test.Sample(i)
+		if v := s.Process(x); !v.Decision.Fallback {
+			trusted++
+			if v.Class < 0 || v.Class >= len(s.Classes) {
+				t.Fatalf("class %d out of range", v.Class)
+			}
+		}
+	}
+	if float64(trusted)/float64(test.Len()) < 0.5 {
+		t.Fatalf("only %d/%d ID inputs trusted", trusted, test.Len())
+	}
+	// Gross OOD: fallbacks occur, are logged as incidents, and carry the
+	// conservative class (Simplex is fail-operational).
+	before := len(s.Log.ByKind(trace.KindIncident))
+	ood := data.WithInversion(test)
+	fallbacks := 0
+	for i := 0; i < ood.Len(); i++ {
+		x, _ := ood.Sample(i)
+		v := s.Process(x)
+		if v.Decision.Fallback {
+			fallbacks++
+			if v.Class != data.RailObstacle {
+				t.Fatalf("fallback class %d, want conservative %d", v.Class, data.RailObstacle)
+			}
+		}
+	}
+	if fallbacks == 0 {
+		t.Fatal("no fallbacks on gross OOD")
+	}
+	after := len(s.Log.ByKind(trace.KindIncident))
+	if after-before != fallbacks {
+		t.Fatalf("incidents logged %d, fallbacks %d", after-before, fallbacks)
+	}
+	// The chain must still verify after runtime appends.
+	if err := s.Log.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplainShape(t *testing.T) {
+	s := builtSystem(t)
+	x, _ := s.TestSet().Sample(0)
+	attr := s.Explain(x)
+	if attr.Len() != x.Len() {
+		t.Fatalf("attribution length %d, want %d", attr.Len(), x.Len())
+	}
+}
+
+func TestBuildFailsOnImpossibleThreshold(t *testing.T) {
+	_, err := Build(Config{
+		CaseStudy:   data.CaseStudy{Name: "railway", Generate: data.Railway},
+		Seed:        2000,
+		Epochs:      1,
+		MinAccuracy: 0.999, // unattainable after one epoch
+	})
+	if !errors.Is(err, ErrStageFailed) {
+		t.Fatalf("expected ErrStageFailed, got %v", err)
+	}
+}
+
+func TestBuildDeterministicEvidence(t *testing.T) {
+	// Two identical builds must produce identical model hashes — the
+	// whole-lifecycle reproducibility claim.
+	cfg := Config{
+		CaseStudy: data.CaseStudy{Name: "space", Generate: data.Space},
+		Seed:      3000,
+		Epochs:    4,
+		// Low thresholds: this test is about determinism, not quality.
+		MinAccuracy: 0.3, MinAUROC: 0.3, MinStability: 0.1, MinAgreement: 0.5,
+	}
+	s1, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := s1.Log.Events(), s2.Log.Events()
+	if len(e1) != len(e2) {
+		t.Fatalf("event counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i].Hash != e2[i].Hash {
+			t.Fatalf("event %d hash differs (%s): lifecycle not deterministic", i, e1[i].ID)
+		}
+	}
+}
+
+func TestConservativeClassPerDomain(t *testing.T) {
+	if conservativeClass("railway") != data.RailObstacle {
+		t.Fatal("railway conservative class wrong")
+	}
+	if conservativeClass("automotive") != data.AutoPedestrian {
+		t.Fatal("automotive conservative class wrong")
+	}
+	if conservativeClass("space") != 0 {
+		t.Fatal("default conservative class wrong")
+	}
+}
+
+func TestPatternKindsAssemble(t *testing.T) {
+	for _, kind := range []PatternKind{PatternSingle, PatternSupervised} {
+		s, err := Build(Config{
+			CaseStudy:   data.CaseStudy{Name: "automotive", Generate: data.Automotive},
+			Pattern:     kind,
+			Seed:        4000,
+			Epochs:      6,
+			MinAccuracy: 0.5, MinAUROC: 0.5, MinStability: 0.2,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if s.Pattern == nil {
+			t.Fatalf("%s: no pattern", kind)
+		}
+	}
+}
+
+func TestOperatePhase(t *testing.T) {
+	s := builtSystem(t)
+	drift, err := s.NewDriftDetector(0.5, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clean operation: mostly delivered, no drift alarm.
+	rep := s.Operate(s.TestSet(), drift)
+	if rep.Frames != s.TestSet().Len() {
+		t.Fatalf("frames %d", rep.Frames)
+	}
+	if rep.DriftAlarm {
+		t.Fatal("drift alarm on clean stream")
+	}
+	if float64(rep.Delivered)/float64(rep.Frames) < 0.5 {
+		t.Fatalf("delivered only %d/%d", rep.Delivered, rep.Frames)
+	}
+	// Degraded operation: the alarm must fire and be logged once.
+	before := len(s.Log.ByKind(trace.KindIncident))
+	degraded := data.WithGaussianNoise(s.TestSet(), 0.2, 777)
+	rep2 := s.Operate(degraded, drift)
+	if !rep2.DriftAlarm || rep2.AlarmFrame < 0 {
+		t.Fatalf("no drift alarm on degraded stream: %+v", rep2)
+	}
+	driftIncidents := 0
+	for _, e := range s.Log.ByKind(trace.KindIncident)[before:] {
+		if e.ID == "incident:drift" {
+			driftIncidents++
+		}
+	}
+	if driftIncidents != 1 {
+		t.Fatalf("drift incidents logged %d, want exactly 1", driftIncidents)
+	}
+	if err := s.Log.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOperateNilDrift(t *testing.T) {
+	s := builtSystem(t)
+	rep := s.Operate(s.TestSet(), nil)
+	if rep.DriftAlarm || rep.AlarmFrame != -1 {
+		t.Fatal("nil drift detector must never alarm")
+	}
+}
+
+func TestFMEAAttachedAndGrounded(t *testing.T) {
+	s := builtSystem(t)
+	if s.FMEA == nil {
+		t.Fatal("no FMEA worksheet attached")
+	}
+	if err := s.FMEA.Check(s.Log, 150); err != nil {
+		t.Fatalf("deployed FMEA fails its gate: %v", err)
+	}
+}
+
+func TestTrainTestSetsExposed(t *testing.T) {
+	s := builtSystem(t)
+	if s.TrainSet() == nil || s.TrainSet().Len() == 0 {
+		t.Fatal("TrainSet empty")
+	}
+	if s.TestSet() == nil || s.TestSet().Len() == 0 {
+		t.Fatal("TestSet empty")
+	}
+	// The split must be disjoint by construction: train+test = configured
+	// samples.
+	if s.TrainSet().Len()+s.TestSet().Len() != 280 {
+		t.Fatalf("partition sizes %d+%d", s.TrainSet().Len(), s.TestSet().Len())
+	}
+}

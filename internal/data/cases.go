@@ -1,0 +1,179 @@
+package data
+
+import (
+	"safexplain/internal/prng"
+)
+
+// The three case studies mirror the CAIS domains the paper names
+// (automotive, space, railway). Scenes are deliberately simple geometry —
+// the safety machinery under test is task-agnostic — but each task is made
+// non-trivial by randomized position, size, and pixel noise, so trained
+// classifiers land in a realistic 85–99% accuracy band rather than
+// memorizing.
+
+// Automotive class labels.
+const (
+	AutoBackground = iota
+	AutoVehicle
+	AutoPedestrian
+	AutoCyclist
+)
+
+// Automotive generates the driving-perception case study: classify the
+// dominant object in a front-camera patch as background, vehicle,
+// pedestrian, or cyclist.
+func Automotive(cfg Config) *Set {
+	cfg = cfg.validate()
+	r := prng.New(cfg.Seed)
+	s := &Set{
+		Name:    "automotive",
+		Classes: []string{"background", "vehicle", "pedestrian", "cyclist"},
+	}
+	for i := 0; i < cfg.N; i++ {
+		label := i % 4
+		var c canvas
+		// Road texture: faint horizontal band.
+		c.rect(0, 11, Side-1, Side-1, 0.15)
+		switch label {
+		case AutoVehicle:
+			// Wide body with darker cabin.
+			x := 2 + r.Intn(6)
+			y := 4 + r.Intn(4)
+			w := 6 + r.Intn(3)
+			c.rect(x, y+2, x+w, y+5, 0.9)
+			c.rect(x+1, y, x+w-1, y+2, 0.6)
+		case AutoPedestrian:
+			// Head disc over a narrow vertical torso.
+			x := 3 + r.Intn(10)
+			y := 3 + r.Intn(3)
+			c.disc(x, y, 1, 0.9)
+			c.rect(x-1, y+2, x+1, y+8, 0.8)
+		case AutoCyclist:
+			// Two wheels joined by a frame line, rider dot above.
+			x := 3 + r.Intn(7)
+			y := 8 + r.Intn(3)
+			c.disc(x, y, 2, 0.7)
+			c.disc(x+5, y, 2, 0.7)
+			c.line(x, y, x+5, y, 0.9)
+			c.disc(x+2, y-4, 1, 0.9)
+		default:
+			// Background: sparse clutter speckles.
+			for k := 0; k < 3+r.Intn(4); k++ {
+				c.set(r.Intn(Side), r.Intn(Side), 0.3+0.3*r.Float32())
+			}
+		}
+		s.Samples = append(s.Samples, Sample{X: c.finish(cfg.Noise, r), Label: label})
+	}
+	return s
+}
+
+// Space class labels: coarse attitude quadrant from the planet-horizon
+// angle, the discretized vision-based navigation task.
+const (
+	SpaceAttitude0 = iota // horizon roughly horizontal, planet below
+	SpaceAttitude90
+	SpaceAttitude180
+	SpaceAttitude270
+)
+
+// Space generates the vision-based navigation case study: given a star
+// field and a planet horizon, classify the spacecraft's roll attitude into
+// one of four quadrants.
+func Space(cfg Config) *Set {
+	cfg = cfg.validate()
+	r := prng.New(cfg.Seed)
+	s := &Set{
+		Name:    "space",
+		Classes: []string{"attitude-0", "attitude-90", "attitude-180", "attitude-270"},
+	}
+	for i := 0; i < cfg.N; i++ {
+		label := i % 4
+		var c canvas
+		// Star field.
+		for k := 0; k < 6+r.Intn(6); k++ {
+			c.set(r.Intn(Side), r.Intn(Side), 0.4+0.5*r.Float32())
+		}
+		// Planet limb: a bright half-plane whose orientation encodes the
+		// label, with jitter in the limb position.
+		off := r.Intn(4) - 2
+		mid := Side/2 + off
+		switch label {
+		case SpaceAttitude0:
+			c.rect(0, clampCoord(mid+3), Side-1, Side-1, 0.8)
+		case SpaceAttitude90:
+			c.rect(0, 0, clampCoord(mid-3), Side-1, 0.8)
+		case SpaceAttitude180:
+			c.rect(0, 0, Side-1, clampCoord(mid-3), 0.8)
+		case SpaceAttitude270:
+			c.rect(clampCoord(mid+3), 0, Side-1, Side-1, 0.8)
+		}
+		s.Samples = append(s.Samples, Sample{X: c.finish(cfg.Noise, r), Label: label})
+	}
+	return s
+}
+
+func clampCoord(v int) int {
+	if v < 0 {
+		return 0
+	}
+	if v >= Side {
+		return Side - 1
+	}
+	return v
+}
+
+// Railway class labels.
+const (
+	RailClear = iota
+	RailObstacle
+	RailSignalStop
+)
+
+// Railway generates the railway case study: a forward view of two
+// converging rails; classify the scene as clear track, obstacle on track,
+// or stop signal beside the track.
+func Railway(cfg Config) *Set {
+	cfg = cfg.validate()
+	r := prng.New(cfg.Seed)
+	s := &Set{
+		Name:    "railway",
+		Classes: []string{"clear", "obstacle", "signal-stop"},
+	}
+	for i := 0; i < cfg.N; i++ {
+		label := i % 3
+		var c canvas
+		// Two rails converging toward a vanishing point near the top.
+		vx := 7 + r.Intn(3)
+		c.line(2, Side-1, vx, 2, 0.6)
+		c.line(13, Side-1, vx+1, 2, 0.6)
+		switch label {
+		case RailObstacle:
+			// Bright blob between the rails at random depth.
+			y := 5 + r.Intn(8)
+			x := 6 + r.Intn(4)
+			c.disc(x, y, 1+r.Intn(2), 1.0)
+		case RailSignalStop:
+			// Signal mast beside the track with a bright head.
+			x := 1 + r.Intn(2)
+			c.rect(x, 4, x, 12, 0.7)
+			c.disc(x, 3, 1, 1.0)
+		}
+		s.Samples = append(s.Samples, Sample{X: c.finish(cfg.Noise, r), Label: label})
+	}
+	return s
+}
+
+// CaseStudy names a generator for iteration in experiments.
+type CaseStudy struct {
+	Name     string
+	Generate func(Config) *Set
+}
+
+// CaseStudies lists the three domains in a stable order.
+func CaseStudies() []CaseStudy {
+	return []CaseStudy{
+		{Name: "automotive", Generate: Automotive},
+		{Name: "space", Generate: Space},
+		{Name: "railway", Generate: Railway},
+	}
+}

@@ -1,0 +1,211 @@
+// Package data generates the synthetic case studies standing in for the
+// SAFEXPLAIN project's proprietary use cases (see DESIGN.md, substitution
+// table): an automotive perception task, a space vision-navigation task,
+// and a railway obstacle/signal task.
+//
+// Each generator renders small grayscale images of parameterized geometric
+// scenes with controlled noise, so datasets are fully reproducible from a
+// seed, have known ground truth, and expose the structure the safety
+// machinery needs: class imbalance knobs, an in-distribution/out-of-
+// distribution boundary, and graded corruption operators for fault
+// injection. Every set carries a SHA-256 manifest hash so the traceability
+// log can pin exactly which data trained or tested a model.
+package data
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+
+	"safexplain/internal/prng"
+	"safexplain/internal/tensor"
+)
+
+// Side is the image edge length for all case studies: 16×16 single-channel.
+const Side = 16
+
+// Sample is one labelled image.
+type Sample struct {
+	X     *tensor.Tensor // shape [1, Side, Side], values in [0, 1]
+	Label int
+}
+
+// Set is a named, labelled dataset. It implements nn.Dataset.
+type Set struct {
+	Name    string
+	Classes []string
+	Samples []Sample
+}
+
+// Len implements nn.Dataset.
+func (s *Set) Len() int { return len(s.Samples) }
+
+// Sample implements nn.Dataset.
+func (s *Set) Sample(i int) (*tensor.Tensor, int) {
+	return s.Samples[i].X, s.Samples[i].Label
+}
+
+// NumClasses returns the number of classes.
+func (s *Set) NumClasses() int { return len(s.Classes) }
+
+// Hash returns the hex SHA-256 over the set's name, class list, labels and
+// pixel data — the dataset identity recorded in evidence logs.
+func (s *Set) Hash() string {
+	h := sha256.New()
+	h.Write([]byte(s.Name))
+	for _, c := range s.Classes {
+		h.Write([]byte{0})
+		h.Write([]byte(c))
+	}
+	var b [4]byte
+	for _, smp := range s.Samples {
+		binary.LittleEndian.PutUint32(b[:], uint32(smp.Label))
+		h.Write(b[:])
+		for _, v := range smp.X.Data() {
+			binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+			h.Write(b[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Split partitions the set into a training and a test set with the given
+// training fraction, after a deterministic shuffle driven by seed.
+func (s *Set) Split(trainFrac float64, seed uint64) (train, test *Set) {
+	r := prng.New(seed)
+	perm := r.Perm(len(s.Samples))
+	nTrain := int(trainFrac * float64(len(s.Samples)))
+	train = &Set{Name: s.Name + "/train", Classes: s.Classes}
+	test = &Set{Name: s.Name + "/test", Classes: s.Classes}
+	for i, idx := range perm {
+		if i < nTrain {
+			train.Samples = append(train.Samples, s.Samples[idx])
+		} else {
+			test.Samples = append(test.Samples, s.Samples[idx])
+		}
+	}
+	return train, test
+}
+
+// ClassCounts returns per-class sample counts.
+func (s *Set) ClassCounts() []int {
+	counts := make([]int, len(s.Classes))
+	for _, smp := range s.Samples {
+		if smp.Label >= 0 && smp.Label < len(counts) {
+			counts[smp.Label]++
+		}
+	}
+	return counts
+}
+
+// Config controls a generator run.
+type Config struct {
+	N     int     // number of samples
+	Seed  uint64  // generation seed
+	Noise float64 // additive Gaussian pixel-noise sigma (typical: 0.05)
+}
+
+func (c Config) validate() Config {
+	if c.N <= 0 {
+		c.N = 100
+	}
+	if c.Noise < 0 {
+		c.Noise = 0
+	}
+	return c
+}
+
+// canvas is a Side×Side grayscale drawing surface.
+type canvas struct {
+	px [Side * Side]float32
+}
+
+func (c *canvas) set(x, y int, v float32) {
+	if x < 0 || x >= Side || y < 0 || y >= Side {
+		return
+	}
+	i := y*Side + x
+	if v > c.px[i] {
+		c.px[i] = v
+	}
+}
+
+// rect fills [x0,x1]×[y0,y1] (inclusive) with intensity v.
+func (c *canvas) rect(x0, y0, x1, y1 int, v float32) {
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			c.set(x, y, v)
+		}
+	}
+}
+
+// disc fills a filled circle of radius r at (cx, cy).
+func (c *canvas) disc(cx, cy, r int, v float32) {
+	for y := cy - r; y <= cy+r; y++ {
+		for x := cx - r; x <= cx+r; x++ {
+			dx, dy := x-cx, y-cy
+			if dx*dx+dy*dy <= r*r {
+				c.set(x, y, v)
+			}
+		}
+	}
+}
+
+// line draws a straight segment with simple DDA stepping.
+func (c *canvas) line(x0, y0, x1, y1 int, v float32) {
+	steps := abs(x1-x0) + abs(y1-y0)
+	if steps == 0 {
+		c.set(x0, y0, v)
+		return
+	}
+	for i := 0; i <= steps; i++ {
+		t := float64(i) / float64(steps)
+		x := int(math.Round(float64(x0) + t*float64(x1-x0)))
+		y := int(math.Round(float64(y0) + t*float64(y1-y0)))
+		c.set(x, y, v)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// finish adds Gaussian noise, clamps to [0,1], and wraps the canvas in a
+// tensor.
+func (c *canvas) finish(noise float64, r *prng.Source) *tensor.Tensor {
+	t := tensor.New(1, Side, Side)
+	for i, v := range c.px {
+		f := float64(v)
+		if noise > 0 {
+			f += r.NormFloat64() * noise
+		}
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		t.Data()[i] = float32(f)
+	}
+	return t
+}
+
+// Merge concatenates sets with identical class lists into one named set.
+func Merge(name string, sets ...*Set) (*Set, error) {
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("data: Merge of no sets")
+	}
+	out := &Set{Name: name, Classes: sets[0].Classes}
+	for _, s := range sets {
+		if len(s.Classes) != len(out.Classes) {
+			return nil, fmt.Errorf("data: Merge class mismatch between %q and %q", sets[0].Name, s.Name)
+		}
+		out.Samples = append(out.Samples, s.Samples...)
+	}
+	return out, nil
+}

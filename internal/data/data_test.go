@@ -1,0 +1,198 @@
+package data
+
+import (
+	"testing"
+)
+
+func TestGeneratorsBasicShape(t *testing.T) {
+	for _, cs := range CaseStudies() {
+		s := cs.Generate(Config{N: 40, Seed: 1, Noise: 0.05})
+		if s.Len() != 40 {
+			t.Errorf("%s: Len = %d", cs.Name, s.Len())
+		}
+		if s.NumClasses() < 3 {
+			t.Errorf("%s: only %d classes", cs.Name, s.NumClasses())
+		}
+		for i := 0; i < s.Len(); i++ {
+			x, label := s.Sample(i)
+			if x.Rank() != 3 || x.Dim(0) != 1 || x.Dim(1) != Side || x.Dim(2) != Side {
+				t.Fatalf("%s: bad shape %v", cs.Name, x.Shape())
+			}
+			if label < 0 || label >= s.NumClasses() {
+				t.Fatalf("%s: label %d out of range", cs.Name, label)
+			}
+			for _, v := range x.Data() {
+				if v < 0 || v > 1 {
+					t.Fatalf("%s: pixel %v out of [0,1]", cs.Name, v)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, cs := range CaseStudies() {
+		a := cs.Generate(Config{N: 20, Seed: 5, Noise: 0.05})
+		b := cs.Generate(Config{N: 20, Seed: 5, Noise: 0.05})
+		if a.Hash() != b.Hash() {
+			t.Errorf("%s: same seed gave different datasets", cs.Name)
+		}
+		c := cs.Generate(Config{N: 20, Seed: 6, Noise: 0.05})
+		if a.Hash() == c.Hash() {
+			t.Errorf("%s: different seeds gave identical datasets", cs.Name)
+		}
+	}
+}
+
+func TestClassesBalanced(t *testing.T) {
+	s := Automotive(Config{N: 100, Seed: 2})
+	counts := s.ClassCounts()
+	for cls, n := range counts {
+		if n != 25 {
+			t.Errorf("class %d count %d, want 25", cls, n)
+		}
+	}
+}
+
+func TestClassesVisuallyDistinct(t *testing.T) {
+	// Mean images of different classes must differ substantially —
+	// otherwise the task is unlearnable and every downstream experiment
+	// degenerates.
+	for _, cs := range CaseStudies() {
+		s := cs.Generate(Config{N: 120, Seed: 3, Noise: 0})
+		k := s.NumClasses()
+		means := make([][]float32, k)
+		counts := make([]int, k)
+		for i := range means {
+			means[i] = make([]float32, Side*Side)
+		}
+		for _, smp := range s.Samples {
+			counts[smp.Label]++
+			for j, v := range smp.X.Data() {
+				means[smp.Label][j] += v
+			}
+		}
+		for a := 0; a < k; a++ {
+			for b := a + 1; b < k; b++ {
+				var dist float64
+				for j := range means[a] {
+					d := float64(means[a][j])/float64(counts[a]) - float64(means[b][j])/float64(counts[b])
+					dist += d * d
+				}
+				if dist < 0.5 {
+					t.Errorf("%s: classes %d and %d nearly identical (dist² %v)", cs.Name, a, b, dist)
+				}
+			}
+		}
+	}
+}
+
+func TestSplitPartitions(t *testing.T) {
+	s := Railway(Config{N: 100, Seed: 4})
+	train, test := s.Split(0.8, 7)
+	if train.Len() != 80 || test.Len() != 20 {
+		t.Fatalf("split sizes %d/%d", train.Len(), test.Len())
+	}
+	// Deterministic under the same seed.
+	train2, _ := s.Split(0.8, 7)
+	if train.Hash() != train2.Hash() {
+		t.Fatal("split not deterministic")
+	}
+	// Different seed permutes differently.
+	train3, _ := s.Split(0.8, 8)
+	if train.Hash() == train3.Hash() {
+		t.Fatal("different split seeds gave identical partitions")
+	}
+}
+
+func TestHashSensitivity(t *testing.T) {
+	s := Space(Config{N: 10, Seed: 9})
+	h := s.Hash()
+	s.Samples[0].X.Data()[0] += 0.001
+	if s.Hash() == h {
+		t.Fatal("hash insensitive to pixel change")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Automotive(Config{N: 10, Seed: 1})
+	b := Automotive(Config{N: 10, Seed: 2})
+	m, err := Merge("both", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 20 {
+		t.Fatalf("merged len %d", m.Len())
+	}
+	if _, err := Merge("bad", a, Railway(Config{N: 5, Seed: 1})); err == nil {
+		t.Fatal("merging different class lists should error")
+	}
+	if _, err := Merge("none"); err == nil {
+		t.Fatal("merging nothing should error")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	s := Automotive(Config{N: 0, Seed: 1, Noise: -1})
+	if s.Len() != 100 {
+		t.Fatalf("default N not applied: %d", s.Len())
+	}
+}
+
+func TestAutomotiveDetect(t *testing.T) {
+	s := AutomotiveDetect(Config{N: 60, Seed: 30, Noise: 0.05})
+	if s.Len() != 60 || len(s.Classes) != 3 {
+		t.Fatalf("len %d classes %d", s.Len(), len(s.Classes))
+	}
+	for i := 0; i < s.Len(); i++ {
+		x, class, cx, cy := s.DetAt(i)
+		if x.Len() != Side*Side {
+			t.Fatal("bad image shape")
+		}
+		if class < 0 || class > 2 {
+			t.Fatalf("class %d", class)
+		}
+		if cx < 0 || cx > 1 || cy < 0 || cy > 1 {
+			t.Fatalf("centroid (%v,%v) outside [0,1]", cx, cy)
+		}
+		// The centroid must sit on or near bright object pixels: mean
+		// intensity in a 3px window around it must exceed the global mean.
+		px, py := int(cx*Side), int(cy*Side)
+		var local, localN, global float64
+		for _, v := range x.Data() {
+			global += float64(v)
+		}
+		global /= float64(x.Len())
+		for dy := -2; dy <= 2; dy++ {
+			for dx := -2; dx <= 2; dx++ {
+				xx, yy := px+dx, py+dy
+				if xx < 0 || xx >= Side || yy < 0 || yy >= Side {
+					continue
+				}
+				local += float64(x.At3(0, yy, xx))
+				localN++
+			}
+		}
+		if local/localN <= global {
+			t.Fatalf("sample %d: centroid (%d,%d) not on the object", i, px, py)
+		}
+	}
+	// Deterministic.
+	if AutomotiveDetect(Config{N: 20, Seed: 31}).Hash() != AutomotiveDetect(Config{N: 20, Seed: 31}).Hash() {
+		t.Fatal("detection set not deterministic")
+	}
+}
+
+func TestDetSetSplit(t *testing.T) {
+	s := AutomotiveDetect(Config{N: 40, Seed: 32})
+	train, test := s.Split(0.75, 33)
+	if train.Len() != 30 || test.Len() != 10 {
+		t.Fatalf("split %d/%d", train.Len(), test.Len())
+	}
+	// Classification view agrees with detection view.
+	x1, c1 := train.Sample(0)
+	x2, c2, _, _ := train.DetAt(0)
+	if x1 != x2 || c1 != c2 {
+		t.Fatal("Sample and DetAt disagree")
+	}
+}

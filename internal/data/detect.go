@@ -1,0 +1,138 @@
+package data
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+
+	"safexplain/internal/prng"
+	"safexplain/internal/tensor"
+)
+
+// Detection variant of the case studies: besides the class, each sample
+// carries the object's centroid, so models must *localize* — the actual
+// shape of perception functions in the CAIS domains (where is the
+// pedestrian, not just whether there is one). Coordinates are normalized
+// to [0, 1] over the image.
+
+// DetSample is one labelled, localized image.
+type DetSample struct {
+	X     *tensor.Tensor // [1, Side, Side]
+	Class int
+	// CX, CY is the object centroid in normalized [0,1] image coordinates.
+	CX, CY float32
+}
+
+// DetSet is a detection dataset.
+type DetSet struct {
+	Name    string
+	Classes []string
+	Samples []DetSample
+}
+
+// Len returns the sample count.
+func (s *DetSet) Len() int { return len(s.Samples) }
+
+// Sample implements the classification view (nn.Dataset): the class label
+// without the location, so classification-only tooling keeps working.
+func (s *DetSet) Sample(i int) (*tensor.Tensor, int) {
+	return s.Samples[i].X, s.Samples[i].Class
+}
+
+// Det returns the full detection sample.
+func (s *DetSet) Det(i int) DetSample { return s.Samples[i] }
+
+// DetAt implements nn.DetDataset.
+func (s *DetSet) DetAt(i int) (x *tensor.Tensor, class int, cx, cy float32) {
+	d := s.Samples[i]
+	return d.X, d.Class, d.CX, d.CY
+}
+
+// Hash returns the dataset identity hash over pixels, classes, and
+// locations.
+func (s *DetSet) Hash() string {
+	h := sha256.New()
+	h.Write([]byte(s.Name))
+	var b [4]byte
+	for _, smp := range s.Samples {
+		binary.LittleEndian.PutUint32(b[:], uint32(smp.Class))
+		h.Write(b[:])
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(smp.CX))
+		h.Write(b[:])
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(smp.CY))
+		h.Write(b[:])
+		for _, v := range smp.X.Data() {
+			binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+			h.Write(b[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Split partitions deterministically like Set.Split.
+func (s *DetSet) Split(trainFrac float64, seed uint64) (train, test *DetSet) {
+	r := prng.New(seed)
+	perm := r.Perm(len(s.Samples))
+	nTrain := int(trainFrac * float64(len(s.Samples)))
+	train = &DetSet{Name: s.Name + "/train", Classes: s.Classes}
+	test = &DetSet{Name: s.Name + "/test", Classes: s.Classes}
+	for i, idx := range perm {
+		if i < nTrain {
+			train.Samples = append(train.Samples, s.Samples[idx])
+		} else {
+			test.Samples = append(test.Samples, s.Samples[idx])
+		}
+	}
+	return train, test
+}
+
+// AutomotiveDetect generates the localization case study: one object
+// (vehicle, pedestrian, or cyclist) per frame at a random position; the
+// label is (class, centroid). There is no background class — detection
+// frames always contain the object, and the scene keeps the road band as
+// context.
+func AutomotiveDetect(cfg Config) *DetSet {
+	cfg = cfg.validate()
+	r := prng.New(cfg.Seed)
+	s := &DetSet{
+		Name:    "automotive-detect",
+		Classes: []string{"vehicle", "pedestrian", "cyclist"},
+	}
+	for i := 0; i < cfg.N; i++ {
+		class := i % 3
+		var c canvas
+		c.rect(0, 11, Side-1, Side-1, 0.15)
+		var cx, cy float32
+		switch class {
+		case 0: // vehicle
+			x := 2 + r.Intn(6)
+			y := 3 + r.Intn(5)
+			w := 6 + r.Intn(3)
+			c.rect(x, y+2, x+w, y+5, 0.9)
+			c.rect(x+1, y, x+w-1, y+2, 0.6)
+			cx = (float32(x) + float32(w)/2) / Side
+			cy = (float32(y) + 2.5) / Side
+		case 1: // pedestrian
+			x := 3 + r.Intn(10)
+			y := 3 + r.Intn(3)
+			c.disc(x, y, 1, 0.9)
+			c.rect(x-1, y+2, x+1, y+8, 0.8)
+			cx = float32(x) / Side
+			cy = (float32(y) + 4) / Side
+		default: // cyclist
+			x := 3 + r.Intn(7)
+			y := 8 + r.Intn(3)
+			c.disc(x, y, 2, 0.7)
+			c.disc(x+5, y, 2, 0.7)
+			c.line(x, y, x+5, y, 0.9)
+			c.disc(x+2, y-4, 1, 0.9)
+			cx = (float32(x) + 2.5) / Side
+			cy = (float32(y) - 1) / Side
+		}
+		s.Samples = append(s.Samples, DetSample{
+			X: c.finish(cfg.Noise, r), Class: class, CX: cx, CY: cy,
+		})
+	}
+	return s
+}

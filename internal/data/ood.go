@@ -1,0 +1,129 @@
+package data
+
+import (
+	"safexplain/internal/prng"
+	"safexplain/internal/tensor"
+)
+
+// Out-of-distribution and fault operators. Supervisors (T1) are evaluated
+// on their ability to flag these; the safety patterns (T3) use them as the
+// sensor-fault model. Each operator returns a new Set and leaves the input
+// untouched.
+
+// WithGaussianNoise returns a copy of s with extra additive Gaussian noise
+// of the given sigma — the degraded-sensor OOD condition.
+func WithGaussianNoise(s *Set, sigma float64, seed uint64) *Set {
+	r := prng.New(seed)
+	out := &Set{Name: s.Name + "/noise", Classes: s.Classes}
+	for _, smp := range s.Samples {
+		x := smp.X.Clone()
+		for i, v := range x.Data() {
+			f := float64(v) + r.NormFloat64()*sigma
+			if f < 0 {
+				f = 0
+			}
+			if f > 1 {
+				f = 1
+			}
+			x.Data()[i] = float32(f)
+		}
+		out.Samples = append(out.Samples, Sample{X: x, Label: smp.Label})
+	}
+	return out
+}
+
+// WithOcclusion returns a copy of s with a size×size patch forced to a
+// constant value at a random position per image — the blocked-lens / dirt
+// OOD condition.
+func WithOcclusion(s *Set, size int, seed uint64) *Set {
+	r := prng.New(seed)
+	out := &Set{Name: s.Name + "/occluded", Classes: s.Classes}
+	if size > Side {
+		size = Side
+	}
+	for _, smp := range s.Samples {
+		x := smp.X.Clone()
+		ox := r.Intn(Side - size + 1)
+		oy := r.Intn(Side - size + 1)
+		for y := oy; y < oy+size; y++ {
+			for dx := ox; dx < ox+size; dx++ {
+				x.Data()[y*Side+dx] = 0
+			}
+		}
+		out.Samples = append(out.Samples, Sample{X: x, Label: smp.Label})
+	}
+	return out
+}
+
+// WithInversion returns a copy of s with inverted intensities — a gross
+// sensor-failure condition (e.g. exposure fault) far outside the training
+// distribution.
+func WithInversion(s *Set) *Set {
+	out := &Set{Name: s.Name + "/inverted", Classes: s.Classes}
+	for _, smp := range s.Samples {
+		x := smp.X.Clone()
+		for i, v := range x.Data() {
+			x.Data()[i] = 1 - v
+		}
+		out.Samples = append(out.Samples, Sample{X: x, Label: smp.Label})
+	}
+	return out
+}
+
+// UnseenClass generates images of a shape family none of the case studies
+// contain (diagonal crosses on clutter) — the semantic-novelty OOD
+// condition. Labels are set to -1: no in-distribution answer is correct.
+func UnseenClass(n int, noise float64, seed uint64) *Set {
+	r := prng.New(seed)
+	s := &Set{Name: "unseen", Classes: []string{"unseen"}}
+	for i := 0; i < n; i++ {
+		var c canvas
+		x := 3 + r.Intn(8)
+		y := 3 + r.Intn(8)
+		arm := 2 + r.Intn(3)
+		c.line(x-arm, y-arm, x+arm, y+arm, 0.9)
+		c.line(x-arm, y+arm, x+arm, y-arm, 0.9)
+		for k := 0; k < r.Intn(4); k++ {
+			c.set(r.Intn(Side), r.Intn(Side), 0.3+0.3*r.Float32())
+		}
+		s.Samples = append(s.Samples, Sample{X: c.finish(noise, r), Label: -1})
+	}
+	return s
+}
+
+// FlipPixels flips nFlips random pixels of x to their complement, in
+// place — the single-event-upset model for sensor memory used by fault
+// injection. It returns the flipped indices for test assertions.
+func FlipPixels(x *tensor.Tensor, nFlips int, r *prng.Source) []int {
+	idx := make([]int, 0, nFlips)
+	for k := 0; k < nFlips; k++ {
+		i := r.Intn(x.Len())
+		x.Data()[i] = 1 - x.Data()[i]
+		idx = append(idx, i)
+	}
+	return idx
+}
+
+// OODKind names one OOD condition for experiment sweeps.
+type OODKind struct {
+	Name  string
+	Apply func(s *Set, seed uint64) *Set
+}
+
+// OODKinds returns the standard four OOD conditions used by experiment T1.
+func OODKinds() []OODKind {
+	return []OODKind{
+		{Name: "noise", Apply: func(s *Set, seed uint64) *Set {
+			return WithGaussianNoise(s, 0.3, seed)
+		}},
+		{Name: "occlusion", Apply: func(s *Set, seed uint64) *Set {
+			return WithOcclusion(s, 8, seed)
+		}},
+		{Name: "inversion", Apply: func(s *Set, seed uint64) *Set {
+			return WithInversion(s)
+		}},
+		{Name: "unseen", Apply: func(s *Set, seed uint64) *Set {
+			return UnseenClass(s.Len(), 0.05, seed)
+		}},
+	}
+}

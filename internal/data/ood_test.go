@@ -1,0 +1,137 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"safexplain/internal/prng"
+)
+
+func TestWithGaussianNoisePerturbs(t *testing.T) {
+	s := Automotive(Config{N: 10, Seed: 1, Noise: 0})
+	n := WithGaussianNoise(s, 0.3, 2)
+	if n.Len() != s.Len() {
+		t.Fatal("length changed")
+	}
+	// Original must be untouched; copy must differ.
+	var diff float64
+	for i := range s.Samples {
+		for j := range s.Samples[i].X.Data() {
+			diff += math.Abs(float64(s.Samples[i].X.Data()[j] - n.Samples[i].X.Data()[j]))
+		}
+	}
+	if diff == 0 {
+		t.Fatal("noise had no effect")
+	}
+	for _, smp := range n.Samples {
+		for _, v := range smp.X.Data() {
+			if v < 0 || v > 1 {
+				t.Fatal("noisy pixel out of range")
+			}
+		}
+	}
+}
+
+func TestWithOcclusionZeroesPatch(t *testing.T) {
+	s := Space(Config{N: 5, Seed: 3, Noise: 0})
+	o := WithOcclusion(s, 8, 4)
+	for i, smp := range o.Samples {
+		zeros := 0
+		for _, v := range smp.X.Data() {
+			if v == 0 {
+				zeros++
+			}
+		}
+		if zeros < 64 {
+			t.Fatalf("sample %d: only %d zero pixels, want >= 64", i, zeros)
+		}
+	}
+	// Oversized patch clamps to the whole image.
+	o2 := WithOcclusion(s, 100, 4)
+	for _, smp := range o2.Samples {
+		for _, v := range smp.X.Data() {
+			if v != 0 {
+				t.Fatal("full occlusion should zero everything")
+			}
+		}
+	}
+}
+
+func TestWithInversion(t *testing.T) {
+	s := Railway(Config{N: 5, Seed: 5, Noise: 0})
+	inv := WithInversion(s)
+	for i := range s.Samples {
+		for j := range s.Samples[i].X.Data() {
+			want := 1 - s.Samples[i].X.Data()[j]
+			if inv.Samples[i].X.Data()[j] != want {
+				t.Fatal("inversion wrong")
+			}
+		}
+	}
+}
+
+func TestUnseenClassLabels(t *testing.T) {
+	u := UnseenClass(20, 0.05, 6)
+	if u.Len() != 20 {
+		t.Fatalf("len %d", u.Len())
+	}
+	for _, smp := range u.Samples {
+		if smp.Label != -1 {
+			t.Fatal("unseen samples must carry label -1")
+		}
+	}
+	// Must actually contain drawn structure, not blank noise.
+	var mass float64
+	for _, smp := range u.Samples {
+		for _, v := range smp.X.Data() {
+			mass += float64(v)
+		}
+	}
+	if mass/float64(u.Len()) < 2 {
+		t.Fatalf("unseen images nearly empty: mean mass %v", mass/float64(u.Len()))
+	}
+}
+
+func TestFlipPixels(t *testing.T) {
+	s := Automotive(Config{N: 1, Seed: 7, Noise: 0})
+	x := s.Samples[0].X.Clone()
+	r := prng.New(8)
+	idx := FlipPixels(x, 5, r)
+	if len(idx) != 5 {
+		t.Fatalf("flipped %d pixels", len(idx))
+	}
+	for _, i := range idx {
+		orig := s.Samples[0].X.Data()[i]
+		if math.Abs(float64(x.Data()[i]-(1-orig))) > 1e-6 {
+			t.Fatal("pixel not complemented")
+		}
+	}
+}
+
+func TestOODKindsProduceDistinctSets(t *testing.T) {
+	s := Automotive(Config{N: 10, Seed: 9, Noise: 0.05})
+	base := s.Hash()
+	seen := map[string]bool{base: true}
+	for _, k := range OODKinds() {
+		o := k.Apply(s, 10)
+		h := o.Hash()
+		if seen[h] {
+			t.Errorf("OOD kind %s produced a duplicate dataset", k.Name)
+		}
+		seen[h] = true
+		if o.Len() != s.Len() {
+			t.Errorf("OOD kind %s changed the sample count", k.Name)
+		}
+	}
+}
+
+func TestOODDeterministic(t *testing.T) {
+	s := Automotive(Config{N: 10, Seed: 11, Noise: 0.05})
+	for _, k := range OODKinds() {
+		a := k.Apply(s, 12)
+		b := k.Apply(s, 12)
+		if a.Hash() != b.Hash() {
+			t.Errorf("OOD kind %s not deterministic", k.Name)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIDsComplete(t *testing.T) {
+	want := []string{"F1", "F2", "F3", "T1", "T10", "T11", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("T99"); err == nil {
+		t.Fatal("unknown ID must error")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	s := table([]string{"a", "bb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table:\n%s", s)
+	}
+	if !strings.HasPrefix(lines[0], "a") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+}
+
+// Experiment smoke tests: each experiment must produce a non-empty table
+// and sane headline metrics. The cheap timing experiments run in full;
+// the training-heavy ones are grouped so fixtures are reused.
+
+func requireResult(t *testing.T, id string, wantSub string) Result {
+	t.Helper()
+	r, err := Run(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != id || r.Table == "" || len(r.Metrics) == 0 {
+		t.Fatalf("degenerate result: %+v", r)
+	}
+	if wantSub != "" && !strings.Contains(r.Table, wantSub) {
+		t.Fatalf("%s table missing %q:\n%s", id, wantSub, r.Table)
+	}
+	return r
+}
+
+func TestT6T7F1Timing(t *testing.T) {
+	r6 := requireResult(t, "T6", "time-randomized")
+	// Shape checks: contention adds jitter; locking removes nearly all.
+	if r6.Metrics["lru-contended/jitter"] <= r6.Metrics["lru-isolated/jitter"] {
+		t.Fatalf("T6 shape: contended jitter not above isolated: %v", r6.Metrics)
+	}
+	if r6.Metrics["locked-tdma/jitter"] >= r6.Metrics["lru-contended/jitter"] {
+		t.Fatalf("T6 shape: locking did not reduce jitter: %v", r6.Metrics)
+	}
+	r7 := requireResult(t, "T7", "randomized b=")
+	if r7.Metrics["time-randomized/pwcet1e12"] <= 0 {
+		t.Fatalf("T7: no pWCET bound: %v", r7.Metrics)
+	}
+	requireResult(t, "F1", "Gumbel fit")
+}
+
+func TestT5FusaLibrary(t *testing.T) {
+	r := requireResult(t, "T5", "reduction-ablation")
+	for _, cs := range []string{"automotive", "space", "railway"} {
+		if r.Metrics[cs+"/agreement"] < 0.85 {
+			t.Fatalf("T5 shape: %s agreement %v", cs, r.Metrics[cs+"/agreement"])
+		}
+		if r.Metrics[cs+"/allocs_arena"] != 0 {
+			t.Fatalf("T5 shape: arena allocates on %s", cs)
+		}
+		if r.Metrics[cs+"/replay_failed"] != 0 {
+			t.Fatalf("T5 shape: replay failed on %s", cs)
+		}
+	}
+	if r.Metrics["reduction/pairwise_err"] > r.Metrics["reduction/serial_err"] {
+		t.Fatal("T5 shape: pairwise summation should not be less accurate")
+	}
+}
+
+func TestT1Supervisors(t *testing.T) {
+	r := requireResult(t, "T1", "mahalanobis")
+	if r.Metrics["best_mean_auroc"] < 0.7 {
+		t.Fatalf("T1 shape: best supervisor mean AUROC %v", r.Metrics["best_mean_auroc"])
+	}
+	// Feature-space supervision must beat softmax confidence on far OOD
+	// (mean over kinds) for each case study — the paper-motivating gap.
+	for _, cs := range []string{"automotive", "space", "railway"} {
+		maha := r.Metrics[cs+"/mahalanobis/auroc"]
+		soft := r.Metrics[cs+"/max-softmax/auroc"]
+		if maha <= soft-0.05 {
+			t.Fatalf("T1 shape: %s mahalanobis %v far below max-softmax %v", cs, maha, soft)
+		}
+	}
+}
+
+func TestT4Diversity(t *testing.T) {
+	r := requireResult(t, "T4", "arch-diverse")
+	// Under heavy noise, identical redundancy must have the highest
+	// identical-failure rate.
+	ident := r.Metrics["noise-0.35/identical/identical"]
+	seedDiv := r.Metrics["noise-0.35/seed-diverse/identical"]
+	archDiv := r.Metrics["noise-0.35/arch-diverse/identical"]
+	if ident <= seedDiv || ident <= archDiv {
+		t.Fatalf("T4 shape: identical %v vs seed %v arch %v", ident, seedDiv, archDiv)
+	}
+}
+
+func TestT3PatternLadder(t *testing.T) {
+	r := requireResult(t, "T3", "tmr")
+	// Under the heaviest SEU level, every protected pattern must beat the
+	// bare channel on hazard rate.
+	bare := r.Metrics["seu-80/single/hazard"]
+	for _, p := range []string{"supervised", "dual-diverse", "tmr", "simplex"} {
+		if r.Metrics["seu-80/"+p+"/hazard"] > bare {
+			t.Fatalf("T3 shape: %s hazard %v above bare %v",
+				p, r.Metrics["seu-80/"+p+"/hazard"], bare)
+		}
+	}
+	requireResult(t, "F2", "single")
+}
+
+func TestT8T9Lifecycle(t *testing.T) {
+	r8 := requireResult(t, "T8", "true")
+	for _, cs := range []string{"automotive", "space", "railway"} {
+		if r8.Metrics[cs+"/readiness"] != 1 {
+			t.Fatalf("T8 shape: %s readiness %v", cs, r8.Metrics[cs+"/readiness"])
+		}
+	}
+	r9 := requireResult(t, "T9", "pWCET")
+	if r9.Metrics["misses_pwcet"] > r9.Metrics["misses_naive"] {
+		t.Fatalf("T9 shape: pWCET budget misses %v above naive %v",
+			r9.Metrics["misses_pwcet"], r9.Metrics["misses_naive"])
+	}
+	if r9.Metrics["rta_schedulable"] != 1 {
+		t.Fatal("T9 shape: RTA should prove the frame schedulable")
+	}
+	requireResult(t, "F3", "max-softmax")
+}
+
+func TestT10Robustness(t *testing.T) {
+	r := requireResult(t, "T10", "adv-detect")
+	// The bracket: certified radius (lower bound) must not exceed the
+	// empirical radius (upper bound).
+	if r.Metrics["mean_certified_radius"] > r.Metrics["mean_empirical_radius"] {
+		t.Fatalf("T10 shape: certified %v above empirical %v",
+			r.Metrics["mean_certified_radius"], r.Metrics["mean_empirical_radius"])
+	}
+	// Certification must collapse as eps grows.
+	if r.Metrics["eps0.005/certified"] <= r.Metrics["eps0.100/certified"] {
+		t.Fatalf("T10 shape: certification does not decay with eps: %v",
+			r.Metrics)
+	}
+}
+
+func TestT2Explainability(t *testing.T) {
+	r := requireResult(t, "T2", "integrated-gradients")
+	// Gradient-based explainers on a trained model must be reasonably
+	// stable.
+	if r.Metrics["automotive/saliency/stability"] < 0.3 {
+		t.Fatalf("T2 shape: saliency stability %v", r.Metrics["automotive/saliency/stability"])
+	}
+}
+
+func TestT11Detection(t *testing.T) {
+	r := requireResult(t, "T11", "geometric checker")
+	if r.Metrics["accuracy"] < 0.85 {
+		t.Fatalf("T11 shape: detector accuracy %v", r.Metrics["accuracy"])
+	}
+	if r.Metrics["mean_err_px"] > 3 {
+		t.Fatalf("T11 shape: localization error %v px", r.Metrics["mean_err_px"])
+	}
+	if r.Metrics["veto_rate"] < 0.6 {
+		t.Fatalf("T11 shape: geometric veto rate %v", r.Metrics["veto_rate"])
+	}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"safexplain/internal/data"
+	"safexplain/internal/supervisor"
+)
+
+func init() { registry["T1"] = runT1 }
+
+// T1 — pillar P1, "explain whether predictions can be trusted": supervisor
+// OOD detection across the three case studies and four OOD conditions.
+// Reported per (case study, supervisor): mean AUROC and mean FPR@95TPR
+// over the OOD kinds, plus the per-kind AUROC columns.
+func runT1() Result {
+	sups := append(supervisor.Standard(), supervisor.StandardPortfolio())
+	kinds := data.OODKinds()
+	header := []string{"case", "supervisor"}
+	for _, k := range kinds {
+		header = append(header, "AUROC:"+k.Name)
+	}
+	header = append(header, "meanAUROC", "meanFPR95")
+
+	var rows [][]string
+	metrics := map[string]float64{}
+	var bestOverall float64
+	for _, cs := range data.CaseStudies() {
+		f := getFixture(cs.Name)
+		for _, sup := range sups {
+			if err := sup.Fit(f.net, f.train); err != nil {
+				panic(fmt.Sprintf("T1: fit %s on %s: %v", sup.Name(), cs.Name, err))
+			}
+			row := []string{cs.Name, sup.Name()}
+			var sumA, sumF float64
+			for ki, kind := range kinds {
+				ood := kind.Apply(f.test, fixtureSeed(cs.Name)+100+uint64(ki))
+				rep, err := supervisor.EvaluateOOD(sup, f.net, f.test, ood)
+				if err != nil {
+					panic(fmt.Sprintf("T1: evaluate %s: %v", sup.Name(), err))
+				}
+				row = append(row, fmt.Sprintf("%.3f", rep.AUROC))
+				sumA += rep.AUROC
+				sumF += rep.FPR95
+			}
+			meanA := sumA / float64(len(kinds))
+			meanF := sumF / float64(len(kinds))
+			row = append(row, fmt.Sprintf("%.3f", meanA), fmt.Sprintf("%.3f", meanF))
+			rows = append(rows, row)
+			metrics[cs.Name+"/"+sup.Name()+"/auroc"] = meanA
+			if meanA > bestOverall {
+				bestOverall = meanA
+			}
+		}
+	}
+	metrics["best_mean_auroc"] = bestOverall
+
+	// Calibration ablation: expected calibration error before and after
+	// temperature scaling, per case study.
+	rows = append(rows, make([]string, len(header)))
+	for _, cs := range data.CaseStudies() {
+		f := getFixture(cs.Name)
+		e1, err := supervisor.ECE(f.net, f.test, 1, 10)
+		if err != nil {
+			panic(err)
+		}
+		temp := supervisor.FitTemperature(f.net, f.test)
+		eT, err := supervisor.ECE(f.net, f.test, temp, 10)
+		if err != nil {
+			panic(err)
+		}
+		row := make([]string, len(header))
+		row[0] = cs.Name
+		row[1] = "calibration"
+		row[2] = fmt.Sprintf("ECE(T=1)=%.3f", e1)
+		row[3] = fmt.Sprintf("T*=%.2f", temp)
+		row[4] = fmt.Sprintf("ECE(T*)=%.3f", eT)
+		rows = append(rows, row)
+		metrics[cs.Name+"/ece_t1"] = e1
+		metrics[cs.Name+"/ece_fitted"] = eT
+	}
+	return Result{
+		ID:      "T1",
+		Title:   "Supervisor OOD detection (AUROC per OOD kind; mean AUROC / FPR@95TPR)",
+		Table:   table(header, rows),
+		Metrics: metrics,
+	}
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+
+	"safexplain/internal/data"
+	"safexplain/internal/supervisor"
+	"safexplain/internal/verif"
+)
+
+func init() { registry["T10"] = runT10 }
+
+// T10 — pillar P1, "strategies to reach (and prove) correct operation":
+// formal robustness verification. For each perturbation radius the input
+// set splits three ways: provably robust (IBP certificate), provably
+// non-robust (PGD counterexample), or undecided (the IBP/attack gap).
+// The experiment also measures whether the runtime supervisors flag PGD
+// adversarial inputs — connecting verification to runtime monitoring.
+func runT10() Result {
+	f := getFixture("railway")
+	// Correctly classified test samples are the verification population.
+	type item struct{ idx, label int }
+	var pop []item
+	for i := 0; i < f.test.Len() && len(pop) < 40; i++ {
+		x, label := f.test.Sample(i)
+		if class, _ := f.net.Predict(x); class == label {
+			pop = append(pop, item{i, label})
+		}
+	}
+
+	header := []string{"eps (L∞)", "certified", "PGD-broken", "undecided"}
+	var rows [][]string
+	metrics := map[string]float64{}
+	for _, eps := range []float32{0.005, 0.01, 0.02, 0.05, 0.1} {
+		cert, broken := 0, 0
+		for _, it := range pop {
+			x, _ := f.test.Sample(it.idx)
+			ok, err := verif.Certified(f.net, x, it.label, eps)
+			if err != nil {
+				panic(err)
+			}
+			if ok {
+				cert++
+				continue
+			}
+			if _, flipped := verif.PGD(f.net, x, it.label, eps, 0, 20); flipped {
+				broken++
+			}
+		}
+		n := len(pop)
+		rows = append(rows, []string{
+			fmt.Sprintf("%.3f", eps),
+			fmt.Sprintf("%d/%d", cert, n),
+			fmt.Sprintf("%d/%d", broken, n),
+			fmt.Sprintf("%d/%d", n-cert-broken, n),
+		})
+		metrics[fmt.Sprintf("eps%.3f/certified", eps)] = float64(cert) / float64(n)
+		metrics[fmt.Sprintf("eps%.3f/broken", eps)] = float64(broken) / float64(n)
+	}
+
+	// Mean certified vs empirical radius over a subsample: the bracket on
+	// the true robust radius.
+	var certSum, empSum float64
+	nRad := 10
+	if len(pop) < nRad {
+		nRad = len(pop)
+	}
+	for _, it := range pop[:nRad] {
+		x, _ := f.test.Sample(it.idx)
+		c, err := verif.CertifiedRadius(f.net, x, it.label, 0.3, 1e-3)
+		if err != nil {
+			panic(err)
+		}
+		certSum += float64(c)
+		empSum += float64(verif.EmpiricalRadius(f.net, x, it.label, 0.3, 16, 15))
+	}
+	rows = append(rows, []string{"—", "", "", ""})
+	rows = append(rows, []string{
+		"mean radius",
+		fmt.Sprintf("certified %.4f", certSum/float64(nRad)),
+		fmt.Sprintf("empirical %.4f", empSum/float64(nRad)),
+		"gap = IBP looseness",
+	})
+	metrics["mean_certified_radius"] = certSum / float64(nRad)
+	metrics["mean_empirical_radius"] = empSum / float64(nRad)
+
+	// Runtime detection of adversarial inputs: PGD examples at eps=0.1 as
+	// an OOD set for the fitted supervisors.
+	adv := &data.Set{Name: "railway/adversarial", Classes: f.test.Classes}
+	for _, it := range pop {
+		x, _ := f.test.Sample(it.idx)
+		a, _ := verif.PGD(f.net, x, it.label, 0.1, 0, 20)
+		adv.Samples = append(adv.Samples, data.Sample{X: a, Label: it.label})
+	}
+	id := &data.Set{Name: "railway/clean", Classes: f.test.Classes}
+	for _, it := range pop {
+		x, _ := f.test.Sample(it.idx)
+		id.Samples = append(id.Samples, data.Sample{X: x, Label: it.label})
+	}
+	rows = append(rows, []string{"—", "", "", ""})
+	for _, sup := range supervisor.Standard() {
+		if err := sup.Fit(f.net, f.train); err != nil {
+			panic(err)
+		}
+		rep, err := supervisor.EvaluateOOD(sup, f.net, id, adv)
+		if err != nil {
+			panic(err)
+		}
+		rows = append(rows, []string{
+			"adv-detect", sup.Name(), fmt.Sprintf("AUROC %.3f", rep.AUROC),
+			fmt.Sprintf("FPR95 %.3f", rep.FPR95),
+		})
+		metrics["advdetect/"+sup.Name()] = rep.AUROC
+	}
+
+	return Result{
+		ID:      "T10",
+		Title:   "Certified vs empirical robustness (IBP / PGD) and adversarial detectability",
+		Table:   table(header, rows),
+		Metrics: metrics,
+	}
+}

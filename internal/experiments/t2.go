@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"safexplain/internal/data"
+	"safexplain/internal/xai"
+)
+
+func init() { registry["T2"] = runT2 }
+
+// T2 — pillar P1, explainability: faithfulness (deletion/insertion AUC),
+// localization (relevance mass on the object), and stability of the five
+// standard explainers, averaged over correctly classified samples of each
+// vision case study.
+func runT2() Result {
+	const perCase = 8
+	header := []string{"case", "explainer", "deletionAUC↓", "insertionAUC↑", "relevanceMass↑", "stability↑"}
+	var rows [][]string
+	metrics := map[string]float64{}
+
+	for _, csName := range []string{"automotive", "railway"} {
+		f := getFixture(csName)
+		// Pick correctly classified object (non-background) samples.
+		var inputs []int
+		for i := 0; i < f.test.Len() && len(inputs) < perCase; i++ {
+			x, label := f.test.Sample(i)
+			if csName == "automotive" && label == data.AutoBackground {
+				continue
+			}
+			if class, _ := f.net.Predict(x); class == label {
+				inputs = append(inputs, i)
+			}
+		}
+		for _, e := range xai.Standard() {
+			var del, ins, mass, stab float64
+			for _, i := range inputs {
+				x, _ := f.test.Sample(i)
+				class, _ := f.net.Predict(x)
+				attr := e.Explain(f.net, x, class)
+				del += xai.DeletionAUC(f.net, x, class, attr, 16)
+				ins += xai.InsertionAUC(f.net, x, class, attr, 16)
+				mass += xai.RelevanceMass(attr, xai.ObjectMask(x, 0.5))
+				stab += xai.Stability(f.net, e, x, class, 0.05, 3, fixtureSeed(csName)+200)
+			}
+			n := float64(len(inputs))
+			rows = append(rows, []string{
+				csName, e.Name(),
+				fmt.Sprintf("%.3f", del/n), fmt.Sprintf("%.3f", ins/n),
+				fmt.Sprintf("%.3f", mass/n), fmt.Sprintf("%.3f", stab/n),
+			})
+			metrics[csName+"/"+e.Name()+"/insertion"] = ins / n
+			metrics[csName+"/"+e.Name()+"/stability"] = stab / n
+		}
+	}
+	return Result{
+		ID:      "T2",
+		Title:   "Explanation faithfulness and stability (↓ lower better, ↑ higher better)",
+		Table:   table(header, rows),
+		Metrics: metrics,
+	}
+}

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+
+	"safexplain/internal/nn"
+	"safexplain/internal/safety"
+	"safexplain/internal/tensor"
+)
+
+func init() {
+	registry["T3"] = runT3
+	registry["F2"] = runF2
+}
+
+// patternSet builds the six-pattern ladder around a (possibly corrupted)
+// primary channel, with healthy diverse replicas for the redundant
+// patterns and the fixture's monitor for the supervised ones. It returns
+// the patterns plus the counting wrappers for cost accounting.
+func patternSet(f *fixture, primary *nn.Network, seedBase uint64) (map[string]safety.Pattern, map[string][]*safety.Counting) {
+	// Diverse replicas: same data, different init/shuffle seeds, smaller
+	// architecture for architectural diversity on the second one.
+	r1 := newCNN("replica-1", f.test.NumClasses(), seedBase+11)
+	if _, _, err := nn.TrainClassifier(r1, f.train, nn.TrainConfig{
+		Epochs: 8, BatchSize: 16, LR: 0.05, Momentum: 0.9, Seed: seedBase + 12,
+	}); err != nil {
+		panic(err)
+	}
+	r2 := newCNN("replica-2", f.test.NumClasses(), seedBase+13)
+	if _, _, err := nn.TrainClassifier(r2, f.train, nn.TrainConfig{
+		Epochs: 8, BatchSize: 16, LR: 0.05, Momentum: 0.9, Seed: seedBase + 14,
+	}); err != nil {
+		panic(err)
+	}
+
+	// Independent plausibility checker for doer-checker: a feature-free
+	// heuristic — object classes need enough bright pixels on screen.
+	checker := safety.FuncChecker{ID: "brightness-plausibility", F: func(x *tensor.Tensor, class int) bool {
+		bright := 0
+		for _, v := range x.Data() {
+			if v > 0.5 {
+				bright++
+			}
+		}
+		// Background/clear claims are implausible when the scene is busy;
+		// object claims are implausible when it is nearly empty.
+		if class == 0 {
+			return bright < 80
+		}
+		return bright > 3
+	}}
+
+	conservative := safety.FuncChannel{ID: "conservative",
+		F: func(*tensor.Tensor) int { return 1 }} // the domain "hazard present" class
+
+	mk := func(c *nn.Network) *safety.Counting { return &safety.Counting{C: safety.NetChannel{Net: c}} }
+	cPrimary1 := mk(primary)
+	cPrimary2 := mk(primary)
+	cPrimary3 := mk(primary)
+	cPrimary4 := mk(primary)
+	cPrimary5 := mk(primary)
+	cPrimary6 := mk(primary)
+	cR1a := mk(r1)
+	cR1b := mk(r1)
+	cR2 := mk(r2)
+
+	patterns := map[string]safety.Pattern{
+		"single":     safety.SingleChannel{C: cPrimary1},
+		"supervised": safety.SupervisedChannel{C: cPrimary2, Net: f.net, Mon: f.mon},
+		"doer-checker": safety.DoerChecker{
+			Doer: cPrimary3, Checker: checker},
+		"dual-diverse": safety.DualDiverse{A: cPrimary4, B: cR1a},
+		"tmr":          safety.TMR{A: cPrimary5, B: cR1b, C: cR2},
+		"simplex": safety.Simplex{
+			Primary: cPrimary6, Net: f.net, Mon: f.mon, Fallback: conservative},
+	}
+	counters := map[string][]*safety.Counting{
+		"single":       {cPrimary1},
+		"supervised":   {cPrimary2},
+		"doer-checker": {cPrimary3},
+		"dual-diverse": {cPrimary4, cR1a},
+		"tmr":          {cPrimary5, cR1b, cR2},
+		"simplex":      {cPrimary6},
+	}
+	return patterns, counters
+}
+
+// patternOrder fixes the ladder order for tables.
+var patternOrder = []string{"single", "supervised", "doer-checker", "dual-diverse", "tmr", "simplex"}
+
+// faultLevel is one fault-intensity point of the T3 sweep.
+type faultLevel struct {
+	name      string
+	bitFlips  int
+	sensorP   float64
+	sensorPix int
+}
+
+var faultLevels = []faultLevel{
+	{name: "none", bitFlips: 0},
+	{name: "seu-20", bitFlips: 20},
+	{name: "seu-80", bitFlips: 80},
+	{name: "sensor-30%", sensorP: 0.3, sensorPix: 40},
+	{name: "seu-20+sensor", bitFlips: 20, sensorP: 0.3, sensorPix: 40},
+}
+
+// t3Sweep runs the full pattern × fault grid and returns the assessments.
+func t3Sweep() map[string]map[string]safety.Assessment {
+	f := getFixture("railway")
+	out := map[string]map[string]safety.Assessment{}
+	for li, lvl := range faultLevels {
+		primary := f.net
+		if lvl.bitFlips > 0 {
+			var err error
+			primary, err = safety.CorruptWeights(f.net, lvl.bitFlips, fixtureSeed("railway")+300+uint64(li))
+			if err != nil {
+				panic(err)
+			}
+		}
+		patterns, counters := patternSet(f, primary, fixtureSeed("railway")+400+uint64(li)*20)
+		out[lvl.name] = map[string]safety.Assessment{}
+		for _, pname := range patternOrder {
+			var corrupt func(*tensor.Tensor) *tensor.Tensor
+			if lvl.sensorP > 0 {
+				corrupt = safety.SensorFault(lvl.sensorP, lvl.sensorPix, fixtureSeed("railway")+500+uint64(li))
+			}
+			out[lvl.name][pname] = safety.Assess(patterns[pname], f.test, corrupt, counters[pname]...)
+		}
+	}
+	return out
+}
+
+var (
+	t3Cache map[string]map[string]safety.Assessment
+)
+
+func t3Results() map[string]map[string]safety.Assessment {
+	fixMu.Lock()
+	cached := t3Cache
+	fixMu.Unlock()
+	if cached != nil {
+		return cached
+	}
+	res := t3Sweep()
+	fixMu.Lock()
+	t3Cache = res
+	fixMu.Unlock()
+	return res
+}
+
+// T3 — pillar P2: residual hazardous-failure rate, availability, and cost
+// of the six-pattern ladder under weight (SEU) and sensor fault injection
+// on the railway case study.
+func runT3() Result {
+	res := t3Results()
+	header := []string{"faults", "pattern", "level", "hazard↓", "availability↑", "accuracy↑", "calls/frame"}
+	var rows [][]string
+	metrics := map[string]float64{}
+	for _, lvl := range faultLevels {
+		for _, pname := range patternOrder {
+			a := res[lvl.name][pname]
+			rows = append(rows, []string{
+				lvl.name, pname, a.Level.String(),
+				fmt.Sprintf("%.3f", a.HazardRate()),
+				fmt.Sprintf("%.3f", a.Availability()),
+				fmt.Sprintf("%.3f", a.Accuracy()),
+				fmt.Sprintf("%.1f", a.CallsPerFrame()),
+			})
+			metrics[lvl.name+"/"+pname+"/hazard"] = a.HazardRate()
+		}
+	}
+	return Result{
+		ID:      "T3",
+		Title:   "Safety-pattern ladder under fault injection (railway case study)",
+		Table:   table(header, rows),
+		Metrics: metrics,
+	}
+}
+
+// F2 — figure: the safety–availability frontier, one (availability,
+// hazard) point per pattern per fault level.
+func runF2() Result {
+	res := t3Results()
+	header := []string{"series(pattern)", "x(availability)", "y(hazard)", "faults"}
+	var rows [][]string
+	for _, pname := range patternOrder {
+		for _, lvl := range faultLevels {
+			a := res[lvl.name][pname]
+			rows = append(rows, []string{
+				pname,
+				fmt.Sprintf("%.3f", a.Availability()),
+				fmt.Sprintf("%.4f", a.HazardRate()),
+				lvl.name,
+			})
+		}
+	}
+	return Result{
+		ID:      "F2",
+		Title:   "Figure: safety-availability frontier (scatter series per pattern)",
+		Table:   table(header, rows),
+		Metrics: map[string]float64{"points": float64(len(rows))},
+	}
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"safexplain/internal/data"
+	"safexplain/internal/nn"
+	"safexplain/internal/safety"
+)
+
+func init() { registry["T4"] = runT4 }
+
+// T4 — pillar P2, diversity against common-mode failure: identical
+// redundancy (two copies of one model) versus seed-diverse and
+// architecture-diverse redundancy, measured as the rate at which both
+// channels fail with the *same* wrong answer — the failure mode 2oo2
+// agreement checking cannot catch.
+func runT4() Result {
+	f := getFixture("automotive")
+	seed := fixtureSeed("automotive")
+
+	// Seed-diverse replica: same architecture, different init/shuffle.
+	seedDiverse := newCNN("seed-diverse", f.test.NumClasses(), seed+600)
+	if _, _, err := nn.TrainClassifier(seedDiverse, f.train, nn.TrainConfig{
+		Epochs: 10, BatchSize: 16, LR: 0.05, Momentum: 0.9, Seed: seed + 601,
+	}); err != nil {
+		panic(err)
+	}
+	// Architecture-diverse replica: different topology entirely.
+	archDiverse := func() *nn.Network {
+		src := prngNew(seed + 602)
+		return nn.NewNetwork("arch-diverse",
+			nn.NewConv2D(1, 4, 3, 2, 1, src), nn.NewReLU(),
+			nn.NewFlatten(), nn.NewDense(4*8*8, 32, src), nn.NewTanh(),
+			nn.NewDense(32, f.test.NumClasses(), src))
+	}()
+	if _, _, err := nn.TrainClassifier(archDiverse, f.train, nn.TrainConfig{
+		Epochs: 10, BatchSize: 16, LR: 0.05, Momentum: 0.9, Seed: seed + 603,
+	}); err != nil {
+		panic(err)
+	}
+
+	// Stress conditions that induce failures in both channels.
+	conditions := []struct {
+		name string
+		set  *data.Set
+	}{
+		{"clean", f.test},
+		{"noise-0.2", data.WithGaussianNoise(f.test, 0.2, seed+610)},
+		{"noise-0.35", data.WithGaussianNoise(f.test, 0.35, seed+611)},
+		{"occlusion", data.WithOcclusion(f.test, 6, seed+612)},
+	}
+	pairs := []struct {
+		name string
+		b    *nn.Network
+	}{
+		{"identical", f.net},
+		{"seed-diverse", seedDiverse},
+		{"arch-diverse", archDiverse},
+	}
+
+	header := []string{"condition", "pair", "identicalWrong↓", "bothWrong", "2oo2 hazard↓"}
+	var rows [][]string
+	metrics := map[string]float64{}
+	for _, cond := range conditions {
+		for _, pair := range pairs {
+			ident, both := safety.CommonMode(
+				safety.NetChannel{Net: f.net}, safety.NetChannel{Net: pair.b}, cond.set)
+			// The 2oo2 pattern's hazard rate equals the rate of identical
+			// wrong answers (agreement on a wrong class is delivered).
+			a := safety.Assess(safety.DualDiverse{
+				A: safety.NetChannel{Net: f.net}, B: safety.NetChannel{Net: pair.b},
+			}, cond.set, nil)
+			rows = append(rows, []string{
+				cond.name, pair.name,
+				fmt.Sprintf("%.3f", ident),
+				fmt.Sprintf("%.3f", both),
+				fmt.Sprintf("%.3f", a.HazardRate()),
+			})
+			metrics[cond.name+"/"+pair.name+"/identical"] = ident
+		}
+	}
+	return Result{
+		ID:      "T4",
+		Title:   "Common-mode failure: identical vs diverse redundancy (automotive)",
+		Table:   table(header, rows),
+		Metrics: metrics,
+	}
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"safexplain/internal/nn"
+	"safexplain/internal/qnn"
+	"safexplain/internal/tensor"
+)
+
+func init() { registry["T5"] = runT5 }
+
+// T5 — pillar P3, the FUSA library: per case study, float-vs-int8 accuracy,
+// prediction agreement, bit-exact replay over 1000 inferences, and heap
+// allocations per inference in arena vs heap mode; plus the serial vs
+// pairwise reduction ablation.
+func runT5() Result {
+	header := []string{"case", "float acc", "int8 acc", "agreement", "replay(1000)", "allocs arena", "allocs heap"}
+	var rows [][]string
+	metrics := map[string]float64{}
+
+	for _, csName := range []string{"automotive", "space", "railway"} {
+		f := getFixture(csName)
+		var calib []*tensor.Tensor
+		for i := 0; i < 60 && i < f.train.Len(); i++ {
+			x, _ := f.train.Sample(i)
+			calib = append(calib, x)
+		}
+		arena, err := qnn.Quantize(f.net, calib)
+		if err != nil {
+			panic(err)
+		}
+		heap, err := qnn.Quantize(f.net, calib, qnn.WithoutArena())
+		if err != nil {
+			panic(err)
+		}
+
+		floatAcc := nn.Evaluate(f.net, f.test)
+		qCorrect, agree := 0, 0
+		for i := 0; i < f.test.Len(); i++ {
+			x, label := f.test.Sample(i)
+			qc, _ := arena.Infer(x)
+			fc, _ := f.net.Predict(x)
+			if qc == label {
+				qCorrect++
+			}
+			if qc == fc {
+				agree++
+			}
+		}
+		qAcc := float64(qCorrect) / float64(f.test.Len())
+		agreement := float64(agree) / float64(f.test.Len())
+
+		// Bit-exact replay: 1000 inferences on one input must agree to the
+		// bit.
+		x0, _ := f.test.Sample(0)
+		refClass, refLogits := arena.Infer(x0)
+		ref := append([]float32(nil), refLogits...)
+		replayOK := true
+		for i := 0; i < 1000; i++ {
+			c, l := arena.Infer(x0)
+			if c != refClass {
+				replayOK = false
+			}
+			for j := range ref {
+				if l[j] != ref[j] {
+					replayOK = false
+				}
+			}
+		}
+		allocsArena := testing.AllocsPerRun(100, func() { arena.Infer(x0) })
+		allocsHeap := testing.AllocsPerRun(100, func() { heap.Infer(x0) })
+
+		rows = append(rows, []string{
+			csName,
+			fmt.Sprintf("%.3f", floatAcc),
+			fmt.Sprintf("%.3f", qAcc),
+			fmt.Sprintf("%.3f", agreement),
+			fmt.Sprintf("%v", replayOK),
+			fmt.Sprintf("%.0f", allocsArena),
+			fmt.Sprintf("%.0f", allocsHeap),
+		})
+		metrics[csName+"/agreement"] = agreement
+		metrics[csName+"/allocs_arena"] = allocsArena
+		if !replayOK {
+			metrics[csName+"/replay_failed"] = 1
+		}
+	}
+
+	// Reduction-order ablation: accuracy of serial vs pairwise summation
+	// on an adversarial accumulation (many small addends), the numerical
+	// cost of the simplest deterministic order.
+	n := 1 << 16
+	buf := make([]float32, n)
+	for i := range buf {
+		buf[i] = 1e-3
+	}
+	tt := tensor.FromSlice(buf, n)
+	exact := 1e-3 * float64(n)
+	serialErr := math.Abs(float64(tt.SumSerial())-exact) / exact
+	pairErr := math.Abs(float64(tt.SumPairwise())-exact) / exact
+	rows = append(rows, []string{"—", "—", "—", "—", "—", "—", "—"})
+	rows = append(rows, []string{
+		"reduction-ablation",
+		fmt.Sprintf("serial rel.err %.2e", serialErr),
+		fmt.Sprintf("pairwise rel.err %.2e", pairErr),
+		"", "", "", "",
+	})
+	metrics["reduction/serial_err"] = serialErr
+	metrics["reduction/pairwise_err"] = pairErr
+
+	return Result{
+		ID:      "T5",
+		Title:   "FUSA library properties: accuracy cost, bit-exactness, allocation freedom",
+		Table:   table(header, rows),
+		Metrics: metrics,
+	}
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+
+	"safexplain/internal/mbpta"
+	"safexplain/internal/platform"
+	"safexplain/internal/stats"
+)
+
+func init() {
+	registry["T6"] = runT6
+	registry["T7"] = runT7
+	registry["F1"] = runF1
+}
+
+// timingRuns sizes the campaigns: 500 runs give 10 blocks even at the
+// largest block size of the T7 ablation.
+const timingRuns = 500
+
+// timingCampaigns runs the standard platform configurations on the conv
+// workload once and caches the samples.
+var timingCache map[string][]float64
+
+func timingSamples() map[string][]float64 {
+	fixMu.Lock()
+	defer fixMu.Unlock()
+	if timingCache != nil {
+		return timingCache
+	}
+	timingCache = map[string][]float64{}
+	w := platform.NewConvWorkload()
+	for i, cfg := range platform.StandardConfigs() {
+		timingCache[cfg.Name] = platform.Campaign(cfg, w, timingRuns, 7000+uint64(i))
+	}
+	return timingCache
+}
+
+// T6 — pillar P4, "regain determinism": execution-time statistics of the
+// conv workload on the five platform configurations. Deterministic
+// configurations collapse jitter (max−min) by orders of magnitude.
+func runT6() Result {
+	samples := timingSamples()
+	header := []string{"platform config", "mean cycles", "min", "max", "jitter(max−min)", "CoV"}
+	var rows [][]string
+	metrics := map[string]float64{}
+	for _, cfg := range platform.StandardConfigs() {
+		s := samples[cfg.Name]
+		lo, hi := stats.MinMax(s)
+		rows = append(rows, []string{
+			cfg.Name,
+			fmt.Sprintf("%.0f", stats.Mean(s)),
+			fmt.Sprintf("%.0f", lo),
+			fmt.Sprintf("%.0f", hi),
+			fmt.Sprintf("%.0f", hi-lo),
+			fmt.Sprintf("%.5f", stats.CoV(s)),
+		})
+		metrics[cfg.Name+"/jitter"] = hi - lo
+		metrics[cfg.Name+"/mean"] = stats.Mean(s)
+	}
+	return Result{
+		ID:      "T6",
+		Title:   "Execution-time determinism per platform configuration (conv workload)",
+		Table:   table(header, rows),
+		Metrics: metrics,
+	}
+}
+
+// T7 — pillar P4, MBPTA: i.i.d. diagnostics, Gumbel fit quality, and pWCET
+// bounds on each configuration, plus the block-size ablation on the
+// time-randomized configuration.
+func runT7() Result {
+	samples := timingSamples()
+	header := []string{"config", "iid pass", "runs-p", "LB-p", "KS-p", "fit KS-dist",
+		"maxObs", "pWCET 1e-6", "pWCET 1e-12", "static bound"}
+	var rows [][]string
+	metrics := map[string]float64{}
+	w := platform.NewConvWorkload()
+	for _, cfg := range platform.StandardConfigs() {
+		s := samples[cfg.Name]
+		static := platform.StaticBound(cfg, w)
+		a, err := mbpta.Fit(s, 20)
+		if err != nil {
+			rows = append(rows, []string{cfg.Name, "fit-error: " + err.Error(),
+				"", "", "", "", "", "", "", fmt.Sprintf("%d", static)})
+			continue
+		}
+		dist, _ := a.GoodnessOfFit()
+		rows = append(rows, []string{
+			cfg.Name,
+			fmt.Sprintf("%v", a.IID.Pass(0.01)),
+			fmt.Sprintf("%.3f", a.IID.RunsP),
+			fmt.Sprintf("%.3f", a.IID.LjungBoxP),
+			fmt.Sprintf("%.3f", a.IID.KSHalvesP),
+			fmt.Sprintf("%.3f", dist),
+			fmt.Sprintf("%.0f", a.MaxObs),
+			fmt.Sprintf("%.0f", a.PWCET(1e-6)),
+			fmt.Sprintf("%.0f", a.PWCET(1e-12)),
+			fmt.Sprintf("%d (%.1fx)", static, float64(static)/a.PWCET(1e-12)),
+		})
+		metrics[cfg.Name+"/pwcet1e12"] = a.PWCET(1e-12)
+		metrics[cfg.Name+"/static_pessimism"] = float64(static) / a.PWCET(1e-12)
+	}
+
+	// Block-size ablation on the MBPTA-suitable configuration.
+	rows = append(rows, []string{"—", "", "", "", "", "", "", "", "", ""})
+	s := samples["time-randomized"]
+	for _, b := range []int{10, 20, 50} {
+		a, err := mbpta.Fit(s, b)
+		if err != nil {
+			rows = append(rows, []string{fmt.Sprintf("randomized b=%d", b),
+				"fit-error", "", "", "", "", "", "", "", ""})
+			continue
+		}
+		dist, _ := a.GoodnessOfFit()
+		rows = append(rows, []string{
+			fmt.Sprintf("randomized b=%d", b), "", "", "", "",
+			fmt.Sprintf("%.3f", dist),
+			fmt.Sprintf("%.0f", a.MaxObs),
+			fmt.Sprintf("%.0f", a.PWCET(1e-6)),
+			fmt.Sprintf("%.0f", a.PWCET(1e-12)), "",
+		})
+		metrics[fmt.Sprintf("blocksize%d/pwcet1e12", b)] = a.PWCET(1e-12)
+	}
+	// Estimator ablation: the peaks-over-threshold route must land in the
+	// same ballpark as block maxima.
+	if pot, err := mbpta.FitPOT(s, 0.9); err == nil {
+		rows = append(rows, []string{
+			"randomized POT q=0.9", "", "", "", "", "",
+			fmt.Sprintf("%.0f", pot.MaxObs),
+			fmt.Sprintf("%.0f", pot.PWCET(1e-6)),
+			fmt.Sprintf("%.0f", pot.PWCET(1e-12)), "",
+		})
+		metrics["pot/pwcet1e12"] = pot.PWCET(1e-12)
+	}
+	return Result{
+		ID:      "T7",
+		Title:   "MBPTA: i.i.d. gate, Gumbel fit, pWCET bounds, block-size ablation",
+		Table:   table(header, rows),
+		Metrics: metrics,
+	}
+}
+
+// F1 — figure: the pWCET curve on the time-randomized configuration —
+// exceedance probability versus execution-time bound, with the empirical
+// tail for comparison.
+func runF1() Result {
+	s := timingSamples()["time-randomized"]
+	a, err := mbpta.Fit(s, 20)
+	if err != nil {
+		panic(err)
+	}
+	header := []string{"exceedance p", "pWCET cycles", "source"}
+	var rows [][]string
+	// Empirical tail: survival at the observed quantiles.
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2g", 1-q),
+			fmt.Sprintf("%.0f", stats.Quantile(s, q)),
+			"measured",
+		})
+	}
+	for _, p := range []float64{1e-3, 1e-6, 1e-9, 1e-12, 1e-15} {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0e", p),
+			fmt.Sprintf("%.0f", a.PWCET(p)),
+			"Gumbel fit",
+		})
+	}
+	return Result{
+		ID:      "F1",
+		Title:   "Figure: pWCET curve (time-randomized config, conv workload)",
+		Table:   table(header, rows),
+		Metrics: map[string]float64{"pwcet1e15": a.PWCET(1e-15)},
+	}
+}

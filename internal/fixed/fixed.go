@@ -1,0 +1,110 @@
+// Package fixed provides saturating fixed-point arithmetic and the integer
+// quantization primitives used by the FUSA-grade inference engine.
+//
+// Safety standards (ISO 26262-6, EN 50128) discourage or constrain floating
+// point in the highest integrity levels because rounding is mode-dependent
+// and error propagation is hard to bound. This package offers the
+// alternative: Q16.16 fixed-point scalars with saturating (never wrapping)
+// arithmetic, and the affine int8 quantization scheme (scale, zero-point)
+// with integer-only requantization, so a whole inference can run without a
+// single float operation.
+package fixed
+
+import "math"
+
+// Q16 is a signed Q16.16 fixed-point number: 16 integer bits, 16 fractional
+// bits, range [-32768, 32768) with resolution 2^-16.
+type Q16 int32
+
+// One is the Q16.16 representation of 1.0.
+const One Q16 = 1 << 16
+
+const (
+	// MaxQ16 and MinQ16 are the saturation rails.
+	MaxQ16 Q16 = math.MaxInt32
+	MinQ16 Q16 = math.MinInt32
+)
+
+// FromFloat converts a float64 to Q16.16, rounding to nearest and
+// saturating out-of-range values.
+func FromFloat(f float64) Q16 {
+	scaled := math.Round(f * 65536)
+	if scaled >= float64(MaxQ16) {
+		return MaxQ16
+	}
+	if scaled <= float64(MinQ16) {
+		return MinQ16
+	}
+	return Q16(scaled)
+}
+
+// Float returns the float64 value of q.
+func (q Q16) Float() float64 { return float64(q) / 65536 }
+
+// Add returns q + r with saturation.
+func (q Q16) Add(r Q16) Q16 {
+	s := int64(q) + int64(r)
+	return satQ16(s)
+}
+
+// Sub returns q - r with saturation.
+func (q Q16) Sub(r Q16) Q16 {
+	s := int64(q) - int64(r)
+	return satQ16(s)
+}
+
+// Mul returns q * r with saturation, rounding to nearest.
+func (q Q16) Mul(r Q16) Q16 {
+	p := int64(q) * int64(r)
+	// Round to nearest: add half ulp before shifting.
+	p += 1 << 15
+	return satQ16(p >> 16)
+}
+
+// Div returns q / r with saturation. Division by zero saturates to the
+// appropriately signed rail, which is the fail-operational convention:
+// downstream range monitors flag the saturated value rather than the
+// program trapping.
+func (q Q16) Div(r Q16) Q16 {
+	if r == 0 {
+		if q < 0 {
+			return MinQ16
+		}
+		return MaxQ16
+	}
+	p := (int64(q) << 16) / int64(r)
+	return satQ16(p)
+}
+
+func satQ16(v int64) Q16 {
+	if v > int64(MaxQ16) {
+		return MaxQ16
+	}
+	if v < int64(MinQ16) {
+		return MinQ16
+	}
+	return Q16(v)
+}
+
+// SatAdd32 returns a + b saturated to the int32 range.
+func SatAdd32(a, b int32) int32 {
+	s := int64(a) + int64(b)
+	if s > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	if s < math.MinInt32 {
+		return math.MinInt32
+	}
+	return int32(s)
+}
+
+// ClampInt8 clamps v to the int8 range.
+func ClampInt8(v int32) int8 {
+	if v > math.MaxInt8 {
+		return math.MaxInt8
+	}
+	if v < math.MinInt8 {
+		return math.MinInt8
+	}
+	return int8(v)
+}

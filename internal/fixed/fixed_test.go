@@ -1,0 +1,126 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQ16RoundTrip(t *testing.T) {
+	for _, f := range []float64{0, 1, -1, 0.5, -0.25, 3.1415926, -1000.125} {
+		q := FromFloat(f)
+		if got := q.Float(); math.Abs(got-f) > 1.0/65536 {
+			t.Errorf("round trip of %v gave %v", f, got)
+		}
+	}
+}
+
+func TestQ16One(t *testing.T) {
+	if One.Float() != 1 {
+		t.Fatalf("One = %v", One.Float())
+	}
+	if FromFloat(1) != One {
+		t.Fatal("FromFloat(1) != One")
+	}
+}
+
+func TestQ16Saturation(t *testing.T) {
+	if FromFloat(1e9) != MaxQ16 {
+		t.Fatal("positive overflow must saturate to MaxQ16")
+	}
+	if FromFloat(-1e9) != MinQ16 {
+		t.Fatal("negative overflow must saturate to MinQ16")
+	}
+	// Add at the rail.
+	if MaxQ16.Add(One) != MaxQ16 {
+		t.Fatal("Add must saturate, not wrap")
+	}
+	if MinQ16.Sub(One) != MinQ16 {
+		t.Fatal("Sub must saturate, not wrap")
+	}
+	big := FromFloat(30000)
+	if big.Mul(big) != MaxQ16 {
+		t.Fatal("Mul overflow must saturate")
+	}
+}
+
+func TestQ16Arithmetic(t *testing.T) {
+	a := FromFloat(2.5)
+	b := FromFloat(1.5)
+	if got := a.Add(b).Float(); got != 4 {
+		t.Errorf("2.5+1.5 = %v", got)
+	}
+	if got := a.Sub(b).Float(); got != 1 {
+		t.Errorf("2.5-1.5 = %v", got)
+	}
+	if got := a.Mul(b).Float(); math.Abs(got-3.75) > 1.0/65536 {
+		t.Errorf("2.5*1.5 = %v", got)
+	}
+	if got := a.Div(b).Float(); math.Abs(got-5.0/3.0) > 1.0/65536 {
+		t.Errorf("2.5/1.5 = %v", got)
+	}
+}
+
+func TestQ16DivByZeroSaturates(t *testing.T) {
+	if FromFloat(3).Div(0) != MaxQ16 {
+		t.Fatal("positive/0 must saturate positive")
+	}
+	if FromFloat(-3).Div(0) != MinQ16 {
+		t.Fatal("negative/0 must saturate negative")
+	}
+}
+
+func TestQ16MulCommutative(t *testing.T) {
+	check := func(a, b int32) bool {
+		x, y := Q16(a), Q16(b)
+		return x.Mul(y) == y.Mul(x)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQ16AddNeverWraps(t *testing.T) {
+	// Property: saturating add is monotone — adding a positive value never
+	// decreases the result.
+	check := func(a int32, b int32) bool {
+		x := Q16(a)
+		d := Q16(b)
+		if d < 0 {
+			d = -d
+		}
+		if d < 0 { // MinInt32 negation edge
+			d = MaxQ16
+		}
+		return x.Add(d) >= x
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSatAdd32(t *testing.T) {
+	if SatAdd32(math.MaxInt32, 1) != math.MaxInt32 {
+		t.Fatal("positive saturation failed")
+	}
+	if SatAdd32(math.MinInt32, -1) != math.MinInt32 {
+		t.Fatal("negative saturation failed")
+	}
+	if SatAdd32(2, 3) != 5 {
+		t.Fatal("in-range add wrong")
+	}
+}
+
+func TestClampInt8(t *testing.T) {
+	cases := []struct {
+		in   int32
+		want int8
+	}{
+		{200, 127}, {-200, -128}, {5, 5}, {127, 127}, {-128, -128},
+	}
+	for _, c := range cases {
+		if got := ClampInt8(c.in); got != c.want {
+			t.Errorf("ClampInt8(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package fixed
+
+import (
+	"errors"
+	"math"
+)
+
+// Affine int8 quantization: real = Scale * (q - ZeroPoint). This is the
+// standard post-training quantization scheme; the requantization path below
+// (integer multiplier + right shift, gemmlowp-style) lets int32 accumulators
+// be rescaled to int8 with no floating point at inference time, which is
+// what makes the quantized engine bit-exact across platforms.
+
+// ErrBadRange is returned when a quantization range is empty or inverted.
+var ErrBadRange = errors.New("fixed: invalid quantization range")
+
+// QuantParams maps between real values and int8 codes.
+type QuantParams struct {
+	Scale     float32
+	ZeroPoint int32
+}
+
+// ChooseParams derives asymmetric int8 parameters covering [lo, hi]. The
+// range is widened to include zero so that zero-padding quantizes exactly,
+// a correctness requirement for padded convolutions.
+func ChooseParams(lo, hi float32) (QuantParams, error) {
+	if math.IsNaN(float64(lo)) || math.IsNaN(float64(hi)) || lo > hi {
+		return QuantParams{}, ErrBadRange
+	}
+	if lo > 0 {
+		lo = 0
+	}
+	if hi < 0 {
+		hi = 0
+	}
+	if lo == hi {
+		// Degenerate all-zero range: any positive scale works.
+		return QuantParams{Scale: 1, ZeroPoint: 0}, nil
+	}
+	const qlo, qhi = -128, 127
+	scale := (hi - lo) / float32(qhi-qlo)
+	zp := int32(math.Round(float64(qlo) - float64(lo)/float64(scale)))
+	if zp < qlo {
+		zp = qlo
+	}
+	if zp > qhi {
+		zp = qhi
+	}
+	return QuantParams{Scale: scale, ZeroPoint: zp}, nil
+}
+
+// ChooseSymmetricParams derives symmetric parameters (zero-point 0) for
+// weight tensors, covering [-maxAbs, maxAbs].
+func ChooseSymmetricParams(maxAbs float32) (QuantParams, error) {
+	if math.IsNaN(float64(maxAbs)) || maxAbs < 0 {
+		return QuantParams{}, ErrBadRange
+	}
+	if maxAbs == 0 {
+		return QuantParams{Scale: 1, ZeroPoint: 0}, nil
+	}
+	return QuantParams{Scale: maxAbs / 127, ZeroPoint: 0}, nil
+}
+
+// Quantize converts a real value to its int8 code, rounding to nearest and
+// clamping.
+func (p QuantParams) Quantize(v float32) int8 {
+	q := int32(math.Round(float64(v)/float64(p.Scale))) + p.ZeroPoint
+	return ClampInt8(q)
+}
+
+// Dequantize converts an int8 code back to its real value.
+func (p QuantParams) Dequantize(q int8) float32 {
+	return p.Scale * float32(int32(q)-p.ZeroPoint)
+}
+
+// QuantizeSlice quantizes src into dst (same length).
+func (p QuantParams) QuantizeSlice(dst []int8, src []float32) {
+	for i, v := range src {
+		dst[i] = p.Quantize(v)
+	}
+}
+
+// DequantizeSlice dequantizes src into dst (same length).
+func (p QuantParams) DequantizeSlice(dst []float32, src []int8) {
+	for i, q := range src {
+		dst[i] = p.Dequantize(q)
+	}
+}
+
+// Multiplier is a positive real factor represented as a normalized int32
+// fixed-point multiplier and a right shift, so that
+// round(x * real) == RoundingMulShift(x, M, shift) using integer ops only.
+type Multiplier struct {
+	M     int32 // normalized significand in [2^30, 2^31)
+	Shift int   // total right shift applied after the high multiply
+}
+
+// NewMultiplier decomposes a positive real factor into the normalized
+// multiplier form. Requantization factors inScale*wScale/outScale are
+// usually < 1, but folded-BatchNorm convolutions can push them above 1
+// (large effective weights, small output range); any factor below 2^24 is
+// representable (shift stays >= 7 so rounding is exact).
+func NewMultiplier(real float64) (Multiplier, error) {
+	if !(real > 0 && real < 1<<24) {
+		return Multiplier{}, errors.New("fixed: multiplier must be in (0, 2^24)")
+	}
+	frac, exp := math.Frexp(real) // real = frac * 2^exp, frac in [0.5, 1)
+	m := int64(math.Round(frac * (1 << 31)))
+	if m == 1<<31 { // rounding carried: 0.5 -> exactly 2^31
+		m /= 2
+		exp++
+	}
+	return Multiplier{M: int32(m), Shift: 31 - exp}, nil
+}
+
+// Apply computes round(x * real) with round-half-away-from-zero semantics,
+// using only 64-bit integer arithmetic. Results outside the int32 range
+// saturate (never wrap), matching the package-wide arithmetic contract.
+func (m Multiplier) Apply(x int32) int32 {
+	p := int64(x) * int64(m.M)
+	// Rounding right shift by m.Shift bits.
+	half := int64(1) << (m.Shift - 1)
+	if p >= 0 {
+		p += half
+	} else {
+		p += half - 1
+	}
+	p >>= uint(m.Shift)
+	if p > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	if p < math.MinInt32 {
+		return math.MinInt32
+	}
+	return int32(p)
+}

@@ -1,0 +1,228 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"safexplain/internal/prng"
+)
+
+func TestChooseParamsCoversRange(t *testing.T) {
+	p, err := ChooseParams(-1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both endpoints must be representable within half a step.
+	for _, v := range []float32{-1, 0, 3} {
+		q := p.Quantize(v)
+		back := p.Dequantize(q)
+		if math.Abs(float64(back-v)) > float64(p.Scale)/2+1e-6 {
+			t.Errorf("value %v round-trips to %v (scale %v)", v, back, p.Scale)
+		}
+	}
+}
+
+func TestChooseParamsZeroExact(t *testing.T) {
+	// Zero must quantize exactly — padding correctness depends on it.
+	cases := [][2]float32{{-1, 3}, {0.5, 2}, {-4, -0.25}, {-2, 2}}
+	for _, c := range cases {
+		p, err := ChooseParams(c[0], c[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.Dequantize(p.Quantize(0)); got != 0 {
+			t.Errorf("range %v: zero round-trips to %v", c, got)
+		}
+	}
+}
+
+func TestChooseParamsErrors(t *testing.T) {
+	if _, err := ChooseParams(2, 1); err == nil {
+		t.Fatal("inverted range should error")
+	}
+	if _, err := ChooseParams(float32(math.NaN()), 1); err == nil {
+		t.Fatal("NaN range should error")
+	}
+}
+
+func TestChooseParamsDegenerate(t *testing.T) {
+	p, err := ChooseParams(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Quantize(0) != 0 || p.Dequantize(0) != 0 {
+		t.Fatal("degenerate range must map 0 to 0")
+	}
+}
+
+func TestSymmetricParams(t *testing.T) {
+	p, err := ChooseSymmetricParams(2.54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ZeroPoint != 0 {
+		t.Fatal("symmetric zero-point must be 0")
+	}
+	if got := p.Quantize(2.54); got != 127 {
+		t.Fatalf("max quantizes to %d, want 127", got)
+	}
+	if got := p.Quantize(-2.54); got != -127 {
+		t.Fatalf("-max quantizes to %d, want -127", got)
+	}
+	if _, err := ChooseSymmetricParams(-1); err == nil {
+		t.Fatal("negative maxAbs should error")
+	}
+}
+
+func TestQuantizeClamps(t *testing.T) {
+	p, _ := ChooseParams(-1, 1)
+	if p.Quantize(100) != 127 {
+		t.Fatal("out-of-range positive must clamp to 127")
+	}
+	if p.Quantize(-100) != -128 {
+		t.Fatal("out-of-range negative must clamp to -128")
+	}
+}
+
+func TestQuantizationErrorBound(t *testing.T) {
+	// Property: for in-range values, |dequant(quant(v)) - v| <= scale/2.
+	check := func(seed uint64) bool {
+		r := prng.New(seed)
+		lo := -r.Float32() * 10
+		hi := r.Float32() * 10
+		p, err := ChooseParams(lo, hi)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 100; i++ {
+			v := lo + r.Float32()*(hi-lo)
+			back := p.Dequantize(p.Quantize(v))
+			if math.Abs(float64(back-v)) > float64(p.Scale)/2+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceHelpers(t *testing.T) {
+	p, _ := ChooseParams(-1, 1)
+	src := []float32{-1, -0.5, 0, 0.5, 1}
+	q := make([]int8, len(src))
+	back := make([]float32, len(src))
+	p.QuantizeSlice(q, src)
+	p.DequantizeSlice(back, q)
+	for i := range src {
+		if math.Abs(float64(back[i]-src[i])) > float64(p.Scale)/2+1e-6 {
+			t.Fatalf("slice round trip: %v -> %v", src[i], back[i])
+		}
+	}
+}
+
+func TestNewMultiplierRange(t *testing.T) {
+	if _, err := NewMultiplier(0); err == nil {
+		t.Fatal("0 should be rejected")
+	}
+	if _, err := NewMultiplier(-0.5); err == nil {
+		t.Fatal("negative should be rejected")
+	}
+	if _, err := NewMultiplier(1 << 25); err == nil {
+		t.Fatal("huge factor should be rejected")
+	}
+	m, err := NewMultiplier(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.M < 1<<30 {
+		t.Fatalf("multiplier not normalized: %d", m.M)
+	}
+}
+
+func TestMultiplierAboveOne(t *testing.T) {
+	// Folded-BatchNorm requantization can exceed 1; the integer path must
+	// track the float reference there too.
+	for _, real := range []float64{1.0, 1.5, 14.72, 100.3, 1e4} {
+		m, err := NewMultiplier(real)
+		if err != nil {
+			t.Fatalf("NewMultiplier(%v): %v", real, err)
+		}
+		for _, x := range []int32{0, 1, -1, 127, -128, 5000, -5000} {
+			got := m.Apply(x)
+			want := int64(math.Round(float64(x) * real))
+			if d := int64(got) - want; d > 1 || d < -1 {
+				t.Errorf("Apply(%d, %v) = %d, want %d", x, real, got, want)
+			}
+		}
+	}
+}
+
+func TestMultiplierApplySaturates(t *testing.T) {
+	m, err := NewMultiplier(1e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Apply(math.MaxInt32); got != math.MaxInt32 {
+		t.Fatalf("positive overflow gave %d, want saturation", got)
+	}
+	if got := m.Apply(math.MinInt32); got != math.MinInt32 {
+		t.Fatalf("negative overflow gave %d, want saturation", got)
+	}
+}
+
+func TestMultiplierMatchesFloat(t *testing.T) {
+	// The integer requantization path must agree with the float reference
+	// to within 1 ulp for all realistic accumulator values.
+	reals := []float64{0.5, 0.25, 0.1, 0.0123, 0.9999, 1e-4}
+	xs := []int32{0, 1, -1, 127, -128, 1000, -1000, 1 << 20, -(1 << 20)}
+	for _, real := range reals {
+		m, err := NewMultiplier(real)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range xs {
+			got := m.Apply(x)
+			want := int32(math.Round(float64(x) * real))
+			if d := got - want; d > 1 || d < -1 {
+				t.Errorf("Apply(%d, %v) = %d, want %d", x, real, got, want)
+			}
+		}
+	}
+}
+
+func TestMultiplierDeterministic(t *testing.T) {
+	m, _ := NewMultiplier(0.037)
+	r := prng.New(9)
+	for i := 0; i < 1000; i++ {
+		x := int32(r.Intn(1 << 24))
+		if m.Apply(x) != m.Apply(x) {
+			t.Fatal("Apply not deterministic")
+		}
+	}
+}
+
+func TestMultiplierProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := prng.New(seed)
+		real := 1e-4 + 0.999*r.Float64()
+		m, err := NewMultiplier(real)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 50; i++ {
+			x := int32(r.Intn(1<<26) - 1<<25)
+			got := m.Apply(x)
+			want := int32(math.Round(float64(x) * real))
+			if d := got - want; d > 1 || d < -1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,219 @@
+// Package fmea implements Failure Modes and Effects Analysis, the FUSA
+// analysis technique (IEC 60812 / ISO 26262-9 style) that systematically
+// walks every component's failure modes and checks that each one is
+// mitigated and detectable. For a CAIS, the interesting part is that DL
+// components have *novel* failure modes (distributional shift, adversarial
+// inputs, silent accuracy drift) that classical FMEA templates miss; the
+// standard worksheet in this package enumerates them next to the classical
+// hardware/software modes.
+//
+// The worksheet is machine-checkable in two directions: completeness
+// (every declared component has at least one analyzed failure mode; no
+// mode above the RPN threshold lacks a mitigation) and groundedness
+// (every claimed detection/mitigation cites an artefact that exists in the
+// evidence log).
+package fmea
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"safexplain/internal/trace"
+)
+
+// Mode is one analyzed failure mode.
+type Mode struct {
+	Component string
+	Failure   string // what goes wrong
+	Effect    string // system-level consequence
+
+	// Classical 1–10 scales: Severity of the effect, Occurrence
+	// likelihood, Detection difficulty (10 = undetectable).
+	Severity, Occurrence, Detection int
+
+	// Mitigation names the design measure; DetectedBy/MitigatedBy cite
+	// evidence-log artefact IDs that substantiate the claims.
+	Mitigation  string
+	DetectedBy  []string
+	MitigatedBy []string
+}
+
+// RPN is the risk priority number, Severity × Occurrence × Detection.
+func (m Mode) RPN() int { return m.Severity * m.Occurrence * m.Detection }
+
+// validate reports scale violations.
+func (m Mode) validate() error {
+	for _, v := range []int{m.Severity, m.Occurrence, m.Detection} {
+		if v < 1 || v > 10 {
+			return fmt.Errorf("fmea: %s/%s: scales must be in 1..10", m.Component, m.Failure)
+		}
+	}
+	return nil
+}
+
+// Worksheet is an FMEA over a declared component list.
+type Worksheet struct {
+	System     string
+	Components []string
+	Modes      []Mode
+}
+
+// Add appends a mode after validating its scales and component.
+func (w *Worksheet) Add(m Mode) error {
+	if err := m.validate(); err != nil {
+		return err
+	}
+	for _, c := range w.Components {
+		if c == m.Component {
+			w.Modes = append(w.Modes, m)
+			return nil
+		}
+	}
+	return fmt.Errorf("fmea: unknown component %q", m.Component)
+}
+
+// UncoveredComponents returns declared components with no analyzed mode —
+// the completeness gap.
+func (w *Worksheet) UncoveredComponents() []string {
+	seen := map[string]bool{}
+	for _, m := range w.Modes {
+		seen[m.Component] = true
+	}
+	var out []string
+	for _, c := range w.Components {
+		if !seen[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Critical returns the modes with RPN >= threshold, highest first.
+func (w *Worksheet) Critical(threshold int) []Mode {
+	var out []Mode
+	for _, m := range w.Modes {
+		if m.RPN() >= threshold {
+			out = append(out, m)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].RPN() > out[j].RPN() })
+	return out
+}
+
+// UnmitigatedCritical returns critical modes lacking a mitigation — the
+// list that must be empty before release.
+func (w *Worksheet) UnmitigatedCritical(threshold int) []Mode {
+	var out []Mode
+	for _, m := range w.Critical(threshold) {
+		if m.Mitigation == "" {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Ungrounded returns, per mode, the cited artefact IDs that do NOT exist
+// in the evidence log — claims without evidence. The map is empty when the
+// worksheet is fully grounded.
+func (w *Worksheet) Ungrounded(log *trace.Log) map[string][]string {
+	missing := map[string][]string{}
+	for _, m := range w.Modes {
+		key := m.Component + "/" + m.Failure
+		for _, id := range append(append([]string{}, m.DetectedBy...), m.MitigatedBy...) {
+			if !log.HasArtifact(id) {
+				missing[key] = append(missing[key], id)
+			}
+		}
+	}
+	return missing
+}
+
+// Check runs the release gate: complete, critical modes mitigated, claims
+// grounded. The returned error describes the first gap.
+func (w *Worksheet) Check(log *trace.Log, rpnThreshold int) error {
+	if gaps := w.UncoveredComponents(); len(gaps) > 0 {
+		return fmt.Errorf("fmea: components without analyzed failure modes: %v", gaps)
+	}
+	if um := w.UnmitigatedCritical(rpnThreshold); len(um) > 0 {
+		return fmt.Errorf("fmea: %d critical modes (RPN >= %d) without mitigation, first: %s/%s",
+			len(um), rpnThreshold, um[0].Component, um[0].Failure)
+	}
+	if ung := w.Ungrounded(log); len(ung) > 0 {
+		for k, ids := range ung {
+			return fmt.Errorf("fmea: %s cites missing evidence %v", k, ids)
+		}
+	}
+	return nil
+}
+
+// Render prints the worksheet ordered by RPN, highest first.
+func (w *Worksheet) Render() string {
+	modes := make([]Mode, len(w.Modes))
+	copy(modes, w.Modes)
+	sort.SliceStable(modes, func(i, j int) bool { return modes[i].RPN() > modes[j].RPN() })
+	var b strings.Builder
+	fmt.Fprintf(&b, "FMEA: %s (%d components, %d modes)\n", w.System, len(w.Components), len(w.Modes))
+	fmt.Fprintf(&b, "%-12s %-34s %3s %3s %3s %4s  %s\n", "component", "failure", "S", "O", "D", "RPN", "mitigation")
+	for _, m := range modes {
+		fmt.Fprintf(&b, "%-12s %-34s %3d %3d %3d %4d  %s\n",
+			m.Component, m.Failure, m.Severity, m.Occurrence, m.Detection, m.RPN(), m.Mitigation)
+	}
+	return b.String()
+}
+
+// StandardWorksheet returns the SAFEXPLAIN CAIS analysis: the classical
+// components plus the DL-specific failure modes, with detection and
+// mitigation claims citing the lifecycle's standard evidence artefacts.
+func StandardWorksheet(system string) *Worksheet {
+	w := &Worksheet{
+		System: system,
+		Components: []string{
+			"sensor", "dl-model", "supervisor", "pattern", "platform", "executive",
+		},
+	}
+	modes := []Mode{
+		{Component: "sensor", Failure: "pixel corruption / partial occlusion",
+			Effect: "model input outside training distribution", Severity: 8, Occurrence: 5, Detection: 3,
+			Mitigation: "input-space supervisor rejects to safe state",
+			DetectedBy: []string{"test:trust"}, MitigatedBy: []string{"test:pattern"}},
+		{Component: "sensor", Failure: "gross failure (inversion/exposure)",
+			Effect: "confidently wrong predictions", Severity: 9, Occurrence: 2, Detection: 3,
+			Mitigation: "feature-space supervisor + fallback channel",
+			DetectedBy: []string{"test:trust"}, MitigatedBy: []string{"test:pattern"}},
+		{Component: "dl-model", Failure: "distributional shift (unseen class)",
+			Effect: "hazardous misclassification without warning", Severity: 9, Occurrence: 4, Detection: 5,
+			Mitigation: "Mahalanobis monitor calibrated on frozen data",
+			DetectedBy: []string{"test:trust"}, MitigatedBy: []string{"test:pattern"}},
+		{Component: "dl-model", Failure: "adversarial perturbation",
+			Effect: "targeted misclassification", Severity: 9, Occurrence: 2, Detection: 6,
+			Mitigation: "certified robustness radius + confidence monitor",
+			DetectedBy: []string{"test:trust"}, MitigatedBy: []string{"test:accuracy"}},
+		{Component: "dl-model", Failure: "SEU bit flip in weight memory",
+			Effect: "silent model corruption", Severity: 8, Occurrence: 3, Detection: 7,
+			Mitigation: "model content hash + redundant channels",
+			DetectedBy: []string{"test:determinism"}, MitigatedBy: []string{"test:pattern"}},
+		{Component: "supervisor", Failure: "miscalibrated threshold",
+			Effect: "excess rejections or missed hazards", Severity: 6, Occurrence: 4, Detection: 4,
+			Mitigation: "quantile calibration on frozen in-distribution data",
+			DetectedBy: []string{"test:trust"}},
+		{Component: "pattern", Failure: "common-mode failure of redundant channels",
+			Effect: "agreement on a wrong answer", Severity: 9, Occurrence: 3, Detection: 6,
+			Mitigation:  "architectural + seed diversity between channels",
+			MitigatedBy: []string{"test:pattern"}},
+		{Component: "platform", Failure: "co-runner interference (cache/bus)",
+			Effect: "execution-time overrun", Severity: 7, Occurrence: 6, Detection: 4,
+			Mitigation: "partitioned/locked cache, TDMA bus, pWCET budget",
+			DetectedBy: []string{"test:pwcet"}, MitigatedBy: []string{"test:pwcet"}},
+		{Component: "executive", Failure: "task overrun cascade",
+			Effect: "frame deadline miss", Severity: 8, Occurrence: 3, Detection: 2,
+			Mitigation: "watchdog + mixed-criticality shedding + degraded mode",
+			DetectedBy: []string{"test:pwcet"}},
+	}
+	for _, m := range modes {
+		if err := w.Add(m); err != nil {
+			panic(err) // the standard worksheet is internally consistent
+		}
+	}
+	return w
+}

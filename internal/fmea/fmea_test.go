@@ -1,0 +1,165 @@
+package fmea
+
+import (
+	"strings"
+	"testing"
+
+	"safexplain/internal/trace"
+)
+
+func sampleSheet() *Worksheet {
+	return &Worksheet{
+		System:     "test",
+		Components: []string{"a", "b"},
+	}
+}
+
+func TestModeRPN(t *testing.T) {
+	m := Mode{Severity: 9, Occurrence: 4, Detection: 5}
+	if m.RPN() != 180 {
+		t.Fatalf("RPN = %d", m.RPN())
+	}
+}
+
+func TestAddValidates(t *testing.T) {
+	w := sampleSheet()
+	if err := w.Add(Mode{Component: "a", Failure: "f", Severity: 1, Occurrence: 1, Detection: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(Mode{Component: "a", Failure: "f", Severity: 0, Occurrence: 1, Detection: 1}); err == nil {
+		t.Fatal("scale 0 accepted")
+	}
+	if err := w.Add(Mode{Component: "a", Failure: "f", Severity: 11, Occurrence: 1, Detection: 1}); err == nil {
+		t.Fatal("scale 11 accepted")
+	}
+	if err := w.Add(Mode{Component: "zz", Failure: "f", Severity: 1, Occurrence: 1, Detection: 1}); err == nil {
+		t.Fatal("unknown component accepted")
+	}
+}
+
+func TestUncoveredComponents(t *testing.T) {
+	w := sampleSheet()
+	if got := w.UncoveredComponents(); len(got) != 2 {
+		t.Fatalf("uncovered = %v", got)
+	}
+	mustAdd(t, w, Mode{Component: "a", Failure: "f", Severity: 5, Occurrence: 5, Detection: 5})
+	got := w.UncoveredComponents()
+	if len(got) != 1 || got[0] != "b" {
+		t.Fatalf("uncovered = %v", got)
+	}
+}
+
+func mustAdd(t *testing.T, w *Worksheet, m Mode) {
+	t.Helper()
+	if err := w.Add(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCriticalSortedByRPN(t *testing.T) {
+	w := sampleSheet()
+	mustAdd(t, w, Mode{Component: "a", Failure: "low", Severity: 2, Occurrence: 2, Detection: 2})
+	mustAdd(t, w, Mode{Component: "a", Failure: "high", Severity: 9, Occurrence: 9, Detection: 9})
+	mustAdd(t, w, Mode{Component: "b", Failure: "mid", Severity: 5, Occurrence: 5, Detection: 5, Mitigation: "m"})
+	crit := w.Critical(100)
+	if len(crit) != 2 || crit[0].Failure != "high" || crit[1].Failure != "mid" {
+		t.Fatalf("critical = %+v", crit)
+	}
+	um := w.UnmitigatedCritical(100)
+	if len(um) != 1 || um[0].Failure != "high" {
+		t.Fatalf("unmitigated = %+v", um)
+	}
+}
+
+func TestUngrounded(t *testing.T) {
+	w := sampleSheet()
+	mustAdd(t, w, Mode{Component: "a", Failure: "f", Severity: 5, Occurrence: 5, Detection: 5,
+		DetectedBy: []string{"test:exists"}, MitigatedBy: []string{"test:missing"}})
+	var l trace.Log
+	l.Append(trace.KindVerification, "test:exists", "ok")
+	ung := w.Ungrounded(&l)
+	if len(ung) != 1 {
+		t.Fatalf("ungrounded = %v", ung)
+	}
+	if ids := ung["a/f"]; len(ids) != 1 || ids[0] != "test:missing" {
+		t.Fatalf("ungrounded[a/f] = %v", ids)
+	}
+}
+
+func TestCheckGates(t *testing.T) {
+	var l trace.Log
+	l.Append(trace.KindVerification, "ev", "ok")
+
+	// Gap 1: uncovered component.
+	w := sampleSheet()
+	mustAdd(t, w, Mode{Component: "a", Failure: "f", Severity: 2, Occurrence: 2, Detection: 2})
+	if err := w.Check(&l, 100); err == nil || !strings.Contains(err.Error(), "without analyzed") {
+		t.Fatalf("completeness gap not caught: %v", err)
+	}
+	// Gap 2: unmitigated critical.
+	mustAdd(t, w, Mode{Component: "b", Failure: "boom", Severity: 9, Occurrence: 9, Detection: 9})
+	if err := w.Check(&l, 100); err == nil || !strings.Contains(err.Error(), "without mitigation") {
+		t.Fatalf("mitigation gap not caught: %v", err)
+	}
+	// Gap 3: ungrounded claim.
+	w.Modes[1].Mitigation = "fixed"
+	w.Modes[1].MitigatedBy = []string{"ghost"}
+	if err := w.Check(&l, 100); err == nil || !strings.Contains(err.Error(), "missing evidence") {
+		t.Fatalf("grounding gap not caught: %v", err)
+	}
+	// All green.
+	w.Modes[1].MitigatedBy = []string{"ev"}
+	if err := w.Check(&l, 100); err != nil {
+		t.Fatalf("clean worksheet rejected: %v", err)
+	}
+}
+
+func TestRenderOrdering(t *testing.T) {
+	w := sampleSheet()
+	mustAdd(t, w, Mode{Component: "a", Failure: "small", Severity: 1, Occurrence: 1, Detection: 1})
+	mustAdd(t, w, Mode{Component: "b", Failure: "big", Severity: 9, Occurrence: 9, Detection: 9, Mitigation: "x"})
+	out := w.Render()
+	if !strings.Contains(out, "729") {
+		t.Fatalf("render missing RPN:\n%s", out)
+	}
+	if strings.Index(out, "big") > strings.Index(out, "small") {
+		t.Fatal("render not ordered by RPN")
+	}
+}
+
+func TestStandardWorksheetInternallyConsistent(t *testing.T) {
+	w := StandardWorksheet("cais")
+	if gaps := w.UncoveredComponents(); len(gaps) != 0 {
+		t.Fatalf("standard worksheet has uncovered components: %v", gaps)
+	}
+	if um := w.UnmitigatedCritical(150); len(um) != 0 {
+		t.Fatalf("standard worksheet has unmitigated critical modes: %+v", um)
+	}
+	// Every DL-specific mode family appears.
+	text := w.Render()
+	for _, want := range []string{"distributional shift", "adversarial", "SEU", "co-runner"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("standard worksheet missing %q", want)
+		}
+	}
+}
+
+func TestStandardWorksheetGroundsAgainstLifecycleArtifacts(t *testing.T) {
+	// With the lifecycle's standard verification artefacts present, the
+	// worksheet must be fully grounded.
+	var l trace.Log
+	for _, id := range []string{
+		"test:accuracy", "test:determinism", "test:trust", "test:explain",
+		"test:pwcet", "test:pattern",
+	} {
+		l.Append(trace.KindVerification, id, "ok")
+	}
+	w := StandardWorksheet("cais")
+	if err := w.Check(&l, 150); err != nil {
+		t.Fatalf("standard worksheet fails against lifecycle evidence: %v", err)
+	}
+	// Without the evidence it must NOT pass.
+	if err := w.Check(&trace.Log{}, 150); err == nil {
+		t.Fatal("worksheet grounded against an empty log")
+	}
+}

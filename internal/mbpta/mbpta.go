@@ -1,0 +1,266 @@
+// Package mbpta implements Measurement-Based Probabilistic Timing Analysis:
+// the statistical machinery that turns execution-time measurements from a
+// time-randomized platform into a probabilistic worst-case execution time
+// (pWCET) curve — "probabilistic timing analyses to handle the remaining
+// non-determinism" in the paper's words.
+//
+// The pipeline follows the established MBPTA protocol (Cucu-Grosjean et
+// al.):
+//
+//  1. Collect R execution times from randomized runs (platform.Campaign).
+//  2. Check the i.i.d. hypothesis: independence via the runs test and
+//     Ljung–Box, identical distribution via a two-sample KS test on the
+//     campaign halves. EVT's guarantees are conditional on this gate.
+//  3. Group samples into blocks of size b and take block maxima; by the
+//     Fisher–Tippett theorem maxima of light-tailed times converge to a
+//     Gumbel distribution.
+//  4. Fit Gumbel (location mu, scale beta) by probability-weighted
+//     moments — closed-form, deterministic, no iterative optimizer.
+//  5. Report pWCET: the execution-time bound exceeded per *run* with
+//     probability at most p, obtained from the fitted maxima distribution
+//     via F_run = G_maxima^(1/b).
+//
+// A deterministic platform yields constant samples; the analysis detects
+// this (beta = 0) and degenerates gracefully to the constant bound.
+package mbpta
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"safexplain/internal/stats"
+)
+
+// EulerGamma is the Euler–Mascheroni constant used by the PWM fit.
+const EulerGamma = 0.57721566490153286
+
+// ErrTooFewSamples is returned when the campaign cannot fill the minimum
+// number of blocks.
+var ErrTooFewSamples = errors.New("mbpta: too few samples")
+
+// ErrNotIID is returned by FitChecked when the i.i.d. gate fails.
+var ErrNotIID = errors.New("mbpta: samples fail i.i.d. diagnostics")
+
+// minBlocks is the minimum number of block maxima for a stable PWM fit.
+const minBlocks = 10
+
+// IIDReport carries the diagnostic p-values of step 2.
+type IIDReport struct {
+	RunsP     float64 // Wald–Wolfowitz runs test
+	LjungBoxP float64 // autocorrelation up to lag 10
+	KSHalvesP float64 // two-sample KS between campaign halves
+	// Degenerate marks a constant sample, where the tests are undefined
+	// but determinism makes the i.i.d. question moot.
+	Degenerate bool
+}
+
+// Pass reports whether all diagnostics exceed the significance level
+// alpha (degenerate samples pass by definition).
+func (r IIDReport) Pass(alpha float64) bool {
+	if r.Degenerate {
+		return true
+	}
+	return r.RunsP >= alpha && r.LjungBoxP >= alpha && r.KSHalvesP >= alpha
+}
+
+// CheckIID runs the three diagnostics on a measurement campaign.
+func CheckIID(samples []float64) (IIDReport, error) {
+	if len(samples) < 20 {
+		return IIDReport{}, ErrTooFewSamples
+	}
+	lo, hi := stats.MinMax(samples)
+	if lo == hi {
+		return IIDReport{Degenerate: true, RunsP: 1, LjungBoxP: 1, KSHalvesP: 1}, nil
+	}
+	var rep IIDReport
+	var err error
+	if rep.RunsP, err = stats.RunsTest(samples); err != nil {
+		return rep, err
+	}
+	if rep.LjungBoxP, err = stats.LjungBox(samples, 10); err != nil {
+		return rep, err
+	}
+	half := len(samples) / 2
+	if rep.KSHalvesP, err = stats.KolmogorovSmirnov(samples[:half], samples[half:]); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// Analysis is a fitted pWCET model.
+type Analysis struct {
+	Mu, Beta  float64 // Gumbel parameters of the block maxima
+	BlockSize int
+	NBlocks   int
+	MaxObs    float64 // high-water mark of the raw campaign
+	IID       IIDReport
+
+	maxima []float64 // sorted block maxima, kept for goodness-of-fit
+}
+
+// Fit performs steps 3–4 on a measurement campaign. It does not enforce
+// the i.i.d. gate (the report is attached for the caller to inspect); use
+// FitChecked to make the gate mandatory.
+func Fit(samples []float64, blockSize int) (*Analysis, error) {
+	if blockSize < 2 {
+		return nil, fmt.Errorf("mbpta: block size %d too small", blockSize)
+	}
+	nBlocks := len(samples) / blockSize
+	if nBlocks < minBlocks {
+		return nil, fmt.Errorf("%w: %d samples give %d blocks of %d, need >= %d",
+			ErrTooFewSamples, len(samples), nBlocks, blockSize, minBlocks)
+	}
+	iid, err := CheckIID(samples)
+	if err != nil {
+		return nil, err
+	}
+	maxima := make([]float64, nBlocks)
+	for b := 0; b < nBlocks; b++ {
+		m := samples[b*blockSize]
+		for i := 1; i < blockSize; i++ {
+			if v := samples[b*blockSize+i]; v > m {
+				m = v
+			}
+		}
+		maxima[b] = m
+	}
+	sort.Float64s(maxima)
+	_, maxObs := stats.MinMax(samples)
+
+	// Probability-weighted moments for Gumbel:
+	//   b0 = mean, b1 = (1/n) Σ ((i-1)/(n-1)) x_(i)   (i = 1..n, sorted)
+	//   beta = (2 b1 − b0)/ln 2,  mu = b0 − EulerGamma·beta.
+	n := float64(nBlocks)
+	var b0, b1 float64
+	for i, x := range maxima {
+		b0 += x
+		b1 += float64(i) / (n - 1) * x
+	}
+	b0 /= n
+	b1 /= n
+	beta := (2*b1 - b0) / math.Ln2
+	if beta < 0 {
+		beta = 0
+	}
+	return &Analysis{
+		Mu:        b0 - EulerGamma*beta,
+		Beta:      beta,
+		BlockSize: blockSize,
+		NBlocks:   nBlocks,
+		MaxObs:    maxObs,
+		IID:       iid,
+		maxima:    maxima,
+	}, nil
+}
+
+// FitChecked is Fit with the i.i.d. gate enforced at significance alpha
+// (0.05 is conventional).
+func FitChecked(samples []float64, blockSize int, alpha float64) (*Analysis, error) {
+	a, err := Fit(samples, blockSize)
+	if err != nil {
+		return nil, err
+	}
+	if !a.IID.Pass(alpha) {
+		return nil, fmt.Errorf("%w: runs=%.3g ljung-box=%.3g ks=%.3g",
+			ErrNotIID, a.IID.RunsP, a.IID.LjungBoxP, a.IID.KSHalvesP)
+	}
+	return a, nil
+}
+
+// PWCET returns the execution-time bound exceeded by a single run with
+// probability at most p (e.g. p = 1e-12 per activation). Degenerate fits
+// (beta 0) return the constant observed time.
+func (a *Analysis) PWCET(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("mbpta: exceedance probability must be in (0,1)")
+	}
+	if a.Beta == 0 {
+		return a.Mu
+	}
+	// Per-run CDF F = G^(1/b) with G the fitted Gumbel of b-maxima:
+	// F(x) = 1-p  =>  G(x) = (1-p)^b  =>
+	// x = mu − beta·ln(−b·ln(1−p)).
+	arg := -float64(a.BlockSize) * math.Log1p(-p)
+	return a.Mu - a.Beta*math.Log(arg)
+}
+
+// ExceedanceProb inverts PWCET: the per-run probability that execution
+// time exceeds x under the fitted model.
+func (a *Analysis) ExceedanceProb(x float64) float64 {
+	if a.Beta == 0 {
+		if x >= a.Mu {
+			return 0
+		}
+		return 1
+	}
+	g := math.Exp(-math.Exp(-(x - a.Mu) / a.Beta)) // per-block CDF
+	return 1 - math.Pow(g, 1/float64(a.BlockSize))
+}
+
+// CurvePoint is one (exceedance probability, cycles) point of the pWCET
+// curve (figure F1).
+type CurvePoint struct {
+	Prob   float64
+	Cycles float64
+}
+
+// Curve evaluates the pWCET bound at the given exceedance probabilities.
+func (a *Analysis) Curve(ps []float64) []CurvePoint {
+	out := make([]CurvePoint, len(ps))
+	for i, p := range ps {
+		out[i] = CurvePoint{Prob: p, Cycles: a.PWCET(p)}
+	}
+	return out
+}
+
+// GoodnessOfFit returns the KS distance between the empirical block-maxima
+// distribution and the fitted Gumbel, plus the associated approximate
+// p-value. The p-value is anti-conservative because the parameters were
+// estimated from the same data (the usual caveat); the distance itself is
+// the robust comparison metric across block sizes.
+func (a *Analysis) GoodnessOfFit() (distance, pValue float64) {
+	if a.Beta == 0 {
+		return 0, 1
+	}
+	n := float64(len(a.maxima))
+	d := 0.0
+	for i, x := range a.maxima {
+		f := math.Exp(-math.Exp(-(x - a.Mu) / a.Beta))
+		lo := math.Abs(f - float64(i)/n)
+		hi := math.Abs(float64(i+1)/n - f)
+		if lo > d {
+			d = lo
+		}
+		if hi > d {
+			d = hi
+		}
+	}
+	en := math.Sqrt(n)
+	return d, ksPValue((en + 0.12 + 0.11/en) * d)
+}
+
+func ksPValue(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

@@ -1,0 +1,395 @@
+package mbpta
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"safexplain/internal/platform"
+	"safexplain/internal/prng"
+)
+
+// gumbelSample draws from Gumbel(mu, beta) by inversion.
+func gumbelSample(mu, beta float64, n int, seed uint64) []float64 {
+	r := prng.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		out[i] = mu - beta*math.Log(-math.Log(u))
+	}
+	return out
+}
+
+func TestCheckIIDAcceptsIIDSample(t *testing.T) {
+	samples := gumbelSample(100, 5, 500, 1)
+	rep, err := CheckIID(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass(0.05) {
+		t.Fatalf("i.i.d. sample rejected: %+v", rep)
+	}
+}
+
+func TestCheckIIDRejectsAutocorrelated(t *testing.T) {
+	r := prng.New(2)
+	samples := make([]float64, 500)
+	prev := 0.0
+	for i := range samples {
+		prev = 0.9*prev + r.NormFloat64()
+		samples[i] = prev
+	}
+	rep, err := CheckIID(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass(0.05) {
+		t.Fatalf("AR(1) sample passed: %+v", rep)
+	}
+}
+
+func TestCheckIIDDegenerateConstant(t *testing.T) {
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = 42
+	}
+	rep, err := CheckIID(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degenerate || !rep.Pass(0.05) {
+		t.Fatalf("constant sample should pass as degenerate: %+v", rep)
+	}
+}
+
+func TestCheckIIDTooFew(t *testing.T) {
+	if _, err := CheckIID(make([]float64, 5)); !errors.Is(err, ErrTooFewSamples) {
+		t.Fatal("expected ErrTooFewSamples")
+	}
+}
+
+func TestFitRecoversGumbelParameters(t *testing.T) {
+	// Block maxima of Gumbel(mu, beta) are Gumbel(mu + beta ln b, beta):
+	// fitting maxima of blocks of size b from Gumbel samples must recover
+	// beta and the shifted mu.
+	const mu, beta = 1000.0, 25.0
+	const b = 20
+	samples := gumbelSample(mu, beta, 20000, 3)
+	a, err := Fit(samples, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMu := mu + beta*math.Log(b)
+	if math.Abs(a.Beta-beta)/beta > 0.1 {
+		t.Fatalf("beta = %v, want ~%v", a.Beta, beta)
+	}
+	if math.Abs(a.Mu-wantMu)/wantMu > 0.02 {
+		t.Fatalf("mu = %v, want ~%v", a.Mu, wantMu)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(gumbelSample(0, 1, 50, 4), 1); err == nil {
+		t.Fatal("block size 1 must error")
+	}
+	if _, err := Fit(gumbelSample(0, 1, 50, 5), 10); !errors.Is(err, ErrTooFewSamples) {
+		t.Fatal("5 blocks must be rejected")
+	}
+}
+
+func TestFitCheckedGate(t *testing.T) {
+	// Autocorrelated data must be refused.
+	r := prng.New(6)
+	samples := make([]float64, 600)
+	prev := 0.0
+	for i := range samples {
+		prev = 0.95*prev + r.NormFloat64()
+		samples[i] = prev + 100
+	}
+	if _, err := FitChecked(samples, 20, 0.05); !errors.Is(err, ErrNotIID) {
+		t.Fatalf("expected ErrNotIID, got %v", err)
+	}
+	// I.i.d. data must pass.
+	if _, err := FitChecked(gumbelSample(100, 5, 600, 7), 20, 0.05); err != nil {
+		t.Fatalf("i.i.d. data rejected: %v", err)
+	}
+}
+
+func TestPWCETMonotoneInP(t *testing.T) {
+	a, err := Fit(gumbelSample(1000, 25, 5000, 8), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bounds must increase as the tolerated exceedance probability shrinks.
+	ps := []float64{1e-3, 1e-6, 1e-9, 1e-12, 1e-15}
+	last := -math.Inf(1)
+	for _, p := range ps {
+		x := a.PWCET(p)
+		if x <= last {
+			t.Fatalf("pWCET(%v) = %v not above pWCET at larger p (%v)", p, x, last)
+		}
+		last = x
+	}
+}
+
+func TestPWCETExceedsHighWaterMark(t *testing.T) {
+	a, err := Fit(gumbelSample(1000, 25, 5000, 9), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x := a.PWCET(1e-12); x <= a.MaxObs {
+		t.Fatalf("pWCET(1e-12) = %v not above max observed %v", x, a.MaxObs)
+	}
+}
+
+func TestPWCETPanicsOnBadP(t *testing.T) {
+	a, err := Fit(gumbelSample(0, 1, 400, 10), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PWCET(%v) did not panic", p)
+				}
+			}()
+			a.PWCET(p)
+		}()
+	}
+}
+
+func TestExceedanceProbInvertsPWCET(t *testing.T) {
+	a, err := Fit(gumbelSample(1000, 25, 5000, 11), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{1e-3, 1e-6, 1e-9} {
+		x := a.PWCET(p)
+		back := a.ExceedanceProb(x)
+		if math.Abs(back-p)/p > 1e-6 {
+			t.Fatalf("ExceedanceProb(PWCET(%v)) = %v", p, back)
+		}
+	}
+}
+
+func TestDegenerateConstantAnalysis(t *testing.T) {
+	samples := make([]float64, 400)
+	for i := range samples {
+		samples[i] = 777
+	}
+	a, err := Fit(samples, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Beta != 0 {
+		t.Fatalf("beta = %v for constant samples", a.Beta)
+	}
+	if got := a.PWCET(1e-12); got != 777 {
+		t.Fatalf("degenerate pWCET = %v, want 777", got)
+	}
+	if a.ExceedanceProb(777) != 0 || a.ExceedanceProb(776) != 1 {
+		t.Fatal("degenerate exceedance wrong")
+	}
+	if d, p := a.GoodnessOfFit(); d != 0 || p != 1 {
+		t.Fatal("degenerate goodness-of-fit should be perfect")
+	}
+}
+
+func TestGoodnessOfFitOnTrueGumbel(t *testing.T) {
+	a, err := Fit(gumbelSample(500, 10, 10000, 12), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, p := a.GoodnessOfFit()
+	if d > 0.08 {
+		t.Fatalf("KS distance %v too large for true Gumbel data", d)
+	}
+	if p < 0.01 {
+		t.Fatalf("fit rejected on true Gumbel data: p=%v", p)
+	}
+}
+
+func TestCurveShape(t *testing.T) {
+	a, err := Fit(gumbelSample(1000, 25, 4000, 13), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := []float64{1e-3, 1e-6, 1e-9, 1e-12}
+	curve := a.Curve(ps)
+	if len(curve) != len(ps) {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Cycles <= curve[i-1].Cycles {
+			t.Fatal("curve not increasing toward smaller p")
+		}
+	}
+}
+
+func TestEndToEndWithPlatform(t *testing.T) {
+	// The full T7 pipeline: time-randomized platform campaign -> i.i.d.
+	// gate -> Gumbel fit -> pWCET above the high-water mark.
+	var cfg platform.Config
+	for _, c := range platform.StandardConfigs() {
+		if c.Name == "time-randomized" {
+			cfg = c
+		}
+	}
+	samples := platform.Campaign(cfg, platform.NewConvWorkload(), 600, 99)
+	a, err := FitChecked(samples, 20, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x := a.PWCET(1e-12); x <= a.MaxObs {
+		t.Fatalf("pWCET %v not above max observed %v", x, a.MaxObs)
+	}
+	if d, _ := a.GoodnessOfFit(); d > 0.15 {
+		t.Fatalf("poor Gumbel fit on platform data: KS distance %v", d)
+	}
+}
+
+func TestBlockSizeAblationStable(t *testing.T) {
+	// pWCET estimates from different block sizes must agree within a
+	// reasonable factor — the T7 ablation's premise.
+	samples := gumbelSample(1000, 25, 12000, 14)
+	var prev float64
+	for i, b := range []int{10, 20, 50} {
+		a, err := Fit(samples, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := a.PWCET(1e-9)
+		if i > 0 {
+			ratio := x / prev
+			if ratio < 0.8 || ratio > 1.25 {
+				t.Fatalf("pWCET unstable across block sizes: %v vs %v", x, prev)
+			}
+		}
+		prev = x
+	}
+}
+
+func TestFitPOTRecoversExponentialTail(t *testing.T) {
+	// Exponential samples: the excess over any threshold is exponential
+	// with the same rate, so POT must recover beta ≈ 1/rate.
+	r := prng.New(30)
+	const rate = 0.05 // mean 20
+	samples := make([]float64, 5000)
+	for i := range samples {
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		samples[i] = 100 - math.Log(u)/rate
+	}
+	pot, err := FitPOT(samples, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pot.Beta-1/rate)/(1/rate) > 0.15 {
+		t.Fatalf("beta = %v, want ~%v", pot.Beta, 1/rate)
+	}
+	if math.Abs(pot.TailFrac-0.1) > 0.02 {
+		t.Fatalf("tail fraction %v, want ~0.1", pot.TailFrac)
+	}
+}
+
+func TestFitPOTErrorsAndDegenerate(t *testing.T) {
+	if _, err := FitPOT(make([]float64, 10), 0.9); !errors.Is(err, ErrTooFewSamples) {
+		t.Fatal("short sample accepted")
+	}
+	constant := make([]float64, 100)
+	for i := range constant {
+		constant[i] = 5
+	}
+	pot, err := FitPOT(constant, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pot.Beta != 0 || pot.PWCET(1e-9) != 5 {
+		t.Fatalf("degenerate POT: beta=%v pwcet=%v", pot.Beta, pot.PWCET(1e-9))
+	}
+}
+
+func TestPOTPWCETProperties(t *testing.T) {
+	samples := gumbelSample(1000, 25, 5000, 31)
+	pot, err := FitPOT(samples, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monotone in p.
+	last := -math.Inf(1)
+	for _, p := range []float64{1e-3, 1e-6, 1e-9, 1e-12} {
+		x := pot.PWCET(p)
+		if x <= last {
+			t.Fatalf("POT pWCET not monotone at p=%v", p)
+		}
+		last = x
+	}
+	// Inversion.
+	for _, p := range []float64{1e-4, 1e-8} {
+		x := pot.PWCET(p)
+		if got := pot.ExceedanceProb(x); math.Abs(got-p)/p > 1e-6 {
+			t.Fatalf("ExceedanceProb(PWCET(%v)) = %v", p, got)
+		}
+	}
+	// p larger than the tail fraction degenerates to the threshold.
+	if pot.PWCET(0.5) != pot.Threshold {
+		t.Fatal("large p should return the threshold")
+	}
+	// Panics on invalid p.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PWCET(0) did not panic")
+		}
+	}()
+	pot.PWCET(0)
+}
+
+func TestPOTAgreesWithBlockMaximaBallpark(t *testing.T) {
+	// The two EVT routes must agree within a factor ~1.2 at p=1e-9 on
+	// well-behaved data — the T7 estimator ablation as a property.
+	samples := gumbelSample(1000, 25, 20000, 32)
+	bm, err := Fit(samples, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pot, err := FitPOT(samples, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := pot.PWCET(1e-9) / bm.PWCET(1e-9)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("POT %v vs block-maxima %v (ratio %v)", pot.PWCET(1e-9), bm.PWCET(1e-9), ratio)
+	}
+}
+
+func TestPWCETMonotoneProperty(t *testing.T) {
+	// Property: for random Gumbel campaigns, pWCET is monotone in p and
+	// always at or above the degenerate p->1 limit.
+	check := func(seed uint64) bool {
+		mu := 500 + float64(seed%1000)
+		beta := 5 + float64(seed%40)
+		a, err := Fit(gumbelSample(mu, beta, 2000, seed), 20)
+		if err != nil {
+			return false
+		}
+		last := -math.Inf(1)
+		for _, p := range []float64{1e-2, 1e-4, 1e-6, 1e-8, 1e-10} {
+			x := a.PWCET(p)
+			if x <= last || math.IsNaN(x) {
+				return false
+			}
+			last = x
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

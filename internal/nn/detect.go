@@ -1,0 +1,171 @@
+package nn
+
+import (
+	"errors"
+	"math"
+
+	"safexplain/internal/prng"
+	"safexplain/internal/tensor"
+)
+
+// Detection head support: a detector is an ordinary Network whose output
+// vector is [class logits … | cx | cy] — nClasses classification logits
+// followed by two regression outputs for the normalized object centroid.
+// DetectionLoss combines softmax cross-entropy on the logit slice with MSE
+// on the location slice, so the whole thing trains through the existing
+// backprop machinery with no architectural changes.
+
+// DetDataset is the localized-sample view the detection trainer needs
+// (implemented by data.DetSet).
+type DetDataset interface {
+	Len() int
+	// DetAt returns sample i: image, class, and normalized centroid.
+	DetAt(i int) (x *tensor.Tensor, class int, cx, cy float32)
+}
+
+// DetectionLoss computes the combined loss on a detector output: softmax
+// cross-entropy over out[:nClasses] plus lambda × MSE over out[nClasses:]
+// against (cx, cy). It returns the loss and the gradient w.r.t. out.
+func DetectionLoss(out *tensor.Tensor, nClasses int, class int, cx, cy float32, lambda float64) (float64, *tensor.Tensor) {
+	if out.Len() != nClasses+2 {
+		panic("nn: detector output must be nClasses+2 long")
+	}
+	// Classification part: stable softmax over the logit slice.
+	grad := tensor.New(out.Shape()...)
+	maxv := out.Data()[0]
+	for _, v := range out.Data()[1:nClasses] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i := 0; i < nClasses; i++ {
+		sum += math.Exp(float64(out.Data()[i] - maxv))
+	}
+	p := math.Exp(float64(out.Data()[class]-maxv)) / sum
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	loss := -math.Log(p)
+	for i := 0; i < nClasses; i++ {
+		pi := math.Exp(float64(out.Data()[i]-maxv)) / sum
+		grad.Data()[i] = float32(pi)
+	}
+	grad.Data()[class] -= 1
+	// Localization part: MSE over the two coordinates.
+	dx := float64(out.Data()[nClasses] - cx)
+	dy := float64(out.Data()[nClasses+1] - cy)
+	loss += lambda * (dx*dx + dy*dy) / 2
+	grad.Data()[nClasses] = float32(lambda * dx)
+	grad.Data()[nClasses+1] = float32(lambda * dy)
+	return loss, grad
+}
+
+// DetectConfig controls detector training.
+type DetectConfig struct {
+	TrainConfig
+	// Lambda weights the localization loss against classification
+	// (default 5 — coordinates live in [0,1] so their raw MSE is small).
+	Lambda float64
+}
+
+// TrainDetector trains a detector network (output nClasses+2) on ds.
+func TrainDetector(net *Network, ds DetDataset, nClasses int, cfg DetectConfig) (loss float64, err error) {
+	if ds.Len() == 0 {
+		return 0, errors.New("nn: empty dataset")
+	}
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 {
+		return 0, errors.New("nn: Epochs and BatchSize must be positive")
+	}
+	if cfg.Lambda <= 0 {
+		cfg.Lambda = 5
+	}
+	opt := NewSGD(cfg.LR, cfg.Momentum, cfg.Decay)
+	opt.ClipNorm = cfg.ClipNorm
+	src := prng.New(cfg.Seed)
+	params := net.Params()
+	net.SetTraining(true)
+	defer net.SetTraining(false)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := src.Perm(ds.Len())
+		var epochLoss float64
+		inBatch := 0
+		for _, idx := range perm {
+			x, class, cx, cy := ds.DetAt(idx)
+			out := net.Forward(x)
+			l, grad := DetectionLoss(out, nClasses, class, cx, cy, cfg.Lambda)
+			epochLoss += l
+			net.Backward(grad)
+			inBatch++
+			if inBatch == cfg.BatchSize {
+				opt.Step(params, inBatch)
+				inBatch = 0
+			}
+		}
+		if inBatch > 0 {
+			opt.Step(params, inBatch)
+		}
+		loss = epochLoss / float64(ds.Len())
+		if cfg.Progress != nil {
+			cfg.Progress(epoch, loss, 0)
+		}
+	}
+	return loss, nil
+}
+
+// Detection is one detector prediction.
+type Detection struct {
+	Class  int
+	CX, CY float32
+}
+
+// Detect runs the detector on x and splits the output.
+func Detect(net *Network, x *tensor.Tensor, nClasses int) Detection {
+	out := net.Forward(x)
+	best, bv := 0, out.Data()[0]
+	for i := 1; i < nClasses; i++ {
+		if out.Data()[i] > bv {
+			bv = out.Data()[i]
+			best = i
+		}
+	}
+	return Detection{Class: best, CX: out.Data()[nClasses], CY: out.Data()[nClasses+1]}
+}
+
+// DetReport aggregates detector evaluation.
+type DetReport struct {
+	Accuracy float64 // classification accuracy
+	MeanErr  float64 // mean Euclidean centroid error, in pixels (×Side)
+	HitRate  float64 // fraction localized within `radius` pixels
+}
+
+// EvaluateDetector measures classification accuracy, mean localization
+// error (in pixels for a `side`-pixel image), and the hit rate within
+// radius pixels.
+func EvaluateDetector(net *Network, ds DetDataset, nClasses, side int, radius float64) DetReport {
+	if ds.Len() == 0 {
+		return DetReport{}
+	}
+	correct, hits := 0, 0
+	var errSum float64
+	for i := 0; i < ds.Len(); i++ {
+		x, class, cx, cy := ds.DetAt(i)
+		d := Detect(net, x, nClasses)
+		if d.Class == class {
+			correct++
+		}
+		dx := float64(d.CX-cx) * float64(side)
+		dy := float64(d.CY-cy) * float64(side)
+		e := math.Sqrt(dx*dx + dy*dy)
+		errSum += e
+		if e <= radius {
+			hits++
+		}
+	}
+	n := float64(ds.Len())
+	return DetReport{
+		Accuracy: float64(correct) / n,
+		MeanErr:  errSum / n,
+		HitRate:  float64(hits) / n,
+	}
+}

@@ -1,0 +1,132 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"safexplain/internal/prng"
+	"safexplain/internal/tensor"
+)
+
+func TestDetectionLossGradient(t *testing.T) {
+	// Numerical check of the combined gradient at the output layer.
+	out := tensor.FromSlice([]float32{0.5, -0.2, 1.1, 0.3, 0.7}, 5)
+	const nClasses, class = 3, 1
+	const cx, cy, lambda = 0.4, 0.6, 5.0
+	_, grad := DetectionLoss(out, nClasses, class, cx, cy, lambda)
+	const eps = 1e-3
+	for i := 0; i < out.Len(); i++ {
+		orig := out.Data()[i]
+		out.Data()[i] = orig + eps
+		lp, _ := DetectionLoss(out, nClasses, class, cx, cy, lambda)
+		out.Data()[i] = orig - eps
+		lm, _ := DetectionLoss(out, nClasses, class, cx, cy, lambda)
+		out.Data()[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		if math.Abs(numeric-float64(grad.Data()[i])) > 1e-3 {
+			t.Fatalf("grad[%d] = %v, numeric %v", i, grad.Data()[i], numeric)
+		}
+	}
+}
+
+func TestDetectionLossPanicsOnShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DetectionLoss(tensor.New(4), 3, 0, 0, 0, 1)
+}
+
+// synthDet is a toy localizable dataset: a single bright pixel whose
+// position is the label; class = quadrant.
+type synthDet struct {
+	xs      []*tensor.Tensor
+	classes []int
+	cxs     []float32
+	cys     []float32
+}
+
+func makeSynthDet(n int, seed uint64) *synthDet {
+	r := prng.New(seed)
+	d := &synthDet{}
+	for i := 0; i < n; i++ {
+		px := r.Intn(16)
+		py := r.Intn(16)
+		x := tensor.New(1, 16, 16)
+		x.Set3(0, py, px, 1)
+		class := 0
+		if px >= 8 {
+			class++
+		}
+		if py >= 8 {
+			class += 2
+		}
+		d.xs = append(d.xs, x)
+		d.classes = append(d.classes, class)
+		d.cxs = append(d.cxs, float32(px)/16)
+		d.cys = append(d.cys, float32(py)/16)
+	}
+	return d
+}
+
+func (d *synthDet) Len() int { return len(d.xs) }
+func (d *synthDet) DetAt(i int) (*tensor.Tensor, int, float32, float32) {
+	return d.xs[i], d.classes[i], d.cxs[i], d.cys[i]
+}
+
+func TestTrainDetectorLearnsSynthetic(t *testing.T) {
+	// 1000 samples ≈ 99% coverage of the 256 one-hot positions; with
+	// one-hot inputs, an uncovered position has untrained weights, so
+	// coverage — not capacity — bounds test accuracy here.
+	ds := makeSynthDet(1000, 1)
+	src := prng.New(2)
+	net := NewNetwork("det",
+		NewFlatten(), NewDense(256, 32, src), NewReLU(), NewDense(32, 4+2, src))
+	_, err := TrainDetector(net, ds, 4, DetectConfig{
+		TrainConfig: TrainConfig{Epochs: 15, BatchSize: 16, LR: 0.1, Momentum: 0.9, Seed: 3},
+		Lambda:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := EvaluateDetector(net, makeSynthDet(80, 9), 4, 16, 2)
+	if rep.Accuracy < 0.85 {
+		t.Fatalf("detector accuracy %v", rep.Accuracy)
+	}
+	if rep.MeanErr > 2.5 {
+		t.Fatalf("mean localization error %v px", rep.MeanErr)
+	}
+	if rep.HitRate < 0.6 {
+		t.Fatalf("hit rate %v", rep.HitRate)
+	}
+}
+
+func TestTrainDetectorValidation(t *testing.T) {
+	net := NewNetwork("v", NewDense(4, 6, prng.New(1)))
+	if _, err := TrainDetector(net, &synthDet{}, 4, DetectConfig{
+		TrainConfig: TrainConfig{Epochs: 1, BatchSize: 1},
+	}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	if _, err := TrainDetector(net, makeSynthDet(4, 1), 4, DetectConfig{}); err == nil {
+		t.Fatal("zero epochs accepted")
+	}
+}
+
+func TestDetectSplitsOutput(t *testing.T) {
+	d := NewDense(1, 5, nil)
+	copy(d.B.Value.Data(), []float32{0, 3, 1, 0.25, 0.75})
+	net := NewNetwork("split", d)
+	got := Detect(net, tensor.New(1), 3)
+	if got.Class != 1 || got.CX != 0.25 || got.CY != 0.75 {
+		t.Fatalf("Detect = %+v", got)
+	}
+}
+
+func TestEvaluateDetectorEmpty(t *testing.T) {
+	net := NewNetwork("e", NewDense(1, 5, nil))
+	if rep := EvaluateDetector(net, &synthDet{}, 3, 16, 2); rep.Accuracy != 0 {
+		t.Fatal("empty dataset should report zeros")
+	}
+}

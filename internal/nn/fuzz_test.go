@@ -1,0 +1,50 @@
+package nn
+
+import (
+	"testing"
+
+	"safexplain/internal/prng"
+)
+
+// FuzzUnmarshal hardens the model decoder: arbitrary bytes must either
+// decode into a structurally valid network or return ErrBadModel — never
+// panic, never hang, never produce a network that breaks on Forward.
+// Certification treats the model loader as an attack/corruption surface
+// (a flash bit-flip lands here before any inference runs).
+func FuzzUnmarshal(f *testing.F) {
+	// Seed with a valid model and a few mutations of it.
+	src := prng.New(1)
+	valid, err := Marshal(NewNetwork("seed",
+		NewConv2D(1, 2, 3, 1, 1, src), NewReLU(), NewMaxPool2D(2, 2),
+		NewFlatten(), NewDense(2*4*4, 3, src)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("SFXM"))
+	truncated := append([]byte(nil), valid[:len(valid)/2]...)
+	f.Add(truncated)
+	flipped := append([]byte(nil), valid...)
+	flipped[20] ^= 0xff
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		net, err := Unmarshal(blob)
+		if err != nil {
+			return // rejection is the expected outcome for garbage
+		}
+		// Anything accepted must round-trip canonically...
+		again, err := Marshal(net)
+		if err != nil {
+			t.Fatalf("accepted model fails to re-marshal: %v", err)
+		}
+		if _, err := Unmarshal(again); err != nil {
+			t.Fatalf("canonical form rejected: %v", err)
+		}
+		// ...and must hash without error (identity is always computable).
+		if _, err := Hash(net); err != nil {
+			t.Fatalf("accepted model fails to hash: %v", err)
+		}
+	})
+}

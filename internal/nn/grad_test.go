@@ -1,0 +1,193 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"safexplain/internal/prng"
+	"safexplain/internal/tensor"
+)
+
+// Numerical gradient checking: for every trainable parameter and for the
+// input, perturb one scalar by ±eps, measure the loss difference, and
+// compare with the analytic gradient from Backward. This is the ground
+// truth for the whole backprop implementation.
+
+const (
+	gradEps = 1e-2 // float32 forward differences need a coarse step
+	gradTol = 2e-2 // relative tolerance
+)
+
+// lossOf runs a forward pass and returns the cross-entropy loss.
+func lossOf(net *Network, x *tensor.Tensor, label int) float64 {
+	logits := net.Forward(x)
+	loss, _ := SoftmaxCrossEntropy(logits, label)
+	return loss
+}
+
+func relErr(analytic, numeric float64) float64 {
+	denom := math.Max(math.Abs(analytic), math.Abs(numeric))
+	if denom < 1e-4 {
+		return 0 // both effectively zero
+	}
+	return math.Abs(analytic-numeric) / denom
+}
+
+func checkGradients(t *testing.T, net *Network, x *tensor.Tensor, label int) {
+	t.Helper()
+	net.ZeroGrad()
+	logits := net.Forward(x)
+	_, grad := SoftmaxCrossEntropy(logits, label)
+	gradIn := net.Backward(grad)
+
+	// Parameter gradients.
+	for _, p := range net.Params() {
+		for i := 0; i < p.Value.Len(); i++ {
+			orig := p.Value.Data()[i]
+			p.Value.Data()[i] = orig + gradEps
+			lp := lossOf(net, x, label)
+			p.Value.Data()[i] = orig - gradEps
+			lm := lossOf(net, x, label)
+			p.Value.Data()[i] = orig
+			numeric := (lp - lm) / (2 * gradEps)
+			analytic := float64(p.Grad.Data()[i])
+			if e := relErr(analytic, numeric); e > gradTol {
+				t.Fatalf("%s[%d]: analytic %v vs numeric %v (rel err %v)",
+					p.Name, i, analytic, numeric, e)
+			}
+		}
+	}
+	// Input gradient (the explainer path).
+	for i := 0; i < x.Len(); i++ {
+		orig := x.Data()[i]
+		x.Data()[i] = orig + gradEps
+		lp := lossOf(net, x, label)
+		x.Data()[i] = orig - gradEps
+		lm := lossOf(net, x, label)
+		x.Data()[i] = orig
+		numeric := (lp - lm) / (2 * gradEps)
+		analytic := float64(gradIn.Data()[i])
+		if e := relErr(analytic, numeric); e > gradTol {
+			t.Fatalf("input[%d]: analytic %v vs numeric %v (rel err %v)",
+				i, analytic, numeric, e)
+		}
+	}
+}
+
+func TestGradCheckDense(t *testing.T) {
+	src := prng.New(1)
+	net := NewNetwork("gc-dense", NewDense(5, 4, src), NewDense(4, 3, src))
+	x := tensor.New(5)
+	for i := range x.Data() {
+		x.Data()[i] = float32(src.NormFloat64())
+	}
+	checkGradients(t, net, x, 1)
+}
+
+func TestGradCheckDenseReLU(t *testing.T) {
+	src := prng.New(2)
+	net := NewNetwork("gc-relu",
+		NewDense(6, 8, src), NewReLU(), NewDense(8, 3, src))
+	x := tensor.New(6)
+	for i := range x.Data() {
+		// Keep inputs away from the ReLU kink so finite differences are
+		// valid.
+		x.Data()[i] = float32(src.NormFloat64()) + 0.5
+	}
+	checkGradients(t, net, x, 2)
+}
+
+func TestGradCheckSigmoidTanh(t *testing.T) {
+	src := prng.New(3)
+	net := NewNetwork("gc-sig",
+		NewDense(4, 6, src), NewSigmoid(), NewDense(6, 5, src), NewTanh(),
+		NewDense(5, 3, src))
+	x := tensor.New(4)
+	for i := range x.Data() {
+		x.Data()[i] = float32(src.NormFloat64())
+	}
+	checkGradients(t, net, x, 0)
+}
+
+func TestGradCheckConvNet(t *testing.T) {
+	src := prng.New(4)
+	net := NewNetwork("gc-conv",
+		NewConv2D(2, 3, 3, 1, 1, src),
+		NewReLU(),
+		NewMaxPool2D(2, 2),
+		NewFlatten(),
+		NewDense(3*3*3, 3, src),
+	)
+	x := tensor.New(2, 6, 6)
+	for i := range x.Data() {
+		x.Data()[i] = float32(src.NormFloat64()) * 0.5
+	}
+	checkGradients(t, net, x, 1)
+}
+
+func TestGradCheckConvStride2(t *testing.T) {
+	src := prng.New(5)
+	net := NewNetwork("gc-conv-s2",
+		NewConv2D(1, 2, 3, 2, 1, src),
+		NewFlatten(),
+		NewDense(2*3*3, 2, src),
+	)
+	x := tensor.New(1, 6, 6)
+	for i := range x.Data() {
+		x.Data()[i] = float32(src.NormFloat64()) * 0.5
+	}
+	checkGradients(t, net, x, 0)
+}
+
+func TestGradCheckMSE(t *testing.T) {
+	// Autoencoder-style gradient check with MSE loss.
+	src := prng.New(6)
+	net := NewNetwork("gc-mse",
+		NewDense(4, 3, src), NewTanh(), NewDense(3, 4, src), NewSigmoid())
+	x := tensor.New(4)
+	target := tensor.New(4)
+	for i := range x.Data() {
+		x.Data()[i] = float32(src.NormFloat64())
+		target.Data()[i] = float32(src.Float64())
+	}
+	net.ZeroGrad()
+	out := net.Forward(x)
+	_, grad := MSE(out, target)
+	net.Backward(grad)
+
+	mseLoss := func() float64 {
+		out := net.Forward(x)
+		l, _ := MSE(out, target)
+		return l
+	}
+	for _, p := range net.Params() {
+		for i := 0; i < p.Value.Len(); i++ {
+			orig := p.Value.Data()[i]
+			p.Value.Data()[i] = orig + gradEps
+			lp := mseLoss()
+			p.Value.Data()[i] = orig - gradEps
+			lm := mseLoss()
+			p.Value.Data()[i] = orig
+			numeric := (lp - lm) / (2 * gradEps)
+			analytic := float64(p.Grad.Data()[i])
+			if e := relErr(analytic, numeric); e > gradTol {
+				t.Fatalf("%s[%d]: analytic %v vs numeric %v", p.Name, i, analytic, numeric)
+			}
+		}
+	}
+}
+
+func TestGradCheckAvgPool(t *testing.T) {
+	src := prng.New(7)
+	net := NewNetwork("gc-avgpool",
+		NewConv2D(1, 2, 3, 1, 1, src),
+		NewAvgPool2D(2, 2),
+		NewFlatten(),
+		NewDense(2*3*3, 2, src),
+	)
+	x := tensor.New(1, 6, 6)
+	for i := range x.Data() {
+		x.Data()[i] = float32(src.NormFloat64()) * 0.5
+	}
+	checkGradients(t, net, x, 1)
+}

@@ -1,0 +1,89 @@
+// Package nn is the from-scratch deep-learning library at the centre of the
+// SAFEXPLAIN reproduction: dense and convolutional layers with explicit
+// (non-autograd) backpropagation, SGD training, and binary serialization
+// with content hashing.
+//
+// Design rules, inherited from the FUSA pillar:
+//
+//   - Deterministic end to end: weight initialization draws from an
+//     explicitly seeded prng.Source, every kernel comes from
+//     internal/tensor (fixed iteration order, serial accumulation), and no
+//     goroutines are spawned. Training twice from the same seed produces
+//     bit-identical weights.
+//   - Explicit backward passes instead of autograd: each layer owns its
+//     gradient math, which keeps the call graph static and reviewable — the
+//     property certification argues over.
+//   - Single-sample forward/backward: CAIS inference is per-frame, and the
+//     synthetic case studies are small, so batches are accumulated by the
+//     trainer rather than vectorized.
+//
+// A Network (and every Layer) caches forward activations for the backward
+// pass and is therefore NOT safe for concurrent use; replicate the model
+// per goroutine instead.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"safexplain/internal/prng"
+	"safexplain/internal/tensor"
+)
+
+// Param is one trainable tensor with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// Layer is one differentiable stage of a network.
+type Layer interface {
+	// Name identifies the layer kind and geometry for serialization and
+	// traceability reports.
+	Name() string
+	// OutShape returns the output shape for a given input shape.
+	OutShape(in []int) []int
+	// Forward computes the layer output, caching whatever the backward
+	// pass needs.
+	Forward(in *tensor.Tensor) *tensor.Tensor
+	// Backward consumes the gradient w.r.t. the layer output, accumulates
+	// parameter gradients, and returns the gradient w.r.t. the input.
+	Backward(gradOut *tensor.Tensor) *tensor.Tensor
+	// Params returns the trainable parameters (possibly none).
+	Params() []*Param
+}
+
+// heInit seeds a weight tensor with He-style scaled normal values, the
+// appropriate choice for ReLU networks. A nil source leaves the tensor
+// zeroed, which the deserializer uses before overwriting stored weights.
+func heInit(t *tensor.Tensor, fanIn int, src *prng.Source) {
+	if src == nil {
+		return
+	}
+	std := float32(1)
+	if fanIn > 0 {
+		std = float32(math.Sqrt(2 / float64(fanIn)))
+	}
+	for i := range t.Data() {
+		t.Data()[i] = float32(src.NormFloat64()) * std
+	}
+}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func mustShape(got, want []int, layer string) {
+	if !shapeEq(got, want) {
+		panic(fmt.Sprintf("nn: %s expected shape %v, got %v", layer, want, got))
+	}
+}

@@ -1,0 +1,40 @@
+package nn
+
+import (
+	"math"
+
+	"safexplain/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the cross-entropy loss of logits against an
+// integer label, and the gradient w.r.t. the logits (softmax(logits) -
+// onehot(label)). The softmax is fused for numerical stability.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, label int) (loss float64, grad *tensor.Tensor) {
+	probs := tensor.New(logits.Shape()...)
+	tensor.Softmax(probs, logits)
+	p := float64(probs.Data()[label])
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	loss = -math.Log(p)
+	grad = probs // reuse: grad = probs - onehot
+	grad.Data()[label] -= 1
+	return loss, grad
+}
+
+// MSE computes the mean squared error between pred and target and the
+// gradient w.r.t. pred, the reconstruction loss for the autoencoder
+// supervisor.
+func MSE(pred, target *tensor.Tensor) (loss float64, grad *tensor.Tensor) {
+	if !tensor.SameShape(pred, target) {
+		panic("nn: MSE shape mismatch")
+	}
+	n := float64(pred.Len())
+	grad = tensor.New(pred.Shape()...)
+	for i := range pred.Data() {
+		d := float64(pred.Data()[i]) - float64(target.Data()[i])
+		loss += d * d
+		grad.Data()[i] = float32(2 * d / n)
+	}
+	return loss / n, grad
+}

@@ -1,0 +1,271 @@
+package nn
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"safexplain/internal/prng"
+	"safexplain/internal/tensor"
+)
+
+func TestDenseForwardKnownValues(t *testing.T) {
+	d := NewDense(2, 2, nil)
+	// W = [[1,2],[3,4]], b = [0.5, -0.5].
+	copy(d.W.Value.Data(), []float32{1, 2, 3, 4})
+	copy(d.B.Value.Data(), []float32{0.5, -0.5})
+	out := d.Forward(tensor.FromSlice([]float32{1, 1}, 2))
+	if out.Data()[0] != 3.5 || out.Data()[1] != 6.5 {
+		t.Fatalf("Dense forward = %v", out.Data())
+	}
+}
+
+func TestDenseShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong input shape")
+		}
+	}()
+	NewDense(3, 2, prng.New(1)).Forward(tensor.New(4))
+}
+
+func TestReLULayer(t *testing.T) {
+	r := NewReLU()
+	out := r.Forward(tensor.FromSlice([]float32{-2, 3}, 2))
+	if out.Data()[0] != 0 || out.Data()[1] != 3 {
+		t.Fatalf("ReLU forward = %v", out.Data())
+	}
+	g := r.Backward(tensor.FromSlice([]float32{10, 10}, 2))
+	if g.Data()[0] != 0 || g.Data()[1] != 10 {
+		t.Fatalf("ReLU backward = %v", g.Data())
+	}
+}
+
+func TestSigmoidRange(t *testing.T) {
+	s := NewSigmoid()
+	out := s.Forward(tensor.FromSlice([]float32{-100, 0, 100}, 3))
+	if out.Data()[1] != 0.5 {
+		t.Fatalf("sigmoid(0) = %v", out.Data()[1])
+	}
+	if out.Data()[0] < 0 || out.Data()[0] > 1e-6 || out.Data()[2] < 1-1e-6 || out.Data()[2] > 1 {
+		t.Fatalf("sigmoid saturation wrong: %v", out.Data())
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	f := NewFlatten()
+	in := tensor.New(2, 3, 4)
+	out := f.Forward(in)
+	if out.Rank() != 1 || out.Len() != 24 {
+		t.Fatalf("flatten shape: %v", out.Shape())
+	}
+	back := f.Backward(tensor.New(24))
+	if back.Rank() != 3 || back.Dim(2) != 4 {
+		t.Fatalf("unflatten shape: %v", back.Shape())
+	}
+}
+
+func TestMaxPoolLayerRoutesGradient(t *testing.T) {
+	m := NewMaxPool2D(2, 2)
+	in := tensor.FromSlice([]float32{
+		1, 2,
+		3, 4,
+	}, 1, 2, 2)
+	out := m.Forward(in)
+	if out.Data()[0] != 4 {
+		t.Fatalf("maxpool forward = %v", out.Data())
+	}
+	g := m.Backward(tensor.FromSlice([]float32{7}, 1, 1, 1))
+	// The entire gradient must land on the argmax position (index 3).
+	want := []float32{0, 0, 0, 7}
+	for i, v := range g.Data() {
+		if v != want[i] {
+			t.Fatalf("maxpool backward = %v", g.Data())
+		}
+	}
+}
+
+func TestOutShapeMatchesForward(t *testing.T) {
+	src := prng.New(7)
+	layers := []Layer{
+		NewConv2D(3, 8, 3, 1, 1, src),
+		NewReLU(),
+		NewMaxPool2D(2, 2),
+		NewFlatten(),
+		NewDense(8*8*8, 5, src),
+	}
+	shape := []int{3, 16, 16}
+	x := tensor.New(shape...)
+	for _, l := range layers {
+		want := l.OutShape(shape)
+		got := l.Forward(x)
+		if !shapeEq(got.Shape(), want) {
+			t.Fatalf("%s: OutShape %v but Forward produced %v", l.Name(), want, got.Shape())
+		}
+		shape = want
+		x = got
+	}
+}
+
+func TestNetworkActivationsCached(t *testing.T) {
+	src := prng.New(8)
+	net := NewNetwork("act", NewDense(3, 4, src), NewReLU(), NewDense(4, 2, src))
+	x := tensor.FromSlice([]float32{1, 2, 3}, 3)
+	out := net.Forward(x)
+	if net.Activation(-1) != x {
+		t.Fatal("Activation(-1) must be the input")
+	}
+	if net.Activation(2) != out {
+		t.Fatal("Activation(last) must be the output")
+	}
+	if net.Activation(0).Len() != 4 {
+		t.Fatal("intermediate activation wrong size")
+	}
+}
+
+func TestPredictReturnsProbabilities(t *testing.T) {
+	src := prng.New(9)
+	net := NewNetwork("pred", NewDense(4, 3, src))
+	x := tensor.New(4)
+	class, probs := net.Predict(x)
+	if class < 0 || class > 2 {
+		t.Fatalf("class = %d", class)
+	}
+	var sum float64
+	for _, p := range probs.Data() {
+		sum += float64(p)
+	}
+	if math.Abs(sum-1) > 1e-5 {
+		t.Fatalf("probs sum to %v", sum)
+	}
+}
+
+func TestFeaturesPenultimate(t *testing.T) {
+	src := prng.New(10)
+	net := NewNetwork("feat",
+		NewDense(6, 5, src), NewReLU(), NewDense(5, 3, src))
+	x := tensor.New(6)
+	f := net.Features(x)
+	// The input to the last Dense is the ReLU output: length 5.
+	if len(f) != 5 {
+		t.Fatalf("features length %d, want 5", len(f))
+	}
+}
+
+func TestParamCount(t *testing.T) {
+	src := prng.New(11)
+	net := NewNetwork("pc", NewDense(10, 4, src), NewDense(4, 2, src))
+	want := 10*4 + 4 + 4*2 + 2
+	if got := net.ParamCount(); got != want {
+		t.Fatalf("ParamCount = %d, want %d", got, want)
+	}
+}
+
+func TestZeroGrad(t *testing.T) {
+	src := prng.New(12)
+	net := NewNetwork("zg", NewDense(2, 2, src))
+	x := tensor.FromSlice([]float32{1, 1}, 2)
+	logits := net.Forward(x)
+	_, g := SoftmaxCrossEntropy(logits, 0)
+	net.Backward(g)
+	nonzero := false
+	for _, p := range net.Params() {
+		for _, v := range p.Grad.Data() {
+			if v != 0 {
+				nonzero = true
+			}
+		}
+	}
+	if !nonzero {
+		t.Fatal("expected some nonzero gradient")
+	}
+	net.ZeroGrad()
+	for _, p := range net.Params() {
+		for _, v := range p.Grad.Data() {
+			if v != 0 {
+				t.Fatal("ZeroGrad left residue")
+			}
+		}
+	}
+}
+
+func TestDescribeListsLayers(t *testing.T) {
+	src := prng.New(13)
+	net := NewNetwork("desc", NewDense(2, 2, src), NewReLU())
+	d := net.Describe()
+	if !strings.Contains(d, "Dense(2->2)") || !strings.Contains(d, "ReLU") {
+		t.Fatalf("Describe output missing layers: %q", d)
+	}
+}
+
+func TestInitializationDeterministic(t *testing.T) {
+	a := NewDense(10, 10, prng.New(42))
+	b := NewDense(10, 10, prng.New(42))
+	if !tensor.Equal(a.W.Value, b.W.Value) {
+		t.Fatal("same seed must give identical weights")
+	}
+	c := NewDense(10, 10, prng.New(43))
+	if tensor.Equal(a.W.Value, c.W.Value) {
+		t.Fatal("different seeds should give different weights")
+	}
+}
+
+func TestSoftmaxCrossEntropyGradientSums(t *testing.T) {
+	// The gradient p - onehot must sum to 0.
+	logits := tensor.FromSlice([]float32{1, 2, 3}, 3)
+	loss, grad := SoftmaxCrossEntropy(logits, 1)
+	if loss <= 0 {
+		t.Fatalf("loss = %v", loss)
+	}
+	var sum float64
+	for _, v := range grad.Data() {
+		sum += float64(v)
+	}
+	if math.Abs(sum) > 1e-6 {
+		t.Fatalf("gradient sums to %v, want 0", sum)
+	}
+	if grad.Data()[1] >= 0 {
+		t.Fatal("gradient at the true label must be negative")
+	}
+}
+
+func TestSoftmaxCrossEntropyPerfectPrediction(t *testing.T) {
+	logits := tensor.FromSlice([]float32{100, 0, 0}, 3)
+	loss, _ := SoftmaxCrossEntropy(logits, 0)
+	if loss > 1e-6 {
+		t.Fatalf("near-certain correct prediction has loss %v", loss)
+	}
+}
+
+func TestMSEKnownValue(t *testing.T) {
+	pred := tensor.FromSlice([]float32{1, 2}, 2)
+	target := tensor.FromSlice([]float32{0, 0}, 2)
+	loss, grad := MSE(pred, target)
+	if loss != 2.5 { // (1+4)/2
+		t.Fatalf("MSE = %v, want 2.5", loss)
+	}
+	if grad.Data()[0] != 1 || grad.Data()[1] != 2 { // 2*d/n
+		t.Fatalf("MSE grad = %v", grad.Data())
+	}
+}
+
+func TestAvgPoolLayerForwardBackward(t *testing.T) {
+	a := NewAvgPool2D(2, 2)
+	in := tensor.FromSlice([]float32{
+		1, 2,
+		3, 4,
+	}, 1, 2, 2)
+	out := a.Forward(in)
+	if out.Data()[0] != 2.5 {
+		t.Fatalf("avgpool forward = %v", out.Data())
+	}
+	g := a.Backward(tensor.FromSlice([]float32{8}, 1, 1, 1))
+	for _, v := range g.Data() {
+		if v != 2 { // 8 / 4 spread uniformly
+			t.Fatalf("avgpool backward = %v", g.Data())
+		}
+	}
+	if got := a.OutShape([]int{3, 8, 8}); got[0] != 3 || got[1] != 4 || got[2] != 4 {
+		t.Fatalf("OutShape = %v", got)
+	}
+}

@@ -1,0 +1,368 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"safexplain/internal/prng"
+	"safexplain/internal/tensor"
+)
+
+func TestBatchNormIdentityByDefault(t *testing.T) {
+	bn := NewBatchNorm2D(2)
+	in := tensor.New(2, 3, 3)
+	r := prng.New(1)
+	for i := range in.Data() {
+		in.Data()[i] = r.Float32()
+	}
+	out := bn.Forward(in)
+	for i := range in.Data() {
+		if math.Abs(float64(out.Data()[i]-in.Data()[i])) > 1e-4 {
+			t.Fatalf("default BN not identity: %v vs %v", out.Data()[i], in.Data()[i])
+		}
+	}
+}
+
+func TestBatchNormNormalizes(t *testing.T) {
+	bn := NewBatchNorm2D(1)
+	bn.Mu[0] = 10
+	bn.Var[0] = 4
+	in := tensor.New(1, 1, 2)
+	in.Data()[0] = 10 // at the mean -> 0
+	in.Data()[1] = 12 // one sigma above -> ~1
+	out := bn.Forward(in)
+	if math.Abs(float64(out.Data()[0])) > 1e-3 {
+		t.Fatalf("mean input normalizes to %v", out.Data()[0])
+	}
+	if math.Abs(float64(out.Data()[1])-1) > 1e-3 {
+		t.Fatalf("sigma input normalizes to %v", out.Data()[1])
+	}
+	// Gamma/beta apply after normalization.
+	bn.Gamma.Value.Data()[0] = 3
+	bn.Beta.Value.Data()[0] = -1
+	out = bn.Forward(in)
+	if math.Abs(float64(out.Data()[1])-2) > 1e-2 { // 3*1 - 1
+		t.Fatalf("affine BN output %v, want 2", out.Data()[1])
+	}
+}
+
+func TestBatchNormShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on channel mismatch")
+		}
+	}()
+	NewBatchNorm2D(3).Forward(tensor.New(2, 4, 4))
+}
+
+func TestGradCheckBatchNorm(t *testing.T) {
+	src := prng.New(2)
+	bn := NewBatchNorm2D(2)
+	bn.Mu[0], bn.Mu[1] = 0.2, -0.1
+	bn.Var[0], bn.Var[1] = 0.5, 2.0
+	// Tanh instead of ReLU: finite differences near the ReLU kink are
+	// invalid, and BN's scaling amplifies that; the BN gradient itself is
+	// what this test pins down.
+	net := NewNetwork("gc-bn",
+		NewConv2D(1, 2, 3, 1, 1, src),
+		bn,
+		NewTanh(),
+		NewFlatten(),
+		NewDense(2*5*5, 2, src),
+	)
+	x := tensor.New(1, 5, 5)
+	for i := range x.Data() {
+		x.Data()[i] = float32(src.NormFloat64()) * 0.5
+	}
+	checkGradients(t, net, x, 0)
+}
+
+func TestCalibrateBatchNorms(t *testing.T) {
+	src := prng.New(3)
+	bn := NewBatchNorm2D(2)
+	net := NewNetwork("cal",
+		NewConv2D(1, 2, 3, 1, 1, src), bn, NewFlatten(), NewDense(2*4*4, 2, src))
+	ds := &blobs{}
+	for i := 0; i < 30; i++ {
+		x := tensor.New(1, 4, 4)
+		for j := range x.Data() {
+			x.Data()[j] = src.Float32()
+		}
+		ds.xs = append(ds.xs, x)
+		ds.labels = append(ds.labels, 0)
+	}
+	if err := CalibrateBatchNorms(net, ds); err != nil {
+		t.Fatal(err)
+	}
+	// After calibration, BN outputs over the same data must be roughly
+	// standardized per channel.
+	var sum, sq, n float64
+	for i := 0; i < ds.Len(); i++ {
+		x, _ := ds.Sample(i)
+		net.Forward(x)
+		act := net.Activation(1) // BN output
+		for c := 0; c < 1; c++ { // check channel 0
+			for y := 0; y < act.Dim(1); y++ {
+				for xx := 0; xx < act.Dim(2); xx++ {
+					v := float64(act.At3(c, y, xx))
+					sum += v
+					sq += v * v
+					n++
+				}
+			}
+		}
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean) > 0.05 || math.Abs(variance-1) > 0.1 {
+		t.Fatalf("calibrated BN output not standardized: mean %v var %v", mean, variance)
+	}
+	// Empty calibration set errors; BN-free networks are a no-op.
+	if err := CalibrateBatchNorms(net, &blobs{}); err == nil {
+		t.Fatal("empty set should error")
+	}
+	plain := NewNetwork("p", NewDense(2, 2, src))
+	if err := CalibrateBatchNorms(plain, ds); err != nil {
+		t.Fatal("BN-free calibration should succeed trivially")
+	}
+}
+
+func TestFoldBatchNormEquivalence(t *testing.T) {
+	src := prng.New(4)
+	bn := NewBatchNorm2D(3)
+	// Non-trivial statistics and affine.
+	for c := 0; c < 3; c++ {
+		bn.Mu[c] = float32(c) * 0.3
+		bn.Var[c] = 0.5 + float32(c)
+		bn.Gamma.Value.Data()[c] = 1.5 - float32(c)*0.4
+		bn.Beta.Value.Data()[c] = float32(c) * 0.1
+	}
+	net := NewNetwork("fold",
+		NewConv2D(1, 3, 3, 1, 1, src),
+		bn,
+		NewReLU(),
+		NewDropout(0.3, 5),
+		NewFlatten(),
+		NewDense(3*6*6, 4, src),
+	)
+	folded, err := FoldBatchNorm(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No BN or Dropout remains.
+	for _, l := range folded.Layers {
+		switch l.(type) {
+		case *BatchNorm2D, *Dropout:
+			t.Fatalf("folded network still contains %s", l.Name())
+		}
+	}
+	// Behavioural equivalence at inference (dropout off).
+	r := prng.New(6)
+	for trial := 0; trial < 10; trial++ {
+		x := tensor.New(1, 6, 6)
+		for i := range x.Data() {
+			x.Data()[i] = r.Float32()
+		}
+		a := net.Forward(x)
+		b := folded.Forward(x)
+		if tensor.MaxAbsDiff(a, b) > 1e-4 {
+			t.Fatalf("folded output differs by %v", tensor.MaxAbsDiff(a, b))
+		}
+	}
+	// The original is untouched.
+	for _, l := range net.Layers {
+		if _, ok := l.(*BatchNorm2D); ok {
+			return
+		}
+	}
+	t.Fatal("original network lost its BatchNorm")
+}
+
+func TestFoldBatchNormErrors(t *testing.T) {
+	src := prng.New(7)
+	// BN first: nothing to fold into.
+	n1 := NewNetwork("e1", NewBatchNorm2D(1), NewFlatten(), NewDense(16, 2, src))
+	if _, err := FoldBatchNorm(n1); err == nil {
+		t.Fatal("leading BN should error")
+	}
+	// BN after ReLU: not foldable.
+	n2 := NewNetwork("e2",
+		NewConv2D(1, 2, 3, 1, 1, src), NewReLU(), NewBatchNorm2D(2))
+	if _, err := FoldBatchNorm(n2); err == nil {
+		t.Fatal("BN after ReLU should error")
+	}
+}
+
+func TestBatchNormSerializationRoundTrip(t *testing.T) {
+	src := prng.New(8)
+	bn := NewBatchNorm2D(2)
+	bn.Mu[0], bn.Var[1] = 0.7, 3.3
+	bn.Gamma.Value.Data()[1] = 2
+	net := NewNetwork("bn-io",
+		NewConv2D(1, 2, 3, 1, 1, src), bn, NewFlatten(), NewDense(2*4*4, 2, src))
+	blob, err := Marshal(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, 4, 4)
+	for i := range x.Data() {
+		x.Data()[i] = src.Float32()
+	}
+	if !tensor.Equal(net.Forward(x), back.Forward(x)) {
+		t.Fatal("BN round trip changed outputs")
+	}
+	bnBack := back.Layers[1].(*BatchNorm2D)
+	if bnBack.Mu[0] != 0.7 || bnBack.Var[1] != 3.3 {
+		t.Fatal("BN buffers not preserved")
+	}
+}
+
+func TestDropoutIdentityInEval(t *testing.T) {
+	d := NewDropout(0.5, 1)
+	in := tensor.FromSlice([]float32{1, 2, 3, 4}, 4)
+	out := d.Forward(in)
+	if !tensor.Equal(out, in) {
+		t.Fatal("eval-mode dropout must be identity")
+	}
+	g := d.Backward(in)
+	if !tensor.Equal(g, in) {
+		t.Fatal("eval-mode dropout backward must be identity")
+	}
+}
+
+func TestDropoutTrainingDropsAndScales(t *testing.T) {
+	d := NewDropout(0.5, 2)
+	d.SetTraining(true)
+	in := tensor.New(1000)
+	in.Fill(1)
+	out := d.Forward(in)
+	zeros, scaled := 0, 0
+	for _, v := range out.Data() {
+		switch v {
+		case 0:
+			zeros++
+		case 2: // 1/(1-0.5)
+			scaled++
+		default:
+			t.Fatalf("unexpected dropout output %v", v)
+		}
+	}
+	if zeros < 400 || zeros > 600 {
+		t.Fatalf("dropped %d/1000 at rate 0.5", zeros)
+	}
+	if zeros+scaled != 1000 {
+		t.Fatal("output count mismatch")
+	}
+	// Backward routes through the same mask.
+	g := d.Backward(in)
+	for i, v := range g.Data() {
+		if (out.Data()[i] == 0) != (v == 0) {
+			t.Fatal("backward mask differs from forward mask")
+		}
+	}
+}
+
+func TestDropoutExpectationPreserved(t *testing.T) {
+	d := NewDropout(0.3, 3)
+	d.SetTraining(true)
+	in := tensor.New(20000)
+	in.Fill(1)
+	out := d.Forward(in)
+	var sum float64
+	for _, v := range out.Data() {
+		sum += float64(v)
+	}
+	mean := sum / float64(in.Len())
+	if math.Abs(mean-1) > 0.03 {
+		t.Fatalf("dropout mean %v, want ~1 (inverted scaling)", mean)
+	}
+}
+
+func TestDropoutPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDropout(1, 1)
+}
+
+func TestNetworkSetTrainingTogglesDropout(t *testing.T) {
+	src := prng.New(9)
+	drop := NewDropout(0.5, 10)
+	net := NewNetwork("toggle", NewDense(4, 4, src), drop)
+	x := tensor.FromSlice([]float32{1, 1, 1, 1}, 4)
+	net.SetTraining(true)
+	a := net.Forward(x).Clone()
+	net.SetTraining(false)
+	b := net.Forward(x)
+	// Eval output equals the dense output exactly; training output has
+	// zeros with overwhelming probability.
+	zerosA := 0
+	for _, v := range a.Data() {
+		if v == 0 {
+			zerosA++
+		}
+	}
+	if zerosA == 0 {
+		t.Log("no drops in 4 elements this seed; still verifying eval path")
+	}
+	dense := net.Layers[0].Forward(x)
+	if !tensor.Equal(b, dense) {
+		t.Fatal("eval forward must bypass dropout")
+	}
+}
+
+func TestTrainingWithDropoutAndBNStillLearns(t *testing.T) {
+	// Integration: the full modern stack must still reach high accuracy
+	// and remain deterministic.
+	build := func() *Network {
+		src := prng.New(20)
+		bn := NewBatchNorm2D(4)
+		return NewNetwork("modern",
+			NewConv2D(1, 4, 3, 1, 1, src), bn, NewReLU(), NewMaxPool2D(2, 2),
+			NewFlatten(), NewDropout(0.2, 21), NewDense(4*2*2, 2, src))
+	}
+	ds := &blobs{}
+	r := prng.New(22)
+	for i := 0; i < 120; i++ {
+		x := tensor.New(1, 4, 4)
+		label := i % 2
+		base := float32(0.2)
+		if label == 1 {
+			base = 0.8
+		}
+		for j := range x.Data() {
+			x.Data()[j] = base + float32(r.NormFloat64())*0.1
+		}
+		ds.xs = append(ds.xs, x)
+		ds.labels = append(ds.labels, label)
+	}
+	train := func() (*Network, float64) {
+		net := build()
+		if err := CalibrateBatchNorms(net, ds); err != nil {
+			t.Fatal(err)
+		}
+		_, acc, err := TrainClassifier(net, ds, TrainConfig{
+			Epochs: 10, BatchSize: 8, LR: 0.05, Momentum: 0.9, Seed: 23,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net, acc
+	}
+	net1, acc := train()
+	if acc < 0.9 {
+		t.Fatalf("modern stack accuracy %v", acc)
+	}
+	net2, _ := train()
+	h1, _ := Hash(net1)
+	h2, _ := Hash(net2)
+	if h1 != h2 {
+		t.Fatal("training with dropout+BN is not deterministic")
+	}
+}

@@ -1,0 +1,197 @@
+package nn
+
+import (
+	"errors"
+	"math"
+
+	"safexplain/internal/prng"
+	"safexplain/internal/tensor"
+)
+
+// SGD is a stochastic-gradient-descent optimizer with classical momentum
+// and L2 weight decay. One SGD instance is bound to one network's
+// parameters (the velocity buffers are allocated on first Step).
+type SGD struct {
+	LR          float32
+	Momentum    float32
+	WeightDecay float32
+	// ClipNorm, when positive, rescales the (batch-averaged) gradient so
+	// its global L2 norm never exceeds this bound — bounded update steps,
+	// which both stabilizes BatchNorm-style parameters with outsized
+	// gradient accumulation and gives the safety case a provable per-step
+	// change bound.
+	ClipNorm float32
+
+	velocity map[*Param]*tensor.Tensor
+}
+
+// NewSGD returns an optimizer with the given hyperparameters.
+func NewSGD(lr, momentum, weightDecay float32) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay,
+		velocity: make(map[*Param]*tensor.Tensor)}
+}
+
+// Step applies one update to every parameter from its accumulated gradient
+// (scaled by 1/batchSize, then clipped to ClipNorm if set) and clears the
+// gradients.
+func (s *SGD) Step(params []*Param, batchSize int) {
+	scale := float32(1)
+	if batchSize > 0 {
+		scale = 1 / float32(batchSize)
+	}
+	if s.ClipNorm > 0 {
+		var sumSq float64
+		for _, p := range params {
+			for _, g := range p.Grad.Data() {
+				v := float64(g) * float64(scale)
+				sumSq += v * v
+			}
+		}
+		if norm := float32(math.Sqrt(sumSq)); norm > s.ClipNorm {
+			scale *= s.ClipNorm / norm
+		}
+	}
+	for _, p := range params {
+		v := s.velocity[p]
+		if v == nil {
+			v = tensor.New(p.Value.Shape()...)
+			s.velocity[p] = v
+		}
+		pv := p.Value.Data()
+		pg := p.Grad.Data()
+		vd := v.Data()
+		for i := range pv {
+			g := pg[i]*scale + s.WeightDecay*pv[i]
+			vd[i] = s.Momentum*vd[i] - s.LR*g
+			pv[i] += vd[i]
+		}
+		p.Grad.Zero()
+	}
+}
+
+// Dataset is the minimal classified-sample view the trainer needs.
+type Dataset interface {
+	Len() int
+	Sample(i int) (x *tensor.Tensor, label int)
+}
+
+// TrainConfig controls a classification training run.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float32
+	Momentum  float32
+	Decay     float32
+	ClipNorm  float32
+	// Seed drives the per-epoch shuffle; the whole run is a deterministic
+	// function of (initial weights, dataset, Seed).
+	Seed uint64
+	// Progress, if non-nil, receives (epoch, meanLoss, accuracy) after each
+	// epoch.
+	Progress func(epoch int, loss, acc float64)
+}
+
+// TrainClassifier trains net on ds with softmax cross-entropy and returns
+// the final-epoch mean loss and training accuracy.
+func TrainClassifier(net *Network, ds Dataset, cfg TrainConfig) (loss, acc float64, err error) {
+	if ds.Len() == 0 {
+		return 0, 0, errors.New("nn: empty dataset")
+	}
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 {
+		return 0, 0, errors.New("nn: Epochs and BatchSize must be positive")
+	}
+	opt := NewSGD(cfg.LR, cfg.Momentum, cfg.Decay)
+	opt.ClipNorm = cfg.ClipNorm
+	src := prng.New(cfg.Seed)
+	params := net.Params()
+	net.SetTraining(true)
+	defer net.SetTraining(false)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := src.Perm(ds.Len())
+		var epochLoss float64
+		correct := 0
+		inBatch := 0
+		for _, idx := range perm {
+			x, label := ds.Sample(idx)
+			logits := net.Forward(x)
+			if logits.Argmax() == label {
+				correct++
+			}
+			l, grad := SoftmaxCrossEntropy(logits, label)
+			epochLoss += l
+			net.Backward(grad)
+			inBatch++
+			if inBatch == cfg.BatchSize {
+				opt.Step(params, inBatch)
+				inBatch = 0
+			}
+		}
+		if inBatch > 0 {
+			opt.Step(params, inBatch)
+		}
+		loss = epochLoss / float64(ds.Len())
+		acc = float64(correct) / float64(ds.Len())
+		if cfg.Progress != nil {
+			cfg.Progress(epoch, loss, acc)
+		}
+	}
+	return loss, acc, nil
+}
+
+// TrainAutoencoder trains net to reconstruct its input under MSE and
+// returns the final-epoch mean loss. The dataset labels are ignored.
+func TrainAutoencoder(net *Network, ds Dataset, cfg TrainConfig) (loss float64, err error) {
+	if ds.Len() == 0 {
+		return 0, errors.New("nn: empty dataset")
+	}
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 {
+		return 0, errors.New("nn: Epochs and BatchSize must be positive")
+	}
+	opt := NewSGD(cfg.LR, cfg.Momentum, cfg.Decay)
+	opt.ClipNorm = cfg.ClipNorm
+	src := prng.New(cfg.Seed)
+	params := net.Params()
+	net.SetTraining(true)
+	defer net.SetTraining(false)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := src.Perm(ds.Len())
+		var epochLoss float64
+		inBatch := 0
+		for _, idx := range perm {
+			x, _ := ds.Sample(idx)
+			flat := x.Reshape(x.Len())
+			out := net.Forward(flat)
+			l, grad := MSE(out, flat)
+			epochLoss += l
+			net.Backward(grad)
+			inBatch++
+			if inBatch == cfg.BatchSize {
+				opt.Step(params, inBatch)
+				inBatch = 0
+			}
+		}
+		if inBatch > 0 {
+			opt.Step(params, inBatch)
+		}
+		loss = epochLoss / float64(ds.Len())
+		if cfg.Progress != nil {
+			cfg.Progress(epoch, loss, 0)
+		}
+	}
+	return loss, nil
+}
+
+// Evaluate returns the classification accuracy of net on ds.
+func Evaluate(net *Network, ds Dataset) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < ds.Len(); i++ {
+		x, label := ds.Sample(i)
+		if class, _ := net.Predict(x); class == label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}

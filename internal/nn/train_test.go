@@ -1,0 +1,174 @@
+package nn
+
+import (
+	"testing"
+
+	"safexplain/internal/prng"
+	"safexplain/internal/tensor"
+)
+
+// blobs is a tiny linearly-separable 2-class dataset.
+type blobs struct {
+	xs     []*tensor.Tensor
+	labels []int
+}
+
+func makeBlobs(n int, seed uint64) *blobs {
+	r := prng.New(seed)
+	b := &blobs{}
+	for i := 0; i < n; i++ {
+		label := i % 2
+		cx := float32(-1)
+		if label == 1 {
+			cx = 1
+		}
+		x := tensor.New(2)
+		x.Data()[0] = cx + float32(r.NormFloat64())*0.3
+		x.Data()[1] = cx + float32(r.NormFloat64())*0.3
+		b.xs = append(b.xs, x)
+		b.labels = append(b.labels, label)
+	}
+	return b
+}
+
+func (b *blobs) Len() int { return len(b.xs) }
+func (b *blobs) Sample(i int) (*tensor.Tensor, int) {
+	return b.xs[i], b.labels[i]
+}
+
+func TestTrainClassifierLearnsBlobs(t *testing.T) {
+	ds := makeBlobs(200, 1)
+	net := NewNetwork("blobs",
+		NewDense(2, 8, prng.New(2)), NewReLU(), NewDense(8, 2, prng.New(3)))
+	loss, acc, err := TrainClassifier(net, ds, TrainConfig{
+		Epochs: 20, BatchSize: 10, LR: 0.1, Momentum: 0.9, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Fatalf("training accuracy %v on separable data (loss %v)", acc, loss)
+	}
+	if got := Evaluate(net, makeBlobs(100, 99)); got < 0.9 {
+		t.Fatalf("held-out accuracy %v", got)
+	}
+}
+
+func TestTrainingLossDecreases(t *testing.T) {
+	ds := makeBlobs(100, 5)
+	net := NewNetwork("ld",
+		NewDense(2, 6, prng.New(6)), NewReLU(), NewDense(6, 2, prng.New(7)))
+	var losses []float64
+	_, _, err := TrainClassifier(net, ds, TrainConfig{
+		Epochs: 10, BatchSize: 10, LR: 0.05, Seed: 8,
+		Progress: func(_ int, l, _ float64) { losses = append(losses, l) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("loss did not decrease: %v -> %v", losses[0], losses[len(losses)-1])
+	}
+}
+
+func TestTrainingFullyDeterministic(t *testing.T) {
+	// The headline reproducibility property: identical seeds yield
+	// bit-identical trained weights.
+	train := func() *Network {
+		ds := makeBlobs(80, 11)
+		net := NewNetwork("det",
+			NewDense(2, 6, prng.New(12)), NewReLU(), NewDense(6, 2, prng.New(13)))
+		_, _, err := TrainClassifier(net, ds, TrainConfig{
+			Epochs: 5, BatchSize: 8, LR: 0.05, Momentum: 0.9, Seed: 14,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+	a, b := train(), train()
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		if !tensor.Equal(pa[i].Value, pb[i].Value) {
+			t.Fatalf("parameter %s differs between identical runs", pa[i].Name)
+		}
+	}
+}
+
+func TestTrainConfigValidation(t *testing.T) {
+	ds := makeBlobs(10, 1)
+	net := NewNetwork("v", NewDense(2, 2, prng.New(1)))
+	if _, _, err := TrainClassifier(net, ds, TrainConfig{Epochs: 0, BatchSize: 1}); err == nil {
+		t.Fatal("zero epochs must error")
+	}
+	if _, _, err := TrainClassifier(net, &blobs{}, TrainConfig{Epochs: 1, BatchSize: 1}); err == nil {
+		t.Fatal("empty dataset must error")
+	}
+}
+
+func TestWeightDecayShrinksWeights(t *testing.T) {
+	p := &Param{Value: tensor.FromSlice([]float32{10}, 1), Grad: tensor.New(1)}
+	opt := NewSGD(0.1, 0, 0.5)
+	opt.Step([]*Param{p}, 1)
+	// g = 0 + 0.5*10 = 5; w = 10 - 0.1*5 = 9.5.
+	if p.Value.Data()[0] != 9.5 {
+		t.Fatalf("weight decay step gave %v, want 9.5", p.Value.Data()[0])
+	}
+}
+
+func TestMomentumAccumulates(t *testing.T) {
+	p := &Param{Value: tensor.New(1), Grad: tensor.New(1)}
+	opt := NewSGD(1, 0.5, 0)
+	p.Grad.Data()[0] = 1
+	opt.Step([]*Param{p}, 1) // v = -1, w = -1
+	p.Grad.Data()[0] = 1
+	opt.Step([]*Param{p}, 1) // v = -1.5, w = -2.5
+	if p.Value.Data()[0] != -2.5 {
+		t.Fatalf("momentum gave %v, want -2.5", p.Value.Data()[0])
+	}
+}
+
+func TestSGDStepClearsGradients(t *testing.T) {
+	p := &Param{Value: tensor.New(1), Grad: tensor.FromSlice([]float32{3}, 1)}
+	NewSGD(0.1, 0, 0).Step([]*Param{p}, 1)
+	if p.Grad.Data()[0] != 0 {
+		t.Fatal("Step must clear gradients")
+	}
+}
+
+func TestTrainAutoencoderReconstructs(t *testing.T) {
+	// Inputs in [0,1]^4 clustered near two corners; a 4-2-4 bottleneck
+	// should reach low reconstruction error.
+	r := prng.New(20)
+	ds := &blobs{}
+	for i := 0; i < 100; i++ {
+		x := tensor.New(4)
+		base := float32(0.2)
+		if i%2 == 1 {
+			base = 0.8
+		}
+		for j := range x.Data() {
+			x.Data()[j] = base + float32(r.NormFloat64())*0.05
+		}
+		ds.xs = append(ds.xs, x)
+		ds.labels = append(ds.labels, i%2)
+	}
+	net := NewNetwork("ae",
+		NewDense(4, 2, prng.New(21)), NewTanh(), NewDense(2, 4, prng.New(22)), NewSigmoid())
+	loss, err := TrainAutoencoder(net, ds, TrainConfig{
+		Epochs: 60, BatchSize: 10, LR: 0.5, Momentum: 0.9, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 0.01 {
+		t.Fatalf("autoencoder reconstruction loss %v too high", loss)
+	}
+}
+
+func TestEvaluateEmptyDataset(t *testing.T) {
+	net := NewNetwork("e", NewDense(2, 2, prng.New(1)))
+	if Evaluate(net, &blobs{}) != 0 {
+		t.Fatal("empty dataset should evaluate to 0")
+	}
+}

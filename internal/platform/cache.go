@@ -1,0 +1,239 @@
+// Package platform is the embedded-platform timing simulator behind pillar
+// P4: "computing platform configurations to regain determinism, and
+// probabilistic timing analyses to handle the remaining non-determinism".
+//
+// The simulator is cycle-approximate, not cycle-accurate to any silicon:
+// what matters for the reproduction is the *statistical structure* of
+// execution times, which comes from exactly the mechanisms modelled here —
+// cache hits vs misses under different placement/replacement policies,
+// co-runner interference on a shared bus, and (for MBPTA) deliberate time
+// randomization that turns systematic timing variation into an i.i.d.
+// random variable EVT can bound.
+//
+// Supported configurations mirror the techniques the paper alludes to:
+//
+//   - LRU set-associative caches (conventional COTS behaviour)
+//   - cache way-locking (preloaded lines never evicted — "regain
+//     determinism" by construction)
+//   - cache partitioning (co-runners confined to their own ways)
+//   - random placement and random replacement (time-randomized
+//     architectures, the PROXIMA-style MBPTA enabler)
+//   - bus arbitration: TDMA (deterministic slots) or randomized
+//     arbitration, with a configurable number of co-runners.
+package platform
+
+import (
+	"fmt"
+
+	"safexplain/internal/prng"
+)
+
+// ReplacementPolicy selects the cache eviction policy.
+type ReplacementPolicy int
+
+// Replacement policies.
+const (
+	// LRU evicts the least recently used way — deterministic, history-
+	// dependent.
+	LRU ReplacementPolicy = iota
+	// RandomReplacement evicts a uniformly random way — time-randomized.
+	RandomReplacement
+)
+
+// String returns the policy name.
+func (p ReplacementPolicy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case RandomReplacement:
+		return "random"
+	default:
+		return fmt.Sprintf("ReplacementPolicy(%d)", int(p))
+	}
+}
+
+// CacheConfig describes one cache.
+type CacheConfig struct {
+	Sets      int // number of sets (power of two)
+	Ways      int // associativity
+	LineBytes int // line size (power of two)
+
+	Policy ReplacementPolicy
+	// RandomPlacement hashes the set index with a per-run seed, the
+	// time-randomized placement of MBPTA-friendly architectures.
+	RandomPlacement bool
+	// PartitionWays reserves this many ways for the task under analysis;
+	// co-runner pollution only touches the remaining ways. 0 disables
+	// partitioning (fully shared cache).
+	PartitionWays int
+}
+
+type line struct {
+	tag    uint64
+	valid  bool
+	locked bool
+	used   uint64 // LRU timestamp
+}
+
+// Cache is one set-associative cache instance. Not safe for concurrent
+// use.
+type Cache struct {
+	cfg       CacheConfig
+	lineShift uint
+	setMask   uint64
+	lines     [][]line // [set][way]
+	clock     uint64
+	seed      uint64 // placement hash seed for this run
+	rng       *prng.Source
+}
+
+// NewCache builds a cache for one measurement run. seed drives the
+// randomized aspects (placement hash, random replacement); deterministic
+// configurations ignore it.
+func NewCache(cfg CacheConfig, seed uint64) *Cache {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 || cfg.LineBytes <= 0 {
+		panic(fmt.Sprintf("platform: invalid cache config %+v", cfg))
+	}
+	if cfg.Sets&(cfg.Sets-1) != 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic("platform: Sets and LineBytes must be powers of two")
+	}
+	c := &Cache{
+		cfg:     cfg,
+		setMask: uint64(cfg.Sets - 1),
+		seed:    seed,
+		rng:     prng.NewStream(seed, 0x9e3779b9),
+	}
+	for cfg.LineBytes>>c.lineShift > 1 {
+		c.lineShift++
+	}
+	c.lines = make([][]line, cfg.Sets)
+	for i := range c.lines {
+		c.lines[i] = make([]line, cfg.Ways)
+	}
+	return c
+}
+
+// setIndex maps a line address to its set, optionally via the randomized
+// placement hash.
+func (c *Cache) setIndex(lineAddr uint64) int {
+	if !c.cfg.RandomPlacement {
+		return int(lineAddr & c.setMask)
+	}
+	// splitmix64-style parametric hash of (lineAddr, seed).
+	z := lineAddr + c.seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z & c.setMask)
+}
+
+// Access looks up addr, allocating on miss, and reports whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.clock++
+	lineAddr := addr >> c.lineShift
+	set := c.lines[c.setIndex(lineAddr)]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].used = c.clock
+			return true
+		}
+	}
+	c.fill(set, lineAddr, false)
+	return false
+}
+
+// fill allocates lineAddr into the set, evicting per policy. Locked lines
+// are never evicted. The victim search is restricted to the task partition
+// when partitioning is on (ways [0, PartitionWays)).
+func (c *Cache) fill(set []line, lineAddr uint64, lock bool) {
+	ways := len(set)
+	limit := ways
+	if c.cfg.PartitionWays > 0 && c.cfg.PartitionWays < ways {
+		limit = c.cfg.PartitionWays
+	}
+	// Prefer an invalid way.
+	for i := 0; i < limit; i++ {
+		if !set[i].valid {
+			set[i] = line{tag: lineAddr, valid: true, locked: lock, used: c.clock}
+			return
+		}
+	}
+	// Choose a victim among unlocked ways.
+	victim := -1
+	switch c.cfg.Policy {
+	case RandomReplacement:
+		// Collect unlocked candidates deterministically, then pick one.
+		var candidates []int
+		for i := 0; i < limit; i++ {
+			if !set[i].locked {
+				candidates = append(candidates, i)
+			}
+		}
+		if len(candidates) > 0 {
+			victim = candidates[c.rng.Intn(len(candidates))]
+		}
+	default: // LRU
+		var oldest uint64 = ^uint64(0)
+		for i := 0; i < limit; i++ {
+			if !set[i].locked && set[i].used < oldest {
+				oldest = set[i].used
+				victim = i
+			}
+		}
+	}
+	if victim < 0 {
+		// Fully locked set: the new line bypasses the cache.
+		return
+	}
+	set[victim] = line{tag: lineAddr, valid: true, locked: lock, used: c.clock}
+}
+
+// Lock preloads addr's line and pins it: it will hit on every later access
+// and never be evicted (way-locking / cache lockdown).
+func (c *Cache) Lock(addr uint64) {
+	c.clock++
+	lineAddr := addr >> c.lineShift
+	set := c.lines[c.setIndex(lineAddr)]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].locked = true
+			set[i].used = c.clock
+			return
+		}
+	}
+	c.fill(set, lineAddr, true)
+}
+
+// PolluteRandom models co-runner cache pollution on a shared cache: it
+// invalidates one random unlocked line outside the task partition (or
+// anywhere, if unpartitioned). r drives victim choice so pollution is part
+// of the run's random state.
+func (c *Cache) PolluteRandom(r *prng.Source) {
+	set := c.lines[r.Intn(c.cfg.Sets)]
+	start := 0
+	if c.cfg.PartitionWays > 0 && c.cfg.PartitionWays < c.cfg.Ways {
+		start = c.cfg.PartitionWays // partition shields ways [0, PartitionWays)
+	}
+	if start >= c.cfg.Ways {
+		return
+	}
+	i := start + r.Intn(c.cfg.Ways-start)
+	if !set[i].locked {
+		set[i].valid = false
+	}
+}
+
+// Stats reports the valid and locked line counts, for tests.
+func (c *Cache) Stats() (valid, locked int) {
+	for _, set := range c.lines {
+		for _, l := range set {
+			if l.valid {
+				valid++
+				if l.locked {
+					locked++
+				}
+			}
+		}
+	}
+	return valid, locked
+}

@@ -1,0 +1,284 @@
+package platform
+
+import (
+	"testing"
+
+	"safexplain/internal/prng"
+	"safexplain/internal/stats"
+)
+
+func cfgByName(t testing.TB, name string) Config {
+	t.Helper()
+	for _, c := range StandardConfigs() {
+		if c.Name == name {
+			return c
+		}
+	}
+	t.Fatalf("no config %q", name)
+	return Config{}
+}
+
+func TestCacheHitAfterFill(t *testing.T) {
+	c := NewCache(CacheConfig{Sets: 4, Ways: 2, LineBytes: 32}, 0)
+	if c.Access(0x100) {
+		t.Fatal("cold access should miss")
+	}
+	if !c.Access(0x100) {
+		t.Fatal("second access should hit")
+	}
+	// Same line, different byte: still a hit.
+	if !c.Access(0x11f) {
+		t.Fatal("same-line access should hit")
+	}
+	// Next line: miss.
+	if c.Access(0x120) {
+		t.Fatal("next line should miss")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Direct-mapped-ish: 1 set × 2 ways; three distinct lines mapping to
+	// the same set must evict the least recently used.
+	c := NewCache(CacheConfig{Sets: 1, Ways: 2, LineBytes: 32, Policy: LRU}, 0)
+	c.Access(0x000) // A
+	c.Access(0x100) // B
+	c.Access(0x000) // touch A (B is now LRU)
+	c.Access(0x200) // C evicts B
+	if !c.Access(0x000) {
+		t.Fatal("A should survive")
+	}
+	if c.Access(0x100) {
+		t.Fatal("B should have been evicted")
+	}
+}
+
+func TestCacheLockedLinesSurvive(t *testing.T) {
+	c := NewCache(CacheConfig{Sets: 1, Ways: 2, LineBytes: 32, Policy: LRU}, 0)
+	c.Lock(0x000)
+	// Stream many conflicting lines.
+	for i := 1; i <= 10; i++ {
+		c.Access(uint64(i) * 0x100)
+	}
+	if !c.Access(0x000) {
+		t.Fatal("locked line was evicted")
+	}
+	_, locked := c.Stats()
+	if locked != 1 {
+		t.Fatalf("locked count = %d", locked)
+	}
+}
+
+func TestCacheFullyLockedSetBypasses(t *testing.T) {
+	c := NewCache(CacheConfig{Sets: 1, Ways: 2, LineBytes: 32, Policy: LRU}, 0)
+	c.Lock(0x000)
+	c.Lock(0x100)
+	c.Access(0x200) // cannot allocate
+	if c.Access(0x200) {
+		t.Fatal("line in a fully locked set must not be cached")
+	}
+	if !c.Access(0x000) || !c.Access(0x100) {
+		t.Fatal("locked lines must still hit")
+	}
+}
+
+func TestCachePollutionRespectsPartition(t *testing.T) {
+	cfg := CacheConfig{Sets: 2, Ways: 4, LineBytes: 32, Policy: LRU, PartitionWays: 2}
+	c := NewCache(cfg, 1)
+	// Fill the task partition (ways 0-1 of both sets): with 32-byte lines
+	// and 2 sets, set = (addr>>5)&1, so lines 0/2 land in set 0 and lines
+	// 1/3 in set 1.
+	addrs := []uint64{0x000, 0x040, 0x020, 0x060}
+	for _, a := range addrs {
+		c.Access(a)
+	}
+	r := prng.New(2)
+	for i := 0; i < 1000; i++ {
+		c.PolluteRandom(r)
+	}
+	for _, a := range addrs {
+		if !c.Access(a) {
+			t.Fatalf("partitioned line %#x was polluted", a)
+		}
+	}
+}
+
+func TestCachePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two sets")
+		}
+	}()
+	NewCache(CacheConfig{Sets: 3, Ways: 1, LineBytes: 32}, 0)
+}
+
+func TestWorkloadTracesDeterministic(t *testing.T) {
+	for _, w := range []Workload{NewConvWorkload(), NewDenseWorkload(), NewCNNWorkload()} {
+		a := w.Trace()
+		b := w.Trace()
+		if len(a) == 0 || len(a) != len(b) {
+			t.Fatalf("%s: bad trace lengths %d/%d", w.Name(), len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: trace not deterministic at %d", w.Name(), i)
+			}
+		}
+		if w.Instructions() == 0 {
+			t.Fatalf("%s: zero instructions", w.Name())
+		}
+		if len(w.HotSet()) == 0 {
+			t.Fatalf("%s: empty hot set", w.Name())
+		}
+	}
+}
+
+func TestDeterministicConfigsZeroJitter(t *testing.T) {
+	// The "regain determinism" claim: with locking + TDMA, the execution
+	// time must be identical for every run seed.
+	cfg := cfgByName(t, "locked-tdma")
+	cfg.PollutionRate = 0 // locked lines + no pollution: fully deterministic
+	w := NewConvWorkload()
+	first := Run(cfg, w, 1)
+	for seed := uint64(2); seed < 20; seed++ {
+		if got := Run(cfg, w, seed); got != first {
+			t.Fatalf("deterministic config varied: %d vs %d (seed %d)", got, first, seed)
+		}
+	}
+}
+
+func TestIsolatedLRUDeterministicPerInput(t *testing.T) {
+	cfg := cfgByName(t, "lru-isolated")
+	w := NewCNNWorkload()
+	a := Run(cfg, w, 1)
+	b := Run(cfg, w, 999)
+	if a != b {
+		t.Fatalf("isolated LRU should not depend on run seed: %d vs %d", a, b)
+	}
+}
+
+func TestContentionIncreasesTimeAndJitter(t *testing.T) {
+	w := NewConvWorkload()
+	isolated := Campaign(cfgByName(t, "lru-isolated"), w, 30, 1)
+	contended := Campaign(cfgByName(t, "lru-contended"), w, 30, 2)
+	if stats.Mean(contended) <= stats.Mean(isolated) {
+		t.Fatalf("contention did not slow execution: %v vs %v",
+			stats.Mean(contended), stats.Mean(isolated))
+	}
+	loI, hiI := stats.MinMax(isolated)
+	loC, hiC := stats.MinMax(contended)
+	if hiC-loC <= hiI-loI {
+		t.Fatalf("contention did not add jitter: range %v vs %v", hiC-loC, hiI-loI)
+	}
+}
+
+func TestLockingReducesJitterUnderContention(t *testing.T) {
+	w := NewConvWorkload()
+	contended := Campaign(cfgByName(t, "lru-contended"), w, 40, 3)
+	locked := Campaign(cfgByName(t, "locked-tdma"), w, 40, 4)
+	_, hiC := stats.MinMax(contended)
+	loC, _ := stats.MinMax(contended)
+	loL, hiL := stats.MinMax(locked)
+	if (hiL - loL) >= (hiC - loC) {
+		t.Fatalf("locking+TDMA jitter %v not below contended %v", hiL-loL, hiC-loC)
+	}
+}
+
+func TestPartitioningReducesJitter(t *testing.T) {
+	w := NewConvWorkload()
+	contended := Campaign(cfgByName(t, "lru-contended"), w, 40, 5)
+	part := Campaign(cfgByName(t, "partitioned-tdma"), w, 40, 6)
+	if stats.StdDev(part) >= stats.StdDev(contended) {
+		t.Fatalf("partitioning stddev %v not below contended %v",
+			stats.StdDev(part), stats.StdDev(contended))
+	}
+}
+
+func TestRandomizedConfigProducesIIDSamples(t *testing.T) {
+	// The MBPTA prerequisite: time-randomization makes execution times
+	// pass independence and identical-distribution diagnostics.
+	cfg := cfgByName(t, "time-randomized")
+	w := NewConvWorkload()
+	samples := Campaign(cfg, w, 300, 7)
+	if p, err := stats.RunsTest(samples); err != nil || p < 0.01 {
+		t.Fatalf("runs test rejects randomized samples: p=%v err=%v", p, err)
+	}
+	if p, err := stats.LjungBox(samples, 10); err != nil || p < 0.01 {
+		t.Fatalf("Ljung-Box rejects randomized samples: p=%v err=%v", p, err)
+	}
+	half := len(samples) / 2
+	if p, err := stats.KolmogorovSmirnov(samples[:half], samples[half:]); err != nil || p < 0.01 {
+		t.Fatalf("KS rejects randomized samples: p=%v err=%v", p, err)
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	cfg := cfgByName(t, "time-randomized")
+	w := NewDenseWorkload()
+	a := Campaign(cfg, w, 20, 42)
+	b := Campaign(cfg, w, 20, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("campaign not reproducible from its seed")
+		}
+	}
+}
+
+func TestPolicyAndBusStrings(t *testing.T) {
+	if LRU.String() != "LRU" || RandomReplacement.String() != "random" {
+		t.Fatal("replacement policy names wrong")
+	}
+	if TDMA.String() != "TDMA" || RandomArbitration.String() != "random-arbitration" {
+		t.Fatal("bus policy names wrong")
+	}
+}
+
+func TestStandardConfigNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range StandardConfigs() {
+		if seen[c.Name] {
+			t.Fatalf("duplicate config %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("expected 5 configs, got %d", len(seen))
+	}
+}
+
+func TestStaticBoundDominatesEveryRun(t *testing.T) {
+	// Soundness: the static bound must exceed every measured execution
+	// time on every configuration.
+	w := NewConvWorkload()
+	for _, cfg := range StandardConfigs() {
+		bound := StaticBound(cfg, w)
+		for _, v := range Campaign(cfg, w, 30, 11) {
+			if uint64(v) > bound {
+				t.Fatalf("%s: measured %v exceeds static bound %d", cfg.Name, v, bound)
+			}
+		}
+	}
+}
+
+func TestStaticBoundPessimism(t *testing.T) {
+	// The reason MBPTA exists: on a cache-friendly workload the static
+	// bound is far above typical behaviour.
+	w := NewConvWorkload()
+	cfg := cfgByName(t, "time-randomized")
+	bound := float64(StaticBound(cfg, w))
+	mean := stats.Mean(Campaign(cfg, w, 30, 12))
+	if bound < 1.5*mean {
+		t.Fatalf("static bound %v suspiciously tight vs mean %v", bound, mean)
+	}
+}
+
+func TestStaticBoundLockingCredit(t *testing.T) {
+	// Locked configurations get hit-credit for the pinned lines, so their
+	// static bound must be below the same config without locking.
+	w := NewConvWorkload()
+	locked := cfgByName(t, "locked-tdma")
+	unlocked := locked
+	unlocked.LockWorkingSet = false
+	if StaticBound(locked, w) >= StaticBound(unlocked, w) {
+		t.Fatal("locking did not reduce the static bound")
+	}
+}

@@ -1,0 +1,150 @@
+package platform
+
+// Workload models: deterministic address traces shaped like the inference
+// kernels the FUSA library runs. The traces reproduce the access patterns
+// that make DL timing cache-sensitive — strided input reads, sequential
+// weight streaming, repeated reuse of small hot arrays — without needing
+// the actual arithmetic, which contributes only the constant CPI term.
+
+// Memory map: disjoint regions so workload arrays never alias.
+const (
+	regionInput  uint64 = 0x0001_0000
+	regionWeight uint64 = 0x0010_0000
+	regionOutput uint64 = 0x0020_0000
+	elemSize     uint64 = 4 // float32/int32 elements
+)
+
+// ConvWorkload is a single conv2d layer's access trace: for every output
+// element it streams a kernel window of the input and the corresponding
+// weights, then writes the output once.
+type ConvWorkload struct {
+	InC, H, W   int
+	OutC, K     int
+	Stride, Pad int
+}
+
+// NewConvWorkload returns the conv workload used by T6/T7: 1→8 channels,
+// 16×16 input, 3×3 kernel — the first layer of the case-study CNN.
+func NewConvWorkload() ConvWorkload {
+	return ConvWorkload{InC: 1, H: 16, W: 16, OutC: 8, K: 3, Stride: 1, Pad: 1}
+}
+
+// Name implements Workload.
+func (c ConvWorkload) Name() string { return "conv2d" }
+
+// Trace implements Workload.
+func (c ConvWorkload) Trace() []uint64 {
+	oh := (c.H+2*c.Pad-c.K)/c.Stride + 1
+	ow := (c.W+2*c.Pad-c.K)/c.Stride + 1
+	var t []uint64
+	for o := 0; o < c.OutC; o++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.K; ky++ {
+						iy := oy*c.Stride + ky - c.Pad
+						if iy < 0 || iy >= c.H {
+							continue
+						}
+						for kx := 0; kx < c.K; kx++ {
+							ix := ox*c.Stride + kx - c.Pad
+							if ix < 0 || ix >= c.W {
+								continue
+							}
+							inIdx := uint64((ic*c.H+iy)*c.W + ix)
+							wIdx := uint64(((o*c.InC+ic)*c.K+ky)*c.K + kx)
+							t = append(t, regionInput+inIdx*elemSize)
+							t = append(t, regionWeight+wIdx*elemSize)
+						}
+					}
+				}
+				outIdx := uint64((o*oh+oy)*ow + ox)
+				t = append(t, regionOutput+outIdx*elemSize)
+			}
+		}
+	}
+	return t
+}
+
+// Instructions implements Workload: one MAC-ish instruction per access.
+func (c ConvWorkload) Instructions() uint64 { return uint64(len(c.Trace())) }
+
+// HotSet implements Workload: the weight array, the classic lock target
+// (small, reused for every output position).
+func (c ConvWorkload) HotSet() []uint64 {
+	n := uint64(c.OutC * c.InC * c.K * c.K)
+	var hs []uint64
+	for i := uint64(0); i < n; i++ {
+		hs = append(hs, regionWeight+i*elemSize)
+	}
+	return hs
+}
+
+// DenseWorkload is a fully connected layer's trace: weights streamed
+// sequentially, the input vector re-read per output neuron.
+type DenseWorkload struct {
+	In, Out int
+}
+
+// NewDenseWorkload returns the dense workload matching the case-study
+// classifier head.
+func NewDenseWorkload() DenseWorkload { return DenseWorkload{In: 384, Out: 32} }
+
+// Name implements Workload.
+func (d DenseWorkload) Name() string { return "dense" }
+
+// Trace implements Workload.
+func (d DenseWorkload) Trace() []uint64 {
+	var t []uint64
+	for o := 0; o < d.Out; o++ {
+		for i := 0; i < d.In; i++ {
+			t = append(t, regionInput+uint64(i)*elemSize)
+			t = append(t, regionWeight+uint64(o*d.In+i)*elemSize)
+		}
+		t = append(t, regionOutput+uint64(o)*elemSize)
+	}
+	return t
+}
+
+// Instructions implements Workload.
+func (d DenseWorkload) Instructions() uint64 { return uint64(len(d.Trace())) }
+
+// HotSet implements Workload: the input vector — the only array small
+// enough to pin that is reused across neurons.
+func (d DenseWorkload) HotSet() []uint64 {
+	var hs []uint64
+	for i := 0; i < d.In; i++ {
+		hs = append(hs, regionInput+uint64(i)*elemSize)
+	}
+	return hs
+}
+
+// CNNWorkload concatenates conv and dense traces — one end-to-end
+// inference frame.
+type CNNWorkload struct {
+	Conv  ConvWorkload
+	Dense DenseWorkload
+}
+
+// NewCNNWorkload returns the standard frame workload.
+func NewCNNWorkload() CNNWorkload {
+	return CNNWorkload{Conv: NewConvWorkload(), Dense: NewDenseWorkload()}
+}
+
+// Name implements Workload.
+func (c CNNWorkload) Name() string { return "cnn-frame" }
+
+// Trace implements Workload.
+func (c CNNWorkload) Trace() []uint64 {
+	return append(c.Conv.Trace(), c.Dense.Trace()...)
+}
+
+// Instructions implements Workload.
+func (c CNNWorkload) Instructions() uint64 {
+	return c.Conv.Instructions() + c.Dense.Instructions()
+}
+
+// HotSet implements Workload.
+func (c CNNWorkload) HotSet() []uint64 {
+	return append(c.Conv.HotSet(), c.Dense.HotSet()...)
+}

@@ -1,0 +1,173 @@
+// Package prng provides a deterministic, splittable pseudo-random number
+// generator with a stable output sequence across platforms and Go versions.
+//
+// Functional-safety workflows need every stochastic step (weight
+// initialization, data generation, sampling in explainers) to be replayable
+// bit-for-bit from a recorded seed, independent of the Go runtime version.
+// The standard library's math/rand does not guarantee sequence stability
+// across major releases, so this package implements PCG-XSL-RR 128/64
+// (O'Neill, 2014) directly: a 128-bit linear congruential core with an
+// output permutation, giving a 2^128 period and independently seedable
+// streams.
+package prng
+
+import "math"
+
+// Multiplier and default increment for the 128-bit LCG core, from the PCG
+// reference implementation.
+const (
+	mulHi = 2549297995355413924
+	mulLo = 4865540595714422341
+	incHi = 6364136223846793005
+	incLo = 1442695040888963407
+)
+
+// Source is a deterministic PCG-XSL-RR 128/64 random source. The zero value
+// is not a valid source; use New or NewStream.
+type Source struct {
+	hi, lo uint64 // 128-bit LCG state
+	sh, sl uint64 // stream increment (must be odd in low word)
+}
+
+// New returns a Source seeded with seed on the default stream.
+func New(seed uint64) *Source {
+	return NewStream(seed, 0)
+}
+
+// NewStream returns a Source seeded with seed on an independent stream.
+// Different stream values yield statistically independent sequences for the
+// same seed, which lets one experiment seed fan out into per-component
+// generators without correlation.
+func NewStream(seed, stream uint64) *Source {
+	s := &Source{
+		// Mix the stream id into the increment; the low word must be odd.
+		sh: incHi ^ stream,
+		sl: incLo | 1,
+	}
+	// Standard PCG seeding: advance once, add seed, advance again.
+	s.hi, s.lo = 0, 0
+	s.step()
+	s.lo, s.hi = add128(s.hi, s.lo, 0, seed)
+	s.step()
+	return s
+}
+
+// Split derives a new independent Source from the current state. The parent
+// advances, so repeated Split calls yield distinct children. Children are
+// placed on a stream derived from the drawn value, decorrelating them from
+// the parent sequence.
+func (s *Source) Split() *Source {
+	v := s.Uint64()
+	w := s.Uint64()
+	return NewStream(v, w|1)
+}
+
+func add128(ahi, alo, bhi, blo uint64) (lo, hi uint64) {
+	lo = alo + blo
+	hi = ahi + bhi
+	if lo < alo {
+		hi++
+	}
+	return lo, hi
+}
+
+// mul128 computes the 128-bit product of two 64-bit values.
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	lo = t & mask
+	c := t >> 32
+	t = aHi*bLo + c
+	c = t >> 32
+	t = aLo*bHi + t&mask
+	lo |= t << 32
+	hi = aHi*bHi + c + t>>32
+	return hi, lo
+}
+
+// step advances the 128-bit LCG state: state = state*mul + inc.
+func (s *Source) step() {
+	// 128x128 multiply keeping the low 128 bits:
+	// (hi,lo) * (mulHi,mulLo) mod 2^128.
+	pHi, pLo := mul128(s.lo, mulLo)
+	pHi += s.lo*mulHi + s.hi*mulLo
+	pLo, pHi = add128(pHi, pLo, s.sh, s.sl)
+	s.hi, s.lo = pHi, pLo
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *Source) Uint64() uint64 {
+	s.step()
+	// XSL-RR output: xor-shift-low then random rotation by the top 6 bits.
+	x := s.hi ^ s.lo
+	rot := uint(s.hi >> 58)
+	return x>>rot | x<<((64-rot)&63)
+}
+
+// Int63 returns a non-negative pseudo-random 63-bit integer.
+func (s *Source) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0. Rejection
+// sampling removes modulo bias so the distribution is exactly uniform.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with non-positive n")
+	}
+	bound := uint64(n)
+	// Threshold below which values would be biased.
+	threshold := -bound % bound
+	for {
+		v := s.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Float32 returns a uniform float32 in [0, 1).
+func (s *Source) Float32() float32 {
+	return float32(s.Uint64()>>40) / (1 << 24)
+}
+
+// NormFloat64 returns a standard normal variate using the polar
+// (Marsaglia) method, which is deterministic given the source sequence.
+func (s *Source) NormFloat64() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return u * math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n) via Fisher–Yates.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}

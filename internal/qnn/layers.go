@@ -1,0 +1,330 @@
+package qnn
+
+import (
+	"fmt"
+	"math"
+
+	"safexplain/internal/fixed"
+	"safexplain/internal/nn"
+	"safexplain/internal/tensor"
+)
+
+// Quantized kernels. Arithmetic contract shared by qConv and qDense:
+//
+//	real_out ≈ outScale * (q_out - outZp)
+//	acc      = Σ (q_in - inZp) * q_w + q_bias      (int32)
+//	q_out    = clamp( requant(acc) + outZp )        (int8)
+//
+// with q_bias = round(bias / (inScale*wScale)) and requant the integer
+// multiplier for inScale*wScale/outScale from internal/fixed. Weights are
+// per-tensor symmetric (zero-point 0), the usual scheme that keeps the
+// inner loop free of zero-point cross terms on the weight side.
+
+// quantizeWeights chooses symmetric params for w and returns the int8
+// weights.
+func quantizeWeights(w *tensor.Tensor) ([]int8, fixed.QuantParams, error) {
+	var maxAbs float32
+	for _, v := range w.Data() {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	p, err := fixed.ChooseSymmetricParams(maxAbs)
+	if err != nil {
+		return nil, fixed.QuantParams{}, err
+	}
+	q := make([]int8, w.Len())
+	p.QuantizeSlice(q, w.Data())
+	return q, p, nil
+}
+
+// quantizeBias converts a float bias vector to int32 at scale
+// inScale*wScale.
+func quantizeBias(b *tensor.Tensor, inScale, wScale float32) []int32 {
+	q := make([]int32, b.Len())
+	for i, v := range b.Data() {
+		q[i] = quantizeBiasScalar(v, inScale, wScale)
+	}
+	return q
+}
+
+// quantizeBiasScalar converts one bias value to int32 at scale
+// inScale*wScale.
+func quantizeBiasScalar(v, inScale, wScale float32) int32 {
+	return int32(math.Round(float64(v) / (float64(inScale) * float64(wScale))))
+}
+
+func requantizer(inScale, wScale, outScale float32) (fixed.Multiplier, error) {
+	real := float64(inScale) * float64(wScale) / float64(outScale)
+	m, err := fixed.NewMultiplier(real)
+	if err != nil {
+		return fixed.Multiplier{}, fmt.Errorf("qnn: requantization factor %v out of range: %w", real, err)
+	}
+	return m, nil
+}
+
+// qConv is the integer Conv2D kernel. Weights are quantized per output
+// channel (each filter gets its own symmetric scale and requantization
+// multiplier): after BatchNorm folding, filter magnitudes can differ by
+// orders of magnitude across channels, and a single per-tensor scale would
+// crush the small ones to zero.
+type qConv struct {
+	inC, inH, inW       int
+	outC, outH, outW    int
+	kh, kw, stride, pad int
+	w                   []int8
+	bias                []int32
+	inP, outP           fixed.QuantParams
+	m                   []fixed.Multiplier // per output channel
+}
+
+func newQConv(l *nn.Conv2D, inShape []int, inP, outP fixed.QuantParams) (*qConv, error) {
+	perCh := l.InC * l.KH * l.KW
+	wq := make([]int8, l.W.Value.Len())
+	bias := make([]int32, l.OutC)
+	ms := make([]fixed.Multiplier, l.OutC)
+	wd := l.W.Value.Data()
+	for o := 0; o < l.OutC; o++ {
+		var maxAbs float32
+		row := wd[o*perCh : (o+1)*perCh]
+		for _, v := range row {
+			a := v
+			if a < 0 {
+				a = -a
+			}
+			if a > maxAbs {
+				maxAbs = a
+			}
+		}
+		wp, err := fixed.ChooseSymmetricParams(maxAbs)
+		if err != nil {
+			return nil, err
+		}
+		wp.QuantizeSlice(wq[o*perCh:(o+1)*perCh], row)
+		bias[o] = quantizeBiasScalar(l.B.Value.Data()[o], inP.Scale, wp.Scale)
+		ms[o], err = requantizer(inP.Scale, wp.Scale, outP.Scale)
+		if err != nil {
+			return nil, err
+		}
+	}
+	oh, ow := tensor.Conv2DShape(inShape[1], inShape[2], l.KH, l.KW, l.Stride, l.Pad)
+	return &qConv{
+		inC: l.InC, inH: inShape[1], inW: inShape[2],
+		outC: l.OutC, outH: oh, outW: ow,
+		kh: l.KH, kw: l.KW, stride: l.Stride, pad: l.Pad,
+		w: wq, bias: bias,
+		inP: inP, outP: outP, m: ms,
+	}, nil
+}
+
+func (q *qConv) name() string              { return "qConv2D" }
+func (q *qConv) outLen() int               { return q.outC * q.outH * q.outW }
+func (q *qConv) params() fixed.QuantParams { return q.outP }
+
+func (q *qConv) forward(in, out []int8) {
+	inZp := q.inP.ZeroPoint
+	outZp := q.outP.ZeroPoint
+	di := 0
+	for o := 0; o < q.outC; o++ {
+		for oy := 0; oy < q.outH; oy++ {
+			for ox := 0; ox < q.outW; ox++ {
+				acc := q.bias[o]
+				for ic := 0; ic < q.inC; ic++ {
+					for ky := 0; ky < q.kh; ky++ {
+						iy := oy*q.stride + ky - q.pad
+						if iy < 0 || iy >= q.inH {
+							continue
+						}
+						rowIn := (ic*q.inH + iy) * q.inW
+						rowW := ((o*q.inC+ic)*q.kh + ky) * q.kw
+						for kx := 0; kx < q.kw; kx++ {
+							ix := ox*q.stride + kx - q.pad
+							if ix < 0 || ix >= q.inW {
+								continue
+							}
+							acc += (int32(in[rowIn+ix]) - inZp) * int32(q.w[rowW+kx])
+						}
+					}
+				}
+				out[di] = fixed.ClampInt8(q.m[o].Apply(acc) + outZp)
+				di++
+			}
+		}
+	}
+}
+
+// qDense is the integer fully-connected kernel.
+type qDense struct {
+	in, out   int
+	w         []int8
+	bias      []int32
+	inP, outP fixed.QuantParams
+	m         fixed.Multiplier
+}
+
+func newQDense(l *nn.Dense, inP, outP fixed.QuantParams) (*qDense, error) {
+	wq, wp, err := quantizeWeights(l.W.Value)
+	if err != nil {
+		return nil, err
+	}
+	m, err := requantizer(inP.Scale, wp.Scale, outP.Scale)
+	if err != nil {
+		return nil, err
+	}
+	return &qDense{
+		in: l.In, out: l.Out,
+		w:    wq,
+		bias: quantizeBias(l.B.Value, inP.Scale, wp.Scale),
+		inP:  inP, outP: outP, m: m,
+	}, nil
+}
+
+func (q *qDense) name() string              { return "qDense" }
+func (q *qDense) outLen() int               { return q.out }
+func (q *qDense) params() fixed.QuantParams { return q.outP }
+
+func (q *qDense) forward(in, out []int8) {
+	inZp := q.inP.ZeroPoint
+	outZp := q.outP.ZeroPoint
+	for o := 0; o < q.out; o++ {
+		acc := q.bias[o]
+		row := q.w[o*q.in : (o+1)*q.in]
+		for i := 0; i < q.in; i++ {
+			acc += (int32(in[i]) - inZp) * int32(row[i])
+		}
+		out[o] = fixed.ClampInt8(q.m.Apply(acc) + outZp)
+	}
+}
+
+// qReLU clamps activations at the zero-point: in the affine scheme,
+// real 0 corresponds to code ZeroPoint, so max(real, 0) is max(q, zp).
+type qReLU struct {
+	n int
+	p fixed.QuantParams
+}
+
+func (q *qReLU) name() string              { return "qReLU" }
+func (q *qReLU) outLen() int               { return q.n }
+func (q *qReLU) params() fixed.QuantParams { return q.p }
+
+func (q *qReLU) forward(in, out []int8) {
+	zp := int8(q.p.ZeroPoint)
+	for i := 0; i < q.n; i++ {
+		v := in[i]
+		if v < zp {
+			v = zp
+		}
+		out[i] = v
+	}
+}
+
+// qMaxPool is max pooling in the quantized domain — valid because
+// quantization is monotone.
+type qMaxPool struct {
+	c, h, w        int
+	window, stride int
+	oh, ow         int
+	p              fixed.QuantParams
+}
+
+func newQMaxPool(l *nn.MaxPool2D, inShape []int, p fixed.QuantParams) *qMaxPool {
+	oh := (inShape[1]-l.Window)/l.Stride + 1
+	ow := (inShape[2]-l.Window)/l.Stride + 1
+	return &qMaxPool{
+		c: inShape[0], h: inShape[1], w: inShape[2],
+		window: l.Window, stride: l.Stride, oh: oh, ow: ow, p: p,
+	}
+}
+
+func (q *qMaxPool) name() string              { return "qMaxPool2D" }
+func (q *qMaxPool) outLen() int               { return q.c * q.oh * q.ow }
+func (q *qMaxPool) params() fixed.QuantParams { return q.p }
+
+func (q *qMaxPool) forward(in, out []int8) {
+	di := 0
+	for c := 0; c < q.c; c++ {
+		for oy := 0; oy < q.oh; oy++ {
+			for ox := 0; ox < q.ow; ox++ {
+				best := int8(math.MinInt8)
+				for ky := 0; ky < q.window; ky++ {
+					row := (c*q.h + oy*q.stride + ky) * q.w
+					for kx := 0; kx < q.window; kx++ {
+						v := in[row+ox*q.stride+kx]
+						if v > best {
+							best = v
+						}
+					}
+				}
+				out[di] = best
+				di++
+			}
+		}
+	}
+}
+
+// qAvgPool is average pooling in the quantized domain: the integer mean of
+// codes equals the code of the real mean (up to rounding), so input
+// parameters are reused.
+type qAvgPool struct {
+	c, h, w        int
+	window, stride int
+	oh, ow         int
+	p              fixed.QuantParams
+}
+
+func newQAvgPool(l *nn.AvgPool2D, inShape []int, p fixed.QuantParams) *qAvgPool {
+	oh := (inShape[1]-l.Window)/l.Stride + 1
+	ow := (inShape[2]-l.Window)/l.Stride + 1
+	return &qAvgPool{
+		c: inShape[0], h: inShape[1], w: inShape[2],
+		window: l.Window, stride: l.Stride, oh: oh, ow: ow, p: p,
+	}
+}
+
+func (q *qAvgPool) name() string              { return "qAvgPool2D" }
+func (q *qAvgPool) outLen() int               { return q.c * q.oh * q.ow }
+func (q *qAvgPool) params() fixed.QuantParams { return q.p }
+
+func (q *qAvgPool) forward(in, out []int8) {
+	n := int32(q.window * q.window)
+	di := 0
+	for c := 0; c < q.c; c++ {
+		for oy := 0; oy < q.oh; oy++ {
+			for ox := 0; ox < q.ow; ox++ {
+				var acc int32
+				for ky := 0; ky < q.window; ky++ {
+					row := (c*q.h + oy*q.stride + ky) * q.w
+					for kx := 0; kx < q.window; kx++ {
+						acc += int32(in[row+ox*q.stride+kx])
+					}
+				}
+				// Round half away from zero on the integer mean.
+				if acc >= 0 {
+					acc = (acc + n/2) / n
+				} else {
+					acc = (acc - n/2) / n
+				}
+				out[di] = fixed.ClampInt8(acc)
+				di++
+			}
+		}
+	}
+}
+
+// qFlatten is a copy in the quantized domain (shapes are implicit).
+type qFlatten struct {
+	n int
+	p fixed.QuantParams
+}
+
+func (q *qFlatten) name() string              { return "qFlatten" }
+func (q *qFlatten) outLen() int               { return q.n }
+func (q *qFlatten) params() fixed.QuantParams { return q.p }
+
+func (q *qFlatten) forward(in, out []int8) {
+	copy(out[:q.n], in[:q.n])
+}

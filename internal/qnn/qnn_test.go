@@ -1,0 +1,490 @@
+package qnn
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"safexplain/internal/data"
+	"safexplain/internal/mbpta"
+	"safexplain/internal/nn"
+	"safexplain/internal/platform"
+	"safexplain/internal/prng"
+	"safexplain/internal/tensor"
+)
+
+// trainedModel returns a small trained CNN on the automotive case study
+// plus its train/test sets. Shared across tests via sync-free lazy init in
+// TestMain-less style: each caller trains its own tiny model quickly.
+func trainedModel(t testing.TB, seed uint64) (*nn.Network, *data.Set, *data.Set) {
+	t.Helper()
+	set := data.Automotive(data.Config{N: 240, Seed: seed, Noise: 0.05})
+	train, test := set.Split(0.8, seed+1)
+	src := prng.New(seed + 2)
+	net := nn.NewNetwork("auto-cnn",
+		nn.NewConv2D(1, 6, 3, 1, 1, src),
+		nn.NewReLU(),
+		nn.NewMaxPool2D(2, 2),
+		nn.NewFlatten(),
+		nn.NewDense(6*8*8, 32, src),
+		nn.NewReLU(),
+		nn.NewDense(32, set.NumClasses(), src),
+	)
+	_, _, err := nn.TrainClassifier(net, train, nn.TrainConfig{
+		Epochs: 8, BatchSize: 16, LR: 0.05, Momentum: 0.9, Seed: seed + 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, train, test
+}
+
+func calibInputs(s *data.Set, n int) []*tensor.Tensor {
+	var xs []*tensor.Tensor
+	for i := 0; i < n && i < s.Len(); i++ {
+		x, _ := s.Sample(i)
+		xs = append(xs, x)
+	}
+	return xs
+}
+
+func TestQuantizeErrors(t *testing.T) {
+	net, _, _ := trainedModel(t, 1)
+	if _, err := Quantize(net, nil); !errors.Is(err, ErrNoCalibration) {
+		t.Fatalf("expected ErrNoCalibration, got %v", err)
+	}
+	bad := nn.NewNetwork("bad", nn.NewDense(4, 4, prng.New(1)), nn.NewSigmoid())
+	x := tensor.New(4)
+	if _, err := Quantize(bad, []*tensor.Tensor{x}); !errors.Is(err, ErrUnsupportedLayer) {
+		t.Fatalf("expected ErrUnsupportedLayer, got %v", err)
+	}
+}
+
+func TestQuantizedAccuracyClose(t *testing.T) {
+	net, train, test := trainedModel(t, 10)
+	eng, err := Quantize(net, calibInputs(train, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	floatAcc := nn.Evaluate(net, test)
+	correct := 0
+	for i := 0; i < test.Len(); i++ {
+		x, label := test.Sample(i)
+		class, _ := eng.Infer(x)
+		if class == label {
+			correct++
+		}
+	}
+	qAcc := float64(correct) / float64(test.Len())
+	if floatAcc-qAcc > 0.08 {
+		t.Fatalf("quantization cost too high: float %.3f vs int8 %.3f", floatAcc, qAcc)
+	}
+}
+
+func TestAgreementWithFloat(t *testing.T) {
+	net, train, test := trainedModel(t, 20)
+	eng, err := Quantize(net, calibInputs(train, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for i := 0; i < test.Len(); i++ {
+		x, _ := test.Sample(i)
+		fc, _ := net.Predict(x)
+		qc, _ := eng.Infer(x)
+		if fc == qc {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(test.Len()); frac < 0.9 {
+		t.Fatalf("int8 agrees with float on only %.0f%% of samples", 100*frac)
+	}
+}
+
+func TestLayerwiseConformance(t *testing.T) {
+	net, train, _ := trainedModel(t, 30)
+	eng, err := Quantize(net, calibInputs(train, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := train.Sample(0)
+	qOuts := eng.LayerOutputs(x)
+	net.Forward(x)
+	if len(qOuts) != len(net.Layers) {
+		t.Fatalf("layer count mismatch: %d vs %d", len(qOuts), len(net.Layers))
+	}
+	for i := range net.Layers {
+		ref := net.Activation(i)
+		// Bound: a handful of quantization steps accumulated through depth.
+		// The per-layer scale is the right yardstick.
+		p := eng.layers[i].params()
+		tol := float64(p.Scale) * 8
+		var worst float64
+		for j, v := range qOuts[i] {
+			d := float64(v) - float64(ref.Data()[j])
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		if worst > tol {
+			t.Fatalf("layer %d (%s): max abs err %v exceeds tolerance %v",
+				i, eng.layers[i].name(), worst, tol)
+		}
+	}
+}
+
+func TestInferBitExactAcrossRuns(t *testing.T) {
+	net, train, test := trainedModel(t, 40)
+	eng, err := Quantize(net, calibInputs(train, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := test.Sample(0)
+	class1, logits1 := eng.Infer(x)
+	ref := append([]float32(nil), logits1...)
+	for i := 0; i < 100; i++ {
+		class, logits := eng.Infer(x)
+		if class != class1 {
+			t.Fatal("class changed between identical runs")
+		}
+		for j := range logits {
+			if logits[j] != ref[j] {
+				t.Fatal("logits changed between identical runs")
+			}
+		}
+	}
+}
+
+func TestTwoEnginesFromSameNetworkAgree(t *testing.T) {
+	net, train, test := trainedModel(t, 50)
+	calib := calibInputs(train, 40)
+	e1, err := Quantize(net, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Quantize(net, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20 && i < test.Len(); i++ {
+		x, _ := test.Sample(i)
+		c1, l1 := e1.Infer(x)
+		c2, l2 := e2.Infer(x)
+		if c1 != c2 {
+			t.Fatal("independently built engines disagree on class")
+		}
+		for j := range l1 {
+			if l1[j] != l2[j] {
+				t.Fatal("independently built engines disagree on logits")
+			}
+		}
+	}
+}
+
+func TestInferZeroAllocations(t *testing.T) {
+	// The headline static-memory property: the arena path performs no heap
+	// allocation per inference.
+	net, train, test := trainedModel(t, 60)
+	eng, err := Quantize(net, calibInputs(train, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := test.Sample(0)
+	allocs := testing.AllocsPerRun(50, func() {
+		eng.Infer(x)
+	})
+	if allocs != 0 {
+		t.Fatalf("arena inference allocates %v objects/run, want 0", allocs)
+	}
+}
+
+func TestWithoutArenaAllocates(t *testing.T) {
+	net, train, test := trainedModel(t, 70)
+	eng, err := Quantize(net, calibInputs(train, 40), WithoutArena())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := test.Sample(0)
+	allocs := testing.AllocsPerRun(20, func() {
+		eng.Infer(x)
+	})
+	if allocs == 0 {
+		t.Fatal("heap mode reports zero allocations; the T5 ablation would be vacuous")
+	}
+	// Results must be identical to the arena path regardless.
+	eng2, err := Quantize(net, calibInputs(train, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := eng.Infer(x)
+	c2, _ := eng2.Infer(x)
+	if c1 != c2 {
+		t.Fatal("arena and heap modes disagree")
+	}
+}
+
+func TestInferPanicsOnWrongInputLength(t *testing.T) {
+	net, train, _ := trainedModel(t, 80)
+	eng, err := Quantize(net, calibInputs(train, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong input size")
+		}
+	}()
+	eng.Infer(tensor.New(5))
+}
+
+func TestNumLayersAndParams(t *testing.T) {
+	net, train, _ := trainedModel(t, 90)
+	eng, err := Quantize(net, calibInputs(train, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.NumLayers() != len(net.Layers) {
+		t.Fatalf("NumLayers = %d, want %d", eng.NumLayers(), len(net.Layers))
+	}
+	if eng.InputParams().Scale <= 0 {
+		t.Fatal("input scale must be positive")
+	}
+}
+
+func BenchmarkInferArena(b *testing.B) {
+	net, train, test := trainedModel(b, 100)
+	eng, err := Quantize(net, calibInputs(train, 40))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, _ := test.Sample(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Infer(x)
+	}
+}
+
+func BenchmarkInferHeap(b *testing.B) {
+	net, train, test := trainedModel(b, 100)
+	eng, err := Quantize(net, calibInputs(train, 40), WithoutArena())
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, _ := test.Sample(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Infer(x)
+	}
+}
+
+func BenchmarkInferFloatReference(b *testing.B) {
+	net, _, test := trainedModel(b, 100)
+	x, _ := test.Sample(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Predict(x)
+	}
+}
+
+func TestQuantizeAvgPoolModel(t *testing.T) {
+	set := data.Automotive(data.Config{N: 200, Seed: 900, Noise: 0.05})
+	train, test := set.Split(0.8, 901)
+	src := prng.New(902)
+	net := nn.NewNetwork("avg-cnn",
+		nn.NewConv2D(1, 4, 3, 1, 1, src),
+		nn.NewReLU(),
+		nn.NewAvgPool2D(2, 2),
+		nn.NewFlatten(),
+		nn.NewDense(4*8*8, set.NumClasses(), src),
+	)
+	if _, _, err := nn.TrainClassifier(net, train, nn.TrainConfig{
+		Epochs: 6, BatchSize: 16, LR: 0.05, Momentum: 0.9, Seed: 903,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := Quantize(net, calibInputs(train, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for i := 0; i < test.Len(); i++ {
+		x, _ := test.Sample(i)
+		fc, _ := net.Predict(x)
+		qc, _ := eng.Infer(x)
+		if fc == qc {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(test.Len()); frac < 0.9 {
+		t.Fatalf("avgpool int8 agreement %.2f", frac)
+	}
+	x, _ := test.Sample(0)
+	if allocs := testing.AllocsPerRun(20, func() { eng.Infer(x) }); allocs != 0 {
+		t.Fatalf("avgpool arena inference allocates %v/run", allocs)
+	}
+}
+
+func TestEngineWorkload(t *testing.T) {
+	net, train, _ := trainedModel(t, 110)
+	eng, err := Quantize(net, calibInputs(train, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := eng.Workload()
+	// Deterministic and non-trivial.
+	a, b := w.Trace(), w.Trace()
+	if len(a) < 10000 {
+		t.Fatalf("trace suspiciously short: %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("engine trace not deterministic")
+		}
+	}
+	if w.Instructions() != uint64(len(a)) {
+		t.Fatal("instruction count convention broken")
+	}
+	if len(w.HotSet()) == 0 {
+		t.Fatal("no hot set (weights) declared")
+	}
+	// The trace must be timeable end-to-end: platform campaign + MBPTA.
+	var cfg platform.Config
+	for _, c := range platform.StandardConfigs() {
+		if c.Name == "time-randomized" {
+			cfg = c
+		}
+	}
+	samples := platform.Campaign(cfg, w, 300, 111)
+	an, err := mbpta.FitChecked(samples, 20, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.PWCET(1e-9) <= an.MaxObs {
+		t.Fatalf("pWCET %v not above max observed %v", an.PWCET(1e-9), an.MaxObs)
+	}
+	// Static bound must dominate measurements on the engine trace too.
+	bound := platform.StaticBound(cfg, w)
+	for _, v := range samples[:20] {
+		if uint64(v) > bound {
+			t.Fatalf("measured %v above static bound %d", v, bound)
+		}
+	}
+}
+
+func TestQuantizePropertyRandomDenseNets(t *testing.T) {
+	// Property: for random small dense nets and in-range inputs, the
+	// quantized engine agrees with the float argmax on a large majority
+	// of inputs and never crashes or produces out-of-range classes.
+	check := func(seed uint64) bool {
+		src := prng.New(seed)
+		const in, hidden, classes = 12, 8, 4
+		net := nn.NewNetwork("prop",
+			nn.NewDense(in, hidden, src), nn.NewReLU(), nn.NewDense(hidden, classes, src))
+		var calib []*tensor.Tensor
+		r := prng.NewStream(seed, 99)
+		for i := 0; i < 30; i++ {
+			x := tensor.New(in)
+			for j := range x.Data() {
+				x.Data()[j] = r.Float32()
+			}
+			calib = append(calib, x)
+		}
+		eng, err := Quantize(net, calib)
+		if err != nil {
+			return false
+		}
+		agree := 0
+		for i := 0; i < 30; i++ {
+			fc, _ := net.Predict(calib[i])
+			qc, logits := eng.Infer(calib[i])
+			if qc < 0 || qc >= classes || len(logits) != classes {
+				return false
+			}
+			if qc == fc {
+				agree++
+			}
+		}
+		return agree >= 24 // >= 80% agreement on calibration-domain inputs
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInferDetectionQuantized(t *testing.T) {
+	// Train a small detector, quantize it, and check the int8 engine's
+	// detection output against the float reference: same classes on a
+	// large majority of frames, centroids within a quantization-step
+	// tolerance.
+	set := data.AutomotiveDetect(data.Config{N: 400, Seed: 950, Noise: 0.08})
+	train, test := set.Split(0.8, 951)
+	nClasses := len(set.Classes)
+	src := prng.New(952)
+	net := nn.NewNetwork("qdet",
+		nn.NewConv2D(1, 6, 3, 1, 1, src), nn.NewReLU(), nn.NewMaxPool2D(2, 2),
+		nn.NewFlatten(), nn.NewDense(6*8*8, 32, src), nn.NewReLU(),
+		nn.NewDense(32, nClasses+2, src))
+	if _, err := nn.TrainDetector(net, train, nClasses, nn.DetectConfig{
+		TrainConfig: nn.TrainConfig{Epochs: 10, BatchSize: 16, LR: 0.05,
+			Momentum: 0.9, ClipNorm: 5, Seed: 953},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var calib []*tensor.Tensor
+	for i := 0; i < 60 && i < train.Len(); i++ {
+		x, _, _, _ := train.DetAt(i)
+		calib = append(calib, x)
+	}
+	eng, err := Quantize(net, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	var worstLoc float64
+	for i := 0; i < test.Len(); i++ {
+		x, _, _, _ := test.DetAt(i)
+		fd := nn.Detect(net, x, nClasses)
+		qc, qx, qy := eng.InferDetection(x, nClasses)
+		if qc == fd.Class {
+			agree++
+		}
+		dx := float64(qx - fd.CX)
+		dy := float64(qy - fd.CY)
+		if d := dx*dx + dy*dy; d > worstLoc {
+			worstLoc = d
+		}
+	}
+	if frac := float64(agree) / float64(test.Len()); frac < 0.9 {
+		t.Fatalf("quantized detector class agreement %.2f", frac)
+	}
+	// Centroids are in [0,1]; a handful of int8 steps is ~0.05.
+	if worstLoc > 0.05*0.05 {
+		t.Fatalf("quantized centroid deviates by %v (squared)", worstLoc)
+	}
+	// The detection path stays allocation-free.
+	x, _, _, _ := test.DetAt(0)
+	if allocs := testing.AllocsPerRun(20, func() { eng.InferDetection(x, nClasses) }); allocs != 0 {
+		t.Fatalf("quantized detection allocates %v/run", allocs)
+	}
+}
+
+func TestInferDetectionPanicsOnWrongLayout(t *testing.T) {
+	net, train, _ := trainedModel(t, 120) // classifier: 4 outputs, not nClasses+2
+	eng, err := Quantize(net, calibInputs(train, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := calibInputs(train, 1)[0]
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-detector layout")
+		}
+	}()
+	eng.InferDetection(x, 4)
+}

@@ -1,0 +1,141 @@
+package qnn
+
+import "safexplain/internal/platform"
+
+// Workload derivation: the engine's layer geometry is static, so its
+// memory-access trace is a compile-time artefact — exactly what timing
+// analysis wants. Workload() walks the same loops the integer kernels
+// execute and emits one access per operand read/write, giving
+// internal/platform and internal/mbpta the *deployed* program to bound
+// instead of a hand-written approximation. This closes the P3→P4 loop:
+// the binary being certified is the binary being timed.
+
+// Engine memory map for the trace: int8 activations ping-pong between two
+// fixed buffers; each layer's weights/bias live in their own region.
+const (
+	wlBufA    uint64 = 0x0100_0000
+	wlBufB    uint64 = 0x0200_0000
+	wlWeights uint64 = 0x1000_0000
+	wlRegion  uint64 = 0x0010_0000 // per-layer weight region stride
+)
+
+// engineWorkload is the static trace of one Engine inference.
+type engineWorkload struct {
+	name  string
+	trace []uint64
+	hot   []uint64
+}
+
+// Name implements platform.Workload.
+func (w *engineWorkload) Name() string { return w.name }
+
+// Trace implements platform.Workload.
+func (w *engineWorkload) Trace() []uint64 { return w.trace }
+
+// Instructions implements platform.Workload: one arithmetic op per access,
+// the same convention as the hand-written workloads.
+func (w *engineWorkload) Instructions() uint64 { return uint64(len(w.trace)) }
+
+// HotSet implements platform.Workload: the weight regions (the classic
+// lock target).
+func (w *engineWorkload) HotSet() []uint64 { return w.hot }
+
+// Workload returns the engine's inference as a platform workload.
+func (e *Engine) Workload() platform.Workload {
+	w := &engineWorkload{name: e.ID + "/trace"}
+	in, out := wlBufA, wlBufB
+	inLen := e.inLen
+	for li, l := range e.layers {
+		wbase := wlWeights + uint64(li)*wlRegion
+		switch q := l.(type) {
+		case *qConv:
+			for o := 0; o < q.outC; o++ {
+				// Per-output-channel bias read (int32).
+				bAddr := wbase + uint64(q.outC*q.inC*q.kh*q.kw) + uint64(o)*4
+				for oy := 0; oy < q.outH; oy++ {
+					for ox := 0; ox < q.outW; ox++ {
+						w.trace = append(w.trace, bAddr)
+						for ic := 0; ic < q.inC; ic++ {
+							for ky := 0; ky < q.kh; ky++ {
+								iy := oy*q.stride + ky - q.pad
+								if iy < 0 || iy >= q.inH {
+									continue
+								}
+								for kx := 0; kx < q.kw; kx++ {
+									ix := ox*q.stride + kx - q.pad
+									if ix < 0 || ix >= q.inW {
+										continue
+									}
+									w.trace = append(w.trace,
+										in+uint64((ic*q.inH+iy)*q.inW+ix),
+										wbase+uint64(((o*q.inC+ic)*q.kh+ky)*q.kw+kx))
+								}
+							}
+						}
+						w.trace = append(w.trace, out+uint64((o*q.outH+oy)*q.outW+ox))
+					}
+				}
+			}
+			w.hot = appendRange(w.hot, wbase, q.outC*q.inC*q.kh*q.kw)
+		case *qDense:
+			for o := 0; o < q.out; o++ {
+				w.trace = append(w.trace, wbase+uint64(q.in*q.out)+uint64(o)*4)
+				for i := 0; i < q.in; i++ {
+					w.trace = append(w.trace,
+						in+uint64(i),
+						wbase+uint64(o*q.in+i))
+				}
+				w.trace = append(w.trace, out+uint64(o))
+			}
+			w.hot = appendRange(w.hot, wbase, q.in*q.out)
+		case *qMaxPool:
+			di := 0
+			for c := 0; c < q.c; c++ {
+				for oy := 0; oy < q.oh; oy++ {
+					for ox := 0; ox < q.ow; ox++ {
+						for ky := 0; ky < q.window; ky++ {
+							row := (c*q.h + oy*q.stride + ky) * q.w
+							for kx := 0; kx < q.window; kx++ {
+								w.trace = append(w.trace, in+uint64(row+ox*q.stride+kx))
+							}
+						}
+						w.trace = append(w.trace, out+uint64(di))
+						di++
+					}
+				}
+			}
+		case *qAvgPool:
+			di := 0
+			for c := 0; c < q.c; c++ {
+				for oy := 0; oy < q.oh; oy++ {
+					for ox := 0; ox < q.ow; ox++ {
+						for ky := 0; ky < q.window; ky++ {
+							row := (c*q.h + oy*q.stride + ky) * q.w
+							for kx := 0; kx < q.window; kx++ {
+								w.trace = append(w.trace, in+uint64(row+ox*q.stride+kx))
+							}
+						}
+						w.trace = append(w.trace, out+uint64(di))
+						di++
+					}
+				}
+			}
+		default: // qReLU, qFlatten: elementwise copy/clamp
+			for i := 0; i < l.outLen(); i++ {
+				w.trace = append(w.trace, in+uint64(i), out+uint64(i))
+			}
+		}
+		in, out = out, in
+		inLen = l.outLen()
+	}
+	_ = inLen
+	return w
+}
+
+// appendRange appends n consecutive byte addresses from base.
+func appendRange(dst []uint64, base uint64, n int) []uint64 {
+	for i := 0; i < n; i++ {
+		dst = append(dst, base+uint64(i))
+	}
+	return dst
+}

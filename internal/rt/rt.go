@@ -1,0 +1,253 @@
+// Package rt is the real-time executive substrate: a static cyclic
+// schedule with per-task WCET budgets (typically pWCET values from
+// internal/mbpta), deadline-miss detection, a frame watchdog, and
+// mixed-criticality degradation — the runtime counterpart of pillar P4's
+// "real-time constraints" and the execution environment experiment T9 runs
+// the integrated system in.
+//
+// The executive is simulated in cycles, matching internal/platform: a task
+// "runs" by reporting how many cycles it consumed, which in the
+// experiments comes from platform.Run on the inference workload.
+//
+// Scheduling model (deliberately the simplest certifiable one):
+//
+//   - Time is divided into fixed frames of FrameBudget cycles.
+//   - Every frame executes the task list in order; each task has a cycle
+//     Budget (its time slot).
+//   - A task exceeding its budget is a deadline miss. OverrunLimit
+//     consecutive misses switch the task to its Degraded implementation
+//     when it has one (e.g. the Simplex fallback channel).
+//   - If the whole frame exceeds FrameBudget, the watchdog fires and the
+//     executive enters high-criticality mode: tasks below MinCriticality
+//     are shed until RecoveryFrames consecutive clean frames pass — the
+//     classical mixed-criticality mode switch.
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Criticality is the task importance scale; higher sheds later. It mirrors
+// safety.IntegrityLevel without importing it, keeping rt a leaf substrate.
+type Criticality int
+
+// Criticality bands.
+const (
+	CritLow Criticality = iota
+	CritMedium
+	CritHigh
+)
+
+// String returns the band name.
+func (c Criticality) String() string {
+	switch c {
+	case CritLow:
+		return "low"
+	case CritMedium:
+		return "medium"
+	case CritHigh:
+		return "high"
+	default:
+		return fmt.Sprintf("Criticality(%d)", int(c))
+	}
+}
+
+// Task is one slot of the cyclic frame. Run (and Degraded, when present)
+// return the cycles consumed on the given frame index.
+type Task struct {
+	Name        string
+	Budget      uint64
+	Criticality Criticality
+	Run         func(frame int) uint64
+	// Degraded, if non-nil, replaces Run after OverrunLimit consecutive
+	// overruns (fail-operational degradation).
+	Degraded func(frame int) uint64
+}
+
+// Config tunes the executive.
+type Config struct {
+	FrameBudget uint64
+	// OverrunLimit is the consecutive-overrun count that triggers task
+	// degradation (default 3).
+	OverrunLimit int
+	// MinCriticality is the band kept running in high-criticality mode
+	// (default CritMedium: low tasks are shed).
+	MinCriticality Criticality
+	// RecoveryFrames is the clean-frame count required to leave
+	// high-criticality mode (default 5).
+	RecoveryFrames int
+}
+
+func (c Config) withDefaults() Config {
+	if c.OverrunLimit <= 0 {
+		c.OverrunLimit = 3
+	}
+	if c.RecoveryFrames <= 0 {
+		c.RecoveryFrames = 5
+	}
+	if c.MinCriticality == 0 {
+		c.MinCriticality = CritMedium
+	}
+	return c
+}
+
+// Executive owns the schedule state across frames.
+type Executive struct {
+	cfg   Config
+	tasks []*Task
+
+	consecutive []int  // per-task consecutive overruns
+	degraded    []bool // per-task degraded flag
+	highMode    bool
+	cleanRun    int
+}
+
+// ErrNoTasks is returned when constructing an executive without tasks.
+var ErrNoTasks = errors.New("rt: no tasks")
+
+// NewExecutive builds an executive over the task list. Task budgets must
+// fit in the frame in normal mode; a schedule that cannot fit even on
+// paper is a configuration error caught here, not at runtime.
+func NewExecutive(cfg Config, tasks ...*Task) (*Executive, error) {
+	if len(tasks) == 0 {
+		return nil, ErrNoTasks
+	}
+	cfg = cfg.withDefaults()
+	var sum uint64
+	for _, t := range tasks {
+		if t.Run == nil {
+			return nil, fmt.Errorf("rt: task %q has no Run", t.Name)
+		}
+		sum += t.Budget
+	}
+	if sum > cfg.FrameBudget {
+		return nil, fmt.Errorf("rt: task budgets (%d) exceed frame budget (%d)", sum, cfg.FrameBudget)
+	}
+	return &Executive{
+		cfg:         cfg,
+		tasks:       tasks,
+		consecutive: make([]int, len(tasks)),
+		degraded:    make([]bool, len(tasks)),
+	}, nil
+}
+
+// FrameResult reports one frame's execution.
+type FrameResult struct {
+	Frame    int
+	Used     uint64
+	Misses   []string // tasks that overran their budget
+	Shed     []string // tasks skipped by the mode switch
+	Watchdog bool     // frame total exceeded FrameBudget
+	HighMode bool     // mode during this frame
+}
+
+// Report aggregates a multi-frame run.
+type Report struct {
+	Frames         int
+	DeadlineMisses int
+	WatchdogFires  int
+	Degradations   int
+	ShedSlots      int
+	HighModeFrames int
+	Utilization    float64 // mean used/FrameBudget
+	PerTaskMisses  map[string]int
+}
+
+// String renders the report as a compact table.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "frames=%d misses=%d watchdog=%d degradations=%d shed=%d high-mode=%d util=%.3f",
+		r.Frames, r.DeadlineMisses, r.WatchdogFires, r.Degradations, r.ShedSlots, r.HighModeFrames, r.Utilization)
+	return b.String()
+}
+
+// Step executes one frame and returns its result.
+func (e *Executive) Step(frame int) FrameResult {
+	res := FrameResult{Frame: frame, HighMode: e.highMode}
+	for i, t := range e.tasks {
+		if e.highMode && t.Criticality < e.cfg.MinCriticality {
+			res.Shed = append(res.Shed, t.Name)
+			continue
+		}
+		run := t.Run
+		if e.degraded[i] && t.Degraded != nil {
+			run = t.Degraded
+		}
+		used := run(frame)
+		res.Used += used
+		if used > t.Budget {
+			res.Misses = append(res.Misses, t.Name)
+			e.consecutive[i]++
+			if e.consecutive[i] >= e.cfg.OverrunLimit && t.Degraded != nil && !e.degraded[i] {
+				e.degraded[i] = true
+			}
+		} else {
+			e.consecutive[i] = 0
+		}
+	}
+	if res.Used > e.cfg.FrameBudget {
+		res.Watchdog = true
+		e.highMode = true
+		e.cleanRun = 0
+	} else if e.highMode {
+		e.cleanRun++
+		if e.cleanRun >= e.cfg.RecoveryFrames {
+			e.highMode = false
+			e.cleanRun = 0
+		}
+	}
+	return res
+}
+
+// RunFrames executes n frames and aggregates the report.
+func (e *Executive) RunFrames(n int) Report {
+	rep := Report{Frames: n, PerTaskMisses: map[string]int{}}
+	degradedBefore := e.degradedCount()
+	var used uint64
+	for f := 0; f < n; f++ {
+		res := e.Step(f)
+		used += res.Used
+		rep.DeadlineMisses += len(res.Misses)
+		for _, m := range res.Misses {
+			rep.PerTaskMisses[m]++
+		}
+		rep.ShedSlots += len(res.Shed)
+		if res.Watchdog {
+			rep.WatchdogFires++
+		}
+		if res.HighMode {
+			rep.HighModeFrames++
+		}
+	}
+	rep.Degradations = e.degradedCount() - degradedBefore
+	if n > 0 && e.cfg.FrameBudget > 0 {
+		rep.Utilization = float64(used) / float64(uint64(n)*e.cfg.FrameBudget)
+	}
+	return rep
+}
+
+func (e *Executive) degradedCount() int {
+	c := 0
+	for _, d := range e.degraded {
+		if d {
+			c++
+		}
+	}
+	return c
+}
+
+// Degraded reports whether the named task is running its degraded
+// implementation.
+func (e *Executive) Degraded(name string) bool {
+	for i, t := range e.tasks {
+		if t.Name == name {
+			return e.degraded[i]
+		}
+	}
+	return false
+}
+
+// HighMode reports whether the executive is in the high-criticality mode.
+func (e *Executive) HighMode() bool { return e.highMode }

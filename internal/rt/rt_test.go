@@ -1,0 +1,211 @@
+package rt
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func constant(c uint64) func(int) uint64 { return func(int) uint64 { return c } }
+
+func TestNewExecutiveValidation(t *testing.T) {
+	if _, err := NewExecutive(Config{FrameBudget: 100}); !errors.Is(err, ErrNoTasks) {
+		t.Fatal("expected ErrNoTasks")
+	}
+	if _, err := NewExecutive(Config{FrameBudget: 100},
+		&Task{Name: "a", Budget: 60, Run: constant(1)},
+		&Task{Name: "b", Budget: 60, Run: constant(1)},
+	); err == nil {
+		t.Fatal("over-committed schedule must be rejected")
+	}
+	if _, err := NewExecutive(Config{FrameBudget: 100},
+		&Task{Name: "a", Budget: 60},
+	); err == nil {
+		t.Fatal("task without Run must be rejected")
+	}
+}
+
+func TestCleanScheduleNoMisses(t *testing.T) {
+	e, err := NewExecutive(Config{FrameBudget: 100},
+		&Task{Name: "sense", Budget: 30, Criticality: CritHigh, Run: constant(20)},
+		&Task{Name: "infer", Budget: 50, Criticality: CritHigh, Run: constant(40)},
+		&Task{Name: "log", Budget: 20, Criticality: CritLow, Run: constant(10)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := e.RunFrames(100)
+	if rep.DeadlineMisses != 0 || rep.WatchdogFires != 0 || rep.Degradations != 0 {
+		t.Fatalf("clean schedule produced: %s", rep)
+	}
+	if rep.Utilization != 0.7 {
+		t.Fatalf("utilization = %v, want 0.7", rep.Utilization)
+	}
+}
+
+func TestDeadlineMissDetected(t *testing.T) {
+	e, err := NewExecutive(Config{FrameBudget: 100},
+		&Task{Name: "spiky", Budget: 50, Criticality: CritHigh, Run: func(f int) uint64 {
+			if f == 3 {
+				return 60
+			}
+			return 40
+		}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := e.RunFrames(10)
+	if rep.DeadlineMisses != 1 || rep.PerTaskMisses["spiky"] != 1 {
+		t.Fatalf("report: %s", rep)
+	}
+	// A single task overrun within the frame budget: no watchdog.
+	if rep.WatchdogFires != 0 {
+		t.Fatalf("watchdog fired on task-level miss: %s", rep)
+	}
+}
+
+func TestDegradationAfterConsecutiveOverruns(t *testing.T) {
+	calls := map[string]int{}
+	e, err := NewExecutive(Config{FrameBudget: 100, OverrunLimit: 3},
+		&Task{Name: "dl", Budget: 50, Criticality: CritHigh,
+			Run: func(int) uint64 {
+				calls["primary"]++
+				return 70 // always overruns
+			},
+			Degraded: func(int) uint64 {
+				calls["degraded"]++
+				return 10
+			}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := e.RunFrames(10)
+	// Primary runs 3 times (the overruns), then the degraded version.
+	if calls["primary"] != 3 || calls["degraded"] != 7 {
+		t.Fatalf("calls = %v", calls)
+	}
+	if !e.Degraded("dl") {
+		t.Fatal("task should be flagged degraded")
+	}
+	if rep.Degradations != 1 {
+		t.Fatalf("degradations = %d", rep.Degradations)
+	}
+}
+
+func TestOverrunCounterResetsOnCleanFrame(t *testing.T) {
+	n := 0
+	e, err := NewExecutive(Config{FrameBudget: 100, OverrunLimit: 3},
+		&Task{Name: "alt", Budget: 50, Criticality: CritHigh,
+			Run: func(int) uint64 {
+				n++
+				if n%2 == 0 {
+					return 70
+				}
+				return 30
+			},
+			Degraded: constant(5)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunFrames(20)
+	if e.Degraded("alt") {
+		t.Fatal("alternating overruns must not reach the consecutive limit")
+	}
+}
+
+func TestWatchdogAndModeSwitch(t *testing.T) {
+	frame := 0
+	e, err := NewExecutive(Config{FrameBudget: 100, RecoveryFrames: 3, MinCriticality: CritMedium},
+		&Task{Name: "critical", Budget: 80, Criticality: CritHigh, Run: func(int) uint64 {
+			frame++
+			if frame == 2 {
+				return 120 // blow the frame once
+			}
+			return 40
+		}},
+		&Task{Name: "housekeeping", Budget: 20, Criticality: CritLow, Run: constant(10)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := e.Step(0)
+	if r1.Watchdog || len(r1.Shed) != 0 {
+		t.Fatalf("frame 0: %+v", r1)
+	}
+	r2 := e.Step(1)
+	if !r2.Watchdog {
+		t.Fatal("frame 1 should trip the watchdog")
+	}
+	// Next frames: high mode sheds the low-criticality task.
+	r3 := e.Step(2)
+	if !r3.HighMode || len(r3.Shed) != 1 || r3.Shed[0] != "housekeeping" {
+		t.Fatalf("frame 2: %+v", r3)
+	}
+	// After RecoveryFrames clean frames the mode clears.
+	e.Step(3)
+	e.Step(4)
+	if e.HighMode() {
+		t.Fatal("executive should have recovered to normal mode")
+	}
+	r6 := e.Step(5)
+	if len(r6.Shed) != 0 {
+		t.Fatal("recovered mode must run all tasks")
+	}
+}
+
+func TestHighCriticalityTaskNeverShed(t *testing.T) {
+	blow := true
+	e, err := NewExecutive(Config{FrameBudget: 50, MinCriticality: CritHigh},
+		&Task{Name: "vital", Budget: 50, Criticality: CritHigh, Run: func(int) uint64 {
+			if blow {
+				blow = false
+				return 200
+			}
+			return 10
+		}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := e.RunFrames(10)
+	if rep.ShedSlots != 0 {
+		t.Fatal("the highest-criticality task must never be shed")
+	}
+	if rep.WatchdogFires != 1 {
+		t.Fatalf("watchdog fires = %d", rep.WatchdogFires)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	e, err := NewExecutive(Config{FrameBudget: 100},
+		&Task{Name: "a", Budget: 10, Criticality: CritHigh, Run: constant(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.RunFrames(4).String()
+	for _, want := range []string{"frames=4", "misses=0", "util="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report %q missing %q", s, want)
+		}
+	}
+}
+
+func TestCriticalityString(t *testing.T) {
+	if CritLow.String() != "low" || CritHigh.String() != "high" || Criticality(7).String() == "" {
+		t.Fatal("criticality names wrong")
+	}
+}
+
+func TestDegradedUnknownTask(t *testing.T) {
+	e, err := NewExecutive(Config{FrameBudget: 10},
+		&Task{Name: "a", Budget: 5, Run: constant(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Degraded("nope") {
+		t.Fatal("unknown task should report not degraded")
+	}
+}

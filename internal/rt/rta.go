@@ -1,0 +1,131 @@
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Response-time analysis (RTA) for fixed-priority preemptive scheduling —
+// the classical schedulability proof (Joseph & Pandya / Audsley) that
+// complements the cyclic executive: given each task's WCET (here, a pWCET
+// from internal/mbpta), period, and priority, the worst-case response time
+// of task i is the least fixed point of
+//
+//	R_i = C_i + B_i + Σ_{j ∈ hp(i)} ceil(R_i / T_j) · C_j
+//
+// and the task set is schedulable iff R_i <= D_i for all i. Because C_i is
+// a pWCET with exceedance probability p, the resulting guarantee is itself
+// probabilistic: deadlines hold unless some job overruns its pWCET, which
+// is the quantified residual risk the safety case carries.
+
+// RTATask is one task of the analyzed set. Times are in cycles (any
+// consistent unit works).
+type RTATask struct {
+	Name     string
+	C        uint64 // worst-case execution time (e.g. pWCET)
+	T        uint64 // period (minimum inter-arrival)
+	D        uint64 // relative deadline (0 means D = T)
+	B        uint64 // blocking from lower-priority critical sections
+	Priority int    // larger = higher priority; must be unique
+}
+
+// RTAResult is the per-task outcome.
+type RTAResult struct {
+	Task        RTATask
+	Response    uint64 // worst-case response time (valid if Schedulable)
+	Schedulable bool
+}
+
+// ErrUnschedulable is wrapped in Analyze's error when some task cannot
+// meet its deadline.
+var ErrUnschedulable = errors.New("rt: task set unschedulable")
+
+// Analyze runs exact RTA on the task set and returns per-task worst-case
+// response times, highest priority first. It returns an error (wrapping
+// ErrUnschedulable) if any task misses its deadline, alongside the full
+// result table for diagnosis.
+func Analyze(tasks []RTATask) ([]RTAResult, error) {
+	if len(tasks) == 0 {
+		return nil, errors.New("rt: empty task set")
+	}
+	sorted := make([]RTATask, len(tasks))
+	copy(sorted, tasks)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Priority > sorted[j].Priority })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].Priority == sorted[i-1].Priority {
+			return nil, fmt.Errorf("rt: duplicate priority %d (%s, %s)",
+				sorted[i].Priority, sorted[i-1].Name, sorted[i].Name)
+		}
+	}
+	for _, t := range sorted {
+		if t.C == 0 || t.T == 0 {
+			return nil, fmt.Errorf("rt: task %q needs positive C and T", t.Name)
+		}
+	}
+
+	results := make([]RTAResult, len(sorted))
+	var firstFail string
+	for i, t := range sorted {
+		d := t.D
+		if d == 0 {
+			d = t.T
+		}
+		r, ok := responseTime(t, sorted[:i], d)
+		results[i] = RTAResult{Task: t, Response: r, Schedulable: ok}
+		if !ok && firstFail == "" {
+			firstFail = t.Name
+		}
+	}
+	if firstFail != "" {
+		return results, fmt.Errorf("%w: %s misses its deadline", ErrUnschedulable, firstFail)
+	}
+	return results, nil
+}
+
+// responseTime iterates the RTA recurrence to a fixed point, bounded by
+// the deadline (beyond which the task already failed).
+func responseTime(t RTATask, hp []RTATask, deadline uint64) (uint64, bool) {
+	r := t.C + t.B
+	for {
+		next := t.C + t.B
+		for _, h := range hp {
+			next += ceilDiv(r, h.T) * h.C
+		}
+		if next == r {
+			return r, r <= deadline
+		}
+		if next > deadline {
+			return next, false
+		}
+		r = next
+	}
+}
+
+func ceilDiv(a, b uint64) uint64 { return (a + b - 1) / b }
+
+// Utilization returns ΣC_i/T_i for the set.
+func Utilization(tasks []RTATask) float64 {
+	u := 0.0
+	for _, t := range tasks {
+		u += float64(t.C) / float64(t.T)
+	}
+	return u
+}
+
+// RenderRTA formats an analysis result table.
+func RenderRTA(results []RTAResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %4s %12s %12s %12s %12s  %s\n",
+		"task", "prio", "C", "T", "D", "response", "ok")
+	for _, r := range results {
+		d := r.Task.D
+		if d == 0 {
+			d = r.Task.T
+		}
+		fmt.Fprintf(&b, "%-16s %4d %12d %12d %12d %12d  %v\n",
+			r.Task.Name, r.Task.Priority, r.Task.C, r.Task.T, d, r.Response, r.Schedulable)
+	}
+	return b.String()
+}

@@ -1,0 +1,154 @@
+package rt
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"safexplain/internal/prng"
+)
+
+func TestAnalyzeTextbookExample(t *testing.T) {
+	// The classic three-task example (Burns & Wellings style):
+	// T1: C=3 T=7, T2: C=3 T=12, T3: C=5 T=20.
+	// R1=3; R2 = 3 + ceil(R2/7)*3 -> 6; R3 = 5 + ceil/7*3 + ceil/12*3 -> 20.
+	tasks := []RTATask{
+		{Name: "t1", C: 3, T: 7, Priority: 3},
+		{Name: "t2", C: 3, T: 12, Priority: 2},
+		{Name: "t3", C: 5, T: 20, Priority: 1},
+	}
+	res, err := Analyze(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{3, 6, 20}
+	for i, r := range res {
+		if !r.Schedulable || r.Response != want[i] {
+			t.Fatalf("task %s: response %d (ok=%v), want %d", r.Task.Name, r.Response, r.Schedulable, want[i])
+		}
+	}
+}
+
+func TestAnalyzeDetectsOverload(t *testing.T) {
+	tasks := []RTATask{
+		{Name: "hog", C: 9, T: 10, Priority: 2},
+		{Name: "victim", C: 5, T: 20, Priority: 1},
+	}
+	res, err := Analyze(tasks)
+	if !errors.Is(err, ErrUnschedulable) {
+		t.Fatalf("expected ErrUnschedulable, got %v", err)
+	}
+	if res[0].Schedulable != true || res[1].Schedulable != false {
+		t.Fatalf("results: %+v", res)
+	}
+}
+
+func TestAnalyzeBlockingTerm(t *testing.T) {
+	// Blocking inflates the response time additively at the fixed point.
+	base := []RTATask{{Name: "a", C: 4, T: 20, Priority: 1}}
+	withB := []RTATask{{Name: "a", C: 4, T: 20, B: 3, Priority: 1}}
+	r1, err := Analyze(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Analyze(withB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2[0].Response != r1[0].Response+3 {
+		t.Fatalf("blocking term wrong: %d vs %d", r2[0].Response, r1[0].Response)
+	}
+}
+
+func TestAnalyzeExplicitDeadline(t *testing.T) {
+	// D < T: schedulable at D=T but not at a tight D.
+	ok := []RTATask{{Name: "a", C: 5, T: 100, D: 5, Priority: 1}}
+	if _, err := Analyze(ok); err != nil {
+		t.Fatal(err)
+	}
+	tight := []RTATask{
+		{Name: "hp", C: 3, T: 10, Priority: 2},
+		{Name: "a", C: 5, T: 100, D: 7, Priority: 1}, // R = 8 > 7
+	}
+	if _, err := Analyze(tight); !errors.Is(err, ErrUnschedulable) {
+		t.Fatalf("tight deadline accepted: %v", err)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(nil); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	if _, err := Analyze([]RTATask{
+		{Name: "a", C: 1, T: 10, Priority: 1},
+		{Name: "b", C: 1, T: 10, Priority: 1},
+	}); err == nil {
+		t.Fatal("duplicate priorities accepted")
+	}
+	if _, err := Analyze([]RTATask{{Name: "a", C: 0, T: 10, Priority: 1}}); err == nil {
+		t.Fatal("zero C accepted")
+	}
+}
+
+func TestResponseMonotoneInInterference(t *testing.T) {
+	// Property: adding a higher-priority task never decreases anyone's
+	// response time.
+	r := prng.New(60)
+	for trial := 0; trial < 30; trial++ {
+		low := RTATask{Name: "low", C: uint64(1 + r.Intn(5)), T: 1000, Priority: 1}
+		hp1 := RTATask{Name: "h1", C: uint64(1 + r.Intn(5)), T: uint64(20 + r.Intn(50)), Priority: 2}
+		hp2 := RTATask{Name: "h2", C: uint64(1 + r.Intn(5)), T: uint64(20 + r.Intn(50)), Priority: 3}
+		res1, err1 := Analyze([]RTATask{low, hp1})
+		res2, err2 := Analyze([]RTATask{low, hp1, hp2})
+		if err1 != nil || err2 != nil {
+			continue // overload cases are fine to skip; property is about schedulable sets
+		}
+		if res2[len(res2)-1].Response < res1[len(res1)-1].Response {
+			t.Fatalf("trial %d: response decreased with more interference", trial)
+		}
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	u := Utilization([]RTATask{
+		{C: 1, T: 4}, {C: 1, T: 2},
+	})
+	if math.Abs(u-0.75) > 1e-12 {
+		t.Fatalf("utilization = %v", u)
+	}
+}
+
+func TestRenderRTA(t *testing.T) {
+	res, err := Analyze([]RTATask{{Name: "solo", C: 2, T: 10, Priority: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderRTA(res)
+	if !strings.Contains(out, "solo") || !strings.Contains(out, "true") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestOverUtilizationNeverSchedulable(t *testing.T) {
+	// Property: utilization > 1 is a sufficient condition for
+	// unschedulability under any fixed-priority assignment.
+	r := prng.New(70)
+	for trial := 0; trial < 40; trial++ {
+		var tasks []RTATask
+		for i := 0; i < 3; i++ {
+			tasks = append(tasks, RTATask{
+				Name:     string(rune('a' + i)),
+				C:        uint64(5 + r.Intn(20)),
+				T:        uint64(10 + r.Intn(20)),
+				Priority: i,
+			})
+		}
+		if Utilization(tasks) <= 1 {
+			continue
+		}
+		if _, err := Analyze(tasks); err == nil {
+			t.Fatalf("trial %d: util %.2f reported schedulable", trial, Utilization(tasks))
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package safety
+
+import "safexplain/internal/tensor"
+
+// Assessment harness for experiments T3/T4/F2: stream a labelled dataset
+// (optionally through a sensor-fault injector) into a pattern and tally
+// outcome classes the way a FUSA analysis would:
+//
+//	correct    trusted output, right class         (mission success)
+//	hazardous  trusted output, wrong class         (the dangerous case)
+//	fallback   safe state / degraded mode engaged  (availability loss)
+//
+// plus degraded-mode accuracy for fail-operational patterns.
+
+// Dataset is the labelled-sample stream (structurally nn.Dataset).
+type Dataset interface {
+	Len() int
+	Sample(i int) (x *tensor.Tensor, label int)
+}
+
+// Assessment aggregates a pattern evaluation run.
+type Assessment struct {
+	Pattern string
+	Level   IntegrityLevel
+	N       int
+
+	Correct   int // trusted and right
+	Hazardous int // trusted and wrong — the number to drive to zero
+	Fallbacks int // safe state / degraded mode
+
+	// FallbackCorrect counts degraded-mode outputs that were right
+	// (Simplex-style patterns only; 0 otherwise).
+	FallbackCorrect int
+
+	// ChannelCalls counts model executions, the pattern's compute cost.
+	ChannelCalls int
+}
+
+// HazardRate is the hazardous fraction of all frames.
+func (a Assessment) HazardRate() float64 {
+	if a.N == 0 {
+		return 0
+	}
+	return float64(a.Hazardous) / float64(a.N)
+}
+
+// Availability is the fraction of frames with a trusted (non-fallback)
+// output.
+func (a Assessment) Availability() float64 {
+	if a.N == 0 {
+		return 0
+	}
+	return float64(a.N-a.Fallbacks) / float64(a.N)
+}
+
+// Accuracy is the correct fraction of all frames (fallbacks count against
+// it; this is the mission-effectiveness view).
+func (a Assessment) Accuracy() float64 {
+	if a.N == 0 {
+		return 0
+	}
+	return float64(a.Correct) / float64(a.N)
+}
+
+// CallsPerFrame is the mean number of channel executions per decision.
+func (a Assessment) CallsPerFrame() float64 {
+	if a.N == 0 {
+		return 0
+	}
+	return float64(a.ChannelCalls) / float64(a.N)
+}
+
+// Assess streams ds through the pattern. corrupt, if non-nil, is applied
+// to each input first (the sensor-fault injector). counters lists the
+// Counting wrappers whose calls make up the pattern's cost; pass the
+// wrappers you installed around the pattern's channels.
+func Assess(p Pattern, ds Dataset, corrupt func(*tensor.Tensor) *tensor.Tensor, counters ...*Counting) Assessment {
+	a := Assessment{Pattern: p.Name(), Level: p.Level()}
+	before := 0
+	for _, c := range counters {
+		before += c.Calls
+	}
+	for i := 0; i < ds.Len(); i++ {
+		x, label := ds.Sample(i)
+		if corrupt != nil {
+			x = corrupt(x)
+		}
+		d := p.Decide(x)
+		a.N++
+		switch {
+		case d.Fallback:
+			a.Fallbacks++
+			if d.FallbackClass == label {
+				a.FallbackCorrect++
+			}
+		case d.Class == label:
+			a.Correct++
+		default:
+			a.Hazardous++
+		}
+	}
+	after := 0
+	for _, c := range counters {
+		after += c.Calls
+	}
+	a.ChannelCalls = after - before
+	return a
+}
+
+// CommonMode measures, over ds, how often two channels fail *identically*
+// (both wrong with the same class) — the common-mode failure probability
+// that diversity is supposed to reduce (experiment T4). It also returns
+// the rate at which both are wrong in any way.
+func CommonMode(a, b Channel, ds Dataset) (identicalWrong, bothWrong float64) {
+	if ds.Len() == 0 {
+		return 0, 0
+	}
+	nIdent, nBoth := 0, 0
+	for i := 0; i < ds.Len(); i++ {
+		x, label := ds.Sample(i)
+		ca, cb := a.Classify(x), b.Classify(x)
+		if ca != label && cb != label {
+			nBoth++
+			if ca == cb {
+				nIdent++
+			}
+		}
+	}
+	return float64(nIdent) / float64(ds.Len()), float64(nBoth) / float64(ds.Len())
+}

@@ -1,0 +1,89 @@
+package safety
+
+import (
+	"math"
+
+	"safexplain/internal/nn"
+	"safexplain/internal/prng"
+	"safexplain/internal/tensor"
+)
+
+// Fault injection. Two fault classes drive experiment T3:
+//
+//   - Hardware faults in the model memory: single-event upsets flip bits
+//     in stored float32 weights. A flipped exponent bit can turn a small
+//     weight into ±1e30 and destroy the model; a mantissa flip is often
+//     benign. Patterns must contain both.
+//   - Sensor faults: pixel-level corruption of the input (implemented in
+//     internal/data; patterns see them through corrupted inputs).
+
+// CorruptWeights returns a deep copy of net with nFlips single-bit flips
+// at uniformly random (parameter, bit) positions. The original network is
+// untouched.
+func CorruptWeights(net *nn.Network, nFlips int, seed uint64) (*nn.Network, error) {
+	c, err := net.Clone(net.ID + "/seu")
+	if err != nil {
+		return nil, err
+	}
+	r := prng.New(seed)
+	params := c.Params()
+	// Build a flat index over all scalars for a uniform choice.
+	total := 0
+	for _, p := range params {
+		total += p.Value.Len()
+	}
+	for k := 0; k < nFlips; k++ {
+		idx := r.Intn(total)
+		for _, p := range params {
+			if idx < p.Value.Len() {
+				bit := uint(r.Intn(32))
+				d := p.Value.Data()
+				d[idx] = math.Float32frombits(math.Float32bits(d[idx]) ^ (1 << bit))
+				break
+			}
+			idx -= p.Value.Len()
+		}
+	}
+	return c, nil
+}
+
+// SensorFault corrupts a fraction of inputs: with probability prob, an
+// input has nPixels of its pixels complemented. It returns a deterministic
+// corruption function suitable for streaming evaluation.
+func SensorFault(prob float64, nPixels int, seed uint64) func(x *tensor.Tensor) *tensor.Tensor {
+	r := prng.New(seed)
+	return func(x *tensor.Tensor) *tensor.Tensor {
+		if r.Float64() >= prob {
+			return x
+		}
+		c := x.Clone()
+		for k := 0; k < nPixels; k++ {
+			i := r.Intn(c.Len())
+			c.Data()[i] = 1 - c.Data()[i]
+		}
+		return c
+	}
+}
+
+// StuckChannel wraps a channel so that after `after` calls it is "stuck
+// at" a fixed class — the byzantine-component model used to show voters
+// outvoting a dead channel.
+type StuckChannel struct {
+	C       Channel
+	After   int
+	StuckAt int
+
+	calls int
+}
+
+// Name implements Channel.
+func (s *StuckChannel) Name() string { return s.C.Name() + "/stuck" }
+
+// Classify implements Channel.
+func (s *StuckChannel) Classify(x *tensor.Tensor) int {
+	s.calls++
+	if s.calls > s.After {
+		return s.StuckAt
+	}
+	return s.C.Classify(x)
+}

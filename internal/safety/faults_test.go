@@ -1,0 +1,229 @@
+package safety
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"safexplain/internal/data"
+	"safexplain/internal/nn"
+	"safexplain/internal/prng"
+	"safexplain/internal/supervisor"
+	"safexplain/internal/tensor"
+)
+
+// Integration fixture: a trained classifier on the railway case study plus
+// a fitted monitor. Built once.
+var (
+	fxOnce  sync.Once
+	fxNet   *nn.Network
+	fxTrain *data.Set
+	fxTest  *data.Set
+	fxMon   *supervisor.Monitor
+)
+
+func fx(t testing.TB) (*nn.Network, *data.Set, *data.Set, *supervisor.Monitor) {
+	t.Helper()
+	fxOnce.Do(func() {
+		set := data.Railway(data.Config{N: 270, Seed: 300, Noise: 0.05})
+		fxTrain, fxTest = set.Split(0.75, 301)
+		src := prng.New(302)
+		fxNet = nn.NewNetwork("rail-cnn",
+			nn.NewConv2D(1, 6, 3, 1, 1, src), nn.NewReLU(), nn.NewMaxPool2D(2, 2),
+			nn.NewFlatten(), nn.NewDense(6*8*8, 24, src), nn.NewReLU(),
+			nn.NewDense(24, set.NumClasses(), src))
+		if _, _, err := nn.TrainClassifier(fxNet, fxTrain, nn.TrainConfig{
+			Epochs: 10, BatchSize: 16, LR: 0.05, Momentum: 0.9, Seed: 303,
+		}); err != nil {
+			panic(err)
+		}
+		var err error
+		fxMon, err = supervisor.NewMonitor(&supervisor.Mahalanobis{}, fxNet, fxTrain, 0.95)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return fxNet, fxTrain, fxTest, fxMon
+}
+
+func TestCorruptWeightsLeavesOriginal(t *testing.T) {
+	net, _, _, _ := fx(t)
+	origHash, err := nn.Hash(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted, err := CorruptWeights(net, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterHash, _ := nn.Hash(net)
+	if origHash != afterHash {
+		t.Fatal("CorruptWeights mutated the original network")
+	}
+	corrHash, _ := nn.Hash(corrupted)
+	if corrHash == origHash {
+		t.Fatal("corrupted copy is identical to the original")
+	}
+}
+
+func TestCorruptWeightsFlipsExactlyRequestedBits(t *testing.T) {
+	net, _, _, _ := fx(t)
+	corrupted, err := CorruptWeights(net, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count scalar positions that differ; multiple flips can hit one
+	// scalar, so differing count is <= 5 and >= 1.
+	diff := 0
+	op, cp := net.Params(), corrupted.Params()
+	for i := range op {
+		for j := range op[i].Value.Data() {
+			if math.Float32bits(op[i].Value.Data()[j]) != math.Float32bits(cp[i].Value.Data()[j]) {
+				diff++
+			}
+		}
+	}
+	if diff == 0 || diff > 5 {
+		t.Fatalf("%d scalars differ, want 1..5", diff)
+	}
+}
+
+func TestCorruptWeightsDeterministic(t *testing.T) {
+	net, _, _, _ := fx(t)
+	a, err := CorruptWeights(net, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CorruptWeights(net, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, _ := nn.Hash(a)
+	hb, _ := nn.Hash(b)
+	if ha != hb {
+		t.Fatal("same seed must give the same corruption")
+	}
+}
+
+func TestSensorFaultRate(t *testing.T) {
+	corrupt := SensorFault(0.5, 10, 4)
+	x := tensor.New(1, data.Side, data.Side)
+	hit := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if corrupt(x) != x { // corrupted inputs are fresh clones
+			hit++
+		}
+	}
+	rate := float64(hit) / n
+	if math.Abs(rate-0.5) > 0.05 {
+		t.Fatalf("fault rate %v, want ~0.5", rate)
+	}
+	// prob 0 never corrupts.
+	never := SensorFault(0, 10, 5)
+	for i := 0; i < 100; i++ {
+		if never(x) != x {
+			t.Fatal("prob 0 must never corrupt")
+		}
+	}
+}
+
+func TestPatternLadderUnderFaults(t *testing.T) {
+	// The pattern ladder ordering claim of the paper (T3 in miniature):
+	// under heavy weight corruption, the supervised/voted patterns must
+	// yield a hazard rate no worse than the bare channel, and the voter
+	// should cut it substantially.
+	net, train, test, mon := fx(t)
+	corrupted, err := CorruptWeights(net, 60, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diverse healthy replicas for voting.
+	src := prng.New(400)
+	replica := func(seed uint64) *nn.Network {
+		n2 := nn.NewNetwork("replica",
+			nn.NewConv2D(1, 6, 3, 1, 1, src), nn.NewReLU(), nn.NewMaxPool2D(2, 2),
+			nn.NewFlatten(), nn.NewDense(6*8*8, 24, src), nn.NewReLU(),
+			nn.NewDense(24, 3, src))
+		if _, _, err := nn.TrainClassifier(n2, train, nn.TrainConfig{
+			Epochs: 6, BatchSize: 16, LR: 0.05, Momentum: 0.9, Seed: seed,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return n2
+	}
+	r1, r2 := replica(401), replica(402)
+
+	bare := Assess(SingleChannel{C: NetChannel{Net: corrupted}}, test, nil)
+	tmr := Assess(TMR{
+		A: NetChannel{Net: corrupted},
+		B: NetChannel{Net: r1},
+		C: NetChannel{Net: r2},
+	}, test, nil)
+	sup := Assess(SupervisedChannel{C: NetChannel{Net: corrupted}, Net: net, Mon: mon}, test, nil)
+
+	if tmr.HazardRate() > bare.HazardRate() {
+		t.Fatalf("TMR hazard %v worse than bare %v", tmr.HazardRate(), bare.HazardRate())
+	}
+	if sup.HazardRate() > bare.HazardRate()+1e-9 {
+		t.Fatalf("supervised hazard %v worse than bare %v", sup.HazardRate(), bare.HazardRate())
+	}
+	// With two healthy replicas the voter should essentially mask the
+	// corrupted channel.
+	healthy := Assess(SingleChannel{C: NetChannel{Net: r1}}, test, nil)
+	if tmr.HazardRate() > healthy.HazardRate()+0.1 {
+		t.Fatalf("TMR hazard %v far above healthy channel %v", tmr.HazardRate(), healthy.HazardRate())
+	}
+}
+
+func TestSimplexDegradesInsteadOfStopping(t *testing.T) {
+	net, _, test, mon := fx(t)
+	// Fallback: a verified heuristic — call everything "obstacle" (the
+	// conservative answer for a railway).
+	fallback := FuncChannel{ID: "conservative", F: func(*tensor.Tensor) int { return data.RailObstacle }}
+	p := Simplex{Primary: NetChannel{Net: net}, Net: net, Mon: mon, Fallback: fallback}
+	// On gross OOD the monitor must disengage the primary and the decision
+	// must carry the fallback class.
+	ood := data.WithInversion(test)
+	sawFallback := false
+	for i := 0; i < ood.Len(); i++ {
+		x, _ := ood.Sample(i)
+		d := p.Decide(x)
+		if d.Fallback {
+			sawFallback = true
+			if d.FallbackClass != data.RailObstacle {
+				t.Fatalf("fallback class %d, want %d", d.FallbackClass, data.RailObstacle)
+			}
+		}
+	}
+	if !sawFallback {
+		t.Fatal("simplex never engaged the fallback on gross OOD")
+	}
+}
+
+func TestDiversityReducesCommonMode(t *testing.T) {
+	// T4 in miniature: two independently trained (diverse) channels must
+	// have a lower identical-failure rate than two copies of one model,
+	// evaluated under noise that causes errors.
+	net, train, test, _ := fx(t)
+	src := prng.New(500)
+	diverse := nn.NewNetwork("diverse",
+		nn.NewConv2D(1, 4, 3, 1, 1, src), nn.NewReLU(), nn.NewMaxPool2D(2, 2),
+		nn.NewFlatten(), nn.NewDense(4*8*8, 16, src), nn.NewReLU(),
+		nn.NewDense(16, 3, src))
+	if _, _, err := nn.TrainClassifier(diverse, train, nn.TrainConfig{
+		Epochs: 8, BatchSize: 16, LR: 0.05, Momentum: 0.9, Seed: 501,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	noisy := data.WithGaussianNoise(test, 0.25, 502)
+	identSame, _ := CommonMode(NetChannel{Net: net}, NetChannel{Net: net}, noisy)
+	identDiverse, _ := CommonMode(NetChannel{Net: net}, NetChannel{Net: diverse}, noisy)
+	if identSame == 0 {
+		t.Skip("no failures induced; noise too weak")
+	}
+	if identDiverse >= identSame {
+		t.Fatalf("diverse identical-failure rate %v not below identical-redundancy %v",
+			identDiverse, identSame)
+	}
+}

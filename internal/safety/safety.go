@@ -1,0 +1,325 @@
+// Package safety implements the paper's second pillar: "alternative and
+// increasingly sophisticated design safety patterns for DL with varying
+// criticality and fault tolerance requirements".
+//
+// A Pattern wraps one or more inference channels (DL models, quantized
+// engines, or verified heuristic components) plus optional supervisors into
+// an architecture with a defined failure behaviour. The catalog covers the
+// classical redundancy ladder, each rung targeting a higher integrity
+// level:
+//
+//	SingleChannel      QM    bare model, no containment
+//	SupervisedChannel  SIL1  model + trust monitor, reject to safe state
+//	DoerChecker        SIL2  model + independent plausibility checker
+//	DualDiverse        SIL3  2oo2: two diverse channels must agree
+//	TMR                SIL3  2oo3: majority vote of three channels
+//	Simplex            SIL4  monitored DL primary + verified fallback
+//
+// The fault-injection half of the package (faults.go) corrupts weights
+// (single-event upsets) and sensors so experiment T3 can measure each
+// pattern's residual hazardous-failure rate against its cost.
+package safety
+
+import (
+	"fmt"
+
+	"safexplain/internal/nn"
+	"safexplain/internal/supervisor"
+	"safexplain/internal/tensor"
+)
+
+// IntegrityLevel is the criticality scale, patterned on IEC 61508 SILs
+// (ISO 26262 ASILs map onto the same ladder).
+type IntegrityLevel int
+
+// Integrity levels from uncritical (QM) to the most critical (SIL4).
+const (
+	QM IntegrityLevel = iota
+	SIL1
+	SIL2
+	SIL3
+	SIL4
+)
+
+// String returns the conventional level name.
+func (l IntegrityLevel) String() string {
+	switch l {
+	case QM:
+		return "QM"
+	case SIL1, SIL2, SIL3, SIL4:
+		return fmt.Sprintf("SIL%d", int(l))
+	default:
+		return fmt.Sprintf("IntegrityLevel(%d)", int(l))
+	}
+}
+
+// Channel is one inference channel: anything that maps an input to a class.
+type Channel interface {
+	Name() string
+	Classify(x *tensor.Tensor) int
+}
+
+// NetChannel adapts an nn.Network.
+type NetChannel struct{ Net *nn.Network }
+
+// Name implements Channel.
+func (c NetChannel) Name() string { return c.Net.ID }
+
+// Classify implements Channel.
+func (c NetChannel) Classify(x *tensor.Tensor) int {
+	class, _ := c.Net.Predict(x)
+	return class
+}
+
+// FuncChannel adapts a plain function — used for verified heuristic
+// fallback components and for test stubs.
+type FuncChannel struct {
+	ID string
+	F  func(x *tensor.Tensor) int
+}
+
+// Name implements Channel.
+func (c FuncChannel) Name() string { return c.ID }
+
+// Classify implements Channel.
+func (c FuncChannel) Classify(x *tensor.Tensor) int { return c.F(x) }
+
+// Counting wraps a channel and counts invocations, giving the experiments
+// their per-decision compute-cost metric.
+type Counting struct {
+	C     Channel
+	Calls int
+}
+
+// Name implements Channel.
+func (c *Counting) Name() string { return c.C.Name() }
+
+// Classify implements Channel.
+func (c *Counting) Classify(x *tensor.Tensor) int {
+	c.Calls++
+	return c.C.Classify(x)
+}
+
+// Decision is one safety-pattern output.
+type Decision struct {
+	// Class is the delivered classification; meaningful only when
+	// Fallback is false.
+	Class int
+	// Fallback reports that the pattern withheld the DL output and
+	// commanded the safe state (or the fallback channel's output, for
+	// patterns that degrade rather than stop — see FallbackClass).
+	Fallback bool
+	// FallbackClass holds the degraded-mode output for patterns with a
+	// fail-operational fallback channel (Simplex); -1 otherwise.
+	FallbackClass int
+	// Reason explains the decision for the evidence log.
+	Reason string
+}
+
+// Pattern is a design safety pattern.
+type Pattern interface {
+	Name() string
+	// Level is the integrity level the pattern architecture targets.
+	Level() IntegrityLevel
+	Decide(x *tensor.Tensor) Decision
+}
+
+// SingleChannel passes the model output through — the QM baseline every
+// comparison needs.
+type SingleChannel struct{ C Channel }
+
+// Name implements Pattern.
+func (p SingleChannel) Name() string { return "single-channel" }
+
+// Level implements Pattern.
+func (p SingleChannel) Level() IntegrityLevel { return QM }
+
+// Decide implements Pattern.
+func (p SingleChannel) Decide(x *tensor.Tensor) Decision {
+	return Decision{Class: p.C.Classify(x), FallbackClass: -1, Reason: "unsupervised output"}
+}
+
+// SupervisedChannel rejects to the safe state when the trust monitor
+// flags the input.
+type SupervisedChannel struct {
+	C   Channel
+	Net *nn.Network // the network the monitor was fitted against
+	Mon *supervisor.Monitor
+}
+
+// Name implements Pattern.
+func (p SupervisedChannel) Name() string { return "supervised-channel" }
+
+// Level implements Pattern.
+func (p SupervisedChannel) Level() IntegrityLevel { return SIL1 }
+
+// Decide implements Pattern.
+func (p SupervisedChannel) Decide(x *tensor.Tensor) Decision {
+	if !p.Mon.Trusted(p.Net, x) {
+		return Decision{Fallback: true, FallbackClass: -1, Reason: "supervisor rejected input"}
+	}
+	return Decision{Class: p.C.Classify(x), FallbackClass: -1, Reason: "supervisor accepted input"}
+}
+
+// Checker is an independent plausibility check over (input, proposed
+// class). Independence from the doer is the pattern's safety argument, so
+// checkers should not share the doer's model.
+type Checker interface {
+	Name() string
+	Plausible(x *tensor.Tensor, class int) bool
+}
+
+// FuncChecker adapts a function to Checker.
+type FuncChecker struct {
+	ID string
+	F  func(x *tensor.Tensor, class int) bool
+}
+
+// Name implements Checker.
+func (c FuncChecker) Name() string { return c.ID }
+
+// Plausible implements Checker.
+func (c FuncChecker) Plausible(x *tensor.Tensor, class int) bool { return c.F(x, class) }
+
+// DoerChecker runs the doer and vetoes implausible outputs.
+type DoerChecker struct {
+	Doer    Channel
+	Checker Checker
+}
+
+// Name implements Pattern.
+func (p DoerChecker) Name() string { return "doer-checker" }
+
+// Level implements Pattern.
+func (p DoerChecker) Level() IntegrityLevel { return SIL2 }
+
+// Decide implements Pattern.
+func (p DoerChecker) Decide(x *tensor.Tensor) Decision {
+	class := p.Doer.Classify(x)
+	if !p.Checker.Plausible(x, class) {
+		return Decision{Fallback: true, FallbackClass: -1,
+			Reason: fmt.Sprintf("checker %s vetoed class %d", p.Checker.Name(), class)}
+	}
+	return Decision{Class: class, FallbackClass: -1, Reason: "checker accepted"}
+}
+
+// DualDiverse is the 2oo2 pattern: two (ideally diverse) channels must
+// agree; disagreement commands the safe state.
+type DualDiverse struct {
+	A, B Channel
+}
+
+// Name implements Pattern.
+func (p DualDiverse) Name() string { return "dual-diverse-2oo2" }
+
+// Level implements Pattern.
+func (p DualDiverse) Level() IntegrityLevel { return SIL3 }
+
+// Decide implements Pattern.
+func (p DualDiverse) Decide(x *tensor.Tensor) Decision {
+	a := p.A.Classify(x)
+	b := p.B.Classify(x)
+	if a != b {
+		return Decision{Fallback: true, FallbackClass: -1,
+			Reason: fmt.Sprintf("channels disagree (%d vs %d)", a, b)}
+	}
+	return Decision{Class: a, FallbackClass: -1, Reason: "channels agree"}
+}
+
+// TMR is the 2oo3 triple-modular-redundancy voter: any majority wins; a
+// three-way split commands the safe state.
+type TMR struct {
+	A, B, C Channel
+}
+
+// Name implements Pattern.
+func (p TMR) Name() string { return "tmr-2oo3" }
+
+// Level implements Pattern.
+func (p TMR) Level() IntegrityLevel { return SIL3 }
+
+// Decide implements Pattern.
+func (p TMR) Decide(x *tensor.Tensor) Decision {
+	a, b, c := p.A.Classify(x), p.B.Classify(x), p.C.Classify(x)
+	switch {
+	case a == b || a == c:
+		return Decision{Class: a, FallbackClass: -1, Reason: "majority vote"}
+	case b == c:
+		return Decision{Class: b, FallbackClass: -1, Reason: "majority vote"}
+	default:
+		return Decision{Fallback: true, FallbackClass: -1, Reason: "no majority"}
+	}
+}
+
+// NVersion is the generalized k-out-of-n voter: n independently developed
+// channels vote, and a class is delivered only when at least K channels
+// agree on it (ties resolved toward the lowest class index for
+// determinism). DualDiverse and TMR are its 2oo2 and 2oo3 special cases;
+// higher n buys fault masking at linear compute cost — the "increasingly
+// sophisticated" end of the pattern ladder.
+type NVersion struct {
+	Channels []Channel
+	K        int // required agreement (e.g. 3 of 5)
+}
+
+// Name implements Pattern.
+func (p NVersion) Name() string {
+	return fmt.Sprintf("nversion-%doo%d", p.K, len(p.Channels))
+}
+
+// Level implements Pattern.
+func (p NVersion) Level() IntegrityLevel {
+	if p.K > (len(p.Channels)+1)/2 {
+		return SIL4
+	}
+	return SIL3
+}
+
+// Decide implements Pattern.
+func (p NVersion) Decide(x *tensor.Tensor) Decision {
+	votes := map[int]int{}
+	for _, c := range p.Channels {
+		votes[c.Classify(x)]++
+	}
+	best, bestVotes := -1, 0
+	for class, n := range votes {
+		if n > bestVotes || (n == bestVotes && (best == -1 || class < best)) {
+			best, bestVotes = class, n
+		}
+	}
+	if bestVotes < p.K {
+		return Decision{Fallback: true, FallbackClass: -1,
+			Reason: fmt.Sprintf("no class reached %d/%d votes", p.K, len(p.Channels))}
+	}
+	return Decision{Class: best, FallbackClass: -1,
+		Reason: fmt.Sprintf("%d/%d votes", bestVotes, len(p.Channels))}
+}
+
+// Simplex is the fail-operational architecture: a high-performance DL
+// primary guarded by a trust monitor, with a verified (simple,
+// deterministic) fallback channel that takes over instead of stopping —
+// the decision logic of the classical Simplex architecture.
+type Simplex struct {
+	Primary  Channel
+	Net      *nn.Network // network the monitor was fitted against
+	Mon      *supervisor.Monitor
+	Fallback Channel
+}
+
+// Name implements Pattern.
+func (p Simplex) Name() string { return "simplex" }
+
+// Level implements Pattern.
+func (p Simplex) Level() IntegrityLevel { return SIL4 }
+
+// Decide implements Pattern.
+func (p Simplex) Decide(x *tensor.Tensor) Decision {
+	if p.Mon.Trusted(p.Net, x) {
+		return Decision{Class: p.Primary.Classify(x), FallbackClass: -1, Reason: "primary trusted"}
+	}
+	return Decision{
+		Fallback:      true,
+		FallbackClass: p.Fallback.Classify(x),
+		Reason:        "monitor distrusts primary; verified fallback engaged",
+	}
+}

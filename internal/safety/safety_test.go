@@ -1,0 +1,307 @@
+package safety
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"safexplain/internal/tensor"
+)
+
+// stub returns a FuncChannel answering a fixed class.
+func stub(id string, class int) Channel {
+	return FuncChannel{ID: id, F: func(*tensor.Tensor) int { return class }}
+}
+
+var anyInput = tensor.New(4)
+
+func TestIntegrityLevelString(t *testing.T) {
+	cases := map[IntegrityLevel]string{
+		QM: "QM", SIL1: "SIL1", SIL4: "SIL4", IntegrityLevel(9): "IntegrityLevel(9)",
+	}
+	for l, want := range cases {
+		if got := l.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(l), got, want)
+		}
+	}
+}
+
+func TestSingleChannelPassThrough(t *testing.T) {
+	p := SingleChannel{C: stub("m", 2)}
+	d := p.Decide(anyInput)
+	if d.Fallback || d.Class != 2 {
+		t.Fatalf("decision = %+v", d)
+	}
+	if p.Level() != QM {
+		t.Fatal("single channel should be QM")
+	}
+}
+
+func TestDoerCheckerVeto(t *testing.T) {
+	veto := FuncChecker{ID: "veto-1", F: func(_ *tensor.Tensor, class int) bool {
+		return class != 1
+	}}
+	p := DoerChecker{Doer: stub("m", 1), Checker: veto}
+	d := p.Decide(anyInput)
+	if !d.Fallback {
+		t.Fatal("checker veto must force fallback")
+	}
+	if !strings.Contains(d.Reason, "veto") {
+		t.Fatalf("reason %q should mention the veto", d.Reason)
+	}
+	p2 := DoerChecker{Doer: stub("m", 0), Checker: veto}
+	if d := p2.Decide(anyInput); d.Fallback || d.Class != 0 {
+		t.Fatalf("accepted decision = %+v", d)
+	}
+}
+
+func TestDualDiverseAgreement(t *testing.T) {
+	agree := DualDiverse{A: stub("a", 3), B: stub("b", 3)}
+	if d := agree.Decide(anyInput); d.Fallback || d.Class != 3 {
+		t.Fatalf("agreement decision = %+v", d)
+	}
+	disagree := DualDiverse{A: stub("a", 3), B: stub("b", 1)}
+	if d := disagree.Decide(anyInput); !d.Fallback {
+		t.Fatal("disagreement must force fallback")
+	}
+}
+
+func TestTMRVoting(t *testing.T) {
+	cases := []struct {
+		a, b, c  int
+		fallback bool
+		class    int
+	}{
+		{1, 1, 1, false, 1},
+		{1, 1, 2, false, 1},
+		{2, 1, 1, false, 1}, // b==c majority
+		{1, 2, 1, false, 1}, // a==c majority
+		{0, 1, 2, true, 0},  // three-way split
+	}
+	for _, c := range cases {
+		p := TMR{A: stub("a", c.a), B: stub("b", c.b), C: stub("c", c.c)}
+		d := p.Decide(anyInput)
+		if d.Fallback != c.fallback {
+			t.Fatalf("votes (%d,%d,%d): fallback = %v", c.a, c.b, c.c, d.Fallback)
+		}
+		if !c.fallback && d.Class != c.class {
+			t.Fatalf("votes (%d,%d,%d): class = %d, want %d", c.a, c.b, c.c, d.Class, c.class)
+		}
+	}
+}
+
+func TestTMROutvotesStuckChannel(t *testing.T) {
+	stuck := &StuckChannel{C: stub("a", 1), After: 2, StuckAt: 9}
+	p := TMR{A: stuck, B: stub("b", 1), C: stub("c", 1)}
+	for i := 0; i < 10; i++ {
+		d := p.Decide(anyInput)
+		if d.Fallback || d.Class != 1 {
+			t.Fatalf("decision %d = %+v; voter failed to mask stuck channel", i, d)
+		}
+	}
+}
+
+func TestCountingChannel(t *testing.T) {
+	c := &Counting{C: stub("m", 0)}
+	p := TMR{A: c, B: stub("b", 0), C: stub("c", 0)}
+	for i := 0; i < 5; i++ {
+		p.Decide(anyInput)
+	}
+	if c.Calls != 5 {
+		t.Fatalf("Calls = %d, want 5", c.Calls)
+	}
+}
+
+// fixedSet is a tiny in-memory dataset for the assessment harness.
+type fixedSet struct {
+	labels []int
+}
+
+func (f fixedSet) Len() int { return len(f.labels) }
+func (f fixedSet) Sample(i int) (*tensor.Tensor, int) {
+	x := tensor.New(4)
+	x.Data()[0] = float32(i) // make inputs distinct
+	return x, f.labels[i]
+}
+
+func TestAssessTallies(t *testing.T) {
+	// Channel always answers 1; labels half 1 (correct), half 0
+	// (hazardous, since SingleChannel never falls back).
+	ds := fixedSet{labels: []int{1, 1, 0, 0, 1, 0}}
+	c := &Counting{C: stub("m", 1)}
+	a := Assess(SingleChannel{C: c}, ds, nil, c)
+	if a.N != 6 || a.Correct != 3 || a.Hazardous != 3 || a.Fallbacks != 0 {
+		t.Fatalf("assessment = %+v", a)
+	}
+	if a.HazardRate() != 0.5 || a.Availability() != 1 || a.Accuracy() != 0.5 {
+		t.Fatalf("rates: hazard %v avail %v acc %v", a.HazardRate(), a.Availability(), a.Accuracy())
+	}
+	if a.CallsPerFrame() != 1 {
+		t.Fatalf("calls/frame = %v", a.CallsPerFrame())
+	}
+}
+
+func TestAssessFallbackCorrect(t *testing.T) {
+	// A pattern that always degrades to a fallback channel answering 1.
+	p := fallbackPattern{class: 1}
+	ds := fixedSet{labels: []int{1, 0, 1}}
+	a := Assess(p, ds, nil)
+	if a.Fallbacks != 3 || a.FallbackCorrect != 2 || a.Hazardous != 0 {
+		t.Fatalf("assessment = %+v", a)
+	}
+	if a.Availability() != 0 {
+		t.Fatalf("availability = %v, want 0", a.Availability())
+	}
+}
+
+type fallbackPattern struct{ class int }
+
+func (f fallbackPattern) Name() string          { return "always-fallback" }
+func (f fallbackPattern) Level() IntegrityLevel { return SIL1 }
+func (f fallbackPattern) Decide(*tensor.Tensor) Decision {
+	return Decision{Fallback: true, FallbackClass: f.class}
+}
+
+func TestAssessZeroLength(t *testing.T) {
+	a := Assess(SingleChannel{C: stub("m", 0)}, fixedSet{}, nil)
+	if a.HazardRate() != 0 || a.Availability() != 0 || a.CallsPerFrame() != 0 {
+		t.Fatal("zero-length dataset must give zero rates, not NaN")
+	}
+}
+
+func TestCommonMode(t *testing.T) {
+	// a answers 9 always; b answers 9 for even indices, 8 for odd. Labels
+	// are all 0, so both are always wrong; identical on even indices.
+	parity := FuncChannel{ID: "b", F: func(x *tensor.Tensor) int {
+		if int(x.Data()[0])%2 == 0 {
+			return 9
+		}
+		return 8
+	}}
+	ds := fixedSet{labels: []int{0, 0, 0, 0}}
+	ident, both := CommonMode(stub("a", 9), parity, ds)
+	if both != 1 {
+		t.Fatalf("bothWrong = %v, want 1", both)
+	}
+	if ident != 0.5 {
+		t.Fatalf("identicalWrong = %v, want 0.5", ident)
+	}
+	if i, b := CommonMode(stub("a", 0), stub("b", 0), fixedSet{}); i != 0 || b != 0 {
+		t.Fatal("empty dataset must give zeros")
+	}
+}
+
+func TestNVersionVoting(t *testing.T) {
+	mk := func(classes ...int) []Channel {
+		var cs []Channel
+		for i, c := range classes {
+			cs = append(cs, stub(fmt.Sprintf("c%d", i), c))
+		}
+		return cs
+	}
+	cases := []struct {
+		classes  []int
+		k        int
+		fallback bool
+		class    int
+	}{
+		{[]int{1, 1, 1, 2, 3}, 3, false, 1},
+		{[]int{1, 1, 2, 2, 3}, 3, true, 0},  // no class reaches 3
+		{[]int{1, 1, 2, 2, 3}, 2, false, 1}, // tie at 2 votes: lowest class wins
+		{[]int{0, 1, 2}, 1, false, 0},
+		{[]int{2, 2}, 2, false, 2},
+	}
+	for _, c := range cases {
+		p := NVersion{Channels: mk(c.classes...), K: c.k}
+		d := p.Decide(anyInput)
+		if d.Fallback != c.fallback {
+			t.Fatalf("votes %v k=%d: fallback=%v", c.classes, c.k, d.Fallback)
+		}
+		if !c.fallback && d.Class != c.class {
+			t.Fatalf("votes %v k=%d: class=%d want %d", c.classes, c.k, d.Class, c.class)
+		}
+	}
+}
+
+func TestNVersionLevels(t *testing.T) {
+	p3of5 := NVersion{Channels: make([]Channel, 5), K: 3}
+	if p3of5.Level() != SIL3 {
+		t.Fatalf("3oo5 level = %v", p3of5.Level())
+	}
+	p4of5 := NVersion{Channels: make([]Channel, 5), K: 4}
+	if p4of5.Level() != SIL4 {
+		t.Fatalf("4oo5 level = %v", p4of5.Level())
+	}
+	if name := p3of5.Name(); name != "nversion-3oo5" {
+		t.Fatalf("name = %q", name)
+	}
+}
+
+func TestNVersionMatchesTMRBehaviour(t *testing.T) {
+	// 2oo3 NVersion must agree with the dedicated TMR on every vote split.
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			for c := 0; c < 3; c++ {
+				nv := NVersion{Channels: []Channel{stub("a", a), stub("b", b), stub("c", c)}, K: 2}
+				tm := TMR{A: stub("a", a), B: stub("b", b), C: stub("c", c)}
+				dn := nv.Decide(anyInput)
+				dt := tm.Decide(anyInput)
+				if dn.Fallback != dt.Fallback {
+					t.Fatalf("votes (%d,%d,%d): nversion fallback %v, tmr %v",
+						a, b, c, dn.Fallback, dt.Fallback)
+				}
+				if !dn.Fallback && dn.Class != dt.Class {
+					t.Fatalf("votes (%d,%d,%d): nversion %d, tmr %d", a, b, c, dn.Class, dt.Class)
+				}
+			}
+		}
+	}
+}
+
+func TestChannelAndPatternNames(t *testing.T) {
+	// Every component must carry a stable, non-empty identity — names feed
+	// the evidence log.
+	if (FuncChannel{ID: "fc"}).Name() != "fc" {
+		t.Fatal("FuncChannel name")
+	}
+	c := &Counting{C: stub("inner", 0)}
+	if c.Name() != "inner" {
+		t.Fatal("Counting must pass through the wrapped name")
+	}
+	sc := &StuckChannel{C: stub("x", 0)}
+	if sc.Name() != "x/stuck" {
+		t.Fatalf("StuckChannel name %q", sc.Name())
+	}
+	if (SupervisedChannel{}).Name() != "supervised-channel" ||
+		(SupervisedChannel{}).Level() != SIL1 {
+		t.Fatal("SupervisedChannel identity")
+	}
+	if (DoerChecker{}).Name() != "doer-checker" || (DoerChecker{}).Level() != SIL2 {
+		t.Fatal("DoerChecker identity")
+	}
+	if (DualDiverse{}).Name() != "dual-diverse-2oo2" || (DualDiverse{}).Level() != SIL3 {
+		t.Fatal("DualDiverse identity")
+	}
+	if (TMR{}).Name() != "tmr-2oo3" || (TMR{}).Level() != SIL3 {
+		t.Fatal("TMR identity")
+	}
+	if (Simplex{}).Name() != "simplex" || (Simplex{}).Level() != SIL4 {
+		t.Fatal("Simplex identity")
+	}
+	if (SingleChannel{}).Name() != "single-channel" {
+		t.Fatal("SingleChannel identity")
+	}
+	if (FuncChecker{ID: "ck"}).Name() != "ck" {
+		t.Fatal("FuncChecker identity")
+	}
+}
+
+func TestAssessmentAccuracyWithFallbacks(t *testing.T) {
+	// Accuracy counts only trusted-correct outcomes; fallbacks count
+	// against it even when the degraded answer happens to be right.
+	p := fallbackPattern{class: 1}
+	a := Assess(p, fixedSet{labels: []int{1, 1}}, nil)
+	if a.Accuracy() != 0 {
+		t.Fatalf("accuracy %v, want 0 for all-fallback runs", a.Accuracy())
+	}
+}

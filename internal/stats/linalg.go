@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is
+// not (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("stats: matrix not positive definite")
+
+// Matrix is a dense row-major square matrix, just large enough for the
+// feature-space covariance work the supervisors need.
+type Matrix struct {
+	N    int
+	Data []float64 // len N*N, row-major
+}
+
+// NewMatrix returns a zero n×n matrix.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.N+j] = v }
+
+// Covariance estimates the sample covariance matrix of the rows of samples
+// (each row is one observation of dim features), with ridge added to the
+// diagonal for numerical stability — the usual shrinkage when the number of
+// samples is close to the dimensionality.
+func Covariance(samples [][]float64, ridge float64) (*Matrix, []float64, error) {
+	if len(samples) < 2 {
+		return nil, nil, ErrDegenerate
+	}
+	dim := len(samples[0])
+	mean := make([]float64, dim)
+	for _, row := range samples {
+		if len(row) != dim {
+			return nil, nil, errors.New("stats: ragged sample matrix")
+		}
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(samples))
+	}
+	cov := NewMatrix(dim)
+	for _, row := range samples {
+		for i := 0; i < dim; i++ {
+			di := row[i] - mean[i]
+			for j := i; j < dim; j++ {
+				cov.Data[i*dim+j] += di * (row[j] - mean[j])
+			}
+		}
+	}
+	inv := 1 / float64(len(samples)-1)
+	for i := 0; i < dim; i++ {
+		for j := i; j < dim; j++ {
+			v := cov.Data[i*dim+j] * inv
+			cov.Data[i*dim+j] = v
+			cov.Data[j*dim+i] = v
+		}
+		cov.Data[i*dim+i] += ridge
+	}
+	return cov, mean, nil
+}
+
+// Cholesky computes the lower-triangular factor L with A = L Lᵀ. The input
+// must be symmetric positive definite.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	n := a.N
+	l := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, ErrNotPositiveDefinite
+				}
+				l.Set(i, j, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves A x = b given the Cholesky factor L of A, by forward
+// then backward substitution.
+func SolveCholesky(l *Matrix, b []float64) []float64 {
+	n := l.N
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l.At(i, k) * y[k]
+		}
+		y[i] = sum / l.At(i, i)
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l.At(k, i) * x[k]
+		}
+		x[i] = sum / l.At(i, i)
+	}
+	return x
+}
+
+// MahalanobisSq returns the squared Mahalanobis distance (x-mean)ᵀ A⁻¹
+// (x-mean) given the Cholesky factor L of the covariance A. Solving L z =
+// (x-mean) gives distance² = zᵀz without forming the inverse.
+func MahalanobisSq(l *Matrix, mean, x []float64) float64 {
+	n := l.N
+	z := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := x[i] - mean[i]
+		for k := 0; k < i; k++ {
+			sum -= l.At(i, k) * z[k]
+		}
+		z[i] = sum / l.At(i, i)
+	}
+	d := 0.0
+	for _, v := range z {
+		d += v * v
+	}
+	return d
+}
+
+// LinearRegression fits y ≈ Xw + b by ordinary least squares using the
+// normal equations with a small ridge term, returning the weights and
+// intercept. It is the solver behind the LIME-style local surrogate
+// explainer. sampleWeights, if non-nil, weights each row.
+func LinearRegression(x [][]float64, y, sampleWeights []float64, ridge float64) (w []float64, b float64, err error) {
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return nil, 0, ErrDegenerate
+	}
+	dim := len(x[0])
+	// Augment with intercept column: solve for [w; b] over dim+1 terms.
+	d := dim + 1
+	ata := NewMatrix(d)
+	atb := make([]float64, d)
+	row := make([]float64, d)
+	for i := 0; i < n; i++ {
+		if len(x[i]) != dim {
+			return nil, 0, errors.New("stats: ragged design matrix")
+		}
+		copy(row, x[i])
+		row[dim] = 1
+		sw := 1.0
+		if sampleWeights != nil {
+			sw = sampleWeights[i]
+		}
+		for a := 0; a < d; a++ {
+			atb[a] += sw * row[a] * y[i]
+			for c := a; c < d; c++ {
+				ata.Data[a*d+c] += sw * row[a] * row[c]
+			}
+		}
+	}
+	for a := 0; a < d; a++ {
+		for c := 0; c < a; c++ {
+			ata.Data[a*d+c] = ata.Data[c*d+a]
+		}
+		ata.Data[a*d+a] += ridge
+	}
+	l, err := Cholesky(ata)
+	if err != nil {
+		return nil, 0, err
+	}
+	sol := SolveCholesky(l, atb)
+	return sol[:dim], sol[dim], nil
+}

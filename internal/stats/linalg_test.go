@@ -1,0 +1,212 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"safexplain/internal/prng"
+)
+
+func TestCholeskyKnownFactor(t *testing.T) {
+	// A = [[4,2],[2,3]] has L = [[2,0],[1,sqrt(2)]].
+	a := NewMatrix(2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 3)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(l.At(0, 0), 2, 1e-12) || !almostEqual(l.At(1, 0), 1, 1e-12) ||
+		!almostEqual(l.At(1, 1), math.Sqrt2, 1e-12) || l.At(0, 1) != 0 {
+		t.Fatalf("wrong factor: %+v", l.Data)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 1) // eigenvalues 3 and -1
+	if _, err := Cholesky(a); err != ErrNotPositiveDefinite {
+		t.Fatalf("expected ErrNotPositiveDefinite, got %v", err)
+	}
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	// Property: for random SPD A = B Bᵀ + I, L Lᵀ must reconstruct A.
+	check := func(seed uint64) bool {
+		r := prng.New(seed)
+		const n = 5
+		b := NewMatrix(n)
+		for i := range b.Data {
+			b.Data[i] = r.NormFloat64()
+		}
+		a := NewMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += b.At(i, k) * b.At(j, k)
+				}
+				if i == j {
+					s += 1
+				}
+				a.Set(i, j, s)
+			}
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += l.At(i, k) * l.At(j, k)
+				}
+				if !almostEqual(s, a.At(i, j), 1e-8) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveCholesky(t *testing.T) {
+	// Solve A x = b with A = [[4,2],[2,3]], b = [8, 7] -> x = [1.25, 1.5].
+	a := NewMatrix(2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 3)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := SolveCholesky(l, []float64{8, 7})
+	if !almostEqual(x[0], 1.25, 1e-12) || !almostEqual(x[1], 1.5, 1e-12) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestCovarianceIdentityData(t *testing.T) {
+	// Two perfectly anti-correlated features.
+	samples := [][]float64{{1, -1}, {2, -2}, {3, -3}, {4, -4}}
+	cov, mean, err := Covariance(samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(mean[0], 2.5, 1e-12) || !almostEqual(mean[1], -2.5, 1e-12) {
+		t.Fatalf("mean = %v", mean)
+	}
+	// Var = 5/3; Cov(0,1) = -5/3.
+	if !almostEqual(cov.At(0, 0), 5.0/3.0, 1e-12) || !almostEqual(cov.At(0, 1), -5.0/3.0, 1e-12) {
+		t.Fatalf("cov = %+v", cov.Data)
+	}
+	if !almostEqual(cov.At(0, 1), cov.At(1, 0), 1e-15) {
+		t.Fatal("covariance not symmetric")
+	}
+}
+
+func TestCovarianceRidge(t *testing.T) {
+	samples := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	cov, _, err := Covariance(samples, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constant data: covariance is pure ridge on the diagonal.
+	if !almostEqual(cov.At(0, 0), 0.5, 1e-12) || cov.At(0, 1) != 0 {
+		t.Fatalf("cov = %+v", cov.Data)
+	}
+}
+
+func TestCovarianceErrors(t *testing.T) {
+	if _, _, err := Covariance([][]float64{{1}}, 0); err == nil {
+		t.Fatal("expected error for single sample")
+	}
+	if _, _, err := Covariance([][]float64{{1, 2}, {1}}, 0); err == nil {
+		t.Fatal("expected error for ragged input")
+	}
+}
+
+func TestMahalanobisIdentityCovariance(t *testing.T) {
+	// With identity covariance the Mahalanobis distance is Euclidean.
+	a := NewMatrix(3)
+	for i := 0; i < 3; i++ {
+		a.Set(i, i, 1)
+	}
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := []float64{0, 0, 0}
+	d := MahalanobisSq(l, mean, []float64{3, 4, 0})
+	if !almostEqual(d, 25, 1e-12) {
+		t.Fatalf("distance² = %v, want 25", d)
+	}
+}
+
+func TestMahalanobisScalesWithVariance(t *testing.T) {
+	// Variance 4 in dim 0 halves the standardized distance.
+	a := NewMatrix(2)
+	a.Set(0, 0, 4)
+	a.Set(1, 1, 1)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := MahalanobisSq(l, []float64{0, 0}, []float64{2, 0})
+	if !almostEqual(d, 1, 1e-12) {
+		t.Fatalf("distance² = %v, want 1", d)
+	}
+}
+
+func TestLinearRegressionRecoversPlane(t *testing.T) {
+	// y = 2 x0 - 3 x1 + 0.5, noiseless.
+	r := prng.New(3)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		a, b := r.NormFloat64(), r.NormFloat64()
+		x = append(x, []float64{a, b})
+		y = append(y, 2*a-3*b+0.5)
+	}
+	w, b, err := LinearRegression(x, y, nil, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(w[0], 2, 1e-6) || !almostEqual(w[1], -3, 1e-6) || !almostEqual(b, 0.5, 1e-6) {
+		t.Fatalf("w = %v, b = %v", w, b)
+	}
+}
+
+func TestLinearRegressionWeighted(t *testing.T) {
+	// Two inconsistent points; all weight on the first decides the fit.
+	x := [][]float64{{1}, {1}}
+	y := []float64{1, 100}
+	w, b, err := LinearRegression(x, y, []float64{1, 1e-9}, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := w[0] + b
+	if math.Abs(pred-1) > 0.01 {
+		t.Fatalf("weighted fit predicts %v, want ~1", pred)
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	if _, _, err := LinearRegression(nil, nil, nil, 0); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	if _, _, err := LinearRegression([][]float64{{1, 2}, {1}}, []float64{1, 2}, nil, 0); err == nil {
+		t.Fatal("expected error for ragged input")
+	}
+}

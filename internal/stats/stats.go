@@ -1,0 +1,261 @@
+// Package stats provides the statistics substrate shared by the supervisor,
+// MBPTA, and evaluation code: descriptive statistics, rank-based detection
+// metrics (AUROC, FPR at fixed TPR), classification tallies, hypothesis
+// tests used as i.i.d. diagnostics, and the small dense linear algebra
+// needed for Mahalanobis-distance supervisors.
+//
+// Everything is deterministic: no randomized algorithms, fixed iteration
+// order, serial summation.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrDegenerate is returned when an input sample is too small or constant
+// for the requested statistic to be defined.
+var ErrDegenerate = errors.New("stats: degenerate input")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (n-1 denominator).
+// It returns 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// CoV returns the coefficient of variation (stddev/mean). It returns 0 when
+// the mean is 0.
+func CoV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// MinMax returns the minimum and maximum of xs. It panics on empty input.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Quantile returns the q-th sample quantile of xs (0 <= q <= 1) using linear
+// interpolation between order statistics (type-7 estimator, the R default).
+// The input need not be sorted. It panics on empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	h := q * float64(n-1)
+	i := int(math.Floor(h))
+	if i >= n-1 {
+		return sorted[n-1]
+	}
+	frac := h - float64(i)
+	return sorted[i] + frac*(sorted[i+1]-sorted[i])
+}
+
+// Quantiles returns the sample quantiles of xs at each probability in qs,
+// sorting xs only once.
+func Quantiles(xs []float64, qs []float64) []float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantiles of empty slice")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = quantileSorted(sorted, math.Max(0, math.Min(1, q)))
+	}
+	return out
+}
+
+// AUROC computes the area under the ROC curve for a detector that assigns
+// higher scores to the positive class. It is the Mann–Whitney U statistic
+// normalized to [0, 1]; ties contribute 1/2. It returns ErrDegenerate when
+// either class is empty.
+func AUROC(negScores, posScores []float64) (float64, error) {
+	if len(negScores) == 0 || len(posScores) == 0 {
+		return 0, ErrDegenerate
+	}
+	// Sort the union once and use midranks so ties are handled exactly.
+	type obs struct {
+		v   float64
+		pos bool
+	}
+	all := make([]obs, 0, len(negScores)+len(posScores))
+	for _, v := range negScores {
+		all = append(all, obs{v, false})
+	}
+	for _, v := range posScores {
+		all = append(all, obs{v, true})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+	var rankSumPos float64
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		// Midrank of the tie group (1-based ranks).
+		midrank := float64(i+j+1) / 2
+		for k := i; k < j; k++ {
+			if all[k].pos {
+				rankSumPos += midrank
+			}
+		}
+		i = j
+	}
+	nPos := float64(len(posScores))
+	nNeg := float64(len(negScores))
+	u := rankSumPos - nPos*(nPos+1)/2
+	return u / (nPos * nNeg), nil
+}
+
+// FPRAtTPR returns the false-positive rate achieved at the smallest score
+// threshold whose true-positive rate is at least tpr. Scores are
+// higher-is-positive. The conventional supervisor metric is FPR@95%TPR.
+func FPRAtTPR(negScores, posScores []float64, tpr float64) (float64, error) {
+	if len(negScores) == 0 || len(posScores) == 0 {
+		return 0, ErrDegenerate
+	}
+	pos := make([]float64, len(posScores))
+	copy(pos, posScores)
+	sort.Float64s(pos)
+	// Threshold t such that P(pos >= t) >= tpr: take the (1-tpr) quantile
+	// from below.
+	idx := int(math.Floor((1 - tpr) * float64(len(pos))))
+	if idx >= len(pos) {
+		idx = len(pos) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	t := pos[idx]
+	fp := 0
+	for _, v := range negScores {
+		if v >= t {
+			fp++
+		}
+	}
+	return float64(fp) / float64(len(negScores)), nil
+}
+
+// Confusion is a binary confusion-matrix tally.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add records one (predicted, actual) outcome.
+func (c *Confusion) Add(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		c.TP++
+	case predicted && !actual:
+		c.FP++
+	case !predicted && !actual:
+		c.TN++
+	default:
+		c.FN++
+	}
+}
+
+// TPR returns the true-positive rate (recall); 0 when undefined.
+func (c *Confusion) TPR() float64 {
+	d := c.TP + c.FN
+	if d == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(d)
+}
+
+// FPR returns the false-positive rate; 0 when undefined.
+func (c *Confusion) FPR() float64 {
+	d := c.FP + c.TN
+	if d == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(d)
+}
+
+// Precision returns TP/(TP+FP); 0 when undefined.
+func (c *Confusion) Precision() float64 {
+	d := c.TP + c.FP
+	if d == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(d)
+}
+
+// Accuracy returns the fraction of correct outcomes; 0 when empty.
+func (c *Confusion) Accuracy() float64 {
+	n := c.TP + c.FP + c.TN + c.FN
+	if n == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(n)
+}
+
+// F1 returns the harmonic mean of precision and recall; 0 when undefined.
+func (c *Confusion) F1() float64 {
+	p, r := c.Precision(), c.TPR()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}

@@ -1,0 +1,210 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"safexplain/internal/prng"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); !almostEqual(got, 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", got, 32.0/7.0)
+	}
+	if got := StdDev(xs); !almostEqual(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("StdDev = %v", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs should yield 0")
+	}
+}
+
+func TestCoV(t *testing.T) {
+	if CoV([]float64{5, 5, 5}) != 0 {
+		t.Fatal("constant sample should have CoV 0")
+	}
+	if CoV([]float64{0, 0}) != 0 {
+		t.Fatal("zero-mean CoV should be 0 by convention")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = (%v,%v)", lo, hi)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{1, 2}, 0.5); !almostEqual(got, 1.5, 1e-12) {
+		t.Errorf("interpolated median = %v, want 1.5", got)
+	}
+	// Unsorted input must give the same answer.
+	if got := Quantile([]float64{5, 1, 4, 2, 3}, 0.5); got != 3 {
+		t.Errorf("unsorted median = %v, want 3", got)
+	}
+}
+
+func TestQuantileClampsQ(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if Quantile(xs, -1) != 1 || Quantile(xs, 2) != 3 {
+		t.Fatal("q outside [0,1] should clamp")
+	}
+}
+
+func TestQuantilesMatchesQuantile(t *testing.T) {
+	xs := []float64{9, 1, 5, 3, 7, 2}
+	qs := []float64{0.1, 0.5, 0.9}
+	got := Quantiles(xs, qs)
+	for i, q := range qs {
+		if want := Quantile(xs, q); !almostEqual(got[i], want, 1e-12) {
+			t.Errorf("Quantiles[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestAUROCPerfectSeparation(t *testing.T) {
+	neg := []float64{0.1, 0.2, 0.3}
+	pos := []float64{0.7, 0.8, 0.9}
+	auc, err := AUROC(neg, pos)
+	if err != nil || auc != 1 {
+		t.Fatalf("AUROC = %v, %v; want 1", auc, err)
+	}
+	// Inverted detector.
+	auc, _ = AUROC(pos, neg)
+	if auc != 0 {
+		t.Fatalf("inverted AUROC = %v, want 0", auc)
+	}
+}
+
+func TestAUROCTies(t *testing.T) {
+	// All scores identical: AUROC must be exactly 0.5.
+	neg := []float64{1, 1, 1}
+	pos := []float64{1, 1}
+	auc, err := AUROC(neg, pos)
+	if err != nil || !almostEqual(auc, 0.5, 1e-12) {
+		t.Fatalf("tied AUROC = %v, want 0.5", auc)
+	}
+}
+
+func TestAUROCRandomScoresNearHalf(t *testing.T) {
+	r := prng.New(1)
+	neg := make([]float64, 2000)
+	pos := make([]float64, 2000)
+	for i := range neg {
+		neg[i] = r.Float64()
+		pos[i] = r.Float64()
+	}
+	auc, err := AUROC(neg, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 0.03 {
+		t.Fatalf("random AUROC = %v, want ~0.5", auc)
+	}
+}
+
+func TestAUROCDegenerate(t *testing.T) {
+	if _, err := AUROC(nil, []float64{1}); err != ErrDegenerate {
+		t.Fatal("expected ErrDegenerate for empty class")
+	}
+}
+
+func TestAUROCInvariantToMonotoneTransform(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := prng.New(seed)
+		neg := make([]float64, 50)
+		pos := make([]float64, 50)
+		for i := range neg {
+			neg[i] = r.NormFloat64()
+			pos[i] = r.NormFloat64() + 1
+		}
+		a1, _ := AUROC(neg, pos)
+		// Apply a strictly increasing transform; AUROC is rank-based so it
+		// must not change.
+		tneg := make([]float64, len(neg))
+		tpos := make([]float64, len(pos))
+		for i := range neg {
+			tneg[i] = math.Exp(neg[i])
+			tpos[i] = math.Exp(pos[i])
+		}
+		a2, _ := AUROC(tneg, tpos)
+		return almostEqual(a1, a2, 1e-12)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFPRAtTPR(t *testing.T) {
+	// Perfect detector: zero FPR at any TPR.
+	neg := []float64{0.1, 0.2}
+	pos := []float64{0.8, 0.9}
+	fpr, err := FPRAtTPR(neg, pos, 0.95)
+	if err != nil || fpr != 0 {
+		t.Fatalf("FPR = %v, %v; want 0", fpr, err)
+	}
+	// Useless detector (identical scores): FPR 1 at TPR >= threshold.
+	fpr, _ = FPRAtTPR([]float64{1, 1, 1}, []float64{1, 1, 1}, 0.95)
+	if fpr != 1 {
+		t.Fatalf("degenerate FPR = %v, want 1", fpr)
+	}
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	var c Confusion
+	// 8 TP, 2 FN, 1 FP, 9 TN.
+	for i := 0; i < 8; i++ {
+		c.Add(true, true)
+	}
+	for i := 0; i < 2; i++ {
+		c.Add(false, true)
+	}
+	c.Add(true, false)
+	for i := 0; i < 9; i++ {
+		c.Add(false, false)
+	}
+	if !almostEqual(c.TPR(), 0.8, 1e-12) {
+		t.Errorf("TPR = %v", c.TPR())
+	}
+	if !almostEqual(c.FPR(), 0.1, 1e-12) {
+		t.Errorf("FPR = %v", c.FPR())
+	}
+	if !almostEqual(c.Precision(), 8.0/9.0, 1e-12) {
+		t.Errorf("Precision = %v", c.Precision())
+	}
+	if !almostEqual(c.Accuracy(), 17.0/20.0, 1e-12) {
+		t.Errorf("Accuracy = %v", c.Accuracy())
+	}
+	p, r := 8.0/9.0, 0.8
+	if !almostEqual(c.F1(), 2*p*r/(p+r), 1e-12) {
+		t.Errorf("F1 = %v", c.F1())
+	}
+}
+
+func TestConfusionZero(t *testing.T) {
+	var c Confusion
+	if c.TPR() != 0 || c.FPR() != 0 || c.Precision() != 0 || c.Accuracy() != 0 || c.F1() != 0 {
+		t.Fatal("empty confusion matrix must report zeros, not NaN")
+	}
+}

@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// The hypothesis tests in this file are the i.i.d. diagnostics required
+// before extreme-value fitting in MBPTA: execution-time samples must look
+// independent (runs test, Ljung–Box) and identically distributed across the
+// campaign (two-sample Kolmogorov–Smirnov on the two halves).
+
+// RunsTest performs the Wald–Wolfowitz runs test for randomness on xs,
+// dichotomized around the median. It returns the two-sided p-value under the
+// normal approximation. Samples equal to the median are discarded, the
+// standard treatment. It returns ErrDegenerate if either side is empty.
+func RunsTest(xs []float64) (pValue float64, err error) {
+	if len(xs) < 2 {
+		return 0, ErrDegenerate
+	}
+	med := Quantile(xs, 0.5)
+	var signs []bool
+	for _, x := range xs {
+		if x == med {
+			continue
+		}
+		signs = append(signs, x > med)
+	}
+	if len(signs) < 2 {
+		return 0, ErrDegenerate
+	}
+	n1, n2 := 0, 0
+	runs := 1
+	for i, s := range signs {
+		if s {
+			n1++
+		} else {
+			n2++
+		}
+		if i > 0 && s != signs[i-1] {
+			runs++
+		}
+	}
+	if n1 == 0 || n2 == 0 {
+		return 0, ErrDegenerate
+	}
+	fn1, fn2 := float64(n1), float64(n2)
+	mean := 2*fn1*fn2/(fn1+fn2) + 1
+	variance := 2 * fn1 * fn2 * (2*fn1*fn2 - fn1 - fn2) /
+		((fn1 + fn2) * (fn1 + fn2) * (fn1 + fn2 - 1))
+	if variance <= 0 {
+		return 0, ErrDegenerate
+	}
+	z := (float64(runs) - mean) / math.Sqrt(variance)
+	return 2 * normalSurvival(math.Abs(z)), nil
+}
+
+// LjungBox performs the Ljung–Box test for autocorrelation up to the given
+// lag. It returns the p-value from the chi-squared distribution with lag
+// degrees of freedom; small p-values indicate serial dependence.
+func LjungBox(xs []float64, lag int) (pValue float64, err error) {
+	n := len(xs)
+	if n <= lag+1 || lag < 1 {
+		return 0, ErrDegenerate
+	}
+	m := Mean(xs)
+	denom := 0.0
+	for _, x := range xs {
+		d := x - m
+		denom += d * d
+	}
+	if denom == 0 {
+		return 0, ErrDegenerate
+	}
+	q := 0.0
+	for k := 1; k <= lag; k++ {
+		num := 0.0
+		for t := k; t < n; t++ {
+			num += (xs[t] - m) * (xs[t-k] - m)
+		}
+		rk := num / denom
+		q += rk * rk / float64(n-k)
+	}
+	q *= float64(n) * (float64(n) + 2)
+	return chiSquaredSurvival(q, lag), nil
+}
+
+// KolmogorovSmirnov performs the two-sample KS test and returns the
+// asymptotic p-value. MBPTA uses it to compare the first and second halves
+// of a measurement campaign as an identical-distribution check.
+func KolmogorovSmirnov(a, b []float64) (pValue float64, err error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, ErrDegenerate
+	}
+	as := make([]float64, len(a))
+	bs := make([]float64, len(b))
+	copy(as, a)
+	copy(bs, b)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	d := 0.0
+	i, j := 0, 0
+	for i < len(as) && j < len(bs) {
+		if as[i] <= bs[j] {
+			i++
+		} else {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(len(as)) - float64(j)/float64(len(bs)))
+		if diff > d {
+			d = diff
+		}
+	}
+	en := math.Sqrt(float64(len(as)) * float64(len(bs)) / float64(len(as)+len(bs)))
+	return ksSurvival((en + 0.12 + 0.11/en) * d), nil
+}
+
+// ksSurvival evaluates the Kolmogorov distribution survival function
+// Q(lambda) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2).
+func ksSurvival(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k)*float64(k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// normalSurvival returns P(Z > z) for a standard normal Z.
+func normalSurvival(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// chiSquaredSurvival returns P(X > x) for X chi-squared with k degrees of
+// freedom, via the regularized upper incomplete gamma function.
+func chiSquaredSurvival(x float64, k int) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return upperIncompleteGammaRegularized(float64(k)/2, x/2)
+}
+
+// upperIncompleteGammaRegularized computes Q(a, x) = Γ(a, x)/Γ(a) using the
+// series expansion for x < a+1 and a continued fraction otherwise
+// (Numerical Recipes, gammp/gammq).
+func upperIncompleteGammaRegularized(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - lowerSeries(a, x)
+	}
+	return upperContinuedFraction(a, x)
+}
+
+func lowerSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-14 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func upperContinuedFraction(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-14 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"safexplain/internal/prng"
+)
+
+func TestRunsTestRandomSample(t *testing.T) {
+	r := prng.New(7)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	p, err := RunsTest(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.01 {
+		t.Fatalf("i.i.d. sample rejected by runs test: p = %v", p)
+	}
+}
+
+func TestRunsTestDetectsTrend(t *testing.T) {
+	// A monotone ramp has exactly 2 runs around the median — maximally
+	// non-random.
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	p, err := RunsTest(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Fatalf("trend not detected: p = %v", p)
+	}
+}
+
+func TestRunsTestDetectsAlternation(t *testing.T) {
+	// Perfect alternation has the maximum number of runs; also non-random.
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i % 2)
+	}
+	p, err := RunsTest(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Fatalf("alternation not detected: p = %v", p)
+	}
+}
+
+func TestRunsTestDegenerate(t *testing.T) {
+	if _, err := RunsTest([]float64{1}); err == nil {
+		t.Fatal("expected error for single sample")
+	}
+	if _, err := RunsTest([]float64{3, 3, 3, 3}); err == nil {
+		t.Fatal("expected error for constant sample")
+	}
+}
+
+func TestLjungBoxIIDSample(t *testing.T) {
+	r := prng.New(11)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	p, err := LjungBox(xs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.01 {
+		t.Fatalf("i.i.d. sample rejected by Ljung-Box: p = %v", p)
+	}
+}
+
+func TestLjungBoxDetectsAutocorrelation(t *testing.T) {
+	// AR(1) process with strong positive correlation.
+	r := prng.New(13)
+	xs := make([]float64, 500)
+	prev := 0.0
+	for i := range xs {
+		prev = 0.9*prev + r.NormFloat64()
+		xs[i] = prev
+	}
+	p, err := LjungBox(xs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Fatalf("autocorrelation not detected: p = %v", p)
+	}
+}
+
+func TestLjungBoxDegenerate(t *testing.T) {
+	if _, err := LjungBox([]float64{1, 2}, 10); err == nil {
+		t.Fatal("expected error when n <= lag+1")
+	}
+	if _, err := LjungBox(make([]float64, 100), 10); err == nil {
+		t.Fatal("expected error for constant sample")
+	}
+}
+
+func TestKolmogorovSmirnovSameDistribution(t *testing.T) {
+	r := prng.New(17)
+	a := make([]float64, 500)
+	b := make([]float64, 500)
+	for i := range a {
+		a[i] = r.NormFloat64()
+		b[i] = r.NormFloat64()
+	}
+	p, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.01 {
+		t.Fatalf("same-distribution samples rejected: p = %v", p)
+	}
+}
+
+func TestKolmogorovSmirnovDifferentDistributions(t *testing.T) {
+	r := prng.New(19)
+	a := make([]float64, 500)
+	b := make([]float64, 500)
+	for i := range a {
+		a[i] = r.NormFloat64()
+		b[i] = r.NormFloat64() + 1.0 // shifted
+	}
+	p, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Fatalf("shift not detected: p = %v", p)
+	}
+}
+
+func TestKolmogorovSmirnovDegenerate(t *testing.T) {
+	if _, err := KolmogorovSmirnov(nil, []float64{1}); err == nil {
+		t.Fatal("expected error for empty sample")
+	}
+}
+
+func TestNormalSurvivalKnownValues(t *testing.T) {
+	// P(Z > 0) = 0.5; P(Z > 1.96) ≈ 0.025.
+	if got := normalSurvival(0); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("normalSurvival(0) = %v", got)
+	}
+	if got := normalSurvival(1.96); !almostEqual(got, 0.025, 1e-3) {
+		t.Errorf("normalSurvival(1.96) = %v", got)
+	}
+}
+
+func TestChiSquaredSurvivalKnownValues(t *testing.T) {
+	// For k=1: P(X > 3.841) ≈ 0.05. For k=10: P(X > 18.307) ≈ 0.05.
+	if got := chiSquaredSurvival(3.841, 1); !almostEqual(got, 0.05, 2e-3) {
+		t.Errorf("chi2(3.841, 1) = %v", got)
+	}
+	if got := chiSquaredSurvival(18.307, 10); !almostEqual(got, 0.05, 2e-3) {
+		t.Errorf("chi2(18.307, 10) = %v", got)
+	}
+	if got := chiSquaredSurvival(0, 5); got != 1 {
+		t.Errorf("chi2(0, 5) = %v, want 1", got)
+	}
+}
+
+func TestKSSurvivalBounds(t *testing.T) {
+	if ksSurvival(0) != 1 {
+		t.Fatal("ksSurvival(0) should be 1")
+	}
+	if p := ksSurvival(10); p < 0 || p > 1e-6 {
+		t.Fatalf("ksSurvival(10) = %v, want ~0", p)
+	}
+	// Monotone decreasing.
+	prev := 1.0
+	for l := 0.1; l < 3; l += 0.1 {
+		p := ksSurvival(l)
+		if p > prev+1e-12 {
+			t.Fatalf("ksSurvival not monotone at lambda=%v", l)
+		}
+		prev = p
+	}
+}
+
+func TestUpperIncompleteGamma(t *testing.T) {
+	// Q(1, x) = exp(-x).
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5} {
+		got := upperIncompleteGammaRegularized(1, x)
+		want := math.Exp(-x)
+		if !almostEqual(got, want, 1e-10) {
+			t.Errorf("Q(1,%v) = %v, want %v", x, got, want)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package supervisor
+
+import (
+	"errors"
+	"math"
+
+	"safexplain/internal/nn"
+)
+
+// Calibration metrics. A supervisor thresholding softmax confidence
+// implicitly assumes confidence ≈ probability-of-being-correct; the
+// expected calibration error quantifies how far that assumption is from
+// the truth, and temperature scaling (FitTemperature) is the standard
+// one-parameter repair. Certification cares because "the system reports
+// 99% confidence" is a human-facing claim that must mean something.
+
+// ECE computes the Expected Calibration Error of the temperature-scaled
+// softmax over ds with `bins` equal-width confidence bins:
+//
+//	ECE = Σ_b (n_b/N) · |accuracy(b) − meanConfidence(b)|
+//
+// 0 is perfectly calibrated; 1 is maximally miscalibrated.
+func ECE(net *nn.Network, ds Dataset, temperature float64, bins int) (float64, error) {
+	if ds.Len() == 0 {
+		return 0, errors.New("supervisor: ECE over empty dataset")
+	}
+	if bins <= 0 {
+		bins = 10
+	}
+	if temperature <= 0 {
+		temperature = 1
+	}
+	counts := make([]int, bins)
+	hits := make([]int, bins)
+	confSum := make([]float64, bins)
+	for i := 0; i < ds.Len(); i++ {
+		x, label := ds.Sample(i)
+		ps := softmaxProbs(net, x, temperature)
+		best, conf := 0, 0.0
+		for c, p := range ps {
+			if p > conf {
+				conf = p
+				best = c
+			}
+		}
+		b := int(conf * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+		confSum[b] += conf
+		if best == label {
+			hits[b]++
+		}
+	}
+	var ece float64
+	n := float64(ds.Len())
+	for b := 0; b < bins; b++ {
+		if counts[b] == 0 {
+			continue
+		}
+		acc := float64(hits[b]) / float64(counts[b])
+		conf := confSum[b] / float64(counts[b])
+		ece += float64(counts[b]) / n * math.Abs(acc-conf)
+	}
+	return ece, nil
+}

@@ -1,0 +1,85 @@
+package supervisor
+
+import (
+	"errors"
+	"math"
+)
+
+// DriftDetector watches the stream of supervisor scores during operation
+// and raises an alarm when their level shifts upward — the gradual
+// degradation (sensor aging, seasonal distribution drift) that
+// per-frame thresholding misses because no single frame is anomalous
+// enough. It implements a one-sided CUSUM over standardized scores:
+//
+//	S_0 = 0;  S_t = max(0, S_{t-1} + (z_t − k));  alarm when S_t > h
+//
+// with z the score standardized by the calibration statistics, k the
+// slack (drift smaller than k·sigma is tolerated) and h the decision
+// threshold. CUSUM is the classical optimal-ish change detector and is
+// trivially certifiable: two additions and a comparison per frame.
+type DriftDetector struct {
+	// Mean and Std are the calibration statistics of the supervisor score
+	// on in-distribution data.
+	Mean, Std float64
+	// K is the CUSUM slack in sigmas (default 0.5).
+	K float64
+	// H is the alarm threshold in sigmas (default 8).
+	H float64
+
+	s       float64
+	n       int
+	alarmed bool
+}
+
+// NewDriftDetector calibrates a detector from in-distribution scores.
+func NewDriftDetector(calibScores []float64, k, h float64) (*DriftDetector, error) {
+	if len(calibScores) < 2 {
+		return nil, errors.New("supervisor: drift calibration needs >= 2 scores")
+	}
+	var sum, sq float64
+	for _, v := range calibScores {
+		sum += v
+		sq += v * v
+	}
+	n := float64(len(calibScores))
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if variance <= 0 {
+		variance = 1e-12
+	}
+	if k <= 0 {
+		k = 0.5
+	}
+	if h <= 0 {
+		h = 8
+	}
+	return &DriftDetector{Mean: mean, Std: math.Sqrt(variance), K: k, H: h}, nil
+}
+
+// Observe feeds one operation-time score and reports whether the detector
+// is in the alarmed state. Once alarmed it stays alarmed until Reset — an
+// alarm is a maintenance event, not a per-frame veto.
+func (d *DriftDetector) Observe(score float64) bool {
+	d.n++
+	z := (score - d.Mean) / d.Std
+	d.s = math.Max(0, d.s+z-d.K)
+	if d.s > d.H {
+		d.alarmed = true
+	}
+	return d.alarmed
+}
+
+// Alarmed reports the alarm state.
+func (d *DriftDetector) Alarmed() bool { return d.alarmed }
+
+// Statistic returns the current CUSUM value (in sigmas), for telemetry.
+func (d *DriftDetector) Statistic() float64 { return d.s }
+
+// Observed returns the number of scores seen.
+func (d *DriftDetector) Observed() int { return d.n }
+
+// Reset clears the alarm and statistic after maintenance.
+func (d *DriftDetector) Reset() {
+	d.s = 0
+	d.alarmed = false
+}

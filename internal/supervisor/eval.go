@@ -1,0 +1,88 @@
+package supervisor
+
+import (
+	"sort"
+
+	"safexplain/internal/nn"
+	"safexplain/internal/stats"
+)
+
+// Offline evaluation of supervisors: detection metrics against an OOD set
+// (experiment T1) and the risk–coverage trade-off of selective prediction
+// (figure F3).
+
+// OODReport summarizes a supervisor's detection performance.
+type OODReport struct {
+	Supervisor string
+	AUROC      float64 // area under ROC, OOD as the positive class
+	FPR95      float64 // false-positive rate at 95% OOD detection
+}
+
+// EvaluateOOD scores every sample of the in-distribution and OOD sets and
+// returns detection metrics. The supervisor must already be fitted.
+func EvaluateOOD(sup Supervisor, net *nn.Network, id, ood Dataset) (OODReport, error) {
+	idScores := make([]float64, id.Len())
+	for i := 0; i < id.Len(); i++ {
+		x, _ := id.Sample(i)
+		idScores[i] = sup.Score(net, x)
+	}
+	oodScores := make([]float64, ood.Len())
+	for i := 0; i < ood.Len(); i++ {
+		x, _ := ood.Sample(i)
+		oodScores[i] = sup.Score(net, x)
+	}
+	auroc, err := stats.AUROC(idScores, oodScores)
+	if err != nil {
+		return OODReport{}, err
+	}
+	fpr95, err := stats.FPRAtTPR(idScores, oodScores, 0.95)
+	if err != nil {
+		return OODReport{}, err
+	}
+	return OODReport{Supervisor: sup.Name(), AUROC: auroc, FPR95: fpr95}, nil
+}
+
+// RiskCoveragePoint is one operating point of selective prediction.
+type RiskCoveragePoint struct {
+	Coverage          float64 // fraction of inputs the system answers
+	SelectiveAccuracy float64 // accuracy on the answered fraction
+}
+
+// RiskCoverage sweeps the rejection threshold over the test set: at each
+// coverage level c the system answers only the c least-anomalous inputs.
+// A good supervisor makes selective accuracy rise as coverage falls —
+// figure F3. Points are returned at the given coverage grid.
+func RiskCoverage(sup Supervisor, net *nn.Network, test Dataset, coverages []float64) []RiskCoveragePoint {
+	type scored struct {
+		score   float64
+		correct bool
+	}
+	items := make([]scored, test.Len())
+	for i := 0; i < test.Len(); i++ {
+		x, label := test.Sample(i)
+		class, _ := net.Predict(x)
+		items[i] = scored{score: sup.Score(net, x), correct: class == label}
+	}
+	// Sort ascending by anomaly score (stable: ties keep sample order), so
+	// the most-trusted inputs come first.
+	sort.SliceStable(items, func(a, b int) bool { return items[a].score < items[b].score })
+	var out []RiskCoveragePoint
+	for _, c := range coverages {
+		k := int(c * float64(len(items)))
+		if k <= 0 {
+			out = append(out, RiskCoveragePoint{Coverage: c, SelectiveAccuracy: 1})
+			continue
+		}
+		correct := 0
+		for i := 0; i < k; i++ {
+			if items[i].correct {
+				correct++
+			}
+		}
+		out = append(out, RiskCoveragePoint{
+			Coverage:          c,
+			SelectiveAccuracy: float64(correct) / float64(k),
+		})
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package supervisor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"safexplain/internal/nn"
+	"safexplain/internal/tensor"
+)
+
+// Portfolio combines supervisors from different families into one
+// detector. The evaluation suite's crispest finding (T1/T10/F3) is that
+// no single score covers all failure kinds: softmax confidence catches
+// misclassifications and adversarial inputs but is blind (even
+// anti-correlated) on far OOD, while feature/input-space scores catch
+// distribution shift but rank errors poorly. The portfolio takes the
+// *max of calibrated member scores*: each member's score is converted to
+// its quantile rank within that member's own in-distribution calibration
+// scores, so "unusual for THIS detector" is comparable across members,
+// and an input is as suspicious as the most-alarmed member says.
+type Portfolio struct {
+	Members []Supervisor
+
+	// calib[i] holds member i's sorted calibration scores.
+	calib [][]float64
+}
+
+// NewPortfolio returns a portfolio over the given members. The
+// conventional pairing is one softmax-family and one feature-family
+// member, e.g. NewPortfolio(&MaxSoftmax{}, &Mahalanobis{}).
+func NewPortfolio(members ...Supervisor) *Portfolio {
+	return &Portfolio{Members: members}
+}
+
+// Name implements Supervisor.
+func (p *Portfolio) Name() string {
+	names := make([]string, len(p.Members))
+	for i, m := range p.Members {
+		names[i] = m.Name()
+	}
+	return "portfolio(" + strings.Join(names, "+") + ")"
+}
+
+// Fit implements Supervisor: fits every member, then records each
+// member's in-distribution score distribution for rank calibration.
+func (p *Portfolio) Fit(net *nn.Network, calib Dataset) error {
+	if len(p.Members) == 0 {
+		return errors.New("supervisor: empty portfolio")
+	}
+	if calib == nil || calib.Len() == 0 {
+		return errors.New("supervisor: portfolio needs calibration data")
+	}
+	p.calib = make([][]float64, len(p.Members))
+	for i, m := range p.Members {
+		if err := m.Fit(net, calib); err != nil {
+			return fmt.Errorf("supervisor: portfolio member %s: %w", m.Name(), err)
+		}
+		scores := make([]float64, calib.Len())
+		for j := 0; j < calib.Len(); j++ {
+			x, _ := calib.Sample(j)
+			scores[j] = m.Score(net, x)
+		}
+		sort.Float64s(scores)
+		p.calib[i] = scores
+	}
+	return nil
+}
+
+// rank returns the quantile rank of v within sorted (fraction of
+// calibration scores <= v), the member-local "how unusual is this".
+func rank(sorted []float64, v float64) float64 {
+	i := sort.SearchFloat64s(sorted, v)
+	// SearchFloat64s gives the insertion point; advance over equal values
+	// so ties rank as "at or below".
+	for i < len(sorted) && sorted[i] == v {
+		i++
+	}
+	return float64(i) / float64(len(sorted))
+}
+
+// Score implements Supervisor: the maximum member quantile rank.
+func (p *Portfolio) Score(net *nn.Network, x *tensor.Tensor) float64 {
+	if p.calib == nil {
+		return 1 // fail-safe: unfitted portfolio trusts nothing
+	}
+	worst := 0.0
+	for i, m := range p.Members {
+		if r := rank(p.calib[i], m.Score(net, x)); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// StandardPortfolio returns the recommended pairing: calibrated softmax
+// confidence (error/adversarial detection) plus Mahalanobis features
+// (distribution-shift detection).
+func StandardPortfolio() *Portfolio {
+	return NewPortfolio(&MaxSoftmax{}, &Mahalanobis{})
+}

@@ -1,0 +1,393 @@
+// Package supervisor implements prediction-trust supervisors: runtime
+// monitors that score how much a DL prediction should be trusted, the
+// concrete mechanism behind the abstract's promise of "specific approaches
+// to explain whether predictions can be trusted".
+//
+// A Supervisor maps (model, input) to an anomaly score — higher means less
+// trustworthy. Scores feed two consumers: offline evaluation (AUROC /
+// FPR@95TPR against out-of-distribution sets, experiment T1) and the online
+// Monitor, which thresholds the score at a rate calibrated on
+// in-distribution data and is what the safety patterns (internal/safety)
+// embed as their checker channel.
+package supervisor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"safexplain/internal/nn"
+	"safexplain/internal/prng"
+	"safexplain/internal/stats"
+	"safexplain/internal/tensor"
+)
+
+// Dataset is the labelled-sample view supervisors calibrate on
+// (structurally identical to nn.Dataset).
+type Dataset interface {
+	Len() int
+	Sample(i int) (x *tensor.Tensor, label int)
+}
+
+// Supervisor scores the trustworthiness of a model prediction. Fit must be
+// called with in-distribution calibration data before Score.
+type Supervisor interface {
+	Name() string
+	Fit(net *nn.Network, calib Dataset) error
+	// Score returns the anomaly score for x; higher = less trustworthy.
+	Score(net *nn.Network, x *tensor.Tensor) float64
+}
+
+// ErrNotFitted is returned when Score-dependent operations run before Fit.
+var ErrNotFitted = errors.New("supervisor: not fitted")
+
+// softmaxProbs computes the softmax of net's logits on x, with optional
+// temperature scaling (T=1 disables).
+func softmaxProbs(net *nn.Network, x *tensor.Tensor, temperature float64) []float64 {
+	logits := net.Forward(x)
+	n := logits.Len()
+	ps := make([]float64, n)
+	maxv := math.Inf(-1)
+	for i := 0; i < n; i++ {
+		v := float64(logits.Data()[i]) / temperature
+		ps[i] = v
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i := range ps {
+		ps[i] = math.Exp(ps[i] - maxv)
+		sum += ps[i]
+	}
+	for i := range ps {
+		ps[i] /= sum
+	}
+	return ps
+}
+
+// MaxSoftmax scores 1 − max softmax probability, the classical baseline
+// (Hendrycks & Gimpel). Temperature > 0 applies calibrated scaling;
+// FitTemperature can choose it on validation data.
+type MaxSoftmax struct {
+	Temperature float64
+}
+
+// Name implements Supervisor.
+func (m *MaxSoftmax) Name() string {
+	if m.Temperature > 0 && m.Temperature != 1 {
+		return fmt.Sprintf("max-softmax(T=%.2g)", m.Temperature)
+	}
+	return "max-softmax"
+}
+
+// Fit implements Supervisor. MaxSoftmax has no state beyond temperature.
+func (m *MaxSoftmax) Fit(net *nn.Network, calib Dataset) error {
+	if m.Temperature <= 0 {
+		m.Temperature = 1
+	}
+	return nil
+}
+
+// Score implements Supervisor.
+func (m *MaxSoftmax) Score(net *nn.Network, x *tensor.Tensor) float64 {
+	t := m.Temperature
+	if t <= 0 {
+		t = 1
+	}
+	ps := softmaxProbs(net, x, t)
+	best := 0.0
+	for _, p := range ps {
+		if p > best {
+			best = p
+		}
+	}
+	return 1 - best
+}
+
+// Entropy scores the normalized Shannon entropy of the softmax output:
+// 0 for a one-hot prediction, 1 for a uniform one.
+type Entropy struct{}
+
+// Name implements Supervisor.
+func (Entropy) Name() string { return "entropy" }
+
+// Fit implements Supervisor.
+func (Entropy) Fit(net *nn.Network, calib Dataset) error { return nil }
+
+// Score implements Supervisor.
+func (Entropy) Score(net *nn.Network, x *tensor.Tensor) float64 {
+	ps := softmaxProbs(net, x, 1)
+	var h float64
+	for _, p := range ps {
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h / math.Log(float64(len(ps)))
+}
+
+// Margin scores 1 − (p₁ − p₂), the complement of the gap between the top
+// two softmax probabilities.
+type Margin struct{}
+
+// Name implements Supervisor.
+func (Margin) Name() string { return "margin" }
+
+// Fit implements Supervisor.
+func (Margin) Fit(net *nn.Network, calib Dataset) error { return nil }
+
+// Score implements Supervisor.
+func (Margin) Score(net *nn.Network, x *tensor.Tensor) float64 {
+	ps := softmaxProbs(net, x, 1)
+	first, second := 0.0, 0.0
+	for _, p := range ps {
+		if p > first {
+			first, second = p, first
+		} else if p > second {
+			second = p
+		}
+	}
+	return 1 - (first - second)
+}
+
+// Mahalanobis models the penultimate-layer features of in-distribution
+// data as class-conditional Gaussians with a shared covariance and scores
+// the squared distance to the nearest class centroid — a feature-space
+// OOD detector that sees shifts softmax confidence misses.
+type Mahalanobis struct {
+	// Ridge is the covariance regularizer (default 1e-3).
+	Ridge float64
+
+	chol  *stats.Matrix
+	means [][]float64
+}
+
+// Name implements Supervisor.
+func (*Mahalanobis) Name() string { return "mahalanobis" }
+
+// Fit implements Supervisor.
+func (m *Mahalanobis) Fit(net *nn.Network, calib Dataset) error {
+	if calib == nil || calib.Len() < 2 {
+		return errors.New("supervisor: mahalanobis needs calibration data")
+	}
+	ridge := m.Ridge
+	if ridge <= 0 {
+		ridge = 1e-3
+	}
+	byClass := map[int][][]float64{}
+	var all [][]float64
+	for i := 0; i < calib.Len(); i++ {
+		x, label := calib.Sample(i)
+		f32 := net.Features(x)
+		f := make([]float64, len(f32))
+		for j, v := range f32 {
+			f[j] = float64(v)
+		}
+		byClass[label] = append(byClass[label], f)
+		all = append(all, f)
+	}
+	// Class means.
+	maxLabel := -1
+	for l := range byClass {
+		if l > maxLabel {
+			maxLabel = l
+		}
+	}
+	m.means = make([][]float64, maxLabel+1)
+	dim := len(all[0])
+	for l, rows := range byClass {
+		mean := make([]float64, dim)
+		for _, r := range rows {
+			for j, v := range r {
+				mean[j] += v
+			}
+		}
+		for j := range mean {
+			mean[j] /= float64(len(rows))
+		}
+		m.means[l] = mean
+	}
+	// Shared covariance of the centred features.
+	centred := make([][]float64, 0, len(all))
+	for i := 0; i < calib.Len(); i++ {
+		_, label := calib.Sample(i)
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = all[i][j] - m.means[label][j]
+		}
+		centred = append(centred, row)
+	}
+	cov, _, err := stats.Covariance(centred, ridge)
+	if err != nil {
+		return err
+	}
+	chol, err := stats.Cholesky(cov)
+	if err != nil {
+		return err
+	}
+	m.chol = chol
+	return nil
+}
+
+// Score implements Supervisor.
+func (m *Mahalanobis) Score(net *nn.Network, x *tensor.Tensor) float64 {
+	if m.chol == nil {
+		return math.Inf(1)
+	}
+	f32 := net.Features(x)
+	f := make([]float64, len(f32))
+	for j, v := range f32 {
+		f[j] = float64(v)
+	}
+	best := math.Inf(1)
+	for _, mean := range m.means {
+		if mean == nil {
+			continue
+		}
+		if d := stats.MahalanobisSq(m.chol, mean, f); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Autoencoder scores the reconstruction error of a small bottleneck
+// autoencoder trained on in-distribution inputs: inputs the AE cannot
+// reconstruct were not in the training distribution. It watches the input,
+// not the classifier, so it composes with any model.
+type Autoencoder struct {
+	// Hidden is the bottleneck width (default 24).
+	Hidden int
+	// Epochs, LR, Seed control Fit's training run.
+	Epochs int
+	LR     float32
+	Seed   uint64
+
+	ae    *nn.Network
+	inLen int
+}
+
+// Name implements Supervisor.
+func (*Autoencoder) Name() string { return "autoencoder" }
+
+// Fit implements Supervisor: trains the AE on calib inputs.
+func (a *Autoencoder) Fit(net *nn.Network, calib Dataset) error {
+	if calib == nil || calib.Len() == 0 {
+		return errors.New("supervisor: autoencoder needs calibration data")
+	}
+	hidden := a.Hidden
+	if hidden <= 0 {
+		hidden = 24
+	}
+	epochs := a.Epochs
+	if epochs <= 0 {
+		epochs = 30
+	}
+	lr := a.LR
+	if lr <= 0 {
+		lr = 0.2
+	}
+	x0, _ := calib.Sample(0)
+	a.inLen = x0.Len()
+	src := prng.New(a.Seed)
+	a.ae = nn.NewNetwork("supervisor-ae",
+		nn.NewDense(a.inLen, hidden, src),
+		nn.NewTanh(),
+		nn.NewDense(hidden, a.inLen, src),
+		nn.NewSigmoid(),
+	)
+	_, err := nn.TrainAutoencoder(a.ae, datasetAdapter{calib}, nn.TrainConfig{
+		Epochs: epochs, BatchSize: 16, LR: lr, Momentum: 0.9, Seed: a.Seed + 1,
+	})
+	return err
+}
+
+// Score implements Supervisor: mean squared reconstruction error.
+func (a *Autoencoder) Score(net *nn.Network, x *tensor.Tensor) float64 {
+	if a.ae == nil {
+		return math.Inf(1)
+	}
+	flat := x.Reshape(x.Len())
+	out := a.ae.Forward(flat)
+	loss, _ := nn.MSE(out, flat)
+	return loss
+}
+
+// datasetAdapter bridges the local Dataset to nn.Dataset.
+type datasetAdapter struct{ d Dataset }
+
+func (a datasetAdapter) Len() int { return a.d.Len() }
+func (a datasetAdapter) Sample(i int) (*tensor.Tensor, int) {
+	return a.d.Sample(i)
+}
+
+// Standard returns the supervisor set used by experiment T1, with
+// deterministic defaults.
+func Standard() []Supervisor {
+	return []Supervisor{
+		&MaxSoftmax{},
+		Entropy{},
+		Margin{},
+		&ODIN{},
+		&Mahalanobis{},
+		&Autoencoder{Seed: 7},
+	}
+}
+
+// FitTemperature chooses the softmax temperature minimizing negative
+// log-likelihood on a validation set, by golden-ish grid search over
+// [0.25, 4]. The returned value plugs into MaxSoftmax.Temperature.
+func FitTemperature(net *nn.Network, val Dataset) float64 {
+	best, bestNLL := 1.0, math.Inf(1)
+	for _, t := range []float64{0.25, 0.5, 0.75, 1, 1.25, 1.5, 2, 2.5, 3, 4} {
+		var nll float64
+		for i := 0; i < val.Len(); i++ {
+			x, label := val.Sample(i)
+			ps := softmaxProbs(net, x, t)
+			p := ps[label]
+			if p < 1e-12 {
+				p = 1e-12
+			}
+			nll -= math.Log(p)
+		}
+		if nll < bestNLL {
+			bestNLL = nll
+			best = t
+		}
+	}
+	return best
+}
+
+// Monitor is a fitted supervisor plus an accept threshold, the runtime
+// component safety patterns embed. The threshold is the q-quantile of
+// in-distribution scores, so the in-distribution rejection rate is
+// approximately 1−q by construction.
+type Monitor struct {
+	Sup       Supervisor
+	Threshold float64
+}
+
+// NewMonitor fits sup on calib and sets the threshold at the q-quantile of
+// the calibration scores (e.g. q = 0.95 rejects ~5% of ID traffic).
+func NewMonitor(sup Supervisor, net *nn.Network, calib Dataset, q float64) (*Monitor, error) {
+	if err := sup.Fit(net, calib); err != nil {
+		return nil, err
+	}
+	if calib.Len() == 0 {
+		return nil, ErrNotFitted
+	}
+	scores := make([]float64, calib.Len())
+	for i := 0; i < calib.Len(); i++ {
+		x, _ := calib.Sample(i)
+		scores[i] = sup.Score(net, x)
+	}
+	sort.Float64s(scores)
+	return &Monitor{Sup: sup, Threshold: stats.Quantile(scores, q)}, nil
+}
+
+// Trusted reports whether the prediction on x should be trusted.
+func (m *Monitor) Trusted(net *nn.Network, x *tensor.Tensor) bool {
+	return m.Sup.Score(net, x) <= m.Threshold
+}

@@ -1,0 +1,610 @@
+package supervisor
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"safexplain/internal/data"
+	"safexplain/internal/nn"
+	"safexplain/internal/prng"
+	"safexplain/internal/stats"
+	"safexplain/internal/tensor"
+)
+
+// statsAUROC is a thin alias keeping the test body readable.
+func statsAUROC(neg, pos []float64) (float64, error) { return stats.AUROC(neg, pos) }
+
+// Shared trained model for the package's tests: training once keeps the
+// suite fast while every test still exercises a realistic classifier.
+var (
+	fixtureOnce sync.Once
+	fixNet      *nn.Network
+	fixTrain    *data.Set
+	fixTest     *data.Set
+)
+
+func fixture(t testing.TB) (*nn.Network, *data.Set, *data.Set) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		set := data.Automotive(data.Config{N: 280, Seed: 100, Noise: 0.05})
+		fixTrain, fixTest = set.Split(0.75, 101)
+		src := prng.New(102)
+		fixNet = nn.NewNetwork("sup-cnn",
+			nn.NewConv2D(1, 6, 3, 1, 1, src), nn.NewReLU(), nn.NewMaxPool2D(2, 2),
+			nn.NewFlatten(), nn.NewDense(6*8*8, 24, src), nn.NewReLU(),
+			nn.NewDense(24, set.NumClasses(), src))
+		if _, _, err := nn.TrainClassifier(fixNet, fixTrain, nn.TrainConfig{
+			Epochs: 10, BatchSize: 16, LR: 0.05, Momentum: 0.9, Seed: 103,
+		}); err != nil {
+			panic(err)
+		}
+	})
+	return fixNet, fixTrain, fixTest
+}
+
+func TestMaxSoftmaxRange(t *testing.T) {
+	net, train, test := fixture(t)
+	sup := &MaxSoftmax{}
+	if err := sup.Fit(net, train); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		x, _ := test.Sample(i)
+		s := sup.Score(net, x)
+		if s < 0 || s > 1 {
+			t.Fatalf("score %v outside [0,1]", s)
+		}
+	}
+}
+
+func TestEntropyExtremes(t *testing.T) {
+	// A handcrafted model with huge logit gap: entropy ~0. Uniform logits:
+	// entropy 1.
+	d := nn.NewDense(2, 3, nil)
+	net := nn.NewNetwork("ent", d)
+	x := tensor.FromSlice([]float32{1, 1}, 2)
+
+	// Uniform: zero weights.
+	if s := (Entropy{}).Score(net, x); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("uniform entropy = %v, want 1", s)
+	}
+	// Confident: one big logit.
+	d.B.Value.Data()[0] = 50
+	if s := (Entropy{}).Score(net, x); s > 1e-6 {
+		t.Fatalf("confident entropy = %v, want ~0", s)
+	}
+}
+
+func TestMarginExtremes(t *testing.T) {
+	d := nn.NewDense(2, 3, nil)
+	net := nn.NewNetwork("mar", d)
+	x := tensor.FromSlice([]float32{1, 1}, 2)
+	// Uniform probabilities: margin score 1.
+	if s := (Margin{}).Score(net, x); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("uniform margin score = %v, want 1", s)
+	}
+	d.B.Value.Data()[0] = 50
+	if s := (Margin{}).Score(net, x); s > 1e-6 {
+		t.Fatalf("confident margin score = %v, want ~0", s)
+	}
+}
+
+func TestMahalanobisFitAndScore(t *testing.T) {
+	net, train, test := fixture(t)
+	sup := &Mahalanobis{}
+	if err := sup.Fit(net, train); err != nil {
+		t.Fatal(err)
+	}
+	// ID scores must be finite and non-negative.
+	x, _ := test.Sample(0)
+	s := sup.Score(net, x)
+	if s < 0 || math.IsInf(s, 0) || math.IsNaN(s) {
+		t.Fatalf("score = %v", s)
+	}
+	// Unfitted supervisor returns +Inf (fail-safe: nothing is trusted).
+	if got := (&Mahalanobis{}).Score(net, x); !math.IsInf(got, 1) {
+		t.Fatalf("unfitted score = %v, want +Inf", got)
+	}
+	// Fit without data errors.
+	if err := (&Mahalanobis{}).Fit(net, &data.Set{}); err == nil {
+		t.Fatal("expected error fitting on empty set")
+	}
+}
+
+func TestAutoencoderFitAndScore(t *testing.T) {
+	net, train, test := fixture(t)
+	sup := &Autoencoder{Seed: 5, Epochs: 15}
+	if err := sup.Fit(net, train); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := test.Sample(0)
+	idScore := sup.Score(net, x)
+	if idScore < 0 || math.IsNaN(idScore) {
+		t.Fatalf("score = %v", idScore)
+	}
+	// Inverted image must reconstruct worse than an ID image.
+	inv := x.Clone()
+	for i, v := range inv.Data() {
+		inv.Data()[i] = 1 - v
+	}
+	if oodScore := sup.Score(net, inv); oodScore <= idScore {
+		t.Fatalf("inverted score %v <= ID score %v", oodScore, idScore)
+	}
+	if got := (&Autoencoder{}).Score(net, x); !math.IsInf(got, 1) {
+		t.Fatalf("unfitted AE score = %v, want +Inf", got)
+	}
+}
+
+func TestSoftmaxSupervisorsDetectMisclassification(t *testing.T) {
+	// Softmax-derived scores are error detectors, not far-OOD detectors
+	// (a classifier can be *more* confident on gross OOD — the known
+	// weakness motivating feature-space supervisors). The property they
+	// must satisfy: scores separate correct from incorrect predictions.
+	net, train, test := fixture(t)
+	for _, sup := range []Supervisor{&MaxSoftmax{}, Entropy{}, Margin{}} {
+		if err := sup.Fit(net, train); err != nil {
+			t.Fatalf("%s: %v", sup.Name(), err)
+		}
+		var correctScores, wrongScores []float64
+		for i := 0; i < test.Len(); i++ {
+			x, label := test.Sample(i)
+			class, _ := net.Predict(x)
+			s := sup.Score(net, x)
+			if class == label {
+				correctScores = append(correctScores, s)
+			} else {
+				wrongScores = append(wrongScores, s)
+			}
+		}
+		if len(wrongScores) == 0 {
+			t.Skip("no misclassifications in fixture")
+		}
+		auroc, err := statsAUROC(correctScores, wrongScores)
+		if err != nil {
+			t.Fatalf("%s: %v", sup.Name(), err)
+		}
+		if auroc <= 0.6 {
+			t.Errorf("%s: error-detection AUROC %v, want > 0.6", sup.Name(), auroc)
+		}
+	}
+}
+
+func TestFeatureSupervisorsDetectGrossOOD(t *testing.T) {
+	// Feature- and input-space supervisors must beat chance on far OOD
+	// (inversion) where softmax confidence is known to fail.
+	net, train, test := fixture(t)
+	ood := data.WithInversion(test)
+	for _, sup := range []Supervisor{&Mahalanobis{}, &Autoencoder{Seed: 7, Epochs: 15}} {
+		if err := sup.Fit(net, train); err != nil {
+			t.Fatalf("%s: %v", sup.Name(), err)
+		}
+		rep, err := EvaluateOOD(sup, net, test, ood)
+		if err != nil {
+			t.Fatalf("%s: %v", sup.Name(), err)
+		}
+		if rep.AUROC <= 0.7 {
+			t.Errorf("%s: AUROC %v on gross OOD, want > 0.7", sup.Name(), rep.AUROC)
+		}
+	}
+}
+
+func TestMahalanobisBeatsChanceOnUnseen(t *testing.T) {
+	net, train, test := fixture(t)
+	sup := &Mahalanobis{}
+	if err := sup.Fit(net, train); err != nil {
+		t.Fatal(err)
+	}
+	ood := data.UnseenClass(test.Len(), 0.05, 200)
+	rep, err := EvaluateOOD(sup, net, test, ood)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AUROC < 0.6 {
+		t.Fatalf("mahalanobis AUROC %v on unseen class", rep.AUROC)
+	}
+}
+
+func TestFitTemperaturePositive(t *testing.T) {
+	net, _, test := fixture(t)
+	temp := FitTemperature(net, test)
+	if temp <= 0 {
+		t.Fatalf("temperature %v", temp)
+	}
+	sup := &MaxSoftmax{Temperature: temp}
+	if err := sup.Fit(net, nil); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := test.Sample(0)
+	if s := sup.Score(net, x); s < 0 || s > 1 {
+		t.Fatalf("temperature-scaled score %v", s)
+	}
+}
+
+func TestMonitorCalibratedRejectionRate(t *testing.T) {
+	net, train, test := fixture(t)
+	m, err := NewMonitor(&Mahalanobis{}, net, train, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected := 0
+	for i := 0; i < test.Len(); i++ {
+		x, _ := test.Sample(i)
+		if !m.Trusted(net, x) {
+			rejected++
+		}
+	}
+	rate := float64(rejected) / float64(test.Len())
+	// Calibrated at 10% on train; allow slack for train/test gap.
+	if rate > 0.3 {
+		t.Fatalf("ID rejection rate %v far above calibrated 0.1", rate)
+	}
+	// The monitor must reject gross OOD far more often.
+	oodSet := data.WithInversion(test)
+	oodRejected := 0
+	for i := 0; i < oodSet.Len(); i++ {
+		x, _ := oodSet.Sample(i)
+		if !m.Trusted(net, x) {
+			oodRejected++
+		}
+	}
+	if oodRejected <= rejected {
+		t.Fatalf("monitor rejects OOD (%d) no more than ID (%d)", oodRejected, rejected)
+	}
+}
+
+func TestRiskCoverageMonotoneEndpoints(t *testing.T) {
+	net, train, test := fixture(t)
+	sup := &MaxSoftmax{}
+	if err := sup.Fit(net, train); err != nil {
+		t.Fatal(err)
+	}
+	pts := RiskCoverage(sup, net, test, []float64{0.2, 0.5, 1.0})
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	full := pts[2].SelectiveAccuracy
+	low := pts[0].SelectiveAccuracy
+	if low < full-0.02 {
+		t.Fatalf("selective accuracy at 20%% coverage (%v) below full coverage (%v)", low, full)
+	}
+	for _, p := range pts {
+		if p.SelectiveAccuracy < 0 || p.SelectiveAccuracy > 1 {
+			t.Fatalf("accuracy %v out of range", p.SelectiveAccuracy)
+		}
+	}
+}
+
+func TestRiskCoverageZeroCoverage(t *testing.T) {
+	net, train, test := fixture(t)
+	sup := &MaxSoftmax{}
+	if err := sup.Fit(net, train); err != nil {
+		t.Fatal(err)
+	}
+	pts := RiskCoverage(sup, net, test, []float64{0})
+	if pts[0].SelectiveAccuracy != 1 {
+		t.Fatalf("zero coverage accuracy = %v, want 1 by convention", pts[0].SelectiveAccuracy)
+	}
+}
+
+func TestStandardNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Standard() {
+		if seen[s.Name()] {
+			t.Fatalf("duplicate supervisor %q", s.Name())
+		}
+		seen[s.Name()] = true
+	}
+}
+
+func TestODINDetectsMisclassification(t *testing.T) {
+	net, train, test := fixture(t)
+	sup := &ODIN{}
+	if err := sup.Fit(net, train); err != nil {
+		t.Fatal(err)
+	}
+	var correctScores, wrongScores []float64
+	for i := 0; i < test.Len(); i++ {
+		x, label := test.Sample(i)
+		class, _ := net.Predict(x)
+		s := sup.Score(net, x)
+		if s < 0 || s > 1 {
+			t.Fatalf("ODIN score %v outside [0,1]", s)
+		}
+		if class == label {
+			correctScores = append(correctScores, s)
+		} else {
+			wrongScores = append(wrongScores, s)
+		}
+	}
+	if len(wrongScores) == 0 {
+		t.Skip("no misclassifications in fixture")
+	}
+	auroc, err := statsAUROC(correctScores, wrongScores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auroc <= 0.6 {
+		t.Fatalf("ODIN error-detection AUROC %v", auroc)
+	}
+}
+
+func TestODINLeavesGradientsClean(t *testing.T) {
+	net, train, test := fixture(t)
+	sup := &ODIN{}
+	if err := sup.Fit(net, train); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := test.Sample(0)
+	sup.Score(net, x)
+	for _, p := range net.Params() {
+		for _, g := range p.Grad.Data() {
+			if g != 0 {
+				t.Fatal("ODIN left parameter gradients behind")
+			}
+		}
+	}
+}
+
+func TestODINDefaultsApplied(t *testing.T) {
+	sup := &ODIN{}
+	if err := sup.Fit(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sup.Temperature != 2 || sup.Epsilon != 0.01 {
+		t.Fatalf("defaults not applied: %+v", sup)
+	}
+}
+
+func TestECEBounds(t *testing.T) {
+	net, _, test := fixture(t)
+	ece, err := ECE(net, test, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ece < 0 || ece > 1 {
+		t.Fatalf("ECE = %v", ece)
+	}
+	if _, err := ECE(net, &data.Set{}, 1, 10); err == nil {
+		t.Fatal("empty dataset must error")
+	}
+}
+
+func TestECEDetectsOverconfidence(t *testing.T) {
+	// A model with huge logits on coin-flip data is maximally
+	// overconfident: confidence ~1, accuracy ~0.5 -> ECE ~0.5.
+	d := nn.NewDense(1, 2, nil)
+	d.W.Value.Set2(0, 0, 100) // logit 0 = 100*x, logit 1 = 0
+	net := nn.NewNetwork("over", d)
+	ds := &data.Set{Classes: []string{"a", "b"}}
+	for i := 0; i < 100; i++ {
+		x := tensor.FromSlice([]float32{1}, 1)
+		ds.Samples = append(ds.Samples, data.Sample{X: x, Label: i % 2})
+	}
+	ece, err := ECE(net, ds, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ece < 0.4 {
+		t.Fatalf("overconfident model has ECE %v, want ~0.5", ece)
+	}
+	// Aggressive temperature softens the overconfidence and must shrink
+	// the ECE.
+	eceT, err := ECE(net, ds, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eceT >= ece {
+		t.Fatalf("temperature did not reduce ECE: %v vs %v", eceT, ece)
+	}
+}
+
+func TestFittedTemperatureDoesNotWorsenECE(t *testing.T) {
+	net, _, test := fixture(t)
+	temp := FitTemperature(net, test)
+	e1, err := ECE(net, test, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eT, err := ECE(net, test, temp, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eT > e1+0.05 {
+		t.Fatalf("fitted temperature %v worsened ECE: %v -> %v", temp, e1, eT)
+	}
+}
+
+func TestDriftDetectorCalibration(t *testing.T) {
+	if _, err := NewDriftDetector([]float64{1}, 0, 0); err == nil {
+		t.Fatal("single score accepted")
+	}
+	d, err := NewDriftDetector([]float64{1, 2, 3, 4}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mean != 2.5 || d.K != 0.5 || d.H != 8 {
+		t.Fatalf("calibration: %+v", d)
+	}
+}
+
+func TestDriftDetectorNoFalseAlarmInDistribution(t *testing.T) {
+	r := prng.New(50)
+	calib := make([]float64, 200)
+	for i := range calib {
+		calib[i] = 5 + r.NormFloat64()
+	}
+	d, err := NewDriftDetector(calib, 0.5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if d.Observe(5 + r.NormFloat64()) {
+			t.Fatalf("false alarm at frame %d (stat %v)", i, d.Statistic())
+		}
+	}
+}
+
+func TestDriftDetectorCatchesShift(t *testing.T) {
+	r := prng.New(51)
+	calib := make([]float64, 200)
+	for i := range calib {
+		calib[i] = 5 + r.NormFloat64()
+	}
+	d, err := NewDriftDetector(calib, 0.5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nominal phase.
+	for i := 0; i < 300; i++ {
+		d.Observe(5 + r.NormFloat64())
+	}
+	if d.Alarmed() {
+		t.Fatal("alarmed during nominal phase")
+	}
+	// Drift: scores rise by 1.5 sigma.
+	frames := 0
+	for ; frames < 500; frames++ {
+		if d.Observe(6.5 + r.NormFloat64()) {
+			break
+		}
+	}
+	if !d.Alarmed() {
+		t.Fatal("drift never detected")
+	}
+	if frames > 50 {
+		t.Fatalf("detection latency %d frames, want prompt", frames)
+	}
+	// Latched until reset.
+	if !d.Observe(5) {
+		t.Fatal("alarm must latch")
+	}
+	d.Reset()
+	if d.Alarmed() || d.Statistic() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestDriftDetectorEndToEnd(t *testing.T) {
+	// Integration: Mahalanobis scores drift upward as sensor noise grows;
+	// the detector must alarm during the degraded phase only.
+	net, train, test := fixture(t)
+	sup := &Mahalanobis{}
+	if err := sup.Fit(net, train); err != nil {
+		t.Fatal(err)
+	}
+	var calib []float64
+	for i := 0; i < train.Len(); i++ {
+		x, _ := train.Sample(i)
+		calib = append(calib, sup.Score(net, x))
+	}
+	d, err := NewDriftDetector(calib, 0.5, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < test.Len(); i++ {
+		x, _ := test.Sample(i)
+		if d.Observe(sup.Score(net, x)) {
+			t.Fatalf("alarm on clean test data at %d", i)
+		}
+	}
+	degraded := data.WithGaussianNoise(test, 0.15, 52)
+	alarmed := false
+	for i := 0; i < degraded.Len(); i++ {
+		x, _ := degraded.Sample(i)
+		if d.Observe(sup.Score(net, x)) {
+			alarmed = true
+			break
+		}
+	}
+	if !alarmed {
+		t.Fatal("sensor degradation never raised the drift alarm")
+	}
+}
+
+func TestPortfolioFitErrors(t *testing.T) {
+	net, _, _ := fixture(t)
+	if err := NewPortfolio().Fit(net, fixTrain); err == nil {
+		t.Fatal("empty portfolio accepted")
+	}
+	if err := StandardPortfolio().Fit(net, &data.Set{}); err == nil {
+		t.Fatal("empty calibration accepted")
+	}
+}
+
+func TestPortfolioUnfittedFailsSafe(t *testing.T) {
+	net, _, test := fixture(t)
+	x, _ := test.Sample(0)
+	if got := StandardPortfolio().Score(net, x); got != 1 {
+		t.Fatalf("unfitted portfolio score %v, want 1 (trust nothing)", got)
+	}
+}
+
+func TestPortfolioScoreRange(t *testing.T) {
+	net, train, test := fixture(t)
+	p := StandardPortfolio()
+	if err := p.Fit(net, train); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		x, _ := test.Sample(i)
+		s := p.Score(net, x)
+		if s < 0 || s > 1 {
+			t.Fatalf("portfolio score %v outside [0,1]", s)
+		}
+	}
+}
+
+func TestRankQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4}
+	cases := []struct{ v, want float64 }{
+		{0, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {9, 1},
+	}
+	for _, c := range cases {
+		if got := rank(sorted, c.v); got != c.want {
+			t.Fatalf("rank(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestPortfolioCoversBothFailureKinds(t *testing.T) {
+	// The reason the portfolio exists: it must be decent on BOTH far OOD
+	// (where softmax fails) and misclassification ranking (where
+	// Mahalanobis is weak), where each single member fails one of the two.
+	net, train, test := fixture(t)
+	p := StandardPortfolio()
+	if err := p.Fit(net, train); err != nil {
+		t.Fatal(err)
+	}
+	soft := &MaxSoftmax{}
+	if err := soft.Fit(net, train); err != nil {
+		t.Fatal(err)
+	}
+
+	// Far OOD: portfolio must crush the softmax member.
+	ood := data.WithInversion(test)
+	repP, err := EvaluateOOD(p, net, test, ood)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repS, err := EvaluateOOD(soft, net, test, ood)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repP.AUROC < 0.9 {
+		t.Fatalf("portfolio far-OOD AUROC %v", repP.AUROC)
+	}
+	if repP.AUROC <= repS.AUROC {
+		t.Fatalf("portfolio %v not above softmax %v on far OOD", repP.AUROC, repS.AUROC)
+	}
+
+	// Error ranking on degraded inputs: portfolio selective accuracy at
+	// 60% coverage must recover most of the softmax member's advantage.
+	degraded := data.WithGaussianNoise(test, 0.35, 900)
+	ptsP := RiskCoverage(p, net, degraded, []float64{0.6, 1.0})
+	full := ptsP[1].SelectiveAccuracy
+	if ptsP[0].SelectiveAccuracy < full {
+		t.Fatalf("portfolio selective accuracy %v below full-coverage %v",
+			ptsP[0].SelectiveAccuracy, full)
+	}
+}

@@ -1,0 +1,232 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"safexplain/internal/prng"
+)
+
+func TestNewShapesAndLen(t *testing.T) {
+	tt := New(2, 3, 4)
+	if tt.Len() != 24 || tt.Rank() != 3 || tt.Dim(1) != 3 {
+		t.Fatalf("unexpected geometry: len=%d rank=%d", tt.Len(), tt.Rank())
+	}
+	for _, v := range tt.Data() {
+		if v != 0 {
+			t.Fatal("New must zero-fill")
+		}
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero dimension")
+		}
+	}()
+	New(2, 0)
+}
+
+func TestFromSliceAndReshape(t *testing.T) {
+	d := []float32{1, 2, 3, 4, 5, 6}
+	tt := FromSlice(d, 2, 3)
+	if tt.At2(1, 2) != 6 {
+		t.Fatalf("At2(1,2) = %v", tt.At2(1, 2))
+	}
+	r := tt.Reshape(3, 2)
+	if r.At2(2, 1) != 6 {
+		t.Fatalf("reshaped At2(2,1) = %v", r.At2(2, 1))
+	}
+	// Reshape is a view: mutating one mutates the other.
+	r.Set2(0, 0, 99)
+	if tt.At2(0, 0) != 99 {
+		t.Fatal("Reshape should share storage")
+	}
+}
+
+func TestFromSlicePanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestReshapePanicsOnCountMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 3).Reshape(4, 2)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3}, 3)
+	b := a.Clone()
+	b.Data()[0] = 42
+	if a.Data()[0] != 1 {
+		t.Fatal("Clone must not share storage")
+	}
+	if !SameShape(a, b) {
+		t.Fatal("Clone must preserve shape")
+	}
+}
+
+func TestAt3Set3RoundTrip(t *testing.T) {
+	tt := New(2, 3, 4)
+	tt.Set3(1, 2, 3, 7)
+	if tt.At3(1, 2, 3) != 7 {
+		t.Fatal("At3/Set3 round trip failed")
+	}
+	// Verify the flat layout: (c*H + y)*W + x.
+	if tt.Data()[(1*3+2)*4+3] != 7 {
+		t.Fatal("unexpected memory layout")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3}, 3)
+	b := FromSlice([]float32{4, 5, 6}, 3)
+	dst := New(3)
+	Add(dst, a, b)
+	if dst.Data()[2] != 9 {
+		t.Fatalf("Add: %v", dst.Data())
+	}
+	Sub(dst, b, a)
+	if dst.Data()[0] != 3 {
+		t.Fatalf("Sub: %v", dst.Data())
+	}
+	Mul(dst, a, b)
+	if dst.Data()[1] != 10 {
+		t.Fatalf("Mul: %v", dst.Data())
+	}
+	Scale(dst, a, 2)
+	if dst.Data()[2] != 6 {
+		t.Fatalf("Scale: %v", dst.Data())
+	}
+	AxpyInto(dst, a, -1)
+	if dst.Data()[2] != 3 {
+		t.Fatalf("AxpyInto: %v", dst.Data())
+	}
+}
+
+func TestElementwiseAliasing(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	Add(a, a, a) // dst aliases both operands
+	if a.Data()[0] != 2 || a.Data()[1] != 4 {
+		t.Fatalf("aliased Add: %v", a.Data())
+	}
+}
+
+func TestBinaryOpsPanicOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Add(New(2), New(2), New(3))
+}
+
+func TestEqualBitwise(t *testing.T) {
+	a := FromSlice([]float32{1, float32(math.NaN())}, 2)
+	b := a.Clone()
+	if !Equal(a, b) {
+		t.Fatal("bit-identical tensors (with NaN) must compare equal")
+	}
+	b.Data()[0] = 1.0000001
+	if Equal(a, b) {
+		t.Fatal("different tensors must not compare equal")
+	}
+	if Equal(New(2), New(3)) {
+		t.Fatal("different shapes must not compare equal")
+	}
+}
+
+func TestArgmaxFirstOnTies(t *testing.T) {
+	tt := FromSlice([]float32{1, 5, 5, 2}, 4)
+	if got := tt.Argmax(); got != 1 {
+		t.Fatalf("Argmax = %d, want 1 (first of the tie)", got)
+	}
+}
+
+func TestSumsAgreeOnSmallInput(t *testing.T) {
+	tt := FromSlice([]float32{1, 2, 3, 4}, 4)
+	if tt.SumSerial() != 10 || tt.SumPairwise() != 10 {
+		t.Fatal("sums disagree on exact input")
+	}
+}
+
+func TestPairwiseSumMoreAccurate(t *testing.T) {
+	// Summing many small values after a large one loses bits serially;
+	// pairwise summation recovers most of them. This is the T5 ablation's
+	// premise, asserted here as a property.
+	n := 1 << 16
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = 1e-3
+	}
+	tt := FromSlice(data, n)
+	exact := 1e-3 * float64(n)
+	serialErr := math.Abs(float64(tt.SumSerial()) - exact)
+	pairErr := math.Abs(float64(tt.SumPairwise()) - exact)
+	if pairErr > serialErr {
+		t.Fatalf("pairwise error %v exceeds serial error %v", pairErr, serialErr)
+	}
+}
+
+func TestSumsDeterministic(t *testing.T) {
+	r := prng.New(5)
+	data := make([]float32, 1000)
+	for i := range data {
+		data[i] = r.Float32()
+	}
+	tt := FromSlice(data, 1000)
+	s1, p1 := tt.SumSerial(), tt.SumPairwise()
+	for i := 0; i < 10; i++ {
+		if tt.SumSerial() != s1 || tt.SumPairwise() != p1 {
+			t.Fatal("reduction not reproducible")
+		}
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3}, 3)
+	b := FromSlice([]float32{1, 2.5, 2}, 3)
+	if got := MaxAbsDiff(a, b); !(got > 0.999 && got < 1.001) {
+		t.Fatalf("MaxAbsDiff = %v, want 1", got)
+	}
+}
+
+func TestFillZero(t *testing.T) {
+	tt := New(4)
+	tt.Fill(3)
+	if tt.Data()[3] != 3 {
+		t.Fatal("Fill failed")
+	}
+	tt.Zero()
+	for _, v := range tt.Data() {
+		if v != 0 {
+			t.Fatal("Zero failed")
+		}
+	}
+}
+
+func TestCloneEqualProperty(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		size := int(n%64) + 1
+		r := prng.New(seed)
+		data := make([]float32, size)
+		for i := range data {
+			data[i] = r.Float32() - 0.5
+		}
+		a := FromSlice(data, size)
+		return Equal(a, a.Clone())
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+)
+
+// Evidence archival: certification evidence outlives the process that
+// produced it, so the log exports to a canonical JSON archive and imports
+// back with the stored hash chain intact. Import does not trust the
+// archive — callers must run Verify, which authenticates the chain against
+// the recorded content.
+
+// archive is the stored form; a version field leaves room for format
+// evolution.
+type archive struct {
+	Version int     `json:"version"`
+	Events  []Event `json:"events"`
+}
+
+const archiveVersion = 1
+
+// ErrBadArchive is returned by Import for structurally invalid archives.
+var ErrBadArchive = errors.New("trace: malformed evidence archive")
+
+// Export serializes the log to its JSON archive form.
+func (l *Log) Export() ([]byte, error) {
+	return json.Marshal(archive{Version: archiveVersion, Events: l.events})
+}
+
+// Import reconstructs a log from an archive produced by Export. The hash
+// chain is carried verbatim; call Verify on the result to authenticate it.
+func Import(data []byte) (*Log, error) {
+	var a archive
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, errors.Join(ErrBadArchive, err)
+	}
+	if a.Version != archiveVersion {
+		return nil, ErrBadArchive
+	}
+	return FromEvents(a.Events), nil
+}

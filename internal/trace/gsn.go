@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Goal-structuring-notation (GSN) assurance cases: a tree of goals, each
+// either decomposed into sub-goals under a stated strategy or discharged
+// directly by evidence records in the Log. The machine-checkable part —
+// "every leaf goal cites at least one evidence record that actually exists
+// and verifies" — is what this file implements; the argumentation itself is
+// authored by the safety engineer (or by core.Lifecycle for the standard
+// pattern arguments).
+
+// Goal is one node of an assurance case.
+type Goal struct {
+	ID        string
+	Statement string
+	// Strategy documents the decomposition argument for non-leaf goals.
+	Strategy string
+	// Children are the sub-goals; empty means leaf.
+	Children []*Goal
+	// Evidence lists artefact IDs in the Log that discharge a leaf goal.
+	Evidence []string
+}
+
+// AddChild appends a sub-goal and returns it for chaining.
+func (g *Goal) AddChild(child *Goal) *Goal {
+	g.Children = append(g.Children, child)
+	return child
+}
+
+// Supported reports whether the goal is discharged against the log: a leaf
+// is supported when at least one cited evidence artefact exists; an inner
+// goal when all children are supported. A leaf with no evidence is
+// unsupported by definition.
+func (g *Goal) Supported(log *Log) bool {
+	if len(g.Children) == 0 {
+		for _, id := range g.Evidence {
+			if log.HasArtifact(id) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, c := range g.Children {
+		if !c.Supported(log) {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns (supported, total) goals over the subtree.
+func (g *Goal) Count(log *Log) (supported, total int) {
+	total = 1
+	if g.Supported(log) {
+		supported = 1
+	}
+	for _, c := range g.Children {
+		s, t := c.Count(log)
+		supported += s
+		total += t
+	}
+	return supported, total
+}
+
+// Render prints the subtree with support markers, indented two spaces per
+// level.
+func (g *Goal) Render(log *Log) string {
+	var b strings.Builder
+	g.render(&b, log, 0)
+	return b.String()
+}
+
+func (g *Goal) render(b *strings.Builder, log *Log, depth int) {
+	mark := "✗"
+	if g.Supported(log) {
+		mark = "✓"
+	}
+	fmt.Fprintf(b, "%s[%s] %s: %s\n", strings.Repeat("  ", depth), mark, g.ID, g.Statement)
+	if g.Strategy != "" {
+		fmt.Fprintf(b, "%s  (strategy: %s)\n", strings.Repeat("  ", depth), g.Strategy)
+	}
+	for _, c := range g.Children {
+		c.render(b, log, depth+1)
+	}
+}
+
+// Readiness is the certification-readiness snapshot for experiment T8.
+type Readiness struct {
+	ChainOK         bool
+	EvidenceCount   int
+	RequirementsAll int
+	RequirementsCov int
+	GoalsSupported  int
+	GoalsTotal      int
+}
+
+// Score folds the readiness facets into [0,1]: the mean of chain validity,
+// requirement coverage, and goal support. A broken chain zeroes the score —
+// tampered evidence invalidates everything.
+func (r Readiness) Score() float64 {
+	if !r.ChainOK {
+		return 0
+	}
+	reqFrac := 1.0
+	if r.RequirementsAll > 0 {
+		reqFrac = float64(r.RequirementsCov) / float64(r.RequirementsAll)
+	}
+	goalFrac := 1.0
+	if r.GoalsTotal > 0 {
+		goalFrac = float64(r.GoalsSupported) / float64(r.GoalsTotal)
+	}
+	return (1 + reqFrac + goalFrac) / 3
+}
+
+// AssessReadiness verifies the log and measures requirement coverage and
+// assurance-case support. root may be nil when no case has been authored.
+func AssessReadiness(log *Log, reg *Registry, root *Goal) Readiness {
+	r := Readiness{
+		ChainOK:       log.Verify() == nil,
+		EvidenceCount: log.Len(),
+	}
+	if reg != nil {
+		r.RequirementsAll = reg.Len()
+		r.RequirementsCov = reg.Len() - len(reg.Orphans(log))
+	}
+	if root != nil {
+		r.GoalsSupported, r.GoalsTotal = root.Count(log)
+	}
+	return r
+}

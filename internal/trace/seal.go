@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// Evidence sealing. The hash chain detects *accidental* or *post-hoc*
+// modification, but anyone can recompute a consistent chain from scratch;
+// for archives that cross trust boundaries (supplier → assessor) the log
+// is sealed with an HMAC over its head state under a shared secret, so
+// only key holders can produce a log that verifies AND seals.
+
+// ErrBadSeal is returned when a seal does not authenticate the log.
+var ErrBadSeal = errors.New("trace: seal verification failed")
+
+// Seal returns the hex HMAC-SHA256 authenticator over the log's length and
+// final chain hash under key. An empty log seals over the empty head.
+func (l *Log) Seal(key []byte) string {
+	mac := hmac.New(sha256.New, key)
+	head := ""
+	if n := len(l.events); n > 0 {
+		head = l.events[n-1].Hash
+	}
+	fmt.Fprintf(mac, "%d\x00%s", len(l.events), head)
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// VerifySeal checks the chain and the seal together: a log is authentic
+// only if its content hashes chain correctly and the head is authenticated
+// by the key.
+func (l *Log) VerifySeal(key []byte, seal string) error {
+	if err := l.Verify(); err != nil {
+		return err
+	}
+	want, err := hex.DecodeString(seal)
+	if err != nil {
+		return ErrBadSeal
+	}
+	got, err := hex.DecodeString(l.Seal(key))
+	if err != nil {
+		return ErrBadSeal
+	}
+	if !hmac.Equal(want, got) {
+		return ErrBadSeal
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+// Package trace implements the end-to-end traceability substrate of pillar
+// P1: "DL solutions that provide end-to-end traceability … in accordance to
+// certification standards".
+//
+// Three pieces cooperate:
+//
+//   - Log: an append-only, hash-chained evidence log. Every lifecycle event
+//     (requirement captured, dataset frozen, model trained, verification
+//     run, deployment, runtime incident) is a record whose SHA-256 chains
+//     over its predecessor, so any later modification of history is
+//     detectable — the property an assessor needs to accept tool-generated
+//     evidence.
+//   - Registry: the requirements registry with links from requirements to
+//     the artefacts and verification events that discharge them, supporting
+//     orphan and coverage queries.
+//   - Assurance cases (gsn.go): goal-structuring-notation trees whose leaf
+//     goals cite evidence records, machine-checked for support.
+//
+// Determinism note: records carry a logical sequence number, not a wall
+// clock; callers may put timestamps in Detail if their environment provides
+// a qualified time source. Nothing in this package reads ambient state.
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies lifecycle events.
+type Kind string
+
+// Event kinds covering the safety lifecycle.
+const (
+	KindRequirement  Kind = "requirement"
+	KindDataset      Kind = "dataset"
+	KindTraining     Kind = "training"
+	KindModel        Kind = "model"
+	KindVerification Kind = "verification"
+	KindDeployment   Kind = "deployment"
+	KindOperation    Kind = "operation"
+	KindIncident     Kind = "incident"
+)
+
+// Event is one evidence record.
+type Event struct {
+	Seq    int
+	Kind   Kind
+	ID     string   // artefact identifier, e.g. "REQ-7" or "model:3fa9…"
+	Detail string   // free-form description
+	Refs   []string // artefact IDs this event traces to
+	Prev   string   // hash of the previous event ("" for the first)
+	Hash   string   // hash of this event
+}
+
+// ErrChainBroken is returned by Verify when the hash chain does not check
+// out.
+var ErrChainBroken = errors.New("trace: hash chain broken")
+
+// Log is the append-only evidence log. The zero value is ready to use.
+type Log struct {
+	events []Event
+}
+
+// Append records an event and returns it with its chained hash filled in.
+func (l *Log) Append(kind Kind, id, detail string, refs ...string) Event {
+	prev := ""
+	if n := len(l.events); n > 0 {
+		prev = l.events[n-1].Hash
+	}
+	e := Event{
+		Seq:    len(l.events),
+		Kind:   kind,
+		ID:     id,
+		Detail: detail,
+		Refs:   append([]string(nil), refs...),
+		Prev:   prev,
+	}
+	e.Hash = hashEvent(e)
+	l.events = append(l.events, e)
+	return e
+}
+
+func hashEvent(e Event) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d\x00%s\x00%s\x00%s\x00%s\x00", e.Seq, e.Kind, e.ID, e.Detail, e.Prev)
+	for _, r := range e.Refs {
+		h.Write([]byte(r))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// FromEvents reconstructs a log from stored events (e.g. loaded from an
+// archive), keeping their stored hashes verbatim. Verify then
+// authenticates the stored chain — the load path of an evidence archive.
+func FromEvents(evs []Event) *Log {
+	l := &Log{events: make([]Event, len(evs))}
+	copy(l.events, evs)
+	return l
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Events returns a copy of the event list.
+func (l *Log) Events() []Event {
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Verify recomputes the whole chain and returns ErrChainBroken (wrapped
+// with the first bad sequence number) if any record was altered.
+func (l *Log) Verify() error {
+	prev := ""
+	for i, e := range l.events {
+		if e.Seq != i {
+			return fmt.Errorf("%w: event %d has sequence %d", ErrChainBroken, i, e.Seq)
+		}
+		if e.Prev != prev {
+			return fmt.Errorf("%w: event %d prev-hash mismatch", ErrChainBroken, i)
+		}
+		if hashEvent(e) != e.Hash {
+			return fmt.Errorf("%w: event %d content hash mismatch", ErrChainBroken, i)
+		}
+		prev = e.Hash
+	}
+	return nil
+}
+
+// ByKind returns the events of one kind, in order.
+func (l *Log) ByKind(kind Kind) []Event {
+	var out []Event
+	for _, e := range l.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Referencing returns the events whose Refs include the artefact ID.
+func (l *Log) Referencing(id string) []Event {
+	var out []Event
+	for _, e := range l.events {
+		for _, r := range e.Refs {
+			if r == id {
+				out = append(out, e)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// HasArtifact reports whether any event carries the given artefact ID.
+func (l *Log) HasArtifact(id string) bool {
+	for _, e := range l.events {
+		if e.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TraceUpstream returns every artefact ID reachable from id by following
+// Refs edges backwards (the provenance closure: which requirements, data
+// and runs stand behind this artefact). Output is sorted for determinism.
+func (l *Log) TraceUpstream(id string) []string {
+	seen := map[string]bool{}
+	frontier := []string{id}
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		for _, e := range l.events {
+			if e.ID != cur {
+				continue
+			}
+			for _, r := range e.Refs {
+				if !seen[r] {
+					seen[r] = true
+					frontier = append(frontier, r)
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Requirement is one safety requirement with its target integrity level
+// (free-text level keeps this package standard-agnostic).
+type Requirement struct {
+	ID    string
+	Text  string
+	Level string // e.g. "SIL3", "ASIL-B"
+}
+
+// Registry holds the requirements and answers coverage queries against a
+// Log.
+type Registry struct {
+	reqs  map[string]Requirement
+	order []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{reqs: map[string]Requirement{}}
+}
+
+// Add registers a requirement; re-adding an ID overwrites its text.
+func (r *Registry) Add(req Requirement) {
+	if _, ok := r.reqs[req.ID]; !ok {
+		r.order = append(r.order, req.ID)
+	}
+	r.reqs[req.ID] = req
+}
+
+// Len returns the number of requirements.
+func (r *Registry) Len() int { return len(r.order) }
+
+// All returns the requirements in registration order.
+func (r *Registry) All() []Requirement {
+	out := make([]Requirement, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, r.reqs[id])
+	}
+	return out
+}
+
+// Covered reports whether the requirement has at least one verification
+// event referencing it in the log.
+func (r *Registry) Covered(log *Log, reqID string) bool {
+	for _, e := range log.Referencing(reqID) {
+		if e.Kind == KindVerification {
+			return true
+		}
+	}
+	return false
+}
+
+// Orphans returns the IDs of requirements with no verification coverage.
+func (r *Registry) Orphans(log *Log) []string {
+	var out []string
+	for _, id := range r.order {
+		if !r.Covered(log, id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Coverage returns the verified fraction of requirements (1 when empty —
+// nothing is missing).
+func (r *Registry) Coverage(log *Log) float64 {
+	if len(r.order) == 0 {
+		return 1
+	}
+	return float64(len(r.order)-len(r.Orphans(log))) / float64(len(r.order))
+}
+
+// Summary renders a one-line-per-requirement coverage table.
+func (r *Registry) Summary(log *Log) string {
+	var b strings.Builder
+	for _, req := range r.All() {
+		state := "UNCOVERED"
+		if r.Covered(log, req.ID) {
+			state = "covered"
+		}
+		fmt.Fprintf(&b, "%-10s %-8s %-10s %s\n", req.ID, req.Level, state, req.Text)
+	}
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package verif
+
+import (
+	"safexplain/internal/nn"
+	"safexplain/internal/tensor"
+)
+
+// Adversarial falsification. Where IBP proves robustness, these attacks
+// disprove it: they search the eps-ball for an input the model
+// misclassifies. In the T10 experiment they upper-bound the true robust
+// radius from above while IBP lower-bounds it from below. They are also a
+// fault-injection source: adversarial inputs are the worst-case sensor
+// manipulation a supervisor should flag.
+
+// lossGrad returns the gradient of the cross-entropy loss w.r.t. x.
+func lossGrad(net *nn.Network, x *tensor.Tensor, label int) *tensor.Tensor {
+	logits := net.Forward(x)
+	_, g := nn.SoftmaxCrossEntropy(logits, label)
+	gradIn := net.Backward(g)
+	net.ZeroGrad()
+	return gradIn
+}
+
+// clampBall projects adv into the eps-ball around x intersected with
+// [0,1].
+func clampBall(adv, x *tensor.Tensor, eps float32) {
+	for i := range adv.Data() {
+		v := adv.Data()[i]
+		lo := x.Data()[i] - eps
+		hi := x.Data()[i] + eps
+		if v < lo {
+			v = lo
+		}
+		if v > hi {
+			v = hi
+		}
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		adv.Data()[i] = v
+	}
+}
+
+// FGSM runs the fast gradient sign method: one signed-gradient step of
+// size eps. It returns the adversarial input and whether it flipped the
+// prediction away from label.
+func FGSM(net *nn.Network, x *tensor.Tensor, label int, eps float32) (adv *tensor.Tensor, success bool) {
+	g := lossGrad(net, x, label)
+	adv = x.Clone()
+	for i := range adv.Data() {
+		switch {
+		case g.Data()[i] > 0:
+			adv.Data()[i] += eps
+		case g.Data()[i] < 0:
+			adv.Data()[i] -= eps
+		}
+	}
+	clampBall(adv, x, eps)
+	class, _ := net.Predict(adv)
+	return adv, class != label
+}
+
+// PGD runs projected gradient descent: `steps` signed-gradient steps of
+// size alpha, projected into the eps-ball after each. The standard
+// stronger attack; alpha defaults to eps/4 when 0.
+func PGD(net *nn.Network, x *tensor.Tensor, label int, eps, alpha float32, steps int) (adv *tensor.Tensor, success bool) {
+	if steps <= 0 {
+		steps = 10
+	}
+	if alpha <= 0 {
+		alpha = eps / 4
+	}
+	adv = x.Clone()
+	for s := 0; s < steps; s++ {
+		g := lossGrad(net, adv, label)
+		for i := range adv.Data() {
+			switch {
+			case g.Data()[i] > 0:
+				adv.Data()[i] += alpha
+			case g.Data()[i] < 0:
+				adv.Data()[i] -= alpha
+			}
+		}
+		clampBall(adv, x, eps)
+		if class, _ := net.Predict(adv); class != label {
+			return adv, true
+		}
+	}
+	class, _ := net.Predict(adv)
+	return adv, class != label
+}
+
+// EmpiricalRadius finds the smallest eps on a grid at which PGD flips the
+// prediction — an upper bound on the true robust radius. Returns maxEps
+// when no attack on the grid succeeds.
+func EmpiricalRadius(net *nn.Network, x *tensor.Tensor, label int, maxEps float32, gridSteps, pgdSteps int) float32 {
+	if gridSteps <= 0 {
+		gridSteps = 16
+	}
+	for k := 1; k <= gridSteps; k++ {
+		eps := maxEps * float32(k) / float32(gridSteps)
+		if _, ok := PGD(net, x, label, eps, 0, pgdSteps); ok {
+			return eps
+		}
+	}
+	return maxEps
+}

@@ -1,0 +1,230 @@
+// Package verif provides formal robustness verification for the DL
+// library: interval bound propagation (IBP) computes guaranteed output
+// bounds for every input in an L∞ ball, so a prediction can be *certified*
+// robust — no perturbation within the ball changes the class. This is the
+// constructive half of the abstract's "strategies to reach (and prove)
+// correct operation": pass/fail evidence a FUSA process can consume, as
+// opposed to statistical testing alone.
+//
+// The package also implements the falsification side — FGSM and PGD
+// adversarial attacks (attack.go) — so every robustness claim is bracketed
+// from both directions: IBP certifies a radius, attacks exhibit concrete
+// counterexamples beyond it. The gap between the certified radius and the
+// smallest found counterexample measures the method's tightness
+// (experiment T10).
+//
+// Supported layers: Dense, Conv2D, ReLU, MaxPool2D, AvgPool2D, Flatten —
+// the deployment set of the quantized engine. Sigmoid/Tanh are rejected:
+// unsupported constructs must fail loudly.
+package verif
+
+import (
+	"errors"
+	"fmt"
+
+	"safexplain/internal/nn"
+	"safexplain/internal/tensor"
+)
+
+// ErrUnsupportedLayer is returned when the network contains a layer IBP
+// has no bound-propagation rule for.
+var ErrUnsupportedLayer = errors.New("verif: unsupported layer type")
+
+// Interval is an elementwise box: Lo[i] <= x[i] <= Hi[i].
+type Interval struct {
+	Lo, Hi *tensor.Tensor
+}
+
+// NewInterval returns the box [x-eps, x+eps] clamped to [min, max] (use
+// 0, 1 for image inputs).
+func NewInterval(x *tensor.Tensor, eps float32, min, max float32) Interval {
+	lo := tensor.New(x.Shape()...)
+	hi := tensor.New(x.Shape()...)
+	for i, v := range x.Data() {
+		l := v - eps
+		h := v + eps
+		if l < min {
+			l = min
+		}
+		if h > max {
+			h = max
+		}
+		lo.Data()[i] = l
+		hi.Data()[i] = h
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Width returns the maximum elementwise width of the box.
+func (iv Interval) Width() float32 {
+	var w float32
+	for i := range iv.Lo.Data() {
+		if d := iv.Hi.Data()[i] - iv.Lo.Data()[i]; d > w {
+			w = d
+		}
+	}
+	return w
+}
+
+// Propagate pushes the interval through the network and returns the output
+// logit bounds. The network's caches are not touched (IBP never calls
+// Forward), so it is safe to interleave with training or explanation.
+func Propagate(net *nn.Network, in Interval) (Interval, error) {
+	cur := in
+	for _, l := range net.Layers {
+		var err error
+		cur, err = propagateLayer(l, cur)
+		if err != nil {
+			return Interval{}, err
+		}
+	}
+	return cur, nil
+}
+
+func propagateLayer(l nn.Layer, in Interval) (Interval, error) {
+	switch v := l.(type) {
+	case *nn.Dense:
+		return denseBounds(v, in), nil
+	case *nn.Conv2D:
+		return convBounds(v, in), nil
+	case *nn.ReLU:
+		lo := tensor.New(in.Lo.Shape()...)
+		hi := tensor.New(in.Hi.Shape()...)
+		tensor.ReLU(lo, in.Lo)
+		tensor.ReLU(hi, in.Hi)
+		return Interval{Lo: lo, Hi: hi}, nil
+	case *nn.MaxPool2D:
+		lo := tensor.New(v.OutShape(in.Lo.Shape())...)
+		hi := tensor.New(v.OutShape(in.Hi.Shape())...)
+		// Max is monotone: bound-of-max = max-of-bounds.
+		tensor.MaxPool2D(lo, in.Lo, v.Window, v.Stride, nil)
+		tensor.MaxPool2D(hi, in.Hi, v.Window, v.Stride, nil)
+		return Interval{Lo: lo, Hi: hi}, nil
+	case *nn.AvgPool2D:
+		lo := tensor.New(v.OutShape(in.Lo.Shape())...)
+		hi := tensor.New(v.OutShape(in.Hi.Shape())...)
+		tensor.AvgPool2D(lo, in.Lo, v.Window, v.Stride)
+		tensor.AvgPool2D(hi, in.Hi, v.Window, v.Stride)
+		return Interval{Lo: lo, Hi: hi}, nil
+	case *nn.Flatten:
+		return Interval{Lo: in.Lo.Reshape(in.Lo.Len()), Hi: in.Hi.Reshape(in.Hi.Len())}, nil
+	default:
+		return Interval{}, fmt.Errorf("%w: %s", ErrUnsupportedLayer, l.Name())
+	}
+}
+
+// denseBounds propagates a box through y = Wx + b using the sign
+// decomposition: positive weights take the matching bound, negative
+// weights the opposite one.
+func denseBounds(d *nn.Dense, in Interval) Interval {
+	lo := tensor.New(d.Out)
+	hi := tensor.New(d.Out)
+	w := d.W.Value.Data()
+	for o := 0; o < d.Out; o++ {
+		l := d.B.Value.Data()[o]
+		h := l
+		row := w[o*d.In : (o+1)*d.In]
+		for i, wv := range row {
+			if wv >= 0 {
+				l += wv * in.Lo.Data()[i]
+				h += wv * in.Hi.Data()[i]
+			} else {
+				l += wv * in.Hi.Data()[i]
+				h += wv * in.Lo.Data()[i]
+			}
+		}
+		lo.Data()[o] = l
+		hi.Data()[o] = h
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// convBounds propagates a box through a convolution with the same sign
+// decomposition, iterating exactly like the reference kernel.
+func convBounds(c *nn.Conv2D, in Interval) Interval {
+	inH, inW := in.Lo.Dim(1), in.Lo.Dim(2)
+	outShape := c.OutShape(in.Lo.Shape())
+	lo := tensor.New(outShape...)
+	hi := tensor.New(outShape...)
+	oh, ow := outShape[1], outShape[2]
+	wd := c.W.Value.Data()
+	for o := 0; o < c.OutC; o++ {
+		bias := c.B.Value.Data()[o]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				l, h := bias, bias
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.KH; ky++ {
+						iy := oy*c.Stride + ky - c.Pad
+						if iy < 0 || iy >= inH {
+							continue
+						}
+						for kx := 0; kx < c.KW; kx++ {
+							ix := ox*c.Stride + kx - c.Pad
+							if ix < 0 || ix >= inW {
+								continue
+							}
+							wv := wd[((o*c.InC+ic)*c.KH+ky)*c.KW+kx]
+							if wv >= 0 {
+								l += wv * in.Lo.At3(ic, iy, ix)
+								h += wv * in.Hi.At3(ic, iy, ix)
+							} else {
+								l += wv * in.Hi.At3(ic, iy, ix)
+								h += wv * in.Lo.At3(ic, iy, ix)
+							}
+						}
+					}
+				}
+				lo.Set3(o, oy, ox, l)
+				hi.Set3(o, oy, ox, h)
+			}
+		}
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Certified reports whether the network provably predicts class for every
+// input in the eps-ball around x (inputs clamped to [0,1]): the class
+// logit's lower bound must exceed every other logit's upper bound.
+func Certified(net *nn.Network, x *tensor.Tensor, class int, eps float32) (bool, error) {
+	out, err := Propagate(net, NewInterval(x, eps, 0, 1))
+	if err != nil {
+		return false, err
+	}
+	lo := out.Lo.Data()[class]
+	for i, h := range out.Hi.Data() {
+		if i == class {
+			continue
+		}
+		if h >= lo {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// CertifiedRadius binary-searches the largest eps (within [0, maxEps], to
+// tol precision) at which the prediction on x is certified. Returns 0 if
+// not certifiable even at tol.
+func CertifiedRadius(net *nn.Network, x *tensor.Tensor, class int, maxEps, tol float32) (float32, error) {
+	ok, err := Certified(net, x, class, tol)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, nil
+	}
+	lo, hi := tol, maxEps
+	if ok, _ := Certified(net, x, class, maxEps); ok {
+		return maxEps, nil
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if ok, _ := Certified(net, x, class, mid); ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,277 @@
+package verif
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"safexplain/internal/data"
+	"safexplain/internal/nn"
+	"safexplain/internal/prng"
+	"safexplain/internal/tensor"
+)
+
+var (
+	vOnce  sync.Once
+	vNet   *nn.Network
+	vTrain *data.Set
+	vTest  *data.Set
+)
+
+func vFixture(t testing.TB) (*nn.Network, *data.Set, *data.Set) {
+	t.Helper()
+	vOnce.Do(func() {
+		set := data.Railway(data.Config{N: 240, Seed: 600, Noise: 0.05})
+		vTrain, vTest = set.Split(0.8, 601)
+		src := prng.New(602)
+		vNet = nn.NewNetwork("verif-cnn",
+			nn.NewConv2D(1, 4, 3, 1, 1, src), nn.NewReLU(), nn.NewMaxPool2D(2, 2),
+			nn.NewFlatten(), nn.NewDense(4*8*8, 16, src), nn.NewReLU(),
+			nn.NewDense(16, set.NumClasses(), src))
+		if _, _, err := nn.TrainClassifier(vNet, vTrain, nn.TrainConfig{
+			Epochs: 8, BatchSize: 16, LR: 0.05, Momentum: 0.9, Seed: 603,
+		}); err != nil {
+			panic(err)
+		}
+	})
+	return vNet, vTrain, vTest
+}
+
+func TestNewIntervalClamps(t *testing.T) {
+	x := tensor.FromSlice([]float32{0.02, 0.5, 0.98}, 3)
+	iv := NewInterval(x, 0.1, 0, 1)
+	if iv.Lo.Data()[0] != 0 || iv.Hi.Data()[2] != 1 {
+		t.Fatalf("clamping failed: lo=%v hi=%v", iv.Lo.Data(), iv.Hi.Data())
+	}
+	if iv.Lo.Data()[1] != 0.4 || iv.Hi.Data()[1] != 0.6 {
+		t.Fatalf("interior bounds wrong: %v %v", iv.Lo.Data()[1], iv.Hi.Data()[1])
+	}
+	if w := iv.Width(); w < 0.199 || w > 0.201 {
+		t.Fatalf("width = %v", w)
+	}
+}
+
+func TestPropagateZeroWidthMatchesForward(t *testing.T) {
+	// An eps=0 box must propagate to exactly the forward-pass logits.
+	net, _, test := vFixture(t)
+	for i := 0; i < 5; i++ {
+		x, _ := test.Sample(i)
+		out, err := Propagate(net, NewInterval(x, 0, 0, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		logits := net.Forward(x)
+		for j := range logits.Data() {
+			l, h := out.Lo.Data()[j], out.Hi.Data()[j]
+			v := logits.Data()[j]
+			if l > v+1e-4 || h < v-1e-4 {
+				t.Fatalf("logit %d = %v outside zero-width bounds [%v, %v]", j, v, l, h)
+			}
+		}
+	}
+}
+
+func TestBoundsSoundnessAgainstRandomPerturbations(t *testing.T) {
+	// Soundness: for any perturbation inside the ball, the true logits
+	// must lie inside the propagated bounds.
+	net, _, test := vFixture(t)
+	x, _ := test.Sample(0)
+	const eps = 0.05
+	out, err := Propagate(net, NewInterval(x, eps, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prng.New(604)
+	for trial := 0; trial < 50; trial++ {
+		pert := x.Clone()
+		for i := range pert.Data() {
+			v := pert.Data()[i] + (r.Float32()*2-1)*eps
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			pert.Data()[i] = v
+		}
+		logits := net.Forward(pert)
+		for j, v := range logits.Data() {
+			if v < out.Lo.Data()[j]-1e-4 || v > out.Hi.Data()[j]+1e-4 {
+				t.Fatalf("trial %d: logit %d = %v escapes bounds [%v, %v]",
+					trial, j, v, out.Lo.Data()[j], out.Hi.Data()[j])
+			}
+		}
+	}
+}
+
+func TestBoundsMonotoneInEps(t *testing.T) {
+	net, _, test := vFixture(t)
+	x, _ := test.Sample(1)
+	prevWidth := float32(-1)
+	for _, eps := range []float32{0.01, 0.02, 0.05, 0.1} {
+		out, err := Propagate(net, NewInterval(x, eps, 0, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := out.Width()
+		if w <= prevWidth {
+			t.Fatalf("bound width not growing with eps: %v at %v", w, eps)
+		}
+		prevWidth = w
+	}
+}
+
+func TestCertifiedAtTinyEps(t *testing.T) {
+	// Correctly classified samples must certify at a tiny radius.
+	net, _, test := vFixture(t)
+	certified := 0
+	checked := 0
+	for i := 0; i < 20 && i < test.Len(); i++ {
+		x, label := test.Sample(i)
+		class, _ := net.Predict(x)
+		if class != label {
+			continue
+		}
+		checked++
+		ok, err := Certified(net, x, class, 1e-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			certified++
+		}
+	}
+	if checked == 0 {
+		t.Skip("no correct predictions")
+	}
+	if certified == 0 {
+		t.Fatal("nothing certifies even at eps=1e-4")
+	}
+}
+
+func TestCertifiedRadiusConsistent(t *testing.T) {
+	net, _, test := vFixture(t)
+	x, _ := test.Sample(2)
+	class, _ := net.Predict(x)
+	r, err := CertifiedRadius(net, x, class, 0.2, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > 0 {
+		ok, _ := Certified(net, x, class, r)
+		if !ok {
+			t.Fatalf("radius %v reported but not certified", r)
+		}
+	}
+}
+
+func TestUnsupportedLayerRejected(t *testing.T) {
+	net := nn.NewNetwork("bad", nn.NewDense(4, 4, prng.New(1)), nn.NewTanh())
+	x := tensor.New(4)
+	if _, err := Propagate(net, NewInterval(x, 0.1, 0, 1)); !errors.Is(err, ErrUnsupportedLayer) {
+		t.Fatalf("expected ErrUnsupportedLayer, got %v", err)
+	}
+}
+
+func TestFGSMFindsAdversarialAtLargeEps(t *testing.T) {
+	net, _, test := vFixture(t)
+	flipped := 0
+	for i := 0; i < 10; i++ {
+		x, label := test.Sample(i)
+		if class, _ := net.Predict(x); class != label {
+			continue
+		}
+		if _, ok := FGSM(net, x, label, 0.5); ok {
+			flipped++
+		}
+	}
+	if flipped == 0 {
+		t.Fatal("FGSM at eps=0.5 flipped nothing — attack is broken")
+	}
+}
+
+func TestFGSMStaysInBall(t *testing.T) {
+	net, _, test := vFixture(t)
+	x, label := test.Sample(0)
+	const eps = 0.1
+	adv, _ := FGSM(net, x, label, eps)
+	for i := range adv.Data() {
+		d := adv.Data()[i] - x.Data()[i]
+		if d > eps+1e-6 || d < -eps-1e-6 {
+			t.Fatalf("FGSM escaped the ball at %d: delta %v", i, d)
+		}
+		if adv.Data()[i] < 0 || adv.Data()[i] > 1 {
+			t.Fatal("FGSM escaped the input domain")
+		}
+	}
+}
+
+func TestPGDAtLeastAsStrongAsFGSM(t *testing.T) {
+	net, _, test := vFixture(t)
+	const eps = 0.15
+	fgsmWins, pgdWins := 0, 0
+	for i := 0; i < 15 && i < test.Len(); i++ {
+		x, label := test.Sample(i)
+		if class, _ := net.Predict(x); class != label {
+			continue
+		}
+		if _, ok := FGSM(net, x, label, eps); ok {
+			fgsmWins++
+		}
+		if _, ok := PGD(net, x, label, eps, 0, 20); ok {
+			pgdWins++
+		}
+	}
+	if pgdWins < fgsmWins {
+		t.Fatalf("PGD (%d) weaker than FGSM (%d)", pgdWins, fgsmWins)
+	}
+}
+
+func TestCertifiedImpliesNoAttackSucceeds(t *testing.T) {
+	// The core soundness contract: inside a certified radius, PGD must
+	// never find a counterexample.
+	net, _, test := vFixture(t)
+	checked := 0
+	for i := 0; i < 20 && checked < 5; i++ {
+		x, label := test.Sample(i)
+		class, _ := net.Predict(x)
+		if class != label {
+			continue
+		}
+		r, err := CertifiedRadius(net, x, class, 0.1, 1e-3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r <= 0 {
+			continue
+		}
+		checked++
+		if _, ok := PGD(net, x, label, r*0.95, 0, 30); ok {
+			t.Fatalf("PGD broke a certified radius %v on sample %d", r, i)
+		}
+	}
+	if checked == 0 {
+		t.Skip("no certifiable samples")
+	}
+}
+
+func TestEmpiricalRadiusAboveCertified(t *testing.T) {
+	// Certified radius (lower bound) must not exceed the empirical radius
+	// (upper bound) — the bracket of experiment T10.
+	net, _, test := vFixture(t)
+	for i := 0; i < 10; i++ {
+		x, label := test.Sample(i)
+		class, _ := net.Predict(x)
+		if class != label {
+			continue
+		}
+		cert, err := CertifiedRadius(net, x, class, 0.3, 1e-3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		emp := EmpiricalRadius(net, x, label, 0.3, 16, 10)
+		if cert > emp+1e-3 {
+			t.Fatalf("sample %d: certified %v above empirical %v — unsound", i, cert, emp)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package xai
+
+import (
+	"math"
+	"sort"
+
+	"safexplain/internal/nn"
+	"safexplain/internal/prng"
+	"safexplain/internal/tensor"
+)
+
+// Faithfulness and stability metrics. A safety case cannot accept an
+// attribution method on visual appeal; these metrics quantify whether
+// removing the pixels an explainer ranks as important actually changes the
+// prediction (deletion/insertion) and whether the explanation is stable
+// under input noise (a flaky explanation is not certification evidence).
+
+// classProb returns softmax probability of class for input x.
+func classProb(net *nn.Network, x *tensor.Tensor, class int) float64 {
+	logits := net.Forward(x)
+	probs := tensor.New(logits.Shape()...)
+	tensor.Softmax(probs, logits)
+	return float64(probs.Data()[class])
+}
+
+// rankDescending returns input indices sorted by attribution, highest
+// first; ties break by index for determinism.
+func rankDescending(attr *tensor.Tensor) []int {
+	idx := make([]int, attr.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	d := attr.Data()
+	sort.SliceStable(idx, func(a, b int) bool { return d[idx[a]] > d[idx[b]] })
+	return idx
+}
+
+// DeletionAUC removes pixels in decreasing attribution order (setting them
+// to 0), tracking the class probability, and returns the area under the
+// probability-vs-fraction-removed curve. A faithful explanation removes the
+// evidence fast: lower is better.
+func DeletionAUC(net *nn.Network, x *tensor.Tensor, class int, attr *tensor.Tensor, steps int) float64 {
+	if steps <= 0 {
+		steps = 16
+	}
+	order := rankDescending(attr)
+	work := x.Clone()
+	curve := []float64{classProb(net, work, class)}
+	perStep := (len(order) + steps - 1) / steps
+	for i := 0; i < len(order); {
+		for j := 0; j < perStep && i < len(order); j++ {
+			work.Data()[order[i]] = 0
+			i++
+		}
+		curve = append(curve, classProb(net, work, class))
+	}
+	return trapezoid(curve)
+}
+
+// InsertionAUC starts from a blank image and inserts pixels in decreasing
+// attribution order, returning the area under the probability curve. A
+// faithful explanation recovers the prediction fast: higher is better.
+func InsertionAUC(net *nn.Network, x *tensor.Tensor, class int, attr *tensor.Tensor, steps int) float64 {
+	if steps <= 0 {
+		steps = 16
+	}
+	order := rankDescending(attr)
+	work := tensor.New(x.Shape()...)
+	curve := []float64{classProb(net, work, class)}
+	perStep := (len(order) + steps - 1) / steps
+	for i := 0; i < len(order); {
+		for j := 0; j < perStep && i < len(order); j++ {
+			work.Data()[order[i]] = x.Data()[order[i]]
+			i++
+		}
+		curve = append(curve, classProb(net, work, class))
+	}
+	return trapezoid(curve)
+}
+
+// trapezoid integrates a uniformly spaced curve over [0, 1].
+func trapezoid(curve []float64) float64 {
+	if len(curve) < 2 {
+		return 0
+	}
+	sum := 0.0
+	for i := 1; i < len(curve); i++ {
+		sum += (curve[i] + curve[i-1]) / 2
+	}
+	return sum / float64(len(curve)-1)
+}
+
+// Stability perturbs x with Gaussian noise `trials` times and returns the
+// mean Pearson correlation between the original attribution and each
+// perturbed attribution. 1 means perfectly stable; values near 0 mean the
+// explanation is an artifact of the exact pixel values.
+func Stability(net *nn.Network, e Explainer, x *tensor.Tensor, class int, sigma float64, trials int, seed uint64) float64 {
+	if trials <= 0 {
+		trials = 5
+	}
+	ref := e.Explain(net, x, class)
+	r := prng.New(seed)
+	var sum float64
+	for t := 0; t < trials; t++ {
+		noisy := x.Clone()
+		for i := range noisy.Data() {
+			f := float64(noisy.Data()[i]) + r.NormFloat64()*sigma
+			if f < 0 {
+				f = 0
+			}
+			if f > 1 {
+				f = 1
+			}
+			noisy.Data()[i] = float32(f)
+		}
+		sum += pearson(ref.Data(), e.Explain(net, noisy, class).Data())
+	}
+	return sum / float64(trials)
+}
+
+// RelevanceMass returns the fraction of positive attribution mass that
+// falls on mask-true elements. With a ground-truth object mask this is the
+// localization score used in T2 (mask derived from the scene geometry:
+// pixels brighter than a threshold in the noise-free render).
+func RelevanceMass(attr *tensor.Tensor, mask []bool) float64 {
+	if len(mask) != attr.Len() {
+		panic("xai: mask length mismatch")
+	}
+	var on, total float64
+	for i, v := range attr.Data() {
+		if v <= 0 {
+			continue
+		}
+		total += float64(v)
+		if mask[i] {
+			on += float64(v)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return on / total
+}
+
+// ObjectMask derives a bright-pixel mask from an image: mask[i] is true
+// where the pixel exceeds threshold. Used to approximate object ground
+// truth for the synthetic scenes, whose objects are bright on dark.
+func ObjectMask(x *tensor.Tensor, threshold float32) []bool {
+	mask := make([]bool, x.Len())
+	for i, v := range x.Data() {
+		mask[i] = v > threshold
+	}
+	return mask
+}
+
+func pearson(a, b []float32) float64 {
+	n := float64(len(a))
+	if n == 0 || len(a) != len(b) {
+		return 0
+	}
+	var ma, mb float64
+	for i := range a {
+		ma += float64(a[i])
+		mb += float64(b[i])
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		da := float64(a[i]) - ma
+		db := float64(b[i]) - mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}

@@ -1,0 +1,190 @@
+package xai
+
+import (
+	"math"
+	"testing"
+
+	"safexplain/internal/data"
+	"safexplain/internal/nn"
+	"safexplain/internal/prng"
+	"safexplain/internal/tensor"
+)
+
+func TestTrapezoid(t *testing.T) {
+	if got := trapezoid([]float64{1, 1, 1}); got != 1 {
+		t.Fatalf("constant curve AUC = %v", got)
+	}
+	if got := trapezoid([]float64{0, 1}); got != 0.5 {
+		t.Fatalf("ramp AUC = %v", got)
+	}
+	if got := trapezoid([]float64{1}); got != 0 {
+		t.Fatalf("single point AUC = %v", got)
+	}
+}
+
+func TestRankDescendingDeterministic(t *testing.T) {
+	attr := tensor.FromSlice([]float32{1, 3, 3, 0}, 4)
+	order := rankDescending(attr)
+	want := []int{1, 2, 0, 3} // stable: ties keep index order
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDeletionPerfectVsRandomAttribution(t *testing.T) {
+	// Model depends on 4 pixels only. The "perfect" attribution names
+	// exactly those pixels; a wrong attribution names others. Deleting by
+	// perfect ranking must destroy the prediction faster (lower AUC).
+	hot := []int{10, 60, 130, 220}
+	net := linear16(hot)
+	x := tensor.New(1, 16, 16)
+	for _, i := range hot {
+		x.Data()[i] = 1
+	}
+	perfect := tensor.New(1, 16, 16)
+	for _, i := range hot {
+		perfect.Data()[i] = 1
+	}
+	wrong := tensor.New(1, 16, 16)
+	for i := range wrong.Data() {
+		wrong.Data()[i] = 1
+	}
+	for _, i := range hot {
+		wrong.Data()[i] = 0 // ranks the informative pixels last
+	}
+	dPerfect := DeletionAUC(net, x, 1, perfect, 16)
+	dWrong := DeletionAUC(net, x, 1, wrong, 16)
+	if dPerfect >= dWrong {
+		t.Fatalf("deletion AUC: perfect %v should be < wrong %v", dPerfect, dWrong)
+	}
+	iPerfect := InsertionAUC(net, x, 1, perfect, 16)
+	iWrong := InsertionAUC(net, x, 1, wrong, 16)
+	if iPerfect <= iWrong {
+		t.Fatalf("insertion AUC: perfect %v should be > wrong %v", iPerfect, iWrong)
+	}
+}
+
+func TestAUCBounds(t *testing.T) {
+	net := linear16([]int{5})
+	x := testImage(10)
+	attr := Saliency{}.Explain(net, x, 1)
+	for _, auc := range []float64{
+		DeletionAUC(net, x, 1, attr, 8),
+		InsertionAUC(net, x, 1, attr, 8),
+	} {
+		if auc < 0 || auc > 1 {
+			t.Fatalf("AUC %v outside [0,1]", auc)
+		}
+	}
+}
+
+func TestStabilityPerfectForConstantExplainer(t *testing.T) {
+	net := linear16([]int{1})
+	x := testImage(11)
+	// Saliency of a linear model is input-independent: stability must be
+	// exactly 1.
+	s := Stability(net, Saliency{}, x, 1, 0.1, 3, 12)
+	if math.Abs(s-1) > 1e-9 {
+		t.Fatalf("stability of constant explanation = %v, want 1", s)
+	}
+}
+
+func TestStabilityDeterministic(t *testing.T) {
+	src := prng.New(13)
+	net := nn.NewNetwork("st",
+		nn.NewFlatten(), nn.NewDense(256, 8, src), nn.NewReLU(), nn.NewDense(8, 2, src))
+	x := testImage(14)
+	a := Stability(net, GradientInput{}, x, 0, 0.05, 3, 15)
+	b := Stability(net, GradientInput{}, x, 0, 0.05, 3, 15)
+	if a != b {
+		t.Fatal("stability not deterministic under fixed seed")
+	}
+	if a < -1 || a > 1 {
+		t.Fatalf("stability %v outside [-1,1]", a)
+	}
+}
+
+func TestRelevanceMass(t *testing.T) {
+	attr := tensor.FromSlice([]float32{1, 2, -5, 1}, 4)
+	mask := []bool{true, true, true, false}
+	// Positive mass: 1+2+1 = 4; on-mask positive mass: 3.
+	if got := RelevanceMass(attr, mask); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("RelevanceMass = %v, want 0.75", got)
+	}
+	if got := RelevanceMass(tensor.New(4), make([]bool, 4)); got != 0 {
+		t.Fatalf("zero attribution should give 0, got %v", got)
+	}
+}
+
+func TestObjectMask(t *testing.T) {
+	x := tensor.FromSlice([]float32{0.1, 0.9, 0.5}, 3)
+	mask := ObjectMask(x, 0.4)
+	if mask[0] || !mask[1] || !mask[2] {
+		t.Fatalf("mask = %v", mask)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float32{1, 2, 3, 4}
+	b := []float32{2, 4, 6, 8}
+	if got := pearson(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("pearson of proportional series = %v", got)
+	}
+	c := []float32{4, 3, 2, 1}
+	if got := pearson(a, c); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("pearson of reversed series = %v", got)
+	}
+	if got := pearson(a, []float32{5, 5, 5, 5}); got != 0 {
+		t.Fatalf("pearson against constant = %v", got)
+	}
+}
+
+func TestEndToEndOnTrainedCNN(t *testing.T) {
+	// Integration: on a trained case-study CNN, gradient-based attributions
+	// must concentrate on the object rather than the background.
+	set := data.Automotive(data.Config{N: 200, Seed: 20, Noise: 0.03})
+	train, test := set.Split(0.8, 21)
+	src := prng.New(22)
+	net := nn.NewNetwork("cnn",
+		nn.NewConv2D(1, 6, 3, 1, 1, src), nn.NewReLU(), nn.NewMaxPool2D(2, 2),
+		nn.NewFlatten(), nn.NewDense(6*8*8, 24, src), nn.NewReLU(),
+		nn.NewDense(24, set.NumClasses(), src))
+	if _, _, err := nn.TrainClassifier(net, train, nn.TrainConfig{
+		Epochs: 8, BatchSize: 16, LR: 0.05, Momentum: 0.9, Seed: 23,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Average relevance mass over correctly classified object images.
+	var mass, baseline float64
+	n := 0
+	for i := 0; i < test.Len() && n < 15; i++ {
+		x, label := test.Sample(i)
+		if label == data.AutoBackground {
+			continue
+		}
+		class, _ := net.Predict(x)
+		if class != label {
+			continue
+		}
+		mask := ObjectMask(x, 0.5)
+		objFrac := 0.0
+		for _, m := range mask {
+			if m {
+				objFrac++
+			}
+		}
+		objFrac /= float64(len(mask))
+		attr := GradientInput{}.Explain(net, x, class)
+		mass += RelevanceMass(attr, mask)
+		baseline += objFrac // what a uniform attribution would score
+		n++
+	}
+	if n == 0 {
+		t.Skip("no correctly classified object samples")
+	}
+	if mass/float64(n) <= baseline/float64(n) {
+		t.Fatalf("attribution mass %.3f not above chance %.3f", mass/float64(n), baseline/float64(n))
+	}
+}

@@ -1,0 +1,250 @@
+// Package xai implements the explainability toolbox of pillar P1: five
+// attribution methods that answer "which input pixels drove this
+// prediction", plus the faithfulness and stability metrics that let a
+// safety case argue an explanation method is trustworthy rather than
+// decorative.
+//
+// All methods are deterministic: sampling-based explainers (LIME) draw from
+// a seeded prng.Source, so an explanation is replayable evidence, not a
+// one-off visualization.
+//
+// Explainers call Network.Backward, which accumulates parameter gradients;
+// they restore the network with ZeroGrad before returning so explanation
+// never perturbs subsequent training.
+package xai
+
+import (
+	"math"
+
+	"safexplain/internal/nn"
+	"safexplain/internal/prng"
+	"safexplain/internal/stats"
+	"safexplain/internal/tensor"
+)
+
+// Explainer produces a per-input-element attribution map for a given class.
+// Higher attribution means the element pushed the network harder toward
+// that class.
+type Explainer interface {
+	Name() string
+	Explain(net *nn.Network, x *tensor.Tensor, class int) *tensor.Tensor
+}
+
+// gradLogit returns d logit[class] / d input.
+func gradLogit(net *nn.Network, x *tensor.Tensor, class int) *tensor.Tensor {
+	logits := net.Forward(x)
+	seed := tensor.New(logits.Shape()...)
+	seed.Data()[class] = 1
+	g := net.Backward(seed)
+	net.ZeroGrad()
+	return g
+}
+
+// Saliency is the plain gradient magnitude |d logit_c / d x|.
+type Saliency struct{}
+
+// Name implements Explainer.
+func (Saliency) Name() string { return "saliency" }
+
+// Explain implements Explainer.
+func (Saliency) Explain(net *nn.Network, x *tensor.Tensor, class int) *tensor.Tensor {
+	g := gradLogit(net, x, class)
+	out := tensor.New(x.Shape()...)
+	for i, v := range g.Data() {
+		if v < 0 {
+			v = -v
+		}
+		out.Data()[i] = v
+	}
+	return out
+}
+
+// GradientInput is gradient × input, which folds the input magnitude into
+// the sensitivity and is exact for linear models.
+type GradientInput struct{}
+
+// Name implements Explainer.
+func (GradientInput) Name() string { return "grad-x-input" }
+
+// Explain implements Explainer.
+func (GradientInput) Explain(net *nn.Network, x *tensor.Tensor, class int) *tensor.Tensor {
+	g := gradLogit(net, x, class)
+	out := tensor.New(x.Shape()...)
+	tensor.Mul(out, g, x)
+	return out
+}
+
+// IntegratedGradients averages gradients along the straight path from a
+// zero baseline to the input and multiplies by (x − baseline), satisfying
+// the completeness axiom up to discretization error.
+type IntegratedGradients struct {
+	// Steps is the Riemann discretization; 32 is a good default.
+	Steps int
+}
+
+// Name implements Explainer.
+func (IntegratedGradients) Name() string { return "integrated-gradients" }
+
+// Explain implements Explainer.
+func (ig IntegratedGradients) Explain(net *nn.Network, x *tensor.Tensor, class int) *tensor.Tensor {
+	steps := ig.Steps
+	if steps <= 0 {
+		steps = 32
+	}
+	acc := tensor.New(x.Shape()...)
+	point := tensor.New(x.Shape()...)
+	for s := 1; s <= steps; s++ {
+		alpha := (float32(s) - 0.5) / float32(steps) // midpoint rule
+		tensor.Scale(point, x, alpha)
+		g := gradLogit(net, point, class)
+		tensor.Add(acc, acc, g)
+	}
+	out := tensor.New(x.Shape()...)
+	tensor.Scale(acc, acc, 1/float32(steps))
+	tensor.Mul(out, acc, x) // baseline is zero, so x - baseline = x
+	return out
+}
+
+// Occlusion measures, for each window position, how much the class logit
+// drops when the window is replaced by the baseline value; the drop is
+// accumulated over every pixel in the window. Model-agnostic: needs only
+// forward passes.
+type Occlusion struct {
+	Window   int     // square window edge (default 4)
+	Stride   int     // window step (default 2)
+	Baseline float32 // replacement value (default 0)
+}
+
+// Name implements Explainer.
+func (Occlusion) Name() string { return "occlusion" }
+
+// Explain implements Explainer.
+func (o Occlusion) Explain(net *nn.Network, x *tensor.Tensor, class int) *tensor.Tensor {
+	window := o.Window
+	if window <= 0 {
+		window = 4
+	}
+	stride := o.Stride
+	if stride <= 0 {
+		stride = 2
+	}
+	base := net.Forward(x).Data()[class]
+	h, w := x.Dim(1), x.Dim(2)
+	out := tensor.New(x.Shape()...)
+	counts := make([]float32, x.Len())
+	work := x.Clone()
+	for oy := 0; oy+window <= h; oy += stride {
+		for ox := 0; ox+window <= w; ox += stride {
+			// Occlude the window.
+			for y := oy; y < oy+window; y++ {
+				for xx := ox; xx < ox+window; xx++ {
+					work.Set3(0, y, xx, o.Baseline)
+				}
+			}
+			drop := base - net.Forward(work).Data()[class]
+			for y := oy; y < oy+window; y++ {
+				for xx := ox; xx < ox+window; xx++ {
+					i := y*w + xx
+					out.Data()[i] += drop
+					counts[i]++
+					work.Set3(0, y, xx, x.At3(0, y, xx)) // restore
+				}
+			}
+		}
+	}
+	for i, c := range counts {
+		if c > 0 {
+			out.Data()[i] /= c
+		}
+	}
+	return out
+}
+
+// LIME fits a local linear surrogate over patch-masked variants of the
+// input: patches are superpixels on a regular grid, masks are sampled from
+// a seeded source, and the surrogate weights (per patch) are the
+// attribution, broadcast back to pixels.
+type LIME struct {
+	PatchSide int    // superpixel edge in pixels (default 4)
+	Samples   int    // number of masked variants (default 200)
+	Seed      uint64 // sampling seed
+}
+
+// Name implements Explainer.
+func (LIME) Name() string { return "lime" }
+
+// Explain implements Explainer.
+func (l LIME) Explain(net *nn.Network, x *tensor.Tensor, class int) *tensor.Tensor {
+	patch := l.PatchSide
+	if patch <= 0 {
+		patch = 4
+	}
+	samples := l.Samples
+	if samples <= 0 {
+		samples = 200
+	}
+	h, w := x.Dim(1), x.Dim(2)
+	py, px := (h+patch-1)/patch, (w+patch-1)/patch
+	nPatch := py * px
+	r := prng.New(l.Seed)
+
+	design := make([][]float64, 0, samples)
+	ys := make([]float64, 0, samples)
+	weights := make([]float64, 0, samples)
+	work := tensor.New(x.Shape()...)
+	probs := tensor.New(net.Forward(x).Shape()...)
+	for s := 0; s < samples; s++ {
+		mask := make([]float64, nPatch)
+		on := 0
+		for i := range mask {
+			if r.Float64() < 0.5 {
+				mask[i] = 1
+				on++
+			}
+		}
+		// Render the masked input.
+		for y := 0; y < h; y++ {
+			for xx := 0; xx < w; xx++ {
+				p := (y/patch)*px + xx/patch
+				if mask[p] == 1 {
+					work.Set3(0, y, xx, x.At3(0, y, xx))
+				} else {
+					work.Set3(0, y, xx, 0)
+				}
+			}
+		}
+		logits := net.Forward(work)
+		tensor.Softmax(probs, logits)
+		design = append(design, mask)
+		ys = append(ys, float64(probs.Data()[class]))
+		// Exponential kernel on mask distance from the full image.
+		d := float64(nPatch-on) / float64(nPatch)
+		weights = append(weights, math.Exp(-d*d/0.25))
+	}
+	coef, _, err := stats.LinearRegression(design, ys, weights, 1e-6)
+	if err != nil {
+		// Degenerate sampling; return a zero map rather than failing the
+		// pipeline — the stability metric will expose a broken explainer.
+		return tensor.New(x.Shape()...)
+	}
+	out := tensor.New(x.Shape()...)
+	for y := 0; y < h; y++ {
+		for xx := 0; xx < w; xx++ {
+			p := (y/patch)*px + xx/patch
+			out.Set3(0, y, xx, float32(coef[p]))
+		}
+	}
+	return out
+}
+
+// Standard returns the default explainer set used by experiment T2.
+func Standard() []Explainer {
+	return []Explainer{
+		Saliency{},
+		GradientInput{},
+		IntegratedGradients{Steps: 32},
+		SmoothGrad{Samples: 16, Sigma: 0.08, Seed: 2},
+		Occlusion{Window: 4, Stride: 2},
+		LIME{PatchSide: 4, Samples: 150, Seed: 1},
+	}
+}

@@ -1,0 +1,206 @@
+package xai
+
+import (
+	"math"
+	"testing"
+
+	"safexplain/internal/nn"
+	"safexplain/internal/prng"
+	"safexplain/internal/tensor"
+)
+
+// linear16 builds a 2-class linear model over a [1,16,16] image whose
+// class-1 logit is exactly the sum of a chosen pixel set. Linear models
+// make attribution ground truth exact.
+func linear16(hot []int) *nn.Network {
+	d := nn.NewDense(256, 2, nil)
+	for _, i := range hot {
+		d.W.Value.Set2(1, i, 1)
+		d.W.Value.Set2(0, i, -1)
+	}
+	return nn.NewNetwork("linear", nn.NewFlatten(), d)
+}
+
+func testImage(seed uint64) *tensor.Tensor {
+	r := prng.New(seed)
+	x := tensor.New(1, 16, 16)
+	for i := range x.Data() {
+		x.Data()[i] = r.Float32()
+	}
+	return x
+}
+
+func TestSaliencyLinearExact(t *testing.T) {
+	hot := []int{17, 50, 200}
+	net := linear16(hot)
+	x := testImage(1)
+	attr := Saliency{}.Explain(net, x, 1)
+	hotSet := map[int]bool{}
+	for _, i := range hot {
+		hotSet[i] = true
+	}
+	for i, v := range attr.Data() {
+		want := float32(0)
+		if hotSet[i] {
+			want = 1
+		}
+		if v != want {
+			t.Fatalf("saliency[%d] = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestGradientInputCompletenessLinear(t *testing.T) {
+	net := linear16([]int{3, 99})
+	x := testImage(2)
+	attr := GradientInput{}.Explain(net, x, 1)
+	var sum float64
+	for _, v := range attr.Data() {
+		sum += float64(v)
+	}
+	logit := float64(net.Forward(x).Data()[1])
+	if math.Abs(sum-logit) > 1e-4 {
+		t.Fatalf("grad×input sum %v != logit %v for linear model", sum, logit)
+	}
+}
+
+func TestIntegratedGradientsCompleteness(t *testing.T) {
+	// Completeness must hold (approximately) even for a nonlinear model.
+	src := prng.New(3)
+	net := nn.NewNetwork("nl",
+		nn.NewFlatten(),
+		nn.NewDense(256, 16, src), nn.NewReLU(), nn.NewDense(16, 3, src))
+	x := testImage(4)
+	class := 2
+	attr := IntegratedGradients{Steps: 128}.Explain(net, x, class)
+	var sum float64
+	for _, v := range attr.Data() {
+		sum += float64(v)
+	}
+	fx := float64(net.Forward(x).Data()[class])
+	f0 := float64(net.Forward(tensor.New(1, 16, 16)).Data()[class])
+	if math.Abs(sum-(fx-f0)) > 0.05*math.Max(1, math.Abs(fx-f0)) {
+		t.Fatalf("IG completeness violated: sum %v vs f(x)-f(0) = %v", sum, fx-f0)
+	}
+}
+
+func TestExplainersLeaveGradientsClean(t *testing.T) {
+	src := prng.New(5)
+	net := nn.NewNetwork("clean",
+		nn.NewFlatten(), nn.NewDense(256, 8, src), nn.NewReLU(), nn.NewDense(8, 2, src))
+	x := testImage(6)
+	for _, e := range Standard() {
+		e.Explain(net, x, 0)
+		for _, p := range net.Params() {
+			for _, g := range p.Grad.Data() {
+				if g != 0 {
+					t.Fatalf("%s left nonzero parameter gradients", e.Name())
+				}
+			}
+		}
+	}
+}
+
+func TestExplainersDeterministic(t *testing.T) {
+	src := prng.New(7)
+	net := nn.NewNetwork("det",
+		nn.NewFlatten(), nn.NewDense(256, 8, src), nn.NewReLU(), nn.NewDense(8, 2, src))
+	x := testImage(8)
+	for _, e := range Standard() {
+		a := e.Explain(net, x, 1)
+		b := e.Explain(net, x, 1)
+		if !tensor.Equal(a, b) {
+			t.Fatalf("%s is not deterministic", e.Name())
+		}
+	}
+}
+
+func TestOcclusionFindsInformativePixels(t *testing.T) {
+	// Model looks only at pixel (8,8); occlusion must attribute the most
+	// there.
+	idx := 8*16 + 8
+	net := linear16([]int{idx})
+	x := tensor.New(1, 16, 16)
+	x.Data()[idx] = 1
+	attr := Occlusion{Window: 4, Stride: 2}.Explain(net, x, 1)
+	if attr.Argmax() != idx && attr.Data()[idx] < attr.Data()[attr.Argmax()]-1e-6 {
+		t.Fatalf("occlusion max at %d (%v), want near %d (%v)",
+			attr.Argmax(), attr.Data()[attr.Argmax()], idx, attr.Data()[idx])
+	}
+}
+
+func TestLIMEFindsInformativePatch(t *testing.T) {
+	idx := 5*16 + 5 // inside patch (1,1) for PatchSide 4
+	net := linear16([]int{idx})
+	x := tensor.New(1, 16, 16)
+	x.Data()[idx] = 1
+	attr := LIME{PatchSide: 4, Samples: 300, Seed: 9}.Explain(net, x, 1)
+	// Attribution of the hot patch must beat every other patch.
+	hot := attr.Data()[idx]
+	for y := 0; y < 16; y++ {
+		for xx := 0; xx < 16; xx++ {
+			if y/4 == 1 && xx/4 == 1 {
+				continue
+			}
+			if attr.At3(0, y, xx) >= hot {
+				t.Fatalf("patch at (%d,%d) attribution %v >= hot patch %v",
+					y, xx, attr.At3(0, y, xx), hot)
+			}
+		}
+	}
+}
+
+func TestStandardExplainerNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Standard() {
+		if seen[e.Name()] {
+			t.Fatalf("duplicate explainer name %q", e.Name())
+		}
+		seen[e.Name()] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("expected 6 standard explainers, got %d", len(seen))
+	}
+}
+
+func TestSmoothGradMoreStableThanBase(t *testing.T) {
+	// SmoothGrad's reason to exist: higher attribution stability than its
+	// base explainer on a nonlinear model.
+	src := prng.New(40)
+	net := nn.NewNetwork("sg",
+		nn.NewFlatten(), nn.NewDense(256, 12, src), nn.NewReLU(), nn.NewDense(12, 3, src))
+	x := testImage(41)
+	base := Stability(net, GradientInput{}, x, 0, 0.08, 4, 42)
+	smooth := Stability(net, SmoothGrad{Samples: 16, Sigma: 0.08, Seed: 43}, x, 0, 0.08, 4, 42)
+	if smooth < base-0.02 {
+		t.Fatalf("smoothgrad stability %v below base %v", smooth, base)
+	}
+}
+
+func TestSmoothGradDefaults(t *testing.T) {
+	net := linear16([]int{5})
+	x := testImage(44)
+	// Zero-valued fields must fall back to defaults and produce output.
+	attr := SmoothGrad{}.Explain(net, x, 1)
+	if attr.Len() != x.Len() {
+		t.Fatal("smoothgrad output shape wrong")
+	}
+	// Deterministic under the same seed.
+	attr2 := SmoothGrad{}.Explain(net, x, 1)
+	if !tensor.Equal(attr, attr2) {
+		t.Fatal("smoothgrad not deterministic")
+	}
+}
+
+func TestSmoothGradLinearMatchesBase(t *testing.T) {
+	// For a linear model the gradient is constant, so smoothing changes
+	// only the input factor; the hot pixels must still dominate.
+	hot := []int{100}
+	net := linear16(hot)
+	x := tensor.New(1, 16, 16)
+	x.Data()[100] = 1
+	attr := SmoothGrad{Samples: 8, Seed: 9}.Explain(net, x, 1)
+	if attr.Argmax() != 100 {
+		t.Fatalf("smoothgrad max at %d, want 100", attr.Argmax())
+	}
+}

@@ -1,0 +1,138 @@
+// Package safexplain is the public API of the SAFEXPLAIN reproduction: a
+// framework for building safe and explainable DL components for critical
+// autonomous AI-based systems (CAIS), after Abella et al., "SAFEXPLAIN:
+// Safe and Explainable Critical Embedded Systems Based on AI", DATE 2023.
+//
+// The framework packages the paper's four pillars behind one lifecycle
+// call:
+//
+//	sys, err := safexplain.Build(safexplain.Config{
+//	    CaseStudy: safexplain.Railway(),
+//	    Pattern:   safexplain.PatternSimplex,
+//	    Seed:      42,
+//	})
+//
+// Build trains a deterministic classifier, derives the FUSA-grade int8
+// engine, fits a prediction-trust monitor, validates explainability,
+// bounds timing with MBPTA on a simulated embedded platform, assembles the
+// requested safety pattern, and records every step as hash-chained
+// certification evidence. The returned System then answers:
+//
+//	v := sys.Process(x)      // pattern-protected, monitored decision
+//	m := sys.Explain(x)      // attribution map for the prediction
+//	r := sys.Readiness()     // certification-readiness snapshot
+//
+// The implementation packages live under internal/; this package re-exports
+// the stable surface. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the evaluation suite.
+package safexplain
+
+import (
+	"safexplain/internal/core"
+	"safexplain/internal/data"
+	"safexplain/internal/supervisor"
+	"safexplain/internal/tensor"
+	"safexplain/internal/trace"
+	"safexplain/internal/verif"
+	"safexplain/internal/xai"
+)
+
+// Config parameterizes a lifecycle build; see core.Config for field
+// documentation.
+type Config = core.Config
+
+// System is a deployed CAIS component.
+type System = core.System
+
+// Verdict is one runtime decision.
+type Verdict = core.Verdict
+
+// StageResult is one lifecycle verification outcome.
+type StageResult = core.StageResult
+
+// PatternKind selects the safety pattern assembled at deployment.
+type PatternKind = core.PatternKind
+
+// Pattern kinds accepted by Config.Pattern.
+const (
+	PatternSingle     = core.PatternSingle
+	PatternSupervised = core.PatternSupervised
+	PatternSimplex    = core.PatternSimplex
+)
+
+// ErrStageFailed is returned by Build when a verification stage misses its
+// acceptance threshold.
+var ErrStageFailed = core.ErrStageFailed
+
+// CaseStudy identifies a synthetic case-study generator.
+type CaseStudy = data.CaseStudy
+
+// Dataset is a labelled synthetic dataset.
+type Dataset = data.Set
+
+// Tensor is the dense float32 tensor type used for inputs and attribution
+// maps.
+type Tensor = tensor.Tensor
+
+// Readiness is the certification-readiness snapshot.
+type Readiness = trace.Readiness
+
+// Explainer produces attribution maps; see Explainers for the standard
+// set.
+type Explainer = xai.Explainer
+
+// Supervisor scores prediction trustworthiness; see Supervisors for the
+// standard set.
+type Supervisor = supervisor.Supervisor
+
+// Build runs the full safety lifecycle and returns the deployed System.
+func Build(cfg Config) (*System, error) { return core.Build(cfg) }
+
+// Automotive returns the driving-perception case study (classify vehicle /
+// pedestrian / cyclist / background patches).
+func Automotive() CaseStudy { return CaseStudy{Name: "automotive", Generate: data.Automotive} }
+
+// Space returns the vision-based navigation case study (classify attitude
+// quadrant from star-field/horizon frames).
+func Space() CaseStudy { return CaseStudy{Name: "space", Generate: data.Space} }
+
+// Railway returns the railway case study (clear track / obstacle / stop
+// signal).
+func Railway() CaseStudy { return CaseStudy{Name: "railway", Generate: data.Railway} }
+
+// CaseStudies returns all three case studies in a stable order.
+func CaseStudies() []CaseStudy { return data.CaseStudies() }
+
+// NewImage returns a zeroed input tensor of the case-study image shape
+// ([1, 16, 16]), for callers constructing their own inputs.
+func NewImage() *Tensor { return tensor.New(1, data.Side, data.Side) }
+
+// Explainers returns the standard explainer set (saliency, grad×input,
+// integrated gradients, SmoothGrad, occlusion, LIME).
+func Explainers() []Explainer { return xai.Standard() }
+
+// Supervisors returns the standard supervisor set (max-softmax, entropy,
+// margin, ODIN, Mahalanobis, autoencoder).
+func Supervisors() []Supervisor { return supervisor.Standard() }
+
+// StandardPortfolio returns the recommended cross-family trust monitor:
+// calibrated softmax confidence (error/adversarial detection) combined
+// with Mahalanobis features (distribution-shift detection). See
+// EXPERIMENTS.md T1/T10/F3 for why a single score is not enough.
+func StandardPortfolio() Supervisor { return supervisor.StandardPortfolio() }
+
+// DriftDetector is the CUSUM monitor for slow operational degradation;
+// build one calibrated to a deployed system with System.NewDriftDetector.
+type DriftDetector = supervisor.DriftDetector
+
+// OperationReport summarizes a System.Operate run.
+type OperationReport = core.OperationReport
+
+// CertifiedRadius returns the largest L∞ radius (up to maxEps) at which
+// the system's model provably keeps its prediction on x — formal
+// robustness evidence via interval bound propagation. Returns 0 when
+// nothing certifies.
+func CertifiedRadius(sys *System, x *Tensor, maxEps float32) (float32, error) {
+	class, _ := sys.Net.Predict(x)
+	return verif.CertifiedRadius(sys.Net, x, class, maxEps, 1e-3)
+}

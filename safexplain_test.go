@@ -1,0 +1,111 @@
+package safexplain_test
+
+import (
+	"testing"
+
+	"safexplain"
+)
+
+// Facade tests: the public API must be sufficient for the quickstart
+// workflow without touching internal packages directly.
+
+func TestCaseStudiesExposed(t *testing.T) {
+	cs := safexplain.CaseStudies()
+	if len(cs) != 3 {
+		t.Fatalf("case studies: %d", len(cs))
+	}
+	names := map[string]bool{}
+	for _, c := range cs {
+		names[c.Name] = true
+		if c.Generate == nil {
+			t.Fatalf("case study %q has no generator", c.Name)
+		}
+	}
+	for _, want := range []string{"automotive", "space", "railway"} {
+		if !names[want] {
+			t.Fatalf("missing case study %q", want)
+		}
+	}
+	if safexplain.Automotive().Name != "automotive" ||
+		safexplain.Space().Name != "space" ||
+		safexplain.Railway().Name != "railway" {
+		t.Fatal("named accessors wrong")
+	}
+}
+
+func TestNewImageShape(t *testing.T) {
+	x := safexplain.NewImage()
+	if x.Rank() != 3 || x.Dim(0) != 1 || x.Dim(1) != 16 || x.Dim(2) != 16 {
+		t.Fatalf("NewImage shape %v", x.Shape())
+	}
+}
+
+func TestStandardSetsExposed(t *testing.T) {
+	if len(safexplain.Explainers()) != 6 {
+		t.Fatal("expected 6 standard explainers")
+	}
+	if len(safexplain.Supervisors()) != 6 {
+		t.Fatal("expected 6 standard supervisors")
+	}
+}
+
+func TestBuildThroughFacade(t *testing.T) {
+	sys, err := safexplain.Build(safexplain.Config{
+		CaseStudy:   safexplain.Space(),
+		Pattern:     safexplain.PatternSupervised,
+		Seed:        77,
+		Epochs:      6,
+		MinAccuracy: 0.5, MinAUROC: 0.5, MinStability: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := sys.TestSet().Sample(0)
+	v := sys.Process(x)
+	if !v.Decision.Fallback && (v.Class < 0 || v.Class >= len(sys.Classes)) {
+		t.Fatalf("verdict class %d out of range", v.Class)
+	}
+	if attr := sys.Explain(x); attr.Len() != x.Len() {
+		t.Fatal("attribution shape mismatch")
+	}
+	if r := sys.Readiness(); !r.ChainOK {
+		t.Fatal("evidence chain invalid")
+	}
+}
+
+func TestFacadeOperateAndCertify(t *testing.T) {
+	sys, err := safexplain.Build(safexplain.Config{
+		CaseStudy:   safexplain.Railway(),
+		Pattern:     safexplain.PatternSupervised,
+		Seed:        88,
+		Epochs:      6,
+		MinAccuracy: 0.5, MinAUROC: 0.5, MinStability: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drift, err := sys.NewDriftDetector(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.Operate(sys.TestSet(), drift)
+	if rep.Frames == 0 {
+		t.Fatal("no frames operated")
+	}
+	x, _ := sys.TestSet().Sample(0)
+	r, err := safexplain.CertifiedRadius(sys, x, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0 || r > 0.1 {
+		t.Fatalf("certified radius %v out of range", r)
+	}
+	// The portfolio supervisor is usable through the facade.
+	p := safexplain.StandardPortfolio()
+	if err := p.Fit(sys.Net, sys.TrainSet()); err != nil {
+		t.Fatal(err)
+	}
+	if s := p.Score(sys.Net, x); s < 0 || s > 1 {
+		t.Fatalf("portfolio score %v", s)
+	}
+}
