@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test bench experiments examples fuzz cover clean
+.PHONY: all build vet test race bench experiments examples fuzz cover clean
 
 all: build vet test
 
@@ -12,6 +12,10 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-detector lane over the unit-test packages (benchmarks excluded).
+race:
+	$(GO) test -race ./internal/...
 
 # Regenerate every table/figure in EXPERIMENTS.md as benchmark targets.
 bench:
@@ -30,6 +34,7 @@ examples:
 fuzz:
 	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/nn/
 	$(GO) test -fuzz=FuzzImport -fuzztime=30s ./internal/trace/
+	$(GO) test -fuzz=FuzzHealthTransitions -fuzztime=30s ./internal/fdir/
 
 cover:
 	$(GO) test -cover ./...

@@ -1,4 +1,4 @@
-// Benchmark harness: one benchmark per table (T1–T9) and figure (F1–F3)
+// Benchmark harness: one benchmark per table (T1–T12) and figure (F1–F3)
 // of EXPERIMENTS.md. Each benchmark regenerates its experiment — printing
 // the full table via -v logs — and times a regeneration pass, so
 //
@@ -119,4 +119,11 @@ func BenchmarkF3RiskCoverage(b *testing.B) {
 // the geometric plausibility check it enables.
 func BenchmarkT11Detection(b *testing.B) {
 	benchExperiment(b, "T11", "accuracy", "mean_err_px", "veto_rate")
+}
+
+// BenchmarkT12FDIR regenerates Table T12: the FDIR fault-injection
+// campaign over fault models × safety patterns.
+func BenchmarkT12FDIR(b *testing.B) {
+	benchExperiment(b, "T12", "mean_detection_latency", "mean_availability",
+		"seu-160/single/hazard", "seu-160/single/nofdir/hazard")
 }

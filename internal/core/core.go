@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"safexplain/internal/data"
+	"safexplain/internal/fdir"
 	"safexplain/internal/fmea"
 	"safexplain/internal/mbpta"
 	"safexplain/internal/nn"
@@ -128,6 +129,10 @@ type System struct {
 	Case     *trace.Goal
 	// FMEA is the checked failure-modes worksheet of the release gate.
 	FMEA *fmea.Worksheet
+	// FDIR is the armed runtime health manager: online fault detection,
+	// channel isolation and golden-image recovery around Pattern. Operate
+	// routes every frame through it.
+	FDIR *fdir.Runtime
 
 	// Stages holds the lifecycle verification outcomes in order.
 	Stages []StageResult
@@ -372,6 +377,27 @@ func Build(cfg Config) (*System, error) {
 		return nil, err
 	}
 
+	// Stage 9 — arm FDIR: capture the golden image of the deployed model,
+	// calibrate the online detectors against the frozen training data, and
+	// wrap the pattern in the runtime health manager. The thresholds are
+	// recorded so the arming itself is reproducible evidence.
+	golden, err := fdir.NewGolden(s.Net)
+	if err != nil {
+		return nil, fmt.Errorf("core: capture golden image: %w", err)
+	}
+	fallbackClass := conservativeClass(cfg.CaseStudy.Name)
+	s.FDIR = fdir.NewRuntime(fdir.RuntimeConfig{Name: cfg.Name}, s.Pattern, nil, s.Net)
+	s.FDIR.Golden = golden
+	s.FDIR.Fallback = safety.FuncChannel{ID: "verified-conservative",
+		F: func(*tensor.Tensor) int { return fallbackClass }}
+	s.FDIR.Out = fdir.CalibrateOutputGuard(fdir.NetProbe{Net: s.Net}, s.train, 4, 8, 0)
+	s.FDIR.In = fdir.CalibrateInputGuard(s.train, 1.0)
+	s.FDIR.Log = s.Log
+	s.Log.Append(trace.KindOperation, "fdir:"+cfg.Name,
+		fmt.Sprintf("FDIR armed: golden image sha256 %.12s…, |logit| bound %.3g, input mean in [%.3f, %.3f]",
+			golden.Hash(), s.FDIR.Out.MaxAbs, s.FDIR.In.MeanLo, s.FDIR.In.MeanHi),
+		modelID, "test:pattern")
+
 	s.Log.Append(trace.KindDeployment, "deploy:"+cfg.Name,
 		fmt.Sprintf("pattern=%s engine=%s pwcet=%.0f", s.Pattern.Name(), s.Engine.ID, s.PWCET),
 		modelID, "test:accuracy", "test:determinism", "test:trust", "test:explain",
@@ -485,22 +511,43 @@ type OperationReport struct {
 	Fallbacks  int
 	DriftAlarm bool
 	AlarmFrame int // frame index of the drift alarm (-1 if none)
+
+	// FDIR counters for this run (zero when the runtime is not armed).
+	Anomalies        int
+	Quarantines      int
+	Restores         int // verified golden-image reloads
+	ReturnsToService int // probation windows completed
 }
 
-// Operate runs the deployed system over a frame stream with both runtime
-// monitors engaged: the per-frame pattern decision (fallbacks become
-// incidents, as in Process) and the drift detector across frames. A drift
-// alarm is recorded once as a maintenance incident in the evidence log.
+// Operate runs the deployed system over a frame stream with all runtime
+// monitors engaged: the FDIR health manager around the per-frame pattern
+// decision (fallbacks become incidents, as in Process; detector anomalies
+// drive isolation and golden-image recovery, every transition appended to
+// the evidence log) and the drift detector across frames. A drift alarm
+// is recorded once as a maintenance incident in the evidence log.
 func (s *System) Operate(stream interface {
 	Len() int
 	Sample(i int) (*tensor.Tensor, int)
 }, drift *supervisor.DriftDetector) OperationReport {
 	rep := OperationReport{AlarmFrame: -1}
+	var before fdir.Stats
+	if s.FDIR != nil {
+		before = s.FDIR.Stats()
+	}
 	for i := 0; i < stream.Len(); i++ {
 		x, _ := stream.Sample(i)
-		v := s.Process(x)
 		rep.Frames++
-		if v.Decision.Fallback {
+		var fallback bool
+		if s.FDIR != nil {
+			st := s.FDIR.Step(i, x, fdir.Signals{})
+			fallback = st.Decision.Fallback
+			if fallback {
+				s.Log.Append(trace.KindIncident, "incident:fallback", st.Decision.Reason)
+			}
+		} else {
+			fallback = s.Process(x).Decision.Fallback
+		}
+		if fallback {
 			rep.Fallbacks++
 		} else {
 			rep.Delivered++
@@ -514,6 +561,13 @@ func (s *System) Operate(stream interface {
 						i, drift.Statistic()))
 			}
 		}
+	}
+	if s.FDIR != nil {
+		after := s.FDIR.Stats()
+		rep.Anomalies = after.Anomalies - before.Anomalies
+		rep.Quarantines = after.Quarantines - before.Quarantines
+		rep.Restores = after.Restores - before.Restores
+		rep.ReturnsToService = after.Returns - before.Returns
 	}
 	return rep
 }

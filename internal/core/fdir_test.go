@@ -1,0 +1,129 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"safexplain/internal/data"
+	"safexplain/internal/fdir"
+	"safexplain/internal/nn"
+	"safexplain/internal/trace"
+)
+
+// cheapBuild runs a fast lifecycle for FDIR-specific tests so the shared
+// fixture's runtime state is never perturbed.
+func cheapBuild(t *testing.T, seed uint64) *System {
+	t.Helper()
+	s, err := Build(Config{
+		CaseStudy: data.CaseStudy{Name: "railway", Generate: data.Railway},
+		Pattern:   PatternSingle,
+		Seed:      seed,
+		Epochs:    4,
+		// Low thresholds: these tests are about FDIR, not model quality.
+		MinAccuracy: 0.3, MinAUROC: 0.3, MinStability: 0.1, MinAgreement: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBuildArmsFDIR(t *testing.T) {
+	s := cheapBuild(t, 5000)
+	if s.FDIR == nil {
+		t.Fatal("Build did not arm the FDIR runtime")
+	}
+	if s.FDIR.Golden == nil || s.FDIR.Out == nil || s.FDIR.In == nil || s.FDIR.Fallback == nil {
+		t.Fatal("FDIR runtime incompletely armed")
+	}
+	if !s.FDIR.Golden.Verify(s.Net) {
+		t.Fatal("golden image does not match the deployed model")
+	}
+	armed := false
+	for _, e := range s.Log.ByKind(trace.KindOperation) {
+		if strings.HasPrefix(e.ID, "fdir:") && strings.Contains(e.Detail, "FDIR armed") {
+			armed = true
+		}
+	}
+	if !armed {
+		t.Fatal("FDIR arming not recorded in the evidence log")
+	}
+}
+
+// TestOperateRecoversFromSEU is the end-to-end acceptance path: weights
+// corrupted in the field, FDIR detects and quarantines, the golden image
+// repairs the model (content hash equals the pre-fault hash), and the
+// channel returns to service after its probation window — all recorded in
+// the evidence log.
+func TestOperateRecoversFromSEU(t *testing.T) {
+	s := cheapBuild(t, 5100)
+	preHash, err := nn.Hash(s.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fdir.InjectSEU(s.Net, 200, 5101); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := nn.Hash(s.Net); h == preHash {
+		t.Fatal("SEU injection did not corrupt the live image")
+	}
+
+	// Two operation passes: detection, repair and re-probation can span
+	// more frames than one pass of the test set holds.
+	rep := s.Operate(s.TestSet(), nil)
+	rep2 := s.Operate(s.TestSet(), nil)
+	if rep.Quarantines < 1 {
+		t.Fatalf("SEU never quarantined: %+v", rep)
+	}
+	if rep.Restores < 1 {
+		t.Fatalf("golden-image reload never ran: %+v", rep)
+	}
+	if rep.ReturnsToService+rep2.ReturnsToService < 1 {
+		t.Fatalf("channel never returned to service: %+v then %+v", rep, rep2)
+	}
+	if rep.Anomalies == 0 {
+		t.Fatalf("no anomalies recorded: %+v", rep)
+	}
+
+	postHash, err := nn.Hash(s.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if postHash != preHash {
+		t.Fatalf("restored hash %s != pre-fault hash %s", postHash[:12], preHash[:12])
+	}
+
+	// Evidence: the quarantine is an incident, the reload an operation
+	// record, and the chain still verifies.
+	quarantined, reloaded := false, false
+	for _, e := range s.Log.ByKind(trace.KindIncident) {
+		if strings.HasPrefix(e.ID, "fdir:") && strings.Contains(e.Detail, "-> quarantined") {
+			quarantined = true
+		}
+	}
+	for _, e := range s.Log.ByKind(trace.KindOperation) {
+		if strings.HasPrefix(e.ID, "fdir:") && strings.Contains(e.Detail, "golden-image reload") {
+			reloaded = true
+		}
+	}
+	if !quarantined || !reloaded {
+		t.Fatalf("FDIR evidence missing: quarantine=%v reload=%v", quarantined, reloaded)
+	}
+	if err := s.Log.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOperateCleanStreamStaysHealthy(t *testing.T) {
+	s := cheapBuild(t, 5200)
+	rep := s.Operate(s.TestSet(), nil)
+	if rep.Quarantines != 0 || rep.Restores != 0 {
+		t.Fatalf("clean stream triggered FDIR: %+v", rep)
+	}
+	if s.FDIR.State() != fdir.Healthy {
+		t.Fatalf("state %v after clean stream, want Healthy", s.FDIR.State())
+	}
+	if rep.Delivered == 0 {
+		t.Fatal("clean stream delivered nothing")
+	}
+}

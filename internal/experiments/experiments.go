@@ -3,7 +3,7 @@
 // twice produces identical tables, which is itself part of the repo's
 // reproducibility claim.
 //
-// The experiment IDs (T1…T9, F1…F3) are defined in DESIGN.md's experiment
+// The experiment IDs (T1…T12, F1…F3) are defined in DESIGN.md's experiment
 // index; each maps one claim of the paper's abstract to a measurement.
 package experiments
 
@@ -38,8 +38,9 @@ type Runner func() Result
 // f*.go files.
 var registry = map[string]Runner{}
 
-// IDs returns the registered experiment IDs in lexical order (T1…T9 then
-// F1…F3 given the naming scheme sorts that way within prefix).
+// IDs returns the registered experiment IDs in lexical order — with this
+// naming scheme that is F1…F3 first, then the T-series with T10…T12
+// sorting between T1 and T2.
 func IDs() []string {
 	ids := make([]string, 0, len(registry))
 	for id := range registry {

@@ -6,7 +6,7 @@ import (
 )
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"F1", "F2", "F3", "T1", "T10", "T11", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9"}
+	want := []string{"F1", "F2", "F3", "T1", "T10", "T11", "T12", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)
@@ -169,6 +169,37 @@ func TestT2Explainability(t *testing.T) {
 	// stable.
 	if r.Metrics["automotive/saliency/stability"] < 0.3 {
 		t.Fatalf("T2 shape: saliency stability %v", r.Metrics["automotive/saliency/stability"])
+	}
+}
+
+func TestT12FDIR(t *testing.T) {
+	r := requireResult(t, "T12", "seu-160")
+	// The headline claim: under the heavy SEU, FDIR must cut the residual
+	// hazard far below the no-FDIR baseline of the same pattern and fault.
+	bare := r.Metrics["seu-160/single/nofdir/hazard"]
+	managed := r.Metrics["seu-160/single/hazard"]
+	if bare < 0.1 {
+		t.Fatalf("T12 shape: heavy SEU baseline hazard %v too benign to measure FDIR against", bare)
+	}
+	if managed > bare/2 {
+		t.Fatalf("T12 shape: FDIR hazard %v not well below baseline %v", managed, bare)
+	}
+	// Same for the hung output register, which only isolation can contain.
+	if r.Metrics["flatline/single/hazard"] > r.Metrics["flatline/single/nofdir/hazard"]/2 {
+		t.Fatalf("T12 shape: flatline hazard %v not well below baseline %v",
+			r.Metrics["flatline/single/hazard"], r.Metrics["flatline/single/nofdir/hazard"])
+	}
+	// Detection must be prompt and availability high across the sweep.
+	if lat := r.Metrics["mean_detection_latency"]; lat <= 0 || lat > 15 {
+		t.Fatalf("T12 shape: mean detection latency %v frames", lat)
+	}
+	if r.Metrics["mean_availability"] < 0.6 {
+		t.Fatalf("T12 shape: mean availability %v", r.Metrics["mean_availability"])
+	}
+	// Determinism: regenerating the campaign gives the identical table.
+	r2 := requireResult(t, "T12", "seu-160")
+	if r.Table != r2.Table {
+		t.Fatal("T12 table not reproducible")
 	}
 }
 

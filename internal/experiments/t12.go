@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"safexplain/internal/data"
+	"safexplain/internal/fdir"
+	"safexplain/internal/nn"
+	"safexplain/internal/safety"
+	"safexplain/internal/tensor"
+)
+
+func init() { registry["T12"] = runT12 }
+
+// T12 — the FDIR campaign: a systematic fault-injection sweep over fault
+// models × safety patterns, measuring what the runtime health manager
+// (detect → isolate → golden-image recover → re-probe) adds on top of the
+// static patterns. Persistent faults (weight SEUs, a hung output
+// register) and transient windows (sensor complement, timing overruns,
+// dropped frames) are injected mid-stream; each cell reports detection
+// latency, recovery time, residual hazard rate and availability. The
+// no-FDIR baseline row shows the static pattern alone living with the
+// same fault.
+func runT12() Result {
+	const seed = 70_000
+	f := getFixture("railway")
+
+	cfg := fdir.CampaignConfig{
+		Stream:   f.test,
+		Frames:   240,
+		InjectAt: 40,
+		Seed:     seed,
+		Health: fdir.HealthConfig{
+			QuarantineAfter: 3, ClearAfter: 8, ReprobeAfter: 4, ProbationFrames: 15,
+		},
+		MaxRestores: 4,
+		NewNet:      func() (*nn.Network, error) { return f.net.Clone("t12-live") },
+		NewFallback: func() safety.Channel {
+			return safety.FuncChannel{ID: "conservative",
+				F: func(*tensor.Tensor) int { return data.RailObstacle }}
+		},
+		NewOutputGuard: func() *fdir.OutputGuard {
+			return fdir.CalibrateOutputGuard(fdir.NetProbe{Net: f.net}, f.train, 4, 6, 0)
+		},
+		NewInputGuard: func() *fdir.InputGuard { return fdir.CalibrateInputGuard(f.train, 0.75) },
+	}
+
+	conservative := safety.FuncChannel{ID: "conservative",
+		F: func(*tensor.Tensor) int { return data.RailObstacle }}
+	patterns := []fdir.PatternSpec{
+		{Name: "single", Build: func(_ *nn.Network, p fdir.Probe) safety.Pattern {
+			return safety.SingleChannel{C: fdir.ChannelOverProbe("primary", p)}
+		}},
+		{Name: "supervised", Build: func(live *nn.Network, p fdir.Probe) safety.Pattern {
+			return safety.SupervisedChannel{C: fdir.ChannelOverProbe("primary", p), Net: live, Mon: f.mon}
+		}},
+		{Name: "simplex", Build: func(live *nn.Network, p fdir.Probe) safety.Pattern {
+			return safety.Simplex{Primary: fdir.ChannelOverProbe("primary", p),
+				Net: live, Mon: f.mon, Fallback: conservative}
+		}},
+		{Name: "single", NoFDIR: true, Build: func(_ *nn.Network, p fdir.Probe) safety.Pattern {
+			return safety.SingleChannel{C: fdir.ChannelOverProbe("primary", p)}
+		}},
+	}
+
+	faults := []fdir.FaultSpec{
+		{Name: "seu-40", Kind: fdir.FaultSEU, Intensity: 40},
+		{Name: "seu-160", Kind: fdir.FaultSEU, Intensity: 160},
+		{Name: "flatline", Kind: fdir.FaultFlatline},
+		{Name: "sensor-60", Kind: fdir.FaultSensor, Intensity: 60, Duration: 25},
+		{Name: "sensor-200", Kind: fdir.FaultSensor, Intensity: 200, Duration: 25},
+		{Name: "timing-25", Kind: fdir.FaultTiming, Duration: 25},
+		{Name: "drop-12", Kind: fdir.FaultDrop, Duration: 12},
+	}
+
+	cells, err := fdir.RunCampaign(cfg, patterns, faults)
+	if err != nil {
+		panic(err)
+	}
+
+	fmtFrames := func(n int) string {
+		if n < 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d", n)
+	}
+	header := []string{"fault", "pattern", "fdir", "detect(fr)", "recover(fr)",
+		"resid.hazard", "avail", "restores"}
+	var rows [][]string
+	metrics := map[string]float64{}
+	var detSum, detN, availSum float64
+	for _, c := range cells {
+		mode := "on"
+		if !c.FDIR {
+			mode = "off"
+		}
+		rows = append(rows, []string{
+			c.Fault.Name, c.Pattern, mode,
+			fmtFrames(c.DetectionLatency()), fmtFrames(c.RecoveryTime()),
+			fmt.Sprintf("%.3f", c.ResidualHazardRate()),
+			fmt.Sprintf("%.3f", c.Availability()),
+			fmt.Sprintf("%d", c.Restores),
+		})
+		key := c.Fault.Name + "/" + c.Pattern
+		if !c.FDIR {
+			key += "/nofdir"
+		}
+		metrics[key+"/hazard"] = c.ResidualHazardRate()
+		metrics[key+"/avail"] = c.Availability()
+		if c.FDIR && c.DetectionLatency() >= 0 {
+			detSum += float64(c.DetectionLatency())
+			detN++
+		}
+		if c.FDIR {
+			availSum += c.Availability()
+		}
+	}
+	if detN > 0 {
+		metrics["mean_detection_latency"] = detSum / detN
+	}
+	metrics["mean_availability"] = availSum / float64(len(faults)*3)
+
+	return Result{
+		ID:      "T12",
+		Title:   "FDIR campaign: fault models x safety patterns (railway, inject@40/240 frames)",
+		Table:   table(header, rows),
+		Metrics: metrics,
+	}
+}

@@ -10,7 +10,6 @@ import (
 
 func init() {
 	registry["T6"] = runT6
-	registry["T7"] = runT7
 	registry["F1"] = runF1
 }
 
@@ -61,81 +60,6 @@ func runT6() Result {
 	return Result{
 		ID:      "T6",
 		Title:   "Execution-time determinism per platform configuration (conv workload)",
-		Table:   table(header, rows),
-		Metrics: metrics,
-	}
-}
-
-// T7 — pillar P4, MBPTA: i.i.d. diagnostics, Gumbel fit quality, and pWCET
-// bounds on each configuration, plus the block-size ablation on the
-// time-randomized configuration.
-func runT7() Result {
-	samples := timingSamples()
-	header := []string{"config", "iid pass", "runs-p", "LB-p", "KS-p", "fit KS-dist",
-		"maxObs", "pWCET 1e-6", "pWCET 1e-12", "static bound"}
-	var rows [][]string
-	metrics := map[string]float64{}
-	w := platform.NewConvWorkload()
-	for _, cfg := range platform.StandardConfigs() {
-		s := samples[cfg.Name]
-		static := platform.StaticBound(cfg, w)
-		a, err := mbpta.Fit(s, 20)
-		if err != nil {
-			rows = append(rows, []string{cfg.Name, "fit-error: " + err.Error(),
-				"", "", "", "", "", "", "", fmt.Sprintf("%d", static)})
-			continue
-		}
-		dist, _ := a.GoodnessOfFit()
-		rows = append(rows, []string{
-			cfg.Name,
-			fmt.Sprintf("%v", a.IID.Pass(0.01)),
-			fmt.Sprintf("%.3f", a.IID.RunsP),
-			fmt.Sprintf("%.3f", a.IID.LjungBoxP),
-			fmt.Sprintf("%.3f", a.IID.KSHalvesP),
-			fmt.Sprintf("%.3f", dist),
-			fmt.Sprintf("%.0f", a.MaxObs),
-			fmt.Sprintf("%.0f", a.PWCET(1e-6)),
-			fmt.Sprintf("%.0f", a.PWCET(1e-12)),
-			fmt.Sprintf("%d (%.1fx)", static, float64(static)/a.PWCET(1e-12)),
-		})
-		metrics[cfg.Name+"/pwcet1e12"] = a.PWCET(1e-12)
-		metrics[cfg.Name+"/static_pessimism"] = float64(static) / a.PWCET(1e-12)
-	}
-
-	// Block-size ablation on the MBPTA-suitable configuration.
-	rows = append(rows, []string{"—", "", "", "", "", "", "", "", "", ""})
-	s := samples["time-randomized"]
-	for _, b := range []int{10, 20, 50} {
-		a, err := mbpta.Fit(s, b)
-		if err != nil {
-			rows = append(rows, []string{fmt.Sprintf("randomized b=%d", b),
-				"fit-error", "", "", "", "", "", "", "", ""})
-			continue
-		}
-		dist, _ := a.GoodnessOfFit()
-		rows = append(rows, []string{
-			fmt.Sprintf("randomized b=%d", b), "", "", "", "",
-			fmt.Sprintf("%.3f", dist),
-			fmt.Sprintf("%.0f", a.MaxObs),
-			fmt.Sprintf("%.0f", a.PWCET(1e-6)),
-			fmt.Sprintf("%.0f", a.PWCET(1e-12)), "",
-		})
-		metrics[fmt.Sprintf("blocksize%d/pwcet1e12", b)] = a.PWCET(1e-12)
-	}
-	// Estimator ablation: the peaks-over-threshold route must land in the
-	// same ballpark as block maxima.
-	if pot, err := mbpta.FitPOT(s, 0.9); err == nil {
-		rows = append(rows, []string{
-			"randomized POT q=0.9", "", "", "", "", "",
-			fmt.Sprintf("%.0f", pot.MaxObs),
-			fmt.Sprintf("%.0f", pot.PWCET(1e-6)),
-			fmt.Sprintf("%.0f", pot.PWCET(1e-12)), "",
-		})
-		metrics["pot/pwcet1e12"] = pot.PWCET(1e-12)
-	}
-	return Result{
-		ID:      "T7",
-		Title:   "MBPTA: i.i.d. gate, Gumbel fit, pWCET bounds, block-size ablation",
 		Table:   table(header, rows),
 		Metrics: metrics,
 	}

@@ -1,0 +1,395 @@
+package fdir
+
+import (
+	"errors"
+	"fmt"
+
+	"safexplain/internal/nn"
+	"safexplain/internal/prng"
+	"safexplain/internal/rt"
+	"safexplain/internal/safety"
+	"safexplain/internal/tensor"
+	"safexplain/internal/trace"
+)
+
+// Campaign engine: systematic fault-injection sweeps over
+// fault models × safety patterns × intensities, measuring per cell the
+// detection latency, recovery time, residual hazard rate and
+// availability of the FDIR-supervised system — the evidence behind
+// experiment T12.
+
+// FaultKind selects the campaign fault model.
+type FaultKind string
+
+// Fault models. SEU and flatline are persistent (until repaired or
+// isolated); sensor, timing and drop are transient windows of Duration
+// frames.
+const (
+	// FaultSEU flips Intensity random bits in the live weights at the
+	// injection frame (single-event upsets; golden reload repairs them).
+	FaultSEU FaultKind = "seu"
+	// FaultFlatline freezes the channel's output register at the
+	// injection frame (hung accelerator; unrepairable by reload, must be
+	// isolated).
+	FaultFlatline FaultKind = "flatline"
+	// FaultSensor complements Intensity random pixels of every input
+	// during the active window.
+	FaultSensor FaultKind = "sensor"
+	// FaultTiming overruns the inference budget on an rt executive
+	// during the active window; the overrun signal feeds FDIR.
+	FaultTiming FaultKind = "timing"
+	// FaultDrop withholds the input frame during the active window.
+	FaultDrop FaultKind = "drop"
+)
+
+// FaultSpec is one fault model × intensity point of the sweep.
+type FaultSpec struct {
+	// Name labels the campaign row (e.g. "seu-60").
+	Name string
+	Kind FaultKind
+	// Intensity is the bit-flip count (seu) or complemented pixel count
+	// per frame (sensor); unused otherwise.
+	Intensity int
+	// Duration is the active-window length in frames for the transient
+	// kinds (sensor, timing, drop); unused for seu and flatline.
+	Duration int
+}
+
+// PatternSpec is one safety-pattern point of the sweep.
+type PatternSpec struct {
+	Name string
+	// Build assembles the pattern over the cell's live image and probe.
+	// Channels that should see the injected output faults must classify
+	// via the probe (ChannelOverProbe).
+	Build func(live *nn.Network, probe Probe) safety.Pattern
+	// NoFDIR runs the pattern bare — the baseline row showing what the
+	// static pattern alone does with a persistent fault in the loop.
+	NoFDIR bool
+}
+
+// CampaignConfig fixes the sweep's stream, schedule and FDIR tuning.
+type CampaignConfig struct {
+	// Stream is the labelled frame source, cycled to Frames length.
+	Stream Dataset
+	// Frames is the run length per cell; InjectAt is the fault frame.
+	Frames   int
+	InjectAt int
+	// Seed derives every cell's private randomness.
+	Seed uint64
+	// Health tunes the state machine; MaxRestores bounds reloads.
+	Health      HealthConfig
+	MaxRestores int
+	// NewNet returns a fresh live image per cell (a clone of the
+	// deployed model).
+	NewNet func() (*nn.Network, error)
+	// NewFallback returns the degraded-mode channel per cell; nil
+	// withholds output while out of service.
+	NewFallback func() safety.Channel
+	// NewOutputGuard returns a fresh (stateful) output guard per cell;
+	// NewInputGuard likewise (either constructor may be nil).
+	NewOutputGuard func() *OutputGuard
+	NewInputGuard  func() *InputGuard
+	// Log, when non-nil, receives every cell's FDIR transitions.
+	Log *trace.Log
+}
+
+// CellResult is one (fault, pattern) campaign measurement.
+type CellResult struct {
+	Fault   FaultSpec
+	Pattern string
+	FDIR    bool
+
+	Frames   int
+	InjectAt int
+
+	// FirstAnomaly is the first frame at/after injection with a detector
+	// finding; QuarantinedAt the isolation frame; RecoveredAt the first
+	// Healthy frame after isolation. Each is -1 when it never happened.
+	FirstAnomaly  int
+	QuarantinedAt int
+	RecoveredAt   int
+	Restores      int
+
+	Delivered int // in-service, non-fallback outputs
+	Fallbacks int // safe-state / degraded-mode frames
+	Correct   int // delivered and right
+	Hazardous int // delivered and wrong — whole run
+	// HazardousPost counts delivered-and-wrong frames at/after the
+	// injection: the residual hazard the fault caused.
+	HazardousPost int
+	// IsolatedTrusted counts pattern outputs delivered while the channel
+	// was out of service — the invariant FDIR must hold at zero.
+	IsolatedTrusted int
+}
+
+// DetectionLatency is the isolation delay in frames (-1: never isolated).
+func (c CellResult) DetectionLatency() int {
+	if c.QuarantinedAt < 0 {
+		return -1
+	}
+	return c.QuarantinedAt - c.InjectAt
+}
+
+// RecoveryTime is frames from isolation to return-to-service (-1: never).
+func (c CellResult) RecoveryTime() int {
+	if c.QuarantinedAt < 0 || c.RecoveredAt < 0 {
+		return -1
+	}
+	return c.RecoveredAt - c.QuarantinedAt
+}
+
+// ResidualHazardRate is the post-injection hazardous fraction.
+func (c CellResult) ResidualHazardRate() float64 {
+	n := c.Frames - c.InjectAt
+	if n <= 0 {
+		return 0
+	}
+	return float64(c.HazardousPost) / float64(n)
+}
+
+// Availability is the trusted-output fraction of all frames.
+func (c CellResult) Availability() float64 {
+	if c.Frames == 0 {
+		return 0
+	}
+	return float64(c.Delivered) / float64(c.Frames)
+}
+
+// ChannelOverProbe adapts a Probe into a safety.Channel (argmax of the
+// probed outputs), so campaign patterns observe injected output faults.
+func ChannelOverProbe(id string, p Probe) safety.Channel {
+	return probeChannel{id: id, p: p}
+}
+
+type probeChannel struct {
+	id string
+	p  Probe
+}
+
+func (c probeChannel) Name() string { return c.id }
+
+func (c probeChannel) Classify(x *tensor.Tensor) int { return argmax(c.p.Logits(x)) }
+
+// switchProbe wraps the live probe with a freezable output register — the
+// flatline fault model.
+type switchProbe struct {
+	inner  Probe
+	frozen []float32
+}
+
+func (p *switchProbe) Logits(x *tensor.Tensor) []float32 {
+	if p.frozen != nil {
+		return p.frozen
+	}
+	return p.inner.Logits(x)
+}
+
+func (p *switchProbe) freeze(v []float32) { p.frozen = append([]float32(nil), v...) }
+
+// InjectSEU flips bits in live's weights in place (safety.CorruptWeights
+// semantics: flips uniform single-bit upsets at seeded positions) — the
+// in-the-field counterpart of the clean-room corruption helper.
+func InjectSEU(live *nn.Network, flips int, seed uint64) error {
+	corrupted, err := safety.CorruptWeights(live, flips, seed)
+	if err != nil {
+		return err
+	}
+	lp, cp := live.Params(), corrupted.Params()
+	for i := range lp {
+		copy(lp[i].Value.Data(), cp[i].Value.Data())
+	}
+	return nil
+}
+
+// complementPixels corrupts n random pixels of x (complement fault) into
+// a fresh clone.
+func complementPixels(x *tensor.Tensor, n int, r *prng.Source) *tensor.Tensor {
+	c := x.Clone()
+	d := c.Data()
+	for k := 0; k < n; k++ {
+		i := r.Intn(len(d))
+		d[i] = 1 - d[i]
+	}
+	return c
+}
+
+// ErrCampaignConfig is returned when a sweep is misconfigured.
+var ErrCampaignConfig = errors.New("fdir: invalid campaign config")
+
+// RunCampaign sweeps faults × patterns and returns one CellResult per
+// combination, in input order. Every cell is a pure function of
+// cfg.Seed and its fault's position, so the sweep is reproducible
+// byte-for-byte — and because the injection randomness derives from the
+// fault alone, every pattern row of one fault (including the no-FDIR
+// baseline) faces the identical corruption.
+func RunCampaign(cfg CampaignConfig, patterns []PatternSpec, faults []FaultSpec) ([]CellResult, error) {
+	if cfg.Stream == nil || cfg.Stream.Len() == 0 || cfg.Frames <= 0 || cfg.NewNet == nil {
+		return nil, ErrCampaignConfig
+	}
+	if cfg.InjectAt < 0 || cfg.InjectAt >= cfg.Frames {
+		return nil, fmt.Errorf("%w: InjectAt %d outside [0, %d)", ErrCampaignConfig, cfg.InjectAt, cfg.Frames)
+	}
+	var out []CellResult
+	for fi, f := range faults {
+		for _, p := range patterns {
+			res, err := runCell(cfg, p, f, cfg.Seed+uint64(fi)*104729)
+			if err != nil {
+				return nil, fmt.Errorf("fdir: cell %s/%s: %w", f.Name, p.Name, err)
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// runCell executes one (fault, pattern) run.
+func runCell(cfg CampaignConfig, p PatternSpec, f FaultSpec, faultSeed uint64) (CellResult, error) {
+	live, err := cfg.NewNet()
+	if err != nil {
+		return CellResult{}, err
+	}
+	probe := &switchProbe{inner: NetProbe{Net: live}}
+	pattern := p.Build(live, probe)
+
+	res := CellResult{
+		Fault: f, Pattern: p.Name, FDIR: !p.NoFDIR,
+		Frames: cfg.Frames, InjectAt: cfg.InjectAt,
+		FirstAnomaly: -1, QuarantinedAt: -1, RecoveredAt: -1,
+	}
+
+	var fr *Runtime
+	if !p.NoFDIR {
+		golden, err := NewGolden(live)
+		if err != nil {
+			return CellResult{}, err
+		}
+		fr = NewRuntime(RuntimeConfig{
+			Name:        f.Name + "/" + p.Name,
+			Health:      cfg.Health,
+			MaxRestores: cfg.MaxRestores,
+		}, pattern, probe, live)
+		fr.Golden = golden
+		if cfg.NewFallback != nil {
+			fr.Fallback = cfg.NewFallback()
+		}
+		if cfg.NewOutputGuard != nil {
+			fr.Out = cfg.NewOutputGuard()
+		}
+		if cfg.NewInputGuard != nil {
+			fr.In = cfg.NewInputGuard()
+		}
+		fr.Log = cfg.Log
+	}
+
+	// Timing faults are signalled by a real rt executive running the
+	// inference slot: nominal cost fits the budget, the fault window
+	// overruns it.
+	var exec *rt.Executive
+	if f.Kind == FaultTiming {
+		const budget = 1000
+		task := &rt.Task{
+			Name: "inference", Budget: budget, Criticality: rt.CritHigh,
+			Run: func(frame int) uint64 {
+				if frame >= cfg.InjectAt && frame < cfg.InjectAt+f.Duration {
+					return 2 * budget
+				}
+				return budget - budget/10
+			},
+		}
+		exec, err = rt.NewExecutive(rt.Config{FrameBudget: budget + budget/4}, task)
+		if err != nil {
+			return CellResult{}, err
+		}
+	}
+
+	r := prng.New(faultSeed)
+	for frame := 0; frame < cfg.Frames; frame++ {
+		x, label := cfg.Stream.Sample(frame % cfg.Stream.Len())
+		active := frame >= cfg.InjectAt &&
+			(f.Duration <= 0 || frame < cfg.InjectAt+f.Duration)
+
+		if frame == cfg.InjectAt {
+			switch f.Kind {
+			case FaultSEU:
+				if err := InjectSEU(live, f.Intensity, faultSeed+1); err != nil {
+					return CellResult{}, err
+				}
+			case FaultFlatline:
+				probe.freeze(probe.inner.Logits(x))
+			}
+		}
+
+		var sig Signals
+		dropped := false
+		switch f.Kind {
+		case FaultSensor:
+			if active {
+				x = complementPixels(x, f.Intensity, r)
+			}
+		case FaultTiming:
+			sig = SignalsFromFrame(exec.Step(frame), "inference")
+		case FaultDrop:
+			dropped = active
+		}
+
+		var st StepResult
+		if p.NoFDIR {
+			st = bareStep(pattern, x, dropped)
+		} else {
+			in := x
+			if dropped {
+				in = nil
+			}
+			st = fr.Step(frame, in, sig)
+		}
+
+		// Tally.
+		if len(st.Anomalies) > 0 && res.FirstAnomaly < 0 && frame >= cfg.InjectAt {
+			res.FirstAnomaly = frame
+		}
+		if st.To == Quarantined && st.From != Quarantined && res.QuarantinedAt < 0 {
+			res.QuarantinedAt = frame
+		}
+		if res.QuarantinedAt >= 0 && res.RecoveredAt < 0 && st.State == Healthy {
+			res.RecoveredAt = frame
+		}
+		if st.Decision.Fallback {
+			res.Fallbacks++
+		} else {
+			res.Delivered++
+			if !p.NoFDIR && !st.InService {
+				res.IsolatedTrusted++
+			}
+			if st.Class == label {
+				res.Correct++
+			} else {
+				res.Hazardous++
+				if frame >= cfg.InjectAt {
+					res.HazardousPost++
+				}
+			}
+		}
+	}
+	if fr != nil {
+		res.Restores = fr.Stats().Restores
+	}
+	return res, nil
+}
+
+// bareStep is the no-FDIR baseline: the pattern alone, with dropped
+// frames necessarily withheld.
+func bareStep(pattern safety.Pattern, x *tensor.Tensor, dropped bool) StepResult {
+	if dropped {
+		return StepResult{
+			Decision:  safety.Decision{Fallback: true, FallbackClass: -1, Reason: "frame dropped"},
+			Class:     -1,
+			InService: true,
+		}
+	}
+	d := pattern.Decide(x)
+	st := StepResult{Decision: d, Class: d.Class, InService: true}
+	if d.Fallback {
+		st.Class = d.FallbackClass
+	}
+	return st
+}

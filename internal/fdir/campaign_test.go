@@ -1,0 +1,224 @@
+package fdir
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"safexplain/internal/data"
+	"safexplain/internal/nn"
+	"safexplain/internal/prng"
+	"safexplain/internal/safety"
+	"safexplain/internal/tensor"
+)
+
+// Campaign fixture: a trained railway classifier plus its frozen training
+// stream, built once per test binary.
+var (
+	campOnce  sync.Once
+	campNet   *nn.Network
+	campTrain *data.Set
+	campTest  *data.Set
+)
+
+func campFx(t testing.TB) (*nn.Network, *data.Set, *data.Set) {
+	t.Helper()
+	campOnce.Do(func() {
+		set := data.Railway(data.Config{N: 240, Seed: 800, Noise: 0.05})
+		campTrain, campTest = set.Split(0.75, 801)
+		src := prng.New(802)
+		campNet = nn.NewNetwork("camp-cnn",
+			nn.NewConv2D(1, 6, 3, 1, 1, src), nn.NewReLU(), nn.NewMaxPool2D(2, 2),
+			nn.NewFlatten(), nn.NewDense(6*8*8, 24, src), nn.NewReLU(),
+			nn.NewDense(24, set.NumClasses(), src))
+		if _, _, err := nn.TrainClassifier(campNet, campTrain, nn.TrainConfig{
+			Epochs: 8, BatchSize: 16, LR: 0.05, Momentum: 0.9, Seed: 803,
+		}); err != nil {
+			panic(err)
+		}
+	})
+	return campNet, campTrain, campTest
+}
+
+// campConfig is the shared sweep configuration for the campaign tests.
+func campConfig(t testing.TB) CampaignConfig {
+	net, train, test := campFx(t)
+	return CampaignConfig{
+		Stream:   test,
+		Frames:   120,
+		InjectAt: 30,
+		Seed:     810,
+		Health: HealthConfig{
+			QuarantineAfter: 3, ClearAfter: 8, ReprobeAfter: 4, ProbationFrames: 12,
+		},
+		MaxRestores: 4,
+		NewNet:      func() (*nn.Network, error) { return net.Clone("camp-live") },
+		NewFallback: func() safety.Channel {
+			return safety.FuncChannel{ID: "conservative",
+				F: func(*tensor.Tensor) int { return data.RailObstacle }}
+		},
+		NewOutputGuard: func() *OutputGuard {
+			return CalibrateOutputGuard(NetProbe{Net: net}, train, 4, 6, 0)
+		},
+		NewInputGuard: func() *InputGuard { return CalibrateInputGuard(train, 0.75) },
+	}
+}
+
+func singleOverProbe() PatternSpec {
+	return PatternSpec{
+		Name: "single",
+		Build: func(_ *nn.Network, probe Probe) safety.Pattern {
+			return safety.SingleChannel{C: ChannelOverProbe("primary", probe)}
+		},
+	}
+}
+
+// TestCampaignSEUQuarantineInvariants is the acceptance check: a seeded
+// SEU campaign must isolate the faulted channel, never deliver a trusted
+// (pattern) output while quarantined, and return the channel to service
+// only after the full reprobe + probation window.
+func TestCampaignSEUQuarantineInvariants(t *testing.T) {
+	cfg := campConfig(t)
+	cells, err := RunCampaign(cfg,
+		[]PatternSpec{singleOverProbe()},
+		[]FaultSpec{{Name: "seu-80", Kind: FaultSEU, Intensity: 80}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cells[0]
+	if c.QuarantinedAt < cfg.InjectAt {
+		t.Fatalf("QuarantinedAt %d: SEU not isolated (inject at %d)", c.QuarantinedAt, cfg.InjectAt)
+	}
+	if lat := c.DetectionLatency(); lat < 0 || lat > 30 {
+		t.Fatalf("detection latency %d frames, want 0..30", lat)
+	}
+	if c.IsolatedTrusted != 0 {
+		t.Fatalf("%d pattern outputs delivered while out of service, want 0", c.IsolatedTrusted)
+	}
+	if c.Restores < 1 {
+		t.Fatal("golden-image reload never ran")
+	}
+	if c.RecoveredAt < 0 {
+		t.Fatal("channel never returned to service after repair")
+	}
+	minWindow := cfg.Health.ReprobeAfter + cfg.Health.ProbationFrames
+	if got := c.RecoveryTime(); got < minWindow {
+		t.Fatalf("returned to service after %d frames, want >= reprobe+probation = %d", got, minWindow)
+	}
+}
+
+// TestCampaignFlatlineStaysIsolated: a hung output register is not
+// repairable by reload, so the channel must stay out of service and the
+// isolation invariant must still hold.
+func TestCampaignFlatlineStaysIsolated(t *testing.T) {
+	cfg := campConfig(t)
+	cells, err := RunCampaign(cfg,
+		[]PatternSpec{singleOverProbe()},
+		[]FaultSpec{{Name: "flatline", Kind: FaultFlatline}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cells[0]
+	if c.QuarantinedAt < 0 {
+		t.Fatal("flatline never quarantined")
+	}
+	if c.RecoveredAt >= 0 {
+		t.Fatalf("flatline channel returned to service at frame %d; reload cannot repair a hung register", c.RecoveredAt)
+	}
+	if c.IsolatedTrusted != 0 {
+		t.Fatalf("%d pattern outputs delivered while out of service, want 0", c.IsolatedTrusted)
+	}
+	// Degraded mode still delivers fallback frames, so availability of
+	// *some* output is preserved even though trusted delivery stops.
+	if c.Fallbacks == 0 {
+		t.Fatal("no degraded-mode fallback frames recorded")
+	}
+}
+
+// TestCampaignTransientFaultsRecover: sensor, timing and drop windows end,
+// after which the channel must come back.
+func TestCampaignTransientFaultsRecover(t *testing.T) {
+	cfg := campConfig(t)
+	faults := []FaultSpec{
+		{Name: "sensor-200", Kind: FaultSensor, Intensity: 200, Duration: 20},
+		{Name: "timing-20", Kind: FaultTiming, Duration: 20},
+		{Name: "drop-10", Kind: FaultDrop, Duration: 10},
+	}
+	cells, err := RunCampaign(cfg, []PatternSpec{singleOverProbe()}, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.QuarantinedAt < 0 {
+			t.Errorf("%s: transient fault never quarantined", c.Fault.Name)
+			continue
+		}
+		if c.RecoveredAt < 0 {
+			t.Errorf("%s: channel never returned to service after the fault window", c.Fault.Name)
+		}
+		if c.IsolatedTrusted != 0 {
+			t.Errorf("%s: %d trusted outputs while out of service", c.Fault.Name, c.IsolatedTrusted)
+		}
+	}
+}
+
+// TestCampaignNoFDIRBaseline: the bare pattern never isolates or restores;
+// its rows exist purely as the comparison column.
+func TestCampaignNoFDIRBaseline(t *testing.T) {
+	cfg := campConfig(t)
+	bare := PatternSpec{
+		Name:   "single",
+		NoFDIR: true,
+		Build: func(_ *nn.Network, probe Probe) safety.Pattern {
+			return safety.SingleChannel{C: ChannelOverProbe("primary", probe)}
+		},
+	}
+	cells, err := RunCampaign(cfg, []PatternSpec{bare},
+		[]FaultSpec{{Name: "seu-80", Kind: FaultSEU, Intensity: 80}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cells[0]
+	if c.FDIR {
+		t.Fatal("NoFDIR cell marked as FDIR")
+	}
+	if c.QuarantinedAt != -1 || c.Restores != 0 {
+		t.Fatalf("bare pattern isolated/restored: %+v", c)
+	}
+}
+
+// TestCampaignDeterministic: the sweep is a pure function of its seed.
+func TestCampaignDeterministic(t *testing.T) {
+	run := func() []CellResult {
+		cfg := campConfig(t)
+		cells, err := RunCampaign(cfg,
+			[]PatternSpec{singleOverProbe()},
+			[]FaultSpec{
+				{Name: "seu-80", Kind: FaultSEU, Intensity: 80},
+				{Name: "sensor-200", Kind: FaultSensor, Intensity: 200, Duration: 20},
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cells
+	}
+	a, b := run(), run()
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+		t.Fatalf("campaign not reproducible:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestCampaignRejectsBadConfig(t *testing.T) {
+	_, _, test := campFx(t)
+	cases := []CampaignConfig{
+		{},
+		{Stream: test, Frames: 0, NewNet: func() (*nn.Network, error) { return campNet.Clone("x") }},
+		{Stream: test, Frames: 10, InjectAt: 10, NewNet: func() (*nn.Network, error) { return campNet.Clone("x") }},
+	}
+	for i, cfg := range cases {
+		if _, err := RunCampaign(cfg, []PatternSpec{singleOverProbe()},
+			[]FaultSpec{{Name: "seu", Kind: FaultSEU, Intensity: 1}}); err == nil {
+			t.Errorf("case %d: misconfigured campaign accepted", i)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package fdir
+
+import (
+	"fmt"
+	"math"
+
+	"safexplain/internal/nn"
+	"safexplain/internal/rt"
+	"safexplain/internal/tensor"
+)
+
+// Online fault detection. Each detector turns one observable of the
+// running channel into zero or more Anomaly records for the health state
+// machine. Detectors are calibrated against the frozen training data so
+// their thresholds are themselves reproducible evidence.
+
+// AnomalyKind classifies a detected anomaly.
+type AnomalyKind string
+
+// Anomaly kinds covering the T12 fault models.
+const (
+	AnomalyNaN      AnomalyKind = "nan-logit"         // NaN/Inf in the output vector
+	AnomalyRange    AnomalyKind = "logit-range"       // output magnitude outside calibrated bounds
+	AnomalyFlatline AnomalyKind = "output-flatline"   // bit-identical outputs over a window
+	AnomalyStuck    AnomalyKind = "stuck-class"       // same argmax class over a long window
+	AnomalyInput    AnomalyKind = "implausible-input" // sensor statistics outside calibrated bounds
+	AnomalyTiming   AnomalyKind = "timing-overrun"    // executive reported a budget overrun
+	AnomalyDropped  AnomalyKind = "dropped-frame"     // no input delivered this frame
+)
+
+// Anomaly is one detector finding on one frame.
+type Anomaly struct {
+	Kind   AnomalyKind
+	Detail string
+}
+
+// Dataset is the labelled-sample stream detectors calibrate against
+// (structurally data.Set / safety.Dataset).
+type Dataset interface {
+	Len() int
+	Sample(i int) (x *tensor.Tensor, label int)
+}
+
+// Probe exposes the monitored channel's raw output vector. Monitoring the
+// logits (rather than the argmax) is what makes flatline and range faults
+// observable.
+type Probe interface {
+	Logits(x *tensor.Tensor) []float32
+}
+
+// NetProbe probes an nn.Network. The returned slice is a copy, stable
+// across subsequent forwards.
+type NetProbe struct{ Net *nn.Network }
+
+// Logits implements Probe.
+func (p NetProbe) Logits(x *tensor.Tensor) []float32 {
+	out := p.Net.Logits(x)
+	cp := make([]float32, out.Len())
+	copy(cp, out.Data())
+	return cp
+}
+
+// OutputGuard checks the channel's output vector: NaN/Inf, magnitude
+// range, exact flatline (bit-identical vectors — a hung output register),
+// and stuck class (same argmax over a long run). It is stateful across
+// frames; Reset clears the history after a repair so the new image is not
+// blamed for the old one's outputs.
+type OutputGuard struct {
+	// MaxAbs is the calibrated magnitude bound; 0 disables the range
+	// check.
+	MaxAbs float32
+	// FlatlineWindow is the run length of bit-identical output vectors
+	// that raises an anomaly; 0 disables.
+	FlatlineWindow int
+	// StuckWindow is the run length of identical argmax classes that
+	// raises an anomaly; 0 disables. Must be large enough that benign
+	// class runs in the operational stream stay below it.
+	StuckWindow int
+
+	prev      []float32
+	flatRun   int
+	lastClass int
+	classRun  int
+}
+
+// CalibrateOutputGuard measures the channel's output magnitude over ds and
+// returns a guard whose MaxAbs is the observed maximum times margin.
+func CalibrateOutputGuard(p Probe, ds Dataset, margin float32, flatlineWindow, stuckWindow int) *OutputGuard {
+	var maxAbs float32
+	for i := 0; i < ds.Len(); i++ {
+		x, _ := ds.Sample(i)
+		for _, v := range p.Logits(x) {
+			if a := float32(math.Abs(float64(v))); a > maxAbs {
+				maxAbs = a
+			}
+		}
+	}
+	if margin <= 0 {
+		margin = 4
+	}
+	return &OutputGuard{
+		MaxAbs:         maxAbs * margin,
+		FlatlineWindow: flatlineWindow,
+		StuckWindow:    stuckWindow,
+		lastClass:      -1,
+	}
+}
+
+// Reset clears the flatline/stuck history (e.g. after a golden-image
+// reload).
+func (g *OutputGuard) Reset() {
+	g.prev = nil
+	g.flatRun = 0
+	g.lastClass = -1
+	g.classRun = 0
+}
+
+// Check examines one output vector and returns the anomalies found.
+func (g *OutputGuard) Check(logits []float32) []Anomaly {
+	var anoms []Anomaly
+	worst := float32(0)
+	sawNaN := false
+	for _, v := range logits {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			sawNaN = true
+		} else if a := float32(math.Abs(f)); a > worst {
+			worst = a
+		}
+	}
+	if sawNaN {
+		anoms = append(anoms, Anomaly{AnomalyNaN, "NaN/Inf in output vector"})
+	}
+	if g.MaxAbs > 0 && worst > g.MaxAbs {
+		anoms = append(anoms, Anomaly{AnomalyRange,
+			fmt.Sprintf("|logit| %.3g exceeds calibrated bound %.3g", worst, g.MaxAbs)})
+	}
+
+	// Flatline: bit-identical vector to the previous frame.
+	if g.prev != nil && len(g.prev) == len(logits) {
+		identical := true
+		for i := range logits {
+			if math.Float32bits(logits[i]) != math.Float32bits(g.prev[i]) {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			g.flatRun++
+		} else {
+			g.flatRun = 0
+		}
+	}
+	g.prev = append(g.prev[:0], logits...)
+	if g.FlatlineWindow > 0 && g.flatRun+1 >= g.FlatlineWindow {
+		anoms = append(anoms, Anomaly{AnomalyFlatline,
+			fmt.Sprintf("output vector bit-identical for %d frames", g.flatRun+1)})
+	}
+
+	// Stuck class: same argmax over a long run.
+	class := argmax(logits)
+	if class == g.lastClass {
+		g.classRun++
+	} else {
+		g.classRun = 1
+		g.lastClass = class
+	}
+	if g.StuckWindow > 0 && g.classRun >= g.StuckWindow {
+		anoms = append(anoms, Anomaly{AnomalyStuck,
+			fmt.Sprintf("class %d held for %d frames", class, g.classRun)})
+	}
+	return anoms
+}
+
+func argmax(xs []float32) int {
+	best, bestV := -1, float32(math.Inf(-1))
+	for i, v := range xs {
+		if v > bestV || best == -1 {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// InputGuard checks sensor plausibility: pixel statistics of the input
+// must sit inside bounds calibrated on the frozen training data.
+type InputGuard struct {
+	MeanLo, MeanHi float64
+	// MinStd is the minimum pixel standard deviation; a dead (constant)
+	// sensor falls below it. 0 disables.
+	MinStd float64
+}
+
+// CalibrateInputGuard measures per-sample mean and standard deviation over
+// ds and widens the observed ranges by margin (a fraction of the observed
+// spread; e.g. 0.5 widens by half the spread on each side).
+func CalibrateInputGuard(ds Dataset, margin float64) *InputGuard {
+	meanLo, meanHi := math.Inf(1), math.Inf(-1)
+	minStd := math.Inf(1)
+	for i := 0; i < ds.Len(); i++ {
+		x, _ := ds.Sample(i)
+		m, s := meanStd(x)
+		if m < meanLo {
+			meanLo = m
+		}
+		if m > meanHi {
+			meanHi = m
+		}
+		if s < minStd {
+			minStd = s
+		}
+	}
+	spread := meanHi - meanLo
+	if spread <= 0 {
+		spread = 0.1
+	}
+	return &InputGuard{
+		MeanLo: meanLo - margin*spread,
+		MeanHi: meanHi + margin*spread,
+		MinStd: minStd / 4,
+	}
+}
+
+// Check examines one input frame.
+func (g *InputGuard) Check(x *tensor.Tensor) []Anomaly {
+	m, s := meanStd(x)
+	if math.IsNaN(m) {
+		return []Anomaly{{AnomalyInput, "NaN in sensor frame"}}
+	}
+	var anoms []Anomaly
+	if m < g.MeanLo || m > g.MeanHi {
+		anoms = append(anoms, Anomaly{AnomalyInput,
+			fmt.Sprintf("frame mean %.3f outside calibrated [%.3f, %.3f]", m, g.MeanLo, g.MeanHi)})
+	}
+	if g.MinStd > 0 && s < g.MinStd {
+		anoms = append(anoms, Anomaly{AnomalyInput,
+			fmt.Sprintf("frame std %.4f below calibrated minimum %.4f (dead sensor)", s, g.MinStd)})
+	}
+	return anoms
+}
+
+func meanStd(x *tensor.Tensor) (mean, std float64) {
+	d := x.Data()
+	if len(d) == 0 {
+		return 0, 0
+	}
+	for _, v := range d {
+		mean += float64(v)
+	}
+	mean /= float64(len(d))
+	for _, v := range d {
+		dv := float64(v) - mean
+		std += dv * dv
+	}
+	return mean, math.Sqrt(std / float64(len(d)))
+}
+
+// Signals carries the per-frame external fault signals the executive and
+// I/O layer feed into FDIR alongside the model-output checks.
+type Signals struct {
+	// TimingOverrun reports that the inference task overran its budget
+	// this frame (from rt.FrameResult).
+	TimingOverrun bool
+	// Dropped reports that no input frame was delivered.
+	Dropped bool
+}
+
+// SignalsFromFrame derives the FDIR timing signal for one task from an
+// rt executive frame result: a budget miss by the named task, or a
+// watchdog fire on the whole frame, counts as a timing overrun.
+func SignalsFromFrame(res rt.FrameResult, task string) Signals {
+	s := Signals{TimingOverrun: res.Watchdog}
+	for _, m := range res.Misses {
+		if m == task {
+			s.TimingOverrun = true
+		}
+	}
+	return s
+}

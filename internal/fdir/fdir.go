@@ -1,0 +1,192 @@
+// Package fdir is the runtime health-management subsystem: Fault
+// Detection, Isolation and Recovery for the deployed DL channel, after
+// the space/automotive FDIR practice that turns a static safety pattern
+// into a fail-operational runtime.
+//
+// The safety patterns in internal/safety contain *per-frame* failures: a
+// voter outvotes a wrong answer, a monitor rejects an untrusted one. What
+// they cannot do is react to a *persistent* fault — a channel whose
+// weights took a single-event upset stays corrupted in the loop forever,
+// and availability collapses to whatever the pattern masks. FDIR closes
+// the loop in three stages, each evidenced in the hash-chained trace log:
+//
+//	detect    online anomaly checks: NaN/Inf and range guards on model
+//	          outputs, output-flatline and stuck-class detection, input
+//	          plausibility, timing-overrun and dropped-frame signals fed
+//	          from the internal/rt executive
+//	isolate   a per-channel health state machine
+//	          (Healthy → Suspect → Quarantined) with configurable
+//	          anomaly thresholds; a quarantined channel's output is
+//	          never delivered
+//	recover   golden-image reload — re-deserialize the SHA-256-verified
+//	          canonical model image to repair SEU-corrupted weights —
+//	          then a probation window (Quarantined → Probation → Healthy)
+//	          of shadow-monitored clean frames before return to service
+//
+// The campaign engine (campaign.go) sweeps fault models × safety
+// patterns × intensities and measures detection latency, recovery time,
+// residual hazard rate and availability — experiment T12.
+package fdir
+
+import "fmt"
+
+// State is a channel's health state.
+type State uint8
+
+// Health states. A channel is in service only while Healthy or Suspect;
+// Quarantined and Probation channels are shadow-monitored but their
+// outputs are withheld in favour of the degraded mode.
+const (
+	Healthy State = iota
+	Suspect
+	Quarantined
+	Probation
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Quarantined:
+		return "quarantined"
+	case Probation:
+		return "probation"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// HealthConfig tunes the state machine thresholds. Zero values take the
+// documented defaults.
+type HealthConfig struct {
+	// QuarantineAfter is the cumulative anomaly count while Suspect
+	// (including the anomaly that raised suspicion) that quarantines the
+	// channel (default 3).
+	QuarantineAfter int
+	// ClearAfter is the consecutive clean-frame count that clears a
+	// Suspect channel back to Healthy (default 10).
+	ClearAfter int
+	// ReprobeAfter is the consecutive clean-frame count (under shadow
+	// monitoring) that moves a Quarantined channel to Probation — the
+	// fault must have stopped manifesting before probation starts
+	// (default 5).
+	ReprobeAfter int
+	// ProbationFrames is the consecutive clean-frame count in Probation
+	// required for return to service (default 20). Any anomaly during
+	// probation re-quarantines.
+	ProbationFrames int
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.QuarantineAfter <= 0 {
+		c.QuarantineAfter = 3
+	}
+	if c.ClearAfter <= 0 {
+		c.ClearAfter = 10
+	}
+	if c.ReprobeAfter <= 0 {
+		c.ReprobeAfter = 5
+	}
+	if c.ProbationFrames <= 0 {
+		c.ProbationFrames = 20
+	}
+	return c
+}
+
+// Health is the per-channel state machine. The zero value is not ready;
+// use NewHealth.
+type Health struct {
+	cfg   HealthConfig
+	state State
+	// anomalies is the cumulative anomaly count in the current Suspect
+	// episode; clean is the consecutive clean-frame count in the current
+	// state.
+	anomalies int
+	clean     int
+}
+
+// NewHealth returns a Healthy state machine with the given thresholds.
+func NewHealth(cfg HealthConfig) *Health {
+	return &Health{cfg: cfg.withDefaults()}
+}
+
+// Config returns the effective (defaulted) thresholds.
+func (h *Health) Config() HealthConfig { return h.cfg }
+
+// State returns the current state.
+func (h *Health) State() State { return h.state }
+
+// InService reports whether the channel's output may be delivered.
+func (h *Health) InService() bool { return h.state == Healthy || h.state == Suspect }
+
+// Observe feeds one frame's verdict (anomalous or clean) into the machine
+// and returns the state before and after. All transitions are driven by
+// observations:
+//
+//	Healthy    --anomaly-->                    Suspect
+//	Suspect    --QuarantineAfter anomalies-->  Quarantined
+//	Suspect    --ClearAfter clean-->           Healthy
+//	Quarantined--ReprobeAfter clean-->         Probation
+//	Probation  --anomaly-->                    Quarantined
+//	Probation  --ProbationFrames clean-->      Healthy
+func (h *Health) Observe(anomalous bool) (from, to State) {
+	from = h.state
+	switch h.state {
+	case Healthy:
+		if anomalous {
+			h.state = Suspect
+			h.anomalies = 1
+			h.clean = 0
+		}
+	case Suspect:
+		if anomalous {
+			h.anomalies++
+			h.clean = 0
+			if h.anomalies >= h.cfg.QuarantineAfter {
+				h.state = Quarantined
+				h.clean = 0
+			}
+		} else {
+			h.clean++
+			if h.clean >= h.cfg.ClearAfter {
+				h.state = Healthy
+				h.anomalies = 0
+				h.clean = 0
+			}
+		}
+	case Quarantined:
+		if anomalous {
+			h.clean = 0
+		} else {
+			h.clean++
+			if h.clean >= h.cfg.ReprobeAfter {
+				h.state = Probation
+				h.clean = 0
+			}
+		}
+	case Probation:
+		if anomalous {
+			h.state = Quarantined
+			h.anomalies = 0
+			h.clean = 0
+		} else {
+			h.clean++
+			if h.clean >= h.cfg.ProbationFrames {
+				h.state = Healthy
+				h.anomalies = 0
+				h.clean = 0
+			}
+		}
+	}
+	return from, h.state
+}
+
+// Reset returns the machine to Healthy with cleared counters.
+func (h *Health) Reset() {
+	h.state = Healthy
+	h.anomalies = 0
+	h.clean = 0
+}

@@ -1,0 +1,69 @@
+package fdir
+
+import "testing"
+
+// FuzzHealthTransitions drives the health state machine with arbitrary
+// observation sequences and threshold configurations, checking the
+// structural invariants every step: states stay legal, Quarantined never
+// jumps straight back to Healthy, a channel only re-enters service after
+// its full probation window of clean frames, and anomalous observations
+// never improve the state.
+func FuzzHealthTransitions(f *testing.F) {
+	f.Add(uint8(3), uint8(10), uint8(5), uint8(20), []byte{1, 1, 1, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(1), []byte{1, 0, 1, 0, 1, 0})
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), []byte{0xff, 0x00, 0xaa})
+	f.Fuzz(func(t *testing.T, q, c, rp, pf uint8, obs []byte) {
+		cfg := HealthConfig{
+			QuarantineAfter: int(q % 9), ClearAfter: int(c % 9),
+			ReprobeAfter: int(rp % 9), ProbationFrames: int(pf % 9),
+		}
+		h := NewHealth(cfg)
+		eff := h.Config() // post-default thresholds
+		cleanRun := 0
+		for i, b := range obs {
+			anomalous := b&1 == 1
+			from, to := h.Observe(anomalous)
+			if to != h.State() {
+				t.Fatalf("step %d: Observe returned %v but State() is %v", i, to, h.State())
+			}
+			if to < Healthy || to > Probation {
+				t.Fatalf("step %d: illegal state %d", i, to)
+			}
+			if from == Quarantined && to == Healthy {
+				t.Fatalf("step %d: Quarantined jumped straight to Healthy", i)
+			}
+			if anomalous {
+				cleanRun = 0
+				if to == Healthy {
+					t.Fatalf("step %d: anomalous observation left the machine Healthy", i)
+				}
+				if from == Healthy && to != Suspect {
+					t.Fatalf("step %d: Healthy + anomaly went to %v, want Suspect", i, to)
+				}
+				if from == Probation && to != Quarantined {
+					t.Fatalf("step %d: Probation + anomaly went to %v, want Quarantined", i, to)
+				}
+			} else {
+				cleanRun++
+				if from != Quarantined && to == Quarantined {
+					t.Fatalf("step %d: clean observation caused quarantine", i)
+				}
+				if from == Probation && to == Healthy && cleanRun < eff.ProbationFrames {
+					t.Fatalf("step %d: returned to service after only %d clean frames, probation window is %d",
+						i, cleanRun, eff.ProbationFrames)
+				}
+				if from == Quarantined && to == Probation && cleanRun < eff.ReprobeAfter {
+					t.Fatalf("step %d: probation began after only %d clean frames, reprobe window is %d",
+						i, cleanRun, eff.ReprobeAfter)
+				}
+			}
+			if (to == Healthy || to == Suspect) != h.InService() {
+				t.Fatalf("step %d: InService()=%v inconsistent with state %v", i, h.InService(), to)
+			}
+		}
+		h.Reset()
+		if h.State() != Healthy || !h.InService() {
+			t.Fatal("Reset must return the machine to Healthy")
+		}
+	})
+}

@@ -1,0 +1,253 @@
+package fdir
+
+import (
+	"fmt"
+
+	"safexplain/internal/nn"
+	"safexplain/internal/safety"
+	"safexplain/internal/tensor"
+	"safexplain/internal/trace"
+)
+
+// Runtime wires detection, isolation and recovery around one deployed
+// safety pattern: every frame it probes the monitored model, feeds the
+// verdict into the health state machine, withholds the pattern's output
+// while the channel is out of service (delivering the degraded fallback
+// instead), and repairs the live image from the golden copy on
+// quarantine. Every transition is appended to the trace evidence log.
+
+// RuntimeConfig parameterizes a Runtime.
+type RuntimeConfig struct {
+	// Name identifies the monitored channel in evidence records.
+	Name string
+	// Health tunes the state machine (defaults per HealthConfig).
+	Health HealthConfig
+	// MaxRestores bounds golden-image reloads across the run; after the
+	// budget is spent a quarantined channel stays isolated (default 8).
+	MaxRestores int
+}
+
+func (c RuntimeConfig) withDefaults() RuntimeConfig {
+	if c.Name == "" {
+		c.Name = "primary"
+	}
+	if c.MaxRestores <= 0 {
+		c.MaxRestores = 8
+	}
+	return c
+}
+
+// Stats aggregates a Runtime's lifetime counters.
+type Stats struct {
+	Frames      int
+	Anomalies   int // total anomaly records
+	Quarantines int // quarantine entries
+	Restores    int // verified golden-image reloads
+	Returns     int // returns to service (Probation → Healthy)
+}
+
+// Runtime is the per-channel FDIR loop. Construct with NewRuntime.
+type Runtime struct {
+	cfg RuntimeConfig
+
+	// Pattern is the deployed decision architecture, consulted while the
+	// channel is in service.
+	Pattern safety.Pattern
+	// Probe observes the monitored model's raw outputs (shadow-executed
+	// even while out of service, so recovery can be judged).
+	Probe Probe
+	// Net is the live model image the golden copy restores; nil disables
+	// recovery (isolation only).
+	Net *nn.Network
+	// Golden is the verified spare image; nil disables recovery.
+	Golden *Golden
+	// Fallback produces the degraded-mode output while the channel is
+	// out of service; nil withholds output entirely (class -1).
+	Fallback safety.Channel
+	// Out and In are the output/input detectors; either may be nil.
+	Out *OutputGuard
+	In  *InputGuard
+	// Log, when non-nil, receives every FDIR transition as evidence.
+	Log *trace.Log
+
+	health   *Health
+	restores int
+	stats    Stats
+}
+
+// NewRuntime assembles an FDIR runtime over a deployed pattern. probe may
+// be nil when net is given (a NetProbe over net is installed).
+func NewRuntime(cfg RuntimeConfig, pattern safety.Pattern, probe Probe, net *nn.Network) *Runtime {
+	cfg = cfg.withDefaults()
+	if probe == nil && net != nil {
+		probe = NetProbe{Net: net}
+	}
+	return &Runtime{
+		cfg:     cfg,
+		Pattern: pattern,
+		Probe:   probe,
+		Net:     net,
+		health:  NewHealth(cfg.Health),
+	}
+}
+
+// State returns the channel's current health state.
+func (r *Runtime) State() State { return r.health.State() }
+
+// InService reports whether the channel's output is being delivered.
+func (r *Runtime) InService() bool { return r.health.InService() }
+
+// Stats returns the lifetime counters.
+func (r *Runtime) Stats() Stats { return r.stats }
+
+// StepResult reports one FDIR-supervised frame.
+type StepResult struct {
+	Frame int
+	// Decision is the delivered decision: the pattern's while in
+	// service, a degraded-mode fallback otherwise.
+	Decision safety.Decision
+	// Class is the delivered class (fallback class in degraded mode; -1
+	// when output was withheld).
+	Class int
+	// State is the health state after this frame.
+	State State
+	// InService reports whether the pattern's output was delivered.
+	InService bool
+	// Anomalies lists this frame's detector findings.
+	Anomalies []Anomaly
+	// From/To record the health transition taken by this frame's
+	// observation (equal when no transition fired).
+	From, To State
+	// Restored reports that a verified golden-image reload ran this
+	// frame.
+	Restored bool
+}
+
+// Step runs one frame through the FDIR loop.
+func (r *Runtime) Step(frame int, x *tensor.Tensor, sig Signals) StepResult {
+	res := StepResult{Frame: frame}
+	var anoms []Anomaly
+
+	// Detect.
+	if sig.Dropped || x == nil {
+		x = nil
+		anoms = append(anoms, Anomaly{AnomalyDropped, "no input frame delivered"})
+	} else if r.In != nil {
+		anoms = append(anoms, r.In.Check(x)...)
+	}
+	if sig.TimingOverrun {
+		anoms = append(anoms, Anomaly{AnomalyTiming, "executive reported budget overrun"})
+	}
+	if x != nil && r.Probe != nil && r.Out != nil {
+		anoms = append(anoms, r.Out.Check(r.Probe.Logits(x))...)
+	}
+	res.Anomalies = anoms
+
+	// Isolate.
+	from, to := r.health.Observe(len(anoms) > 0)
+	res.From, res.To = from, to
+	if from != to {
+		r.logTransition(frame, from, to, anoms)
+	}
+	if to == Quarantined && from != Quarantined {
+		r.stats.Quarantines++
+		res.Restored = r.recover(frame)
+	}
+	if from == Probation && to == Healthy {
+		r.stats.Returns++
+	}
+	res.State = r.health.State()
+	res.InService = r.health.InService()
+
+	// Deliver.
+	switch {
+	case x == nil:
+		res.Decision = safety.Decision{Fallback: true, FallbackClass: -1,
+			Reason: "fdir: frame dropped, output withheld"}
+		res.Class = -1
+	case res.InService:
+		res.Decision = r.Pattern.Decide(x)
+		res.Class = res.Decision.Class
+		if res.Decision.Fallback {
+			res.Class = res.Decision.FallbackClass
+		}
+	default:
+		fc := -1
+		if r.Fallback != nil {
+			fc = r.Fallback.Classify(x)
+		}
+		res.Decision = safety.Decision{Fallback: true, FallbackClass: fc,
+			Reason: fmt.Sprintf("fdir: channel %s %s, degraded mode", r.cfg.Name, res.State)}
+		res.Class = fc
+	}
+
+	r.stats.Frames++
+	r.stats.Anomalies += len(anoms)
+	return res
+}
+
+// recover attempts the golden-image reload on quarantine entry. Returns
+// true when a verified reload ran. The health machine stays Quarantined
+// either way: probation begins only after the fault stops manifesting
+// under shadow monitoring (ReprobeAfter clean frames).
+func (r *Runtime) recover(frame int) bool {
+	if r.Golden == nil || r.Net == nil {
+		return false
+	}
+	if r.restores >= r.cfg.MaxRestores {
+		r.logEvent(trace.KindIncident, frame,
+			fmt.Sprintf("restore budget (%d) exhausted; channel stays isolated", r.cfg.MaxRestores))
+		return false
+	}
+	if err := r.Golden.Restore(r.Net); err != nil {
+		r.logEvent(trace.KindIncident, frame, "golden-image reload failed: "+err.Error())
+		return false
+	}
+	r.restores++
+	r.stats.Restores++
+	if r.Out != nil {
+		// The output history belongs to the faulty image; the repaired
+		// one must not inherit its flatline/stuck runs.
+		r.Out.Reset()
+	}
+	verified := r.Golden.Verify(r.Net)
+	r.logEvent(trace.KindOperation, frame,
+		fmt.Sprintf("golden-image reload #%d (sha256 %.12s…) hash-verified=%v",
+			r.restores, r.Golden.Hash(), verified))
+	return verified
+}
+
+func (r *Runtime) logTransition(frame int, from, to State, anoms []Anomaly) {
+	if r.Log == nil {
+		return
+	}
+	kind := trace.KindOperation
+	if to == Quarantined {
+		kind = trace.KindIncident
+	}
+	reason := ""
+	if len(anoms) > 0 {
+		reason = fmt.Sprintf(" (%s: %s)", anoms[0].Kind, anoms[0].Detail)
+	}
+	r.Log.Append(kind, "fdir:"+r.cfg.Name,
+		fmt.Sprintf("frame %d: %s -> %s%s", frame, from, to, reason))
+}
+
+func (r *Runtime) logEvent(kind trace.Kind, frame int, detail string) {
+	if r.Log == nil {
+		return
+	}
+	r.Log.Append(kind, "fdir:"+r.cfg.Name, fmt.Sprintf("frame %d: %s", frame, detail))
+}
+
+// Reset returns the runtime to a Healthy, history-free state (counters
+// and the restore budget are cleared too) for reuse across campaign
+// cells.
+func (r *Runtime) Reset() {
+	r.health.Reset()
+	r.restores = 0
+	r.stats = Stats{}
+	if r.Out != nil {
+		r.Out.Reset()
+	}
+}

@@ -2,6 +2,7 @@ package safety
 
 import (
 	"math"
+	"sync"
 
 	"safexplain/internal/nn"
 	"safexplain/internal/prng"
@@ -49,10 +50,16 @@ func CorruptWeights(net *nn.Network, nFlips int, seed uint64) (*nn.Network, erro
 
 // SensorFault corrupts a fraction of inputs: with probability prob, an
 // input has nPixels of its pixels complemented. It returns a deterministic
-// corruption function suitable for streaming evaluation.
+// corruption function suitable for streaming evaluation. The returned
+// function is safe for concurrent use: the shared random stream is guarded
+// by a mutex, so parallel callers never race on it (though the
+// input→corruption assignment then depends on call order).
 func SensorFault(prob float64, nPixels int, seed uint64) func(x *tensor.Tensor) *tensor.Tensor {
+	var mu sync.Mutex
 	r := prng.New(seed)
 	return func(x *tensor.Tensor) *tensor.Tensor {
+		mu.Lock()
+		defer mu.Unlock()
 		if r.Float64() >= prob {
 			return x
 		}

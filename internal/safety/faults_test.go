@@ -105,6 +105,105 @@ func TestCorruptWeightsDeterministic(t *testing.T) {
 	}
 }
 
+func TestCorruptWeightsByteIdentical(t *testing.T) {
+	// Stronger than hash equality: the canonical serialized images of two
+	// same-seed corruptions must match byte for byte.
+	net, _, _, _ := fx(t)
+	a, err := CorruptWeights(net, 15, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CorruptWeights(net, 15, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := nn.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := nn.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ba) != len(bb) {
+		t.Fatalf("image sizes differ: %d vs %d", len(ba), len(bb))
+	}
+	for i := range ba {
+		if ba[i] != bb[i] {
+			t.Fatalf("same-seed corruptions diverge at byte %d", i)
+		}
+	}
+	// A different seed must diverge.
+	c, err := CorruptWeights(net, 15, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, _ := nn.Marshal(c)
+	same := len(bc) == len(ba)
+	if same {
+		for i := range ba {
+			if ba[i] != bc[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical corruption")
+	}
+}
+
+func TestStuckChannelAfterZeroSticksImmediately(t *testing.T) {
+	// After == 0 means stuck from the very first call: calls is
+	// incremented before the comparison, so call 1 already exceeds 0.
+	healthy := FuncChannel{ID: "const", F: func(*tensor.Tensor) int { return 1 }}
+	s := &StuckChannel{C: healthy, After: 0, StuckAt: 2}
+	x := tensor.New(1, data.Side, data.Side)
+	for i := 0; i < 5; i++ {
+		if got := s.Classify(x); got != 2 {
+			t.Fatalf("call %d: class %d, want stuck class 2", i+1, got)
+		}
+	}
+	// After == 1 passes through exactly one healthy call first.
+	s2 := &StuckChannel{C: healthy, After: 1, StuckAt: 2}
+	if got := s2.Classify(x); got != 1 {
+		t.Fatalf("first call: class %d, want healthy 1", got)
+	}
+	if got := s2.Classify(x); got != 2 {
+		t.Fatalf("second call: class %d, want stuck 2", got)
+	}
+}
+
+func TestSensorFaultConcurrentUse(t *testing.T) {
+	// The corruption function shares one seeded stream across callers; it
+	// must be race-free under concurrent streaming evaluation (run with
+	// -race to enforce).
+	corrupt := SensorFault(0.5, 10, 9)
+	x := tensor.New(1, data.Side, data.Side)
+	var wg sync.WaitGroup
+	hits := make([]int, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if corrupt(x) != x {
+					hits[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, h := range hits {
+		total += h
+	}
+	rate := float64(total) / (8 * 200)
+	if math.Abs(rate-0.5) > 0.08 {
+		t.Fatalf("concurrent fault rate %v, want ~0.5", rate)
+	}
+}
+
 func TestSensorFaultRate(t *testing.T) {
 	corrupt := SensorFault(0.5, 10, 4)
 	x := tensor.New(1, data.Side, data.Side)

@@ -30,6 +30,7 @@ package safexplain
 import (
 	"safexplain/internal/core"
 	"safexplain/internal/data"
+	"safexplain/internal/fdir"
 	"safexplain/internal/supervisor"
 	"safexplain/internal/tensor"
 	"safexplain/internal/trace"
@@ -127,6 +128,24 @@ type DriftDetector = supervisor.DriftDetector
 
 // OperationReport summarizes a System.Operate run.
 type OperationReport = core.OperationReport
+
+// FDIRRuntime is the runtime health manager Build arms around the
+// deployed pattern: online fault detection, channel isolation through a
+// Healthy → Suspect → Quarantined → Probation state machine, and
+// golden-image recovery of SEU-corrupted weights. System.Operate routes
+// every frame through it; System.FDIR exposes it.
+type FDIRRuntime = fdir.Runtime
+
+// HealthState is a channel's FDIR health state.
+type HealthState = fdir.State
+
+// FDIR health states.
+const (
+	Healthy     = fdir.Healthy
+	Suspect     = fdir.Suspect
+	Quarantined = fdir.Quarantined
+	Probation   = fdir.Probation
+)
 
 // CertifiedRadius returns the largest L∞ radius (up to maxEps) at which
 // the system's model provably keeps its prediction on x — formal
