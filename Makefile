@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench experiments examples fuzz cover clean
+.PHONY: all build vet test race bench bench-json staticcheck experiments examples fuzz cover clean
 
 all: build vet test
 
@@ -20,6 +20,18 @@ race:
 # Regenerate every table/figure in EXPERIMENTS.md as benchmark targets.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One benchmark pass, archived as machine-readable JSON (CI artifact).
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_$(shell date +%Y-%m-%d).json
+
+# Static analysis beyond vet; skips with a hint when the tool is absent.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"; \
+	fi
 
 # Regenerate the evaluation tables directly.
 experiments:

@@ -127,3 +127,9 @@ func BenchmarkT12FDIR(b *testing.B) {
 	benchExperiment(b, "T12", "mean_detection_latency", "mean_availability",
 		"seu-160/single/hazard", "seu-160/single/nofdir/hazard")
 }
+
+// BenchmarkT13ProbeEffect regenerates Table T13: observability overhead
+// per operated frame and its effect on the pWCET bound.
+func BenchmarkT13ProbeEffect(b *testing.B) {
+	benchExperiment(b, "T13", "overhead_ratio", "allocs_delta_per_frame", "pwcet_delta_pct")
+}

@@ -1,0 +1,140 @@
+// Command benchjson runs the repository's benchmark suite once and writes
+// the results as a JSON document, so CI can archive machine-readable
+// performance baselines next to the human-readable EXPERIMENTS.md tables.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_2026-01-02.json] [-in results.txt]
+//
+// With -in it parses an existing `go test -bench` output file instead of
+// running the suite (useful for post-processing CI logs).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry is one parsed benchmark result line.
+type Entry struct {
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Metrics holds every value/unit pair the benchmark reported:
+	// ns/op, B/op, allocs/op, and any custom b.ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the JSON document benchjson emits.
+type Report struct {
+	Date      string  `json:"date"`
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	Entries   []Entry `json:"entries"`
+}
+
+// parseBench extracts benchmark result lines from `go test -bench` output.
+// A result line is "BenchmarkName[-P] <iterations> (<value> <unit>)...";
+// everything else (PASS, ok, logs) is ignored.
+func parseBench(r io.Reader) ([]Entry, error) {
+	var entries []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // "Benchmark..." appearing in prose, not a result line
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the GOMAXPROCS suffix
+			}
+		}
+		e := Entry{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", sc.Text(), fields[i])
+			}
+			e.Metrics[fields[i+1]] = v
+		}
+		entries = append(entries, e)
+	}
+	return entries, sc.Err()
+}
+
+func run(out io.Writer) error {
+	inPath := flag.String("in", "", "parse this bench-output file instead of running the suite")
+	outPath := flag.String("out", "", "write the JSON report here ('' = stdout)")
+	flag.Parse()
+
+	var raw io.Reader
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		raw = f
+	} else {
+		cmd := exec.Command("go", "test", "-bench=.", "-benchmem", "-benchtime=1x", "-run", "XXX", "./...")
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			return fmt.Errorf("bench run: %w", err)
+		}
+		raw = &buf
+	}
+
+	entries, err := parseBench(raw)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no benchmark results parsed")
+	}
+	rep := Report{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Entries:   entries,
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d benchmark entries to %s\n", len(entries), *outPath)
+		return nil
+	}
+	_, err = out.Write(blob)
+	return err
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

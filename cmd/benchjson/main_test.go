@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+pkg: safexplain
+BenchmarkT1Supervisors-8             1    2398261853 ns/op    0.9143 best_mean_auroc    633930576 B/op    7110612 allocs/op
+BenchmarkT13ProbeEffect-8            1    9514811892 ns/op    -0.01 allocs_delta_per_frame    1.33 pwcet_delta_pct
+BenchmarkNoMem                  100000         10.5 ns/op
+PASS
+ok      safexplain      42.1s
+Benchmarking is fun but this line is prose, not a result.
+`
+	entries, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("parsed %d entries, want 3: %+v", len(entries), entries)
+	}
+
+	e := entries[0]
+	if e.Name != "BenchmarkT1Supervisors" || e.Iterations != 1 {
+		t.Fatalf("entry 0: %+v", e)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op":           2398261853,
+		"best_mean_auroc": 0.9143,
+		"B/op":            633930576,
+		"allocs/op":       7110612,
+	} {
+		if got := e.Metrics[unit]; got != want {
+			t.Errorf("%s: got %v, want %v", unit, got, want)
+		}
+	}
+
+	if got := entries[1].Metrics["allocs_delta_per_frame"]; got != -0.01 {
+		t.Errorf("negative custom metric: got %v", got)
+	}
+	if e := entries[2]; e.Name != "BenchmarkNoMem" || e.Iterations != 100000 || e.Metrics["ns/op"] != 10.5 {
+		t.Errorf("suffix-less entry: %+v", e)
+	}
+}
+
+func TestParseBenchRejectsMalformed(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("BenchmarkX-8 1 notanumber ns/op\n")); err == nil {
+		t.Fatal("malformed value accepted")
+	}
+}

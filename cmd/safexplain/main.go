@@ -8,13 +8,19 @@
 //	explain    render an ASCII attribution heatmap for a test sample
 //	infer      stream test samples through the deployed pattern
 //	timing     run the platform timing campaigns and print pWCET bounds
+//	evidence   export / verify the sealed evidence archive
+//	obs        operate the system and export its observability state
+//	           (Prometheus text, JSON snapshot, or table + flight dump)
 //
-// Everything is deterministic given -seed; no files are read or written.
+// Everything is deterministic given -seed; no files are read or written
+// unless a subcommand is given an output path.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"safexplain"
@@ -24,35 +30,45 @@ import (
 	"safexplain/internal/trace"
 )
 
+// errUsage marks bad invocations (exit code 2, usage printed).
+var errUsage = errors.New("usage")
+
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
-	}
-	var err error
-	switch os.Args[1] {
-	case "lifecycle":
-		err = cmdLifecycle(os.Args[2:])
-	case "explain":
-		err = cmdExplain(os.Args[2:])
-	case "infer":
-		err = cmdInfer(os.Args[2:])
-	case "timing":
-		err = cmdTiming(os.Args[2:])
-	case "evidence":
-		err = cmdEvidence(os.Args[2:])
-	default:
-		usage()
-		os.Exit(2)
-	}
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errUsage) {
+			usage()
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "safexplain:", err)
 		os.Exit(1)
 	}
 }
 
+// run dispatches one subcommand, writing its report to out.
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return errUsage
+	}
+	switch args[0] {
+	case "lifecycle":
+		return cmdLifecycle(args[1:], out)
+	case "explain":
+		return cmdExplain(args[1:], out)
+	case "infer":
+		return cmdInfer(args[1:], out)
+	case "timing":
+		return cmdTiming(args[1:], out)
+	case "evidence":
+		return cmdEvidence(args[1:], out)
+	case "obs":
+		return cmdObs(args[1:], out)
+	default:
+		return fmt.Errorf("%w: unknown subcommand %q", errUsage, args[0])
+	}
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: safexplain <lifecycle|explain|infer|timing|evidence> [flags]
+	fmt.Fprintln(os.Stderr, `usage: safexplain <lifecycle|explain|infer|timing|evidence|obs> [flags]
 run "safexplain <subcommand> -h" for flags`)
 }
 
@@ -84,7 +100,7 @@ func build(caseName, pattern string, seed uint64) (*safexplain.System, error) {
 	})
 }
 
-func cmdLifecycle(args []string) error {
+func cmdLifecycle(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lifecycle", flag.ExitOnError)
 	caseName, pattern, seed := buildFlags(fs)
 	verbose := fs.Bool("v", false, "print the full evidence log")
@@ -95,31 +111,31 @@ func cmdLifecycle(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("lifecycle for %q complete\n\nverification stages:\n", sys.Name)
+	fmt.Fprintf(out, "lifecycle for %q complete\n\nverification stages:\n", sys.Name)
 	for _, st := range sys.Stages {
 		state := "PASS"
 		if !st.Passed {
 			state = "FAIL"
 		}
-		fmt.Printf("  [%s] %-14s %s\n", state, st.Stage, st.Detail)
+		fmt.Fprintf(out, "  [%s] %-14s %s\n", state, st.Stage, st.Detail)
 	}
 	r := sys.Readiness()
-	fmt.Printf("\nreadiness: score %.2f (chain ok=%v, evidence=%d, requirements %d/%d, goals %d/%d)\n",
+	fmt.Fprintf(out, "\nreadiness: score %.2f (chain ok=%v, evidence=%d, requirements %d/%d, goals %d/%d)\n",
 		r.Score(), r.ChainOK, r.EvidenceCount, r.RequirementsCov, r.RequirementsAll,
 		r.GoalsSupported, r.GoalsTotal)
-	fmt.Printf("\nassurance case:\n%s", sys.Case.Render(sys.Log))
-	fmt.Printf("\nrequirements:\n%s", sys.Registry.Summary(sys.Log))
-	fmt.Printf("\n%s", sys.FMEA.Render())
+	fmt.Fprintf(out, "\nassurance case:\n%s", sys.Case.Render(sys.Log))
+	fmt.Fprintf(out, "\nrequirements:\n%s", sys.Registry.Summary(sys.Log))
+	fmt.Fprintf(out, "\n%s", sys.FMEA.Render())
 	if *verbose {
-		fmt.Println("\nevidence log:")
+		fmt.Fprintln(out, "\nevidence log:")
 		for _, e := range sys.Log.Events() {
-			fmt.Printf("  %3d %-13s %-22s %s\n", e.Seq, e.Kind, e.ID, e.Detail)
+			fmt.Fprintf(out, "  %3d %-13s %-22s %s\n", e.Seq, e.Kind, e.ID, e.Detail)
 		}
 	}
 	return nil
 }
 
-func cmdExplain(args []string) error {
+func cmdExplain(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("explain", flag.ExitOnError)
 	caseName, pattern, seed := buildFlags(fs)
 	sample := fs.Int("sample", 0, "test-sample index to explain")
@@ -137,17 +153,17 @@ func cmdExplain(args []string) error {
 	x, label := test.Sample(*sample)
 	class, probs := sys.Net.Predict(x)
 	attr := sys.Explain(x)
-	fmt.Printf("sample %d: true=%s predicted=%s (p=%.2f)\n\n",
+	fmt.Fprintf(out, "sample %d: true=%s predicted=%s (p=%.2f)\n\n",
 		*sample, sys.Classes[label], sys.Classes[class], probs.Data()[class])
-	fmt.Println("input:")
-	renderHeatmap(x.Data())
-	fmt.Println("\nattribution (grad x input):")
-	renderHeatmap(attr.Data())
+	fmt.Fprintln(out, "input:")
+	renderHeatmap(out, x.Data())
+	fmt.Fprintln(out, "\nattribution (grad x input):")
+	renderHeatmap(out, attr.Data())
 	return nil
 }
 
 // renderHeatmap prints a 16x16 map with a density ramp.
-func renderHeatmap(vals []float32) {
+func renderHeatmap(out io.Writer, vals []float32) {
 	ramp := []byte(" .:-=+*#%@")
 	var lo, hi float32
 	for _, v := range vals {
@@ -172,13 +188,13 @@ func renderHeatmap(vals []float32) {
 			if idx >= len(ramp) {
 				idx = len(ramp) - 1
 			}
-			fmt.Printf("%c%c", ramp[idx], ramp[idx])
+			fmt.Fprintf(out, "%c%c", ramp[idx], ramp[idx])
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 }
 
-func cmdInfer(args []string) error {
+func cmdInfer(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("infer", flag.ExitOnError)
 	caseName, pattern, seed := buildFlags(fs)
 	n := fs.Int("n", 10, "number of test samples to stream")
@@ -202,26 +218,26 @@ func cmdInfer(args []string) error {
 		v := sys.Process(x)
 		switch {
 		case v.Decision.Fallback && v.Class >= 0:
-			fmt.Printf("%3d true=%-12s -> DEGRADED to %s (%s)\n",
+			fmt.Fprintf(out, "%3d true=%-12s -> DEGRADED to %s (%s)\n",
 				i, sys.Classes[label], sys.Classes[v.Class], v.Decision.Reason)
 		case v.Decision.Fallback:
-			fmt.Printf("%3d true=%-12s -> SAFE STATE (%s)\n", i, sys.Classes[label], v.Decision.Reason)
+			fmt.Fprintf(out, "%3d true=%-12s -> SAFE STATE (%s)\n", i, sys.Classes[label], v.Decision.Reason)
 		default:
-			fmt.Printf("%3d true=%-12s -> %s\n", i, sys.Classes[label], sys.Classes[v.Class])
+			fmt.Fprintf(out, "%3d true=%-12s -> %s\n", i, sys.Classes[label], sys.Classes[v.Class])
 		}
 	}
 	incidents := sys.Log.ByKind(trace.KindIncident)
-	fmt.Printf("\n%d incidents recorded; evidence chain valid: %v\n",
+	fmt.Fprintf(out, "\n%d incidents recorded; evidence chain valid: %v\n",
 		len(incidents), sys.Log.Verify() == nil)
 	return nil
 }
 
 // cmdEvidence runs a lifecycle, exports the sealed evidence archive, and
 // (optionally round-trips) verifies it — the supplier→assessor handover.
-func cmdEvidence(args []string) error {
+func cmdEvidence(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("evidence", flag.ExitOnError)
 	caseName, pattern, seed := buildFlags(fs)
-	out := fs.String("out", "", "write the JSON evidence archive to this file ('' prints a summary only)")
+	outPath := fs.String("out", "", "write the JSON evidence archive to this file ('' prints a summary only)")
 	key := fs.String("key", "assessor-shared-key", "HMAC key sealing the archive")
 	verify := fs.String("verify", "", "verify an archive file instead of producing one (requires -seal)")
 	seal := fs.String("seal", "", "seal to check with -verify")
@@ -240,7 +256,7 @@ func cmdEvidence(args []string) error {
 		if err := log.VerifySeal([]byte(*key), *seal); err != nil {
 			return err
 		}
-		fmt.Printf("archive authentic: %d records, chain and seal verify\n", log.Len())
+		fmt.Fprintf(out, "archive authentic: %d records, chain and seal verify\n", log.Len())
 		return nil
 	}
 	sys, err := build(*caseName, *pattern, *seed)
@@ -252,21 +268,21 @@ func cmdEvidence(args []string) error {
 		return err
 	}
 	sealHex := sys.Log.Seal([]byte(*key))
-	if *out != "" {
-		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, blob, 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %d records (%d bytes) to %s\nseal: %s\n",
-			sys.Log.Len(), len(blob), *out, sealHex)
-		fmt.Printf("verify with: safexplain evidence -verify %s -seal %s -key <key>\n", *out, sealHex)
+		fmt.Fprintf(out, "wrote %d records (%d bytes) to %s\nseal: %s\n",
+			sys.Log.Len(), len(blob), *outPath, sealHex)
+		fmt.Fprintf(out, "verify with: safexplain evidence -verify %s -seal %s -key <key>\n", *outPath, sealHex)
 		return nil
 	}
-	fmt.Printf("evidence: %d records, %d bytes serialized\nseal: %s\n",
+	fmt.Fprintf(out, "evidence: %d records, %d bytes serialized\nseal: %s\n",
 		sys.Log.Len(), len(blob), sealHex)
 	return nil
 }
 
-func cmdTiming(args []string) error {
+func cmdTiming(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("timing", flag.ExitOnError)
 	runs := fs.Int("runs", 300, "campaign size per configuration")
 	seed := fs.Uint64("seed", 7, "campaign seed")
@@ -274,7 +290,7 @@ func cmdTiming(args []string) error {
 		return err
 	}
 	w := platform.NewCNNWorkload()
-	fmt.Printf("%-18s %12s %12s %14s %14s\n", "config", "mean", "max", "pWCET(1e-9)", "pWCET(1e-12)")
+	fmt.Fprintf(out, "%-18s %12s %12s %14s %14s\n", "config", "mean", "max", "pWCET(1e-9)", "pWCET(1e-12)")
 	for _, cfg := range platform.StandardConfigs() {
 		samples := platform.Campaign(cfg, w, *runs, *seed)
 		a, err := mbpta.Fit(samples, 20)
@@ -286,8 +302,59 @@ func cmdTiming(args []string) error {
 			mean += v
 		}
 		mean /= float64(len(samples))
-		fmt.Printf("%-18s %12.0f %12.0f %14.0f %14.0f\n",
+		fmt.Fprintf(out, "%-18s %12.0f %12.0f %14.0f %14.0f\n",
 			cfg.Name, mean, a.MaxObs, a.PWCET(1e-9), a.PWCET(1e-12))
+	}
+	return nil
+}
+
+// cmdObs runs the lifecycle, operates the deployed system over the test
+// stream with all monitors engaged, and exports the observability state.
+func cmdObs(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("obs", flag.ExitOnError)
+	caseName, pattern, seed := buildFlags(fs)
+	frames := fs.Int("frames", 0, "frames to operate (0 = the whole test set)")
+	format := fs.String("format", "table", "export format: table|prom|json")
+	ood := fs.Bool("ood", false, "operate on inverted (out-of-distribution) inputs instead")
+	dump := fs.Bool("dump", false, "also print the full flight-recorder span dump")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := build(*caseName, *pattern, *seed)
+	if err != nil {
+		return err
+	}
+	stream := sys.TestSet()
+	if *ood {
+		stream = data.WithInversion(stream)
+	}
+	n := stream.Len()
+	if *frames > 0 && *frames < n {
+		n = *frames
+	}
+	drift, err := sys.NewDriftDetector(0, 0)
+	if err != nil {
+		return err
+	}
+	sys.Operate(data.Limit(stream, n), drift)
+
+	snap := sys.Obs.Snapshot()
+	switch *format {
+	case "prom":
+		fmt.Fprint(out, snap.Prometheus())
+	case "json":
+		blob, err := snap.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s\n", blob)
+	case "table":
+		fmt.Fprint(out, snap.Table())
+	default:
+		return fmt.Errorf("unknown format %q (table|prom|json)", *format)
+	}
+	if *dump {
+		fmt.Fprint(out, sys.Obs.Flight.Dump())
 	}
 	return nil
 }

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestRunSubcommands drives each subcommand's happy path in-process
+// through run(), asserting on markers that only a successful report
+// contains. All invocations share a seed so lifecycle builds are
+// deterministic.
+func TestRunSubcommands(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want []string
+	}{
+		{
+			name: "lifecycle",
+			args: []string{"lifecycle", "-case", "railway", "-seed", "42"},
+			want: []string{"lifecycle for", "verification stages:", "[PASS]", "readiness: score", "assurance case:"},
+		},
+		{
+			name: "explain",
+			args: []string{"explain", "-case", "railway", "-seed", "42", "-sample", "0"},
+			want: []string{"sample 0: true=", "input:", "attribution (grad x input):"},
+		},
+		{
+			name: "infer",
+			args: []string{"infer", "-case", "railway", "-seed", "42", "-n", "3"},
+			want: []string{"  0 true=", "  2 true=", "evidence chain valid: true"},
+		},
+		{
+			name: "timing",
+			args: []string{"timing", "-runs", "200", "-seed", "7"},
+			want: []string{"config", "pWCET(1e-9)", "lru-isolated"},
+		},
+		{
+			name: "obs-table",
+			args: []string{"obs", "-case", "railway", "-seed", "42", "-frames", "10", "-format", "table"},
+			want: []string{`system "railway"`, "frames_total", "flight recorder:"},
+		},
+		{
+			name: "obs-prom",
+			args: []string{"obs", "-case", "railway", "-seed", "42", "-frames", "10", "-format", "prom"},
+			want: []string{"# TYPE safexplain_frames_total counter", `system="railway"`},
+		},
+		{
+			name: "obs-json",
+			args: []string{"obs", "-case", "railway", "-seed", "42", "-frames", "10", "-format", "json"},
+			want: []string{`"system": "railway"`, `"flight"`},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tc.args, &out); err != nil {
+				t.Fatalf("run(%v): %v", tc.args, err)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("output missing %q\n--- output ---\n%s", want, out.String())
+				}
+			}
+		})
+	}
+}
+
+// TestRunEvidenceRoundTrip exports a sealed archive to a temp dir and
+// verifies it through the same CLI path an assessor would use.
+func TestRunEvidenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	archive := filepath.Join(dir, "archive.json")
+
+	var out bytes.Buffer
+	args := []string{"evidence", "-case", "railway", "-seed", "42", "-out", archive}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	if _, err := os.Stat(archive); err != nil {
+		t.Fatalf("archive not written: %v", err)
+	}
+	m := regexp.MustCompile(`seal: ([0-9a-f]+)`).FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no seal in output:\n%s", out.String())
+	}
+
+	out.Reset()
+	args = []string{"evidence", "-verify", archive, "-seal", m[1]}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if !strings.Contains(out.String(), "archive authentic") {
+		t.Fatalf("verify output: %s", out.String())
+	}
+
+	// A tampered seal must be rejected.
+	out.Reset()
+	bad := strings.Repeat("0", len(m[1]))
+	if err := run([]string{"evidence", "-verify", archive, "-seal", bad}, &out); err == nil {
+		t.Fatal("tampered seal accepted")
+	}
+}
+
+// TestRunUsageErrors: bad invocations surface errUsage so main exits 2
+// with the usage banner rather than a stack of flag noise.
+func TestRunUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); !errors.Is(err, errUsage) {
+		t.Fatalf("no args: got %v, want errUsage", err)
+	}
+	err := run([]string{"frobnicate"}, &out)
+	if !errors.Is(err, errUsage) {
+		t.Fatalf("unknown subcommand: got %v, want errUsage", err)
+	}
+	if !strings.Contains(err.Error(), `unknown subcommand "frobnicate"`) {
+		t.Fatalf("error text: %v", err)
+	}
+}
+
+// TestRunBadArguments: recoverable argument errors are plain errors, not
+// usage errors.
+func TestRunBadArguments(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"lifecycle", "-case", "maritime"},
+		{"explain", "-case", "railway", "-seed", "42", "-sample", "-5"},
+		{"obs", "-case", "railway", "-seed", "42", "-frames", "5", "-format", "xml"},
+	} {
+		err := run(args, &out)
+		if err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+		if errors.Is(err, errUsage) {
+			t.Errorf("run(%v): argument error escalated to usage error", args)
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"safexplain/internal/fmea"
 	"safexplain/internal/mbpta"
 	"safexplain/internal/nn"
+	"safexplain/internal/obs"
 	"safexplain/internal/platform"
 	"safexplain/internal/prng"
 	"safexplain/internal/qnn"
@@ -59,6 +60,13 @@ type Config struct {
 
 	// Training knobs.
 	Epochs int
+
+	// Observability knobs. The monitor is on by default — its record
+	// paths are zero-allocation, so it does not perturb the timing it
+	// reports on (experiment T13 measures the probe effect).
+	DisableObservability bool
+	// FlightRecorderSpans sizes the span ring (default 256).
+	FlightRecorderSpans int
 
 	// Acceptance thresholds for the verification stages.
 	MinAccuracy   float64 // float model test accuracy (default 0.8)
@@ -133,6 +141,10 @@ type System struct {
 	// channel isolation and golden-image recovery around Pattern. Operate
 	// routes every frame through it.
 	FDIR *fdir.Runtime
+	// Obs is the observability bundle: static metrics registry plus
+	// flight recorder, shared with FDIR. Nil when
+	// Config.DisableObservability was set.
+	Obs *obs.Obs
 
 	// Stages holds the lifecycle verification outcomes in order.
 	Stages []StageResult
@@ -170,6 +182,9 @@ func Build(cfg Config) (*System, error) {
 		Name:     cfg.Name,
 		Log:      &trace.Log{},
 		Registry: trace.NewRegistry(),
+	}
+	if !cfg.DisableObservability {
+		s.Obs = obs.New(obs.Config{Name: cfg.Name, FlightCapacity: cfg.FlightRecorderSpans})
 	}
 
 	// Stage 0 — requirements.
@@ -361,6 +376,7 @@ func Build(cfg Config) (*System, error) {
 		ReqPattern, modelID)
 	s.Stages = append(s.Stages, StageResult{Stage: "pattern", Passed: true, Metric: 1,
 		Detail: s.Pattern.Name()})
+	s.Obs.Span(-1, obs.StageBuild, int32(len(s.Stages)-1), 1)
 
 	// Stage 8 — FMEA release gate: the standard failure-mode analysis must
 	// be complete, its critical modes mitigated, and every claim grounded
@@ -393,10 +409,18 @@ func Build(cfg Config) (*System, error) {
 	s.FDIR.Out = fdir.CalibrateOutputGuard(fdir.NetProbe{Net: s.Net}, s.train, 4, 8, 0)
 	s.FDIR.In = fdir.CalibrateInputGuard(s.train, 1.0)
 	s.FDIR.Log = s.Log
+	s.FDIR.Obs = s.Obs
 	s.Log.Append(trace.KindOperation, "fdir:"+cfg.Name,
 		fmt.Sprintf("FDIR armed: golden image sha256 %.12s…, |logit| bound %.3g, input mean in [%.3f, %.3f]",
 			golden.Hash(), s.FDIR.Out.MaxAbs, s.FDIR.In.MeanLo, s.FDIR.In.MeanHi),
 		modelID, "test:pattern")
+
+	// Arm observability as deployment evidence: the flight-recorder span
+	// hash at this point covers the lifecycle build spans, so the chained
+	// record pins which build history the runtime monitor starts from.
+	if s.Obs != nil {
+		s.Log.Append(trace.KindOperation, "obs:"+cfg.Name, s.Obs.Describe(), modelID)
+	}
 
 	s.Log.Append(trace.KindDeployment, "deploy:"+cfg.Name,
 		fmt.Sprintf("pattern=%s engine=%s pwcet=%.0f", s.Pattern.Name(), s.Engine.ID, s.PWCET),
@@ -430,6 +454,7 @@ func (s *System) verify(cfg Config, stage, artifact string, metric, threshold fl
 // readiness report rather than as fake evidence.
 func (s *System) verifyBool(cfg Config, stage, artifact string, pass bool, metric float64, detail string, refs ...string) error {
 	s.Stages = append(s.Stages, StageResult{Stage: stage, Passed: pass, Metric: metric, Detail: detail})
+	s.Obs.Span(-1, obs.StageBuild, int32(len(s.Stages)-1), metric)
 	if !pass {
 		s.Log.Append(trace.KindIncident, "fail:"+stage, detail, refs...)
 		return fmt.Errorf("%w: %s (%s)", ErrStageFailed, stage, detail)
@@ -534,28 +559,54 @@ func (s *System) Operate(stream interface {
 	if s.FDIR != nil {
 		before = s.FDIR.Stats()
 	}
+	o := s.Obs
 	for i := 0; i < stream.Len(); i++ {
 		x, _ := stream.Sample(i)
 		rep.Frames++
 		var fallback bool
+		var class int
 		if s.FDIR != nil {
 			st := s.FDIR.Step(i, x, fdir.Signals{})
 			fallback = st.Decision.Fallback
+			class = st.Class
 			if fallback {
 				s.Log.Append(trace.KindIncident, "incident:fallback", st.Decision.Reason)
 			}
 		} else {
-			fallback = s.Process(x).Decision.Fallback
+			v := s.Process(x)
+			fallback = v.Decision.Fallback
+			class = v.Class
+		}
+		if o != nil {
+			o.Frames.Inc()
+			vote := int32(0)
+			if fallback {
+				vote = 1
+			}
+			o.Span(i, obs.StageInfer, int32(class), 0)
+			o.Span(i, obs.StageVote, vote, 0)
 		}
 		if fallback {
 			rep.Fallbacks++
+			if o != nil {
+				o.Fallbacks.Inc()
+			}
 		} else {
 			rep.Delivered++
+			if o != nil {
+				o.Delivered.Inc()
+			}
 		}
 		if drift != nil && !rep.DriftAlarm {
-			if drift.Observe(s.Monitor.Sup.Score(s.Net, x)) {
+			score := s.Monitor.Sup.Score(s.Net, x)
+			if o != nil {
+				o.TrustScore.Observe(score)
+				o.Span(i, obs.StageSupervisor, 0, score)
+			}
+			if drift.Observe(score) {
 				rep.DriftAlarm = true
 				rep.AlarmFrame = i
+				o.Span(i, obs.StageDrift, 1, drift.Statistic())
 				s.Log.Append(trace.KindIncident, "incident:drift",
 					fmt.Sprintf("CUSUM drift alarm at frame %d (statistic %.1f sigma)",
 						i, drift.Statistic()))

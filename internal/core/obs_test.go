@@ -1,0 +1,106 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"safexplain/internal/data"
+	"safexplain/internal/obs"
+	"safexplain/internal/trace"
+)
+
+func TestBuildArmsObservability(t *testing.T) {
+	s := builtSystem(t)
+	if s.Obs == nil {
+		t.Fatal("Build did not arm observability")
+	}
+	if s.FDIR.Obs != s.Obs {
+		t.Fatal("FDIR runtime not sharing the system's obs bundle")
+	}
+	// Every verification stage leaves a build span. Checked on a fresh
+	// build: the shared fixture's ring may have wrapped under other
+	// tests' Operate runs.
+	fresh := cheapBuild(t, 5800)
+	var buildSpans int
+	for _, sp := range fresh.Obs.Flight.Spans() {
+		if sp.Stage == obs.StageBuild {
+			buildSpans++
+		}
+	}
+	if buildSpans != len(fresh.Stages) {
+		t.Fatalf("build spans %d != stages %d", buildSpans, len(fresh.Stages))
+	}
+	// The arming is chained evidence, linking the span hash.
+	armed := false
+	for _, e := range s.Log.ByKind(trace.KindOperation) {
+		if strings.HasPrefix(e.ID, "obs:") && strings.Contains(e.Detail, "flight capacity") {
+			armed = true
+		}
+	}
+	if !armed {
+		t.Fatal("observability arming not recorded in the evidence log")
+	}
+}
+
+func TestOperatePopulatesMetrics(t *testing.T) {
+	s := cheapBuild(t, 5600)
+	drift, err := s.NewDriftDetector(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Operate(s.TestSet(), drift)
+	o := s.Obs
+	if got := o.Frames.Value(); got != uint64(rep.Frames) {
+		t.Fatalf("frames counter %d != report %d", got, rep.Frames)
+	}
+	if o.Delivered.Value()+o.Fallbacks.Value() != o.Frames.Value() {
+		t.Fatalf("delivered %d + fallbacks %d != frames %d",
+			o.Delivered.Value(), o.Fallbacks.Value(), o.Frames.Value())
+	}
+	if o.TrustScore.Count() == 0 {
+		t.Fatal("no trust scores observed with a drift detector attached")
+	}
+	stages := map[obs.Stage]bool{}
+	for _, sp := range o.Flight.Spans() {
+		stages[sp.Stage] = true
+	}
+	for _, want := range []obs.Stage{obs.StageInfer, obs.StageVote, obs.StageFDIR, obs.StageSupervisor} {
+		if !stages[want] {
+			t.Fatalf("per-frame span %s missing (have %v)", want, stages)
+		}
+	}
+	// The exported snapshot reflects the run.
+	snap := o.Snapshot()
+	if snap.System != s.Name || snap.Flight == nil || snap.Flight.Total == 0 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+	if !strings.Contains(snap.Prometheus(), "safexplain_frames_total") {
+		t.Fatal("prometheus exposition missing frames_total")
+	}
+}
+
+func TestDisableObservability(t *testing.T) {
+	s, err := Build(Config{
+		CaseStudy:            data.CaseStudy{Name: "railway", Generate: data.Railway},
+		Pattern:              PatternSingle,
+		Seed:                 5700,
+		Epochs:               4,
+		DisableObservability: true,
+		MinAccuracy:          0.3, MinAUROC: 0.3, MinStability: 0.1, MinAgreement: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Obs != nil {
+		t.Fatal("observability armed despite DisableObservability")
+	}
+	rep := s.Operate(s.TestSet(), nil)
+	if rep.Frames == 0 {
+		t.Fatal("operate failed without observability")
+	}
+	for _, e := range s.Log.Events() {
+		if strings.HasPrefix(e.ID, "obs:") {
+			t.Fatal("obs evidence recorded despite DisableObservability")
+		}
+	}
+}

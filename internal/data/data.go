@@ -50,6 +50,15 @@ func (s *Set) Sample(i int) (*tensor.Tensor, int) {
 // NumClasses returns the number of classes.
 func (s *Set) NumClasses() int { return len(s.Classes) }
 
+// Limit returns a view over the first n samples (s itself when n is out
+// of range) — a bounded frame stream for operate harnesses.
+func Limit(s *Set, n int) *Set {
+	if n < 0 || n >= len(s.Samples) {
+		return s
+	}
+	return &Set{Name: s.Name, Classes: s.Classes, Samples: s.Samples[:n]}
+}
+
 // Hash returns the hex SHA-256 over the set's name, class list, labels and
 // pixel data — the dataset identity recorded in evidence logs.
 func (s *Set) Hash() string {

@@ -6,7 +6,7 @@ import (
 )
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"F1", "F2", "F3", "T1", "T10", "T11", "T12", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9"}
+	want := []string{"F1", "F2", "F3", "T1", "T10", "T11", "T12", "T13", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)
@@ -200,6 +200,29 @@ func TestT12FDIR(t *testing.T) {
 	r2 := requireResult(t, "T12", "seu-160")
 	if r.Table != r2.Table {
 		t.Fatal("T12 table not reproducible")
+	}
+}
+
+func TestT13ProbeEffect(t *testing.T) {
+	r := requireResult(t, "T13", "pWCET probe effect")
+	// The designed-in claim: arming observability must not change the
+	// per-frame heap-allocation count (the record path is atomics into
+	// preallocated slots).
+	if d := r.Metrics["allocs_delta_per_frame"]; d < -1 || d > 1 {
+		t.Fatalf("T13 shape: allocation delta %v allocs/frame — record path allocates", d)
+	}
+	// Wall clock is host-dependent; the probes must still be lost in the
+	// inference cost, not a multiple of it.
+	if ratio := r.Metrics["overhead_ratio"]; ratio < 0.5 || ratio > 1.5 {
+		t.Fatalf("T13 shape: wall-clock overhead ratio %v", ratio)
+	}
+	// The cycle-level probe effect is deterministic: extra stores outside
+	// the hot set must widen the pWCET bound, but modestly.
+	if d := r.Metrics["pwcet_delta_pct"]; d <= 0 || d > 10 {
+		t.Fatalf("T13 shape: pWCET probe effect %v%%", d)
+	}
+	if r.Metrics["spans_per_frame"] <= 0 {
+		t.Fatal("T13 shape: no flight-recorder spans per frame")
 	}
 }
 

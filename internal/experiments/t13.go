@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"safexplain/internal/core"
+	"safexplain/internal/data"
+	"safexplain/internal/mbpta"
+	"safexplain/internal/platform"
+)
+
+func init() {
+	registry["T13"] = runT13
+}
+
+// T13 — the probe effect: what does watching the system cost? Two
+// identical railway deployments, one with the observability substrate
+// armed and one with it disabled, run the same operate stream; the table
+// reports wall-clock and heap-allocation overhead per frame. The timing
+// claim is then re-examined where it actually matters for certification:
+// a T7-style MBPTA campaign on the time-randomized platform, with the
+// instrumented build modeled as extra memory traffic (the metric and
+// flight-recorder writes) outside the locked hot set, quantifies how much
+// the probes move the pWCET(1e-9) bound.
+func runT13() Result {
+	build := func(disable bool) *core.System {
+		sys, err := core.Build(core.Config{
+			CaseStudy:            data.CaseStudy{Name: "railway", Generate: data.Railway},
+			Pattern:              core.PatternSimplex,
+			Seed:                 60_000,
+			DisableObservability: disable,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return sys
+	}
+	sysOn := build(false)
+	sysOff := build(true)
+
+	// (a) Wall-clock and allocation cost per operated frame. Both systems
+	// see the identical stream; drift detection runs in both (it is
+	// orthogonal to observability), so the delta isolates the probes.
+	type cost struct {
+		nsPerFrame     float64
+		allocsPerFrame float64
+	}
+	measure := func(sys *core.System) cost {
+		drift, err := sys.NewDriftDetector(0, 0)
+		if err != nil {
+			panic(err)
+		}
+		stream := sys.TestSet()
+		const warm, reps = 2, 12
+		frames := 0
+		for i := 0; i < warm; i++ {
+			sys.Operate(stream, drift)
+		}
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			frames += sys.Operate(stream, drift).Frames
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		return cost{
+			nsPerFrame:     float64(elapsed.Nanoseconds()) / float64(frames),
+			allocsPerFrame: float64(m1.Mallocs-m0.Mallocs) / float64(frames),
+		}
+	}
+	off := measure(sysOff)
+	on := measure(sysOn)
+	overheadNS := on.nsPerFrame - off.nsPerFrame
+	overheadRatio := on.nsPerFrame / off.nsPerFrame
+	allocsDelta := on.allocsPerFrame - off.allocsPerFrame
+
+	snap := sysOn.Obs.Snapshot()
+	points := len(snap.Counters) + len(snap.Gauges) + len(snap.Histograms)
+	var spansPerFrame float64
+	if n := sysOn.Obs.Frames.Value(); n > 0 {
+		spansPerFrame = float64(snap.Flight.Total) / float64(n)
+	}
+
+	// (b) Probe effect on the pWCET bound. The timed program is the
+	// deployed engine's own access trace; the instrumented variant issues
+	// one extra store per flight-recorder span and metric update. Those
+	// addresses are deliberately *not* in the locked hot set — the
+	// realistic failure mode is instrumentation traffic competing with the
+	// workload for the unlocked ways.
+	var randomized platform.Config
+	for _, c := range platform.StandardConfigs() {
+		if c.Name == "time-randomized" {
+			randomized = c
+		}
+	}
+	base := sysOn.Engine.Workload()
+	probed := newProbedWorkload(base, 24)
+	fit := func(w platform.Workload, seed uint64) *mbpta.Analysis {
+		a, err := mbpta.Fit(platform.Campaign(randomized, w, 400, seed), 20)
+		if err != nil {
+			panic(err)
+		}
+		return a
+	}
+	aBase := fit(base, 61_000)
+	aProbed := fit(probed, 61_000)
+	pBase := aBase.PWCET(1e-9)
+	pProbed := aProbed.PWCET(1e-9)
+	pwcetDeltaPct := (pProbed - pBase) / pBase * 100
+
+	header := []string{"configuration", "ns/frame", "allocs/frame"}
+	rows := [][]string{
+		{"observability off", fmt.Sprintf("%.0f", off.nsPerFrame), fmt.Sprintf("%.2f", off.allocsPerFrame)},
+		{"observability on", fmt.Sprintf("%.0f", on.nsPerFrame), fmt.Sprintf("%.2f", on.allocsPerFrame)},
+		{"probe overhead", fmt.Sprintf("%+.0f (%.3fx)", overheadNS, overheadRatio), fmt.Sprintf("%+.2f", allocsDelta)},
+		{"—", "", ""},
+		{fmt.Sprintf("metric points %d, spans/frame %.1f", points, spansPerFrame),
+			fmt.Sprintf("flight total %d", snap.Flight.Total), ""},
+		{"—", "", ""},
+		{"pWCET(1e-9) base", fmt.Sprintf("%.0f cycles", pBase), fmt.Sprintf("maxobs %.0f", aBase.MaxObs)},
+		{"pWCET(1e-9) instrumented", fmt.Sprintf("%.0f cycles", pProbed), fmt.Sprintf("maxobs %.0f", aProbed.MaxObs)},
+		{"pWCET probe effect", fmt.Sprintf("%+.2f%%", pwcetDeltaPct), ""},
+	}
+
+	return Result{
+		ID:    "T13",
+		Title: "Probe effect: observability overhead per frame and on the pWCET bound",
+		Table: table(header, rows),
+		Metrics: map[string]float64{
+			"overhead_ratio":         overheadRatio,
+			"allocs_delta_per_frame": allocsDelta,
+			"pwcet_delta_pct":        pwcetDeltaPct,
+			"spans_per_frame":        spansPerFrame,
+		},
+	}
+}
+
+// probedWorkload models an instrumented build: the base inference trace
+// plus n probe stores to metric/ring addresses outside the hot set.
+type probedWorkload struct {
+	base  platform.Workload
+	trace []uint64
+	n     uint64
+}
+
+func newProbedWorkload(base platform.Workload, n int) *probedWorkload {
+	const probeBase = 1 << 40 // far from any workload address
+	tr := base.Trace()
+	combined := make([]uint64, 0, len(tr)+n)
+	combined = append(combined, tr...)
+	for i := 0; i < n; i++ {
+		combined = append(combined, probeBase+uint64(i)*64)
+	}
+	return &probedWorkload{base: base, trace: combined, n: uint64(n)}
+}
+
+func (p *probedWorkload) Name() string         { return p.base.Name() + "+probes" }
+func (p *probedWorkload) Trace() []uint64      { return p.trace }
+func (p *probedWorkload) Instructions() uint64 { return p.base.Instructions() + p.n }
+func (p *probedWorkload) HotSet() []uint64     { return p.base.HotSet() }

@@ -1,0 +1,81 @@
+package fdir
+
+import (
+	"strings"
+	"testing"
+
+	"safexplain/internal/obs"
+	"safexplain/internal/safety"
+	"safexplain/internal/trace"
+)
+
+// TestRuntimeObsQuarantineDump: driving the channel into quarantine must
+// auto-dump the flight recorder, count the transition, and chain the dump
+// hash into the evidence log.
+func TestRuntimeObsQuarantineDump(t *testing.T) {
+	net := newTestNet(970)
+	pattern := safety.SingleChannel{C: safety.NetChannel{Net: net}}
+	fr := NewRuntime(RuntimeConfig{Name: "obs-test",
+		Health: HealthConfig{QuarantineAfter: 3, ClearAfter: 5, ReprobeAfter: 3, ProbationFrames: 4},
+	}, pattern, nil, net)
+	o := obs.New(obs.Config{Name: "obs-test", FlightCapacity: 32})
+	log := &trace.Log{}
+	fr.Obs = o
+	fr.Log = log
+
+	// Dropped frames are unambiguous anomalies: three in a row quarantine.
+	for i := 0; i < 4; i++ {
+		fr.Step(i, nil, Signals{Dropped: true})
+	}
+	if fr.State() != Quarantined {
+		t.Fatalf("state %s, want quarantined", fr.State())
+	}
+	if got := o.Quarantines.Value(); got != 1 {
+		t.Fatalf("quarantine counter %d, want 1", got)
+	}
+	if got := o.Anomalies.Value(); got < 3 {
+		t.Fatalf("anomaly counter %d, want >=3", got)
+	}
+	if got := o.Health.Value(); got != float64(Quarantined) {
+		t.Fatalf("health gauge %v, want %d", got, Quarantined)
+	}
+	dumps := o.Dumps()
+	if len(dumps) != 1 || dumps[0].Trigger != "fdir-quarantine" {
+		t.Fatalf("dumps: %+v", dumps)
+	}
+	// The dump is chained evidence carrying the span hash prefix.
+	found := false
+	for _, e := range log.ByKind(trace.KindIncident) {
+		if strings.Contains(e.Detail, "flight-recorder dump on quarantine") &&
+			strings.Contains(e.Detail, dumps[0].Hash[:12]) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dump hash not chained into evidence; dumps=%+v events=%+v", dumps, log.Events())
+	}
+	if err := log.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Per-frame verdict spans were recorded.
+	var fdirSpans int
+	for _, sp := range o.Flight.Spans() {
+		if sp.Stage == obs.StageFDIR {
+			fdirSpans++
+		}
+	}
+	if fdirSpans != 4 {
+		t.Fatalf("fdir verdict spans %d, want 4", fdirSpans)
+	}
+}
+
+// TestRuntimeObsNilIsFree: an un-wired runtime behaves identically.
+func TestRuntimeObsNilIsFree(t *testing.T) {
+	net := newTestNet(971)
+	pattern := safety.SingleChannel{C: safety.NetChannel{Net: net}}
+	fr := NewRuntime(RuntimeConfig{}, pattern, nil, net)
+	st := fr.Step(0, nil, Signals{Dropped: true})
+	if !st.Decision.Fallback {
+		t.Fatalf("dropped frame must fall back: %+v", st)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"safexplain/internal/nn"
+	"safexplain/internal/obs"
 	"safexplain/internal/safety"
 	"safexplain/internal/tensor"
 	"safexplain/internal/trace"
@@ -69,6 +70,11 @@ type Runtime struct {
 	In  *InputGuard
 	// Log, when non-nil, receives every FDIR transition as evidence.
 	Log *trace.Log
+	// Obs, when non-nil, receives the per-frame verdict span, the
+	// anomaly/quarantine/restore counters and the health gauge; entering
+	// quarantine auto-dumps the flight recorder and (when Log is set)
+	// links the dump hash into the evidence chain.
+	Obs *obs.Obs
 
 	health   *Health
 	restores int
@@ -151,6 +157,13 @@ func (r *Runtime) Step(frame int, x *tensor.Tensor, sig Signals) StepResult {
 	}
 	if to == Quarantined && from != Quarantined {
 		r.stats.Quarantines++
+		if o := r.Obs; o != nil {
+			o.Quarantines.Inc()
+			rec := o.AutoDump("fdir-quarantine", frame)
+			r.logEvent(trace.KindIncident, frame,
+				fmt.Sprintf("flight-recorder dump on quarantine: %d spans, hash %.12s…",
+					rec.Spans, rec.Hash))
+		}
 		res.Restored = r.recover(frame)
 	}
 	if from == Probation && to == Healthy {
@@ -183,6 +196,11 @@ func (r *Runtime) Step(frame int, x *tensor.Tensor, sig Signals) StepResult {
 
 	r.stats.Frames++
 	r.stats.Anomalies += len(anoms)
+	if o := r.Obs; o != nil {
+		o.Anomalies.Add(uint64(len(anoms)))
+		o.Health.Set(float64(res.State))
+		o.Span(frame, obs.StageFDIR, int32(res.State), float64(len(anoms)))
+	}
 	return res
 }
 
@@ -205,6 +223,10 @@ func (r *Runtime) recover(frame int) bool {
 	}
 	r.restores++
 	r.stats.Restores++
+	if o := r.Obs; o != nil {
+		o.Restores.Inc()
+		o.Span(frame, obs.StageRecovery, int32(r.restores), 0)
+	}
 	if r.Out != nil {
 		// The output history belongs to the faulty image; the repaired
 		// one must not inherit its flatline/stuck runs.

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Exporters: the registry state is frozen into a Snapshot, which renders
+// as Prometheus text exposition, a JSON document, or a human-readable
+// table. Snapshots are taken off the record path; they allocate freely.
+
+// CounterSnap is one counter's frozen state.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Help  string `json:"help"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeSnap is one gauge's frozen state.
+type GaugeSnap struct {
+	Name  string  `json:"name"`
+	Help  string  `json:"help"`
+	Value float64 `json:"value"`
+}
+
+// HistogramSnap is one histogram's frozen state. Buckets has one more
+// entry than Bounds (the +Inf bucket).
+type HistogramSnap struct {
+	Name    string    `json:"name"`
+	Help    string    `json:"help"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []uint64  `json:"buckets"`
+	Count   uint64    `json:"count"`
+	Sum     float64   `json:"sum"`
+}
+
+// FlightSnap summarizes the flight recorder's state.
+type FlightSnap struct {
+	Capacity int          `json:"capacity"`
+	Held     int          `json:"held"`
+	Total    uint64       `json:"total"`
+	Hash     string       `json:"hash"`
+	Dumps    []DumpRecord `json:"dumps,omitempty"`
+}
+
+// Snapshot is a consistent-enough point-in-time copy of an Obs bundle
+// (each metric is read atomically; the set is not globally fenced, which
+// is the standard exposition contract).
+type Snapshot struct {
+	System     string          `json:"system"`
+	Counters   []CounterSnap   `json:"counters"`
+	Gauges     []GaugeSnap     `json:"gauges"`
+	Histograms []HistogramSnap `json:"histograms"`
+	Flight     *FlightSnap     `json:"flight,omitempty"`
+}
+
+// Snapshot freezes the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{System: r.name}
+	for _, c := range r.counters {
+		s.Counters = append(s.Counters, CounterSnap{c.name, c.help, c.Value()})
+	}
+	for _, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{g.name, g.help, g.Value()})
+	}
+	for _, h := range r.hists {
+		s.Histograms = append(s.Histograms, HistogramSnap{
+			Name: h.name, Help: h.help, Bounds: h.Bounds(),
+			Buckets: h.BucketCounts(), Count: h.Count(), Sum: h.Sum(),
+		})
+	}
+	return s
+}
+
+// Snapshot freezes the whole bundle, including the flight recorder
+// summary and retained dump records. Nil-safe (returns a zero snapshot).
+func (o *Obs) Snapshot() Snapshot {
+	if o == nil {
+		return Snapshot{}
+	}
+	s := o.Reg.Snapshot()
+	s.Flight = &FlightSnap{
+		Capacity: o.Flight.Cap(), Held: o.Flight.Len(),
+		Total: o.Flight.Total(), Hash: o.Flight.Hash(), Dumps: o.Dumps(),
+	}
+	return s
+}
+
+// promName prefixes and sanitizes a metric name for exposition.
+func promName(name string) string { return "safexplain_" + name }
+
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// Prometheus renders the snapshot in the text exposition format.
+func (s Snapshot) Prometheus() string {
+	var b strings.Builder
+	label := fmt.Sprintf("{system=%q}", s.System)
+	for _, c := range s.Counters {
+		n := promName(c.Name)
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s%s %d\n", n, c.Help, n, n, label, c.Value)
+	}
+	for _, g := range s.Gauges {
+		n := promName(g.Name)
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s%s %s\n", n, g.Help, n, n, label, promFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		n := promName(h.Name)
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", n, h.Help, n)
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.Buckets[i]
+			fmt.Fprintf(&b, "%s_bucket{system=%q,le=%q} %d\n", n, s.System, promFloat(bound), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{system=%q,le=\"+Inf\"} %d\n", n, s.System, h.Count)
+		fmt.Fprintf(&b, "%s_sum%s %s\n%s_count%s %d\n", n, label, promFloat(h.Sum), n, label, h.Count)
+	}
+	return b.String()
+}
+
+// JSON renders the snapshot as an indented JSON document.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Table renders the snapshot as a human-readable table.
+func (s Snapshot) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "system %q\n", s.System)
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "  %-28s %12d  %s\n", c.Name, c.Value, c.Help)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(&b, "  %-28s %12g  %s\n", g.Name, g.Value, g.Help)
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(&b, "  %-28s count=%d sum=%g  %s\n", h.Name, h.Count, h.Sum, h.Help)
+		for i, bound := range h.Bounds {
+			if h.Buckets[i] > 0 {
+				fmt.Fprintf(&b, "    le %-12s %12d\n", promFloat(bound), h.Buckets[i])
+			}
+		}
+		if inf := h.Buckets[len(h.Buckets)-1]; inf > 0 {
+			fmt.Fprintf(&b, "    le %-12s %12d\n", "+Inf", inf)
+		}
+	}
+	if s.Flight != nil {
+		fmt.Fprintf(&b, "  flight recorder: %d/%d spans held (%d recorded), hash %.12s…\n",
+			s.Flight.Held, s.Flight.Capacity, s.Flight.Total, s.Flight.Hash)
+		for _, d := range s.Flight.Dumps {
+			fmt.Fprintf(&b, "    dump trigger=%s frame=%d spans=%d hash %.12s…\n",
+				d.Trigger, d.Frame, d.Spans, d.Hash)
+		}
+	}
+	return b.String()
+}

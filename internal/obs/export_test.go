@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// populated returns a bundle with every metric family non-zero.
+func populated() *Obs {
+	o := New(Config{Name: "railway", FlightCapacity: 32, FrameBudget: 1000})
+	o.Frames.Add(60)
+	o.Delivered.Add(55)
+	o.Fallbacks.Add(5)
+	o.Health.Set(2)
+	o.FrameCycles.Observe(400)
+	o.FrameCycles.Observe(1100)
+	o.TrustScore.Observe(0.8)
+	o.Span(0, StageInfer, 1, 0.9)
+	o.Span(0, StageFDIR, 0, 0)
+	o.AutoDump("quarantine", 0)
+	return o
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	out := populated().Snapshot().Prometheus()
+	for _, want := range []string{
+		`# TYPE safexplain_frames_total counter`,
+		`safexplain_frames_total{system="railway"} 60`,
+		`# TYPE safexplain_fdir_health_state gauge`,
+		`safexplain_fdir_health_state{system="railway"} 2`,
+		`# TYPE safexplain_rt_frame_cycles histogram`,
+		`safexplain_rt_frame_cycles_bucket{system="railway",le="+Inf"} 2`,
+		`safexplain_rt_frame_cycles_count{system="railway"} 2`,
+		`safexplain_rt_frame_cycles_sum{system="railway"} 1500`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Histogram buckets must be cumulative.
+	if !strings.Contains(out, `le="500"} 1`) {
+		t.Fatalf("expected cumulative bucket le=500 count 1:\n%s", out)
+	}
+}
+
+func TestJSONSnapshotRoundTrip(t *testing.T) {
+	o := populated()
+	blob, err := o.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(blob, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.System != "railway" {
+		t.Fatalf("system = %q", s.System)
+	}
+	found := false
+	for _, c := range s.Counters {
+		if c.Name == "frames_total" && c.Value == 60 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("frames_total missing from JSON: %s", blob)
+	}
+	if s.Flight == nil || s.Flight.Total != 2 || len(s.Flight.Dumps) != 1 {
+		t.Fatalf("flight snapshot: %+v", s.Flight)
+	}
+	if s.Flight.Hash != o.Flight.Hash() {
+		t.Fatal("flight hash not preserved")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := populated().Snapshot().Table()
+	for _, want := range []string{"frames_total", "60", "flight recorder", "dump trigger=quarantine"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFlightDumpRenders(t *testing.T) {
+	o := populated()
+	d := o.Flight.Dump()
+	if !strings.Contains(d, "infer") || !strings.Contains(d, "fdir-verdict") {
+		t.Fatalf("dump missing stages:\n%s", d)
+	}
+}

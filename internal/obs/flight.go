@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+)
+
+// Stage identifies a span's position in the lifecycle or the per-frame
+// operate path (infer → supervisor → pattern vote → fdir verdict →
+// deadline check).
+type Stage uint8
+
+// Span stages. StageBuild covers lifecycle verification stages; the rest
+// are the per-frame runtime path.
+const (
+	StageBuild Stage = iota
+	StageInfer
+	StageSupervisor
+	StageVote
+	StageFDIR
+	StageDeadline
+	StageDrift
+	StageRecovery
+)
+
+// String returns the stage name.
+func (s Stage) String() string {
+	switch s {
+	case StageBuild:
+		return "build"
+	case StageInfer:
+		return "infer"
+	case StageSupervisor:
+		return "supervisor"
+	case StageVote:
+		return "pattern-vote"
+	case StageFDIR:
+		return "fdir-verdict"
+	case StageDeadline:
+		return "deadline-check"
+	case StageDrift:
+		return "drift"
+	case StageRecovery:
+		return "recovery"
+	default:
+		return fmt.Sprintf("Stage(%d)", uint8(s))
+	}
+}
+
+// Span is one structured flight-recorder entry. All fields are fixed-size
+// scalars so recording never allocates: the stage says what ran, Code
+// carries the discrete outcome (delivered class, health state, miss
+// count — stage-dependent), Value the continuous one (cycles, score).
+type Span struct {
+	Seq   uint64 // global record ordinal (monotonic across wraps)
+	Frame int32  // frame index (-1 for lifecycle spans)
+	Stage Stage
+	Code  int32
+	Value float64
+}
+
+// Flight is a fixed-size ring buffer of spans — the flight recorder.
+// Record overwrites the oldest span once the ring is full, so memory is
+// statically bounded and the recorder always holds the most recent
+// history, which is exactly what a post-incident dump needs.
+type Flight struct {
+	mu   sync.Mutex
+	ring []Span
+	next uint64 // total spans ever recorded
+}
+
+// NewFlight returns a recorder holding the last capacity spans
+// (minimum 8).
+func NewFlight(capacity int) *Flight {
+	if capacity < 8 {
+		capacity = 8
+	}
+	return &Flight{ring: make([]Span, capacity)}
+}
+
+// Record appends one span. Zero-allocation: the span is written into a
+// preallocated ring slot under a short critical section.
+func (f *Flight) Record(frame int, stage Stage, code int32, value float64) {
+	f.mu.Lock()
+	f.ring[f.next%uint64(len(f.ring))] = Span{
+		Seq: f.next, Frame: int32(frame), Stage: stage, Code: code, Value: value,
+	}
+	f.next++
+	f.mu.Unlock()
+}
+
+// Cap returns the ring capacity.
+func (f *Flight) Cap() int { return len(f.ring) }
+
+// Total returns the number of spans ever recorded (including those the
+// ring has since overwritten).
+func (f *Flight) Total() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.next
+}
+
+// Len returns the number of spans currently held.
+func (f *Flight) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.held()
+}
+
+func (f *Flight) held() int {
+	if f.next < uint64(len(f.ring)) {
+		return int(f.next)
+	}
+	return len(f.ring)
+}
+
+// Spans returns the held spans oldest-first — the dump path. Allocates;
+// never call it per frame.
+func (f *Flight) Spans() []Span {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.held()
+	out := make([]Span, 0, n)
+	start := f.next - uint64(n)
+	for i := uint64(0); i < uint64(n); i++ {
+		out = append(out, f.ring[(start+i)%uint64(len(f.ring))])
+	}
+	return out
+}
+
+// Hash returns the SHA-256 over the held spans in order (fixed binary
+// encoding), hex-encoded. Two recorders that witnessed the same history
+// hash identically, so the hash links a dump into the trace evidence
+// chain: the chained record proves *which* runtime history the dump
+// claims.
+func (f *Flight) Hash() string {
+	h := sha256.New()
+	var buf [25]byte
+	for _, s := range f.Spans() {
+		binary.LittleEndian.PutUint64(buf[0:], s.Seq)
+		binary.LittleEndian.PutUint32(buf[8:], uint32(s.Frame))
+		buf[12] = byte(s.Stage)
+		binary.LittleEndian.PutUint32(buf[13:], uint32(s.Code))
+		binary.LittleEndian.PutUint64(buf[17:], math.Float64bits(s.Value))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Dump renders the held spans as a human-readable table, newest last.
+func (f *Flight) Dump() string {
+	spans := f.Spans()
+	var b strings.Builder
+	fmt.Fprintf(&b, "flight recorder: %d/%d spans held (%d recorded), hash %.12s…\n",
+		len(spans), f.Cap(), f.Total(), f.Hash())
+	for _, s := range spans {
+		fmt.Fprintf(&b, "  %6d frame=%-5d %-14s code=%-4d value=%g\n",
+			s.Seq, s.Frame, s.Stage, s.Code, s.Value)
+	}
+	return b.String()
+}

@@ -1,0 +1,182 @@
+// Package obs is the deterministic observability substrate: a static
+// metrics registry (counters, gauges, fixed-bucket histograms), a
+// flight-recorder ring buffer of structured spans, and exporters
+// (Prometheus text exposition, JSON snapshot, human-readable table).
+//
+// Monitoring a safety-critical runtime must not perturb the properties it
+// reports on — pillar P4's timing determinism in particular. Every record
+// path in this package is therefore zero-allocation (enforced by
+// testing.AllocsPerRun in the test suite, like qnn's arena), lock-free or
+// bounded-latency, and statically sized: metrics are declared at build
+// time and recorded through handles, the flight recorder overwrites a
+// fixed ring, and nothing on the hot path touches a map, grows a slice,
+// or formats a string. Experiment T13 ("probe effect") measures exactly
+// this: the observability on/off delta in ns/frame, allocs/frame, and the
+// pWCET estimate.
+//
+// The package is a leaf substrate: it imports nothing from the rest of
+// the repo. The wiring layers (core, rt, fdir) link flight-recorder dump
+// hashes into the trace evidence chain themselves.
+package obs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Config sizes an Obs bundle. Zero values get defaults.
+type Config struct {
+	// Name labels exported metrics (Prometheus label system="name").
+	Name string
+	// FlightCapacity is the span ring size (default 256).
+	FlightCapacity int
+	// FrameBudget, when non-zero, derives the frame-cycles histogram
+	// buckets from the WCET budget via BudgetBounds; otherwise a generic
+	// decade ladder is used.
+	FrameBudget uint64
+	// MaxDumps bounds the retained auto-dump records (default 16). The
+	// dump counter keeps counting past the bound.
+	MaxDumps int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "system"
+	}
+	if c.FlightCapacity <= 0 {
+		c.FlightCapacity = 256
+	}
+	if c.MaxDumps <= 0 {
+		c.MaxDumps = 16
+	}
+	return c
+}
+
+// DumpRecord is one automatic flight-recorder dump: the trigger, the
+// frame it fired on, and the span hash that links the dumped history into
+// the evidence chain.
+type DumpRecord struct {
+	Trigger string
+	Frame   int
+	Hash    string
+	Spans   int
+}
+
+// Obs bundles the registry, the flight recorder, and the standard
+// runtime metric handles the SAFEXPLAIN stack records into. A nil *Obs
+// is the disabled monitor: the wiring layers guard every record with one
+// nil check, which is the entire cost of observability-off.
+type Obs struct {
+	Reg    *Registry
+	Flight *Flight
+
+	// Per-frame operate path.
+	Frames    *Counter // frames processed
+	Delivered *Counter // trusted (or degraded-delivered) outputs
+	Fallbacks *Counter // fallback / withheld outputs
+
+	// FDIR health management.
+	Anomalies   *Counter // detector findings
+	Quarantines *Counter // quarantine entries
+	Restores    *Counter // golden-image reloads
+	Health      *Gauge   // current health state (fdir.State ordinal)
+
+	// Real-time executive.
+	DeadlineMisses *Counter   // task budget overruns
+	WatchdogFires  *Counter   // frame budget overruns
+	ShedSlots      *Counter   // tasks shed in high-criticality mode
+	FrameCycles    *Histogram // frame cycles vs the WCET budget
+
+	// Trust monitoring.
+	TrustScore *Histogram // supervisor score per observed frame
+
+	DumpsTotal *Counter // automatic flight-recorder dumps
+
+	cfg   Config
+	mu    sync.Mutex
+	dumps []DumpRecord
+}
+
+// New builds an Obs bundle with the standard metric set declared.
+func New(cfg Config) *Obs {
+	cfg = cfg.withDefaults()
+	reg := NewRegistry(cfg.Name)
+	cycleBounds := []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8}
+	if cfg.FrameBudget > 0 {
+		cycleBounds = BudgetBounds(cfg.FrameBudget)
+	}
+	return &Obs{
+		Reg:    reg,
+		Flight: NewFlight(cfg.FlightCapacity),
+
+		Frames:    reg.Counter("frames_total", "frames processed by the operate path"),
+		Delivered: reg.Counter("delivered_total", "frames whose pattern output was delivered"),
+		Fallbacks: reg.Counter("fallbacks_total", "frames answered by fallback or withheld"),
+
+		Anomalies:   reg.Counter("fdir_anomalies_total", "FDIR detector findings"),
+		Quarantines: reg.Counter("fdir_quarantines_total", "FDIR quarantine entries"),
+		Restores:    reg.Counter("fdir_restores_total", "verified golden-image reloads"),
+		Health:      reg.Gauge("fdir_health_state", "current FDIR health state ordinal"),
+
+		DeadlineMisses: reg.Counter("rt_deadline_misses_total", "task budget overruns"),
+		WatchdogFires:  reg.Counter("rt_watchdog_fires_total", "frame budget overruns"),
+		ShedSlots:      reg.Counter("rt_shed_slots_total", "tasks shed in high-criticality mode"),
+		FrameCycles: reg.Histogram("rt_frame_cycles",
+			"frame execution cycles against the WCET budget", cycleBounds...),
+
+		TrustScore: reg.Histogram("trust_score",
+			"supervisor trust score per observed frame",
+			0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1),
+
+		DumpsTotal: reg.Counter("flight_dumps_total", "automatic flight-recorder dumps"),
+
+		cfg: cfg,
+	}
+}
+
+// Span records one flight-recorder span. Nil-safe and zero-allocation.
+func (o *Obs) Span(frame int, stage Stage, code int32, value float64) {
+	if o == nil {
+		return
+	}
+	o.Flight.Record(frame, stage, code, value)
+}
+
+// AutoDump snapshots the flight recorder in response to a runtime event
+// (deadline miss, quarantine): it hashes the held spans, retains the dump
+// record (bounded by Config.MaxDumps) and counts it. This is the
+// exceptional path — it allocates; the caller links the returned hash
+// into its evidence chain. Nil-safe.
+func (o *Obs) AutoDump(trigger string, frame int) DumpRecord {
+	if o == nil {
+		return DumpRecord{}
+	}
+	rec := DumpRecord{Trigger: trigger, Frame: frame,
+		Hash: o.Flight.Hash(), Spans: o.Flight.Len()}
+	o.mu.Lock()
+	if len(o.dumps) < o.cfg.MaxDumps {
+		o.dumps = append(o.dumps, rec)
+	}
+	o.mu.Unlock()
+	o.DumpsTotal.Inc()
+	return rec
+}
+
+// Dumps returns the retained auto-dump records in order.
+func (o *Obs) Dumps() []DumpRecord {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]DumpRecord(nil), o.dumps...)
+}
+
+// Describe returns a one-line summary suitable for evidence records.
+func (o *Obs) Describe() string {
+	if o == nil {
+		return "observability disabled"
+	}
+	return fmt.Sprintf("observability %s: flight capacity %d, %d spans recorded, hash %.12s…",
+		o.cfg.Name, o.Flight.Cap(), o.Flight.Total(), o.Flight.Hash())
+}

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry("test")
+	c := r.Counter("frames_total", "frames")
+	g := r.Gauge("health", "state")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", g.Value())
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry("test")
+	h := r.Histogram("lat", "latency", 10, 20, 50)
+	for _, v := range []float64{1, 9, 10, 11, 19, 21, 49, 51, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 9 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	want := []uint64{3, 2, 2, 2} // <=10, <=20, <=50, +Inf
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, got[i], want[i], got)
+		}
+	}
+	if s := h.Sum(); s != 1171 {
+		t.Fatalf("sum = %v", s)
+	}
+	if q := h.Quantile(0.5); q != 20 {
+		t.Fatalf("q50 = %v, want 20", q)
+	}
+	if q := h.Quantile(1); !math.IsInf(q, 1) {
+		t.Fatalf("q100 = %v, want +Inf", q)
+	}
+	if q := h.Quantile(0.01); q != 10 {
+		t.Fatalf("q1 = %v, want 10", q)
+	}
+}
+
+func TestHistogramUnsortedBoundsSorted(t *testing.T) {
+	r := NewRegistry("test")
+	h := r.Histogram("x", "", 50, 10, 20)
+	b := h.Bounds()
+	if b[0] != 10 || b[1] != 20 || b[2] != 50 {
+		t.Fatalf("bounds not sorted: %v", b)
+	}
+}
+
+func TestBudgetBounds(t *testing.T) {
+	b := BudgetBounds(1000)
+	if len(b) != 8 || b[0] != 250 || b[4] != 1000 || b[7] != 1500 {
+		t.Fatalf("budget bounds: %v", b)
+	}
+}
+
+// TestRecordPathZeroAllocs is the FUSA gate: counters, gauges, histograms
+// and the flight recorder must not allocate on the record path, or the
+// monitor perturbs the timing and memory behaviour it reports on.
+func TestRecordPathZeroAllocs(t *testing.T) {
+	o := New(Config{Name: "alloc-test", FrameBudget: 1_000_000})
+	frame := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		o.Frames.Inc()
+		o.Anomalies.Add(2)
+		o.Health.Set(1)
+		o.FrameCycles.Observe(900_000)
+		o.TrustScore.Observe(0.7)
+		o.Span(frame, StageInfer, 3, 0.5)
+		o.Span(frame, StageFDIR, 0, 0)
+		frame++
+	})
+	if allocs != 0 {
+		t.Fatalf("record path allocates: %v allocs/op", allocs)
+	}
+}
+
+// TestDisabledPathZeroAllocs: a nil *Obs must cost one branch, nothing
+// more — the observability-off configuration T13 compares against.
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	var o *Obs
+	allocs := testing.AllocsPerRun(200, func() {
+		o.Span(1, StageInfer, 0, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	o := New(Config{Name: "race", FlightCapacity: 64})
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				o.Frames.Inc()
+				o.FrameCycles.Observe(float64(i))
+				o.TrustScore.Observe(0.5)
+				o.Span(i, StageInfer, int32(w), float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := o.Frames.Value(); got != workers*per {
+		t.Fatalf("frames = %d, want %d", got, workers*per)
+	}
+	if got := o.FrameCycles.Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+	if got := o.Flight.Total(); got != workers*per {
+		t.Fatalf("flight total = %d, want %d", got, workers*per)
+	}
+	if o.Flight.Len() != 64 {
+		t.Fatalf("flight held = %d, want capacity 64", o.Flight.Len())
+	}
+}
+
+func TestFlightRingOrderAndWrap(t *testing.T) {
+	f := NewFlight(8)
+	for i := 0; i < 20; i++ {
+		f.Record(i, StageInfer, int32(i), float64(i))
+	}
+	spans := f.Spans()
+	if len(spans) != 8 {
+		t.Fatalf("held %d, want 8", len(spans))
+	}
+	for i, s := range spans {
+		wantSeq := uint64(12 + i)
+		if s.Seq != wantSeq || s.Frame != int32(wantSeq) {
+			t.Fatalf("span %d: seq=%d frame=%d, want %d", i, s.Seq, s.Frame, wantSeq)
+		}
+	}
+	if f.Total() != 20 {
+		t.Fatalf("total = %d", f.Total())
+	}
+}
+
+func TestFlightHashDeterministicAndSensitive(t *testing.T) {
+	mk := func(n int) *Flight {
+		f := NewFlight(16)
+		for i := 0; i < n; i++ {
+			f.Record(i, StageFDIR, int32(i%3), float64(i)*0.5)
+		}
+		return f
+	}
+	a, b := mk(10), mk(10)
+	if a.Hash() != b.Hash() {
+		t.Fatal("identical histories hash differently")
+	}
+	c := mk(10)
+	c.Record(99, StageDeadline, 1, 7)
+	if a.Hash() == c.Hash() {
+		t.Fatal("different histories hash identically")
+	}
+	// Code vs Value must not alias in the encoding.
+	x, y := NewFlight(8), NewFlight(8)
+	x.Record(0, StageInfer, 1, 0)
+	y.Record(0, StageInfer, 0, math.Float64frombits(1))
+	if x.Hash() == y.Hash() {
+		t.Fatal("code/value fields alias in the hash encoding")
+	}
+}
+
+func TestAutoDumpBoundedAndCounted(t *testing.T) {
+	o := New(Config{Name: "dumps", MaxDumps: 2})
+	o.Span(0, StageDeadline, 1, 100)
+	r1 := o.AutoDump("deadline-miss", 0)
+	o.Span(1, StageFDIR, 2, 0)
+	o.AutoDump("quarantine", 1)
+	o.AutoDump("quarantine", 2)
+	if got := o.DumpsTotal.Value(); got != 3 {
+		t.Fatalf("dump counter = %d, want 3", got)
+	}
+	dumps := o.Dumps()
+	if len(dumps) != 2 {
+		t.Fatalf("retained dumps = %d, want 2 (bounded)", len(dumps))
+	}
+	if dumps[0] != r1 {
+		t.Fatalf("first dump mismatch: %+v vs %+v", dumps[0], r1)
+	}
+	if r1.Hash == "" || r1.Spans != 1 || r1.Trigger != "deadline-miss" {
+		t.Fatalf("dump record: %+v", r1)
+	}
+}
+
+func TestNilObsIsSafe(t *testing.T) {
+	var o *Obs
+	o.Span(0, StageInfer, 0, 0)
+	if rec := o.AutoDump("x", 0); rec != (DumpRecord{}) {
+		t.Fatalf("nil AutoDump = %+v", rec)
+	}
+	if o.Dumps() != nil {
+		t.Fatal("nil Dumps not nil")
+	}
+	if s := o.Snapshot(); s.System != "" {
+		t.Fatalf("nil snapshot: %+v", s)
+	}
+	if o.Describe() != "observability disabled" {
+		t.Fatal("nil Describe")
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	for s := StageBuild; s <= StageRecovery; s++ {
+		if strings.HasPrefix(s.String(), "Stage(") {
+			t.Fatalf("stage %d has no name", s)
+		}
+	}
+	if !strings.HasPrefix(Stage(200).String(), "Stage(") {
+		t.Fatal("unknown stage should format as Stage(n)")
+	}
+}

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a static metrics registry: every metric is declared up
+// front (typically at system build time) and recorded through the handle
+// the declaration returned. The record path — Counter.Add, Gauge.Set,
+// Histogram.Observe — is lock-free, allocation-free and bounded-latency:
+// no maps, no interface boxing, no growth. Registration takes a mutex and
+// may allocate; it is a build-time activity, never a per-frame one.
+type Registry struct {
+	name string
+
+	mu       sync.Mutex
+	counters []*Counter
+	gauges   []*Gauge
+	hists    []*Histogram
+}
+
+// NewRegistry returns an empty registry. name labels every exported
+// metric (Prometheus label system="name").
+func NewRegistry(name string) *Registry {
+	return &Registry{name: name}
+}
+
+// Name returns the registry's system label.
+func (r *Registry) Name() string { return r.name }
+
+// Counter declares a monotonically increasing counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.mu.Lock()
+	r.counters = append(r.counters, c)
+	r.mu.Unlock()
+	return c
+}
+
+// Gauge declares a set-to-current-value gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.mu.Lock()
+	r.gauges = append(r.gauges, g)
+	r.mu.Unlock()
+	return g
+}
+
+// Histogram declares a fixed-bucket histogram. The bucket upper bounds
+// are frozen here, at declaration time — the static sizing a WCET-budget
+// tracker needs (e.g. fractions of the frame budget). Bounds are sorted;
+// an implicit +Inf bucket is always present.
+func (r *Registry) Histogram(name, help string, bounds ...float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	h := &Histogram{name: name, help: help, bounds: bs,
+		buckets: make([]atomic.Uint64, len(bs)+1)}
+	r.mu.Lock()
+	r.hists = append(r.hists, h)
+	r.mu.Unlock()
+	return h
+}
+
+// Counter is a concurrency-safe monotonic counter.
+type Counter struct {
+	name, help string
+	v          atomic.Uint64
+}
+
+// Inc adds one. Zero-allocation, lock-free.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n. Zero-allocation, lock-free.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Name returns the metric name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is a concurrency-safe last-value gauge.
+type Gauge struct {
+	name, help string
+	bits       atomic.Uint64
+}
+
+// Set stores v. Zero-allocation, lock-free.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Name returns the metric name.
+func (g *Gauge) Name() string { return g.name }
+
+// Histogram is a concurrency-safe fixed-bucket histogram. Bucket i counts
+// observations <= bounds[i]; the last bucket is +Inf.
+type Histogram struct {
+	name, help string
+	bounds     []float64
+	buckets    []atomic.Uint64
+	count      atomic.Uint64
+	sumBits    atomic.Uint64
+}
+
+// Observe records one value. Zero-allocation; the bucket scan is over the
+// fixed bound list, so latency is bounded by the declared size.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the running sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Name returns the metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// Bounds returns a copy of the bucket upper bounds (excluding +Inf).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// BucketCounts returns a copy of the per-bucket counts; the final entry
+// is the +Inf bucket.
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Quantile returns a bucket-interpolated quantile estimate in [0,1]
+// (upper bound of the bucket holding the q-th observation; the exact
+// shape inside a bucket is unknown). Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// BudgetBounds derives WCET-budget histogram bounds from a frame budget:
+// fixed fractions {25%, 50%, 75%, 90%, 100%, 110%, 125%, 150%} of the
+// budget, so the exported histogram directly answers "how close to the
+// budget do frames run, and how far past it do misses land".
+func BudgetBounds(budget uint64) []float64 {
+	fr := []float64{0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5}
+	out := make([]float64, len(fr))
+	for i, f := range fr {
+		out[i] = f * float64(budget)
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package rt
+
+import (
+	"testing"
+
+	"safexplain/internal/obs"
+)
+
+// TestExecutiveObsRecordsFrames: the executive feeds the frame-cycles
+// histogram, the miss/watchdog counters and the deadline-check span, and
+// auto-dumps the flight recorder on a deadline miss.
+func TestExecutiveObsRecordsFrames(t *testing.T) {
+	over := &Task{Name: "hog", Budget: 100, Criticality: CritHigh,
+		Run: func(int) uint64 { return 150 }}
+	exec, err := NewExecutive(Config{FrameBudget: 120}, over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New(obs.Config{Name: "rt-test", FrameBudget: 120})
+	exec.Obs = o
+
+	rep := exec.RunFrames(5)
+	if rep.DeadlineMisses != 5 || rep.WatchdogFires != 5 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if got := o.DeadlineMisses.Value(); got != 5 {
+		t.Fatalf("miss counter %d, want 5", got)
+	}
+	if got := o.WatchdogFires.Value(); got != 5 {
+		t.Fatalf("watchdog counter %d, want 5", got)
+	}
+	if got := o.FrameCycles.Count(); got != 5 {
+		t.Fatalf("frame cycles count %d, want 5", got)
+	}
+	if got := o.FrameCycles.Sum(); got != 750 {
+		t.Fatalf("frame cycles sum %v, want 750", got)
+	}
+	if got := o.DumpsTotal.Value(); got != 5 {
+		t.Fatalf("dump counter %d, want 5 (one per miss)", got)
+	}
+	var deadlineSpans int
+	for _, sp := range o.Flight.Spans() {
+		if sp.Stage == obs.StageDeadline {
+			deadlineSpans++
+			if sp.Code != 1 || sp.Value != 150 {
+				t.Fatalf("deadline span: %+v", sp)
+			}
+		}
+	}
+	if deadlineSpans != 5 {
+		t.Fatalf("deadline spans %d, want 5", deadlineSpans)
+	}
+}
+
+// TestExecutiveObsShedCounted: shed slots in high-criticality mode are
+// counted.
+func TestExecutiveObsShedCounted(t *testing.T) {
+	i := 0
+	hog := &Task{Name: "hog", Budget: 100, Criticality: CritHigh,
+		Run: func(int) uint64 {
+			i++
+			if i == 1 {
+				return 300 // trip the watchdog once
+			}
+			return 50
+		}}
+	low := &Task{Name: "low", Budget: 50, Criticality: CritLow,
+		Run: func(int) uint64 { return 10 }}
+	exec, err := NewExecutive(Config{FrameBudget: 200, RecoveryFrames: 2}, hog, low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New(obs.Config{Name: "rt-shed"})
+	exec.Obs = o
+	exec.RunFrames(4)
+	if got := o.ShedSlots.Value(); got == 0 {
+		t.Fatal("no shed slots counted after a watchdog fire")
+	}
+}

@@ -27,6 +27,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+
+	"safexplain/internal/obs"
 )
 
 // Criticality is the task importance scale; higher sheds later. It mirrors
@@ -97,6 +99,13 @@ func (c Config) withDefaults() Config {
 type Executive struct {
 	cfg   Config
 	tasks []*Task
+
+	// Obs, when non-nil, receives the deadline-check span, the frame
+	// cycles histogram and the miss/watchdog/shed counters; a deadline
+	// miss or watchdog fire auto-dumps the flight recorder. obs record
+	// paths are zero-allocation, so arming this does not perturb the
+	// timing the executive enforces (experiment T13).
+	Obs *obs.Obs
 
 	consecutive []int  // per-task consecutive overruns
 	degraded    []bool // per-task degraded flag
@@ -196,6 +205,18 @@ func (e *Executive) Step(frame int) FrameResult {
 		if e.cleanRun >= e.cfg.RecoveryFrames {
 			e.highMode = false
 			e.cleanRun = 0
+		}
+	}
+	if o := e.Obs; o != nil {
+		o.FrameCycles.Observe(float64(res.Used))
+		o.DeadlineMisses.Add(uint64(len(res.Misses)))
+		o.ShedSlots.Add(uint64(len(res.Shed)))
+		o.Span(frame, obs.StageDeadline, int32(len(res.Misses)), float64(res.Used))
+		if res.Watchdog {
+			o.WatchdogFires.Inc()
+		}
+		if len(res.Misses) > 0 || res.Watchdog {
+			o.AutoDump("deadline-miss", frame)
 		}
 	}
 	return res

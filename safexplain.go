@@ -31,6 +31,7 @@ import (
 	"safexplain/internal/core"
 	"safexplain/internal/data"
 	"safexplain/internal/fdir"
+	"safexplain/internal/obs"
 	"safexplain/internal/supervisor"
 	"safexplain/internal/tensor"
 	"safexplain/internal/trace"
@@ -146,6 +147,21 @@ const (
 	Quarantined = fdir.Quarantined
 	Probation   = fdir.Probation
 )
+
+// Observability is the runtime observability bundle Build arms by
+// default (disable with Config.DisableObservability): a static,
+// zero-allocation metrics registry plus a flight-recorder ring of
+// structured spans covering the lifecycle and the per-frame operate path.
+// System.Obs exposes it; Obs.Snapshot() renders as Prometheus text,
+// JSON, or a table. Experiment T13 proves the monitor's probe effect is
+// nil.
+type Observability = obs.Obs
+
+// ObsSnapshot is a point-in-time export of the observability state.
+type ObsSnapshot = obs.Snapshot
+
+// FlightSpan is one structured flight-recorder entry.
+type FlightSpan = obs.Span
 
 // CertifiedRadius returns the largest L∞ radius (up to maxEps) at which
 // the system's model provably keeps its prediction on x — formal
