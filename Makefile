@@ -1,8 +1,17 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json staticcheck experiments examples fuzz cover clean
+# Fuzz lane: one definition drives both `make fuzz` and CI (which calls
+# `make fuzz FUZZTIME=20s`), so the target list cannot drift between them.
+# Each entry is <FuzzTarget>=<package>.
+FUZZ_TARGETS = \
+	FuzzUnmarshal=./internal/nn \
+	FuzzImport=./internal/trace \
+	FuzzHealthTransitions=./internal/fdir
+FUZZTIME ?= 30s
 
-all: build vet test
+.PHONY: all build vet test race bench bench-json lint safelint staticcheck experiments examples fuzz cover clean
+
+all: build lint test
 
 build:
 	$(GO) build ./...
@@ -25,6 +34,16 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_$(shell date +%Y-%m-%d).json
 
+# The lint umbrella: vet, the repo's own safety-rules analyzer, and
+# staticcheck when installed. This is the target CI runs.
+lint: vet safelint staticcheck
+
+# Repo-specific safety rules (hotpath allocation, WCET loop bounds,
+# determinism, operate-path panic, requirement traceability tags) — see
+# internal/lint and DESIGN.md.
+safelint:
+	$(GO) run ./cmd/safelint ./...
+
 # Static analysis beyond vet; skips with a hint when the tool is absent.
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
@@ -44,9 +63,11 @@ examples:
 	$(GO) run ./examples/railway
 
 fuzz:
-	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/nn/
-	$(GO) test -fuzz=FuzzImport -fuzztime=30s ./internal/trace/
-	$(GO) test -fuzz=FuzzHealthTransitions -fuzztime=30s ./internal/fdir/
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		name=$${t%%=*}; pkg=$${t#*=}; \
+		echo "fuzz $$name $$pkg ($(FUZZTIME))"; \
+		$(GO) test -fuzz=$$name -fuzztime=$(FUZZTIME) $$pkg; \
+	done
 
 cover:
 	$(GO) test -cover ./...

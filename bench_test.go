@@ -1,4 +1,4 @@
-// Benchmark harness: one benchmark per table (T1–T12) and figure (F1–F3)
+// Benchmark harness: one benchmark per table (T1–T14) and figure (F1–F3)
 // of EXPERIMENTS.md. Each benchmark regenerates its experiment — printing
 // the full table via -v logs — and times a regeneration pass, so
 //
@@ -132,4 +132,11 @@ func BenchmarkT12FDIR(b *testing.B) {
 // per operated frame and its effect on the pWCET bound.
 func BenchmarkT13ProbeEffect(b *testing.B) {
 	benchExperiment(b, "T13", "overhead_ratio", "allocs_delta_per_frame", "pwcet_delta_pct")
+}
+
+// BenchmarkT14Safelint regenerates Table T14: the safelint seeded-defect
+// campaign (per-rule detection and false-positive rates), timing a full
+// parse+typecheck+lint pass over the embedded corpora.
+func BenchmarkT14Safelint(b *testing.B) {
+	benchExperiment(b, "T14", "detection_rate", "hotpath_detection_rate")
 }

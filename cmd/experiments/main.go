@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -22,15 +23,26 @@ import (
 )
 
 func main() {
-	runIDs := flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
-	list := flag.Bool("list", false, "list available experiment IDs and exit")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the selected experiments, writing tables to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	runIDs := fs.String("run", "all", "comma-separated experiment IDs, or 'all'")
+	list := fs.Bool("list", false, "list available experiment IDs and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
-			fmt.Println(id)
+			fmt.Fprintln(out, id)
 		}
-		return
+		return nil
 	}
 
 	ids := experiments.IDs()
@@ -42,10 +54,10 @@ func main() {
 		start := time.Now()
 		res, err := experiments.Run(id)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("=== %s — %s (%.1fs)\n\n", res.ID, res.Title, time.Since(start).Seconds())
-		fmt.Println(res.Table)
+		fmt.Fprintf(out, "=== %s — %s (%.1fs)\n\n", res.ID, res.Title, time.Since(start).Seconds())
+		fmt.Fprintln(out, res.Table)
 	}
+	return nil
 }

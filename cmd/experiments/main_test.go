@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"safexplain/internal/experiments"
+)
+
+// TestRunList checks -list prints every registered ID, one per line.
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatalf("run(-list): %v", err)
+	}
+	got := strings.Fields(out.String())
+	want := experiments.IDs()
+	if len(got) != len(want) {
+		t.Fatalf("listed %d IDs, registry has %d: %v vs %v", len(got), len(want), got, want)
+	}
+	for i, id := range want {
+		if got[i] != id {
+			t.Fatalf("listed[%d] = %s, want %s", i, got[i], id)
+		}
+	}
+}
+
+// TestRunSingleExperiment runs T14 (the cheapest self-contained
+// experiment: pure static analysis of embedded sources) end to end
+// through the CLI path.
+func TestRunSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "T14"}, &out); err != nil {
+		t.Fatalf("run(-run T14): %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{"=== T14", "rule family", "overall"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRunUnknownID checks the error path surfaces the bad ID instead of
+// exiting silently.
+func TestRunUnknownID(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-run", "T999"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "T999") {
+		t.Fatalf("run(-run T999) = %v, want unknown-id error", err)
+	}
+}
+
+// TestRunBadFlag checks flag errors return instead of os.Exit, keeping
+// the function testable.
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nosuchflag"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("run(-nosuchflag) = nil, want error")
+	}
+}

@@ -1,0 +1,107 @@
+// Command safelint runs the repository's safety-rules static analyzer
+// (internal/lint) over the module and reports violations in the
+// conventional file:line:col form. Exit status: 0 clean, 1 violations
+// found, 2 bad invocation.
+//
+//	safelint ./...                 check the whole module
+//	safelint ./internal/rt         check one package
+//	safelint -report req.json ./...  also write the hashed requirement
+//	                                 coverage report (traceability evidence)
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"safexplain/internal/lint"
+)
+
+// errUsage marks bad invocations (exit code 2, usage printed).
+var errUsage = errors.New("usage")
+
+// errViolations marks a run that found rule violations (exit code 1).
+var errViolations = errors.New("violations found")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errUsage) {
+			fmt.Fprintln(os.Stderr, "usage: safelint [-root dir] [-report file] [patterns]")
+			flag.CommandLine.SetOutput(os.Stderr)
+			os.Exit(2)
+		}
+		if errors.Is(err, errViolations) {
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "safelint:", err)
+		os.Exit(1)
+	}
+}
+
+// run loads the module, applies the rules, prints diagnostics, and
+// optionally writes the requirement coverage report.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("safelint", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	root := fs.String("root", ".", "module root (or any directory inside it)")
+	report := fs.String("report", "", "write the requirement coverage JSON report to this file")
+	verbose := fs.Bool("v", false, "also print per-package type-check fallbacks")
+	if err := fs.Parse(args); err != nil {
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+
+	pkgs, err := lint.LoadModule(*root, fs.Args())
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		for _, p := range pkgs {
+			if len(p.TypeErrors) > 0 {
+				fmt.Fprintf(out, "# %s: %d type-check issue(s); syntax-level rules still apply\n",
+					p.Path, len(p.TypeErrors))
+			}
+		}
+	}
+
+	diags := lint.Check(pkgs, lint.DefaultConfig())
+	for _, d := range diags {
+		fmt.Fprintf(out, "%s:%d:%d: %s: %s\n",
+			relPath(*root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+	}
+
+	if *report != "" {
+		rep := lint.BuildReqReport(pkgs)
+		blob, jerr := rep.JSON()
+		if jerr != nil {
+			return jerr
+		}
+		if werr := os.WriteFile(*report, append(blob, '\n'), 0o644); werr != nil {
+			return werr
+		}
+		fmt.Fprintf(out, "%s -> %s\n", rep.EvidenceDetail(), *report)
+	}
+
+	if len(diags) > 0 {
+		fmt.Fprintf(out, "safelint: %d violation(s) in %d package(s)\n", len(diags), len(pkgs))
+		return errViolations
+	}
+	fmt.Fprintf(out, "safelint: %d package(s) clean\n", len(pkgs))
+	return nil
+}
+
+// relPath renders a diagnostic path relative to the invocation root when
+// possible, for stable and readable output.
+func relPath(root, filename string) string {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return filename
+	}
+	if rel, err := filepath.Rel(abs, filename); err == nil && !filepath.IsAbs(rel) &&
+		rel != ".." && !(len(rel) > 2 && rel[:3] == ".."+string(filepath.Separator)) {
+		return filepath.ToSlash(rel)
+	}
+	return filename
+}

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module from path->source pairs.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module seedmod\n\ngo 1.22\n"
+	for rel, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestRunFlagsEveryRuleFamily seeds one violation per rule family into a
+// synthetic module and checks the CLI exits with errViolations and
+// reports each family — the end-to-end counterpart of the acceptance
+// criterion "non-zero exit on a seeded violation for each rule".
+func TestRunFlagsEveryRuleFamily(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"hot/hot.go": `package hot
+
+var buf []int
+
+//safexplain:hotpath
+func Step(v int) {
+	buf = append(buf, v)
+}
+`,
+		"wc/wc.go": `package wc
+
+var acc int
+
+//safexplain:wcet
+func Sum(n int) {
+	for i := 0; i < n; i++ {
+		acc++
+	}
+}
+`,
+		"det/det.go": `// Package det is deterministic.
+//
+//safexplain:deterministic
+package det
+
+var total int
+
+func Sum(m map[string]int) {
+	for _, v := range m {
+		total += v
+	}
+}
+`,
+		"internal/obs/obs.go": `package obs
+
+func Step(v int) int {
+	if v < 0 {
+		panic("negative")
+	}
+	return v
+}
+`,
+		"internal/rt/rt.go": `package rt
+
+// Untagged lacks a traceability tag.
+func Untagged() {}
+`,
+	})
+
+	var out bytes.Buffer
+	err := run([]string{"-root", dir, "./..."}, &out)
+	if !errors.Is(err, errViolations) {
+		t.Fatalf("run = %v, want errViolations\noutput:\n%s", err, out.String())
+	}
+	for _, rule := range []string{"hotpath-alloc", "wcet-unbounded", "det-map-range", "operate-panic", "req-missing"} {
+		if !strings.Contains(out.String(), rule) {
+			t.Errorf("output missing %s:\n%s", rule, out.String())
+		}
+	}
+}
+
+// TestRunCleanModule checks the zero-exit path and the -report output.
+func TestRunCleanModule(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"hot/hot.go": `package hot
+
+type ring struct {
+	buf [8]int
+	n   int
+}
+
+// Record stores one value.
+//
+//safexplain:req REQ-DET
+type Recorder = ring
+
+//safexplain:hotpath
+//safexplain:wcet
+func (r *ring) Record(v int) {
+	r.buf[r.n&7] = v
+	r.n++
+}
+`,
+	})
+	report := filepath.Join(dir, "req.json")
+	var out bytes.Buffer
+	if err := run([]string{"-root", dir, "-report", report, "./..."}, &out); err != nil {
+		t.Fatalf("run = %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "clean") {
+		t.Errorf("output missing clean summary:\n%s", out.String())
+	}
+	blob, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	if !bytes.Contains(blob, []byte(`"hash"`)) || !bytes.Contains(blob, []byte("REQ-DET")) {
+		t.Errorf("report missing hash or tag:\n%s", blob)
+	}
+}
+
+// TestRunPatternScoping checks that patterns restrict which packages are
+// checked: the violating package is skipped when not matched.
+func TestRunPatternScoping(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"hot/hot.go": `package hot
+
+var buf []int
+
+//safexplain:hotpath
+func Step(v int) {
+	buf = append(buf, v)
+}
+`,
+		"ok/ok.go": `package ok
+
+func Fine() {}
+`,
+	})
+	var out bytes.Buffer
+	if err := run([]string{"-root", dir, "./ok"}, &out); err != nil {
+		t.Fatalf("run = %v\noutput:\n%s", err, out.String())
+	}
+	if err := run([]string{"-root", dir, "./hot"}, &out); !errors.Is(err, errViolations) {
+		t.Fatalf("run(./hot) = %v, want errViolations", err)
+	}
+}
+
+// TestRunUsageError checks the bad-invocation path.
+func TestRunUsageError(t *testing.T) {
+	if err := run([]string{"-nosuchflag"}, &bytes.Buffer{}); !errors.Is(err, errUsage) {
+		t.Fatalf("run = %v, want errUsage", err)
+	}
+}
+
+// TestRepoIsClean lints this repository itself — the annotated tree must
+// stay violation-free, which is the other half of the acceptance
+// criterion.
+func TestRepoIsClean(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-root", "../..", "./..."}, &out); err != nil {
+		t.Fatalf("repository not safelint-clean: %v\n%s", err, out.String())
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"testing"
+
+	"safexplain/internal/core"
+	"safexplain/internal/lint"
+)
+
+// TestT14Registered pins the safelint campaign experiment in the
+// registry, extending the registry/docs drift guard to it by name:
+// removing T14 (or its documentation) must fail the build, because
+// EXPERIMENTS.md claims its numbers.
+func TestT14Registered(t *testing.T) {
+	if _, ok := registry["T14"]; !ok {
+		t.Fatal("experiment T14 (safelint campaign) is not registered")
+	}
+	res, err := Run("T14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics["detection_rate"] < 0.9 {
+		t.Fatalf("T14 overall detection rate %.3f below the 0.9 claim", res.Metrics["detection_rate"])
+	}
+}
+
+// TestReqTagsMatchLifecycleRequirements guards traceability-tag drift:
+// every //safexplain:req ID annotated anywhere in the module must be a
+// requirement the core lifecycle actually registers in the trace log
+// (core.Req*). A tag naming a retired or misspelled requirement would
+// make the coverage report claim evidence the assurance case never
+// carries; this test — and the req-unknown rule it mirrors — fails first.
+func TestReqTagsMatchLifecycleRequirements(t *testing.T) {
+	known := map[string]bool{
+		core.ReqAccuracy: true,
+		core.ReqTrust:    true,
+		core.ReqExplain:  true,
+		core.ReqDeterm:   true,
+		core.ReqTiming:   true,
+		core.ReqPattern:  true,
+	}
+	// The analyzer's own KnownReqs set must be the same six — the lint
+	// config and the lifecycle must not drift apart either.
+	cfg := lint.DefaultConfig()
+	if len(cfg.KnownReqs) != len(known) {
+		t.Fatalf("lint.DefaultConfig knows %d requirement IDs, core registers %d",
+			len(cfg.KnownReqs), len(known))
+	}
+	for _, id := range cfg.KnownReqs {
+		if !known[id] {
+			t.Errorf("lint.DefaultConfig knows %q, which core never registers", id)
+		}
+	}
+
+	pkgs, err := lint.LoadModule("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	rep := lint.BuildReqReport(pkgs)
+	if rep.Sites == 0 {
+		t.Fatal("no //safexplain:req tags found in the module — loader drift?")
+	}
+	for id, sites := range rep.Requirements {
+		if !known[id] {
+			t.Errorf("tag %q (first at %s:%d) is not a lifecycle-registered requirement",
+				id, sites[0].File, sites[0].Line)
+		}
+	}
+	// Every requirement the lifecycle registers should have at least one
+	// implementation site tagged — the requirement→code direction.
+	for id := range known {
+		if len(rep.Requirements[id]) == 0 {
+			t.Errorf("requirement %s has no //safexplain:req implementation site", id)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"safexplain/internal/lint"
+)
+
+func init() {
+	registry["T14"] = runT14
+}
+
+// T14 — does the safety-rules analyzer actually catch rule violations?
+// A static analyzer offered as certification evidence must itself be
+// qualified: its detection power is a measured property, not an
+// assumption (the tool-confidence argument of IEC 61508-3 / ISO 26262-8).
+// The seeded-defect campaign in internal/lint plants a known number of
+// violations per rule family — including two the intraprocedural
+// analysis is documented to miss (an allocation hidden in an unannotated
+// callee, a float comparison boxed through interfaces) — alongside clean
+// twin packages full of benign look-alike constructs. The table reports
+// per-family detection and false-positive rates; the campaign is pure
+// syntax/type analysis of embedded sources, so it is bit-reproducible.
+func runT14() Result {
+	res, err := lint.RunCampaign()
+	if err != nil {
+		panic(err)
+	}
+
+	header := []string{"rule family", "seeded", "detected", "missed", "detection", "clean constructs", "false pos", "FP rate"}
+	var rows [][]string
+	metrics := map[string]float64{}
+	for _, fr := range res.Families {
+		rows = append(rows, []string{
+			fr.Family,
+			fmt.Sprintf("%d", fr.Seeded),
+			fmt.Sprintf("%d", fr.Detected),
+			fmt.Sprintf("%d", fr.Missed),
+			fmt.Sprintf("%.1f%%", fr.DetectionRate*100),
+			fmt.Sprintf("%d", fr.CleanConstructs),
+			fmt.Sprintf("%d", fr.FalsePositives),
+			fmt.Sprintf("%.1f%%", fr.FalsePositiveRate*100),
+		})
+		metrics[fr.Family+"_detection_rate"] = fr.DetectionRate
+		metrics[fr.Family+"_false_positive_rate"] = fr.FalsePositiveRate
+	}
+	seeded, detected, overall := res.Overall()
+	rows = append(rows,
+		[]string{"—", "", "", "", "", "", "", ""},
+		[]string{"overall", fmt.Sprintf("%d", seeded), fmt.Sprintf("%d", detected),
+			fmt.Sprintf("%d", seeded-detected), fmt.Sprintf("%.1f%%", overall*100), "", "", ""})
+	metrics["detection_rate"] = overall
+
+	// Name the documented misses so the table is honest about what the
+	// 100%-detection families do NOT imply.
+	var misses []string
+	for _, cr := range res.Cases {
+		if !cr.Case.Clean && cr.Case.Expected < cr.Case.Seeded {
+			misses = append(misses,
+				fmt.Sprintf("%s (%s: %d seeded, %d in analyzer reach)",
+					cr.Case.Name, cr.Case.Family, cr.Case.Seeded, cr.Case.Expected))
+		}
+	}
+	tbl := table(header, rows)
+	if len(misses) > 0 {
+		tbl += "\ndocumented miss classes:\n"
+		for _, m := range misses {
+			tbl += "  " + m + "\n"
+		}
+	}
+
+	return Result{
+		ID:      "T14",
+		Title:   "safelint seeded-defect campaign: per-rule detection and false-positive rates",
+		Table:   tbl,
+		Metrics: metrics,
+	}
+}

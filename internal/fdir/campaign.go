@@ -19,11 +19,15 @@ import (
 // experiment T12.
 
 // FaultKind selects the campaign fault model.
+//
+//safexplain:req REQ-PATTERN
 type FaultKind string
 
 // Fault models. SEU and flatline are persistent (until repaired or
 // isolated); sensor, timing and drop are transient windows of Duration
 // frames.
+//
+//safexplain:req REQ-PATTERN
 const (
 	// FaultSEU flips Intensity random bits in the live weights at the
 	// injection frame (single-event upsets; golden reload repairs them).
@@ -43,6 +47,8 @@ const (
 )
 
 // FaultSpec is one fault model × intensity point of the sweep.
+//
+//safexplain:req REQ-PATTERN
 type FaultSpec struct {
 	// Name labels the campaign row (e.g. "seu-60").
 	Name string
@@ -56,6 +62,8 @@ type FaultSpec struct {
 }
 
 // PatternSpec is one safety-pattern point of the sweep.
+//
+//safexplain:req REQ-PATTERN
 type PatternSpec struct {
 	Name string
 	// Build assembles the pattern over the cell's live image and probe.
@@ -68,6 +76,8 @@ type PatternSpec struct {
 }
 
 // CampaignConfig fixes the sweep's stream, schedule and FDIR tuning.
+//
+//safexplain:req REQ-PATTERN
 type CampaignConfig struct {
 	// Stream is the labelled frame source, cycled to Frames length.
 	Stream Dataset
@@ -94,6 +104,8 @@ type CampaignConfig struct {
 }
 
 // CellResult is one (fault, pattern) campaign measurement.
+//
+//safexplain:req REQ-PATTERN REQ-XAI
 type CellResult struct {
 	Fault   FaultSpec
 	Pattern string
@@ -157,6 +169,8 @@ func (c CellResult) Availability() float64 {
 
 // ChannelOverProbe adapts a Probe into a safety.Channel (argmax of the
 // probed outputs), so campaign patterns observe injected output faults.
+//
+//safexplain:req REQ-PATTERN
 func ChannelOverProbe(id string, p Probe) safety.Channel {
 	return probeChannel{id: id, p: p}
 }
@@ -189,6 +203,8 @@ func (p *switchProbe) freeze(v []float32) { p.frozen = append([]float32(nil), v.
 // InjectSEU flips bits in live's weights in place (safety.CorruptWeights
 // semantics: flips uniform single-bit upsets at seeded positions) — the
 // in-the-field counterpart of the clean-room corruption helper.
+//
+//safexplain:req REQ-PATTERN
 func InjectSEU(live *nn.Network, flips int, seed uint64) error {
 	corrupted, err := safety.CorruptWeights(live, flips, seed)
 	if err != nil {
@@ -214,6 +230,8 @@ func complementPixels(x *tensor.Tensor, n int, r *prng.Source) *tensor.Tensor {
 }
 
 // ErrCampaignConfig is returned when a sweep is misconfigured.
+//
+//safexplain:req REQ-PATTERN
 var ErrCampaignConfig = errors.New("fdir: invalid campaign config")
 
 // RunCampaign sweeps faults × patterns and returns one CellResult per
@@ -222,6 +240,8 @@ var ErrCampaignConfig = errors.New("fdir: invalid campaign config")
 // byte-for-byte — and because the injection randomness derives from the
 // fault alone, every pattern row of one fault (including the no-FDIR
 // baseline) faces the identical corruption.
+//
+//safexplain:req REQ-PATTERN
 func RunCampaign(cfg CampaignConfig, patterns []PatternSpec, faults []FaultSpec) ([]CellResult, error) {
 	if cfg.Stream == nil || cfg.Stream.Len() == 0 || cfg.Frames <= 0 || cfg.NewNet == nil {
 		return nil, ErrCampaignConfig

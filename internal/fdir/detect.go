@@ -15,9 +15,13 @@ import (
 // their thresholds are themselves reproducible evidence.
 
 // AnomalyKind classifies a detected anomaly.
+//
+//safexplain:req REQ-PATTERN
 type AnomalyKind string
 
 // Anomaly kinds covering the T12 fault models.
+//
+//safexplain:req REQ-PATTERN
 const (
 	AnomalyNaN      AnomalyKind = "nan-logit"         // NaN/Inf in the output vector
 	AnomalyRange    AnomalyKind = "logit-range"       // output magnitude outside calibrated bounds
@@ -29,6 +33,8 @@ const (
 )
 
 // Anomaly is one detector finding on one frame.
+//
+//safexplain:req REQ-PATTERN
 type Anomaly struct {
 	Kind   AnomalyKind
 	Detail string
@@ -36,6 +42,8 @@ type Anomaly struct {
 
 // Dataset is the labelled-sample stream detectors calibrate against
 // (structurally data.Set / safety.Dataset).
+//
+//safexplain:req REQ-ACC
 type Dataset interface {
 	Len() int
 	Sample(i int) (x *tensor.Tensor, label int)
@@ -44,12 +52,16 @@ type Dataset interface {
 // Probe exposes the monitored channel's raw output vector. Monitoring the
 // logits (rather than the argmax) is what makes flatline and range faults
 // observable.
+//
+//safexplain:req REQ-PATTERN
 type Probe interface {
 	Logits(x *tensor.Tensor) []float32
 }
 
 // NetProbe probes an nn.Network. The returned slice is a copy, stable
 // across subsequent forwards.
+//
+//safexplain:req REQ-PATTERN
 type NetProbe struct{ Net *nn.Network }
 
 // Logits implements Probe.
@@ -65,6 +77,8 @@ func (p NetProbe) Logits(x *tensor.Tensor) []float32 {
 // and stuck class (same argmax over a long run). It is stateful across
 // frames; Reset clears the history after a repair so the new image is not
 // blamed for the old one's outputs.
+//
+//safexplain:req REQ-PATTERN
 type OutputGuard struct {
 	// MaxAbs is the calibrated magnitude bound; 0 disables the range
 	// check.
@@ -85,6 +99,8 @@ type OutputGuard struct {
 
 // CalibrateOutputGuard measures the channel's output magnitude over ds and
 // returns a guard whose MaxAbs is the observed maximum times margin.
+//
+//safexplain:req REQ-PATTERN REQ-ACC
 func CalibrateOutputGuard(p Probe, ds Dataset, margin float32, flatlineWindow, stuckWindow int) *OutputGuard {
 	var maxAbs float32
 	for i := 0; i < ds.Len(); i++ {
@@ -107,27 +123,26 @@ func CalibrateOutputGuard(p Probe, ds Dataset, margin float32, flatlineWindow, s
 }
 
 // Reset clears the flatline/stuck history (e.g. after a golden-image
-// reload).
+// reload). The history buffer keeps its capacity: Reset on a live guard
+// does not re-allocate.
 func (g *OutputGuard) Reset() {
-	g.prev = nil
+	g.prev = g.prev[:0]
 	g.flatRun = 0
 	g.lastClass = -1
 	g.classRun = 0
 }
 
-// Check examines one output vector and returns the anomalies found.
+// Check examines one output vector and returns the anomalies found. The
+// per-frame scan work is in the allocation-free scan kernel; this outer
+// layer only grows the history buffer on first use (or a width change)
+// and formats anomaly records on the rare frames that have any.
 func (g *OutputGuard) Check(logits []float32) []Anomaly {
-	var anoms []Anomaly
-	worst := float32(0)
-	sawNaN := false
-	for _, v := range logits {
-		f := float64(v)
-		if math.IsNaN(f) || math.IsInf(f, 0) {
-			sawNaN = true
-		} else if a := float32(math.Abs(f)); a > worst {
-			worst = a
-		}
+	if cap(g.prev) < len(logits) {
+		g.prev = make([]float32, 0, len(logits))
 	}
+	sawNaN, worst := g.scan(logits)
+
+	var anoms []Anomaly
 	if sawNaN {
 		anoms = append(anoms, Anomaly{AnomalyNaN, "NaN/Inf in output vector"})
 	}
@@ -135,11 +150,38 @@ func (g *OutputGuard) Check(logits []float32) []Anomaly {
 		anoms = append(anoms, Anomaly{AnomalyRange,
 			fmt.Sprintf("|logit| %.3g exceeds calibrated bound %.3g", worst, g.MaxAbs)})
 	}
+	if g.FlatlineWindow > 0 && g.flatRun+1 >= g.FlatlineWindow {
+		anoms = append(anoms, Anomaly{AnomalyFlatline,
+			fmt.Sprintf("output vector bit-identical for %d frames", g.flatRun+1)})
+	}
+	if g.StuckWindow > 0 && g.classRun >= g.StuckWindow {
+		anoms = append(anoms, Anomaly{AnomalyStuck,
+			fmt.Sprintf("class %d held for %d frames", g.lastClass, g.classRun)})
+	}
+	return anoms
+}
+
+// scan is the per-frame detection kernel: NaN/Inf and magnitude scan,
+// bit-exact flatline comparison against the previous frame, history
+// copy, and argmax/stuck-class bookkeeping. The caller guarantees
+// cap(g.prev) >= len(logits), so the kernel never allocates.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (g *OutputGuard) scan(logits []float32) (sawNaN bool, worst float32) {
+	for _, v := range logits { //safexplain:bounded logit width fixed by the deployed model
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			sawNaN = true
+		} else if a := float32(math.Abs(f)); a > worst {
+			worst = a
+		}
+	}
 
 	// Flatline: bit-identical vector to the previous frame.
-	if g.prev != nil && len(g.prev) == len(logits) {
+	if len(g.prev) == len(logits) && len(logits) > 0 {
 		identical := true
-		for i := range logits {
+		for i := range logits { //safexplain:bounded logit width fixed by the deployed model
 			if math.Float32bits(logits[i]) != math.Float32bits(g.prev[i]) {
 				identical = false
 				break
@@ -151,30 +193,27 @@ func (g *OutputGuard) Check(logits []float32) []Anomaly {
 			g.flatRun = 0
 		}
 	}
-	g.prev = append(g.prev[:0], logits...)
-	if g.FlatlineWindow > 0 && g.flatRun+1 >= g.FlatlineWindow {
-		anoms = append(anoms, Anomaly{AnomalyFlatline,
-			fmt.Sprintf("output vector bit-identical for %d frames", g.flatRun+1)})
+	g.prev = g.prev[:len(logits)]
+	for i := range logits { //safexplain:bounded logit width fixed by the deployed model
+		g.prev[i] = logits[i]
 	}
 
 	// Stuck class: same argmax over a long run.
-	class := argmax(logits)
-	if class == g.lastClass {
+	cls := argmax(logits)
+	if cls == g.lastClass {
 		g.classRun++
 	} else {
 		g.classRun = 1
-		g.lastClass = class
+		g.lastClass = cls
 	}
-	if g.StuckWindow > 0 && g.classRun >= g.StuckWindow {
-		anoms = append(anoms, Anomaly{AnomalyStuck,
-			fmt.Sprintf("class %d held for %d frames", class, g.classRun)})
-	}
-	return anoms
+	return sawNaN, worst
 }
 
+//safexplain:hotpath
+//safexplain:wcet
 func argmax(xs []float32) int {
 	best, bestV := -1, float32(math.Inf(-1))
-	for i, v := range xs {
+	for i, v := range xs { //safexplain:bounded logit width fixed by the deployed model
 		if v > bestV || best == -1 {
 			best, bestV = i, v
 		}
@@ -184,6 +223,8 @@ func argmax(xs []float32) int {
 
 // InputGuard checks sensor plausibility: pixel statistics of the input
 // must sit inside bounds calibrated on the frozen training data.
+//
+//safexplain:req REQ-PATTERN
 type InputGuard struct {
 	MeanLo, MeanHi float64
 	// MinStd is the minimum pixel standard deviation; a dead (constant)
@@ -194,6 +235,8 @@ type InputGuard struct {
 // CalibrateInputGuard measures per-sample mean and standard deviation over
 // ds and widens the observed ranges by margin (a fraction of the observed
 // spread; e.g. 0.5 widens by half the spread on each side).
+//
+//safexplain:req REQ-PATTERN REQ-ACC
 func CalibrateInputGuard(ds Dataset, margin float64) *InputGuard {
 	meanLo, meanHi := math.Inf(1), math.Inf(-1)
 	minStd := math.Inf(1)
@@ -239,16 +282,20 @@ func (g *InputGuard) Check(x *tensor.Tensor) []Anomaly {
 	return anoms
 }
 
+// meanStd is the per-frame input-statistics kernel.
+//
+//safexplain:hotpath
+//safexplain:wcet
 func meanStd(x *tensor.Tensor) (mean, std float64) {
 	d := x.Data()
 	if len(d) == 0 {
 		return 0, 0
 	}
-	for _, v := range d {
+	for _, v := range d { //safexplain:bounded frame size fixed by the sensor format
 		mean += float64(v)
 	}
 	mean /= float64(len(d))
-	for _, v := range d {
+	for _, v := range d { //safexplain:bounded frame size fixed by the sensor format
 		dv := float64(v) - mean
 		std += dv * dv
 	}
@@ -257,6 +304,8 @@ func meanStd(x *tensor.Tensor) (mean, std float64) {
 
 // Signals carries the per-frame external fault signals the executive and
 // I/O layer feed into FDIR alongside the model-output checks.
+//
+//safexplain:req REQ-PATTERN REQ-WCET
 type Signals struct {
 	// TimingOverrun reports that the inference task overran its budget
 	// this frame (from rt.FrameResult).
@@ -268,6 +317,8 @@ type Signals struct {
 // SignalsFromFrame derives the FDIR timing signal for one task from an
 // rt executive frame result: a budget miss by the named task, or a
 // watchdog fire on the whole frame, counts as a timing overrun.
+//
+//safexplain:req REQ-PATTERN REQ-WCET
 func SignalsFromFrame(res rt.FrameResult, task string) Signals {
 	s := Signals{TimingOverrun: res.Watchdog}
 	for _, m := range res.Misses {

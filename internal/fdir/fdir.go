@@ -26,16 +26,26 @@
 // The campaign engine (campaign.go) sweeps fault models × safety
 // patterns × intensities and measures detection latency, recovery time,
 // residual hazard rate and availability — experiment T12.
+//
+// The package is replay-deterministic: campaigns draw randomness from
+// seeded internal/prng sources only, and no decision path reads the wall
+// clock or iterates a map.
+//
+//safexplain:deterministic
 package fdir
 
 import "fmt"
 
 // State is a channel's health state.
+//
+//safexplain:req REQ-PATTERN
 type State uint8
 
 // Health states. A channel is in service only while Healthy or Suspect;
 // Quarantined and Probation channels are shadow-monitored but their
 // outputs are withheld in favour of the degraded mode.
+//
+//safexplain:req REQ-PATTERN
 const (
 	Healthy State = iota
 	Suspect
@@ -61,6 +71,8 @@ func (s State) String() string {
 
 // HealthConfig tunes the state machine thresholds. Zero values take the
 // documented defaults.
+//
+//safexplain:req REQ-PATTERN
 type HealthConfig struct {
 	// QuarantineAfter is the cumulative anomaly count while Suspect
 	// (including the anomaly that raised suspicion) that quarantines the
@@ -98,6 +110,8 @@ func (c HealthConfig) withDefaults() HealthConfig {
 
 // Health is the per-channel state machine. The zero value is not ready;
 // use NewHealth.
+//
+//safexplain:req REQ-PATTERN
 type Health struct {
 	cfg   HealthConfig
 	state State
@@ -109,6 +123,8 @@ type Health struct {
 }
 
 // NewHealth returns a Healthy state machine with the given thresholds.
+//
+//safexplain:req REQ-PATTERN
 func NewHealth(cfg HealthConfig) *Health {
 	return &Health{cfg: cfg.withDefaults()}
 }

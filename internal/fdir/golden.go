@@ -18,15 +18,21 @@ import (
 
 // ErrGoldenCorrupt is returned when the stored golden image fails its own
 // hash check — the spare itself took a fault and must not be loaded.
+//
+//safexplain:req REQ-PATTERN
 var ErrGoldenCorrupt = errors.New("fdir: golden image fails hash verification")
 
 // Golden holds the canonical serialized model and its content hash.
+//
+//safexplain:req REQ-PATTERN
 type Golden struct {
 	image []byte
 	hash  string
 }
 
 // NewGolden captures net's canonical serialization as the golden image.
+//
+//safexplain:req REQ-PATTERN
 func NewGolden(net *nn.Network) (*Golden, error) {
 	image, err := nn.Marshal(net)
 	if err != nil {

@@ -18,6 +18,8 @@ import (
 // quarantine. Every transition is appended to the trace evidence log.
 
 // RuntimeConfig parameterizes a Runtime.
+//
+//safexplain:req REQ-PATTERN
 type RuntimeConfig struct {
 	// Name identifies the monitored channel in evidence records.
 	Name string
@@ -39,6 +41,8 @@ func (c RuntimeConfig) withDefaults() RuntimeConfig {
 }
 
 // Stats aggregates a Runtime's lifetime counters.
+//
+//safexplain:req REQ-PATTERN REQ-XAI
 type Stats struct {
 	Frames      int
 	Anomalies   int // total anomaly records
@@ -48,6 +52,8 @@ type Stats struct {
 }
 
 // Runtime is the per-channel FDIR loop. Construct with NewRuntime.
+//
+//safexplain:req REQ-PATTERN
 type Runtime struct {
 	cfg RuntimeConfig
 
@@ -83,6 +89,8 @@ type Runtime struct {
 
 // NewRuntime assembles an FDIR runtime over a deployed pattern. probe may
 // be nil when net is given (a NetProbe over net is installed).
+//
+//safexplain:req REQ-PATTERN
 func NewRuntime(cfg RuntimeConfig, pattern safety.Pattern, probe Probe, net *nn.Network) *Runtime {
 	cfg = cfg.withDefaults()
 	if probe == nil && net != nil {
@@ -107,6 +115,8 @@ func (r *Runtime) InService() bool { return r.health.InService() }
 func (r *Runtime) Stats() Stats { return r.stats }
 
 // StepResult reports one FDIR-supervised frame.
+//
+//safexplain:req REQ-PATTERN
 type StepResult struct {
 	Frame int
 	// Decision is the delivered decision: the pattern's while in

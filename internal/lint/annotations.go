@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// The annotation grammar. Every marker is a gofmt directive-style
+// comment: no space after //, a lowercase tool name, a colon, a verb.
+const (
+	markHotpath       = "//safexplain:hotpath"
+	markWCET          = "//safexplain:wcet"
+	markDeterministic = "//safexplain:deterministic"
+	markBounded       = "//safexplain:bounded"
+	markReq           = "//safexplain:req"
+)
+
+var reqIDPattern = regexp.MustCompile(`^REQ-[A-Z0-9][A-Z0-9-]*$`)
+
+// FuncMarks are the per-function annotations.
+type FuncMarks struct {
+	Hotpath bool
+	WCET    bool
+}
+
+// funcMarks reads a function declaration's doc comment for hotpath/wcet
+// markers.
+func funcMarks(fd *ast.FuncDecl) FuncMarks {
+	var m FuncMarks
+	if fd.Doc == nil {
+		return m
+	}
+	for _, c := range fd.Doc.List {
+		switch strings.TrimSpace(c.Text) {
+		case markHotpath:
+			m.Hotpath = true
+		case markWCET:
+			m.WCET = true
+		}
+	}
+	return m
+}
+
+// packageDeterministic reports whether any file's package doc comment
+// carries the deterministic marker — a package-scope annotation.
+func packageDeterministic(files []*ast.File) bool {
+	for _, f := range files {
+		if f.Doc == nil {
+			continue
+		}
+		for _, c := range f.Doc.List {
+			if strings.TrimSpace(c.Text) == markDeterministic {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// reqTags extracts the requirement IDs from a declaration doc comment.
+// found reports whether a req marker line was present at all (even with
+// no valid IDs, which is itself diagnosed).
+func reqTags(doc *ast.CommentGroup) (ids []string, found bool) {
+	if doc == nil {
+		return nil, false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		rest, ok := strings.CutPrefix(text, markReq)
+		if !ok {
+			continue
+		}
+		found = true
+		for _, field := range strings.Fields(rest) {
+			ids = append(ids, field)
+		}
+	}
+	return ids, found
+}
+
+// boundWaivers indexes a file's //safexplain:bounded comments by the
+// source line they annotate: a waiver applies to a loop starting on the
+// same line (trailing comment) or on the immediately following line
+// (leading comment). The map value is the justification text.
+type boundWaivers map[int]string
+
+// fileWaivers scans all comments of a file for bounded waivers.
+func fileWaivers(fset *token.FileSet, f *ast.File) boundWaivers {
+	w := boundWaivers{}
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			text := strings.TrimSpace(c.Text)
+			rest, ok := strings.CutPrefix(text, markBounded)
+			if !ok {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			w[line] = strings.TrimSpace(rest)
+		}
+	}
+	return w
+}
+
+// waiverFor looks up a waiver covering a statement at pos: same line
+// (trailing) or the line above (leading).
+func (w boundWaivers) waiverFor(fset *token.FileSet, pos token.Pos) (reason string, ok bool) {
+	line := fset.Position(pos).Line
+	if r, found := w[line]; found {
+		return r, true
+	}
+	if r, found := w[line-1]; found {
+		return r, true
+	}
+	return "", false
+}

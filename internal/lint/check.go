@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Check runs every rule over the loaded packages and returns the
+// position-sorted diagnostics.
+func Check(pkgs []*Package, cfg Config) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		diags = append(diags, CheckPackage(p, cfg)...)
+	}
+	sortDiags(diags)
+	return diags
+}
+
+// CheckPackage runs every rule over one package.
+func CheckPackage(p *Package, cfg Config) []Diagnostic {
+	name := ""
+	if len(p.Files) > 0 {
+		name = p.Files[0].Name.Name
+	}
+	c := &checker{
+		pkg:           p,
+		cfg:           cfg,
+		deterministic: packageDeterministic(p.Files),
+		noPanic:       matches(p.Path, name, cfg.NoPanicPackages),
+		reqPkg:        matches(p.Path, name, cfg.ReqPackages),
+	}
+	for _, f := range p.Files {
+		c.checkFile(f)
+	}
+	sortDiags(c.diags)
+	return c.diags
+}
+
+// checker holds per-package rule state.
+type checker struct {
+	pkg   *Package
+	cfg   Config
+	diags []Diagnostic
+
+	deterministic bool
+	noPanic       bool
+	reqPkg        bool
+}
+
+func (c *checker) report(pos token.Pos, rule, format string, args ...any) {
+	c.diags = append(c.diags, Diagnostic{
+		Pos:     c.pkg.Fset.Position(pos),
+		Rule:    rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// typeOf returns the (possibly nil) type of an expression.
+func (c *checker) typeOf(e ast.Expr) types.Type {
+	if c.pkg.Info == nil {
+		return nil
+	}
+	return c.pkg.Info.TypeOf(e)
+}
+
+// isConst reports whether the expression is a compile-time constant.
+func (c *checker) isConst(e ast.Expr) bool {
+	if lit, ok := e.(*ast.BasicLit); ok && (lit.Kind == token.INT || lit.Kind == token.FLOAT) {
+		return true
+	}
+	if c.pkg.Info == nil {
+		return false
+	}
+	tv, ok := c.pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// underlying returns the underlying type, nil-safe.
+func underlying(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+// isMap / isFloat classify an expression's type, nil-safe (unknown types
+// classify as neither — the conservative direction for rule noise, the
+// optimistic one for coverage; T14 quantifies the resulting miss rate).
+func (c *checker) isMap(e ast.Expr) bool {
+	_, ok := underlying(c.typeOf(e)).(*types.Map)
+	return ok
+}
+
+func (c *checker) isFloat(e ast.Expr) bool {
+	b, ok := underlying(c.typeOf(e)).(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func (c *checker) isString(e ast.Expr) bool {
+	if lit, ok := e.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+		return true
+	}
+	b, ok := underlying(c.typeOf(e)).(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isBuiltin reports whether the call target is the named builtin,
+// preferring type information and falling back to the identifier text.
+func (c *checker) isBuiltin(fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	if c.pkg.Info != nil {
+		if obj, found := c.pkg.Info.Uses[id]; found {
+			_, isB := obj.(*types.Builtin)
+			return isB
+		}
+	}
+	return true
+}
+
+// fileImports maps a file's local import names to import paths
+// (skipping dot and blank imports).
+func fileImports(f *ast.File) map[string]string {
+	out := map[string]string{}
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == "." || name == "_" {
+			continue
+		}
+		out[name] = path
+	}
+	return out
+}
+
+// pkgCall resolves a call of the form pkgname.Func and returns the
+// import path and function name, confirming via type info when present
+// that the receiver really is a package name (not a shadowing variable).
+func (c *checker) pkgCall(call *ast.CallExpr, imports map[string]string) (path, fn string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	x, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	p, imported := imports[x.Name]
+	if !imported {
+		return "", "", false
+	}
+	if c.pkg.Info != nil {
+		if obj, found := c.pkg.Info.Uses[x]; found {
+			if _, isPkg := obj.(*types.PkgName); !isPkg {
+				return "", "", false
+			}
+		}
+	}
+	return p, sel.Sel.Name, true
+}
+
+// checkFile dispatches all rules over one file.
+func (c *checker) checkFile(f *ast.File) {
+	waivers := fileWaivers(c.pkg.Fset, f)
+	imports := fileImports(f)
+
+	if c.deterministic {
+		c.checkDeterminismImports(f, imports)
+	}
+	if c.deterministic || c.noPanic {
+		c.checkFileWide(f, imports)
+	}
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			m := funcMarks(fd)
+			if m.Hotpath {
+				c.checkHotpath(fd, imports)
+			}
+			if m.WCET {
+				c.checkWCET(fd, waivers)
+			}
+		}
+	}
+	if c.reqPkg {
+		c.checkReqTags(f)
+	}
+}

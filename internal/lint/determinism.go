@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The determinism rule (//safexplain:deterministic in a package doc
+// comment) bans the ambient-nondeterminism constructs that break
+// bit-identical replay: wall-clock reads (time.Now, time.Since),
+// math/rand (internal/prng is the seeded replacement), map range
+// iteration (randomized order), and float ==/!= (representation-
+// sensitive). It applies to the whole package, annotated or not —
+// determinism is a package-level contract.
+//
+// The operate-panic rule shares the same file walk: in the packages of
+// Config.NoPanicPackages (the operate path) calling the builtin panic is
+// banned — a certifiable runtime degrades through its health machine and
+// error returns, it does not abort the frame loop.
+
+// bannedClockCalls are the wall-clock reads the rule rejects; Since is
+// included because it reads Now internally.
+var bannedClockCalls = map[string]bool{"Now": true, "Since": true}
+
+// checkDeterminismImports flags math/rand imports at the import site.
+func (c *checker) checkDeterminismImports(f *ast.File, imports map[string]string) {
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if path == "math/rand" || path == "math/rand/v2" {
+			c.report(imp.Pos(), "det-rand",
+				"deterministic package imports %s (use internal/prng)", path)
+		}
+	}
+	_ = imports
+}
+
+// checkFileWide runs the whole-file walks shared by the determinism and
+// operate-panic rules.
+func (c *checker) checkFileWide(f *ast.File, imports map[string]string) {
+	timeNames := map[string]bool{}
+	for name, path := range imports {
+		if path == "time" {
+			timeNames[name] = true
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.SelectorExpr:
+			if c.deterministic && bannedClockCalls[v.Sel.Name] {
+				if x, ok := v.X.(*ast.Ident); ok && timeNames[x.Name] && c.isPkgName(x) {
+					c.report(v.Pos(), "det-time",
+						"deterministic package reads the wall clock (time.%s)", v.Sel.Name)
+				}
+			}
+		case *ast.RangeStmt:
+			if c.deterministic && c.isMap(v.X) {
+				c.report(v.Pos(), "det-map-range",
+					"deterministic package iterates a map (randomized order)")
+			}
+		case *ast.BinaryExpr:
+			if c.deterministic && (v.Op == token.EQL || v.Op == token.NEQ) &&
+				(c.isFloat(v.X) || c.isFloat(v.Y)) {
+				c.report(v.Pos(), "det-float-eq",
+					"deterministic package compares floats with %s (use an epsilon or bit comparison)", v.Op)
+			}
+		case *ast.CallExpr:
+			if c.noPanic && c.isBuiltin(v.Fun, "panic") {
+				c.report(v.Pos(), "operate-panic",
+					"operate-path package calls panic (return an error or degrade instead)")
+			}
+		}
+		return true
+	})
+}
+
+// isPkgName confirms (when type info is present) that an identifier
+// denotes an imported package rather than a shadowing variable.
+func (c *checker) isPkgName(id *ast.Ident) bool {
+	if c.pkg.Info == nil {
+		return true
+	}
+	obj, ok := c.pkg.Info.Uses[id]
+	if !ok {
+		return true
+	}
+	_, isPkg := obj.(*types.PkgName)
+	return isPkg
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The hotpath rule: a function marked //safexplain:hotpath is a
+// per-frame record path and must not heap-allocate, defer, spawn
+// goroutines, or write maps. The check is intraprocedural over
+// allocation *constructs*; escape analysis is deliberately out of scope
+// (the AllocsPerRun tests are the dynamic complement), so an allocation
+// hidden inside an unannotated callee is a documented miss class —
+// annotate the callee instead.
+
+// allocPkgs are stdlib packages whose exported functions allocate as a
+// matter of course (formatting, string building, boxing); any call into
+// them from a hotpath function is flagged.
+var allocPkgs = map[string]bool{
+	"fmt":           true,
+	"strings":       true,
+	"strconv":       true,
+	"bytes":         true,
+	"sort":          true,
+	"errors":        true,
+	"regexp":        true,
+	"encoding/json": true,
+	"log":           true,
+	"reflect":       true,
+}
+
+// checkHotpath walks one annotated function body.
+func (c *checker) checkHotpath(fd *ast.FuncDecl, imports map[string]string) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.DeferStmt:
+			c.report(v.Pos(), "hotpath-defer", "%s: defer in hotpath function", name)
+		case *ast.GoStmt:
+			c.report(v.Pos(), "hotpath-go", "%s: go statement in hotpath function", name)
+		case *ast.FuncLit:
+			c.report(v.Pos(), "hotpath-alloc", "%s: closure literal allocates", name)
+			return false // the closure body is not part of the hot frame
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				if _, isLit := v.X.(*ast.CompositeLit); isLit {
+					c.report(v.Pos(), "hotpath-alloc", "%s: &composite literal allocates", name)
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			if c.isSliceOrMapLit(v) {
+				c.report(v.Pos(), "hotpath-alloc", "%s: slice/map composite literal allocates", name)
+			}
+		case *ast.CallExpr:
+			c.checkHotpathCall(name, v, imports)
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				if idx, ok := lhs.(*ast.IndexExpr); ok && c.isMap(idx.X) {
+					c.report(idx.Pos(), "hotpath-map-write", "%s: map write in hotpath function", name)
+				}
+			}
+			if v.Tok == token.ADD_ASSIGN && len(v.Lhs) == 1 && c.isString(v.Lhs[0]) {
+				c.report(v.Pos(), "hotpath-alloc", "%s: string concatenation allocates", name)
+			}
+		case *ast.IncDecStmt:
+			if idx, ok := v.X.(*ast.IndexExpr); ok && c.isMap(idx.X) {
+				c.report(idx.Pos(), "hotpath-map-write", "%s: map write in hotpath function", name)
+			}
+		case *ast.BinaryExpr:
+			if v.Op == token.ADD && (c.isString(v.X) || c.isString(v.Y)) {
+				c.report(v.Pos(), "hotpath-alloc", "%s: string concatenation allocates", name)
+			}
+		}
+		return true
+	})
+}
+
+// isSliceOrMapLit reports whether a composite literal builds a slice or
+// map value (heap-backed), as opposed to a struct or fixed array value
+// written into existing storage. Named types classify via type info.
+func (c *checker) isSliceOrMapLit(lit *ast.CompositeLit) bool {
+	switch t := lit.Type.(type) {
+	case *ast.ArrayType:
+		return t.Len == nil // []T{...}; [N]T{...} is a value
+	case *ast.MapType:
+		return true
+	case nil:
+		// Untyped literal inside an enclosing literal: the enclosing
+		// literal was already classified.
+		return false
+	}
+	switch underlying(c.typeOf(lit)).(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// checkHotpathCall flags allocating calls: the make/new/append builtins,
+// delete (a map write), conversions that copy to a fresh backing store
+// ([]byte(s), []rune(s), string(b)), and calls into allocating stdlib
+// packages.
+func (c *checker) checkHotpathCall(name string, call *ast.CallExpr, imports map[string]string) {
+	switch {
+	case c.isBuiltin(call.Fun, "make"):
+		c.report(call.Pos(), "hotpath-alloc", "%s: make allocates", name)
+	case c.isBuiltin(call.Fun, "new"):
+		c.report(call.Pos(), "hotpath-alloc", "%s: new allocates", name)
+	case c.isBuiltin(call.Fun, "append"):
+		c.report(call.Pos(), "hotpath-alloc", "%s: append may grow and allocate", name)
+	case c.isBuiltin(call.Fun, "delete"):
+		c.report(call.Pos(), "hotpath-map-write", "%s: map delete in hotpath function", name)
+	default:
+		if _, isSlice := call.Fun.(*ast.ArrayType); isSlice && len(call.Args) == 1 {
+			c.report(call.Pos(), "hotpath-alloc", "%s: conversion to slice allocates", name)
+			return
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "string" && len(call.Args) == 1 {
+			if _, isSlice := underlying(c.typeOf(call.Args[0])).(*types.Slice); isSlice {
+				c.report(call.Pos(), "hotpath-alloc", "%s: string(bytes) conversion allocates", name)
+			}
+			return
+		}
+		if path, fn, ok := c.pkgCall(call, imports); ok && allocPkgs[path] {
+			c.report(call.Pos(), "hotpath-alloc", "%s: call to allocating stdlib %s.%s", name, path, fn)
+		}
+	}
+}

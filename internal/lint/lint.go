@@ -1,0 +1,136 @@
+// Package lint is safelint: a repo-specific safety-rules static analyzer
+// built only on the standard library's go/parser, go/ast and go/types —
+// no module dependencies. It turns this repository's safety-critical
+// coding conventions (until now enforced by review and a handful of
+// testing.AllocsPerRun spot tests) into deterministic pass/fail evidence
+// a certification assessor can consume, closing the FUSA gap the paper
+// names: AI-support software must be *testable* against explicit rules.
+//
+// The rules key off magic comments (the annotation grammar is documented
+// in DESIGN.md):
+//
+//	//safexplain:hotpath        function: no heap allocation, no defer,
+//	                            no go statement, no map writes
+//	//safexplain:wcet           function: every loop bounded by a
+//	                            constant, a fixed-length array, or an
+//	                            explicit //safexplain:bounded waiver
+//	//safexplain:deterministic  package (in the package doc comment):
+//	                            no time.Now/Since, no math/rand, no map
+//	                            range iteration, no float ==/!=
+//	//safexplain:bounded <why>  loop: waives the wcet rule with a
+//	                            recorded justification
+//	//safexplain:req REQ-X ...  exported declaration: traceability tags
+//	                            whose coverage is emitted as a hashed
+//	                            JSON report (req.go)
+//
+// Two rules need no annotation: panic is banned outright in the operate
+// path packages (Config.NoPanicPackages), and exported declarations in
+// the safety-relevant packages (Config.ReqPackages) must carry req tags.
+//
+// The analysis is intraprocedural and deliberately conservative: it
+// flags allocation *constructs* (make, new, append, slice/map literals,
+// &composite, closures, string concatenation, calls into allocating
+// stdlib packages), not escape-analysis results. The AllocsPerRun tests
+// remain the dynamic complement; experiment T14 measures the per-rule
+// detection and false-positive rates on a seeded-defect corpus.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one rule violation at a source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string // e.g. "hotpath-alloc", "wcet-unbounded", "det-map-range"
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Family maps a rule ID to its rule family — the unit T14 scores
+// detection rates over: hotpath, wcet, determinism, panic, req.
+func (d Diagnostic) Family() string {
+	switch {
+	case strings.HasPrefix(d.Rule, "hotpath-"):
+		return "hotpath"
+	case strings.HasPrefix(d.Rule, "wcet-"):
+		return "wcet"
+	case strings.HasPrefix(d.Rule, "det-"):
+		return "determinism"
+	case d.Rule == "operate-panic":
+		return "panic"
+	case strings.HasPrefix(d.Rule, "req-"):
+		return "req"
+	default:
+		return d.Rule
+	}
+}
+
+// Families lists the rule families in reporting order.
+func Families() []string {
+	return []string{"hotpath", "wcet", "determinism", "panic", "req"}
+}
+
+// Config selects which packages the annotation-free rules apply to. An
+// entry matches a package when it equals the package's import path, is a
+// path-suffix of it (so "internal/rt" matches "safexplain/internal/rt"),
+// or equals the bare package name.
+type Config struct {
+	// NoPanicPackages are the operate-path packages where calling the
+	// builtin panic is banned outright.
+	NoPanicPackages []string
+	// ReqPackages are the safety-relevant packages whose exported
+	// top-level declarations must carry //safexplain:req tags.
+	ReqPackages []string
+	// KnownReqs, when non-empty, is the valid requirement-ID set; a req
+	// tag naming an ID outside it is diagnosed (req-unknown).
+	KnownReqs []string
+}
+
+// DefaultConfig is the repository's rule configuration: panic is banned
+// in the operate path (rt, fdir, obs, supervisor), traceability tags are
+// required in the runtime trio (rt, fdir, obs), and the valid requirement
+// IDs are the six the core lifecycle registers (kept in lockstep with
+// internal/core by the drift-guard test in internal/experiments).
+func DefaultConfig() Config {
+	return Config{
+		NoPanicPackages: []string{"internal/rt", "internal/fdir", "internal/obs", "internal/supervisor"},
+		ReqPackages:     []string{"internal/rt", "internal/fdir", "internal/obs"},
+		KnownReqs:       []string{"REQ-ACC", "REQ-TRUST", "REQ-XAI", "REQ-DET", "REQ-WCET", "REQ-PATTERN"},
+	}
+}
+
+// matches reports whether the package identified by (path, name) is
+// selected by the list (see Config).
+func matches(path, name string, list []string) bool {
+	for _, entry := range list {
+		if entry == path || entry == name || strings.HasSuffix(path, "/"+entry) {
+			return true
+		}
+	}
+	return false
+}
+
+// sortDiags orders diagnostics by position for deterministic output.
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+}

@@ -1,0 +1,341 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// rules collects the rule IDs of a diagnostic list.
+func rules(diags []Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.Rule)
+	}
+	return out
+}
+
+func wantRules(t *testing.T, diags []Diagnostic, want ...string) {
+	t.Helper()
+	got := rules(diags)
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics %v, want %v", len(got), got, want)
+	}
+	counts := map[string]int{}
+	for _, r := range got {
+		counts[r]++
+	}
+	for _, r := range want {
+		counts[r]--
+	}
+	for r, n := range counts {
+		if n != 0 {
+			t.Fatalf("rule %s count off by %d: got %v, want %v", r, n, got, want)
+		}
+	}
+}
+
+func check(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	diags, err := CheckSource("t.go", src, DefaultConfig())
+	if err != nil {
+		t.Fatalf("CheckSource: %v", err)
+	}
+	return diags
+}
+
+func TestHotpathRules(t *testing.T) {
+	diags := check(t, `package p
+
+var m = map[string]int{}
+var s []int
+var out string
+
+//safexplain:hotpath
+func Step(k, a, b string) {
+	defer release()
+	go release()
+	s = append(s, 1)
+	m[k] = 1
+	out = a + b
+}
+
+func release() {}
+`)
+	wantRules(t, diags, "hotpath-defer", "hotpath-go", "hotpath-alloc", "hotpath-map-write", "hotpath-alloc")
+}
+
+func TestHotpathAllowsPreallocated(t *testing.T) {
+	diags := check(t, `package p
+
+type ring struct {
+	buf [8]float64
+	n   int
+}
+
+//safexplain:hotpath
+func (r *ring) Record(v float64) {
+	r.buf[r.n&7] = v
+	r.n++
+}
+`)
+	wantRules(t, diags)
+}
+
+func TestHotpathStdlibCall(t *testing.T) {
+	diags := check(t, `package p
+
+import "fmt"
+
+var out string
+
+//safexplain:hotpath
+func Step(v int) {
+	out = fmt.Sprint(v)
+}
+`)
+	wantRules(t, diags, "hotpath-alloc")
+}
+
+func TestWCETRules(t *testing.T) {
+	diags := check(t, `package p
+
+var acc int
+
+//safexplain:wcet
+func Sum(n int, vs []int) {
+	for i := 0; i < n; i++ {
+		acc++
+	}
+	for _, v := range vs {
+		acc += v
+	}
+	for i := 0; i < 8; i++ {
+		acc++
+	}
+	var a [4]int
+	for j := range a {
+		acc += j
+	}
+	//safexplain:bounded caller caps retries at 3
+	for more() {
+		acc++
+	}
+}
+
+func more() bool { return false }
+`)
+	wantRules(t, diags, "wcet-unbounded", "wcet-unbounded")
+}
+
+func TestWCETWaiverNeedsJustification(t *testing.T) {
+	diags := check(t, `package p
+
+//safexplain:wcet
+func Spin() {
+	//safexplain:bounded
+	for {
+		if done() {
+			return
+		}
+	}
+}
+
+func done() bool { return true }
+`)
+	wantRules(t, diags, "wcet-waiver")
+}
+
+func TestDeterminismRules(t *testing.T) {
+	diags := check(t, `// Package p is deterministic.
+//
+//safexplain:deterministic
+package p
+
+import "time"
+
+var total float64
+
+func Step(m map[string]float64, eps float64) bool {
+	for _, v := range m {
+		total += v
+	}
+	t := time.Now()
+	_ = t
+	return total == eps
+}
+`)
+	wantRules(t, diags, "det-map-range", "det-time", "det-float-eq")
+}
+
+func TestDeterminismRandImport(t *testing.T) {
+	diags := check(t, `// Package p is deterministic.
+//
+//safexplain:deterministic
+package p
+
+import "math/rand"
+
+func Draw() float64 { return rand.Float64() }
+`)
+	wantRules(t, diags, "det-rand")
+}
+
+func TestDeterminismOffByDefault(t *testing.T) {
+	diags := check(t, `package p
+
+var total int
+
+func Sum(m map[string]int) {
+	for _, v := range m {
+		total += v
+	}
+}
+`)
+	wantRules(t, diags)
+}
+
+func TestOperatePanicRule(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoPanicPackages = append(cfg.NoPanicPackages, "p")
+	diags, err := CheckSource("t.go", `package p
+
+func Step(v int) int {
+	if v < 0 {
+		panic("negative")
+	}
+	return v
+}
+`, cfg)
+	if err != nil {
+		t.Fatalf("CheckSource: %v", err)
+	}
+	wantRules(t, diags, "operate-panic")
+}
+
+func TestReqRules(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReqPackages = append(cfg.ReqPackages, "p")
+	diags, err := CheckSource("t.go", `package p
+
+// Tagged is properly tagged.
+//
+//safexplain:req REQ-WCET
+func Tagged() {}
+
+// Missing has no tag.
+func Missing() {}
+
+// Unknown names an ID outside the known set.
+//
+//safexplain:req REQ-NOPE
+func Unknown() {}
+
+// Empty has a bare marker.
+//
+//safexplain:req
+func Empty() {}
+
+func unexported() {}
+`, cfg)
+	if err != nil {
+		t.Fatalf("CheckSource: %v", err)
+	}
+	wantRules(t, diags, "req-missing", "req-unknown", "req-empty")
+}
+
+func TestDiagnosticStringAndFamily(t *testing.T) {
+	d := Diagnostic{
+		Pos:     token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Rule:    "hotpath-alloc",
+		Message: "m",
+	}
+	if got := d.String(); got != "x.go:3:7: hotpath-alloc: m" {
+		t.Fatalf("String: %q", got)
+	}
+	famOf := map[string]string{
+		"hotpath-defer":  "hotpath",
+		"wcet-unbounded": "wcet",
+		"det-map-range":  "determinism",
+		"operate-panic":  "panic",
+		"req-missing":    "req",
+	}
+	for rule, fam := range famOf {
+		if got := (Diagnostic{Rule: rule}).Family(); got != fam {
+			t.Fatalf("Family(%s) = %s, want %s", rule, got, fam)
+		}
+	}
+}
+
+func TestBuildReqReport(t *testing.T) {
+	src := `package p
+
+// Alpha does A.
+//
+//safexplain:req REQ-WCET
+func Alpha() {}
+
+// Beta does B.
+//
+//safexplain:req REQ-WCET REQ-DET
+type Beta struct{}
+
+// gamma is unexported but voluntarily tagged: still counted.
+//
+//safexplain:req REQ-DET
+func gamma() {}
+
+func untagged() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Path: "mod/p", Dir: ".", ModDir: ".", Fset: fset, Files: []*ast.File{f}}
+	rep := BuildReqReport([]*Package{pkg})
+	if rep.Sites != 3 {
+		t.Fatalf("Sites = %d, want 3", rep.Sites)
+	}
+	if n := len(rep.Requirements["REQ-WCET"]); n != 2 {
+		t.Fatalf("REQ-WCET sites = %d, want 2", n)
+	}
+	if n := len(rep.Requirements["REQ-DET"]); n != 2 {
+		t.Fatalf("REQ-DET sites = %d, want 2", n)
+	}
+	if len(rep.Hash) != 64 {
+		t.Fatalf("Hash = %q, want 64 hex chars", rep.Hash)
+	}
+	rep2 := BuildReqReport([]*Package{pkg})
+	if rep2.Hash != rep.Hash {
+		t.Fatalf("hash not stable: %s vs %s", rep.Hash, rep2.Hash)
+	}
+	if !strings.Contains(rep.EvidenceDetail(), rep.Hash[:12]) {
+		t.Fatalf("EvidenceDetail %q does not carry the hash prefix", rep.EvidenceDetail())
+	}
+	blob, err := rep.JSON()
+	if err != nil || len(blob) == 0 {
+		t.Fatalf("JSON: %v", err)
+	}
+}
+
+func TestMatchPattern(t *testing.T) {
+	cases := []struct {
+		rel, pat string
+		want     bool
+	}{
+		{"internal/rt", "./...", true},
+		{".", "./...", true},
+		{"internal/rt", "./internal/...", true},
+		{"internal/rt", "./internal/rt", true},
+		{"internal/rt", "./internal/obs", false},
+		{"cmd/safelint", "./internal/...", false},
+	}
+	for _, c := range cases {
+		if got := matchPattern(c.rel, c.pat); got != c.want {
+			t.Fatalf("matchPattern(%q, %q) = %v, want %v", c.rel, c.pat, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package lint
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and (best-effort) type-checked package of the
+// module under analysis. Type errors do not abort loading: the checkers
+// consult types where available and fall back to syntax, so a partially
+// typed tree still yields deterministic diagnostics.
+type Package struct {
+	Path   string // import path, e.g. "safexplain/internal/rt"
+	Dir    string // absolute directory
+	ModDir string // absolute module root (for stable relative paths)
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Pkg    *types.Package
+	Info   *types.Info
+	// TypeErrors collects non-fatal type-check diagnostics (e.g. an
+	// import the source importer cannot resolve).
+	TypeErrors []error
+}
+
+// Rel returns the module-root-relative slash path of filename, for
+// machine-stable report output.
+func (p *Package) Rel(filename string) string {
+	if r, err := filepath.Rel(p.ModDir, filename); err == nil {
+		return filepath.ToSlash(r)
+	}
+	return filepath.ToSlash(filename)
+}
+
+// LoadModule loads the Go module containing root and returns the
+// packages matched by patterns ("./..." subtree patterns or "./x" exact
+// directories, relative to root; default "./..."). All module packages
+// are parsed and type-checked in dependency order so that cross-package
+// types resolve; the standard library is imported from source (GOROOT),
+// keeping the loader free of toolchain export-data formats. Test files
+// are excluded: the rules govern shipped code.
+func LoadModule(root string, patterns []string) ([]*Package, error) {
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modDir, modPath, err := findModule(absRoot)
+	if err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	fset := token.NewFileSet()
+	all := map[string]*Package{}
+	err = filepath.WalkDir(modDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != modDir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		p, perr := parseDir(fset, path, modDir, modPath)
+		if perr != nil {
+			return perr
+		}
+		if p != nil {
+			all[p.Path] = p
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("lint: no Go packages under %s", modDir)
+	}
+
+	order := topoOrder(all, modPath)
+	std := importer.ForCompiler(fset, "source", nil)
+	done := map[string]*types.Package{}
+	imp := &chainImporter{std: std, local: done}
+	for _, path := range order {
+		p := all[path]
+		info := &types.Info{
+			Types: map[ast.Expr]types.TypeAndValue{},
+			Defs:  map[*ast.Ident]types.Object{},
+			Uses:  map[*ast.Ident]types.Object{},
+		}
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+		}
+		tp, _ := conf.Check(path, fset, p.Files, info)
+		p.Pkg, p.Info = tp, info
+		if tp != nil {
+			done[path] = tp
+		}
+	}
+
+	var out []*Package
+	for _, path := range order {
+		p := all[path]
+		rel, rerr := filepath.Rel(absRoot, p.Dir)
+		if rerr != nil || strings.HasPrefix(rel, "..") {
+			continue
+		}
+		for _, pat := range patterns {
+			if matchPattern(filepath.ToSlash(rel), pat) {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// parseDir parses the non-test Go files of one directory into a Package
+// (nil when the directory holds no buildable Go files).
+func parseDir(fset *token.FileSet, dir, modDir, modPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") ||
+			strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+	p := &Package{Dir: dir, ModDir: modDir, Fset: fset}
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", filepath.Join(dir, n), err)
+		}
+		p.Files = append(p.Files, f)
+	}
+	rel, err := filepath.Rel(modDir, dir)
+	if err != nil {
+		return nil, err
+	}
+	if rel == "." {
+		p.Path = modPath
+	} else {
+		p.Path = modPath + "/" + filepath.ToSlash(rel)
+	}
+	return p, nil
+}
+
+// findModule walks upward from dir to the enclosing go.mod and returns
+// the module root and module path.
+func findModule(dir string) (modDir, modPath string, err error) {
+	for d := dir; ; {
+		data, rerr := os.ReadFile(filepath.Join(d, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					mp := strings.TrimSpace(rest)
+					mp = strings.Trim(mp, `"`)
+					if mp != "" {
+						return d, mp, nil
+					}
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", errors.New("lint: no go.mod found above " + dir)
+		}
+		d = parent
+	}
+}
+
+// matchPattern implements ./... and ./dir pattern matching against a
+// root-relative slash path ("." for the root package itself).
+func matchPattern(rel, pat string) bool {
+	pat = strings.TrimPrefix(pat, "./")
+	rel = strings.TrimPrefix(rel, "./")
+	if rel == "." {
+		rel = ""
+	}
+	if pat == "." {
+		pat = ""
+	}
+	if strings.HasSuffix(pat, "...") {
+		prefix := strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+		return prefix == "" || rel == prefix || strings.HasPrefix(rel, prefix+"/")
+	}
+	return rel == pat
+}
+
+// topoOrder returns the module-local packages in dependency order
+// (imports before importers), so type-checking resolves local imports
+// from the already-checked set.
+func topoOrder(pkgs map[string]*Package, modPath string) []string {
+	var order []string
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string)
+	visit = func(path string) {
+		if state[path] != 0 {
+			return
+		}
+		state[path] = 1
+		p := pkgs[path]
+		var deps []string
+		for _, f := range p.Files {
+			for _, imp := range f.Imports {
+				ip := strings.Trim(imp.Path.Value, `"`)
+				if ip == modPath || strings.HasPrefix(ip, modPath+"/") {
+					if _, ok := pkgs[ip]; ok {
+						deps = append(deps, ip)
+					}
+				}
+			}
+		}
+		sort.Strings(deps)
+		for _, d := range deps {
+			if state[d] == 0 {
+				visit(d)
+			}
+		}
+		state[path] = 2
+		order = append(order, path)
+	}
+	var paths []string
+	for path := range pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		visit(path)
+	}
+	return order
+}
+
+// chainImporter resolves module-local imports from the packages already
+// type-checked this load, and everything else (the standard library)
+// from GOROOT source.
+type chainImporter struct {
+	std   types.Importer
+	local map[string]*types.Package
+}
+
+// Import implements types.Importer.
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.local[path]; ok {
+		return p, nil
+	}
+	return c.std.Import(path)
+}
+
+// CheckSource parses and checks a single self-contained source file as
+// its own package — the entry point the seeded-defect campaign (T14) and
+// the rule unit tests use. Standard-library imports resolve from GOROOT
+// source; type errors are tolerated exactly as in LoadModule.
+func CheckSource(filename, src string, cfg Config) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	pkgName := f.Name.Name
+	p := &Package{Path: "seed/" + pkgName, Dir: ".", ModDir: ".", Fset: fset, Files: []*ast.File{f}}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	p.Pkg, _ = conf.Check(p.Path, fset, p.Files, info)
+	p.Info = info
+	return CheckPackage(p, cfg), nil
+}

@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"sort"
+)
+
+// The traceability rule: exported top-level declarations in the
+// safety-relevant packages (Config.ReqPackages) must carry a
+// //safexplain:req tag naming the requirement(s) they implement, so the
+// requirement→code direction of traceability is machine-checkable, not
+// narrative. Methods are exempt — they inherit the receiver type's tag.
+// The tags are aggregated into a hashed JSON coverage report
+// (BuildReqReport) that links into the internal/trace evidence log the
+// same way flight-recorder dump hashes do.
+
+// checkReqTags enforces the rule over one file's declarations.
+func (c *checker) checkReqTags(f *ast.File) {
+	for _, decl := range f.Decls {
+		name, doc, exported := declNameDoc(decl)
+		if !exported {
+			continue
+		}
+		ids, found := reqTags(doc)
+		if !found {
+			c.report(decl.Pos(), "req-missing",
+				"exported %s lacks a //safexplain:req traceability tag", name)
+			continue
+		}
+		if len(ids) == 0 {
+			c.report(decl.Pos(), "req-empty",
+				"exported %s has a //safexplain:req tag with no requirement IDs", name)
+			continue
+		}
+		for _, id := range ids {
+			if !reqIDPattern.MatchString(id) {
+				c.report(decl.Pos(), "req-empty",
+					"exported %s: malformed requirement ID %q", name, id)
+				continue
+			}
+			if len(c.cfg.KnownReqs) > 0 && !contains(c.cfg.KnownReqs, id) {
+				c.report(decl.Pos(), "req-unknown",
+					"exported %s references unknown requirement %s", name, id)
+			}
+		}
+	}
+}
+
+// declNameDoc extracts a top-level declaration's representative name,
+// doc comment, and whether the req rule applies (an exported func, or a
+// gen-decl group declaring at least one exported type/const/var).
+// Methods return exported=false.
+func declNameDoc(decl ast.Decl) (name string, doc *ast.CommentGroup, exported bool) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Recv != nil || !d.Name.IsExported() {
+			return "", nil, false
+		}
+		return "func " + d.Name.Name, d.Doc, true
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() {
+					return "type " + s.Name.Name, d.Doc, true
+				}
+			case *ast.ValueSpec:
+				for _, n := range s.Names {
+					if n.IsExported() {
+						return "decl " + n.Name, d.Doc, true
+					}
+				}
+			}
+		}
+	}
+	return "", nil, false
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// ReqSite is one tagged declaration in the coverage report.
+type ReqSite struct {
+	Package string `json:"package"`
+	Decl    string `json:"decl"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+}
+
+// ReqReport is the machine-checkable requirement→code coverage evidence:
+// for every requirement ID, the declarations tagged with it. Hash is the
+// SHA-256 over the canonical JSON body (module + requirements), so the
+// report can be linked into the trace evidence chain exactly like a
+// flight-recorder dump hash: the chained record proves *which* coverage
+// state the evidence claims.
+type ReqReport struct {
+	Module       string               `json:"module"`
+	Sites        int                  `json:"sites"`
+	Requirements map[string][]ReqSite `json:"requirements"`
+	Hash         string               `json:"hash"`
+}
+
+// BuildReqReport scans every loaded package (not only ReqPackages —
+// voluntary tags elsewhere count as coverage too) and aggregates the
+// requirement tags.
+func BuildReqReport(pkgs []*Package) *ReqReport {
+	rep := &ReqReport{Requirements: map[string][]ReqSite{}}
+	for _, p := range pkgs {
+		if rep.Module == "" {
+			rep.Module = moduleOf(p.Path)
+		}
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				name, doc, _ := declNameDocAny(decl)
+				ids, found := reqTags(doc)
+				if !found || len(ids) == 0 {
+					continue
+				}
+				pos := p.Fset.Position(decl.Pos())
+				site := ReqSite{Package: p.Path, Decl: name, File: p.Rel(pos.Filename), Line: pos.Line}
+				tagged := false
+				for _, id := range ids {
+					if !reqIDPattern.MatchString(id) {
+						continue
+					}
+					rep.Requirements[id] = append(rep.Requirements[id], site)
+					tagged = true
+				}
+				if tagged {
+					rep.Sites++
+				}
+			}
+		}
+	}
+	for id := range rep.Requirements {
+		sites := rep.Requirements[id]
+		sort.Slice(sites, func(i, j int) bool {
+			if sites[i].File != sites[j].File {
+				return sites[i].File < sites[j].File
+			}
+			return sites[i].Line < sites[j].Line
+		})
+		rep.Requirements[id] = sites
+	}
+	rep.Hash = rep.hashBody()
+	return rep
+}
+
+// declNameDocAny is declNameDoc extended to methods and unexported
+// declarations, for report aggregation (a tag anywhere counts).
+func declNameDocAny(decl ast.Decl) (name string, doc *ast.CommentGroup, ok bool) {
+	if n, d, exported := declNameDoc(decl); exported {
+		return n, d, true
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		n := d.Name.Name
+		if d.Recv != nil && len(d.Recv.List) == 1 {
+			n = recvTypeName(d.Recv.List[0].Type) + "." + n
+		}
+		return "func " + n, d.Doc, true
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				return "type " + s.Name.Name, d.Doc, true
+			case *ast.ValueSpec:
+				if len(s.Names) > 0 {
+					return "decl " + s.Names[0].Name, d.Doc, true
+				}
+			}
+		}
+	}
+	return "", nil, false
+}
+
+// recvTypeName renders a receiver type expression ("*Executive" →
+// "Executive").
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexExpr:
+		return recvTypeName(t.X)
+	}
+	return "?"
+}
+
+func moduleOf(path string) string {
+	for i := 0; i < len(path); i++ {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return path
+}
+
+// hashBody computes the canonical SHA-256 over module + requirements
+// (json.Marshal emits map keys sorted, sites are pre-sorted, so the hash
+// is machine-stable).
+func (r *ReqReport) hashBody() string {
+	body := struct {
+		Module       string               `json:"module"`
+		Requirements map[string][]ReqSite `json:"requirements"`
+	}{r.Module, r.Requirements}
+	blob, err := json.Marshal(body)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
+
+// JSON renders the report, indented, hash included.
+func (r *ReqReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// EvidenceDetail is the one-line summary a caller appends to a
+// trace.Log, carrying the report hash into the chained evidence — the
+// same linkage pattern as obs flight-recorder dump hashes.
+func (r *ReqReport) EvidenceDetail() string {
+	return fmt.Sprintf("safelint req-coverage: %d sites over %d requirements, sha256 %.12s…",
+		r.Sites, len(r.Requirements), r.Hash)
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The wcet rule: in a function marked //safexplain:wcet every loop must
+// have a statically evident bound — a constant trip-count condition, a
+// range over a fixed-length array or a constant integer — or carry an
+// explicit //safexplain:bounded waiver with a recorded justification
+// (the certification-style deviation record: grep-able, reviewable,
+// reported).
+
+// checkWCET walks one annotated function body.
+func (c *checker) checkWCET(fd *ast.FuncDecl, waivers boundWaivers) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.ForStmt:
+			if c.waived(v.Pos(), waivers, name) {
+				return true
+			}
+			if v.Cond == nil {
+				c.report(v.Pos(), "wcet-unbounded", "%s: loop without condition has no static bound", name)
+				return true
+			}
+			if !c.boundedCond(v.Cond) {
+				c.report(v.Pos(), "wcet-unbounded",
+					"%s: loop condition is not bounded by a constant or fixed-length array", name)
+			}
+		case *ast.RangeStmt:
+			if c.waived(v.Pos(), waivers, name) {
+				return true
+			}
+			if !c.boundedRange(v.X) {
+				c.report(v.Pos(), "wcet-unbounded",
+					"%s: range over a dynamically sized value has no static bound", name)
+			}
+		}
+		return true
+	})
+}
+
+// waived reports whether a loop carries a bounded waiver; a waiver with
+// an empty justification is itself diagnosed (the deviation record is
+// the point).
+func (c *checker) waived(pos token.Pos, waivers boundWaivers, fn string) bool {
+	reason, ok := waivers.waiverFor(c.pkg.Fset, pos)
+	if !ok {
+		return false
+	}
+	if reason == "" {
+		c.report(pos, "wcet-waiver", "%s: //safexplain:bounded waiver requires a justification", fn)
+	}
+	return true
+}
+
+// boundedCond accepts comparison conditions where either side is a
+// compile-time constant (literals, consts, len of a fixed array — all
+// constant in go/types).
+func (c *checker) boundedCond(cond ast.Expr) bool {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch bin.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ:
+	default:
+		return false
+	}
+	return c.isConst(bin.X) || c.isConst(bin.Y) || c.isFixedArrayLen(bin.X) || c.isFixedArrayLen(bin.Y)
+}
+
+// boundedRange accepts ranging over fixed-length arrays (by value or
+// pointer) and over constant integers (go >= 1.22 integer ranges).
+func (c *checker) boundedRange(x ast.Expr) bool {
+	t := underlying(c.typeOf(x))
+	switch tt := t.(type) {
+	case *types.Array:
+		return true
+	case *types.Pointer:
+		_, isArr := underlying(tt.Elem()).(*types.Array)
+		return isArr
+	case *types.Basic:
+		if tt.Info()&types.IsInteger != 0 {
+			return c.isConst(x)
+		}
+	}
+	// Without type info only a literal integer range is evidently
+	// bounded.
+	if lit, ok := x.(*ast.BasicLit); ok && lit.Kind == token.INT {
+		return true
+	}
+	return false
+}
+
+// isFixedArrayLen recognizes len(a) where a has fixed array type — in a
+// fully typed package len(a) is already constant, so this is the
+// fallback for partially typed trees.
+func (c *checker) isFixedArrayLen(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || !c.isBuiltin(call.Fun, "len") || len(call.Args) != 1 {
+		return false
+	}
+	switch t := underlying(c.typeOf(call.Args[0])).(type) {
+	case *types.Array:
+		return true
+	case *types.Pointer:
+		_, isArr := underlying(t.Elem()).(*types.Array)
+		return isArr
+	}
+	return false
+}

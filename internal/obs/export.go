@@ -12,6 +12,8 @@ import (
 // table. Snapshots are taken off the record path; they allocate freely.
 
 // CounterSnap is one counter's frozen state.
+//
+//safexplain:req REQ-XAI
 type CounterSnap struct {
 	Name  string `json:"name"`
 	Help  string `json:"help"`
@@ -19,6 +21,8 @@ type CounterSnap struct {
 }
 
 // GaugeSnap is one gauge's frozen state.
+//
+//safexplain:req REQ-XAI
 type GaugeSnap struct {
 	Name  string  `json:"name"`
 	Help  string  `json:"help"`
@@ -27,6 +31,8 @@ type GaugeSnap struct {
 
 // HistogramSnap is one histogram's frozen state. Buckets has one more
 // entry than Bounds (the +Inf bucket).
+//
+//safexplain:req REQ-XAI
 type HistogramSnap struct {
 	Name    string    `json:"name"`
 	Help    string    `json:"help"`
@@ -37,6 +43,8 @@ type HistogramSnap struct {
 }
 
 // FlightSnap summarizes the flight recorder's state.
+//
+//safexplain:req REQ-XAI
 type FlightSnap struct {
 	Capacity int          `json:"capacity"`
 	Held     int          `json:"held"`
@@ -48,6 +56,8 @@ type FlightSnap struct {
 // Snapshot is a consistent-enough point-in-time copy of an Obs bundle
 // (each metric is read atomically; the set is not globally fenced, which
 // is the standard exposition contract).
+//
+//safexplain:req REQ-XAI REQ-TRUST
 type Snapshot struct {
 	System     string          `json:"system"`
 	Counters   []CounterSnap   `json:"counters"`

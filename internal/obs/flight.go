@@ -13,10 +13,14 @@ import (
 // Stage identifies a span's position in the lifecycle or the per-frame
 // operate path (infer → supervisor → pattern vote → fdir verdict →
 // deadline check).
+//
+//safexplain:req REQ-DET REQ-XAI
 type Stage uint8
 
 // Span stages. StageBuild covers lifecycle verification stages; the rest
 // are the per-frame runtime path.
+//
+//safexplain:req REQ-DET REQ-XAI
 const (
 	StageBuild Stage = iota
 	StageInfer
@@ -56,6 +60,8 @@ func (s Stage) String() string {
 // scalars so recording never allocates: the stage says what ran, Code
 // carries the discrete outcome (delivered class, health state, miss
 // count — stage-dependent), Value the continuous one (cycles, score).
+//
+//safexplain:req REQ-DET REQ-XAI
 type Span struct {
 	Seq   uint64 // global record ordinal (monotonic across wraps)
 	Frame int32  // frame index (-1 for lifecycle spans)
@@ -68,6 +74,8 @@ type Span struct {
 // Record overwrites the oldest span once the ring is full, so memory is
 // statically bounded and the recorder always holds the most recent
 // history, which is exactly what a post-incident dump needs.
+//
+//safexplain:req REQ-DET REQ-WCET
 type Flight struct {
 	mu   sync.Mutex
 	ring []Span
@@ -76,6 +84,8 @@ type Flight struct {
 
 // NewFlight returns a recorder holding the last capacity spans
 // (minimum 8).
+//
+//safexplain:req REQ-DET
 func NewFlight(capacity int) *Flight {
 	if capacity < 8 {
 		capacity = 8
@@ -85,6 +95,9 @@ func NewFlight(capacity int) *Flight {
 
 // Record appends one span. Zero-allocation: the span is written into a
 // preallocated ring slot under a short critical section.
+//
+//safexplain:hotpath
+//safexplain:wcet
 func (f *Flight) Record(frame int, stage Stage, code int32, value float64) {
 	f.mu.Lock()
 	f.ring[f.next%uint64(len(f.ring))] = Span{

@@ -17,6 +17,12 @@
 // The package is a leaf substrate: it imports nothing from the rest of
 // the repo. The wiring layers (core, rt, fdir) link flight-recorder dump
 // hashes into the trace evidence chain themselves.
+//
+// The package is replay-deterministic: no wall clock, no ambient
+// randomness, no map iteration anywhere — every export walks statically
+// ordered declaration lists.
+//
+//safexplain:deterministic
 package obs
 
 import (
@@ -25,6 +31,8 @@ import (
 )
 
 // Config sizes an Obs bundle. Zero values get defaults.
+//
+//safexplain:req REQ-DET
 type Config struct {
 	// Name labels exported metrics (Prometheus label system="name").
 	Name string
@@ -55,6 +63,8 @@ func (c Config) withDefaults() Config {
 // DumpRecord is one automatic flight-recorder dump: the trigger, the
 // frame it fired on, and the span hash that links the dumped history into
 // the evidence chain.
+//
+//safexplain:req REQ-DET REQ-TRUST
 type DumpRecord struct {
 	Trigger string
 	Frame   int
@@ -66,6 +76,8 @@ type DumpRecord struct {
 // runtime metric handles the SAFEXPLAIN stack records into. A nil *Obs
 // is the disabled monitor: the wiring layers guard every record with one
 // nil check, which is the entire cost of observability-off.
+//
+//safexplain:req REQ-DET
 type Obs struct {
 	Reg    *Registry
 	Flight *Flight
@@ -98,6 +110,8 @@ type Obs struct {
 }
 
 // New builds an Obs bundle with the standard metric set declared.
+//
+//safexplain:req REQ-DET
 func New(cfg Config) *Obs {
 	cfg = cfg.withDefaults()
 	reg := NewRegistry(cfg.Name)
@@ -135,6 +149,9 @@ func New(cfg Config) *Obs {
 }
 
 // Span records one flight-recorder span. Nil-safe and zero-allocation.
+//
+//safexplain:hotpath
+//safexplain:wcet
 func (o *Obs) Span(frame int, stage Stage, code int32, value float64) {
 	if o == nil {
 		return

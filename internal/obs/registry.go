@@ -13,6 +13,8 @@ import (
 // Histogram.Observe — is lock-free, allocation-free and bounded-latency:
 // no maps, no interface boxing, no growth. Registration takes a mutex and
 // may allocate; it is a build-time activity, never a per-frame one.
+//
+//safexplain:req REQ-DET REQ-XAI
 type Registry struct {
 	name string
 
@@ -24,6 +26,8 @@ type Registry struct {
 
 // NewRegistry returns an empty registry. name labels every exported
 // metric (Prometheus label system="name").
+//
+//safexplain:req REQ-DET
 func NewRegistry(name string) *Registry {
 	return &Registry{name: name}
 }
@@ -65,15 +69,23 @@ func (r *Registry) Histogram(name, help string, bounds ...float64) *Histogram {
 }
 
 // Counter is a concurrency-safe monotonic counter.
+//
+//safexplain:req REQ-DET REQ-WCET
 type Counter struct {
 	name, help string
 	v          atomic.Uint64
 }
 
 // Inc adds one. Zero-allocation, lock-free.
+//
+//safexplain:hotpath
+//safexplain:wcet
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n. Zero-allocation, lock-free.
+//
+//safexplain:hotpath
+//safexplain:wcet
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -83,12 +95,17 @@ func (c *Counter) Value() uint64 { return c.v.Load() }
 func (c *Counter) Name() string { return c.name }
 
 // Gauge is a concurrency-safe last-value gauge.
+//
+//safexplain:req REQ-DET REQ-WCET
 type Gauge struct {
 	name, help string
 	bits       atomic.Uint64
 }
 
 // Set stores v. Zero-allocation, lock-free.
+//
+//safexplain:hotpath
+//safexplain:wcet
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Value returns the stored value.
@@ -99,6 +116,8 @@ func (g *Gauge) Name() string { return g.name }
 
 // Histogram is a concurrency-safe fixed-bucket histogram. Bucket i counts
 // observations <= bounds[i]; the last bucket is +Inf.
+//
+//safexplain:req REQ-DET REQ-WCET
 type Histogram struct {
 	name, help string
 	bounds     []float64
@@ -109,13 +128,18 @@ type Histogram struct {
 
 // Observe records one value. Zero-allocation; the bucket scan is over the
 // fixed bound list, so latency is bounded by the declared size.
+//
+//safexplain:hotpath
+//safexplain:wcet
 func (h *Histogram) Observe(v float64) {
 	i := 0
+	//safexplain:bounded bound list frozen at declaration time
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
 	h.buckets[i].Add(1)
 	h.count.Add(1)
+	//safexplain:bounded CAS retry; contention bounded by writer count per frame
 	for {
 		old := h.sumBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
@@ -191,6 +215,8 @@ func (h *Histogram) Quantile(q float64) float64 {
 // fixed fractions {25%, 50%, 75%, 90%, 100%, 110%, 125%, 150%} of the
 // budget, so the exported histogram directly answers "how close to the
 // budget do frames run, and how far past it do misses land".
+//
+//safexplain:req REQ-WCET
 func BudgetBounds(budget uint64) []float64 {
 	fr := []float64{0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5}
 	out := make([]float64, len(fr))

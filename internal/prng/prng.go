@@ -9,6 +9,8 @@
 // (O'Neill, 2014) directly: a 128-bit linear congruential core with an
 // output permutation, giving a 2^128 period and independently seedable
 // streams.
+//
+//safexplain:deterministic
 package prng
 
 import "math"

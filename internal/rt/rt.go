@@ -21,6 +21,11 @@
 //     executive enters high-criticality mode: tasks below MinCriticality
 //     are shed until RecoveryFrames consecutive clean frames pass — the
 //     classical mixed-criticality mode switch.
+//
+// The package is replay-deterministic: no wall clock, no ambient
+// randomness, no map iteration on any decision path.
+//
+//safexplain:deterministic
 package rt
 
 import (
@@ -33,9 +38,13 @@ import (
 
 // Criticality is the task importance scale; higher sheds later. It mirrors
 // safety.IntegrityLevel without importing it, keeping rt a leaf substrate.
+//
+//safexplain:req REQ-PATTERN
 type Criticality int
 
 // Criticality bands.
+//
+//safexplain:req REQ-PATTERN
 const (
 	CritLow Criticality = iota
 	CritMedium
@@ -58,6 +67,8 @@ func (c Criticality) String() string {
 
 // Task is one slot of the cyclic frame. Run (and Degraded, when present)
 // return the cycles consumed on the given frame index.
+//
+//safexplain:req REQ-WCET
 type Task struct {
 	Name        string
 	Budget      uint64
@@ -69,6 +80,8 @@ type Task struct {
 }
 
 // Config tunes the executive.
+//
+//safexplain:req REQ-WCET REQ-PATTERN
 type Config struct {
 	FrameBudget uint64
 	// OverrunLimit is the consecutive-overrun count that triggers task
@@ -96,9 +109,17 @@ func (c Config) withDefaults() Config {
 }
 
 // Executive owns the schedule state across frames.
+//
+//safexplain:req REQ-WCET
 type Executive struct {
 	cfg   Config
 	tasks []*Task
+
+	// missBuf and shedBuf are the preallocated frame-result backing
+	// stores: Step writes task names into them by index so the per-frame
+	// path stays allocation-free (the safelint hotpath rule).
+	missBuf []string
+	shedBuf []string
 
 	// Obs, when non-nil, receives the deadline-check span, the frame
 	// cycles histogram and the miss/watchdog/shed counters; a deadline
@@ -114,11 +135,15 @@ type Executive struct {
 }
 
 // ErrNoTasks is returned when constructing an executive without tasks.
+//
+//safexplain:req REQ-WCET
 var ErrNoTasks = errors.New("rt: no tasks")
 
 // NewExecutive builds an executive over the task list. Task budgets must
 // fit in the frame in normal mode; a schedule that cannot fit even on
 // paper is a configuration error caught here, not at runtime.
+//
+//safexplain:req REQ-WCET
 func NewExecutive(cfg Config, tasks ...*Task) (*Executive, error) {
 	if len(tasks) == 0 {
 		return nil, ErrNoTasks
@@ -137,12 +162,18 @@ func NewExecutive(cfg Config, tasks ...*Task) (*Executive, error) {
 	return &Executive{
 		cfg:         cfg,
 		tasks:       tasks,
+		missBuf:     make([]string, len(tasks)),
+		shedBuf:     make([]string, len(tasks)),
 		consecutive: make([]int, len(tasks)),
 		degraded:    make([]bool, len(tasks)),
 	}, nil
 }
 
-// FrameResult reports one frame's execution.
+// FrameResult reports one frame's execution. Misses and Shed alias the
+// executive's preallocated buffers and are overwritten by the next Step
+// call — consume (or copy) them before stepping again.
+//
+//safexplain:req REQ-WCET
 type FrameResult struct {
 	Frame    int
 	Used     uint64
@@ -153,6 +184,8 @@ type FrameResult struct {
 }
 
 // Report aggregates a multi-frame run.
+//
+//safexplain:req REQ-WCET
 type Report struct {
 	Frames         int
 	DeadlineMisses int
@@ -172,12 +205,20 @@ func (r Report) String() string {
 	return b.String()
 }
 
-// Step executes one frame and returns its result.
+// Step executes one frame and returns its result. The body is the
+// per-frame hot path: it writes into the preallocated miss/shed buffers
+// instead of appending, so a frame costs zero heap allocations
+// regardless of outcome (the obs tail below is itself allocation-free).
+//
+//safexplain:hotpath
+//safexplain:wcet
 func (e *Executive) Step(frame int) FrameResult {
 	res := FrameResult{Frame: frame, HighMode: e.highMode}
-	for i, t := range e.tasks {
+	nMiss, nShed := 0, 0
+	for i, t := range e.tasks { //safexplain:bounded task list frozen at construction
 		if e.highMode && t.Criticality < e.cfg.MinCriticality {
-			res.Shed = append(res.Shed, t.Name)
+			e.shedBuf[nShed] = t.Name
+			nShed++
 			continue
 		}
 		run := t.Run
@@ -187,7 +228,8 @@ func (e *Executive) Step(frame int) FrameResult {
 		used := run(frame)
 		res.Used += used
 		if used > t.Budget {
-			res.Misses = append(res.Misses, t.Name)
+			e.missBuf[nMiss] = t.Name
+			nMiss++
 			e.consecutive[i]++
 			if e.consecutive[i] >= e.cfg.OverrunLimit && t.Degraded != nil && !e.degraded[i] {
 				e.degraded[i] = true
@@ -195,6 +237,12 @@ func (e *Executive) Step(frame int) FrameResult {
 		} else {
 			e.consecutive[i] = 0
 		}
+	}
+	if nMiss > 0 {
+		res.Misses = e.missBuf[:nMiss]
+	}
+	if nShed > 0 {
+		res.Shed = e.shedBuf[:nShed]
 	}
 	if res.Used > e.cfg.FrameBudget {
 		res.Watchdog = true

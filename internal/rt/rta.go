@@ -22,6 +22,8 @@ import (
 
 // RTATask is one task of the analyzed set. Times are in cycles (any
 // consistent unit works).
+//
+//safexplain:req REQ-WCET
 type RTATask struct {
 	Name     string
 	C        uint64 // worst-case execution time (e.g. pWCET)
@@ -32,6 +34,8 @@ type RTATask struct {
 }
 
 // RTAResult is the per-task outcome.
+//
+//safexplain:req REQ-WCET
 type RTAResult struct {
 	Task        RTATask
 	Response    uint64 // worst-case response time (valid if Schedulable)
@@ -40,12 +44,16 @@ type RTAResult struct {
 
 // ErrUnschedulable is wrapped in Analyze's error when some task cannot
 // meet its deadline.
+//
+//safexplain:req REQ-WCET
 var ErrUnschedulable = errors.New("rt: task set unschedulable")
 
 // Analyze runs exact RTA on the task set and returns per-task worst-case
 // response times, highest priority first. It returns an error (wrapping
 // ErrUnschedulable) if any task misses its deadline, alongside the full
 // result table for diagnosis.
+//
+//safexplain:req REQ-WCET
 func Analyze(tasks []RTATask) ([]RTAResult, error) {
 	if len(tasks) == 0 {
 		return nil, errors.New("rt: empty task set")
@@ -106,6 +114,8 @@ func responseTime(t RTATask, hp []RTATask, deadline uint64) (uint64, bool) {
 func ceilDiv(a, b uint64) uint64 { return (a + b - 1) / b }
 
 // Utilization returns ΣC_i/T_i for the set.
+//
+//safexplain:req REQ-WCET
 func Utilization(tasks []RTATask) float64 {
 	u := 0.0
 	for _, t := range tasks {
@@ -115,6 +125,8 @@ func Utilization(tasks []RTATask) float64 {
 }
 
 // RenderRTA formats an analysis result table.
+//
+//safexplain:req REQ-WCET
 func RenderRTA(results []RTAResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-16s %4s %12s %12s %12s %12s  %s\n",

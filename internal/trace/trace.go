@@ -19,6 +19,8 @@
 // Determinism note: records carry a logical sequence number, not a wall
 // clock; callers may put timestamps in Detail if their environment provides
 // a qualified time source. Nothing in this package reads ambient state.
+//
+//safexplain:deterministic
 package trace
 
 import (
@@ -172,6 +174,7 @@ func (l *Log) HasArtifact(id string) bool {
 // and runs stand behind this artefact). Output is sorted for determinism.
 func (l *Log) TraceUpstream(id string) []string {
 	seen := map[string]bool{}
+	out := []string{}
 	frontier := []string{id}
 	for len(frontier) > 0 {
 		cur := frontier[0]
@@ -183,14 +186,11 @@ func (l *Log) TraceUpstream(id string) []string {
 			for _, r := range e.Refs {
 				if !seen[r] {
 					seen[r] = true
+					out = append(out, r)
 					frontier = append(frontier, r)
 				}
 			}
 		}
-	}
-	out := make([]string, 0, len(seen))
-	for k := range seen {
-		out = append(out, k)
 	}
 	sort.Strings(out)
 	return out
