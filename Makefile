@@ -6,7 +6,8 @@ GO ?= go
 FUZZ_TARGETS = \
 	FuzzUnmarshal=./internal/nn \
 	FuzzImport=./internal/trace \
-	FuzzHealthTransitions=./internal/fdir
+	FuzzHealthTransitions=./internal/fdir \
+	FuzzDownlinkDecode=./internal/obs
 FUZZTIME ?= 30s
 
 .PHONY: all build vet test race bench bench-json lint safelint staticcheck experiments examples fuzz cover clean

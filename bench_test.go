@@ -140,3 +140,11 @@ func BenchmarkT13ProbeEffect(b *testing.B) {
 func BenchmarkT14Safelint(b *testing.B) {
 	benchExperiment(b, "T14", "detection_rate", "hotpath_detection_rate")
 }
+
+// BenchmarkT15Blackbox regenerates Table T15: black-box incident
+// reconstruction fidelity versus downlink budget, timing the full
+// campaign sweep (five budgets x three faults) including telemetry
+// capture, decode and reconstruction.
+func BenchmarkT15Blackbox(b *testing.B) {
+	benchExperiment(b, "T15", "fidelity_full", "fidelity_min")
+}

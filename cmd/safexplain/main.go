@@ -11,6 +11,9 @@
 //	evidence   export / verify the sealed evidence archive
 //	obs        operate the system and export its observability state
 //	           (Prometheus text, JSON snapshot, or table + flight dump)
+//	blackbox   inject a fault while operating, capture the bounded
+//	           telemetry downlink, and reconstruct the incident timeline
+//	           from the downlinked stream alone
 //
 // Everything is deterministic given -seed; no files are read or written
 // unless a subcommand is given an output path.
@@ -25,8 +28,11 @@ import (
 
 	"safexplain"
 	"safexplain/internal/data"
+	"safexplain/internal/fdir"
 	"safexplain/internal/mbpta"
+	"safexplain/internal/obs"
 	"safexplain/internal/platform"
+	"safexplain/internal/tensor"
 	"safexplain/internal/trace"
 )
 
@@ -62,13 +68,15 @@ func run(args []string, out io.Writer) error {
 		return cmdEvidence(args[1:], out)
 	case "obs":
 		return cmdObs(args[1:], out)
+	case "blackbox":
+		return cmdBlackbox(args[1:], out)
 	default:
 		return fmt.Errorf("%w: unknown subcommand %q", errUsage, args[0])
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: safexplain <lifecycle|explain|infer|timing|evidence|obs> [flags]
+	fmt.Fprintln(os.Stderr, `usage: safexplain <lifecycle|explain|infer|timing|evidence|obs|blackbox> [flags]
 run "safexplain <subcommand> -h" for flags`)
 }
 
@@ -355,6 +363,113 @@ func cmdObs(args []string, out io.Writer) error {
 	}
 	if *dump {
 		fmt.Fprint(out, sys.Obs.Flight.Dump())
+	}
+	return nil
+}
+
+// faultStream serves clean test samples except inside the injection
+// window [from, to), where it serves the gross out-of-distribution
+// (inverted) variant — a deterministic sensor fault for the black-box
+// demonstration.
+type faultStream struct {
+	clean, faulty *data.Set
+	frames        int
+	from, to      int
+}
+
+func (s faultStream) Len() int { return s.frames }
+
+func (s faultStream) Sample(i int) (*tensor.Tensor, int) {
+	src := s.clean
+	if i >= s.from && i < s.to {
+		src = s.faulty
+	}
+	return src.Sample(i % src.Len())
+}
+
+// cmdBlackbox is the accident-investigator workflow end to end: operate
+// the deployed system with a fault injected mid-run, downlink the causal
+// trace through the bounded telemetry encoder at the given budget, then
+// reconstruct the incident timeline from the downlinked capture alone
+// and chain its hash into the evidence log.
+func cmdBlackbox(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("blackbox", flag.ExitOnError)
+	caseName, pattern, seed := buildFlags(fs)
+	frames := fs.Int("frames", 240, "frames to operate")
+	inject := fs.Int("inject", 40, "frame at which the sensor fault starts")
+	duration := fs.Int("duration", 25, "fault duration in frames")
+	budget := fs.Int("budget", 320, "downlink budget in bytes per frame")
+	format := fs.String("format", "table", "report format: table|json")
+	outPath := fs.String("out", "", "also write the canonical JSON report to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "table" && *format != "json" {
+		return fmt.Errorf("unknown format %q (table|json)", *format)
+	}
+	sys, err := build(*caseName, *pattern, *seed)
+	if err != nil {
+		return err
+	}
+	down := obs.NewDownlink(obs.DownlinkConfig{BytesPerFrame: *budget})
+	sys.Obs.AttachDownlink(down)
+
+	test := sys.TestSet()
+	stream := faultStream{
+		clean:  test,
+		faulty: data.WithInversion(test),
+		frames: *frames,
+		from:   *inject,
+		to:     *inject + *duration,
+	}
+	drift, err := sys.NewDriftDetector(0, 0)
+	if err != nil {
+		return err
+	}
+	rep := sys.Operate(stream, drift)
+
+	frs, err := obs.DecodeStream(down.Capture())
+	if err != nil {
+		return fmt.Errorf("downlink capture corrupt: %w", err)
+	}
+	box := obs.Reconstruct(frs, obs.BlackboxConfig{
+		QuarantineCode: int32(fdir.Quarantined),
+		HealthyCode:    int32(fdir.Healthy),
+	})
+	hash, err := box.Hash()
+	if err != nil {
+		return err
+	}
+	// Chain the reconstruction into the evidence log: an assessor holding
+	// the sealed log can check a downlinked report against this record.
+	sys.Log.Append(trace.KindOperation, "obs:blackbox",
+		fmt.Sprintf("black-box reconstruction of %d telemetry frames at %d B/frame: %d incidents, report sha256 %.12s…",
+			box.TelemetryFrames, *budget, len(box.Incidents), hash))
+
+	switch *format {
+	case "json":
+		blob, err := box.CanonicalJSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s\n", blob)
+	default:
+		fmt.Fprintf(out, "operated %d frames: %d delivered, %d fallbacks, %d anomalies, %d quarantines, %d restores\n",
+			rep.Frames, rep.Delivered, rep.Fallbacks, rep.Anomalies, rep.Quarantines, rep.Restores)
+		fmt.Fprintf(out, "fault window: frames [%d, %d), downlink budget %d B/frame\n\n",
+			*inject, *inject+*duration, *budget)
+		fmt.Fprint(out, box.Table())
+		fmt.Fprintf(out, "\nreport sha256: %s\nevidence chain valid: %v\n", hash, sys.Log.Verify() == nil)
+	}
+	if *outPath != "" {
+		blob, err := box.CanonicalJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote canonical report to %s\n", *outPath)
 	}
 	return nil
 }

@@ -55,6 +55,23 @@ func TestRunSubcommands(t *testing.T) {
 			args: []string{"obs", "-case", "railway", "-seed", "42", "-frames", "10", "-format", "json"},
 			want: []string{`"system": "railway"`, `"flight"`},
 		},
+		{
+			name: "blackbox-table",
+			args: []string{"blackbox", "-case", "railway", "-seed", "42", "-frames", "120", "-inject", "40", "-duration", "25"},
+			want: []string{"black-box reconstruction:", "incident #0",
+				"symptom frame    40", "detection frame  42", "recovery frame   42",
+				"causal chain     frame[0] -> infer[", "report sha256:", "evidence chain valid: true"},
+		},
+		{
+			name: "blackbox-json",
+			args: []string{"blackbox", "-case", "railway", "-seed", "42", "-frames", "120", "-inject", "40", "-duration", "25", "-format", "json"},
+			want: []string{`"symptom_frame":40`, `"detection_frame":42`, `"causal_chain"`},
+		},
+		{
+			name: "blackbox-dump-only",
+			args: []string{"blackbox", "-case", "railway", "-seed", "42", "-frames", "120", "-inject", "40", "-duration", "25", "-budget", "32"},
+			want: []string{"(from dump notice only)", "symptom frame    unknown", "detection frame  42"},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -131,6 +148,8 @@ func TestRunBadArguments(t *testing.T) {
 		{"lifecycle", "-case", "maritime"},
 		{"explain", "-case", "railway", "-seed", "42", "-sample", "-5"},
 		{"obs", "-case", "railway", "-seed", "42", "-frames", "5", "-format", "xml"},
+		{"blackbox", "-case", "railway", "-seed", "42", "-format", "xml"},
+		{"blackbox", "-case", "maritime"},
 	} {
 		err := run(args, &out)
 		if err == nil {

@@ -563,6 +563,10 @@ func (s *System) Operate(stream interface {
 	for i := 0; i < stream.Len(); i++ {
 		x, _ := stream.Sample(i)
 		rep.Frames++
+		// Open the causal trace for this frame; the stages below attach
+		// child spans (the FDIR runtime records its own detect → isolate
+		// → recover → deliver chain inside Step).
+		o.TraceBegin(i)
 		var fallback bool
 		var class int
 		if s.FDIR != nil {
@@ -576,6 +580,12 @@ func (s *System) Operate(stream interface {
 			v := s.Process(x)
 			fallback = v.Decision.Fallback
 			class = v.Class
+			inferRef := o.TraceChild(obs.StageInfer, int32(class), 0, o.TraceRoot())
+			vote := int32(0)
+			if fallback {
+				vote = 1
+			}
+			o.TraceChild(obs.StageVote, vote, float64(class), inferRef)
 		}
 		if o != nil {
 			o.Frames.Inc()
@@ -607,11 +617,13 @@ func (s *System) Operate(stream interface {
 				rep.DriftAlarm = true
 				rep.AlarmFrame = i
 				o.Span(i, obs.StageDrift, 1, drift.Statistic())
+				o.TraceChild(obs.StageDrift, 1, drift.Statistic(), o.TraceRoot())
 				s.Log.Append(trace.KindIncident, "incident:drift",
 					fmt.Sprintf("CUSUM drift alarm at frame %d (statistic %.1f sigma)",
 						i, drift.Statistic()))
 			}
 		}
+		o.TraceEnd(i)
 	}
 	if s.FDIR != nil {
 		after := s.FDIR.Stats()
@@ -619,6 +631,17 @@ func (s *System) Operate(stream interface {
 		rep.Quarantines = after.Quarantines - before.Quarantines
 		rep.Restores = after.Restores - before.Restores
 		rep.ReturnsToService = after.Returns - before.Returns
+	}
+	if o != nil && o.Trace.Total() > 0 {
+		// Link the causal-trace ring into the evidence chain, alongside
+		// the flight-recorder hash AutoDump records: the chained hash
+		// proves which causal history a downlinked reconstruction claims.
+		detail := fmt.Sprintf("causal trace: %d spans over %d frames (%d overflowed), ring hash %.12s…",
+			o.Trace.Total(), o.Trace.Frames(), o.Trace.Overflow(), o.Trace.Hash())
+		if d := o.Down; d != nil {
+			detail += "; " + d.Describe()
+		}
+		s.Log.Append(trace.KindOperation, "obs:trace", detail)
 	}
 	return rep
 }

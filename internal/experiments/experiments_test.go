@@ -6,7 +6,7 @@ import (
 )
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"F1", "F2", "F3", "T1", "T10", "T11", "T12", "T13", "T14", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9"}
+	want := []string{"F1", "F2", "F3", "T1", "T10", "T11", "T12", "T13", "T14", "T15", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)

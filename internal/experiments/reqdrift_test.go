@@ -24,6 +24,36 @@ func TestT14Registered(t *testing.T) {
 	}
 }
 
+// TestT15Registered pins the black-box reconstruction experiment in the
+// registry and guards its headline claims: at full bandwidth every
+// incident fact (symptom/detection/recovery/return) must be attributed
+// exactly, and shrinking the budget must strictly degrade fidelity —
+// the bandwidth sweep is meaningless if the encoder hides loss.
+func TestT15Registered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign sweep is slow")
+	}
+	if _, ok := registry["T15"]; !ok {
+		t.Fatal("experiment T15 (black-box reconstruction) is not registered")
+	}
+	res, err := Run("T15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics["fidelity_full"] != 1.0 {
+		t.Fatalf("full-bandwidth reconstruction fidelity %.3f, want exact (1.0)", res.Metrics["fidelity_full"])
+	}
+	if res.Metrics["fidelity_min"] >= res.Metrics["fidelity_full"] {
+		t.Fatalf("starved budget fidelity %.3f does not degrade below full %.3f",
+			res.Metrics["fidelity_min"], res.Metrics["fidelity_full"])
+	}
+	// The dump notice keeps detection attributable one budget tier above
+	// starvation: fidelity there must be positive but partial.
+	if f := res.Metrics["fidelity_32"]; f <= 0 || f >= 1 {
+		t.Fatalf("dump-only tier fidelity %.3f, want partial attribution (0 < f < 1)", f)
+	}
+}
+
 // TestReqTagsMatchLifecycleRequirements guards traceability-tag drift:
 // every //safexplain:req ID annotated anywhere in the module must be a
 // requirement the core lifecycle actually registers in the trace log

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"safexplain/internal/nn"
+	"safexplain/internal/obs"
 	"safexplain/internal/prng"
 	"safexplain/internal/rt"
 	"safexplain/internal/safety"
@@ -101,6 +102,11 @@ type CampaignConfig struct {
 	NewInputGuard  func() *InputGuard
 	// Log, when non-nil, receives every cell's FDIR transitions.
 	Log *trace.Log
+	// NewObs, when non-nil, attaches a fresh observability bundle to each
+	// FDIR cell's runtime (keyed by fault and pattern name), and the cell
+	// loop opens/commits the causal trace per frame — this is how
+	// experiment T15 downlinks a campaign.
+	NewObs func(fault, pattern string) *obs.Obs
 }
 
 // CellResult is one (fault, pattern) campaign measurement.
@@ -299,6 +305,9 @@ func runCell(cfg CampaignConfig, p PatternSpec, f FaultSpec, faultSeed uint64) (
 			fr.In = cfg.NewInputGuard()
 		}
 		fr.Log = cfg.Log
+		if cfg.NewObs != nil {
+			fr.Obs = cfg.NewObs(f.Name, p.Name)
+		}
 	}
 
 	// Timing faults are signalled by a real rt executive running the
@@ -360,7 +369,17 @@ func runCell(cfg CampaignConfig, p PatternSpec, f FaultSpec, faultSeed uint64) (
 			if dropped {
 				in = nil
 			}
+			fr.Obs.TraceBegin(frame)
 			st = fr.Step(frame, in, sig)
+			if fr.Obs != nil {
+				fr.Obs.Frames.Inc()
+				if st.Decision.Fallback {
+					fr.Obs.Fallbacks.Inc()
+				} else {
+					fr.Obs.Delivered.Inc()
+				}
+			}
+			fr.Obs.TraceEnd(frame)
 		}
 
 		// Tally.

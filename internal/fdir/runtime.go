@@ -159,22 +159,30 @@ func (r *Runtime) Step(frame int, x *tensor.Tensor, sig Signals) StepResult {
 	}
 	res.Anomalies = anoms
 
+	// Causal trace: the infer span is recorded with a placeholder class
+	// (patched after delivery), the supervisor verdict is caused by the
+	// inference it judged, the FDIR verdict by the supervisor's finding.
+	o := r.Obs
+	inferRef := o.TraceChild(obs.StageInfer, -1, 0, o.TraceRoot())
+	supRef := o.TraceChild(obs.StageSupervisor, int32(len(anoms)), 0, inferRef)
+
 	// Isolate.
 	from, to := r.health.Observe(len(anoms) > 0)
 	res.From, res.To = from, to
+	fdirRef := o.TraceChild(obs.StageFDIR, int32(to), float64(from), supRef)
 	if from != to {
 		r.logTransition(frame, from, to, anoms)
 	}
 	if to == Quarantined && from != Quarantined {
 		r.stats.Quarantines++
-		if o := r.Obs; o != nil {
+		if o != nil {
 			o.Quarantines.Inc()
 			rec := o.AutoDump("fdir-quarantine", frame)
 			r.logEvent(trace.KindIncident, frame,
 				fmt.Sprintf("flight-recorder dump on quarantine: %d spans, hash %.12s…",
 					rec.Spans, rec.Hash))
 		}
-		res.Restored = r.recover(frame)
+		res.Restored = r.recover(frame, fdirRef)
 	}
 	if from == Probation && to == Healthy {
 		r.stats.Returns++
@@ -204,9 +212,19 @@ func (r *Runtime) Step(frame int, x *tensor.Tensor, sig Signals) StepResult {
 		res.Class = fc
 	}
 
+	// Close the causal chain: the delivered class patches the infer
+	// span; the vote span (delivered vs fallback) is caused by the FDIR
+	// verdict that decided service.
+	o.TraceSetCode(inferRef, int32(res.Class))
+	voteCode := int32(0)
+	if res.Decision.Fallback {
+		voteCode = 1
+	}
+	o.TraceChild(obs.StageVote, voteCode, float64(res.Class), fdirRef)
+
 	r.stats.Frames++
 	r.stats.Anomalies += len(anoms)
-	if o := r.Obs; o != nil {
+	if o != nil {
 		o.Anomalies.Add(uint64(len(anoms)))
 		o.Health.Set(float64(res.State))
 		o.Span(frame, obs.StageFDIR, int32(res.State), float64(len(anoms)))
@@ -214,11 +232,12 @@ func (r *Runtime) Step(frame int, x *tensor.Tensor, sig Signals) StepResult {
 	return res
 }
 
-// recover attempts the golden-image reload on quarantine entry. Returns
-// true when a verified reload ran. The health machine stays Quarantined
-// either way: probation begins only after the fault stops manifesting
-// under shadow monitoring (ReprobeAfter clean frames).
-func (r *Runtime) recover(frame int) bool {
+// recover attempts the golden-image reload on quarantine entry, causally
+// linked to the FDIR verdict that triggered it. Returns true when a
+// verified reload ran. The health machine stays Quarantined either way:
+// probation begins only after the fault stops manifesting under shadow
+// monitoring (ReprobeAfter clean frames).
+func (r *Runtime) recover(frame int, cause obs.SpanRef) bool {
 	if r.Golden == nil || r.Net == nil {
 		return false
 	}
@@ -236,6 +255,7 @@ func (r *Runtime) recover(frame int) bool {
 	if o := r.Obs; o != nil {
 		o.Restores.Inc()
 		o.Span(frame, obs.StageRecovery, int32(r.restores), 0)
+		o.TraceChild(obs.StageRecovery, int32(r.restores), 0, cause)
 	}
 	if r.Out != nil {
 		// The output history belongs to the faulty image; the repaired

@@ -1,0 +1,358 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Black-box reconstruction: given only the downlinked telemetry stream —
+// the accident investigator's position — rebuild the causal timeline
+// around each FDIR event: first observable symptom, detection
+// (quarantine), recovery action, and return to service, plus the
+// detection frame's causal span chain. The reconstruction is honest
+// about bandwidth loss: frames it cannot attribute are reported as
+// unknown (-1), which is exactly what experiment T15 scores.
+
+// BlackboxConfig parameterizes the reconstruction. Zero values get
+// defaults matching the fdir health machine (Quarantined=2, Healthy=0).
+//
+//safexplain:req REQ-XAI
+type BlackboxConfig struct {
+	// QuarantineCode is the health-state ordinal meaning "isolated"
+	// (default 2, fdir.Quarantined).
+	QuarantineCode int32
+	// HealthyCode is the ordinal meaning "in service" (default 0,
+	// fdir.Healthy).
+	HealthyCode int32
+}
+
+func (c BlackboxConfig) withDefaults() BlackboxConfig {
+	if c.QuarantineCode == 0 {
+		c.QuarantineCode = 2
+	}
+	return c
+}
+
+// ChainEntry is one link of a reconstructed causal chain, root first.
+//
+//safexplain:req REQ-XAI
+type ChainEntry struct {
+	Stage string  `json:"stage"`
+	Code  int32   `json:"code"`
+	Value float64 `json:"value"`
+}
+
+// Incident is one reconstructed FDIR event. Frame fields are -1 when the
+// downlinked stream does not carry enough evidence to attribute them.
+//
+//safexplain:req REQ-XAI REQ-TRUST
+type Incident struct {
+	// SymptomFrame is the start of the contiguous anomaly streak that
+	// led to detection — the first observable symptom.
+	SymptomFrame int32 `json:"symptom_frame"`
+	// DetectionFrame is the quarantine transition frame.
+	DetectionFrame int32 `json:"detection_frame"`
+	// RecoveryFrame is the recovery action (golden-image reload) frame.
+	RecoveryFrame int32 `json:"recovery_frame"`
+	// ReturnFrame is the return-to-service (healthy) transition frame.
+	ReturnFrame int32 `json:"return_frame"`
+	// AnomalyFrames counts the observed anomaly verdicts in the streak.
+	AnomalyFrames int `json:"anomaly_frames"`
+	// FromDumpOnly marks an incident attributed solely from a
+	// flight-recorder dump notice: the event spans themselves never fit
+	// the downlink budget.
+	FromDumpOnly bool `json:"from_dump_only"`
+	// DumpHashPrefix, when a dump notice matched the detection frame, is
+	// the hex prefix of the on-board flight hash — the evidence link.
+	DumpHashPrefix string `json:"dump_hash_prefix,omitempty"`
+	// Chain is the detection frame's causal span chain, root first.
+	Chain []ChainEntry `json:"causal_chain,omitempty"`
+}
+
+// Report is the full black-box reconstruction of a telemetry capture.
+// The field order is the canonical JSON order: CanonicalJSON marshals
+// the struct directly, so two reconstructions of the same capture hash
+// identically.
+//
+//safexplain:req REQ-XAI REQ-TRUST
+type Report struct {
+	TelemetryFrames int        `json:"telemetry_frames"`
+	Spans           int        `json:"spans"`
+	Metrics         int        `json:"metrics"`
+	Dumps           int        `json:"dumps"`
+	FirstFrame      int32      `json:"first_frame"`
+	LastFrame       int32      `json:"last_frame"`
+	Incidents       []Incident `json:"incidents"`
+}
+
+// Reconstruct rebuilds the incident timeline from decoded telemetry
+// frames. Pure function over its inputs.
+//
+//safexplain:req REQ-XAI REQ-TRUST
+func Reconstruct(frames []DownFrame, cfg BlackboxConfig) Report {
+	cfg = cfg.withDefaults()
+	rep := Report{FirstFrame: -1, LastFrame: -1}
+	rep.TelemetryFrames = len(frames)
+
+	var spans []TraceSpan
+	var dumps []DumpSummary
+	for _, f := range frames {
+		for _, r := range f.Records {
+			switch r.Kind {
+			case RecSpan:
+				spans = append(spans, r.Span)
+			case RecMetric:
+				rep.Metrics++
+			case RecDump:
+				dumps = append(dumps, r.Dump)
+			}
+		}
+	}
+	rep.Spans = len(spans)
+	rep.Dumps = len(dumps)
+
+	// Spans arrive in priority order, not time order: restore global
+	// order by ordinal. Use the span's own Frame field — a span may be
+	// downlinked many telemetry frames after it was recorded.
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Seq < spans[j].Seq })
+	if len(spans) > 0 {
+		rep.FirstFrame = spans[0].Frame
+		rep.LastFrame = spans[0].Frame
+		for _, s := range spans {
+			if s.Frame < rep.FirstFrame {
+				rep.FirstFrame = s.Frame
+			}
+			if s.Frame > rep.LastFrame {
+				rep.LastFrame = s.Frame
+			}
+		}
+	}
+
+	// Observed anomaly verdicts per frame (supervisor spans with
+	// findings). Map is lookup-only; iteration below walks frames.
+	anomaly := make(map[int32]bool)
+	for _, s := range spans {
+		if s.Stage == StageSupervisor && s.Code > 0 {
+			anomaly[s.Frame] = true
+		}
+	}
+
+	// An FDIR span records code=to, value=from; a transition is
+	// code != from. A quarantine entry opens an incident; a re-entry
+	// while the previous incident is still open (no return yet) belongs
+	// to the same event.
+	for i, s := range spans {
+		if s.Stage != StageFDIR || s.Code == int32(s.Value) || s.Code != cfg.QuarantineCode {
+			continue
+		}
+		if n := len(rep.Incidents); n > 0 && rep.Incidents[n-1].ReturnFrame < 0 {
+			continue // same incident re-quarantining
+		}
+		inc := Incident{
+			SymptomFrame:   -1,
+			DetectionFrame: s.Frame,
+			RecoveryFrame:  -1,
+			ReturnFrame:    -1,
+		}
+
+		// Symptom: detection frequently lags the first symptom (the health
+		// machine accumulates non-contiguous findings before isolating), so
+		// anchor the search on the departure-from-healthy transition that
+		// opened this episode, then walk the contiguous observed anomaly
+		// streak backwards from the anchor. Dropped spans truncate the
+		// claim — the reconstruction only attributes what the downlink
+		// carried.
+		anchor := s.Frame
+		for _, p := range spans {
+			if p.Seq >= s.Seq {
+				break
+			}
+			if p.Stage == StageFDIR && p.Code != int32(p.Value) &&
+				int32(p.Value) == cfg.HealthyCode && p.Code != cfg.HealthyCode {
+				anchor = p.Frame // latest departure from healthy before detection
+			}
+		}
+		if !anomaly[anchor] {
+			anchor = s.Frame
+		}
+		if anomaly[anchor] {
+			start := anchor
+			//safexplain:bounded streak walk is capped by the observed frame range
+			for anomaly[start-1] {
+				start--
+			}
+			inc.SymptomFrame = start
+			//safexplain:bounded count walk is capped by the observed frame range
+			for f := start; f <= s.Frame; f++ {
+				if anomaly[f] {
+					inc.AnomalyFrames++
+				}
+			}
+		}
+
+		// Recovery: first recovery-stage span at or after detection.
+		// Return: first transition back to healthy after detection.
+		for _, r := range spans[i:] {
+			if inc.RecoveryFrame < 0 && r.Stage == StageRecovery && r.Frame >= s.Frame {
+				inc.RecoveryFrame = r.Frame
+			}
+			if r.Stage == StageFDIR && r.Code != int32(r.Value) &&
+				r.Code == cfg.HealthyCode && r.Frame > s.Frame {
+				inc.ReturnFrame = r.Frame
+				break
+			}
+		}
+
+		inc.Chain = causalChain(spans, s)
+		for _, d := range dumps {
+			if d.Frame == s.Frame && d.Trigger == "fdir-quarantine" {
+				inc.DumpHashPrefix = fmt.Sprintf("%016x", d.HashPrefix)
+				break
+			}
+		}
+		rep.Incidents = append(rep.Incidents, inc)
+	}
+
+	// Dump notices whose frame matches no span-derived incident still
+	// prove a quarantine happened — at tiny budgets they are the only
+	// record that fits. Attribute what they carry.
+	for _, d := range dumps {
+		if d.Trigger != "fdir-quarantine" {
+			continue
+		}
+		known := false
+		for _, inc := range rep.Incidents {
+			if inc.DetectionFrame == d.Frame {
+				known = true
+				break
+			}
+		}
+		if known {
+			continue
+		}
+		rep.Incidents = append(rep.Incidents, Incident{
+			SymptomFrame:   -1,
+			DetectionFrame: d.Frame,
+			RecoveryFrame:  -1,
+			ReturnFrame:    -1,
+			FromDumpOnly:   true,
+			DumpHashPrefix: fmt.Sprintf("%016x", d.HashPrefix),
+		})
+	}
+	sort.Slice(rep.Incidents, func(i, j int) bool {
+		return rep.Incidents[i].DetectionFrame < rep.Incidents[j].DetectionFrame
+	})
+	return rep
+}
+
+// causalChain walks the Cause links backwards from span s within its
+// frame, returning the chain root first.
+func causalChain(spans []TraceSpan, s TraceSpan) []ChainEntry {
+	// Index this frame's spans by Idx.
+	var frame []TraceSpan
+	for _, x := range spans {
+		if x.Frame == s.Frame {
+			frame = append(frame, x)
+		}
+	}
+	at := func(idx int16) (TraceSpan, bool) {
+		for _, x := range frame {
+			if x.Idx == idx {
+				return x, true
+			}
+		}
+		return TraceSpan{}, false
+	}
+	var rev []ChainEntry
+	cur, ok := s, true
+	for ok && len(rev) < traceScratch {
+		rev = append(rev, ChainEntry{Stage: cur.Stage.String(), Code: cur.Code, Value: cur.Value})
+		if cur.Cause < 0 {
+			// Terminate at the structural root when present.
+			if cur.Idx != 0 {
+				if root, found := at(0); found {
+					rev = append(rev, ChainEntry{Stage: root.Stage.String(), Code: root.Code, Value: root.Value})
+				}
+			}
+			break
+		}
+		cur, ok = at(cur.Cause)
+	}
+	// Reverse: root first.
+	out := make([]ChainEntry, len(rev))
+	for i, e := range rev {
+		out[len(rev)-1-i] = e
+	}
+	return out
+}
+
+// CanonicalJSON marshals the report in canonical form (fixed struct
+// field order, no maps) — byte-identical across runs for the same
+// capture.
+func (r Report) CanonicalJSON() ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// Hash returns the SHA-256 over the canonical JSON, hex-encoded — this
+// is the value the CLI links into the evidence chain.
+func (r Report) Hash() (string, error) {
+	b, err := r.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Table renders the reconstruction as a human-readable report.
+func (r Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "black-box reconstruction: %d telemetry frames, %d spans, %d metrics, %d dump notices\n",
+		r.TelemetryFrames, r.Spans, r.Metrics, r.Dumps)
+	if r.FirstFrame >= 0 {
+		fmt.Fprintf(&b, "observed frame range: [%d, %d]\n", r.FirstFrame, r.LastFrame)
+	}
+	if len(r.Incidents) == 0 {
+		b.WriteString("no FDIR incidents reconstructed\n")
+		return b.String()
+	}
+	for i, inc := range r.Incidents {
+		fmt.Fprintf(&b, "incident #%d\n", i)
+		fmt.Fprintf(&b, "  symptom frame    %s\n", frameOrUnknown(inc.SymptomFrame))
+		fmt.Fprintf(&b, "  detection frame  %s", frameOrUnknown(inc.DetectionFrame))
+		if inc.FromDumpOnly {
+			b.WriteString("  (from dump notice only)")
+		}
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "  recovery frame   %s\n", frameOrUnknown(inc.RecoveryFrame))
+		fmt.Fprintf(&b, "  return frame     %s\n", frameOrUnknown(inc.ReturnFrame))
+		if inc.AnomalyFrames > 0 {
+			fmt.Fprintf(&b, "  anomaly streak   %d frames\n", inc.AnomalyFrames)
+		}
+		if inc.DumpHashPrefix != "" {
+			fmt.Fprintf(&b, "  dump hash        %s…\n", inc.DumpHashPrefix)
+		}
+		if len(inc.Chain) > 0 {
+			b.WriteString("  causal chain     ")
+			for j, e := range inc.Chain {
+				if j > 0 {
+					b.WriteString(" -> ")
+				}
+				fmt.Fprintf(&b, "%s[%d]", e.Stage, e.Code)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+func frameOrUnknown(f int32) string {
+	if f < 0 {
+		return "unknown"
+	}
+	return fmt.Sprintf("%d", f)
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// downlinkIncident replays a synthetic FDIR incident through a real Obs
+// bundle + downlink: anomalies from frame 10, quarantine at 12 with a
+// golden reload, probation, return to service at 30.
+func downlinkIncident(budget int) *Downlink {
+	o := New(Config{Name: "bb"})
+	d := NewDownlink(DownlinkConfig{BytesPerFrame: budget})
+	o.AttachDownlink(d)
+	health := func(f int) (from, to int32) {
+		switch {
+		case f < 11:
+			return 0, 0
+		case f == 11:
+			return 0, 1 // suspect
+		case f == 12:
+			return 1, 2 // quarantined
+		case f < 20:
+			return 2, 2
+		case f == 20:
+			return 2, 3 // probation
+		case f < 30:
+			return 3, 3
+		case f == 30:
+			return 3, 0 // healthy again
+		default:
+			return 0, 0
+		}
+	}
+	for f := 0; f < 40; f++ {
+		anoms := int32(0)
+		if f >= 10 && f <= 14 {
+			anoms = 1
+		}
+		o.TraceBegin(f)
+		infer := o.TraceChild(StageInfer, 3, 0, o.TraceRoot())
+		sup := o.TraceChild(StageSupervisor, anoms, 0, infer)
+		from, to := health(f)
+		fd := o.TraceChild(StageFDIR, to, float64(from), sup)
+		if f == 12 {
+			o.AutoDump("fdir-quarantine", f)
+			o.TraceChild(StageRecovery, 1, 0, fd)
+		}
+		o.TraceChild(StageVote, 0, 3, fd)
+		o.TraceEnd(f)
+	}
+	return d
+}
+
+func TestReconstructFullBandwidth(t *testing.T) {
+	d := downlinkIncident(4096)
+	frames, err := DecodeStream(d.Capture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Reconstruct(frames, BlackboxConfig{})
+	if len(rep.Incidents) != 1 {
+		t.Fatalf("incidents = %d, want 1\n%s", len(rep.Incidents), rep.Table())
+	}
+	inc := rep.Incidents[0]
+	if inc.SymptomFrame != 10 {
+		t.Errorf("symptom frame = %d, want 10", inc.SymptomFrame)
+	}
+	if inc.DetectionFrame != 12 {
+		t.Errorf("detection frame = %d, want 12", inc.DetectionFrame)
+	}
+	if inc.RecoveryFrame != 12 {
+		t.Errorf("recovery frame = %d, want 12", inc.RecoveryFrame)
+	}
+	if inc.ReturnFrame != 30 {
+		t.Errorf("return frame = %d, want 30", inc.ReturnFrame)
+	}
+	if inc.AnomalyFrames != 3 {
+		t.Errorf("anomaly streak = %d, want 3 (frames 10..12)", inc.AnomalyFrames)
+	}
+	if inc.FromDumpOnly {
+		t.Error("full bandwidth must reconstruct from spans, not the dump notice")
+	}
+	if inc.DumpHashPrefix == "" {
+		t.Error("dump notice should link the flight hash prefix")
+	}
+	// The causal chain at the detection frame runs root → infer →
+	// supervisor → fdir.
+	want := []string{"frame", "infer", "supervisor", "fdir-verdict"}
+	if len(inc.Chain) != len(want) {
+		t.Fatalf("chain = %+v, want stages %v", inc.Chain, want)
+	}
+	for i, e := range inc.Chain {
+		if e.Stage != want[i] {
+			t.Errorf("chain[%d] = %s, want %s", i, e.Stage, want[i])
+		}
+	}
+}
+
+func TestReconstructDumpOnlyAtTinyBudget(t *testing.T) {
+	// 32 B/frame fits the 18-byte dump record but not 34-byte spans: the
+	// incident is still detected — from the dump notice alone.
+	d := downlinkIncident(32)
+	frames, err := DecodeStream(d.Capture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Reconstruct(frames, BlackboxConfig{})
+	if len(rep.Incidents) != 1 {
+		t.Fatalf("incidents = %d, want 1 (from dump notice)\n%s", len(rep.Incidents), rep.Table())
+	}
+	inc := rep.Incidents[0]
+	if !inc.FromDumpOnly {
+		t.Error("expected a dump-only reconstruction at 32 B/frame")
+	}
+	if inc.DetectionFrame != 12 {
+		t.Errorf("detection frame = %d, want 12", inc.DetectionFrame)
+	}
+	if inc.SymptomFrame != -1 || inc.ReturnFrame != -1 {
+		t.Errorf("symptom/return should be unknown, got %d/%d", inc.SymptomFrame, inc.ReturnFrame)
+	}
+}
+
+func TestReconstructNothingAtStarvedBudget(t *testing.T) {
+	// 16 B/frame fits nothing but headers: honest empty reconstruction.
+	d := downlinkIncident(16)
+	frames, err := DecodeStream(d.Capture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Reconstruct(frames, BlackboxConfig{})
+	if len(rep.Incidents) != 0 || rep.Spans != 0 {
+		t.Fatalf("starved downlink still reconstructed: %s", rep.Table())
+	}
+}
+
+func TestReconstructCanonicalJSONStable(t *testing.T) {
+	d := downlinkIncident(4096)
+	frames, _ := DecodeStream(d.Capture())
+	a := Reconstruct(frames, BlackboxConfig{})
+	b := Reconstruct(frames, BlackboxConfig{})
+	ha, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := b.Hash()
+	if ha != hb {
+		t.Fatal("same capture reconstructs to different canonical hashes")
+	}
+	js, _ := a.CanonicalJSON()
+	for _, key := range []string{"symptom_frame", "detection_frame", "recovery_frame", "return_frame", "causal_chain"} {
+		if !strings.Contains(string(js), key) {
+			t.Errorf("canonical JSON missing %q", key)
+		}
+	}
+}
+
+func TestReconstructTableRendersTimeline(t *testing.T) {
+	d := downlinkIncident(4096)
+	frames, _ := DecodeStream(d.Capture())
+	rep := Reconstruct(frames, BlackboxConfig{})
+	tab := rep.Table()
+	for _, want := range []string{"incident #0", "symptom frame    10", "detection frame  12",
+		"return frame     30", "causal chain"} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("table missing %q:\n%s", want, tab)
+		}
+	}
+}
+
+func TestReconstructEmptyInput(t *testing.T) {
+	rep := Reconstruct(nil, BlackboxConfig{})
+	if rep.TelemetryFrames != 0 || len(rep.Incidents) != 0 {
+		t.Fatal("empty input should reconstruct empty")
+	}
+	if rep.FirstFrame != -1 || rep.LastFrame != -1 {
+		t.Fatal("frame range should be unknown on empty input")
+	}
+	if !strings.Contains(rep.Table(), "no FDIR incidents") {
+		t.Fatal("table should state no incidents")
+	}
+}

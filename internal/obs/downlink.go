@@ -1,0 +1,624 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+)
+
+// The downlink models the embedded reality that telemetry bandwidth is a
+// budgeted resource: an on-board encoder packs prioritized records into
+// fixed-size frames (housekeeping < events < incident dumps), drops and
+// counts what does not fit, and a pure-function ground-side decoder
+// recovers the stream. Everything on the emit path is statically
+// allocated; the decoder never panics or over-reads on corrupt input
+// (FuzzDownlinkDecode).
+
+// Priority orders the downlink channels. Higher drains first.
+//
+//safexplain:req REQ-DET
+type Priority uint8
+
+// Downlink channel priorities.
+//
+//safexplain:req REQ-DET
+const (
+	PriHousekeeping Priority = iota // periodic counters and gauges
+	PriEvent                        // anomaly verdicts, transitions, recoveries
+	PriIncident                     // flight-recorder dump notices
+	numPriorities
+)
+
+// String returns the priority channel name.
+func (p Priority) String() string {
+	switch p {
+	case PriHousekeeping:
+		return "housekeeping"
+	case PriEvent:
+		return "event"
+	case PriIncident:
+		return "incident"
+	default:
+		return fmt.Sprintf("Priority(%d)", uint8(p))
+	}
+}
+
+// RecordKind tags one downlinked record.
+//
+//safexplain:req REQ-DET
+type RecordKind uint8
+
+// Downlink record kinds. Unknown kinds are skipped by the decoder
+// (forward compatibility), never an error.
+//
+//safexplain:req REQ-DET
+const (
+	RecInvalid RecordKind = iota
+	RecSpan               // one causal trace span
+	RecMetric             // one housekeeping metric sample
+	RecDump               // one flight-recorder dump notice
+)
+
+// Housekeeping metric IDs carried by RecMetric records.
+//
+//safexplain:req REQ-DET
+const (
+	MetricFrames    uint16 = 1 // frames operated
+	MetricFallbacks uint16 = 2 // fallback / withheld outputs
+	MetricHealth    uint16 = 3 // FDIR health state ordinal
+)
+
+// Trigger codes carried by RecDump records (the trigger string does not
+// fit a bounded wire format).
+//
+//safexplain:req REQ-DET
+const (
+	TriggerOther        uint8 = 0
+	TriggerQuarantine   uint8 = 1
+	TriggerDeadlineMiss uint8 = 2
+)
+
+// TriggerCode maps an auto-dump trigger string to its wire code.
+//
+//safexplain:req REQ-DET
+//safexplain:hotpath
+//safexplain:wcet
+func TriggerCode(trigger string) uint8 {
+	switch trigger {
+	case "fdir-quarantine":
+		return TriggerQuarantine
+	case "deadline-miss":
+		return TriggerDeadlineMiss
+	}
+	return TriggerOther
+}
+
+// TriggerName is the inverse of TriggerCode.
+//
+//safexplain:req REQ-XAI
+func TriggerName(code uint8) string {
+	switch code {
+	case TriggerQuarantine:
+		return "fdir-quarantine"
+	case TriggerDeadlineMiss:
+		return "deadline-miss"
+	}
+	return "other"
+}
+
+// hashPrefix parses the first 16 hex digits of a dump hash into a uint64
+// without allocating — the wire carries an 8-byte prefix, enough to match
+// a dump notice to the full hash in the evidence chain.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func hashPrefix(hash string) uint64 {
+	var v uint64
+	if len(hash) < 16 {
+		return 0
+	}
+	for i := 0; i < 16; i++ {
+		c := hash[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0
+		}
+		v = v<<4 | d
+	}
+	return v
+}
+
+// Wire format (all little-endian):
+//
+//	frame  := 'S' 'X' ver=0x01 frame:u32 count:u16 record*
+//	record := kind:u8 pri:u8 plen:u8 payload[plen]
+//	span   := seq:u64 frame:u32 idx:u16 parent:u16 cause:u16 stage:u8 code:u32 value:f64   (31 B)
+//	metric := id:u16 value:f64                                                             (10 B)
+//	dump   := frame:u32 trigger:u8 spans:u16 hashprefix:u64                                (15 B)
+const (
+	wireMagic0     = 'S'
+	wireMagic1     = 'X'
+	wireVersion    = 0x01
+	frameHeaderLen = 9
+	recHeaderLen   = 3
+	spanPayloadLen = 31
+	metricPayload  = 10
+	dumpPayloadLen = 15
+	maxFrameCount  = 4096 // decoder sanity bound on records per frame
+)
+
+// downRec is one queued record awaiting downlink. Fixed-size so the
+// per-priority queues are preallocated rings.
+type downRec struct {
+	kind RecordKind
+	span TraceSpan // RecSpan
+	id   uint16    // RecMetric
+	val  float64   // RecMetric
+	dump wireDump  // RecDump
+}
+
+// wireDump is the bounded on-wire form of a DumpRecord.
+type wireDump struct {
+	Frame      int32
+	Trigger    uint8
+	Spans      uint16
+	HashPrefix uint64
+}
+
+// recQueue is a fixed-capacity FIFO ring of pending records.
+type recQueue struct {
+	buf  []downRec
+	head int
+	n    int
+}
+
+// push enqueues r, reporting false when the queue is full (drop-newest:
+// the oldest records describe the earliest causality, which the
+// reconstruction needs most). Zero-allocation.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (q *recQueue) push(r downRec) bool {
+	if q.n >= len(q.buf) {
+		return false
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = r
+	q.n++
+	return true
+}
+
+// peek returns a pointer to the oldest record; caller checks q.n first.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (q *recQueue) peek() *downRec {
+	return &q.buf[q.head]
+}
+
+// pop discards the oldest record.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (q *recQueue) pop() {
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+}
+
+// DownlinkConfig sizes a Downlink. Zero values get defaults.
+//
+//safexplain:req REQ-DET
+type DownlinkConfig struct {
+	// BytesPerFrame is the emit budget per telemetry frame (default 320).
+	// The 9-byte frame header counts against it.
+	BytesPerFrame int
+	// QueueDepth is the per-priority pending-record capacity
+	// (default 512). Full queues drop-newest and count the drop.
+	QueueDepth int
+	// CaptureBytes bounds the ground-capture buffer emitted frames are
+	// appended to (default 1 MiB). A full capture drops whole frames.
+	CaptureBytes int
+}
+
+func (c DownlinkConfig) withDefaults() DownlinkConfig {
+	if c.BytesPerFrame <= 0 {
+		c.BytesPerFrame = 320
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 512
+	}
+	if c.CaptureBytes <= 0 {
+		c.CaptureBytes = 1 << 20
+	}
+	return c
+}
+
+// Downlink is the bounded telemetry encoder: three fixed-capacity
+// priority queues drained strictly highest-first into fixed-budget
+// frames. Records that do not fit stay queued (store-and-forward);
+// records pushed into a full queue are dropped and counted. The emit
+// path is zero-allocation: frames are written into a preallocated
+// capture buffer.
+//
+//safexplain:req REQ-DET REQ-TRUST
+type Downlink struct {
+	mu      sync.Mutex
+	cfg     DownlinkConfig
+	queues  [numPriorities]recQueue
+	dropped [numPriorities]uint64
+	capture []byte
+	used    int
+	frames  uint64 // telemetry frames emitted
+	dropFr  uint64 // frames dropped because the capture buffer was full
+}
+
+// NewDownlink builds a downlink with preallocated queues and capture.
+//
+//safexplain:req REQ-DET
+func NewDownlink(cfg DownlinkConfig) *Downlink {
+	cfg = cfg.withDefaults()
+	d := &Downlink{cfg: cfg, capture: make([]byte, cfg.CaptureBytes)}
+	for i := range d.queues {
+		d.queues[i].buf = make([]downRec, cfg.QueueDepth)
+	}
+	return d
+}
+
+// spanPriority classifies a trace span into its downlink channel: health
+// transitions, recoveries, drift alarms, anomaly verdicts and deadline
+// misses are events; everything else is housekeeping.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func spanPriority(s TraceSpan) Priority {
+	switch s.Stage {
+	case StageRecovery, StageDrift:
+		return PriEvent
+	case StageFDIR:
+		if s.Code != int32(s.Value) { // health state changed this frame
+			return PriEvent
+		}
+	case StageSupervisor:
+		if s.Code > 0 { // detector findings present
+			return PriEvent
+		}
+	case StageDeadline:
+		if s.Code > 0 { // deadline misses present
+			return PriEvent
+		}
+	}
+	return PriHousekeeping
+}
+
+// PushSpan queues one trace span on its priority channel.
+// Zero-allocation.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (d *Downlink) PushSpan(s TraceSpan) {
+	pri := spanPriority(s)
+	d.mu.Lock()
+	if !d.queues[pri].push(downRec{kind: RecSpan, span: s}) {
+		d.dropped[pri]++
+	}
+	d.mu.Unlock()
+}
+
+// PushMetric queues one housekeeping metric sample. Zero-allocation.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (d *Downlink) PushMetric(id uint16, v float64) {
+	d.mu.Lock()
+	if !d.queues[PriHousekeeping].push(downRec{kind: RecMetric, id: id, val: v}) {
+		d.dropped[PriHousekeeping]++
+	}
+	d.mu.Unlock()
+}
+
+// PushDump queues one flight-recorder dump notice on the incident
+// channel. Zero-allocation.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (d *Downlink) PushDump(rec DumpRecord) {
+	w := wireDump{
+		Frame:      int32(rec.Frame),
+		Trigger:    TriggerCode(rec.Trigger),
+		Spans:      uint16(rec.Spans),
+		HashPrefix: hashPrefix(rec.Hash),
+	}
+	d.mu.Lock()
+	if !d.queues[PriIncident].push(downRec{kind: RecDump, dump: w}) {
+		d.dropped[PriIncident]++
+	}
+	d.mu.Unlock()
+}
+
+// recWireSize returns the encoded size of one record including its
+// header.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func recWireSize(kind RecordKind) int {
+	switch kind {
+	case RecSpan:
+		return recHeaderLen + spanPayloadLen
+	case RecMetric:
+		return recHeaderLen + metricPayload
+	case RecDump:
+		return recHeaderLen + dumpPayloadLen
+	}
+	return recHeaderLen
+}
+
+// EmitFrame drains queued records — incident first, then events, then
+// housekeeping, FIFO within each channel — into one telemetry frame of
+// at most BytesPerFrame bytes, appended to the capture buffer. Records
+// that do not fit this frame stay queued for the next. Returns the bytes
+// emitted (0 when even the header does not fit the budget or the
+// capture). Zero-allocation.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (d *Downlink) EmitFrame(frame int) int {
+	d.mu.Lock()
+	budget := d.cfg.BytesPerFrame
+	if avail := len(d.capture) - d.used; avail < budget {
+		budget = avail
+	}
+	if budget < frameHeaderLen {
+		d.dropFr++
+		d.frames++
+		d.mu.Unlock()
+		return 0
+	}
+	start := d.used
+	b := d.capture
+	b[start] = wireMagic0
+	b[start+1] = wireMagic1
+	b[start+2] = wireVersion
+	binary.LittleEndian.PutUint32(b[start+3:], uint32(int32(frame)))
+	off := start + frameHeaderLen
+	limit := start + budget
+	count := 0
+	//safexplain:bounded three priority channels, each draining a fixed-depth queue
+	for p := int(numPriorities) - 1; p >= 0; p-- {
+		q := &d.queues[p]
+		//safexplain:bounded queue length is capped by the fixed QueueDepth ring
+		for q.n > 0 {
+			r := q.peek()
+			size := recWireSize(r.kind)
+			if off+size > limit || count >= maxFrameCount {
+				break // head of line blocks; lower channels may still fit
+			}
+			b[off] = byte(r.kind)
+			b[off+1] = byte(p)
+			b[off+2] = byte(size - recHeaderLen)
+			switch r.kind {
+			case RecSpan:
+				var sb [31]byte
+				encodeTraceSpan(&sb, r.span)
+				copy(b[off+recHeaderLen:], sb[:])
+			case RecMetric:
+				binary.LittleEndian.PutUint16(b[off+recHeaderLen:], r.id)
+				binary.LittleEndian.PutUint64(b[off+recHeaderLen+2:], math.Float64bits(r.val))
+			case RecDump:
+				binary.LittleEndian.PutUint32(b[off+recHeaderLen:], uint32(r.dump.Frame))
+				b[off+recHeaderLen+4] = r.dump.Trigger
+				binary.LittleEndian.PutUint16(b[off+recHeaderLen+5:], r.dump.Spans)
+				binary.LittleEndian.PutUint64(b[off+recHeaderLen+7:], r.dump.HashPrefix)
+			}
+			off += size
+			count++
+			q.pop()
+		}
+	}
+	binary.LittleEndian.PutUint16(b[start+7:], uint16(count))
+	d.used = off
+	d.frames++
+	d.mu.Unlock()
+	return off - start
+}
+
+// Capture returns a copy of the emitted telemetry stream so far — the
+// ground-side view. Allocates; never call it per frame.
+func (d *Downlink) Capture() []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]byte(nil), d.capture[:d.used]...)
+}
+
+// CaptureLen returns the bytes captured so far.
+func (d *Downlink) CaptureLen() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.used
+}
+
+// Frames returns the telemetry frames emitted.
+func (d *Downlink) Frames() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.frames
+}
+
+// Dropped returns the per-priority dropped-record counts and the frames
+// dropped for capture exhaustion.
+func (d *Downlink) Dropped() (perPriority [3]uint64, captureFrames uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dropped, d.dropFr
+}
+
+// Pending returns the records still queued per priority.
+func (d *Downlink) Pending() [3]int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out [3]int
+	for i := range d.queues {
+		out[i] = d.queues[i].n
+	}
+	return out
+}
+
+// BytesPerFrame returns the configured emit budget.
+func (d *Downlink) BytesPerFrame() int { return d.cfg.BytesPerFrame }
+
+// Hash returns the SHA-256 over the captured stream, hex-encoded — the
+// ground-side evidence link.
+func (d *Downlink) Hash() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sum := sha256.Sum256(d.capture[:d.used])
+	return hex.EncodeToString(sum[:])
+}
+
+// Describe returns a one-line summary suitable for evidence records.
+func (d *Downlink) Describe() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "downlink: budget %d B/frame, %d frames, %d bytes captured, drops hk=%d ev=%d inc=%d",
+		d.cfg.BytesPerFrame, d.frames, d.used,
+		d.dropped[PriHousekeeping], d.dropped[PriEvent], d.dropped[PriIncident])
+	return b.String()
+}
+
+// --- ground-side decoder (pure functions) ---
+
+// ErrCorrupt reports a malformed downlink frame.
+//
+//safexplain:req REQ-DET
+var ErrCorrupt = errors.New("obs: corrupt downlink frame")
+
+// DownRecord is one decoded downlink record.
+//
+//safexplain:req REQ-XAI
+type DownRecord struct {
+	Kind RecordKind
+	Pri  Priority
+
+	Span TraceSpan // when Kind == RecSpan
+
+	MetricID    uint16  // when Kind == RecMetric
+	MetricValue float64 // when Kind == RecMetric
+
+	Dump DumpSummary // when Kind == RecDump
+}
+
+// DumpSummary is the decoded form of a dump notice.
+//
+//safexplain:req REQ-XAI
+type DumpSummary struct {
+	Frame      int32
+	Trigger    string
+	Spans      int
+	HashPrefix uint64
+}
+
+// DownFrame is one decoded telemetry frame.
+//
+//safexplain:req REQ-XAI
+type DownFrame struct {
+	Frame   int32
+	Records []DownRecord
+}
+
+// DecodeFrame decodes one telemetry frame from the head of b, returning
+// the frame, the bytes consumed, and an error on corruption. It is a
+// pure function: bounds-checked throughout, it never panics and never
+// reads past the declared lengths (FuzzDownlinkDecode enforces this).
+// Records of unknown kind are skipped via their length byte.
+//
+//safexplain:req REQ-DET REQ-XAI
+func DecodeFrame(b []byte) (DownFrame, int, error) {
+	var f DownFrame
+	if len(b) < frameHeaderLen {
+		return f, 0, fmt.Errorf("%w: %d bytes, need %d for the header", ErrCorrupt, len(b), frameHeaderLen)
+	}
+	if b[0] != wireMagic0 || b[1] != wireMagic1 {
+		return f, 0, fmt.Errorf("%w: bad magic %#02x%02x", ErrCorrupt, b[0], b[1])
+	}
+	if b[2] != wireVersion {
+		return f, 0, fmt.Errorf("%w: unknown version %d", ErrCorrupt, b[2])
+	}
+	f.Frame = int32(binary.LittleEndian.Uint32(b[3:]))
+	count := int(binary.LittleEndian.Uint16(b[7:]))
+	if count > maxFrameCount {
+		return f, 0, fmt.Errorf("%w: record count %d exceeds bound %d", ErrCorrupt, count, maxFrameCount)
+	}
+	off := frameHeaderLen
+	for i := 0; i < count; i++ {
+		if len(b)-off < recHeaderLen {
+			return f, 0, fmt.Errorf("%w: truncated record header at offset %d", ErrCorrupt, off)
+		}
+		kind := RecordKind(b[off])
+		pri := Priority(b[off+1])
+		plen := int(b[off+2])
+		off += recHeaderLen
+		if len(b)-off < plen {
+			return f, 0, fmt.Errorf("%w: truncated payload at offset %d (need %d)", ErrCorrupt, off, plen)
+		}
+		payload := b[off : off+plen]
+		off += plen
+		rec := DownRecord{Kind: kind, Pri: pri}
+		switch kind {
+		case RecSpan:
+			if plen != spanPayloadLen {
+				return f, 0, fmt.Errorf("%w: span payload %d bytes, want %d", ErrCorrupt, plen, spanPayloadLen)
+			}
+			rec.Span = decodeTraceSpan(payload)
+		case RecMetric:
+			if plen != metricPayload {
+				return f, 0, fmt.Errorf("%w: metric payload %d bytes, want %d", ErrCorrupt, plen, metricPayload)
+			}
+			rec.MetricID = binary.LittleEndian.Uint16(payload)
+			rec.MetricValue = math.Float64frombits(binary.LittleEndian.Uint64(payload[2:]))
+		case RecDump:
+			if plen != dumpPayloadLen {
+				return f, 0, fmt.Errorf("%w: dump payload %d bytes, want %d", ErrCorrupt, plen, dumpPayloadLen)
+			}
+			rec.Dump = DumpSummary{
+				Frame:      int32(binary.LittleEndian.Uint32(payload)),
+				Trigger:    TriggerName(payload[4]),
+				Spans:      int(binary.LittleEndian.Uint16(payload[5:])),
+				HashPrefix: binary.LittleEndian.Uint64(payload[7:]),
+			}
+		default:
+			continue // unknown kind: length-skipped, not decoded
+		}
+		f.Records = append(f.Records, rec)
+	}
+	return f, off, nil
+}
+
+// DecodeStream decodes a captured telemetry stream into its frames.
+// Trailing garbage or a corrupt frame yields an error alongside the
+// frames decoded so far.
+//
+//safexplain:req REQ-DET REQ-XAI
+func DecodeStream(b []byte) ([]DownFrame, error) {
+	var frames []DownFrame
+	off := 0
+	for off < len(b) {
+		f, n, err := DecodeFrame(b[off:])
+		if err != nil {
+			return frames, fmt.Errorf("frame %d at offset %d: %w", len(frames), off, err)
+		}
+		frames = append(frames, f)
+		off += n
+	}
+	return frames, nil
+}

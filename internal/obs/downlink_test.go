@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func mkSpan(frame int32, stage Stage, code int32, value float64) TraceSpan {
+	return TraceSpan{Frame: frame, Stage: stage, Code: code, Value: value, Parent: -1, Cause: -1}
+}
+
+func TestDownlinkRoundTrip(t *testing.T) {
+	d := NewDownlink(DownlinkConfig{BytesPerFrame: 512})
+	d.PushSpan(mkSpan(3, StageInfer, 7, 0.5))
+	d.PushMetric(MetricFrames, 42)
+	d.PushDump(DumpRecord{Trigger: "fdir-quarantine", Frame: 3, Spans: 9,
+		Hash: "deadbeefcafebabe0123456789abcdef"})
+	if n := d.EmitFrame(3); n == 0 {
+		t.Fatal("emit produced nothing")
+	}
+
+	frames, err := DecodeStream(d.Capture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 1 {
+		t.Fatalf("decoded %d frames, want 1", len(frames))
+	}
+	f := frames[0]
+	if f.Frame != 3 || len(f.Records) != 3 {
+		t.Fatalf("frame=%d records=%d, want frame=3 records=3", f.Frame, len(f.Records))
+	}
+	// Priority order: incident dump first, then event? The infer span is
+	// housekeeping, so: dump, metric+span in their channels — dump first.
+	if f.Records[0].Kind != RecDump {
+		t.Fatalf("first record kind = %d, want dump (incident channel drains first)", f.Records[0].Kind)
+	}
+	dump := f.Records[0].Dump
+	if dump.Frame != 3 || dump.Trigger != "fdir-quarantine" || dump.Spans != 9 {
+		t.Fatalf("dump mangled: %+v", dump)
+	}
+	if dump.HashPrefix != 0xdeadbeefcafebabe {
+		t.Fatalf("hash prefix = %016x, want deadbeefcafebabe", dump.HashPrefix)
+	}
+	var gotSpan, gotMetric bool
+	for _, r := range f.Records[1:] {
+		switch r.Kind {
+		case RecSpan:
+			gotSpan = true
+			if r.Span.Frame != 3 || r.Span.Stage != StageInfer || r.Span.Code != 7 || r.Span.Value != 0.5 {
+				t.Fatalf("span mangled: %+v", r.Span)
+			}
+		case RecMetric:
+			gotMetric = true
+			if r.MetricID != MetricFrames || r.MetricValue != 42 {
+				t.Fatalf("metric mangled: id=%d v=%g", r.MetricID, r.MetricValue)
+			}
+		}
+	}
+	if !gotSpan || !gotMetric {
+		t.Fatalf("span=%v metric=%v, want both", gotSpan, gotMetric)
+	}
+}
+
+func TestDownlinkPriorityOrderUnderBudget(t *testing.T) {
+	// Budget fits the header plus exactly one span record: the event
+	// span must win over the housekeeping span queued earlier.
+	d := NewDownlink(DownlinkConfig{BytesPerFrame: frameHeaderLen + recHeaderLen + spanPayloadLen})
+	d.PushSpan(mkSpan(0, StageInfer, 1, 0))    // housekeeping
+	d.PushSpan(mkSpan(0, StageRecovery, 1, 0)) // event
+	d.EmitFrame(0)
+	frames, err := DecodeStream(d.Capture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames[0].Records) != 1 {
+		t.Fatalf("records = %d, want 1 (budget fits one span)", len(frames[0].Records))
+	}
+	if got := frames[0].Records[0].Span.Stage; got != StageRecovery {
+		t.Fatalf("emitted %v, want the event-priority recovery span", got)
+	}
+	// The housekeeping span is still queued, not dropped.
+	if p := d.Pending(); p[PriHousekeeping] != 1 {
+		t.Fatalf("pending housekeeping = %d, want 1 (store-and-forward)", p[PriHousekeeping])
+	}
+	// Next frame carries it.
+	d.EmitFrame(1)
+	frames, err = DecodeStream(d.Capture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := frames[1].Records[0].Span.Stage; got != StageInfer {
+		t.Fatalf("second frame carries %v, want the deferred infer span", got)
+	}
+}
+
+func TestDownlinkQueueFullDropsAndCounts(t *testing.T) {
+	d := NewDownlink(DownlinkConfig{QueueDepth: 4})
+	for i := 0; i < 10; i++ {
+		d.PushSpan(mkSpan(int32(i), StageInfer, 0, 0))
+	}
+	dropped, _ := d.Dropped()
+	if dropped[PriHousekeeping] != 6 {
+		t.Fatalf("dropped = %d, want 6", dropped[PriHousekeeping])
+	}
+	// Drop-newest: the oldest spans survive.
+	d.EmitFrame(0)
+	frames, err := DecodeStream(d.Capture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := frames[0].Records[0].Span.Frame; got != 0 {
+		t.Fatalf("oldest surviving span frame = %d, want 0", got)
+	}
+}
+
+func TestDownlinkBudgetTooSmallEmitsNothing(t *testing.T) {
+	d := NewDownlink(DownlinkConfig{BytesPerFrame: frameHeaderLen + 5})
+	d.PushMetric(MetricFrames, 1)
+	n := d.EmitFrame(0)
+	if n != frameHeaderLen {
+		t.Fatalf("emitted %d bytes, want bare header %d", n, frameHeaderLen)
+	}
+	frames, err := DecodeStream(d.Capture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames[0].Records) != 0 {
+		t.Fatal("no record should fit a header-sized budget")
+	}
+}
+
+func TestDownlinkSpanPriorityClassification(t *testing.T) {
+	cases := []struct {
+		span TraceSpan
+		want Priority
+	}{
+		{mkSpan(0, StageInfer, 3, 0), PriHousekeeping},
+		{mkSpan(0, StageFrame, 0, 0), PriHousekeeping},
+		{mkSpan(0, StageSupervisor, 0, 0), PriHousekeeping}, // clean verdict
+		{mkSpan(0, StageSupervisor, 2, 0), PriEvent},        // findings
+		{mkSpan(0, StageFDIR, 1, 1), PriHousekeeping},       // steady state
+		{mkSpan(0, StageFDIR, 2, 1), PriEvent},              // transition
+		{mkSpan(0, StageDeadline, 0, 100), PriHousekeeping},
+		{mkSpan(0, StageDeadline, 1, 100), PriEvent}, // miss
+		{mkSpan(0, StageRecovery, 1, 0), PriEvent},
+		{mkSpan(0, StageDrift, 1, 4.2), PriEvent},
+	}
+	for _, c := range cases {
+		if got := spanPriority(c.span); got != c.want {
+			t.Errorf("spanPriority(%v code=%d value=%g) = %v, want %v",
+				c.span.Stage, c.span.Code, c.span.Value, got, c.want)
+		}
+	}
+}
+
+func TestDownlinkCaptureExhaustionDropsFrames(t *testing.T) {
+	// Capture fits exactly one emitted frame (header 9 + metric 13); the
+	// second must be dropped and counted, and the capture stays decodable.
+	d := NewDownlink(DownlinkConfig{BytesPerFrame: 64, CaptureBytes: 24})
+	d.PushMetric(MetricFrames, 1)
+	d.EmitFrame(0)
+	used := d.CaptureLen()
+	d.PushMetric(MetricFrames, 2)
+	if n := d.EmitFrame(1); n != 0 {
+		t.Fatalf("exhausted capture still emitted %d bytes", n)
+	}
+	if d.CaptureLen() != used {
+		t.Fatalf("capture grew past its bound: %d -> %d", used, d.CaptureLen())
+	}
+	if _, dropFr := d.Dropped(); dropFr != 1 {
+		t.Fatalf("dropped frames = %d, want 1", dropFr)
+	}
+	if _, err := DecodeStream(d.Capture()); err != nil {
+		t.Fatalf("capture not decodable after exhaustion: %v", err)
+	}
+}
+
+func TestDownlinkEmitPathZeroAllocs(t *testing.T) {
+	d := NewDownlink(DownlinkConfig{BytesPerFrame: 256, CaptureBytes: 1 << 22})
+	frame := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		d.PushSpan(mkSpan(int32(frame), StageInfer, 1, 0))
+		d.PushSpan(mkSpan(int32(frame), StageFDIR, 2, 1))
+		d.PushMetric(MetricHealth, 2)
+		d.PushDump(DumpRecord{Trigger: "fdir-quarantine", Frame: frame,
+			Hash: "deadbeefcafebabe0123456789abcdef"})
+		d.EmitFrame(frame)
+		frame++
+	})
+	if allocs != 0 {
+		t.Fatalf("downlink emit path allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestDecodeFrameRejectsCorruption(t *testing.T) {
+	d := NewDownlink(DownlinkConfig{})
+	d.PushMetric(MetricFrames, 1)
+	d.EmitFrame(0)
+	good := d.Capture()
+
+	cases := map[string][]byte{
+		"empty":          {},
+		"short header":   good[:5],
+		"bad magic":      append([]byte{'X', 'S'}, good[2:]...),
+		"bad version":    append([]byte{'S', 'X', 9}, good[3:]...),
+		"truncated body": good[:len(good)-3],
+	}
+	for name, b := range cases {
+		if _, _, err := DecodeFrame(b); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+	// Corrupt count: claims more records than present.
+	bad := append([]byte(nil), good...)
+	bad[7] = 0xff
+	bad[8] = 0x0f
+	if _, _, err := DecodeFrame(bad); err == nil {
+		t.Error("inflated record count accepted")
+	}
+}
+
+func TestDecodeFrameSkipsUnknownKinds(t *testing.T) {
+	// Hand-build a frame with one unknown-kind record followed by a
+	// metric: the decoder must skip the former by length and keep the
+	// latter.
+	b := []byte{'S', 'X', wireVersion, 0, 0, 0, 0, 2, 0}
+	b = append(b, 0x7f, 0, 2, 0xaa, 0xbb) // unknown kind, 2-byte payload
+	b = append(b, byte(RecMetric), 0, metricPayload)
+	payload := make([]byte, metricPayload)
+	payload[0] = byte(MetricFrames)
+	b = append(b, payload...)
+	f, n, err := DecodeFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(b) {
+		t.Fatalf("consumed %d, want %d", n, len(b))
+	}
+	if len(f.Records) != 1 || f.Records[0].Kind != RecMetric {
+		t.Fatalf("records = %+v, want the single metric", f.Records)
+	}
+}
+
+func TestDownlinkConcurrentPushAndEmit(t *testing.T) {
+	d := NewDownlink(DownlinkConfig{BytesPerFrame: 128, QueueDepth: 64})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				d.PushSpan(mkSpan(int32(i), StageInfer, int32(w), 0))
+				d.PushMetric(MetricFrames, float64(i))
+				if w == 0 {
+					d.EmitFrame(i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if _, err := DecodeStream(d.Capture()); err != nil {
+		t.Fatalf("concurrent capture not decodable: %v", err)
+	}
+	if !strings.Contains(d.Describe(), "downlink: budget 128 B/frame") {
+		t.Fatalf("describe = %q", d.Describe())
+	}
+}

@@ -53,6 +53,31 @@ type FlightSnap struct {
 	Dumps    []DumpRecord `json:"dumps,omitempty"`
 }
 
+// TraceSnap summarizes the causal trace context's state.
+//
+//safexplain:req REQ-XAI
+type TraceSnap struct {
+	Capacity int    `json:"capacity"`
+	Held     int    `json:"held"`
+	Total    uint64 `json:"total"`
+	Frames   uint64 `json:"frames"`
+	Overflow uint64 `json:"overflow"`
+	Hash     string `json:"hash"`
+}
+
+// DownlinkSnap summarizes the telemetry downlink's state.
+//
+//safexplain:req REQ-XAI
+type DownlinkSnap struct {
+	BytesPerFrame int       `json:"bytes_per_frame"`
+	Frames        uint64    `json:"frames"`
+	CapturedBytes int       `json:"captured_bytes"`
+	Dropped       [3]uint64 `json:"dropped"` // per priority channel
+	DroppedFrames uint64    `json:"dropped_frames"`
+	Pending       [3]int    `json:"pending"`
+	Hash          string    `json:"hash"`
+}
+
 // Snapshot is a consistent-enough point-in-time copy of an Obs bundle
 // (each metric is read atomically; the set is not globally fenced, which
 // is the standard exposition contract).
@@ -64,6 +89,8 @@ type Snapshot struct {
 	Gauges     []GaugeSnap     `json:"gauges"`
 	Histograms []HistogramSnap `json:"histograms"`
 	Flight     *FlightSnap     `json:"flight,omitempty"`
+	Trace      *TraceSnap      `json:"trace,omitempty"`
+	Downlink   *DownlinkSnap   `json:"downlink,omitempty"`
 }
 
 // Snapshot freezes the registry's current state.
@@ -96,6 +123,21 @@ func (o *Obs) Snapshot() Snapshot {
 	s.Flight = &FlightSnap{
 		Capacity: o.Flight.Cap(), Held: o.Flight.Len(),
 		Total: o.Flight.Total(), Hash: o.Flight.Hash(), Dumps: o.Dumps(),
+	}
+	if o.Trace != nil && o.Trace.Total() > 0 {
+		s.Trace = &TraceSnap{
+			Capacity: o.Trace.Cap(), Held: o.Trace.Len(),
+			Total: o.Trace.Total(), Frames: o.Trace.Frames(),
+			Overflow: o.Trace.Overflow(), Hash: o.Trace.Hash(),
+		}
+	}
+	if d := o.Down; d != nil {
+		dropped, dropFr := d.Dropped()
+		s.Downlink = &DownlinkSnap{
+			BytesPerFrame: d.BytesPerFrame(), Frames: d.Frames(),
+			CapturedBytes: d.CaptureLen(), Dropped: dropped,
+			DroppedFrames: dropFr, Pending: d.Pending(), Hash: d.Hash(),
+		}
 	}
 	return s
 }
@@ -173,6 +215,17 @@ func (s Snapshot) Table() string {
 			fmt.Fprintf(&b, "    dump trigger=%s frame=%d spans=%d hash %.12s…\n",
 				d.Trigger, d.Frame, d.Spans, d.Hash)
 		}
+	}
+	if s.Trace != nil {
+		fmt.Fprintf(&b, "  trace context: %d/%d spans held (%d over %d frames, %d overflowed), hash %.12s…\n",
+			s.Trace.Held, s.Trace.Capacity, s.Trace.Total, s.Trace.Frames,
+			s.Trace.Overflow, s.Trace.Hash)
+	}
+	if s.Downlink != nil {
+		fmt.Fprintf(&b, "  downlink: budget %d B/frame, %d frames, %d bytes, drops hk=%d ev=%d inc=%d, hash %.12s…\n",
+			s.Downlink.BytesPerFrame, s.Downlink.Frames, s.Downlink.CapturedBytes,
+			s.Downlink.Dropped[0], s.Downlink.Dropped[1], s.Downlink.Dropped[2],
+			s.Downlink.Hash)
 	}
 	return b.String()
 }

@@ -30,6 +30,7 @@ const (
 	StageDeadline
 	StageDrift
 	StageRecovery
+	StageFrame // trace-context frame root span
 )
 
 // String returns the stage name.
@@ -51,6 +52,8 @@ func (s Stage) String() string {
 		return "drift"
 	case StageRecovery:
 		return "recovery"
+	case StageFrame:
+		return "frame"
 	default:
 		return fmt.Sprintf("Stage(%d)", uint8(s))
 	}

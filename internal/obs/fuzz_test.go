@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"testing"
+)
+
+// FuzzDownlinkDecode drives the ground-side decoder with arbitrary
+// bytes: it must never panic or over-read, and whatever it does decode
+// must round-trip stably (decode → re-encode via a fresh downlink →
+// decode yields the same records).
+func FuzzDownlinkDecode(f *testing.F) {
+	// Seed with a well-formed capture containing every record kind.
+	d := NewDownlink(DownlinkConfig{BytesPerFrame: 512})
+	d.PushSpan(TraceSpan{Seq: 1, Frame: 2, Idx: 1, Parent: 0, Cause: -1,
+		Stage: StageFDIR, Code: 2, Value: 1})
+	d.PushMetric(MetricHealth, 2)
+	d.PushDump(DumpRecord{Trigger: "fdir-quarantine", Frame: 2, Spans: 5,
+		Hash: "deadbeefcafebabe0123456789abcdef"})
+	d.EmitFrame(2)
+	f.Add(d.Capture())
+	f.Add([]byte{})
+	f.Add([]byte{'S', 'X', wireVersion, 0, 0, 0, 0, 0xff, 0xff})
+	f.Add([]byte{'S', 'X', wireVersion, 1, 0, 0, 0, 1, 0, byte(RecSpan), 0, spanPayloadLen})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frames, err := DecodeStream(data)
+		if err != nil {
+			return // corrupt input rejected: that is the contract
+		}
+		// Accepted input must re-encode and decode to the same records.
+		for _, fr := range frames {
+			rd := NewDownlink(DownlinkConfig{BytesPerFrame: 1 << 20,
+				CaptureBytes: 2 << 20, QueueDepth: maxFrameCount})
+			for _, r := range fr.Records {
+				switch r.Kind {
+				case RecSpan:
+					rd.PushSpan(r.Span)
+				case RecMetric:
+					rd.PushMetric(r.MetricID, r.MetricValue)
+				case RecDump:
+					rd.PushDump(DumpRecord{Trigger: r.Dump.Trigger,
+						Frame: int(r.Dump.Frame), Spans: r.Dump.Spans})
+				}
+			}
+			rd.EmitFrame(int(fr.Frame))
+			redecoded, err := DecodeStream(rd.Capture())
+			if err != nil {
+				t.Fatalf("re-encoded frame does not decode: %v", err)
+			}
+			if len(redecoded) != 1 {
+				t.Fatalf("re-encoded to %d frames, want 1", len(redecoded))
+			}
+			if len(redecoded[0].Records) != len(fr.Records) {
+				t.Fatalf("record count changed on round trip: %d -> %d",
+					len(fr.Records), len(redecoded[0].Records))
+			}
+		}
+	})
+}

@@ -38,6 +38,9 @@ type Config struct {
 	Name string
 	// FlightCapacity is the span ring size (default 256).
 	FlightCapacity int
+	// TraceCapacity is the causal trace-context ring size (default 1024;
+	// roughly six spans per frame, so ~170 frames of causal history).
+	TraceCapacity int
 	// FrameBudget, when non-zero, derives the frame-cycles histogram
 	// buckets from the WCET budget via BudgetBounds; otherwise a generic
 	// decade ladder is used.
@@ -53,6 +56,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FlightCapacity <= 0 {
 		c.FlightCapacity = 256
+	}
+	if c.TraceCapacity <= 0 {
+		c.TraceCapacity = 1024
 	}
 	if c.MaxDumps <= 0 {
 		c.MaxDumps = 16
@@ -81,6 +87,8 @@ type DumpRecord struct {
 type Obs struct {
 	Reg    *Registry
 	Flight *Flight
+	Trace  *TraceCtx
+	Down   *Downlink // nil until AttachDownlink; telemetry is optional
 
 	// Per-frame operate path.
 	Frames    *Counter // frames processed
@@ -122,6 +130,7 @@ func New(cfg Config) *Obs {
 	return &Obs{
 		Reg:    reg,
 		Flight: NewFlight(cfg.FlightCapacity),
+		Trace:  NewTraceCtx(cfg.TraceCapacity),
 
 		Frames:    reg.Counter("frames_total", "frames processed by the operate path"),
 		Delivered: reg.Counter("delivered_total", "frames whose pattern output was delivered"),
@@ -159,11 +168,90 @@ func (o *Obs) Span(frame int, stage Stage, code int32, value float64) {
 	o.Flight.Record(frame, stage, code, value)
 }
 
+// AttachDownlink routes the trace context and auto-dump notices into a
+// bounded telemetry downlink. Call before operating; nil-safe.
+func (o *Obs) AttachDownlink(d *Downlink) {
+	if o == nil {
+		return
+	}
+	o.Down = d
+	o.Trace.Attach(d)
+}
+
+// TraceBegin opens the causal trace for one frame. Nil-safe,
+// zero-allocation.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (o *Obs) TraceBegin(frame int) {
+	if o == nil {
+		return
+	}
+	o.Trace.Begin(frame)
+}
+
+// TraceChild records one stage span in the open frame, causally linked
+// to cause. Nil-safe, zero-allocation.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (o *Obs) TraceChild(stage Stage, code int32, value float64, cause SpanRef) SpanRef {
+	if o == nil {
+		return NoSpan
+	}
+	return o.Trace.Child(stage, code, value, cause)
+}
+
+// TraceSetCode patches a recorded span's code (the infer span learns its
+// delivered class only after the pattern votes). Nil-safe,
+// zero-allocation.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (o *Obs) TraceSetCode(ref SpanRef, code int32) {
+	if o == nil {
+		return
+	}
+	o.Trace.SetCode(ref, code)
+}
+
+// TraceRoot returns the open frame's root span ref. Nil-safe.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (o *Obs) TraceRoot() SpanRef {
+	if o == nil {
+		return NoSpan
+	}
+	return o.Trace.Root()
+}
+
+// TraceEnd commits the frame's causal spans and, when a downlink is
+// attached, pushes the housekeeping metric samples and emits one
+// telemetry frame under the bandwidth budget. Nil-safe,
+// zero-allocation.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (o *Obs) TraceEnd(frame int) {
+	if o == nil {
+		return
+	}
+	o.Trace.End()
+	if o.Down != nil {
+		o.Down.PushMetric(MetricFrames, float64(o.Frames.Value()))
+		o.Down.PushMetric(MetricFallbacks, float64(o.Fallbacks.Value()))
+		o.Down.PushMetric(MetricHealth, o.Health.Value())
+		o.Down.EmitFrame(frame)
+	}
+}
+
 // AutoDump snapshots the flight recorder in response to a runtime event
 // (deadline miss, quarantine): it hashes the held spans, retains the dump
-// record (bounded by Config.MaxDumps) and counts it. This is the
-// exceptional path — it allocates; the caller links the returned hash
-// into its evidence chain. Nil-safe.
+// record (bounded by Config.MaxDumps) and counts it. When a downlink is
+// attached the dump notice is queued on the incident channel. This is
+// the exceptional path — it allocates; the caller links the returned
+// hash into its evidence chain. Nil-safe.
 func (o *Obs) AutoDump(trigger string, frame int) DumpRecord {
 	if o == nil {
 		return DumpRecord{}
@@ -176,6 +264,9 @@ func (o *Obs) AutoDump(trigger string, frame int) DumpRecord {
 	}
 	o.mu.Unlock()
 	o.DumpsTotal.Inc()
+	if o.Down != nil {
+		o.Down.PushDump(rec)
+	}
 	return rec
 }
 

@@ -218,7 +218,7 @@ func TestNilObsIsSafe(t *testing.T) {
 }
 
 func TestStageStrings(t *testing.T) {
-	for s := StageBuild; s <= StageRecovery; s++ {
+	for s := StageBuild; s <= StageFrame; s++ {
 		if strings.HasPrefix(s.String(), "Stage(") {
 			t.Fatalf("stage %d has no name", s)
 		}

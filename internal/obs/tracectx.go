@@ -1,0 +1,319 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+)
+
+// traceScratch is the fixed per-frame span budget: the operate path emits
+// at most frame root + infer + supervisor + fdir + recovery + vote +
+// deadline + drift spans, so 16 leaves headroom for future stages without
+// any dynamic growth.
+const traceScratch = 16
+
+// SpanRef addresses a span within the currently open frame so later
+// stages can link their cause (verdict → pattern decision → FDIR
+// transition). NoSpan marks "no cause" / "no open frame".
+//
+//safexplain:req REQ-XAI
+type SpanRef int16
+
+// NoSpan is the invalid SpanRef.
+//
+//safexplain:req REQ-XAI
+const NoSpan SpanRef = -1
+
+// TraceSpan is one node of a per-frame causal span tree. All fields are
+// fixed-size scalars so recording never allocates. Parent is the
+// structural tree edge (every non-root span's parent is the frame root);
+// Cause is the causal edge (the span whose outcome triggered this one),
+// which is what incident reconstruction walks.
+//
+//safexplain:req REQ-DET REQ-XAI
+type TraceSpan struct {
+	Seq    uint64 // global ordinal across frames (monotonic across wraps)
+	Frame  int32  // frame index
+	Idx    int16  // position within the frame (0 = root)
+	Parent int16  // structural parent Idx (-1 for the root)
+	Cause  int16  // causal predecessor Idx (-1 when none)
+	Stage  Stage
+	Code   int32
+	Value  float64
+}
+
+// TraceCtx is the causal frame tracer: a statically allocated scratch
+// tree filled during one frame and committed to a fixed ring at frame
+// end. The scratch-then-commit design keeps the per-frame spans
+// contiguous in the ring (a downlinked frame is self-contained) and
+// makes the record path a handful of struct stores — zero allocations,
+// enforced by TestTraceRecordPathZeroAllocs.
+//
+//safexplain:req REQ-DET REQ-XAI
+type TraceCtx struct {
+	mu       sync.Mutex
+	scratch  [traceScratch]TraceSpan
+	n        int   // scratch spans in the open frame
+	open     bool  // a frame is open
+	frame    int32 // the open frame index
+	ring     []TraceSpan
+	next     uint64 // total spans ever committed
+	frames   uint64 // frames committed
+	overflow uint64 // spans dropped because scratch was full
+	down     *Downlink
+}
+
+// NewTraceCtx returns a tracer whose ring holds the last capacity spans
+// (minimum traceScratch, so one full frame always fits).
+//
+//safexplain:req REQ-DET
+func NewTraceCtx(capacity int) *TraceCtx {
+	if capacity < traceScratch {
+		capacity = traceScratch
+	}
+	return &TraceCtx{ring: make([]TraceSpan, capacity)}
+}
+
+// Attach routes committed spans into a downlink. Call before operating.
+func (t *TraceCtx) Attach(d *Downlink) {
+	t.mu.Lock()
+	t.down = d
+	t.mu.Unlock()
+}
+
+// Begin opens a frame and records its root span (StageFrame). If a frame
+// is still open — an End was missed — it is committed first so spans are
+// never silently lost. Zero-allocation.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (t *TraceCtx) Begin(frame int) {
+	t.mu.Lock()
+	if t.open {
+		t.commit()
+	}
+	t.open = true
+	t.frame = int32(frame)
+	t.n = 1
+	t.scratch[0] = TraceSpan{
+		Frame: int32(frame), Idx: 0, Parent: -1, Cause: -1, Stage: StageFrame,
+	}
+	t.mu.Unlock()
+}
+
+// Child records one stage span under the open frame root, causally linked
+// to cause (NoSpan for none), and returns its ref for later links. With
+// no open frame, or with the scratch tree full, the span is counted as
+// overflow and NoSpan is returned — the record path never fails, it
+// degrades. Zero-allocation.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (t *TraceCtx) Child(stage Stage, code int32, value float64, cause SpanRef) SpanRef {
+	t.mu.Lock()
+	if !t.open || t.n >= traceScratch {
+		if t.open {
+			t.overflow++
+		}
+		t.mu.Unlock()
+		return NoSpan
+	}
+	idx := int16(t.n)
+	c := int16(cause)
+	if cause < 0 || int(cause) >= t.n {
+		c = -1
+	}
+	t.scratch[t.n] = TraceSpan{
+		Frame: t.frame, Idx: idx, Parent: 0, Cause: c, Stage: stage,
+		Code: code, Value: value,
+	}
+	t.n++
+	t.mu.Unlock()
+	return SpanRef(idx)
+}
+
+// SetCode patches the code of a span in the open frame — the infer span
+// is recorded before the pattern decides which class is delivered, then
+// patched. No-op on invalid refs or closed frames. Zero-allocation.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (t *TraceCtx) SetCode(ref SpanRef, code int32) {
+	t.mu.Lock()
+	if t.open && ref > 0 && int(ref) < t.n {
+		t.scratch[ref].Code = code
+	}
+	t.mu.Unlock()
+}
+
+// Root returns the open frame's root span ref (NoSpan when no frame is
+// open). Zero-allocation.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (t *TraceCtx) Root() SpanRef {
+	t.mu.Lock()
+	open := t.open
+	t.mu.Unlock()
+	if open {
+		return 0
+	}
+	return NoSpan
+}
+
+// End commits the open frame's spans to the ring (and, when a downlink is
+// attached, into its priority queues). Zero-allocation.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (t *TraceCtx) End() {
+	t.mu.Lock()
+	if t.open {
+		t.commit()
+	}
+	t.mu.Unlock()
+}
+
+// commit assigns global ordinals and copies the scratch tree into the
+// ring. Caller holds the mutex.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (t *TraceCtx) commit() {
+	//safexplain:bounded scratch span count is capped by the fixed traceScratch array
+	for i := 0; i < t.n; i++ {
+		t.scratch[i].Seq = t.next + uint64(i)
+		t.ring[(t.next+uint64(i))%uint64(len(t.ring))] = t.scratch[i]
+		if t.down != nil {
+			t.down.PushSpan(t.scratch[i])
+		}
+	}
+	t.next += uint64(t.n)
+	t.frames++
+	t.n = 0
+	t.open = false
+}
+
+// Cap returns the ring capacity.
+func (t *TraceCtx) Cap() int { return len(t.ring) }
+
+// Total returns the number of spans ever committed.
+func (t *TraceCtx) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// Frames returns the number of frames committed.
+func (t *TraceCtx) Frames() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.frames
+}
+
+// Overflow returns the spans dropped because a frame exceeded the
+// scratch budget.
+func (t *TraceCtx) Overflow() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.overflow
+}
+
+// Len returns the number of spans currently held in the ring.
+func (t *TraceCtx) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.held()
+}
+
+func (t *TraceCtx) held() int {
+	if t.next < uint64(len(t.ring)) {
+		return int(t.next)
+	}
+	return len(t.ring)
+}
+
+// Spans returns the held spans oldest-first — the dump path. Allocates;
+// never call it per frame.
+func (t *TraceCtx) Spans() []TraceSpan {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.held()
+	out := make([]TraceSpan, 0, n)
+	start := t.next - uint64(n)
+	for i := uint64(0); i < uint64(n); i++ {
+		out = append(out, t.ring[(start+i)%uint64(len(t.ring))])
+	}
+	return out
+}
+
+// Hash returns the SHA-256 over the held spans in order (fixed binary
+// encoding), hex-encoded. Like Flight.Hash, this is what links the trace
+// ring into the evidence chain: the chained record proves which causal
+// history a downlinked reconstruction claims.
+func (t *TraceCtx) Hash() string {
+	h := sha256.New()
+	var buf [31]byte
+	for _, s := range t.Spans() {
+		encodeTraceSpan(&buf, s)
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// encodeTraceSpan writes the canonical 31-byte binary encoding of one
+// span — shared by the ring hash and the downlink wire format, so a
+// ground-side re-hash of a complete downlink matches the on-board ring.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func encodeTraceSpan(buf *[31]byte, s TraceSpan) {
+	binary.LittleEndian.PutUint64(buf[0:], s.Seq)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(s.Frame))
+	binary.LittleEndian.PutUint16(buf[12:], uint16(s.Idx))
+	binary.LittleEndian.PutUint16(buf[14:], uint16(s.Parent))
+	binary.LittleEndian.PutUint16(buf[16:], uint16(s.Cause))
+	buf[18] = byte(s.Stage)
+	binary.LittleEndian.PutUint32(buf[19:], uint32(s.Code))
+	binary.LittleEndian.PutUint64(buf[23:], math.Float64bits(s.Value))
+}
+
+// decodeTraceSpan is the inverse of encodeTraceSpan.
+func decodeTraceSpan(b []byte) TraceSpan {
+	return TraceSpan{
+		Seq:    binary.LittleEndian.Uint64(b[0:]),
+		Frame:  int32(binary.LittleEndian.Uint32(b[8:])),
+		Idx:    int16(binary.LittleEndian.Uint16(b[12:])),
+		Parent: int16(binary.LittleEndian.Uint16(b[14:])),
+		Cause:  int16(binary.LittleEndian.Uint16(b[16:])),
+		Stage:  Stage(b[18]),
+		Code:   int32(binary.LittleEndian.Uint32(b[19:])),
+		Value:  math.Float64frombits(binary.LittleEndian.Uint64(b[23:])),
+	}
+}
+
+// Dump renders the held spans as an indented causal tree, newest frame
+// last.
+func (t *TraceCtx) Dump() string {
+	spans := t.Spans()
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace context: %d/%d spans held (%d committed over %d frames, %d overflowed), hash %.12s…\n",
+		len(spans), t.Cap(), t.Total(), t.Frames(), t.Overflow(), t.Hash())
+	for _, s := range spans {
+		indent := "  "
+		if s.Idx > 0 {
+			indent = "    "
+		}
+		cause := ""
+		if s.Cause >= 0 {
+			cause = fmt.Sprintf(" cause=%d", s.Cause)
+		}
+		fmt.Fprintf(&b, "%s%6d frame=%-5d %-14s code=%-4d value=%g%s\n",
+			indent, s.Seq, s.Frame, s.Stage, s.Code, s.Value, cause)
+	}
+	return b.String()
+}

@@ -260,6 +260,7 @@ func (e *Executive) Step(frame int) FrameResult {
 		o.DeadlineMisses.Add(uint64(len(res.Misses)))
 		o.ShedSlots.Add(uint64(len(res.Shed)))
 		o.Span(frame, obs.StageDeadline, int32(len(res.Misses)), float64(res.Used))
+		o.TraceChild(obs.StageDeadline, int32(len(res.Misses)), float64(res.Used), o.TraceRoot())
 		if res.Watchdog {
 			o.WatchdogFires.Inc()
 		}
