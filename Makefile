@@ -7,10 +7,11 @@ FUZZ_TARGETS = \
 	FuzzUnmarshal=./internal/nn \
 	FuzzImport=./internal/trace \
 	FuzzHealthTransitions=./internal/fdir \
-	FuzzDownlinkDecode=./internal/obs
+	FuzzDownlinkDecode=./internal/obs \
+	FuzzFleetIngest=./internal/fleet
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race bench bench-json lint safelint staticcheck experiments examples fuzz cover clean
+.PHONY: all build vet test race bench bench-json bench-diff lint safelint staticcheck experiments examples fuzz cover clean
 
 all: build lint test
 
@@ -34,6 +35,17 @@ bench:
 # One benchmark pass, archived as machine-readable JSON (CI artifact).
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_$(shell date +%Y-%m-%d).json
+
+# Compare a fresh bench-json pass against the committed baseline.
+# Report-only by default; set BENCH_DIFF_FLAGS=-fail to gate on it. The
+# fresh pass goes to BENCH_current.json (not the dated name) so it can
+# never clobber the committed baseline.
+BENCH_BASELINE ?= BENCH_2026-08-06.json
+BENCH_DIFF_FLAGS ?=
+bench-diff:
+	$(GO) run ./cmd/benchjson -out BENCH_current.json
+	$(GO) run ./cmd/benchjson -diff $(BENCH_DIFF_FLAGS) \
+		$(BENCH_BASELINE) BENCH_current.json
 
 # The lint umbrella: vet, the repo's own safety-rules analyzer, and
 # staticcheck when installed. This is the target CI runs.

@@ -1,4 +1,4 @@
-// Benchmark harness: one benchmark per table (T1–T14) and figure (F1–F3)
+// Benchmark harness: one benchmark per table (T1–T16) and figure (F1–F3)
 // of EXPERIMENTS.md. Each benchmark regenerates its experiment — printing
 // the full table via -v logs — and times a regeneration pass, so
 //
@@ -147,4 +147,11 @@ func BenchmarkT14Safelint(b *testing.B) {
 // capture, decode and reconstruction.
 func BenchmarkT15Blackbox(b *testing.B) {
 	benchExperiment(b, "T15", "fidelity_full", "fidelity_min")
+}
+
+// BenchmarkT16Fleet regenerates Table T16: the fleet ground segment —
+// sharded ingest throughput, report determinism under shuffled arrival,
+// and common-mode detection latency versus the best single unit.
+func BenchmarkT16Fleet(b *testing.B) {
+	benchExperiment(b, "T16", "ingest_fps_8u_4s", "fleet_detect_latency_8u", "best_unit_latency_8u")
 }

@@ -5,9 +5,15 @@
 // Usage:
 //
 //	benchjson [-out BENCH_2026-01-02.json] [-in results.txt]
+//	benchjson -diff OLD.json NEW.json [-threshold 25] [-fail]
 //
 // With -in it parses an existing `go test -bench` output file instead of
-// running the suite (useful for post-processing CI logs).
+// running the suite (useful for post-processing CI logs). With -diff it
+// compares two previously written reports and flags every benchmark
+// whose ns/op, B/op or allocs/op regressed by more than -threshold
+// percent; -fail turns flagged regressions into exit code 1 (the default
+// is report-only, so CI can surface drift without blocking merges on a
+// noisy runner).
 package main
 
 import (
@@ -78,10 +84,109 @@ func parseBench(r io.Reader) ([]Entry, error) {
 	return entries, sc.Err()
 }
 
+// diffUnits are the metrics compared in diff mode, in report order.
+// For all three, larger is worse.
+var diffUnits = []string{"ns/op", "B/op", "allocs/op"}
+
+// diffReports renders an old-vs-new comparison and returns the names of
+// benchmarks that regressed beyond thresholdPct on any compared unit.
+// Benchmarks present on only one side are listed but never count as
+// regressions (a new benchmark has no baseline; a removed one has no
+// current cost).
+func diffReports(oldRep, newRep Report, thresholdPct float64, out io.Writer) []string {
+	oldBy := map[string]Entry{}
+	for _, e := range oldRep.Entries {
+		oldBy[e.Name] = e
+	}
+	newBy := map[string]Entry{}
+	for _, e := range newRep.Entries {
+		newBy[e.Name] = e
+	}
+
+	var regressed []string
+	fmt.Fprintf(out, "%-36s %-10s %14s %14s %8s\n", "benchmark", "unit", "old", "new", "delta")
+	for _, ne := range newRep.Entries {
+		oe, ok := oldBy[ne.Name]
+		if !ok {
+			fmt.Fprintf(out, "%-36s %-10s %14s %14s %8s\n", ne.Name, "-", "(new)", "-", "-")
+			continue
+		}
+		worst := 0.0
+		for _, unit := range diffUnits {
+			ov, okOld := oe.Metrics[unit]
+			nv, okNew := ne.Metrics[unit]
+			if !okOld || !okNew {
+				continue
+			}
+			var delta float64
+			switch {
+			case ov != 0:
+				delta = (nv - ov) / ov * 100
+			case nv != 0:
+				delta = 100 // from zero to nonzero: treat as a full regression
+			}
+			mark := ""
+			if delta > thresholdPct {
+				mark = "  REGRESSION"
+			}
+			fmt.Fprintf(out, "%-36s %-10s %14g %14g %+7.1f%%%s\n", ne.Name, unit, ov, nv, delta, mark)
+			if delta > worst {
+				worst = delta
+			}
+		}
+		if worst > thresholdPct {
+			regressed = append(regressed, ne.Name)
+		}
+	}
+	for _, oe := range oldRep.Entries {
+		if _, ok := newBy[oe.Name]; !ok {
+			fmt.Fprintf(out, "%-36s %-10s %14s %14s %8s\n", oe.Name, "-", "-", "(removed)", "-")
+		}
+	}
+	fmt.Fprintf(out, "\n%d benchmark(s) regressed beyond %.0f%% (of %d compared)\n",
+		len(regressed), thresholdPct, len(newRep.Entries))
+	return regressed
+}
+
+func readReport(path string) (Report, error) {
+	var rep Report
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
 func run(out io.Writer) error {
 	inPath := flag.String("in", "", "parse this bench-output file instead of running the suite")
 	outPath := flag.String("out", "", "write the JSON report here ('' = stdout)")
+	diffMode := flag.Bool("diff", false, "compare two JSON reports: benchjson -diff OLD.json NEW.json")
+	threshold := flag.Float64("threshold", 25, "diff mode: flag regressions beyond this percentage")
+	failOnRegress := flag.Bool("fail", false, "diff mode: exit nonzero when a regression is flagged")
 	flag.Parse()
+
+	if *diffMode {
+		if flag.NArg() != 2 {
+			return fmt.Errorf("diff mode needs exactly two reports: benchjson -diff OLD.json NEW.json")
+		}
+		oldRep, err := readReport(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		newRep, err := readReport(flag.Arg(1))
+		if err != nil {
+			return err
+		}
+		regressed := diffReports(oldRep, newRep, *threshold, out)
+		if *failOnRegress && len(regressed) > 0 {
+			return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%: %s",
+				len(regressed), *threshold, strings.Join(regressed, ", "))
+		}
+		return nil
+	}
 
 	var raw io.Reader
 	if *inPath != "" {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
@@ -50,5 +51,53 @@ Benchmarking is fun but this line is prose, not a result.
 func TestParseBenchRejectsMalformed(t *testing.T) {
 	if _, err := parseBench(strings.NewReader("BenchmarkX-8 1 notanumber ns/op\n")); err == nil {
 		t.Fatal("malformed value accepted")
+	}
+}
+
+func entry(name string, ns, bytes, allocs float64) Entry {
+	return Entry{Name: name, Iterations: 1,
+		Metrics: map[string]float64{"ns/op": ns, "B/op": bytes, "allocs/op": allocs}}
+}
+
+func TestDiffReportsFlagsRegressions(t *testing.T) {
+	oldRep := Report{Entries: []Entry{
+		entry("BenchmarkStable", 100, 64, 2),
+		entry("BenchmarkSlower", 100, 64, 2),
+		entry("BenchmarkAllocs", 100, 64, 0),
+		entry("BenchmarkRemoved", 100, 64, 2),
+	}}
+	newRep := Report{Entries: []Entry{
+		entry("BenchmarkStable", 105, 64, 2), // +5% — inside threshold
+		entry("BenchmarkSlower", 200, 64, 2), // +100% ns/op — regression
+		entry("BenchmarkAllocs", 100, 64, 3), // 0 → 3 allocs — regression
+		entry("BenchmarkFaster", 50, 64, 2),  // new benchmark, no baseline
+	}}
+
+	var out bytes.Buffer
+	regressed := diffReports(oldRep, newRep, 25, &out)
+	if want := []string{"BenchmarkSlower", "BenchmarkAllocs"}; strings.Join(regressed, ",") != strings.Join(want, ",") {
+		t.Fatalf("regressed = %v, want %v\n%s", regressed, want, out.String())
+	}
+	for _, want := range []string{
+		"REGRESSION", "(new)", "(removed)", "2 benchmark(s) regressed beyond 25%",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("diff output missing %q\n%s", want, out.String())
+		}
+	}
+	// The stable benchmark must not be marked.
+	for _, line := range strings.Split(out.String(), "\n") {
+		if strings.Contains(line, "BenchmarkStable") && strings.Contains(line, "REGRESSION") {
+			t.Errorf("stable benchmark flagged: %s", line)
+		}
+	}
+}
+
+func TestDiffReportsCleanWhenImproved(t *testing.T) {
+	oldRep := Report{Entries: []Entry{entry("BenchmarkX", 200, 128, 4)}}
+	newRep := Report{Entries: []Entry{entry("BenchmarkX", 100, 64, 2)}}
+	var out bytes.Buffer
+	if regressed := diffReports(oldRep, newRep, 25, &out); len(regressed) != 0 {
+		t.Fatalf("improvement flagged as regression: %v\n%s", regressed, out.String())
 	}
 }

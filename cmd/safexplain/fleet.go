@@ -1,0 +1,233 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"safexplain"
+	"safexplain/internal/fdir"
+	"safexplain/internal/fleet"
+	"safexplain/internal/nn"
+	"safexplain/internal/obs"
+	"safexplain/internal/safety"
+	"safexplain/internal/trace"
+)
+
+// cmdFleet is the ground-segment workflow: simulate N units running the
+// deployed system (a common-mode sensor fault injected into the first
+// -faulty of them at staggered frames), downlink every unit through the
+// bounded telemetry encoder, ingest all streams through the sharded
+// fleet aggregator, and report the merged operational picture with
+// cross-unit common-mode alerts chained into the evidence log. With
+// -listen the live Prometheus scrape endpoint and canonical JSON report
+// are served over HTTP.
+func cmdFleet(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	caseName, pattern, seed := buildFlags(fs)
+	units := fs.Int("units", 6, "fleet size")
+	faulty := fs.Int("faulty", 3, "units carrying the common-mode fault")
+	frames := fs.Int("frames", 200, "frames each unit operates")
+	inject := fs.Int("inject", 40, "earliest injection frame (staggered +3 per faulty unit)")
+	duration := fs.Int("duration", 25, "fault duration in frames")
+	intensity := fs.Int("intensity", 200, "corrupted pixels per faulty frame")
+	budget := fs.Int("budget", 320, "downlink budget in bytes per frame")
+	shards := fs.Int("shards", 4, "ground-segment ingest shards")
+	window := fs.Int("window", 16, "common-mode sliding window in frames")
+	quorum := fs.Int("quorum", 0, "distinct-unit quorum for an alert (0 = -faulty)")
+	format := fs.String("format", "table", "report format: table|json|prom")
+	outPath := fs.String("out", "", "also write the canonical JSON fleet report to this file")
+	listen := fs.String("listen", "", "serve /metrics and /report on this address (e.g. :9464) until interrupted")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "table" && *format != "json" && *format != "prom" {
+		return fmt.Errorf("unknown format %q (table|json|prom)", *format)
+	}
+	if *units <= 0 || *faulty < 0 || *faulty > *units {
+		return fmt.Errorf("invalid fleet shape: %d units, %d faulty", *units, *faulty)
+	}
+	if *quorum <= 0 {
+		*quorum = *faulty
+	}
+
+	sys, err := build(*caseName, *pattern, *seed)
+	if err != nil {
+		return err
+	}
+
+	chunks, err := simulateFleet(sys, fleetSimConfig{
+		units: *units, faulty: *faulty, frames: *frames, inject: *inject,
+		duration: *duration, intensity: *intensity, budget: *budget, seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	agg := fleet.New(fleet.Config{
+		Shards: *shards, Window: *window, MinUnits: *quorum,
+	})
+	agg.Start()
+	// Round-robin arrival: every unit's stream interleaved frame by frame,
+	// the worst realistic mixing for the determinism property.
+	for i := 0; ; i++ {
+		fed := false
+		for u := range chunks {
+			if i < len(chunks[u]) {
+				agg.Ingest(fleet.UnitID(u), chunks[u][i])
+				fed = true
+			}
+		}
+		if !fed {
+			break
+		}
+	}
+	agg.Stop()
+
+	rep, err := agg.Report()
+	if err != nil {
+		return err
+	}
+	hash, err := rep.Hash()
+	if err != nil {
+		return err
+	}
+
+	// Chain the fleet evidence: one record for the report, one per alert.
+	sys.Log.Append(trace.KindFleet, "fleet:report",
+		fmt.Sprintf("ground segment aggregated %d units over %d shards: %d alerts, report sha256 %.12s…",
+			rep.Units, *shards, len(rep.Alerts), hash))
+	for _, al := range rep.Alerts {
+		sys.Log.Append(trace.KindFleet, "fleet:alert:"+al.Signature,
+			fmt.Sprintf("common-mode %s in units %v, window [%d..%d], evidence sha256 %.12s…",
+				al.Signature, al.Units, al.FirstFrame, al.DetectFrame, al.EvidenceHash))
+	}
+
+	switch *format {
+	case "json":
+		blob, err := rep.CanonicalJSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s\n", blob)
+	case "prom":
+		fmt.Fprint(out, rep.Prometheus())
+	default:
+		fmt.Fprint(out, rep.Table())
+		fmt.Fprintf(out, "\nreport sha256: %s\nevidence chain valid: %v\n", hash, sys.Log.Verify() == nil)
+	}
+	if *outPath != "" {
+		blob, err := rep.CanonicalJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote canonical fleet report to %s\n", *outPath)
+	}
+	if *listen != "" {
+		fmt.Fprintf(out, "serving fleet scrape endpoint on %s (/metrics, /report); interrupt to stop\n", *listen)
+		return http.ListenAndServe(*listen, newFleetHandler(agg))
+	}
+	return nil
+}
+
+// fleetSimConfig shapes the N-unit simulation.
+type fleetSimConfig struct {
+	units, faulty, frames, inject, duration, intensity, budget int
+	seed                                                       uint64
+}
+
+// simulateFleet runs one FDIR campaign cell per unit against the deployed
+// model, capturing each unit's downlink and splitting it into
+// whole-frame chunks for interleaved ingest. The first cfg.faulty units
+// face the same sensor-fault signature at staggered frames — the common
+// mode the ground segment must correlate.
+func simulateFleet(sys *safexplain.System, cfg fleetSimConfig) ([][][]byte, error) {
+	if cfg.inject < 0 || cfg.inject+3*cfg.faulty >= cfg.frames {
+		return nil, fmt.Errorf("inject frame %d (+3 per faulty unit) outside run of %d frames", cfg.inject, cfg.frames)
+	}
+	// The deployed system's own conservative channel doubles as the
+	// degraded-mode fallback for every simulated unit.
+	fallback := sys.FDIR.Fallback
+	base := fdir.CampaignConfig{
+		Stream:   sys.TestSet(),
+		Frames:   cfg.frames,
+		InjectAt: cfg.inject,
+		Seed:     cfg.seed,
+		Health: fdir.HealthConfig{
+			QuarantineAfter: 3, ClearAfter: 8, ReprobeAfter: 4, ProbationFrames: 15,
+		},
+		MaxRestores: 4,
+		NewNet:      func() (*nn.Network, error) { return sys.Net.Clone("fleet-live") },
+		NewFallback: func() safety.Channel { return fallback },
+		NewOutputGuard: func() *fdir.OutputGuard {
+			return fdir.CalibrateOutputGuard(fdir.NetProbe{Net: sys.Net}, sys.TrainSet(), 4, 6, 0)
+		},
+		NewInputGuard: func() *fdir.InputGuard { return fdir.CalibrateInputGuard(sys.TrainSet(), 0.75) },
+	}
+	pattern := fdir.PatternSpec{
+		Name: "simplex", Build: func(live *nn.Network, p fdir.Probe) safety.Pattern {
+			return safety.Simplex{Primary: fdir.ChannelOverProbe("primary", p),
+				Net: live, Mon: sys.Monitor, Fallback: fallback}
+		},
+	}
+
+	chunks := make([][][]byte, cfg.units)
+	for u := 0; u < cfg.units; u++ {
+		unitCfg := base
+		fault := fdir.FaultSpec{Name: "clean", Kind: fdir.FaultSensor, Intensity: 0, Duration: 1}
+		if u < cfg.faulty {
+			unitCfg.InjectAt = cfg.inject + u*3
+			fault = fdir.FaultSpec{Name: "sensor", Kind: fdir.FaultSensor,
+				Intensity: cfg.intensity, Duration: cfg.duration}
+		}
+		var link *obs.Downlink
+		unitCfg.NewObs = func(fn, pn string) *obs.Obs {
+			o := obs.New(obs.Config{Name: fmt.Sprintf("unit-%d", u)})
+			link = obs.NewDownlink(obs.DownlinkConfig{BytesPerFrame: cfg.budget})
+			o.AttachDownlink(link)
+			return o
+		}
+		if _, err := fdir.RunUnitCell(unitCfg, pattern, fault, u); err != nil {
+			return nil, err
+		}
+		chunks[u] = fleet.SplitFrames(link.Capture())
+	}
+	return chunks, nil
+}
+
+// newFleetHandler serves the live fleet state: /metrics in Prometheus
+// text exposition, /report as canonical JSON. Each request freezes a
+// fresh report from the aggregator, so a scrape during ingest sees a
+// consistent point-in-time merge.
+func newFleetHandler(agg *fleet.Aggregator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		rep, err := agg.Report()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, rep.Prometheus())
+	})
+	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
+		rep, err := agg.Report()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		blob, err := rep.CanonicalJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(blob)
+	})
+	return mux
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"safexplain/internal/fleet"
+	"safexplain/internal/obs"
+)
+
+// fleetArgs keeps the CLI tests fast: a small fleet, short runs, and a
+// quorum of two so the common-mode alert still fires.
+var fleetArgs = []string{"fleet", "-case", "railway", "-seed", "42",
+	"-units", "3", "-faulty", "2", "-frames", "80", "-inject", "30",
+	"-duration", "20", "-shards", "2"}
+
+func TestRunFleetTable(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(fleetArgs, &out); err != nil {
+		t.Fatalf("run(%v): %v", fleetArgs, err)
+	}
+	for _, want := range []string{
+		"fleet: 3 units", "unit", "health", "ALERT",
+		"report sha256:", "evidence chain valid: true",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q\n--- output ---\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunFleetJSONAndOut(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet-report.json")
+	var out bytes.Buffer
+	args := append(append([]string{}, fleetArgs...), "-format", "json", "-out", path)
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep fleet.Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if rep.Units != 3 {
+		t.Errorf("report units = %d, want 3", rep.Units)
+	}
+	if len(rep.Alerts) == 0 {
+		t.Error("no common-mode alert in report despite 2 faulty units at quorum 2")
+	}
+	// The -out file and the stdout JSON document must agree byte for byte
+	// (modulo the trailing newline and the -out confirmation line).
+	if !strings.Contains(out.String(), string(blob)) {
+		t.Error("stdout JSON differs from -out file")
+	}
+}
+
+func TestRunFleetProm(t *testing.T) {
+	var out bytes.Buffer
+	args := append(append([]string{}, fleetArgs...), "-format", "prom")
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	for _, want := range []string{
+		"# TYPE safexplain_fleet_frames_total counter",
+		`unit="0"`, `unit="2"`,
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("exposition missing %q\n--- output ---\n%s", want, out.String())
+		}
+	}
+	if issues := obs.LintExposition(out.String()); len(issues) != 0 {
+		t.Errorf("fleet CLI exposition fails conformance: %v", issues)
+	}
+}
+
+func TestRunFleetBadArguments(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"fleet", "-case", "maritime"},
+		{"fleet", "-case", "railway", "-seed", "42", "-format", "xml"},
+		{"fleet", "-case", "railway", "-seed", "42", "-units", "2", "-faulty", "3"},
+		{"fleet", "-case", "railway", "-seed", "42", "-units", "0"},
+		{"fleet", "-case", "railway", "-seed", "42", "-frames", "30", "-inject", "40"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}
+
+// TestFleetHandler exercises the live scrape endpoint exactly as a
+// Prometheus server would, against an aggregator mid-ingest.
+func TestFleetHandler(t *testing.T) {
+	agg := fleet.New(fleet.Config{Shards: 1, MinUnits: 2})
+	srv := httptest.NewServer(newFleetHandler(agg))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if issues := obs.LintExposition(body); len(issues) != 0 {
+		t.Errorf("/metrics exposition fails conformance: %v", issues)
+	}
+
+	code, body = get("/report")
+	if code != http.StatusOK {
+		t.Fatalf("/report status %d", code)
+	}
+	var rep fleet.Report
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/report not valid JSON: %v\n%s", err, body)
+	}
+	if rep.Units != 0 {
+		t.Errorf("empty aggregator reports %d units", rep.Units)
+	}
+}

@@ -14,6 +14,10 @@
 //	blackbox   inject a fault while operating, capture the bounded
 //	           telemetry downlink, and reconstruct the incident timeline
 //	           from the downlinked stream alone
+//	fleet      simulate an N-unit fleet with a common-mode fault, ingest
+//	           every unit's downlink through the sharded ground segment,
+//	           and report merged metrics plus cross-unit alerts (optionally
+//	           serving a live Prometheus scrape endpoint)
 //
 // Everything is deterministic given -seed; no files are read or written
 // unless a subcommand is given an output path.
@@ -70,13 +74,15 @@ func run(args []string, out io.Writer) error {
 		return cmdObs(args[1:], out)
 	case "blackbox":
 		return cmdBlackbox(args[1:], out)
+	case "fleet":
+		return cmdFleet(args[1:], out)
 	default:
 		return fmt.Errorf("%w: unknown subcommand %q", errUsage, args[0])
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: safexplain <lifecycle|explain|infer|timing|evidence|obs|blackbox> [flags]
+	fmt.Fprintln(os.Stderr, `usage: safexplain <lifecycle|explain|infer|timing|evidence|obs|blackbox|fleet> [flags]
 run "safexplain <subcommand> -h" for flags`)
 }
 

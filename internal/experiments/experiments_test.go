@@ -6,7 +6,7 @@ import (
 )
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"F1", "F2", "F3", "T1", "T10", "T11", "T12", "T13", "T14", "T15", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9"}
+	want := []string{"F1", "F2", "F3", "T1", "T10", "T11", "T12", "T13", "T14", "T15", "T16", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)
@@ -223,6 +223,30 @@ func TestT13ProbeEffect(t *testing.T) {
 	}
 	if r.Metrics["spans_per_frame"] <= 0 {
 		t.Fatal("T13 shape: no flight-recorder spans per frame")
+	}
+}
+
+func TestT16Fleet(t *testing.T) {
+	r := requireResult(t, "T16", "ok")
+	// The evidence claim: every (units × shards) point must produce the
+	// byte-identical canonical report — under concurrent sharded ingest
+	// AND shuffled arrival.
+	for _, nUnits := range []int{4, 8} {
+		for _, shards := range []int{1, 2, 4} {
+			key := "determinism_" + string(rune('0'+nUnits)) + "u_" + string(rune('0'+shards)) + "s"
+			if r.Metrics[key] != 1 {
+				t.Fatalf("T16 shape: %s = %v — fleet report not deterministic", key, r.Metrics[key])
+			}
+		}
+		u := string(rune('0' + nUnits))
+		// The common mode must be detected at all, and within the fault
+		// duration of the first injection.
+		if lat := r.Metrics["fleet_detect_latency_"+u+"u"]; lat < 0 || lat > 25 {
+			t.Fatalf("T16 shape: fleet detection latency %v frames", lat)
+		}
+		if r.Metrics["alerts_"+u+"u"] <= 0 {
+			t.Fatalf("T16 shape: no common-mode alert with 3 faulty units")
+		}
 	}
 }
 

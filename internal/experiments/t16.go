@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"safexplain/internal/data"
+	"safexplain/internal/fdir"
+	"safexplain/internal/fleet"
+	"safexplain/internal/nn"
+	"safexplain/internal/obs"
+	"safexplain/internal/prng"
+	"safexplain/internal/safety"
+	"safexplain/internal/tensor"
+)
+
+func init() { registry["T16"] = runT16 }
+
+// T16 — fleet ground segment: run N independent SAFEXPLAIN units (T12's
+// simplex-under-FDIR cell per unit, seeded per unit) with a common-mode
+// sensor fault injected into three of them at staggered frames, capture
+// each unit's bounded downlink, and sweep the ground segment over shard
+// counts. Three claims are measured per (units × shards) point:
+//
+//	throughput   wall-clock frames/sec of the sharded ingest pipeline
+//	             (the only wall-clock number; everything else is exact)
+//	determinism  the canonical fleet report must be byte-identical to a
+//	             1-shard sequential reference even when arrival order is
+//	             shuffled per-frame across units
+//	latency      the fleet common-mode alert must not wait for any unit
+//	             to isolate on its own: frames from first injection to
+//	             fleet detection vs the best single-unit quarantine
+func runT16() Result {
+	const seed = 100_000
+	const frames = 200
+	const faulty = 3 // units carrying the common-mode fault (= alert quorum)
+	f := getFixture("railway")
+
+	conservative := safety.FuncChannel{ID: "conservative",
+		F: func(*tensor.Tensor) int { return data.RailObstacle }}
+	pattern := fdir.PatternSpec{
+		Name: "simplex", Build: func(live *nn.Network, p fdir.Probe) safety.Pattern {
+			return safety.Simplex{Primary: fdir.ChannelOverProbe("primary", p),
+				Net: live, Mon: f.mon, Fallback: conservative}
+		},
+	}
+
+	baseCfg := func() fdir.CampaignConfig {
+		return fdir.CampaignConfig{
+			Stream:   f.test,
+			Frames:   frames,
+			InjectAt: 40,
+			Seed:     seed,
+			Health: fdir.HealthConfig{
+				QuarantineAfter: 3, ClearAfter: 8, ReprobeAfter: 4, ProbationFrames: 15,
+			},
+			MaxRestores: 4,
+			NewNet:      func() (*nn.Network, error) { return f.net.Clone("t16-live") },
+			NewFallback: func() safety.Channel { return conservative },
+			NewOutputGuard: func() *fdir.OutputGuard {
+				return fdir.CalibrateOutputGuard(fdir.NetProbe{Net: f.net}, f.train, 4, 6, 0)
+			},
+			NewInputGuard: func() *fdir.InputGuard { return fdir.CalibrateInputGuard(f.train, 0.75) },
+		}
+	}
+
+	// simulate runs the N-unit fleet once and returns each unit's frame
+	// chunks plus the campaign ground truth for the faulty units.
+	type unitRun struct {
+		chunks [][]byte
+		cell   fdir.CellResult
+		inject int // -1 for clean units
+	}
+	simulate := func(nUnits int) []unitRun {
+		out := make([]unitRun, nUnits)
+		for u := 0; u < nUnits; u++ {
+			cfg := baseCfg()
+			fault := fdir.FaultSpec{Name: "clean", Kind: fdir.FaultSensor, Intensity: 0, Duration: 1}
+			out[u].inject = -1
+			if u < faulty {
+				// Staggered injections of the same fault signature — the
+				// common mode the fleet must correlate.
+				cfg.InjectAt = 40 + u*3
+				fault = fdir.FaultSpec{Name: "sensor-200", Kind: fdir.FaultSensor,
+					Intensity: 200, Duration: 25}
+				out[u].inject = cfg.InjectAt
+			}
+			var link *obs.Downlink
+			cfg.NewObs = func(fn, pn string) *obs.Obs {
+				o := obs.New(obs.Config{Name: fmt.Sprintf("unit-%d", u)})
+				link = obs.NewDownlink(obs.DownlinkConfig{BytesPerFrame: 320})
+				o.AttachDownlink(link)
+				return o
+			}
+			cell, err := fdir.RunUnitCell(cfg, pattern, fault, u)
+			if err != nil {
+				panic(fmt.Sprintf("t16: unit %d: %v", u, err))
+			}
+			out[u].cell = cell
+			out[u].chunks = fleet.SplitFrames(link.Capture())
+		}
+		return out
+	}
+
+	ingestAll := func(a *fleet.Aggregator, runs []unitRun, shuffleSeed uint64) (int, int64) {
+		nFrames, nBytes := 0, int64(0)
+		if shuffleSeed == 0 {
+			// Round-robin arrival.
+			for i := 0; ; i++ {
+				fed := false
+				for u := range runs {
+					if i < len(runs[u].chunks) {
+						a.Ingest(fleet.UnitID(u), runs[u].chunks[i])
+						nFrames++
+						nBytes += int64(len(runs[u].chunks[i]))
+						fed = true
+					}
+				}
+				if !fed {
+					return nFrames, nBytes
+				}
+			}
+		}
+		// Seeded shuffle preserving each unit's stream order.
+		r := prng.New(shuffleSeed)
+		next := make([]int, len(runs))
+		remaining := 0
+		for u := range runs {
+			remaining += len(runs[u].chunks)
+		}
+		for remaining > 0 {
+			u := r.Intn(len(runs))
+			if next[u] >= len(runs[u].chunks) {
+				continue
+			}
+			a.Ingest(fleet.UnitID(u), runs[u].chunks[next[u]])
+			nFrames++
+			nBytes += int64(len(runs[u].chunks[next[u]]))
+			next[u]++
+			remaining--
+		}
+		return nFrames, nBytes
+	}
+
+	report := func(a *fleet.Aggregator) (fleet.Report, []byte) {
+		rep, err := a.Report()
+		if err != nil {
+			panic(fmt.Sprintf("t16: report: %v", err))
+		}
+		b, err := rep.CanonicalJSON()
+		if err != nil {
+			panic(fmt.Sprintf("t16: canonical json: %v", err))
+		}
+		return rep, b
+	}
+
+	header := []string{"units", "shards", "frames", "KB", "ingest(kfr/s)", "MB/s",
+		"determinism", "alerts", "fleet-detect(fr)", "best-unit(fr)"}
+	var rows [][]string
+	metrics := map[string]float64{}
+
+	for _, nUnits := range []int{4, 8} {
+		runs := simulate(nUnits)
+
+		// Ground truth: earliest injection and best single-unit isolation.
+		firstInject, bestUnit := -1, -1
+		for _, r := range runs {
+			if r.inject < 0 {
+				continue
+			}
+			if firstInject < 0 || r.inject < firstInject {
+				firstInject = r.inject
+			}
+			if lat := r.cell.DetectionLatency(); lat >= 0 && (bestUnit < 0 || lat < bestUnit) {
+				bestUnit = lat
+			}
+		}
+
+		// 1-shard sequential reference for the determinism diff.
+		ref := fleet.New(fleet.Config{Shards: 1, MinUnits: faulty})
+		for u := range runs {
+			for _, c := range runs[u].chunks {
+				ref.Ingest(fleet.UnitID(u), c)
+			}
+		}
+		refRep, refJSON := report(ref)
+
+		// Fleet detection latency: frames from the first injection to the
+		// common-mode alert.
+		fleetDetect := -1
+		for _, al := range refRep.Alerts {
+			if int(al.DetectFrame)-firstInject >= 0 &&
+				(fleetDetect < 0 || int(al.DetectFrame)-firstInject < fleetDetect) {
+				fleetDetect = int(al.DetectFrame) - firstInject
+			}
+		}
+
+		for _, shards := range []int{1, 2, 4} {
+			// Timed pass: concurrent sharded ingest, round-robin arrival.
+			a := fleet.New(fleet.Config{Shards: shards, MinUnits: faulty})
+			a.Start()
+			start := time.Now()
+			nFrames, nBytes := ingestAll(a, runs, 0)
+			a.Stop()
+			elapsed := time.Since(start)
+			_, gotJSON := report(a)
+
+			// Shuffled pass: same streams, adversarial arrival order.
+			sh := fleet.New(fleet.Config{Shards: shards, MinUnits: faulty})
+			ingestAll(sh, runs, seed+uint64(shards))
+			_, shJSON := report(sh)
+
+			deterministic := bytes.Equal(gotJSON, refJSON) && bytes.Equal(shJSON, refJSON)
+			det := "ok"
+			if !deterministic {
+				det = "MISMATCH"
+			}
+
+			fps := float64(nFrames) / elapsed.Seconds()
+			mbps := float64(nBytes) / (1 << 20) / elapsed.Seconds()
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", nUnits), fmt.Sprintf("%d", shards),
+				fmt.Sprintf("%d", nFrames), fmt.Sprintf("%.0f", float64(nBytes)/1024),
+				fmt.Sprintf("%.0f", fps/1e3), fmt.Sprintf("%.1f", mbps),
+				det, fmt.Sprintf("%d", len(refRep.Alerts)),
+				fmt.Sprintf("%d", fleetDetect), fmt.Sprintf("%d", bestUnit),
+			})
+			metrics[fmt.Sprintf("ingest_fps_%du_%ds", nUnits, shards)] = fps
+			if deterministic {
+				metrics[fmt.Sprintf("determinism_%du_%ds", nUnits, shards)] = 1
+			}
+		}
+		metrics[fmt.Sprintf("fleet_detect_latency_%du", nUnits)] = float64(fleetDetect)
+		metrics[fmt.Sprintf("best_unit_latency_%du", nUnits)] = float64(bestUnit)
+		metrics[fmt.Sprintf("alerts_%du", nUnits)] = float64(len(refRep.Alerts))
+	}
+
+	return Result{
+		ID:      "T16",
+		Title:   "Fleet ground segment: sharded ingest throughput, report determinism, common-mode detection latency (railway, simplex+FDIR, 3 faulty units)",
+		Table:   table(header, rows),
+		Metrics: metrics,
+	}
+}

@@ -268,6 +268,31 @@ func RunCampaign(cfg CampaignConfig, patterns []PatternSpec, faults []FaultSpec)
 	return out, nil
 }
 
+// RunUnitCell executes one (fault, pattern) cell for one fleet unit: the
+// cell's private randomness derives from cfg.Seed and the unit index, so
+// every unit of a fleet simulation runs an independent but reproducible
+// stream against the same deployed model. Callers vary cfg (e.g. the
+// injection frame, or a per-unit NewObs hook capturing the downlink) per
+// unit; cfg is taken by value so units cannot alias each other.
+//
+//safexplain:req REQ-PATTERN
+func RunUnitCell(cfg CampaignConfig, p PatternSpec, f FaultSpec, unit int) (CellResult, error) {
+	if cfg.Stream == nil || cfg.Stream.Len() == 0 || cfg.Frames <= 0 || cfg.NewNet == nil {
+		return CellResult{}, ErrCampaignConfig
+	}
+	if cfg.InjectAt < 0 || cfg.InjectAt >= cfg.Frames {
+		return CellResult{}, fmt.Errorf("%w: InjectAt %d outside [0, %d)", ErrCampaignConfig, cfg.InjectAt, cfg.Frames)
+	}
+	if unit < 0 {
+		return CellResult{}, fmt.Errorf("%w: negative unit %d", ErrCampaignConfig, unit)
+	}
+	res, err := runCell(cfg, p, f, cfg.Seed+uint64(unit)*15485863)
+	if err != nil {
+		return CellResult{}, fmt.Errorf("fdir: unit %d cell %s/%s: %w", unit, f.Name, p.Name, err)
+	}
+	return res, nil
+}
+
 // runCell executes one (fault, pattern) run.
 func runCell(cfg CampaignConfig, p PatternSpec, f FaultSpec, faultSeed uint64) (CellResult, error) {
 	live, err := cfg.NewNet()

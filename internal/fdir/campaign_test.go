@@ -222,3 +222,56 @@ func TestCampaignRejectsBadConfig(t *testing.T) {
 		}
 	}
 }
+
+// TestRunUnitCell: the fleet hook derives each unit's randomness from
+// (Seed, unit) — the same unit reproduces exactly, distinct units face
+// distinct fault streams, and unit 0 matches the single-fault campaign.
+func TestRunUnitCell(t *testing.T) {
+	cfg := campConfig(t)
+	p := singleOverProbe()
+	f := FaultSpec{Name: "sensor-200", Kind: FaultSensor, Intensity: 200, Duration: 20}
+
+	u1a, err := RunUnitCell(cfg, p, f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1b, err := RunUnitCell(cfg, p, f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", u1a) != fmt.Sprintf("%+v", u1b) {
+		t.Fatalf("unit cell not reproducible:\n%+v\n%+v", u1a, u1b)
+	}
+
+	// Seed derivation contract: unit k runs the cell at Seed + k*15485863.
+	u2, err := RunUnitCell(cfg, p, f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := runCell(cfg, p, f, cfg.Seed+2*15485863)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", u2) != fmt.Sprintf("%+v", direct) {
+		t.Fatal("unit 2 does not match the documented per-unit seed derivation")
+	}
+
+	u0, err := RunUnitCell(cfg, p, f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := RunCampaign(cfg, []PatternSpec{p}, []FaultSpec{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", u0) != fmt.Sprintf("%+v", cells[0]) {
+		t.Fatal("unit 0 differs from the equivalent single-fault campaign cell")
+	}
+
+	if _, err := RunUnitCell(cfg, p, f, -1); err == nil {
+		t.Fatal("negative unit accepted")
+	}
+	if _, err := RunUnitCell(CampaignConfig{}, p, f, 0); err == nil {
+		t.Fatal("misconfigured unit cell accepted")
+	}
+}

@@ -1,0 +1,145 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"safexplain/internal/obs"
+)
+
+// Common-mode detection: the failure class diverse redundancy (P2)
+// defends against is the same fault taking out many units at once — a
+// bad model update, a shared environmental trigger, a systematic sensor
+// defect. No single unit can see it; the fleet can. The detector is a
+// pure function over the merged event ledgers: the same fault signature
+// (stage + outcome code) surfacing in at least MinUnits distinct units
+// within a sliding window of Window operate frames raises one fleet
+// alert, whose canonical-JSON evidence hash the CLI chains into the
+// trace log.
+
+// Signature is the fault fingerprint used for cross-unit matching: the
+// operate-path stage that flagged and its discrete outcome code (e.g.
+// FDIR quarantine = stage fdir-verdict, code 2; a supervisor envelope
+// violation = stage supervisor, code of the finding mask).
+type Signature struct {
+	Stage uint8 `json:"stage"`
+	Code  int32 `json:"code"`
+}
+
+// String names the signature using the obs stage names.
+func (s Signature) String() string {
+	return fmt.Sprintf("%s/code=%d", obs.Stage(s.Stage), s.Code)
+}
+
+// Event is one event-priority span attributed to a unit — the
+// common-mode detector's input.
+type Event struct {
+	Unit  UnitID    `json:"unit"`
+	Frame int32     `json:"frame"`
+	Seq   uint64    `json:"seq"`
+	Sig   Signature `json:"sig"`
+}
+
+// Alert is one detected common-mode candidate: Sig seen in Units
+// (sorted) within the window ending at DetectFrame. FirstFrame is the
+// earliest contributing event, so DetectFrame-FirstFrame bounds the
+// fleet's detection spread. EvidenceHash is the SHA-256 of the alert's
+// canonical JSON without the hash field — the link chained into the
+// trace evidence log.
+type Alert struct {
+	Sig          Signature `json:"sig"`
+	Signature    string    `json:"signature"`
+	Units        []UnitID  `json:"units"`
+	Events       int       `json:"events"`
+	FirstFrame   int32     `json:"first_frame"`
+	DetectFrame  int32     `json:"detect_frame"`
+	EvidenceHash string    `json:"evidence_hash,omitempty"`
+}
+
+// hashAlert computes the canonical evidence hash: SHA-256 over the
+// alert's JSON with the hash field empty.
+func hashAlert(a Alert) string {
+	a.EvidenceHash = ""
+	b, err := json.Marshal(a)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// DetectCommonMode runs the sliding-window quorum over events and
+// returns at most one alert per signature (its first detection), in
+// first-detection order. It is a pure function: the caller passes the
+// events in canonical order (Frame, Seq, Unit ascending — Report does
+// this), and identical inputs yield identical alerts byte-for-byte.
+func DetectCommonMode(events []Event, window int, minUnits int) []Alert {
+	if window <= 0 || minUnits <= 0 {
+		return nil
+	}
+	// Partition by signature, preserving canonical order within each.
+	perSig := map[Signature][]Event{}
+	var sigOrder []Signature
+	for _, e := range events {
+		if _, seen := perSig[e.Sig]; !seen {
+			sigOrder = append(sigOrder, e.Sig)
+		}
+		perSig[e.Sig] = append(perSig[e.Sig], e)
+	}
+
+	var alerts []Alert
+	for _, sig := range sigOrder {
+		evs := perSig[sig]
+		unitCount := map[UnitID]int{}
+		distinct := 0
+		lo := 0
+		for hi := 0; hi < len(evs); hi++ {
+			// Slide the window: keep only events within Window frames of evs[hi].
+			for evs[hi].Frame-evs[lo].Frame >= int32(window) {
+				u := evs[lo].Unit
+				unitCount[u]--
+				if unitCount[u] == 0 {
+					distinct--
+				}
+				lo++
+			}
+			u := evs[hi].Unit
+			if unitCount[u] == 0 {
+				distinct++
+			}
+			unitCount[u]++
+			if distinct < minUnits {
+				continue
+			}
+			// Quorum reached: collect the window's distinct units in order.
+			var units []UnitID
+			seen := map[UnitID]bool{}
+			first := evs[lo].Frame
+			for i := lo; i <= hi; i++ {
+				if !seen[evs[i].Unit] {
+					seen[evs[i].Unit] = true
+					units = append(units, evs[i].Unit)
+				}
+				if evs[i].Frame < first {
+					first = evs[i].Frame
+				}
+			}
+			sort.Slice(units, func(a, b int) bool { return units[a] < units[b] })
+			a := Alert{
+				Sig:         sig,
+				Signature:   sig.String(),
+				Units:       units,
+				Events:      hi - lo + 1,
+				FirstFrame:  first,
+				DetectFrame: evs[hi].Frame,
+			}
+			a.EvidenceHash = hashAlert(a)
+			alerts = append(alerts, a)
+			break // one alert per signature: its first detection
+		}
+	}
+	return alerts
+}

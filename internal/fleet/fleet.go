@@ -1,0 +1,223 @@
+// Package fleet is the ground segment for a fleet of SAFEXPLAIN units:
+// it ingests the bounded downlink byte streams of N concurrently
+// operating units into one trustworthy operational picture. Three
+// properties drive the design:
+//
+//	sharded     units map to ingest shards by a stable hash; each shard
+//	            owns its units' state and its own obs registry, so the
+//	            hot path takes one shard-local lock and the pipeline
+//	            scales with worker-per-shard concurrency. Bounded
+//	            per-shard queues give backpressure instead of unbounded
+//	            buffering.
+//	zero-alloc  the per-frame ingest path reuses a per-shard decode
+//	            scratch and preallocated per-unit ledgers: in the steady
+//	            state ingesting a telemetry frame allocates nothing
+//	            (TestFleetIngestZeroAllocs / BenchmarkFleetIngest).
+//	mergeable   the fleet report is an order-independent merge: per-unit
+//	            ledgers are keyed by unit and sorted canonically, shard
+//	            registries observe only integer-valued quantities so
+//	            snapshot merging is exact, and the report is
+//	            byte-identical regardless of frame arrival interleaving
+//	            or shard count (TestFleetReportDeterminism).
+//
+// On top of the merged picture sits the cross-unit common-mode detector
+// (commonmode.go): the same fault signature surfacing in at least
+// MinUnits units inside a sliding frame window raises a fleet alert
+// whose evidence hash is chained into the trace log by the CLI —
+// common-mode failures, the threat diverse redundancy defends against,
+// are only observable at this level. Experiment T16 measures the
+// pipeline's throughput, determinism and detection latency.
+//
+// The package is replay-deterministic: reports derive from ingested
+// bytes alone — no wall clock, no ambient randomness, and no map
+// iteration anywhere on a reporting path.
+//
+//safexplain:deterministic
+package fleet
+
+import (
+	"sync"
+
+	"safexplain/internal/obs"
+)
+
+// UnitID identifies one fleet unit. The zero value is a valid unit.
+type UnitID int32
+
+// Config sizes an Aggregator. Zero values get defaults.
+type Config struct {
+	// Shards is the ingest shard count (default 4). Units map to shards
+	// by a stable hash, so the mapping survives restarts and differs
+	// only when Shards does.
+	Shards int
+	// QueueDepth is the per-shard pending-chunk capacity in started
+	// (concurrent) mode (default 64). A full queue blocks the producer —
+	// backpressure, not loss.
+	QueueDepth int
+	// MaxTransitions bounds each unit's retained health-transition
+	// ledger (default 64). Overflow is dropped-newest and counted.
+	MaxTransitions int
+	// MaxEvents bounds each unit's retained fault-signature events for
+	// the common-mode detector (default 256). Overflow is dropped-newest
+	// and counted.
+	MaxEvents int
+	// Window is the common-mode sliding window in operate frames
+	// (default 16): a signature seen in MinUnits distinct units within
+	// Window frames raises a fleet alert.
+	Window int
+	// MinUnits is the distinct-unit quorum for a common-mode alert
+	// (default 3).
+	MinUnits int
+	// QuarantineCode and HealthyCode are the FDIR health-state ordinals
+	// the ledgers key on (defaults 2 and 0, matching internal/fdir).
+	QuarantineCode int32
+	HealthyCode    int32
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxTransitions <= 0 {
+		c.MaxTransitions = 64
+	}
+	if c.MaxEvents <= 0 {
+		c.MaxEvents = 256
+	}
+	if c.Window <= 0 {
+		c.Window = 16
+	}
+	if c.MinUnits <= 0 {
+		c.MinUnits = 3
+	}
+	if c.QuarantineCode == 0 {
+		c.QuarantineCode = 2
+	}
+	return c
+}
+
+// ShardOf maps a unit to its shard by a stable FNV-1a hash of the unit
+// ID — independent of arrival order, process lifetime and platform.
+func ShardOf(u UnitID, shards int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	v := uint32(u)
+	for i := 0; i < 4; i++ {
+		h ^= uint64(byte(v >> (8 * i)))
+		h *= prime64
+	}
+	if shards <= 1 {
+		return 0
+	}
+	return int(h % uint64(shards))
+}
+
+// Aggregator is the fleet ground segment: sharded ingest of downlink
+// byte streams, per-unit ledgers, mergeable shard registries, and the
+// common-mode detector over the merged picture.
+//
+// Two ingest modes share one hot path: before Start, Ingest processes
+// chunks inline on the caller (the deterministic single-threaded mode
+// tests and benchmarks use); after Start, Ingest enqueues to the unit's
+// shard worker over a bounded queue and blocks when the shard is
+// saturated. Both modes produce byte-identical reports for the same
+// per-unit streams.
+type Aggregator struct {
+	cfg     Config
+	shards  []*shard
+	running bool
+	wg      sync.WaitGroup
+}
+
+// New builds an aggregator in inline (unstarted) mode.
+func New(cfg Config) *Aggregator {
+	cfg = cfg.withDefaults()
+	a := &Aggregator{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range a.shards {
+		a.shards[i] = newShard(cfg)
+	}
+	return a
+}
+
+// Config returns the aggregator's resolved configuration.
+func (a *Aggregator) Config() Config { return a.cfg }
+
+// chunk is one queued ingest item: a whole-frame-aligned byte slice of
+// one unit's downlink stream.
+type chunk struct {
+	unit UnitID
+	data []byte
+}
+
+// Start spawns one worker per shard; Ingest switches to enqueueing.
+// Idempotent while running.
+func (a *Aggregator) Start() {
+	if a.running {
+		return
+	}
+	a.running = true
+	for _, s := range a.shards {
+		s.in = make(chan chunk, a.cfg.QueueDepth)
+		a.wg.Add(1)
+		go func(s *shard) {
+			defer a.wg.Done()
+			for c := range s.in {
+				s.process(c.unit, c.data)
+			}
+		}(s)
+	}
+}
+
+// Stop drains the shard queues and joins the workers. After Stop the
+// aggregator is back in inline mode; reports reflect everything
+// ingested. Callers must not Ingest concurrently with Stop.
+func (a *Aggregator) Stop() {
+	if !a.running {
+		return
+	}
+	for _, s := range a.shards {
+		close(s.in)
+	}
+	a.wg.Wait()
+	a.running = false
+}
+
+// Ingest feeds one whole-frame-aligned chunk of a unit's downlink
+// stream (one or more concatenated telemetry frames). In started mode
+// it blocks when the unit's shard queue is full — backpressure. Chunks
+// of one unit must be fed in stream order; interleaving across units is
+// arbitrary. Corrupt bytes are counted and the chunk's remainder
+// skipped; ingest never panics (FuzzFleetIngest).
+func (a *Aggregator) Ingest(u UnitID, b []byte) {
+	s := a.shards[ShardOf(u, len(a.shards))]
+	if a.running {
+		s.in <- chunk{unit: u, data: b}
+		return
+	}
+	s.process(u, b)
+}
+
+// SplitFrames splits a captured downlink stream into whole-frame chunks
+// — the granularity at which unit streams are interleaved for ingest. A
+// trailing undecodable remainder is returned as one final chunk (the
+// ingest path counts it as a decode error).
+func SplitFrames(b []byte) [][]byte {
+	var out [][]byte
+	off := 0
+	for off < len(b) {
+		_, n, err := obs.DecodeFrame(b[off:])
+		if err != nil || n <= 0 {
+			out = append(out, b[off:])
+			break
+		}
+		out = append(out, b[off:off+n])
+		off += n
+	}
+	return out
+}

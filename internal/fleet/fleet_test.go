@@ -1,0 +1,409 @@
+package fleet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"safexplain/internal/obs"
+)
+
+// streamSpec drives the synthetic unit-stream generator: a downlink
+// capture with per-frame housekeeping, optional FDIR quarantine (with a
+// dump notice), supervisor event spans, and skippable frame numbers to
+// provoke gap accounting.
+type streamSpec struct {
+	unit         UnitID
+	frames       int
+	quarantineAt int   // frame of the Suspect→Quarantined transition; -1 none
+	eventFrames  []int // frames carrying a supervisor finding (code 7)
+	skip         map[int]bool
+}
+
+func genStream(spec streamSpec) []byte {
+	d := obs.NewDownlink(obs.DownlinkConfig{BytesPerFrame: 2048, QueueDepth: 64})
+	seq := uint64(1)
+	health := int32(0)
+	for f := 0; f < spec.frames; f++ {
+		if spec.skip[f] {
+			continue
+		}
+		fi := int32(f)
+		d.PushSpan(obs.TraceSpan{Seq: seq, Frame: fi, Stage: obs.StageInfer, Value: float64(f)})
+		seq++
+		if spec.quarantineAt == f {
+			d.PushSpan(obs.TraceSpan{Seq: seq, Frame: fi, Stage: obs.StageFDIR, Code: 2, Value: float64(health)})
+			seq++
+			health = 2
+			d.PushDump(obs.DumpRecord{Trigger: "fdir-quarantine", Frame: f,
+				Hash: "0123456789abcdef0123456789abcdef", Spans: 8})
+		}
+		for _, ef := range spec.eventFrames {
+			if ef == f {
+				d.PushSpan(obs.TraceSpan{Seq: seq, Frame: fi, Stage: obs.StageSupervisor, Code: 7, Value: 1})
+				seq++
+			}
+		}
+		d.PushMetric(obs.MetricFrames, float64(f+1))
+		d.PushMetric(obs.MetricFallbacks, float64(spec.unit%2))
+		d.PushMetric(obs.MetricHealth, float64(health))
+		d.EmitFrame(f)
+	}
+	return d.Capture()
+}
+
+func TestShardOfStable(t *testing.T) {
+	for u := UnitID(0); u < 100; u++ {
+		s := ShardOf(u, 4)
+		if s < 0 || s >= 4 {
+			t.Fatalf("ShardOf(%d, 4) = %d out of range", u, s)
+		}
+		if s != ShardOf(u, 4) {
+			t.Fatalf("ShardOf(%d, 4) unstable", u)
+		}
+		if ShardOf(u, 1) != 0 {
+			t.Fatalf("ShardOf(%d, 1) != 0", u)
+		}
+	}
+	// The hash must actually spread units over shards.
+	used := map[int]bool{}
+	for u := UnitID(0); u < 64; u++ {
+		used[ShardOf(u, 4)] = true
+	}
+	if len(used) != 4 {
+		t.Fatalf("64 units landed on only %d of 4 shards", len(used))
+	}
+}
+
+func TestSplitFramesRoundTrip(t *testing.T) {
+	stream := genStream(streamSpec{unit: 1, frames: 10, quarantineAt: 4})
+	chunks := SplitFrames(stream)
+	if len(chunks) != 10 {
+		t.Fatalf("split %d frames, want 10", len(chunks))
+	}
+	if got := bytes.Join(chunks, nil); !bytes.Equal(got, stream) {
+		t.Fatal("joined chunks differ from the original stream")
+	}
+}
+
+func TestFleetIngestAccounting(t *testing.T) {
+	spec := streamSpec{
+		unit: 7, frames: 20, quarantineAt: 6,
+		skip: map[int]bool{10: true, 11: true},
+	}
+	a := New(Config{Shards: 2})
+	stream := genStream(spec)
+	a.Ingest(7, stream)
+	// Re-ingesting the first frame is out-of-order, not a gap.
+	a.Ingest(7, SplitFrames(stream)[0])
+
+	rep, err := a.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Units != 1 || len(rep.Reports) != 1 {
+		t.Fatalf("want 1 unit, got %+v", rep.Units)
+	}
+	u := rep.Reports[0]
+	if u.Unit != 7 {
+		t.Fatalf("unit = %d, want 7", u.Unit)
+	}
+	if u.Frames != 19 { // 18 emitted + 1 re-ingested
+		t.Errorf("frames = %d, want 19", u.Frames)
+	}
+	if u.Gaps != 2 {
+		t.Errorf("gaps = %d, want 2 (frames 10 and 11 skipped)", u.Gaps)
+	}
+	if u.OutOfOrder != 1 {
+		t.Errorf("out_of_order = %d, want 1", u.OutOfOrder)
+	}
+	if u.LastFrame != 19 {
+		t.Errorf("last_frame = %d, want 19", u.LastFrame)
+	}
+	if u.Dumps != 1 {
+		t.Errorf("dumps = %d, want 1", u.Dumps)
+	}
+	if u.Health != 2 || u.HealthName != "quarantined" {
+		t.Errorf("health = %d/%s, want 2/quarantined", u.Health, u.HealthName)
+	}
+	if len(u.Transitions) != 1 || u.Transitions[0].From != 0 || u.Transitions[0].To != 2 {
+		t.Errorf("transitions = %+v, want one 0→2", u.Transitions)
+	}
+	if u.OperateFrames != 20 {
+		t.Errorf("operate_frames = %g, want 20", u.OperateFrames)
+	}
+	if u.DecodeErrors != 0 {
+		t.Errorf("decode_errors = %d, want 0", u.DecodeErrors)
+	}
+}
+
+func TestFleetIngestCorruptChunk(t *testing.T) {
+	a := New(Config{})
+	good := genStream(streamSpec{unit: 1, frames: 3, quarantineAt: -1})
+	bad := append(append([]byte(nil), good[:len(good)/2]...), 0xFF, 0xEE)
+	a.Ingest(1, bad)
+	a.Ingest(2, []byte{'S', 'X', 0xFF, 0, 0, 0, 0, 0, 0}) // wrong version
+	rep, err := a.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errs uint64
+	for _, c := range rep.Metrics.Counters {
+		if c.Name == "fleet_decode_errors_total" {
+			errs = c.Value
+		}
+	}
+	if errs != 2 {
+		t.Fatalf("fleet_decode_errors_total = %d, want 2", errs)
+	}
+}
+
+// fleetCase builds the determinism scenario: nUnits units, the first
+// nFaulty of which raise the same supervisor finding inside a tight
+// window (a common-mode signature) and quarantine shortly after.
+func fleetCase(nUnits, nFaulty, frames int) map[UnitID][][]byte {
+	chunks := map[UnitID][][]byte{}
+	for u := 0; u < nUnits; u++ {
+		spec := streamSpec{unit: UnitID(u), frames: frames, quarantineAt: -1}
+		if u < nFaulty {
+			at := 8 + u // staggered: common-mode inside the default window
+			spec.eventFrames = []int{at, at + 1}
+			spec.quarantineAt = at + 2
+		}
+		chunks[UnitID(u)] = SplitFrames(genStream(spec))
+	}
+	return chunks
+}
+
+func reportBytes(t *testing.T, a *Aggregator) []byte {
+	t.Helper()
+	rep, err := a.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rep.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestFleetReportDeterminism is the tentpole's core claim: the canonical
+// fleet report is byte-identical regardless of how unit streams
+// interleave on arrival and how many shards ingest them — sequential,
+// round-robin, seeded-shuffle and concurrent runs all agree.
+func TestFleetReportDeterminism(t *testing.T) {
+	const nUnits, nFaulty, frames = 6, 3, 30
+	chunks := fleetCase(nUnits, nFaulty, frames)
+
+	ingestSeq := func(a *Aggregator) {
+		for u := 0; u < nUnits; u++ {
+			for _, c := range chunks[UnitID(u)] {
+				a.Ingest(UnitID(u), c)
+			}
+		}
+	}
+	ingestRR := func(a *Aggregator) {
+		for i := 0; i < frames; i++ {
+			for u := 0; u < nUnits; u++ {
+				if i < len(chunks[UnitID(u)]) {
+					a.Ingest(UnitID(u), chunks[UnitID(u)][i])
+				}
+			}
+		}
+	}
+	ingestShuffled := func(a *Aggregator) {
+		// Arbitrary interleaving that preserves each unit's stream order.
+		rng := rand.New(rand.NewSource(42))
+		next := make([]int, nUnits)
+		remaining := nUnits * frames
+		for remaining > 0 {
+			u := UnitID(rng.Intn(nUnits))
+			if next[u] >= len(chunks[u]) {
+				continue
+			}
+			a.Ingest(u, chunks[u][next[u]])
+			next[u]++
+			remaining--
+		}
+	}
+	ingestConcurrent := func(a *Aggregator) {
+		a.Start()
+		ingestRR(a)
+		a.Stop()
+	}
+
+	ref := New(Config{Shards: 1})
+	ingestSeq(ref)
+	want := reportBytes(t, ref)
+
+	// The scenario must actually exercise the detector.
+	rep, err := ref.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Alerts) == 0 {
+		t.Fatal("determinism scenario raised no common-mode alert")
+	}
+
+	runs := []struct {
+		name   string
+		shards int
+		ingest func(*Aggregator)
+	}{
+		{"seq/2-shards", 2, ingestSeq},
+		{"round-robin/4-shards", 4, ingestRR},
+		{"shuffled/4-shards", 4, ingestShuffled},
+		{"shuffled/1-shard", 1, ingestShuffled},
+		{"concurrent/4-shards", 4, ingestConcurrent},
+		{"concurrent/2-shards", 2, ingestConcurrent},
+	}
+	for _, run := range runs {
+		a := New(Config{Shards: run.shards})
+		run.ingest(a)
+		got := reportBytes(t, a)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: report differs from the sequential 1-shard reference", run.name)
+		}
+	}
+}
+
+func TestCommonModeDetector(t *testing.T) {
+	sig := Signature{Stage: uint8(obs.StageSupervisor), Code: 7}
+	ev := func(u UnitID, frame int32) Event {
+		return Event{Unit: u, Frame: frame, Seq: uint64(frame), Sig: sig}
+	}
+
+	t.Run("quorum met", func(t *testing.T) {
+		alerts := DetectCommonMode([]Event{ev(1, 10), ev(2, 12), ev(3, 14)}, 16, 3)
+		if len(alerts) != 1 {
+			t.Fatalf("alerts = %d, want 1", len(alerts))
+		}
+		a := alerts[0]
+		if a.FirstFrame != 10 || a.DetectFrame != 14 {
+			t.Errorf("window [%d..%d], want [10..14]", a.FirstFrame, a.DetectFrame)
+		}
+		if len(a.Units) != 3 || a.Units[0] != 1 || a.Units[2] != 3 {
+			t.Errorf("units = %v, want [1 2 3]", a.Units)
+		}
+		if a.EvidenceHash == "" || a.EvidenceHash != hashAlert(a) {
+			t.Error("evidence hash missing or not canonical")
+		}
+	})
+
+	t.Run("below quorum", func(t *testing.T) {
+		if alerts := DetectCommonMode([]Event{ev(1, 10), ev(2, 12)}, 16, 3); len(alerts) != 0 {
+			t.Fatalf("alerts = %d, want 0", len(alerts))
+		}
+	})
+
+	t.Run("window expiry", func(t *testing.T) {
+		// Third unit fires 20 frames later: never 3 distinct units in a
+		// 16-frame window.
+		if alerts := DetectCommonMode([]Event{ev(1, 10), ev(2, 12), ev(3, 30)}, 16, 3); len(alerts) != 0 {
+			t.Fatalf("alerts = %d, want 0", len(alerts))
+		}
+	})
+
+	t.Run("one unit repeating is not a quorum", func(t *testing.T) {
+		events := []Event{ev(1, 10), ev(1, 11), ev(1, 12), ev(2, 13)}
+		if alerts := DetectCommonMode(events, 16, 3); len(alerts) != 0 {
+			t.Fatalf("alerts = %d, want 0", len(alerts))
+		}
+	})
+
+	t.Run("one alert per signature", func(t *testing.T) {
+		events := []Event{
+			ev(1, 10), ev(2, 11), ev(3, 12), // detection
+			ev(4, 13), ev(5, 14), // still the same episode
+		}
+		if alerts := DetectCommonMode(events, 16, 3); len(alerts) != 1 {
+			t.Fatalf("alerts = %d, want 1", len(alerts))
+		}
+	})
+}
+
+func TestFleetPrometheusConformance(t *testing.T) {
+	chunks := fleetCase(5, 3, 25)
+	a := New(Config{Shards: 2})
+	for u, cs := range chunks {
+		for _, c := range cs {
+			a.Ingest(u, c)
+		}
+	}
+	rep, err := a.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := rep.Prometheus()
+	if issues := obs.LintExposition(text); len(issues) != 0 {
+		t.Fatalf("fleet exposition fails conformance:\n%s", issues)
+	}
+}
+
+func TestFleetBackpressureDrains(t *testing.T) {
+	chunks := fleetCase(8, 0, 40)
+	a := New(Config{Shards: 2, QueueDepth: 2}) // tiny queues: force blocking
+	a.Start()
+	for u, cs := range chunks {
+		for _, c := range cs {
+			a.Ingest(u, c)
+		}
+	}
+	a.Stop()
+	rep, err := a.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Units != 8 {
+		t.Fatalf("units = %d, want 8", rep.Units)
+	}
+	for _, u := range rep.Reports {
+		if u.Frames != 40 {
+			t.Fatalf("unit %d ingested %d frames, want 40 (backpressure must not drop)", u.Unit, u.Frames)
+		}
+	}
+}
+
+// TestFleetIngestZeroAllocs pins the hot-path contract: once a unit's
+// ledger exists and the decode scratch has grown to the frame's record
+// count, ingesting a frame allocates nothing.
+func TestFleetIngestZeroAllocs(t *testing.T) {
+	a := New(Config{Shards: 2})
+	stream := genStream(streamSpec{unit: 3, frames: 50, quarantineAt: 10, eventFrames: []int{12, 13}})
+	chunks := SplitFrames(stream)
+	for _, c := range chunks {
+		a.Ingest(3, c) // warm: ledger created, scratch grown
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		a.Ingest(3, chunks[i%len(chunks)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("ingest hot path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkFleetIngest(b *testing.B) {
+	a := New(Config{Shards: 4})
+	const nUnits = 8
+	var chunks [nUnits][][]byte
+	var bytesPerRound int64
+	for u := 0; u < nUnits; u++ {
+		s := genStream(streamSpec{unit: UnitID(u), frames: 50, quarantineAt: 10, eventFrames: []int{12}})
+		chunks[u] = SplitFrames(s)
+		bytesPerRound += int64(len(s))
+		for _, c := range chunks[u] {
+			a.Ingest(UnitID(u), c) // warm every unit's ledger
+		}
+	}
+	frames := len(chunks[0])
+	b.SetBytes(bytesPerRound / int64(frames*nUnits))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := UnitID(i % nUnits)
+		a.Ingest(u, chunks[u][i%frames])
+	}
+}

@@ -1,0 +1,64 @@
+package fleet
+
+import (
+	"testing"
+
+	"safexplain/internal/obs"
+)
+
+// FuzzFleetIngest drives the sharded ingest path with arbitrary bytes
+// split across units: malformed, truncated or interleaved input must
+// never panic or over-read, the report must always assemble, and its
+// frame accounting must never exceed what a strict whole-stream decode
+// of the same bytes would yield.
+func FuzzFleetIngest(f *testing.F) {
+	// Seed with a well-formed two-unit capture and canonical corruptions.
+	d := obs.NewDownlink(obs.DownlinkConfig{BytesPerFrame: 512})
+	d.PushSpan(obs.TraceSpan{Seq: 1, Frame: 2, Cause: -1, Stage: obs.StageFDIR, Code: 2, Value: 1})
+	d.PushMetric(obs.MetricHealth, 2)
+	d.EmitFrame(2)
+	d.EmitFrame(3)
+	f.Add(d.Capture(), uint8(2))
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{'S', 'X', 0x01, 0, 0, 0, 0, 0xff, 0xff}, uint8(3))
+	f.Add([]byte{'S', 'X', 0x02, 1, 0, 0, 0, 1, 0}, uint8(4))
+
+	f.Fuzz(func(t *testing.T, data []byte, units uint8) {
+		n := int(units)%4 + 1
+		a := New(Config{Shards: 2, MaxTransitions: 4, MaxEvents: 8})
+		// Interleave: alternate slices of the input across n units, then
+		// replay the whole input into one more unit as a single chunk.
+		step := len(data)/n + 1
+		for u := 0; u < n; u++ {
+			lo := u * step
+			hi := lo + step
+			if lo > len(data) {
+				lo = len(data)
+			}
+			if hi > len(data) {
+				hi = len(data)
+			}
+			a.Ingest(UnitID(u), data[lo:hi])
+		}
+		a.Ingest(UnitID(n), data)
+
+		rep, err := a.Report()
+		if err != nil {
+			t.Fatalf("report failed on fuzz input: %v", err)
+		}
+		if _, err := rep.CanonicalJSON(); err != nil {
+			t.Fatalf("canonical JSON failed: %v", err)
+		}
+		if issues := obs.LintExposition(rep.Prometheus()); len(issues) != 0 {
+			t.Fatalf("exposition not conformant: %s", issues)
+		}
+		// The replay unit may not see more frames than a strict decode of
+		// the full input admits (over-read / phantom-frame guard).
+		frames, _ := obs.DecodeStream(data)
+		for _, u := range rep.Reports {
+			if u.Unit == UnitID(n) && u.Frames > uint64(len(frames)) {
+				t.Fatalf("unit decoded %d frames from input holding %d", u.Frames, len(frames))
+			}
+		}
+	})
+}

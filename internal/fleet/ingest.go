@@ -1,0 +1,222 @@
+package fleet
+
+import (
+	"sync"
+
+	"safexplain/internal/obs"
+)
+
+// Shard-local metric names, declared in the same order by every shard so
+// the per-shard registries are merge-compatible (obs.Snapshot.Merge is
+// position-wise). Every histogram observation on the ingest path is an
+// integer-valued quantity, so merged sums are exact regardless of the
+// order shards ingested in.
+const registryName = "fleet"
+
+// metricSample is one last-value housekeeping metric with the frame it
+// was reported at (last-writer-wins by frame, so re-ingests and
+// interleavings agree).
+type metricSample struct {
+	frame int32
+	value float64
+	set   bool
+}
+
+// numUnitMetrics bounds the per-unit housekeeping metric table
+// (MetricFrames/MetricFallbacks/MetricHealth plus the invalid slot).
+const numUnitMetrics = 4
+
+// Transition is one FDIR health-state change observed in a unit's
+// telemetry.
+type Transition struct {
+	Frame int32  `json:"frame"`
+	Seq   uint64 `json:"seq"`
+	From  int32  `json:"from"`
+	To    int32  `json:"to"`
+}
+
+// unitState is one unit's ledger, owned by its shard. Ledgers are
+// preallocated to their configured bounds at first sight of the unit, so
+// the steady-state ingest path never grows them.
+type unitState struct {
+	id        UnitID
+	frames    uint64 // telemetry frames ingested
+	lastFrame int32
+	haveFrame bool
+	gaps      uint64 // missing frame numbers (downlink loss)
+	outOfSeq  uint64 // frames at or before the last seen number
+
+	records uint64
+	spans   uint64
+	metrics uint64
+	dumps   uint64
+	errs    uint64 // decode errors attributed to this unit's stream
+
+	metric [numUnitMetrics]metricSample
+
+	health      int32 // FDIR state from the latest (Frame, Seq) FDIR span
+	healthFrame int32
+	healthSeq   uint64
+	haveHealth  bool
+
+	transitions []Transition
+	transDrop   uint64
+	events      []Event
+	eventDrop   uint64
+}
+
+// shard owns a disjoint subset of units: their ledgers, one obs registry,
+// and a reusable decode scratch. All mutation happens under mu — inline
+// mode on the caller, started mode on the shard's worker goroutine.
+type shard struct {
+	mu  sync.Mutex
+	in  chan chunk
+	cfg Config
+
+	reg      *obs.Registry
+	cChunks  *obs.Counter
+	cFrames  *obs.Counter
+	cRecords *obs.Counter
+	cSpans   *obs.Counter
+	cMetrics *obs.Counter
+	cDumps   *obs.Counter
+	cErrs    *obs.Counter
+	cGaps    *obs.Counter
+	cEvents  *obs.Counter
+	hBytes   *obs.Histogram
+	hRecords *obs.Histogram
+
+	units   map[UnitID]*unitState
+	order   []UnitID // units in first-seen order; reports re-sort globally
+	scratch []obs.DownRecord
+}
+
+func newShard(cfg Config) *shard {
+	reg := obs.NewRegistry(registryName)
+	return &shard{
+		cfg:      cfg,
+		reg:      reg,
+		cChunks:  reg.Counter("fleet_chunks_total", "downlink chunks ingested"),
+		cFrames:  reg.Counter("fleet_frames_total", "telemetry frames decoded"),
+		cRecords: reg.Counter("fleet_records_total", "downlink records decoded"),
+		cSpans:   reg.Counter("fleet_spans_total", "trace spans decoded"),
+		cMetrics: reg.Counter("fleet_metrics_total", "housekeeping metric samples decoded"),
+		cDumps:   reg.Counter("fleet_dumps_total", "incident dump notices decoded"),
+		cErrs:    reg.Counter("fleet_decode_errors_total", "corrupt or truncated frames rejected"),
+		cGaps:    reg.Counter("fleet_gap_frames_total", "frame numbers missing from unit streams"),
+		cEvents:  reg.Counter("fleet_events_total", "event-priority spans fed to the common-mode detector"),
+		hBytes:   reg.Histogram("fleet_frame_bytes", "decoded telemetry frame size in bytes", 64, 128, 192, 256, 320, 512),
+		hRecords: reg.Histogram("fleet_frame_records", "records per telemetry frame", 1, 2, 4, 8, 16, 32),
+		units:    map[UnitID]*unitState{},
+	}
+}
+
+// unit returns u's ledger, creating and preallocating it on first sight.
+// Creation is the only allocating step on the ingest path; every later
+// frame of the unit runs allocation-free.
+func (s *shard) unit(u UnitID) *unitState {
+	st := s.units[u]
+	if st == nil {
+		st = &unitState{
+			id:          u,
+			transitions: make([]Transition, 0, s.cfg.MaxTransitions),
+			events:      make([]Event, 0, s.cfg.MaxEvents),
+		}
+		s.units[u] = st
+		s.order = append(s.order, u)
+	}
+	return st
+}
+
+// process ingests one whole-frame-aligned chunk of unit u's stream:
+// decode frames off the head until the chunk is exhausted or corrupt,
+// updating the shard registry and u's ledger. Corruption is counted and
+// the remainder of the chunk skipped (a later chunk resynchronizes at
+// the next frame boundary). Steady-state zero-allocation: the decode
+// scratch and the unit's bounded ledgers are reused.
+func (s *shard) process(u UnitID, b []byte) {
+	s.mu.Lock()
+	st := s.unit(u)
+	s.cChunks.Inc()
+	off := 0
+	for off < len(b) {
+		frame, recs, n, err := obs.DecodeFrameAppend(b[off:], s.scratch[:0])
+		s.scratch = recs[:0]
+		if err != nil {
+			s.cErrs.Inc()
+			st.errs++
+			break
+		}
+		off += n
+		s.cFrames.Inc()
+		s.hBytes.Observe(float64(n))
+		s.hRecords.Observe(float64(len(recs)))
+		st.frames++
+		if st.haveFrame {
+			if frame <= st.lastFrame {
+				st.outOfSeq++
+			} else if gap := uint64(frame-st.lastFrame) - 1; gap > 0 {
+				st.gaps += gap
+				s.cGaps.Add(gap)
+			}
+		}
+		if !st.haveFrame || frame > st.lastFrame {
+			st.lastFrame = frame
+			st.haveFrame = true
+		}
+		for i := range recs {
+			s.record(st, frame, &recs[i])
+		}
+	}
+	s.mu.Unlock()
+}
+
+// record folds one decoded record into the unit ledger.
+func (s *shard) record(st *unitState, frame int32, r *obs.DownRecord) {
+	s.cRecords.Inc()
+	st.records++
+	switch r.Kind {
+	case obs.RecMetric:
+		s.cMetrics.Inc()
+		st.metrics++
+		if int(r.MetricID) < numUnitMetrics {
+			m := &st.metric[r.MetricID]
+			if !m.set || frame >= m.frame {
+				m.frame, m.value, m.set = frame, r.MetricValue, true
+			}
+		}
+	case obs.RecDump:
+		s.cDumps.Inc()
+		st.dumps++
+	case obs.RecSpan:
+		s.cSpans.Inc()
+		st.spans++
+		sp := r.Span
+		if sp.Stage == obs.StageFDIR && sp.Code != int32(sp.Value) {
+			// Health transition: Value carries the prior state, Code the new.
+			later := !st.haveHealth || sp.Frame > st.healthFrame ||
+				(sp.Frame == st.healthFrame && sp.Seq >= st.healthSeq)
+			if later {
+				st.health, st.healthFrame, st.healthSeq, st.haveHealth = sp.Code, sp.Frame, sp.Seq, true
+			}
+			if len(st.transitions) < cap(st.transitions) {
+				st.transitions = append(st.transitions, Transition{
+					Frame: sp.Frame, Seq: sp.Seq, From: int32(sp.Value), To: sp.Code,
+				})
+			} else {
+				st.transDrop++
+			}
+		}
+		if r.Pri == obs.PriEvent {
+			s.cEvents.Inc()
+			if len(st.events) < cap(st.events) {
+				st.events = append(st.events, Event{
+					Unit: st.id, Frame: sp.Frame, Seq: sp.Seq,
+					Sig: Signature{Stage: uint8(sp.Stage), Code: sp.Code},
+				})
+			} else {
+				st.eventDrop++
+			}
+		}
+	}
+}

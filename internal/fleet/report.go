@@ -1,0 +1,189 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"safexplain/internal/fdir"
+	"safexplain/internal/obs"
+)
+
+// The fleet report is the ground segment's evidence artifact: per-unit
+// ledgers in canonical (unit-sorted) order, the exact merge of the shard
+// registries, and the common-mode alerts — all derived from ingested
+// bytes alone, so the canonical JSON is byte-identical for the same
+// per-unit streams regardless of arrival interleaving or shard count
+// (the determinism tests diff the bytes).
+
+// UnitReport is one unit's ledger, frozen.
+type UnitReport struct {
+	Unit       UnitID `json:"unit"`
+	Frames     uint64 `json:"frames"`     // telemetry frames ingested
+	LastFrame  int32  `json:"last_frame"` // highest frame number seen
+	Gaps       uint64 `json:"gaps"`       // missing frame numbers (downlink loss)
+	OutOfOrder uint64 `json:"out_of_order"`
+
+	Records      uint64 `json:"records"`
+	Spans        uint64 `json:"spans"`
+	Metrics      uint64 `json:"metrics"`
+	Dumps        uint64 `json:"dumps"`
+	DecodeErrors uint64 `json:"decode_errors"`
+
+	OperateFrames float64 `json:"operate_frames"` // MetricFrames housekeeping value
+	Fallbacks     float64 `json:"fallbacks"`      // MetricFallbacks housekeeping value
+
+	Health     int32  `json:"health"` // FDIR state ordinal from the latest FDIR span
+	HealthName string `json:"health_name"`
+
+	Transitions        []Transition `json:"transitions,omitempty"`
+	TransitionsDropped uint64       `json:"transitions_dropped,omitempty"`
+	Events             int          `json:"events"`
+	EventsDropped      uint64       `json:"events_dropped,omitempty"`
+}
+
+// Report is the fleet's frozen operational picture.
+type Report struct {
+	Units   int          `json:"units"`
+	Reports []UnitReport `json:"reports"`
+	Metrics obs.Snapshot `json:"metrics"` // exact merge of the shard registries
+	Alerts  []Alert      `json:"alerts,omitempty"`
+}
+
+// freezeUnit copies a unit ledger into its report row.
+func freezeUnit(st *unitState) UnitReport {
+	r := UnitReport{
+		Unit: st.id, Frames: st.frames, LastFrame: st.lastFrame,
+		Gaps: st.gaps, OutOfOrder: st.outOfSeq,
+		Records: st.records, Spans: st.spans, Metrics: st.metrics,
+		Dumps: st.dumps, DecodeErrors: st.errs,
+		Health: st.health, HealthName: fdir.State(st.health).String(),
+		Transitions:        append([]Transition(nil), st.transitions...),
+		TransitionsDropped: st.transDrop,
+		Events:             len(st.events),
+		EventsDropped:      st.eventDrop,
+	}
+	if m := st.metric[obs.MetricFrames]; m.set {
+		r.OperateFrames = m.value
+	}
+	if m := st.metric[obs.MetricFallbacks]; m.set {
+		r.Fallbacks = m.value
+	}
+	return r
+}
+
+// Report freezes the fleet state: unit ledgers in unit order, the merged
+// registry snapshot, and the common-mode alerts over the combined event
+// ledger. Safe to call while started (shards are locked one at a time);
+// for an exact end-of-run picture call Stop first.
+func (a *Aggregator) Report() (Report, error) {
+	var rows []UnitReport
+	var events []Event
+	var merged obs.Snapshot
+	for i, s := range a.shards {
+		s.mu.Lock()
+		snap := s.reg.Snapshot()
+		for _, u := range s.order {
+			st := s.units[u]
+			rows = append(rows, freezeUnit(st))
+			events = append(events, st.events...)
+		}
+		s.mu.Unlock()
+		if i == 0 {
+			merged = snap.CloneMetrics()
+			continue
+		}
+		if err := merged.Merge(snap); err != nil {
+			return Report{}, fmt.Errorf("fleet: shard %d registry: %w", i, err)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Unit < rows[j].Unit })
+	sort.Slice(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.Frame != b.Frame {
+			return a.Frame < b.Frame
+		}
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		if a.Unit != b.Unit {
+			return a.Unit < b.Unit
+		}
+		if a.Sig.Stage != b.Sig.Stage {
+			return a.Sig.Stage < b.Sig.Stage
+		}
+		return a.Sig.Code < b.Sig.Code
+	})
+	return Report{
+		Units:   len(rows),
+		Reports: rows,
+		Metrics: merged,
+		Alerts:  DetectCommonMode(events, a.cfg.Window, a.cfg.MinUnits),
+	}, nil
+}
+
+// CanonicalJSON renders the report as its canonical evidence form:
+// indented JSON with fixed field order and unit-sorted rows.
+func (r Report) CanonicalJSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Hash returns the SHA-256 over the canonical JSON, hex-encoded — the
+// fleet-level evidence link.
+func (r Report) Hash() (string, error) {
+	b, err := r.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Prometheus renders the fleet exposition: the merged registry families
+// followed by per-unit series (label unit="N") and the alert count. The
+// output passes obs.LintExposition — the conformance test gates on it.
+func (r Report) Prometheus() string {
+	var b strings.Builder
+	b.WriteString(r.Metrics.Prometheus())
+
+	unitSample := func(name, typ, help string, val func(UnitReport) string) {
+		n := "safexplain_" + name
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", n, help, n, typ)
+		for _, u := range r.Reports {
+			fmt.Fprintf(&b, "%s{system=%q,unit=\"%d\"} %s\n", n, r.Metrics.System, u.Unit, val(u))
+		}
+	}
+	unitSample("fleet_unit_frames_total", "counter", "telemetry frames ingested per unit",
+		func(u UnitReport) string { return fmt.Sprintf("%d", u.Frames) })
+	unitSample("fleet_unit_gap_frames_total", "counter", "missing frame numbers per unit",
+		func(u UnitReport) string { return fmt.Sprintf("%d", u.Gaps) })
+	unitSample("fleet_unit_fallbacks", "gauge", "fallback outputs reported by the unit",
+		func(u UnitReport) string { return fmt.Sprintf("%g", u.Fallbacks) })
+	unitSample("fleet_unit_health", "gauge", "FDIR health state ordinal per unit",
+		func(u UnitReport) string { return fmt.Sprintf("%d", u.Health) })
+
+	n := "safexplain_fleet_alerts_total"
+	fmt.Fprintf(&b, "# HELP %s common-mode alerts raised\n# TYPE %s counter\n%s{system=%q} %d\n",
+		n, n, n, r.Metrics.System, len(r.Alerts))
+	return b.String()
+}
+
+// Table renders the report for humans.
+func (r Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d units, %d alerts\n", r.Units, len(r.Alerts))
+	fmt.Fprintf(&b, "  %-6s %8s %8s %6s %6s %10s %10s %s\n",
+		"unit", "frames", "records", "gaps", "dumps", "operate", "fallbacks", "health")
+	for _, u := range r.Reports {
+		fmt.Fprintf(&b, "  %-6d %8d %8d %6d %6d %10g %10g %s\n",
+			u.Unit, u.Frames, u.Records, u.Gaps, u.Dumps, u.OperateFrames, u.Fallbacks, u.HealthName)
+	}
+	for _, a := range r.Alerts {
+		fmt.Fprintf(&b, "  ALERT %s units=%v window=[%d..%d] events=%d evidence %.12s…\n",
+			a.Signature, a.Units, a.FirstFrame, a.DetectFrame, a.Events, a.EvidenceHash)
+	}
+	return b.String()
+}

@@ -544,32 +544,45 @@ type DownFrame struct {
 //
 //safexplain:req REQ-DET REQ-XAI
 func DecodeFrame(b []byte) (DownFrame, int, error) {
-	var f DownFrame
+	frame, recs, n, err := DecodeFrameAppend(b, nil)
+	return DownFrame{Frame: frame, Records: recs}, n, err
+}
+
+// DecodeFrameAppend is the allocation-conscious form of DecodeFrame: the
+// frame's records are appended to dst and the extended slice returned, so
+// a caller that reuses a scratch slice across frames — the fleet ground
+// segment's per-shard ingest loop — decodes in the steady state without
+// allocating. Semantics are otherwise identical to DecodeFrame: pure,
+// bounds-checked, never panicking, unknown kinds length-skipped.
+//
+//safexplain:req REQ-DET REQ-XAI
+func DecodeFrameAppend(b []byte, dst []DownRecord) (frame int32, recs []DownRecord, n int, err error) {
+	recs = dst
 	if len(b) < frameHeaderLen {
-		return f, 0, fmt.Errorf("%w: %d bytes, need %d for the header", ErrCorrupt, len(b), frameHeaderLen)
+		return 0, recs, 0, fmt.Errorf("%w: %d bytes, need %d for the header", ErrCorrupt, len(b), frameHeaderLen)
 	}
 	if b[0] != wireMagic0 || b[1] != wireMagic1 {
-		return f, 0, fmt.Errorf("%w: bad magic %#02x%02x", ErrCorrupt, b[0], b[1])
+		return 0, recs, 0, fmt.Errorf("%w: bad magic %#02x%02x", ErrCorrupt, b[0], b[1])
 	}
 	if b[2] != wireVersion {
-		return f, 0, fmt.Errorf("%w: unknown version %d", ErrCorrupt, b[2])
+		return 0, recs, 0, fmt.Errorf("%w: unknown version %d", ErrCorrupt, b[2])
 	}
-	f.Frame = int32(binary.LittleEndian.Uint32(b[3:]))
+	frame = int32(binary.LittleEndian.Uint32(b[3:]))
 	count := int(binary.LittleEndian.Uint16(b[7:]))
 	if count > maxFrameCount {
-		return f, 0, fmt.Errorf("%w: record count %d exceeds bound %d", ErrCorrupt, count, maxFrameCount)
+		return frame, recs, 0, fmt.Errorf("%w: record count %d exceeds bound %d", ErrCorrupt, count, maxFrameCount)
 	}
 	off := frameHeaderLen
 	for i := 0; i < count; i++ {
 		if len(b)-off < recHeaderLen {
-			return f, 0, fmt.Errorf("%w: truncated record header at offset %d", ErrCorrupt, off)
+			return frame, recs, 0, fmt.Errorf("%w: truncated record header at offset %d", ErrCorrupt, off)
 		}
 		kind := RecordKind(b[off])
 		pri := Priority(b[off+1])
 		plen := int(b[off+2])
 		off += recHeaderLen
 		if len(b)-off < plen {
-			return f, 0, fmt.Errorf("%w: truncated payload at offset %d (need %d)", ErrCorrupt, off, plen)
+			return frame, recs, 0, fmt.Errorf("%w: truncated payload at offset %d (need %d)", ErrCorrupt, off, plen)
 		}
 		payload := b[off : off+plen]
 		off += plen
@@ -577,18 +590,18 @@ func DecodeFrame(b []byte) (DownFrame, int, error) {
 		switch kind {
 		case RecSpan:
 			if plen != spanPayloadLen {
-				return f, 0, fmt.Errorf("%w: span payload %d bytes, want %d", ErrCorrupt, plen, spanPayloadLen)
+				return frame, recs, 0, fmt.Errorf("%w: span payload %d bytes, want %d", ErrCorrupt, plen, spanPayloadLen)
 			}
 			rec.Span = decodeTraceSpan(payload)
 		case RecMetric:
 			if plen != metricPayload {
-				return f, 0, fmt.Errorf("%w: metric payload %d bytes, want %d", ErrCorrupt, plen, metricPayload)
+				return frame, recs, 0, fmt.Errorf("%w: metric payload %d bytes, want %d", ErrCorrupt, plen, metricPayload)
 			}
 			rec.MetricID = binary.LittleEndian.Uint16(payload)
 			rec.MetricValue = math.Float64frombits(binary.LittleEndian.Uint64(payload[2:]))
 		case RecDump:
 			if plen != dumpPayloadLen {
-				return f, 0, fmt.Errorf("%w: dump payload %d bytes, want %d", ErrCorrupt, plen, dumpPayloadLen)
+				return frame, recs, 0, fmt.Errorf("%w: dump payload %d bytes, want %d", ErrCorrupt, plen, dumpPayloadLen)
 			}
 			rec.Dump = DumpSummary{
 				Frame:      int32(binary.LittleEndian.Uint32(payload)),
@@ -599,9 +612,9 @@ func DecodeFrame(b []byte) (DownFrame, int, error) {
 		default:
 			continue // unknown kind: length-skipped, not decoded
 		}
-		f.Records = append(f.Records, rec)
+		recs = append(recs, rec)
 	}
-	return f, off, nil
+	return frame, recs, off, nil
 }
 
 // DecodeStream decodes a captured telemetry stream into its frames.

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Snapshot merging: a fleet ground segment aggregates the registries of
+// many units (or of many ingest shards) into one exposition. Merging is
+// defined only between snapshots whose registries were declared
+// identically — same metric names, in the same declaration order, with
+// bit-identical histogram bounds — which is exactly what N instances of
+// the same constructor produce. Under that contract the merge is
+// order-independent: counter and bucket sums are exact uint64 additions,
+// and histogram sums stay exact as long as the observed values are
+// integral (the fleet ingest path observes only integer-valued
+// quantities for this reason).
+
+// ErrMerge reports merge-incompatible snapshots: different metric sets,
+// orders, or histogram bucket layouts.
+//
+//safexplain:req REQ-DET
+var ErrMerge = errors.New("obs: snapshots are not merge-compatible")
+
+// Merge folds src into h: bucket counts, count and sum add. The bounds
+// must match bit-for-bit — fixed-bucket histograms merge only within one
+// declaration.
+//
+//safexplain:req REQ-DET REQ-XAI
+func (h *HistogramSnap) Merge(src HistogramSnap) error {
+	if h.Name != src.Name {
+		return fmt.Errorf("%w: histogram %q vs %q", ErrMerge, h.Name, src.Name)
+	}
+	if len(h.Bounds) != len(src.Bounds) || len(h.Buckets) != len(src.Buckets) {
+		return fmt.Errorf("%w: histogram %q bucket layout differs", ErrMerge, h.Name)
+	}
+	for i := range h.Bounds {
+		if math.Float64bits(h.Bounds[i]) != math.Float64bits(src.Bounds[i]) {
+			return fmt.Errorf("%w: histogram %q bound %d differs", ErrMerge, h.Name, i)
+		}
+	}
+	for i := range h.Buckets {
+		h.Buckets[i] += src.Buckets[i]
+	}
+	h.Count += src.Count
+	h.Sum += src.Sum
+	return nil
+}
+
+// Merge folds src into s position-wise: counters add, gauges add (a
+// merged gauge is a fleet subtotal; non-additive per-unit readings
+// belong in unit ledgers, not merged registries), histograms merge
+// bucket-wise. The snapshots must carry the same metrics in the same
+// declaration order; the System label of the receiver wins.
+//
+//safexplain:req REQ-DET REQ-XAI
+func (s *Snapshot) Merge(src Snapshot) error {
+	if len(s.Counters) != len(src.Counters) || len(s.Gauges) != len(src.Gauges) ||
+		len(s.Histograms) != len(src.Histograms) {
+		return fmt.Errorf("%w: metric counts differ (%d/%d/%d vs %d/%d/%d)", ErrMerge,
+			len(s.Counters), len(s.Gauges), len(s.Histograms),
+			len(src.Counters), len(src.Gauges), len(src.Histograms))
+	}
+	for i := range s.Counters {
+		if s.Counters[i].Name != src.Counters[i].Name {
+			return fmt.Errorf("%w: counter %d is %q vs %q", ErrMerge, i, s.Counters[i].Name, src.Counters[i].Name)
+		}
+		s.Counters[i].Value += src.Counters[i].Value
+	}
+	for i := range s.Gauges {
+		if s.Gauges[i].Name != src.Gauges[i].Name {
+			return fmt.Errorf("%w: gauge %d is %q vs %q", ErrMerge, i, s.Gauges[i].Name, src.Gauges[i].Name)
+		}
+		s.Gauges[i].Value += src.Gauges[i].Value
+	}
+	for i := range s.Histograms {
+		if err := s.Histograms[i].Merge(src.Histograms[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CloneMetrics returns a deep copy of the snapshot's metric sections
+// (flight/trace/downlink summaries are not copied — they describe one
+// unit and have no fleet meaning). Use it to seed a merge without
+// aliasing the source's bucket slices.
+//
+//safexplain:req REQ-DET
+func (s Snapshot) CloneMetrics() Snapshot {
+	out := Snapshot{System: s.System}
+	out.Counters = append([]CounterSnap(nil), s.Counters...)
+	out.Gauges = append([]GaugeSnap(nil), s.Gauges...)
+	out.Histograms = make([]HistogramSnap, len(s.Histograms))
+	for i, h := range s.Histograms {
+		out.Histograms[i] = HistogramSnap{
+			Name: h.Name, Help: h.Help,
+			Bounds:  append([]float64(nil), h.Bounds...),
+			Buckets: append([]uint64(nil), h.Buckets...),
+			Count:   h.Count, Sum: h.Sum,
+		}
+	}
+	return out
+}

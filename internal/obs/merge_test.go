@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+)
+
+// declareFleetRegistry builds one registry instance of a fixed shape —
+// N identical calls model N shards/units declaring the same metric set.
+func declareFleetRegistry() (*Registry, *Counter, *Gauge, *Histogram) {
+	r := NewRegistry("fleet")
+	c := r.Counter("frames_total", "frames")
+	g := r.Gauge("inflight", "in-flight chunks")
+	h := r.Histogram("frame_bytes", "frame size", 64, 128, 256)
+	return r, c, g, h
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	r1, c1, g1, h1 := declareFleetRegistry()
+	r2, c2, g2, h2 := declareFleetRegistry()
+	c1.Add(10)
+	c2.Add(32)
+	g1.Set(2)
+	g2.Set(3)
+	h1.Observe(100)
+	h1.Observe(300)
+	h2.Observe(50)
+
+	merged := r1.Snapshot().CloneMetrics()
+	if err := merged.Merge(r2.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if merged.Counters[0].Value != 42 {
+		t.Errorf("merged counter = %d, want 42", merged.Counters[0].Value)
+	}
+	if merged.Gauges[0].Value != 5 {
+		t.Errorf("merged gauge = %g, want 5 (fleet subtotal)", merged.Gauges[0].Value)
+	}
+	hm := merged.Histograms[0]
+	if hm.Count != 3 || hm.Sum != 450 {
+		t.Errorf("merged histogram count/sum = %d/%g, want 3/450", hm.Count, hm.Sum)
+	}
+	wantBuckets := []uint64{1, 1, 0, 1} // 50→le64, 100→le128, 300→+Inf
+	for i, w := range wantBuckets {
+		if hm.Buckets[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, hm.Buckets[i], w)
+		}
+	}
+}
+
+// TestSnapshotMergeOrderIndependent pins the property the fleet report
+// relies on: with integer-valued observations, merging A into B and B
+// into A yield identical snapshots.
+func TestSnapshotMergeOrderIndependent(t *testing.T) {
+	r1, c1, _, h1 := declareFleetRegistry()
+	r2, c2, _, h2 := declareFleetRegistry()
+	for i := 0; i < 100; i++ {
+		c1.Add(uint64(i))
+		h1.Observe(float64(i * 7 % 400))
+		c2.Add(uint64(2 * i))
+		h2.Observe(float64(i * 13 % 400))
+	}
+	ab := r1.Snapshot().CloneMetrics()
+	if err := ab.Merge(r2.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	ba := r2.Snapshot().CloneMetrics()
+	if err := ba.Merge(r1.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	ja, err := ab.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := ba.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The System label legitimately differs per receiver; both are "fleet"
+	// here, so the documents must be byte-identical.
+	if string(ja) != string(jb) {
+		t.Fatalf("merge is order-dependent:\nA+B:\n%s\nB+A:\n%s", ja, jb)
+	}
+}
+
+func TestSnapshotMergeIncompatible(t *testing.T) {
+	base, _, _, _ := declareFleetRegistry()
+
+	cases := []struct {
+		name  string
+		build func() *Registry
+	}{
+		{"missing metric", func() *Registry {
+			r := NewRegistry("fleet")
+			r.Counter("frames_total", "frames")
+			return r
+		}},
+		{"renamed counter", func() *Registry {
+			r := NewRegistry("fleet")
+			r.Counter("other_total", "frames")
+			r.Gauge("inflight", "in-flight chunks")
+			r.Histogram("frame_bytes", "frame size", 64, 128, 256)
+			return r
+		}},
+		{"different bounds", func() *Registry {
+			r := NewRegistry("fleet")
+			r.Counter("frames_total", "frames")
+			r.Gauge("inflight", "in-flight chunks")
+			r.Histogram("frame_bytes", "frame size", 64, 128, 512)
+			return r
+		}},
+		{"different bucket count", func() *Registry {
+			r := NewRegistry("fleet")
+			r.Counter("frames_total", "frames")
+			r.Gauge("inflight", "in-flight chunks")
+			r.Histogram("frame_bytes", "frame size", 64, 128)
+			return r
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dst := base.Snapshot().CloneMetrics()
+			err := dst.Merge(tc.build().Snapshot())
+			if !errors.Is(err, ErrMerge) {
+				t.Fatalf("err = %v, want ErrMerge", err)
+			}
+		})
+	}
+}
+
+// TestCloneMetricsNoAliasing: mutating a merge seeded by CloneMetrics
+// must not write through into the source snapshot's slices.
+func TestCloneMetricsNoAliasing(t *testing.T) {
+	r1, c1, _, h1 := declareFleetRegistry()
+	c1.Add(5)
+	h1.Observe(100)
+	src := r1.Snapshot()
+	dst := src.CloneMetrics()
+
+	r2, c2, _, h2 := declareFleetRegistry()
+	c2.Add(7)
+	h2.Observe(100)
+	if err := dst.Merge(r2.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if src.Counters[0].Value != 5 {
+		t.Errorf("source counter mutated to %d", src.Counters[0].Value)
+	}
+	if src.Histograms[0].Buckets[1] != 1 {
+		t.Errorf("source histogram bucket mutated to %d", src.Histograms[0].Buckets[1])
+	}
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The documented observability-off contract: a nil *Obs is the disabled
+// monitor, and every record-path guard costs exactly one branch. That
+// only holds if EVERY exported *Obs method tolerates a nil receiver —
+// one unguarded method turns "observability off" into a crash in the
+// operate path. The table pins the record-path methods with their
+// expected disabled-mode results; the reflection sweep then calls every
+// exported method with zero-value arguments so a future method cannot
+// ship without a guard.
+
+func TestObsNilReceiverRecordPath(t *testing.T) {
+	var o *Obs
+
+	// Record path: must all be no-ops.
+	o.Span(1, StageInfer, 0, 0)
+	o.TraceBegin(1)
+	if ref := o.TraceChild(StageInfer, 0, 0, NoSpan); ref != NoSpan {
+		t.Errorf("nil TraceChild = %v, want NoSpan", ref)
+	}
+	o.TraceSetCode(NoSpan, 3)
+	if ref := o.TraceRoot(); ref != NoSpan {
+		t.Errorf("nil TraceRoot = %v, want NoSpan", ref)
+	}
+	o.TraceEnd(1)
+	o.AttachDownlink(nil)
+
+	// Exceptional / export path: must return zero values.
+	if rec := o.AutoDump("fdir-quarantine", 1); rec != (DumpRecord{}) {
+		t.Errorf("nil AutoDump = %+v, want zero record", rec)
+	}
+	if d := o.Dumps(); d != nil {
+		t.Errorf("nil Dumps = %v, want nil", d)
+	}
+	if s := o.Snapshot(); s.System != "" || len(s.Counters) != 0 {
+		t.Errorf("nil Snapshot = %+v, want zero snapshot", s)
+	}
+	if desc := o.Describe(); desc != "observability disabled" {
+		t.Errorf("nil Describe = %q", desc)
+	}
+}
+
+// TestObsNilReceiverSweep calls every exported *Obs method on a nil
+// receiver with zero-value arguments. Any method added without a nil
+// guard fails here before it can crash a disabled-monitor deployment.
+func TestObsNilReceiverSweep(t *testing.T) {
+	typ := reflect.TypeOf((*Obs)(nil))
+	nilObs := reflect.ValueOf((*Obs)(nil))
+	for i := 0; i < typ.NumMethod(); i++ {
+		m := typ.Method(i)
+		t.Run(m.Name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("(*Obs)(nil).%s panicked: %v — every exported method must be nil-receiver-safe", m.Name, r)
+				}
+			}()
+			args := []reflect.Value{nilObs}
+			for p := 1; p < m.Type.NumIn(); p++ {
+				args = append(args, reflect.New(m.Type.In(p)).Elem())
+			}
+			m.Func.Call(args)
+		})
+	}
+}

@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Exposition conformance: LintExposition checks the structural
+// invariants of the Prometheus text format that scrape pipelines rely
+// on — one HELP and one TYPE line per family, valid metric names,
+// parseable sample values, and monotone cumulative histogram buckets
+// capped by a +Inf bucket that equals the family count. The exporter
+// tests and the fleet scrape endpoint both gate on a clean lint, so a
+// malformed exposition is caught in CI, not by a monitoring stack in
+// the field.
+
+// promIssue formats one conformance finding with its 1-based line.
+func promIssue(line int, format string, args ...interface{}) string {
+	return fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+// validMetricName reports whether name matches the Prometheus metric
+// name grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// sampleFamily maps a sample's metric name to its family: histogram
+// series drop the _bucket/_sum/_count suffix when their base family was
+// declared with TYPE histogram.
+func sampleFamily(name string, histFamilies map[string]bool) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) && histFamilies[strings.TrimSuffix(name, suf)] {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// splitSample splits a sample line into metric name, label text (without
+// braces, "" when absent) and value text. ok=false on lines that do not
+// scan as a sample at all.
+func splitSample(line string) (name, labels, value string, ok bool) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", "", false
+		}
+		name, labels, rest = rest[:i], rest[i+1:j], strings.TrimSpace(rest[j+1:])
+	} else {
+		k := strings.IndexByte(rest, ' ')
+		if k < 0 {
+			return "", "", "", false
+		}
+		name, rest = rest[:k], strings.TrimSpace(rest[k:])
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return "", "", "", false
+	}
+	return name, labels, fields[0], true
+}
+
+// labelValue extracts one label's value from label text, ok=false when
+// the label is absent.
+func labelValue(labels, key string) (string, bool) {
+	for _, part := range strings.Split(labels, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] != key {
+			continue
+		}
+		v, err := strconv.Unquote(kv[1])
+		if err != nil {
+			return "", false
+		}
+		return v, true
+	}
+	return "", false
+}
+
+// stripLabel removes one label from label text, preserving the order of
+// the rest — the grouping key for histogram bucket series.
+func stripLabel(labels, key string) string {
+	parts := strings.Split(labels, ",")
+	kept := parts[:0]
+	for _, part := range parts {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) == 2 && kv[0] == key {
+			continue
+		}
+		kept = append(kept, part)
+	}
+	return strings.Join(kept, ",")
+}
+
+// bucketSeries accumulates one histogram bucket series (family + fixed
+// labels) in exposition order.
+type bucketSeries struct {
+	family string
+	line   int
+	les    []float64
+	counts []float64
+	hasInf bool
+	infVal float64
+}
+
+// LintExposition checks text against the Prometheus exposition format
+// invariants and returns the issues found, in input order; an empty
+// slice is a clean bill. It is a pure function used as a test oracle for
+// every exposition this repo emits (unit exporter and fleet endpoint).
+//
+//safexplain:req REQ-XAI
+func LintExposition(text string) []string {
+	var issues []string
+	helpSeen := map[string]int{}
+	typeSeen := map[string]int{}
+	famType := map[string]string{}
+	histFamilies := map[string]bool{}
+	buckets := map[string]*bucketSeries{}
+	var bucketOrder []string
+	countVal := map[string]float64{}
+
+	lines := strings.Split(text, "\n")
+	for i, line := range lines {
+		ln := i + 1
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 {
+				issues = append(issues, promIssue(ln, "malformed comment %q", line))
+				continue
+			}
+			fam := fields[2]
+			if !validMetricName(fam) {
+				issues = append(issues, promIssue(ln, "invalid metric name %q", fam))
+			}
+			if fields[1] == "HELP" {
+				helpSeen[fam]++
+				if helpSeen[fam] > 1 {
+					issues = append(issues, promIssue(ln, "duplicate # HELP for %q", fam))
+				}
+				continue
+			}
+			typeSeen[fam]++
+			if typeSeen[fam] > 1 {
+				issues = append(issues, promIssue(ln, "duplicate # TYPE for %q", fam))
+			}
+			if len(fields) < 4 {
+				issues = append(issues, promIssue(ln, "# TYPE for %q names no type", fam))
+				continue
+			}
+			typ := fields[3]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				issues = append(issues, promIssue(ln, "unknown type %q for %q", typ, fam))
+			}
+			famType[fam] = typ
+			if typ == "histogram" {
+				histFamilies[fam] = true
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal and ignored
+		}
+
+		name, labels, value, ok := splitSample(line)
+		if !ok {
+			issues = append(issues, promIssue(ln, "unparseable sample %q", line))
+			continue
+		}
+		if !validMetricName(name) {
+			issues = append(issues, promIssue(ln, "invalid metric name %q", name))
+			continue
+		}
+		v, err := parsePromValue(value)
+		if err != nil {
+			issues = append(issues, promIssue(ln, "sample %q: bad value %q", name, value))
+			continue
+		}
+		fam := sampleFamily(name, histFamilies)
+		if typeSeen[fam] == 0 {
+			issues = append(issues, promIssue(ln, "sample %q has no preceding # TYPE", name))
+		}
+		if helpSeen[fam] == 0 {
+			issues = append(issues, promIssue(ln, "sample %q has no preceding # HELP", name))
+		}
+		if famType[fam] == "counter" && v < 0 {
+			issues = append(issues, promIssue(ln, "counter %q is negative (%g)", name, v))
+		}
+
+		if histFamilies[fam] && strings.HasSuffix(name, "_bucket") {
+			le, hasLE := labelValue(labels, "le")
+			if !hasLE {
+				issues = append(issues, promIssue(ln, "bucket %q has no le label", name))
+				continue
+			}
+			key := fam + "{" + stripLabel(labels, "le") + "}"
+			bs := buckets[key]
+			if bs == nil {
+				bs = &bucketSeries{family: fam, line: ln}
+				buckets[key] = bs
+				bucketOrder = append(bucketOrder, key)
+			}
+			if le == "+Inf" {
+				bs.hasInf = true
+				bs.infVal = v
+				bs.counts = append(bs.counts, v)
+				bs.les = append(bs.les, math.Inf(1))
+				continue
+			}
+			lv, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				issues = append(issues, promIssue(ln, "bucket %q: bad le %q", name, le))
+				continue
+			}
+			bs.les = append(bs.les, lv)
+			bs.counts = append(bs.counts, v)
+		}
+		if histFamilies[fam] && strings.HasSuffix(name, "_count") {
+			countVal[fam+"{"+labels+"}"] = v
+		}
+	}
+
+	for _, key := range bucketOrder {
+		bs := buckets[key]
+		for i := 1; i < len(bs.les); i++ {
+			if bs.les[i] <= bs.les[i-1] {
+				issues = append(issues, promIssue(bs.line, "histogram %s: le bounds not increasing (%g after %g)",
+					key, bs.les[i], bs.les[i-1]))
+			}
+			if bs.counts[i] < bs.counts[i-1] {
+				issues = append(issues, promIssue(bs.line, "histogram %s: cumulative bucket counts decrease (%g after %g)",
+					key, bs.counts[i], bs.counts[i-1]))
+			}
+		}
+		if !bs.hasInf {
+			issues = append(issues, promIssue(bs.line, "histogram %s: no +Inf bucket", key))
+			continue
+		}
+		if cv, ok := countVal[key]; ok && math.Float64bits(cv) != math.Float64bits(bs.infVal) {
+			issues = append(issues, promIssue(bs.line, "histogram %s: +Inf bucket %g != _count %g",
+				key, bs.infVal, cv))
+		}
+	}
+	return issues
+}
+
+// parsePromValue parses a sample value, accepting the exposition
+// spellings of the infinities and NaN.
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExporterExpositionConformance gates the unit exporter on the
+// Prometheus text-format invariants: a populated Obs bundle's
+// exposition must lint clean.
+func TestExporterExpositionConformance(t *testing.T) {
+	o := New(Config{Name: "unit", FrameBudget: 1000})
+	for f := 0; f < 20; f++ {
+		o.Frames.Inc()
+		o.Delivered.Inc()
+		o.FrameCycles.Observe(float64(700 + 40*f))
+		o.TrustScore.Observe(0.5 + float64(f)/40)
+	}
+	o.Fallbacks.Add(3)
+	o.Health.Set(2)
+	text := o.Snapshot().Prometheus()
+	if issues := LintExposition(text); len(issues) != 0 {
+		t.Fatalf("exporter exposition fails conformance:\n%s", strings.Join(issues, "\n"))
+	}
+	// An empty registry must also be clean (no families at all).
+	if issues := LintExposition(NewRegistry("empty").Snapshot().Prometheus()); len(issues) != 0 {
+		t.Fatalf("empty exposition fails conformance: %s", issues)
+	}
+}
+
+// TestLintExpositionFindings seeds one violation per rule and asserts
+// the linter flags it — the linter itself is test-oracle code and must
+// not rot into accepting garbage.
+func TestLintExpositionFindings(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string // substring of the expected issue
+	}{
+		{"duplicate help",
+			"# HELP m a\n# TYPE m counter\n# HELP m b\nm 1\n",
+			"duplicate # HELP"},
+		{"duplicate type",
+			"# HELP m a\n# TYPE m counter\n# TYPE m counter\nm 1\n",
+			"duplicate # TYPE"},
+		{"unknown type",
+			"# HELP m a\n# TYPE m widget\nm 1\n",
+			"unknown type"},
+		{"invalid family name",
+			"# HELP 9bad a\n# TYPE 9bad counter\n",
+			"invalid metric name"},
+		{"invalid sample name",
+			"# HELP m a\n# TYPE m counter\n0bad{x=\"1\"} 2\n",
+			"invalid metric name"},
+		{"sample without type",
+			"m 1\n",
+			"no preceding # TYPE"},
+		{"sample without help",
+			"# TYPE m counter\nm 1\n",
+			"no preceding # HELP"},
+		{"negative counter",
+			"# HELP m a\n# TYPE m counter\nm -4\n",
+			"negative"},
+		{"bad value",
+			"# HELP m a\n# TYPE m gauge\nm fast\n",
+			"bad value"},
+		{"non-monotone le",
+			"# HELP h a\n# TYPE h histogram\n" +
+				"h_bucket{le=\"5\"} 1\nh_bucket{le=\"2\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n",
+			"le bounds not increasing"},
+		{"decreasing cumulative counts",
+			"# HELP h a\n# TYPE h histogram\n" +
+				"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 3\nh_count 5\n",
+			"counts decrease"},
+		{"missing +Inf bucket",
+			"# HELP h a\n# TYPE h histogram\n" +
+				"h_bucket{le=\"1\"} 1\nh_bucket{le=\"2\"} 2\nh_sum 3\nh_count 2\n",
+			"no +Inf bucket"},
+		{"+Inf disagrees with count",
+			"# HELP h a\n# TYPE h histogram\n" +
+				"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 7\n",
+			"!= _count"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			issues := LintExposition(tc.text)
+			for _, is := range issues {
+				if strings.Contains(is, tc.want) {
+					return
+				}
+			}
+			t.Fatalf("linter missed %q; issues: %v", tc.want, issues)
+		})
+	}
+}
+
+// TestLintExpositionClean pins a handful of legal expositions the linter
+// must accept, including untyped comments, NaN/Inf values and labeled
+// histogram series.
+func TestLintExpositionClean(t *testing.T) {
+	texts := []string{
+		"",
+		"# just a comment\n",
+		"# HELP g a gauge\n# TYPE g gauge\ng NaN\n",
+		"# HELP g a gauge\n# TYPE g gauge\ng{system=\"a\"} -Inf\ng{system=\"b\"} +Inf\n",
+		"# HELP h a\n# TYPE h histogram\n" +
+			"h_bucket{u=\"1\",le=\"1\"} 1\nh_bucket{u=\"1\",le=\"+Inf\"} 2\nh_sum{u=\"1\"} 3\nh_count{u=\"1\"} 2\n" +
+			"h_bucket{u=\"2\",le=\"1\"} 0\nh_bucket{u=\"2\",le=\"+Inf\"} 1\nh_sum{u=\"2\"} 9\nh_count{u=\"2\"} 1\n",
+	}
+	for _, text := range texts {
+		if issues := LintExposition(text); len(issues) != 0 {
+			t.Errorf("clean exposition flagged: %v\ninput:\n%s", issues, text)
+		}
+	}
+}

@@ -45,6 +45,7 @@ const (
 	KindDeployment   Kind = "deployment"
 	KindOperation    Kind = "operation"
 	KindIncident     Kind = "incident"
+	KindFleet        Kind = "fleet" // ground-segment aggregation evidence
 )
 
 // Event is one evidence record.
