@@ -8,7 +8,8 @@ FUZZ_TARGETS = \
 	FuzzImport=./internal/trace \
 	FuzzHealthTransitions=./internal/fdir \
 	FuzzDownlinkDecode=./internal/obs \
-	FuzzFleetIngest=./internal/fleet
+	FuzzFleetIngest=./internal/fleet \
+	FuzzTierDecode=./internal/fleetnet
 FUZZTIME ?= 30s
 
 .PHONY: all build vet test race bench bench-json bench-diff lint safelint staticcheck experiments examples fuzz cover clean
@@ -37,11 +38,13 @@ bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_$(shell date +%Y-%m-%d).json
 
 # Compare a fresh bench-json pass against the committed baseline.
-# Report-only by default; set BENCH_DIFF_FLAGS=-fail to gate on it. The
-# fresh pass goes to BENCH_current.json (not the dated name) so it can
-# never clobber the committed baseline.
+# Gating by default: a >40% ns/B/allocs regression on any benchmark
+# fails the target (new benchmarks are never regressions; set
+# BENCH_DIFF_FLAGS= for report-only). The fresh pass goes to
+# BENCH_current.json (not the dated name) so it can never clobber the
+# committed baseline.
 BENCH_BASELINE ?= BENCH_2026-08-06.json
-BENCH_DIFF_FLAGS ?=
+BENCH_DIFF_FLAGS ?= -fail -threshold 40
 bench-diff:
 	$(GO) run ./cmd/benchjson -out BENCH_current.json
 	$(GO) run ./cmd/benchjson -diff $(BENCH_DIFF_FLAGS) \

@@ -1,4 +1,4 @@
-// Benchmark harness: one benchmark per table (T1–T16) and figure (F1–F3)
+// Benchmark harness: one benchmark per table (T1–T17) and figure (F1–F3)
 // of EXPERIMENTS.md. Each benchmark regenerates its experiment — printing
 // the full table via -v logs — and times a regeneration pass, so
 //
@@ -154,4 +154,12 @@ func BenchmarkT15Blackbox(b *testing.B) {
 // and common-mode detection latency versus the best single unit.
 func BenchmarkT16Fleet(b *testing.B) {
 	benchExperiment(b, "T16", "ingest_fps_8u_4s", "fleet_detect_latency_8u", "best_unit_latency_8u")
+}
+
+// BenchmarkT17FleetLinks regenerates Table T17: the hierarchical fleet
+// uplink under injected link faults — tier-tree convergence vs the flat
+// baseline across loss, partition and reorder, timing the full sweep
+// including every reconnect/resume cycle.
+func BenchmarkT17FleetLinks(b *testing.B) {
+	benchExperiment(b, "T17", "fps_2r_clean", "resumes_2r_loss", "fleet_detect_latency")
 }

@@ -1,11 +1,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"safexplain"
 	"safexplain/internal/fdir"
@@ -40,8 +45,25 @@ func cmdFleet(args []string, out io.Writer) error {
 	format := fs.String("format", "table", "report format: table|json|prom")
 	outPath := fs.String("out", "", "also write the canonical JSON fleet report to this file")
 	listen := fs.String("listen", "", "serve /metrics and /report on this address (e.g. :9464) until interrupted")
+	tier := fs.String("tier", "", "run one tier of the aggregation tree: unit|region|global (empty = single-process simulation)")
+	id := fs.Uint("id", 1, "tier mode: this node's id on its parent link")
+	parent := fs.String("parent", "", "tier mode: parent tier-link address to uplink to (unit and region tiers)")
+	link := fs.String("link", "", "tier mode: tier-link listen address for child sessions (region and global tiers)")
+	fault := fs.Bool("fault", false, "tier mode, unit tier: carry the common-mode sensor fault")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *tier != "" {
+		return cmdFleetTier(tierOptions{
+			tier: *tier, id: uint32(*id), parent: *parent, link: *link,
+			listen: *listen, format: *format, fault: *fault,
+			caseName: *caseName, pattern: *pattern, seed: *seed,
+			shards: *shards, window: *window, quorum: *quorum,
+			sim: fleetSimConfig{
+				units: *units, faulty: *faulty, frames: *frames, inject: *inject,
+				duration: *duration, intensity: *intensity, budget: *budget, seed: *seed,
+			},
+		}, out)
 	}
 	if *format != "table" && *format != "json" && *format != "prom" {
 		return fmt.Errorf("unknown format %q (table|json|prom)", *format)
@@ -129,10 +151,40 @@ func cmdFleet(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "wrote canonical fleet report to %s\n", *outPath)
 	}
 	if *listen != "" {
+		// Serve until SIGINT/SIGTERM, then shut the listener down
+		// gracefully — in-flight scrapes finish, the socket closes, and
+		// the command exits cleanly instead of dying mid-response.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
 		fmt.Fprintf(out, "serving fleet scrape endpoint on %s (/metrics, /report); interrupt to stop\n", *listen)
-		return http.ListenAndServe(*listen, newFleetHandler(agg))
+		return serveHTTP(ctx, *listen, newFleetHandler(agg))
 	}
 	return nil
+}
+
+// fleetServeReady observes the bound address of a -listen socket — a
+// test hook so CLI tests can listen on :0 and discover the port.
+var fleetServeReady = func(net.Addr) {}
+
+// serveHTTP serves handler on addr until ctx is cancelled, then drains
+// in-flight requests with http.Server.Shutdown (bounded at 5s).
+func serveHTTP(ctx context.Context, addr string, handler http.Handler) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fleetServeReady(ln.Addr())
+	srv := &http.Server{Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(sctx)
+	case err := <-errc:
+		return err
+	}
 }
 
 // fleetSimConfig shapes the N-unit simulation.
@@ -150,10 +202,27 @@ func simulateFleet(sys *safexplain.System, cfg fleetSimConfig) ([][][]byte, erro
 	if cfg.inject < 0 || cfg.inject+3*cfg.faulty >= cfg.frames {
 		return nil, fmt.Errorf("inject frame %d (+3 per faulty unit) outside run of %d frames", cfg.inject, cfg.frames)
 	}
+	chunks := make([][][]byte, cfg.units)
+	for u := 0; u < cfg.units; u++ {
+		var err error
+		if chunks[u], err = simulateUnit(sys, cfg, u, u < cfg.faulty); err != nil {
+			return nil, err
+		}
+	}
+	return chunks, nil
+}
+
+// simulateUnit runs one unit's FDIR campaign cell against the deployed
+// model and returns its captured downlink split into whole-frame chunks
+// — the granularity both the in-process aggregator and the tier uplink
+// ingest at. Unit u's stream depends only on (sys, cfg, u, faulty), so a
+// distributed tier run reproduces exactly the streams the single-process
+// simulation would have fed the aggregator.
+func simulateUnit(sys *safexplain.System, cfg fleetSimConfig, u int, faulty bool) ([][]byte, error) {
 	// The deployed system's own conservative channel doubles as the
 	// degraded-mode fallback for every simulated unit.
 	fallback := sys.FDIR.Fallback
-	base := fdir.CampaignConfig{
+	unitCfg := fdir.CampaignConfig{
 		Stream:   sys.TestSet(),
 		Frames:   cfg.frames,
 		InjectAt: cfg.inject,
@@ -175,29 +244,26 @@ func simulateFleet(sys *safexplain.System, cfg fleetSimConfig) ([][][]byte, erro
 				Net: live, Mon: sys.Monitor, Fallback: fallback}
 		},
 	}
-
-	chunks := make([][][]byte, cfg.units)
-	for u := 0; u < cfg.units; u++ {
-		unitCfg := base
-		fault := fdir.FaultSpec{Name: "clean", Kind: fdir.FaultSensor, Intensity: 0, Duration: 1}
-		if u < cfg.faulty {
-			unitCfg.InjectAt = cfg.inject + u*3
-			fault = fdir.FaultSpec{Name: "sensor", Kind: fdir.FaultSensor,
-				Intensity: cfg.intensity, Duration: cfg.duration}
+	fault := fdir.FaultSpec{Name: "clean", Kind: fdir.FaultSensor, Intensity: 0, Duration: 1}
+	if faulty {
+		unitCfg.InjectAt = cfg.inject + u*3
+		if unitCfg.InjectAt >= cfg.frames {
+			return nil, fmt.Errorf("inject frame %d outside run of %d frames", unitCfg.InjectAt, cfg.frames)
 		}
-		var link *obs.Downlink
-		unitCfg.NewObs = func(fn, pn string) *obs.Obs {
-			o := obs.New(obs.Config{Name: fmt.Sprintf("unit-%d", u)})
-			link = obs.NewDownlink(obs.DownlinkConfig{BytesPerFrame: cfg.budget})
-			o.AttachDownlink(link)
-			return o
-		}
-		if _, err := fdir.RunUnitCell(unitCfg, pattern, fault, u); err != nil {
-			return nil, err
-		}
-		chunks[u] = fleet.SplitFrames(link.Capture())
+		fault = fdir.FaultSpec{Name: "sensor", Kind: fdir.FaultSensor,
+			Intensity: cfg.intensity, Duration: cfg.duration}
 	}
-	return chunks, nil
+	var link *obs.Downlink
+	unitCfg.NewObs = func(fn, pn string) *obs.Obs {
+		o := obs.New(obs.Config{Name: fmt.Sprintf("unit-%d", u)})
+		link = obs.NewDownlink(obs.DownlinkConfig{BytesPerFrame: cfg.budget})
+		o.AttachDownlink(link)
+		return o
+	}
+	if _, err := fdir.RunUnitCell(unitCfg, pattern, fault, u); err != nil {
+		return nil, err
+	}
+	return fleet.SplitFrames(link.Capture()), nil
 }
 
 // newFleetHandler serves the live fleet state: /metrics in Prometheus

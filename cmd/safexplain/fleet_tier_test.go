@@ -1,0 +1,292 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"safexplain/internal/fleet"
+	"safexplain/internal/fleetnet"
+	"safexplain/internal/obs"
+)
+
+// waitAddr receives one bound address from a test hook channel.
+func waitAddr(t *testing.T, ch chan net.Addr) net.Addr {
+	t.Helper()
+	select {
+	case a := <-ch:
+		return a
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never reported its bound address")
+		return nil
+	}
+}
+
+func httpGet(t *testing.T, url string) (int, http.Header, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header, string(body)
+}
+
+// TestFleetListenShutdown is the regression test for the -listen
+// lifecycle: SIGINT must shut the HTTP server down gracefully and return
+// nil from run, not kill the process mid-serve.
+func TestFleetListenShutdown(t *testing.T) {
+	ready := make(chan net.Addr, 1)
+	old := fleetServeReady
+	fleetServeReady = func(a net.Addr) { ready <- a }
+	defer func() { fleetServeReady = old }()
+
+	done := make(chan error, 1)
+	var out bytes.Buffer
+	args := append(append([]string{}, fleetArgs...), "-listen", "127.0.0.1:0")
+	go func() { done <- run(args, &out) }()
+	addr := waitAddr(t, ready)
+
+	code, _, body := httpGet(t, "http://"+addr.String()+"/report")
+	if code != http.StatusOK {
+		t.Fatalf("/report status %d", code)
+	}
+	var rep fleet.Report
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/report not valid JSON: %v", err)
+	}
+	if rep.Units != 3 {
+		t.Fatalf("served report has %d units, want 3", rep.Units)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatalf("self-signal: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run after SIGINT: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("fleet -listen did not shut down on SIGINT")
+	}
+}
+
+// TestFleetReportEmptyState is the regression test for /report before
+// any frame arrives: the canonical empty report must be complete and
+// valid — "reports": [], not null, and every top-level field present.
+func TestFleetReportEmptyState(t *testing.T) {
+	agg := fleet.New(fleet.Config{Shards: 2})
+	srv := httptest.NewServer(newFleetHandler(agg))
+	defer srv.Close()
+	code, _, body := httpGet(t, srv.URL+"/report")
+	if code != http.StatusOK {
+		t.Fatalf("/report status %d", code)
+	}
+	if !strings.Contains(body, "\"reports\": []") {
+		t.Fatalf("empty report serves null instead of []:\n%s", body)
+	}
+	var rep struct {
+		Units   *int               `json:"units"`
+		Reports []fleet.UnitReport `json:"reports"`
+		Metrics *obs.Snapshot      `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("empty report not valid JSON: %v\n%s", err, body)
+	}
+	if rep.Units == nil || *rep.Units != 0 || rep.Reports == nil || rep.Metrics == nil {
+		t.Fatalf("empty report incomplete: %s", body)
+	}
+
+	// The tier handler inherits the same guarantee, plus the
+	// degradation header, before any child has connected.
+	node := fleetnet.NewNode(fleetnet.NodeConfig{ID: 1, Tier: fleetnet.TierGlobal})
+	defer node.Close(context.Background())
+	tsrv := httptest.NewServer(newTierHandler(node))
+	defer tsrv.Close()
+	code, hdr, body := httpGet(t, tsrv.URL+"/report")
+	if code != http.StatusOK || !strings.Contains(body, "\"reports\": []") {
+		t.Fatalf("tier /report before ingest: status %d\n%s", code, body)
+	}
+	if got := hdr.Get("X-Safexplain-Degraded"); got != "false" {
+		t.Fatalf("degraded header = %q before any child, want false", got)
+	}
+	code, _, body = httpGet(t, tsrv.URL+"/links")
+	if code != http.StatusOK {
+		t.Fatalf("/links status %d", code)
+	}
+	var cov fleetnet.Coverage
+	if err := json.Unmarshal([]byte(body), &cov); err != nil {
+		t.Fatalf("/links not valid JSON: %v\n%s", err, body)
+	}
+	if cov.Children != 0 || cov.Degraded {
+		t.Fatalf("fresh node coverage = %+v", cov)
+	}
+}
+
+func TestFleetTierBadArguments(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"fleet", "-tier", "orbital"},
+		{"fleet", "-tier", "unit"},                      // no -parent
+		{"fleet", "-tier", "region", "-link", ":0"},     // no -parent/-listen
+		{"fleet", "-tier", "global", "-listen", ":0"},   // no -link
+		{"fleet", "-tier", "global", "-format", "prom"}, // tier reports are table|json
+		{"fleet", "-tier", "unit", "-parent", "x", "-case", "maritime"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}
+
+// TestFleetTierTree drives the full distributed shape through the CLI:
+// a global root and a region as long-running servers, two faulty units
+// uplinking through the region, the global /report byte-identical to a
+// flat in-process aggregation of the same simulated streams, and a
+// graceful SIGINT shutdown of both servers.
+func TestFleetTierTree(t *testing.T) {
+	linkCh := make(chan net.Addr, 4)
+	serveCh := make(chan net.Addr, 4)
+	oldLink, oldServe := fleetLinkReady, fleetServeReady
+	fleetLinkReady = func(a net.Addr) { linkCh <- a }
+	fleetServeReady = func(a net.Addr) { serveCh <- a }
+	defer func() { fleetLinkReady, fleetServeReady = oldLink, oldServe }()
+
+	globalDone := make(chan error, 1)
+	var globalOut bytes.Buffer
+	go func() {
+		globalDone <- run([]string{"fleet", "-tier", "global", "-id", "100",
+			"-link", "127.0.0.1:0", "-listen", "127.0.0.1:0",
+			"-shards", "2", "-quorum", "2"}, &globalOut)
+	}()
+	globalLink := waitAddr(t, linkCh)
+	globalHTTP := waitAddr(t, serveCh)
+
+	regionDone := make(chan error, 1)
+	var regionOut bytes.Buffer
+	go func() {
+		regionDone <- run([]string{"fleet", "-tier", "region", "-id", "10",
+			"-parent", globalLink.String(), "-link", "127.0.0.1:0",
+			"-listen", "127.0.0.1:0", "-shards", "2", "-quorum", "2"}, &regionOut)
+	}()
+	regionLink := waitAddr(t, linkCh)
+	waitAddr(t, serveCh) // region scrape endpoint, not used here
+
+	// Two units, both carrying the staggered common-mode fault, uplink
+	// through the region. Each run exits only after its frames are
+	// acknowledged — zero loss by construction.
+	for _, id := range []string{"1", "2"} {
+		var uout bytes.Buffer
+		args := []string{"fleet", "-tier", "unit", "-id", id,
+			"-parent", regionLink.String(), "-case", "railway", "-seed", "42",
+			"-frames", "60", "-inject", "25", "-duration", "15", "-fault"}
+		if err := run(args, &uout); err != nil {
+			t.Fatalf("unit %s: %v\n%s", id, err, uout.String())
+		}
+		if !strings.Contains(uout.String(), "0 drops") ||
+			!strings.Contains(uout.String(), "evidence chain valid: true") {
+			t.Fatalf("unit %s output:\n%s", id, uout.String())
+		}
+	}
+
+	// The flat reference: the same two simulated streams into one local
+	// aggregator sized like the global tier.
+	sys, err := build("railway", "simplex", 42)
+	if err != nil {
+		t.Fatalf("build baseline system: %v", err)
+	}
+	simCfg := fleetSimConfig{frames: 60, inject: 25, duration: 15,
+		intensity: 200, budget: 320, seed: 42}
+	agg := fleet.New(fleet.Config{Shards: 2, Window: 16, MinUnits: 2})
+	for _, u := range []int{1, 2} {
+		chunks, err := simulateUnit(sys, simCfg, u, true)
+		if err != nil {
+			t.Fatalf("baseline unit %d: %v", u, err)
+		}
+		for _, c := range chunks {
+			agg.Ingest(fleet.UnitID(u), c)
+		}
+	}
+	rep, err := agg.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rep.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The region relays asynchronously; poll the global until it has
+	// converged on exactly the flat baseline.
+	reportURL := "http://" + globalHTTP.String() + "/report"
+	var got string
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, hdr, body := httpGet(t, reportURL)
+		got = body
+		if got == string(want) {
+			if d := hdr.Get("X-Safexplain-Degraded"); d != "false" {
+				t.Fatalf("degraded=%s with the region connected", d)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("global report never converged to the flat baseline:\n%s\n-- want --\n%s", got, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Link detail: one region child, nothing lost, session intact.
+	code, _, body := httpGet(t, "http://"+globalHTTP.String()+"/links")
+	if code != http.StatusOK {
+		t.Fatalf("/links status %d", code)
+	}
+	var cov fleetnet.Coverage
+	if err := json.Unmarshal([]byte(body), &cov); err != nil {
+		t.Fatalf("/links: %v\n%s", err, body)
+	}
+	if cov.Children != 1 || cov.Links[0].Node != 10 || cov.Links[0].Tier != "region" ||
+		cov.Links[0].Lost != 0 || !cov.Links[0].Connected {
+		t.Fatalf("global coverage = %+v", cov)
+	}
+
+	// The merged exposition (fleet + link layer) must stay conformant.
+	_, _, metrics := httpGet(t, "http://"+globalHTTP.String()+"/metrics")
+	if issues := obs.LintExposition(metrics); len(issues) != 0 {
+		t.Errorf("tier /metrics exposition fails conformance: %v", issues)
+	}
+	if !strings.Contains(metrics, "safexplain_link_frames_applied_total") {
+		t.Error("tier /metrics missing link-layer families")
+	}
+
+	// Graceful shutdown of both servers on one SIGINT.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatalf("self-signal: %v", err)
+	}
+	for name, ch := range map[string]chan error{"global": globalDone, "region": regionDone} {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatalf("%s tier exit: %v", name, err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("%s tier did not shut down on SIGINT", name)
+		}
+	}
+	if !strings.Contains(globalOut.String(), "links:") {
+		t.Errorf("global shutdown summary missing link line:\n%s", globalOut.String())
+	}
+	if !strings.Contains(regionOut.String(), "uplink:") {
+		t.Errorf("region shutdown summary missing uplink line:\n%s", regionOut.String())
+	}
+}

@@ -17,7 +17,10 @@
 //	fleet      simulate an N-unit fleet with a common-mode fault, ingest
 //	           every unit's downlink through the sharded ground segment,
 //	           and report merged metrics plus cross-unit alerts (optionally
-//	           serving a live Prometheus scrape endpoint)
+//	           serving a live Prometheus scrape endpoint); with -tier
+//	           unit|region|global one binary plays any node of a
+//	           multi-process aggregation tree over fault-tolerant tier
+//	           links (store-and-forward resume, backoff, degradation)
 //
 // Everything is deterministic given -seed; no files are read or written
 // unless a subcommand is given an output path.

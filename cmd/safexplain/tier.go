@@ -1,0 +1,228 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"safexplain/internal/fleet"
+	"safexplain/internal/fleetnet"
+	"safexplain/internal/trace"
+)
+
+// Tier mode: `safexplain fleet -tier unit|region|global` runs one node
+// of the unit → region → global aggregation tree, so one binary plays
+// any tier. Units simulate their own operation and uplink the captured
+// downlink frames; regions and the global root accept child tier links,
+// aggregate the subtree, and (regions) relay everything upward. All
+// tiers survive link faults: store-and-forward uplinks resume after
+// drops, and a tier missing children keeps publishing a degraded-flagged
+// report (see internal/fleetnet).
+
+// tierOptions carries the fleet flags a tier node needs.
+type tierOptions struct {
+	tier     string
+	id       uint32
+	parent   string // parent tier-link address (unit, region)
+	link     string // child tier-link listen address (region, global)
+	listen   string // HTTP scrape address (region, global)
+	format   string
+	fault    bool
+	caseName string
+	pattern  string
+	seed     uint64
+	shards   int
+	window   int
+	quorum   int
+	sim      fleetSimConfig
+}
+
+// fleetLinkReady observes the bound address of a -link :0 socket — a
+// test hook mirroring fleetServeReady.
+var fleetLinkReady = func(net.Addr) {}
+
+func cmdFleetTier(opt tierOptions, out io.Writer) error {
+	tier, err := fleetnet.ParseTier(opt.tier)
+	if err != nil {
+		return err
+	}
+	if opt.format != "table" && opt.format != "json" {
+		return fmt.Errorf("unknown tier report format %q (table|json)", opt.format)
+	}
+	if opt.quorum <= 0 {
+		opt.quorum = opt.sim.faulty
+	}
+	cfg := fleetnet.NodeConfig{
+		ID:   opt.id,
+		Tier: tier,
+		Fleet: fleet.Config{
+			Shards: opt.shards, Window: opt.window, MinUnits: opt.quorum,
+		},
+	}
+	if opt.parent != "" {
+		addr := opt.parent
+		cfg.Dial = func() (net.Conn, error) { return net.DialTimeout("tcp", addr, 2*time.Second) }
+	}
+	switch tier {
+	case fleetnet.TierUnit:
+		if opt.parent == "" {
+			return fmt.Errorf("unit tier needs -parent")
+		}
+		return runUnitTier(cfg, opt, out)
+	case fleetnet.TierRegion:
+		if opt.parent == "" || opt.link == "" || opt.listen == "" {
+			return fmt.Errorf("region tier needs -parent, -link and -listen")
+		}
+	case fleetnet.TierGlobal:
+		if opt.link == "" || opt.listen == "" {
+			return fmt.Errorf("global tier needs -link and -listen")
+		}
+	}
+	return runServerTier(cfg, opt, out)
+}
+
+// runUnitTier simulates one unit's operation, uplinks every captured
+// downlink frame to the parent tier through the store-and-forward link,
+// and exits once the parent has acknowledged everything (or on
+// interrupt, reporting what was abandoned).
+func runUnitTier(cfg fleetnet.NodeConfig, opt tierOptions, out io.Writer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	sys, err := build(opt.caseName, opt.pattern, opt.seed)
+	if err != nil {
+		return err
+	}
+	chunks, err := simulateUnit(sys, opt.sim, int(opt.id), opt.fault)
+	if err != nil {
+		return err
+	}
+	node := fleetnet.NewNode(cfg)
+	unit := fleet.UnitID(opt.id)
+	for _, c := range chunks {
+		node.Submit(unit, c)
+	}
+	fmt.Fprintf(out, "unit %d: %d frames buffered for uplink to %s\n", opt.id, len(chunks), opt.parent)
+	drainErr := node.Drain(ctx)
+	st, _ := node.UplinkStatus()
+	closeCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	node.Close(closeCtx)
+
+	// Chain the uplink evidence: what left the unit, over how many
+	// sessions, under which link journal.
+	sys.Log.Append(trace.KindFleet, "fleet:uplink",
+		fmt.Sprintf("unit %d uplinked %d frames acked/%d sent over %d sessions (%d resumes, %d drops), link journal sha256 %.12s…",
+			opt.id, st.Acked, st.Sent, st.Sessions, st.Resumes, st.Drops, node.Journal().Hash()))
+	fmt.Fprintf(out, "uplink: %d/%d frames acknowledged, %d sessions, %d resumes, %d dial failures, %d drops\n",
+		st.Acked, st.Sent, st.Sessions, st.Resumes, st.DialFails, st.Drops)
+	fmt.Fprintf(out, "evidence chain valid: %v\n", sys.Log.Verify() == nil)
+	if drainErr != nil {
+		return fmt.Errorf("interrupted with %d frames unacknowledged: %w", st.Sent-st.Acked, drainErr)
+	}
+	return nil
+}
+
+// runServerTier runs a region or global node: accept child tier links,
+// serve the live subtree report over HTTP, and on SIGINT/SIGTERM shut
+// down gracefully — HTTP drained, child links closed, and (regions) the
+// uplink drained so everything accepted was relayed.
+func runServerTier(cfg fleetnet.NodeConfig, opt tierOptions, out io.Writer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	node := fleetnet.NewNode(cfg)
+	ln, err := net.Listen("tcp", opt.link)
+	if err != nil {
+		return err
+	}
+	fleetLinkReady(ln.Addr())
+	node.Serve(ln)
+	fmt.Fprintf(out, "%s tier %d: child links on %s, scrape endpoint on %s (/metrics, /report, /links); interrupt to stop\n",
+		cfg.Tier, opt.id, ln.Addr(), opt.listen)
+	if err := serveHTTP(ctx, opt.listen, newTierHandler(node)); err != nil {
+		closeCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		node.Close(closeCtx)
+		return err
+	}
+
+	// Graceful drain: children are disconnected (they buffer and resume
+	// against our successor), then the region's own backlog is relayed.
+	drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	drainErr := node.Close(drainCtx)
+
+	rep, err := node.Fleet().Report()
+	if err != nil {
+		return err
+	}
+	if opt.format == "json" {
+		blob, err := rep.CanonicalJSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s\n", blob)
+	} else {
+		fmt.Fprint(out, rep.Table())
+	}
+	cov := node.Coverage()
+	fmt.Fprintf(out, "links: %d/%d live at shutdown, degraded=%v; journal %d events, sha256 %.12s…\n",
+		cov.Live, cov.Children, cov.Degraded, node.Journal().Len(), node.Journal().Hash())
+	if up, ok := node.UplinkStatus(); ok {
+		fmt.Fprintf(out, "uplink: %d/%d frames acknowledged, %d sessions, %d resumes, %d drops\n",
+			up.Acked, up.Sent, up.Sessions, up.Resumes, up.Drops)
+		if drainErr != nil {
+			fmt.Fprintf(out, "warning: shut down with %d frames unrelayed (parent unreachable)\n", up.Sent-up.Acked)
+		}
+	}
+	return nil
+}
+
+// newTierHandler serves a tier node's live state: /metrics merges the
+// subtree fleet exposition with the node's link-layer metrics, /report
+// is the canonical subtree JSON (with a degradation header), /links the
+// per-child coverage and staleness detail.
+func newTierHandler(n *fleetnet.Node) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		rep, err := n.Fleet().Report()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, rep.Prometheus())
+		fmt.Fprint(w, n.Registry().Snapshot().Prometheus())
+	})
+	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
+		rep, err := n.Fleet().Report()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		blob, err := rep.CanonicalJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Safexplain-Degraded", fmt.Sprintf("%v", n.Coverage().Degraded))
+		w.Write(blob)
+	})
+	mux.HandleFunc("/links", func(w http.ResponseWriter, r *http.Request) {
+		blob, err := json.MarshalIndent(n.Coverage(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(blob)
+	})
+	return mux
+}

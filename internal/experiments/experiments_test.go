@@ -6,7 +6,7 @@ import (
 )
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"F1", "F2", "F3", "T1", "T10", "T11", "T12", "T13", "T14", "T15", "T16", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9"}
+	want := []string{"F1", "F2", "F3", "T1", "T10", "T11", "T12", "T13", "T14", "T15", "T16", "T17", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)
@@ -247,6 +247,40 @@ func TestT16Fleet(t *testing.T) {
 		if r.Metrics["alerts_"+u+"u"] <= 0 {
 			t.Fatalf("T16 shape: no common-mode alert with 3 faulty units")
 		}
+	}
+}
+
+func TestT17FleetLinks(t *testing.T) {
+	r := requireResult(t, "T17", "flagged+live")
+	for _, regions := range []int{1, 2} {
+		for _, mode := range []string{"clean", "loss", "partition", "reorder"} {
+			key := string(rune('0'+regions)) + "r_" + mode
+			// The evidence claim: byte-identical convergence to the flat
+			// fault-free baseline at every sweep point…
+			if r.Metrics["determinism_"+key] != 1 {
+				t.Fatalf("T17 shape: determinism_%s = %v — tree report diverged", key, r.Metrics["determinism_"+key])
+			}
+			// …with nothing shed: faults cost resumes, never frames.
+			if r.Metrics["lost_"+key] != 0 {
+				t.Fatalf("T17 shape: lost_%s = %v frames", key, r.Metrics["lost_"+key])
+			}
+		}
+		key := string(rune('0'+regions)) + "r_"
+		// Injected byte-cut severings must actually exercise the resume
+		// path, and the gated partition must be observed degraded-but-live.
+		if r.Metrics["resumes_"+key+"loss"] <= 0 {
+			t.Fatalf("T17 shape: loss sweep point consumed no resumes: %v", r.Metrics)
+		}
+		if r.Metrics["degraded_live_"+key+"partition"] != 1 {
+			t.Fatalf("T17 shape: no degraded-but-live report observed mid-partition")
+		}
+	}
+	// The network layer must not change the fleet-level detection facts.
+	if lat := r.Metrics["fleet_detect_latency"]; lat < 0 || lat > 25 {
+		t.Fatalf("T17 shape: fleet detection latency %v frames", lat)
+	}
+	if r.Metrics["alerts"] <= 0 {
+		t.Fatal("T17 shape: no common-mode alert through the tier tree")
 	}
 }
 

@@ -1,0 +1,342 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"safexplain/internal/data"
+	"safexplain/internal/fdir"
+	"safexplain/internal/fleet"
+	"safexplain/internal/fleetnet"
+	"safexplain/internal/nn"
+	"safexplain/internal/obs"
+	"safexplain/internal/safety"
+	"safexplain/internal/tensor"
+)
+
+func init() { registry["T17"] = runT17 }
+
+// T17 — hierarchical fleet uplink under link faults: the same simulated
+// fleet as T16 (six simplex-under-FDIR units, three carrying a staggered
+// common-mode sensor fault), but instead of ingesting the captured
+// downlinks into one local aggregator, every stream travels a real
+// unit → region → global tier tree (internal/fleetnet) over in-process
+// pipes, with faults injected into the transport beneath the links:
+//
+//	clean      no fault — the convergence and throughput baseline
+//	loss       every link is severed mid-frame at fixed byte offsets
+//	           (CutDial); sessions must reconnect and resume from the
+//	           parent's applied point with zero frame loss
+//	partition  region 0's uplink is gated off mid-campaign (Gate); the
+//	           global root must keep publishing a degraded-flagged but
+//	           valid report, then converge after the heal
+//	reorder    uplinks scramble their send batches (seeded permutation);
+//	           the parent's resequencing window must restore order
+//
+// The claim measured at every (regions × fault) point is exact, not
+// statistical: after the tree drains, the global root's canonical report
+// must be byte-identical to a flat fault-free aggregation of the same
+// streams, with zero frames lost and zero ring drops — store-and-forward
+// resume makes link faults invisible to the evidence, at the cost of the
+// extra sessions and resumes the table reports.
+func runT17() Result {
+	const seed = 100_000
+	const frames = 200
+	const nUnits = 6
+	const faulty = 3 // units carrying the common-mode fault (= alert quorum)
+	f := getFixture("railway")
+
+	conservative := safety.FuncChannel{ID: "conservative",
+		F: func(*tensor.Tensor) int { return data.RailObstacle }}
+	pattern := fdir.PatternSpec{
+		Name: "simplex", Build: func(live *nn.Network, p fdir.Probe) safety.Pattern {
+			return safety.Simplex{Primary: fdir.ChannelOverProbe("primary", p),
+				Net: live, Mon: f.mon, Fallback: conservative}
+		},
+	}
+
+	// Simulate the fleet once (T16's unit cell, same seeds); every sweep
+	// point replays the identical captured streams.
+	type unitRun struct {
+		chunks [][]byte
+		inject int // -1 for clean units
+	}
+	runs := make([]unitRun, nUnits)
+	for u := 0; u < nUnits; u++ {
+		cfg := fdir.CampaignConfig{
+			Stream:   f.test,
+			Frames:   frames,
+			InjectAt: 40,
+			Seed:     seed,
+			Health: fdir.HealthConfig{
+				QuarantineAfter: 3, ClearAfter: 8, ReprobeAfter: 4, ProbationFrames: 15,
+			},
+			MaxRestores: 4,
+			NewNet:      func() (*nn.Network, error) { return f.net.Clone("t17-live") },
+			NewFallback: func() safety.Channel { return conservative },
+			NewOutputGuard: func() *fdir.OutputGuard {
+				return fdir.CalibrateOutputGuard(fdir.NetProbe{Net: f.net}, f.train, 4, 6, 0)
+			},
+			NewInputGuard: func() *fdir.InputGuard { return fdir.CalibrateInputGuard(f.train, 0.75) },
+		}
+		fault := fdir.FaultSpec{Name: "clean", Kind: fdir.FaultSensor, Intensity: 0, Duration: 1}
+		runs[u].inject = -1
+		if u < faulty {
+			cfg.InjectAt = 40 + u*3
+			fault = fdir.FaultSpec{Name: "sensor-200", Kind: fdir.FaultSensor,
+				Intensity: 200, Duration: 25}
+			runs[u].inject = cfg.InjectAt
+		}
+		var link *obs.Downlink
+		cfg.NewObs = func(fn, pn string) *obs.Obs {
+			o := obs.New(obs.Config{Name: fmt.Sprintf("unit-%d", u)})
+			link = obs.NewDownlink(obs.DownlinkConfig{BytesPerFrame: 320})
+			o.AttachDownlink(link)
+			return o
+		}
+		if _, err := fdir.RunUnitCell(cfg, pattern, fault, u); err != nil {
+			panic(fmt.Sprintf("t17: unit %d: %v", u, err))
+		}
+		runs[u].chunks = fleet.SplitFrames(link.Capture())
+	}
+	totalFrames := 0
+	for u := range runs {
+		totalFrames += len(runs[u].chunks)
+	}
+
+	// The fault-free flat reference every networked run must reproduce
+	// byte-for-byte.
+	ref := fleet.New(fleet.Config{Shards: 1, MinUnits: faulty})
+	for u := range runs {
+		for _, c := range runs[u].chunks {
+			ref.Ingest(fleet.UnitID(u), c)
+		}
+	}
+	refRep, err := ref.Report()
+	if err != nil {
+		panic(fmt.Sprintf("t17: reference report: %v", err))
+	}
+	refJSON, err := refRep.CanonicalJSON()
+	if err != nil {
+		panic(fmt.Sprintf("t17: reference json: %v", err))
+	}
+	firstInject, fleetDetect := -1, -1
+	for _, r := range runs {
+		if r.inject >= 0 && (firstInject < 0 || r.inject < firstInject) {
+			firstInject = r.inject
+		}
+	}
+	for _, al := range refRep.Alerts {
+		if int(al.DetectFrame)-firstInject >= 0 &&
+			(fleetDetect < 0 || int(al.DetectFrame)-firstInject < fleetDetect) {
+			fleetDetect = int(al.DetectFrame) - firstInject
+		}
+	}
+
+	// Fast link sizing: resume cycles complete in milliseconds so the
+	// sweep's wall clock measures the pipeline, not the backoff caps.
+	link := func(cfg fleetnet.NodeConfig) fleetnet.NodeConfig {
+		cfg.BackoffBase = time.Millisecond
+		cfg.BackoffMax = 25 * time.Millisecond
+		cfg.IOTimeout = 500 * time.Millisecond
+		return cfg
+	}
+	dialTo := func(parent *fleetnet.Node) func() (net.Conn, error) {
+		return func() (net.Conn, error) {
+			c, s := net.Pipe()
+			parent.ServeConn(s)
+			return c, nil
+		}
+	}
+
+	// runPoint drives one sweep point: build the tree, replay the fleet
+	// through it under the given fault, drain, and audit.
+	type point struct {
+		fps               float64
+		sessions, resumes uint64
+		dialFails, drops  uint64
+		lost, dups        uint64
+		degradedLive      bool // partition only: flagged-but-live mid-report seen
+		det               bool
+	}
+	runPoint := func(regions int, mode string) point {
+		global := fleetnet.NewNode(link(fleetnet.NodeConfig{
+			ID: 1000, Tier: fleetnet.TierGlobal,
+			Fleet: fleet.Config{Shards: 2, MinUnits: faulty},
+		}))
+		var gate *fleetnet.Gate
+		regionNodes := make([]*fleetnet.Node, regions)
+		for r := range regionNodes {
+			cfg := link(fleetnet.NodeConfig{
+				ID: uint32(100 + r), Tier: fleetnet.TierRegion,
+				Fleet: fleet.Config{Shards: 1, MinUnits: faulty},
+			})
+			dial := dialTo(global)
+			switch mode {
+			case "loss":
+				dial = fleetnet.CutDial(dial, 1500+977*r, 4200+1327*r)
+			case "partition":
+				if r == 0 {
+					gate = fleetnet.NewGate(true)
+					dial = gate.Dial(dial)
+				}
+			case "reorder":
+				cfg.ScrambleWindow, cfg.ScrambleSeed = 8, uint64(2000+r)
+			}
+			cfg.Dial = dial
+			regionNodes[r] = fleetnet.NewNode(cfg)
+		}
+		unitNodes := make([]*fleetnet.Node, nUnits)
+		for u := range unitNodes {
+			cfg := link(fleetnet.NodeConfig{ID: uint32(u + 1), Tier: fleetnet.TierUnit})
+			dial := dialTo(regionNodes[u%regions])
+			switch mode {
+			case "loss":
+				dial = fleetnet.CutDial(dial, 700+211*u, 1900+389*u, 4400+607*u)
+			case "reorder":
+				cfg.ScrambleWindow, cfg.ScrambleSeed = 8, uint64(1000+u)
+			}
+			cfg.Dial = dial
+			unitNodes[u] = fleetnet.NewNode(cfg)
+		}
+
+		var pt point
+		start := time.Now()
+		submit := func(from, to float64) {
+			for u := range runs {
+				chunks := runs[u].chunks
+				lo, hi := int(from*float64(len(chunks))), int(to*float64(len(chunks)))
+				for _, c := range chunks[lo:hi] {
+					unitNodes[u].Submit(fleet.UnitID(u), c)
+				}
+			}
+		}
+		submit(0, 0.5)
+		if mode == "partition" {
+			// Sever region 0's uplink once the root knows all its regions,
+			// and require the degraded-but-live report: coverage flags the
+			// dead link while the partial subtree still publishes.
+			waitUntil := func(cond func() bool) bool {
+				deadline := time.Now().Add(10 * time.Second)
+				for !cond() {
+					if time.Now().After(deadline) {
+						return false
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+				return true
+			}
+			waitUntil(func() bool { return global.Coverage().Children == regions })
+			gate.Set(false)
+			down := waitUntil(func() bool {
+				cov := global.Coverage()
+				return cov.Children > 0 && cov.Live < cov.Children && cov.Degraded
+			})
+			midRep, midErr := global.Fleet().Report()
+			pt.degradedLive = down && midErr == nil && midRep.Units >= 0
+		}
+		submit(0.5, 1)
+		if mode == "partition" {
+			gate.Set(true)
+		}
+		drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		for _, n := range unitNodes {
+			if err := n.Drain(drainCtx); err != nil {
+				panic(fmt.Sprintf("t17: %s/%dr: unit drain: %v", mode, regions, err))
+			}
+		}
+		for _, n := range regionNodes {
+			if err := n.Drain(drainCtx); err != nil {
+				panic(fmt.Sprintf("t17: %s/%dr: region drain: %v", mode, regions, err))
+			}
+		}
+		pt.fps = float64(totalFrames) / time.Since(start).Seconds()
+
+		for _, n := range append(append([]*fleetnet.Node{}, unitNodes...), regionNodes...) {
+			if st, ok := n.UplinkStatus(); ok {
+				pt.sessions += st.Sessions
+				pt.resumes += st.Resumes
+				pt.dialFails += st.DialFails
+				pt.drops += st.Drops
+			}
+		}
+		for _, n := range append(append([]*fleetnet.Node{}, regionNodes...), global) {
+			for _, cs := range n.Coverage().Links {
+				pt.lost += cs.Lost
+				pt.dups += cs.Dups
+			}
+		}
+		gotRep, err := global.Fleet().Report()
+		if err != nil {
+			panic(fmt.Sprintf("t17: %s/%dr: global report: %v", mode, regions, err))
+		}
+		gotJSON, err := gotRep.CanonicalJSON()
+		if err != nil {
+			panic(fmt.Sprintf("t17: %s/%dr: global json: %v", mode, regions, err))
+		}
+		pt.det = bytes.Equal(gotJSON, refJSON)
+
+		for _, n := range unitNodes {
+			n.Close(drainCtx)
+		}
+		for _, n := range regionNodes {
+			n.Close(drainCtx)
+		}
+		global.Close(drainCtx)
+		return pt
+	}
+
+	header := []string{"regions", "fault", "frames", "fr/s", "sessions", "resumes",
+		"dial-fails", "lost", "drops", "dups", "degraded", "determinism"}
+	var rows [][]string
+	metrics := map[string]float64{
+		"fleet_detect_latency": float64(fleetDetect),
+		"alerts":               float64(len(refRep.Alerts)),
+	}
+
+	for _, regions := range []int{1, 2} {
+		for _, mode := range []string{"clean", "loss", "partition", "reorder"} {
+			pt := runPoint(regions, mode)
+			det := "ok"
+			if !pt.det {
+				det = "MISMATCH"
+			}
+			deg := "-"
+			if mode == "partition" {
+				deg = "MISSED"
+				if pt.degradedLive {
+					deg = "flagged+live"
+				}
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", regions), mode, fmt.Sprintf("%d", totalFrames),
+				fmt.Sprintf("%.0f", pt.fps),
+				fmt.Sprintf("%d", pt.sessions), fmt.Sprintf("%d", pt.resumes),
+				fmt.Sprintf("%d", pt.dialFails),
+				fmt.Sprintf("%d", pt.lost), fmt.Sprintf("%d", pt.drops),
+				fmt.Sprintf("%d", pt.dups), deg, det,
+			})
+			key := fmt.Sprintf("%dr_%s", regions, mode)
+			metrics["fps_"+key] = pt.fps
+			metrics["resumes_"+key] = float64(pt.resumes)
+			metrics["lost_"+key] = float64(pt.lost)
+			if pt.det {
+				metrics["determinism_"+key] = 1
+			}
+			if mode == "partition" && pt.degradedLive {
+				metrics["degraded_live_"+key] = 1
+			}
+		}
+	}
+
+	return Result{
+		ID:      "T17",
+		Title:   "Fleet uplink under link faults: tier-tree convergence vs flat baseline across loss, partition and reorder (railway, 6 units, 3 faulty)",
+		Table:   table(header, rows),
+		Metrics: metrics,
+	}
+}

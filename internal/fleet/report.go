@@ -80,7 +80,10 @@ func freezeUnit(st *unitState) UnitReport {
 // ledger. Safe to call while started (shards are locked one at a time);
 // for an exact end-of-run picture call Stop first.
 func (a *Aggregator) Report() (Report, error) {
-	var rows []UnitReport
+	// rows starts non-nil so an empty fleet still marshals "reports": []
+	// — the /report endpoint must serve a valid canonical empty report
+	// before the first frame arrives, not a partial object.
+	rows := make([]UnitReport, 0, 8)
 	var events []Event
 	var merged obs.Snapshot
 	for i, s := range a.shards {

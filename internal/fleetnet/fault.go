@@ -1,0 +1,134 @@
+package fleetnet
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// Injected link faults for tests and the T17 campaign. Both injectors
+// wrap a dialer, so the uplink under test runs the exact production
+// reconnect/resume path — only the transport beneath it is hostile.
+
+// ErrGateClosed is the dial failure an injected partition produces.
+var ErrGateClosed = errors.New("fleetnet: link gate closed (injected partition)")
+
+var errSevered = errors.New("fleetnet: link severed (injected loss)")
+
+// CutDial wraps dial so the i-th connection is severed after cuts[i]
+// outbound bytes — deterministic link-loss injection: the link dies
+// mid-frame at a byte position fixed by the cut schedule, regardless of
+// scheduling. Connections beyond the schedule run unimpaired.
+func CutDial(dial func() (net.Conn, error), cuts ...int) func() (net.Conn, error) {
+	var mu sync.Mutex
+	next := 0
+	return func() (net.Conn, error) {
+		conn, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		idx := next
+		next++
+		mu.Unlock()
+		if idx < len(cuts) {
+			return &cutConn{Conn: conn, remaining: cuts[idx]}, nil
+		}
+		return conn, nil
+	}
+}
+
+// cutConn severs the connection after a fixed outbound byte budget,
+// allowing a final partial write so the peer sees a truncated message —
+// the worst-case loss shape for a framed protocol.
+type cutConn struct {
+	net.Conn
+	mu        sync.Mutex
+	remaining int
+}
+
+func (c *cutConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	rem := c.remaining
+	if rem > len(b) {
+		c.remaining -= len(b)
+		c.mu.Unlock()
+		return c.Conn.Write(b)
+	}
+	c.remaining = 0
+	c.mu.Unlock()
+	if rem > 0 {
+		c.Conn.Write(b[:rem])
+	}
+	c.Conn.Close()
+	return rem, errSevered
+}
+
+// Gate is an injected-partition switch. While closed, wrapped dialers
+// fail and every connection the gate admitted is severed — both halves
+// of a real partition. Reopening heals the link; the resume handshake
+// does the rest.
+type Gate struct {
+	mu   sync.Mutex
+	open bool
+	live map[net.Conn]struct{}
+}
+
+// NewGate returns a gate in the given initial state.
+func NewGate(open bool) *Gate {
+	return &Gate{open: open, live: make(map[net.Conn]struct{})}
+}
+
+// Set opens or closes the gate. Closing severs all admitted connections.
+func (g *Gate) Set(open bool) {
+	g.mu.Lock()
+	g.open = open
+	if !open {
+		for c := range g.live {
+			c.Close()
+		}
+		g.live = make(map[net.Conn]struct{})
+	}
+	g.mu.Unlock()
+}
+
+// Dial wraps dial behind the gate.
+func (g *Gate) Dial(dial func() (net.Conn, error)) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		g.mu.Lock()
+		open := g.open
+		g.mu.Unlock()
+		if !open {
+			return nil, ErrGateClosed
+		}
+		conn, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		g.mu.Lock()
+		if !g.open { // closed while dialing: the partition wins
+			g.mu.Unlock()
+			conn.Close()
+			return nil, ErrGateClosed
+		}
+		g.live[conn] = struct{}{}
+		g.mu.Unlock()
+		return &gateConn{Conn: conn, gate: g}, nil
+	}
+}
+
+// gateConn unregisters itself from the gate on close.
+type gateConn struct {
+	net.Conn
+	gate *Gate
+	once sync.Once
+}
+
+func (c *gateConn) Close() error {
+	c.once.Do(func() {
+		c.gate.mu.Lock()
+		delete(c.gate.live, c.Conn)
+		c.gate.mu.Unlock()
+	})
+	return c.Conn.Close()
+}

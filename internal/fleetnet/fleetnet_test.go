@@ -1,0 +1,511 @@
+package fleetnet
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"sort"
+	"testing"
+	"time"
+
+	"safexplain/internal/fleet"
+	"safexplain/internal/obs"
+	"safexplain/internal/prng"
+)
+
+// unitStream builds one unit's synthetic downlink capture: an infer span
+// and housekeeping per frame, with an optional FDIR quarantine
+// transition — enough structure that ledger divergence (a lost or
+// duplicated frame) shows up in the canonical report bytes.
+func unitStream(unit fleet.UnitID, frames, quarantineAt int) []byte {
+	d := obs.NewDownlink(obs.DownlinkConfig{BytesPerFrame: 2048, QueueDepth: 64})
+	seq := uint64(1)
+	health := int32(0)
+	for f := 0; f < frames; f++ {
+		fi := int32(f)
+		d.PushSpan(obs.TraceSpan{Seq: seq, Frame: fi, Stage: obs.StageInfer, Value: float64(f)})
+		seq++
+		if f == quarantineAt {
+			d.PushSpan(obs.TraceSpan{Seq: seq, Frame: fi, Stage: obs.StageFDIR, Code: 2, Value: float64(health)})
+			seq++
+			health = 2
+		}
+		d.PushMetric(obs.MetricFrames, float64(f+1))
+		d.PushMetric(obs.MetricFallbacks, float64(int(unit)%2))
+		d.PushMetric(obs.MetricHealth, float64(health))
+		d.EmitFrame(f)
+	}
+	return d.Capture()
+}
+
+// canonicalReport freezes an aggregator into its canonical JSON bytes.
+func canonicalReport(t *testing.T, a *fleet.Aggregator) []byte {
+	t.Helper()
+	rep, err := a.Report()
+	if err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	b, err := rep.CanonicalJSON()
+	if err != nil {
+		t.Fatalf("canonical json: %v", err)
+	}
+	return b
+}
+
+// flatBaseline ingests every stream into one local aggregator at the
+// same per-frame granularity the tier links use — the fault-free
+// reference the networked reports must match byte-for-byte.
+func flatBaseline(t *testing.T, streams map[fleet.UnitID][]byte) []byte {
+	t.Helper()
+	a := fleet.New(fleet.Config{})
+	units := make([]fleet.UnitID, 0, len(streams))
+	for u := range streams {
+		units = append(units, u)
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i] < units[j] })
+	for _, u := range units {
+		for _, chunk := range fleet.SplitFrames(streams[u]) {
+			a.Ingest(u, chunk)
+		}
+	}
+	return canonicalReport(t, a)
+}
+
+// pipeDial returns a dialer whose every connection is a fresh net.Pipe
+// served by parent — the loopback transport the link tests run on.
+func pipeDial(parent *Node) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		c, s := net.Pipe()
+		parent.ServeConn(s)
+		return c, nil
+	}
+}
+
+// testLink is the fast link sizing the tests use.
+func testLink(cfg NodeConfig) NodeConfig {
+	cfg.BackoffBase = time.Millisecond
+	cfg.BackoffMax = 20 * time.Millisecond
+	cfg.IOTimeout = 250 * time.Millisecond
+	return cfg
+}
+
+// submitAll feeds a unit node its stream one frame chunk at a time.
+func submitAll(n *Node, unit fleet.UnitID, stream []byte) {
+	for _, chunk := range fleet.SplitFrames(stream) {
+		n.Submit(unit, chunk)
+	}
+}
+
+func drain(t *testing.T, n *Node) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := n.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func closeNode(t *testing.T, n *Node) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := n.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestMsgRoundTrip(t *testing.T) {
+	msgs := []Msg{
+		{Kind: KindHello, Node: 42, Tier: TierRegion},
+		{Kind: KindWelcome, Ack: 1<<40 + 7},
+		{Kind: KindData, Seq: 9001, Unit: 17, Payload: []byte("frame-bytes")},
+		{Kind: KindData, Seq: 1, Unit: -3, Payload: nil},
+		{Kind: KindAck, Ack: 12345},
+	}
+	for _, want := range msgs {
+		enc := AppendMsg(nil, want)
+		got, n, err := DecodeMsg(enc)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", want.Kind, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("%v: consumed %d of %d bytes", want.Kind, n, len(enc))
+		}
+		if got.Kind != want.Kind || got.Node != want.Node || got.Tier != want.Tier ||
+			got.Ack != want.Ack || got.Seq != want.Seq || got.Unit != want.Unit ||
+			!bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("%v: round trip %+v != %+v", want.Kind, got, want)
+		}
+	}
+}
+
+func TestDecodeMsgCorrupt(t *testing.T) {
+	valid := AppendMsg(nil, Msg{Kind: KindData, Seq: 5, Unit: 2, Payload: []byte("abc")})
+	for cut := 0; cut < len(valid); cut++ {
+		if _, _, err := DecodeMsg(valid[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded", cut)
+		}
+	}
+	for _, mut := range []struct {
+		name string
+		at   int
+		to   byte
+	}{
+		{"magic0", 0, 'X'}, {"magic1", 1, 'X'}, {"version", 2, 0x7f}, {"kind", 3, 0xee},
+	} {
+		b := append([]byte(nil), valid...)
+		b[mut.at] = mut.to
+		if _, _, err := DecodeMsg(b); err == nil {
+			t.Fatalf("%s corruption decoded", mut.name)
+		}
+	}
+	// A declared payload length past the bound must be rejected, not read.
+	b := append([]byte(nil), valid...)
+	b[msgHeaderLen+12] = 0xff
+	b[msgHeaderLen+13] = 0xff
+	if _, _, err := DecodeMsg(b); err == nil {
+		t.Fatal("oversized payload length decoded")
+	}
+}
+
+func TestParseTier(t *testing.T) {
+	for _, want := range []Tier{TierUnit, TierRegion, TierGlobal} {
+		got, err := ParseTier(want.String())
+		if err != nil || got != want {
+			t.Fatalf("ParseTier(%q) = %v, %v", want.String(), got, err)
+		}
+	}
+	if _, err := ParseTier("orbital"); err == nil {
+		t.Fatal("unknown tier parsed")
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	const base, max = 10 * time.Millisecond, 160 * time.Millisecond
+	jitter := prng.New(7)
+	for attempt := 0; attempt < 12; attempt++ {
+		want := base << attempt
+		if want > max || want <= 0 {
+			want = max
+		}
+		d := backoffDelay(attempt, base, max, jitter)
+		if d < want/2 || d > want {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, want/2, want)
+		}
+	}
+	// Same seed, same schedule — reconnect storms replay deterministically.
+	a, b := prng.New(3), prng.New(3)
+	for attempt := 0; attempt < 8; attempt++ {
+		if backoffDelay(attempt, base, max, a) != backoffDelay(attempt, base, max, b) {
+			t.Fatalf("attempt %d: schedule not deterministic", attempt)
+		}
+	}
+}
+
+// TestLinkDelivery is the fault-free reference: three unit nodes uplink
+// to one parent, whose merged report must be byte-identical to a flat
+// local aggregation of the same streams.
+func TestLinkDelivery(t *testing.T) {
+	streams := map[fleet.UnitID][]byte{
+		1: unitStream(1, 30, 5),
+		2: unitStream(2, 30, -1),
+		3: unitStream(3, 25, 12),
+	}
+	parent := NewNode(testLink(NodeConfig{ID: 100, Tier: TierGlobal}))
+	for u, s := range streams {
+		n := NewNode(testLink(NodeConfig{ID: uint32(u), Tier: TierUnit, Dial: pipeDial(parent)}))
+		submitAll(n, u, s)
+		drain(t, n)
+		closeNode(t, n)
+	}
+	closeNode(t, parent)
+	if got, want := canonicalReport(t, parent.Fleet()), flatBaseline(t, streams); !bytes.Equal(got, want) {
+		t.Fatalf("networked report diverges from flat baseline:\n%s\n-- vs --\n%s", got, want)
+	}
+	cov := parent.Coverage()
+	if cov.Children != 3 {
+		t.Fatalf("coverage children = %d, want 3", cov.Children)
+	}
+}
+
+// TestReconnectResume kills the link mid-stream (twice) and asserts the
+// resume handshake recovers every frame exactly once: the merged report
+// matches the fault-free baseline byte-for-byte — a lost frame would
+// show in the counts, a duplicated one too.
+func TestReconnectResume(t *testing.T) {
+	streams := map[fleet.UnitID][]byte{7: unitStream(7, 60, 9)}
+	parent := NewNode(testLink(NodeConfig{ID: 100, Tier: TierGlobal}))
+	cfg := testLink(NodeConfig{ID: 7, Tier: TierUnit})
+	cfg.Dial = CutDial(pipeDial(parent), 700, 900)
+	n := NewNode(cfg)
+	submitAll(n, 7, streams[7])
+	drain(t, n)
+	st, ok := n.UplinkStatus()
+	if !ok {
+		t.Fatal("unit node has no uplink")
+	}
+	if st.Resumes < 2 {
+		t.Fatalf("resumes = %d, want >= 2 (two injected cuts)", st.Resumes)
+	}
+	if st.Drops != 0 {
+		t.Fatalf("uplink drops = %d, want 0", st.Drops)
+	}
+	closeNode(t, n)
+	closeNode(t, parent)
+	for _, c := range parent.Coverage().Links {
+		if c.Lost != 0 {
+			t.Fatalf("link %d declared %d frames lost; resume must recover all", c.Node, c.Lost)
+		}
+	}
+	if got, want := canonicalReport(t, parent.Fleet()), flatBaseline(t, streams); !bytes.Equal(got, want) {
+		t.Fatalf("report after reconnect/resume diverges from baseline:\n%s\n-- vs --\n%s", got, want)
+	}
+}
+
+// TestPartitionDegradation partitions one of two children and asserts
+// the parent keeps publishing — flagged degraded, with the healthy
+// child's data fresh — then heals the link and checks exact convergence.
+func TestPartitionDegradation(t *testing.T) {
+	sA1, sA2 := unitStream(1, 20, -1), unitStream(1, 40, -1)
+	sB1, sB2 := unitStream(2, 20, 4), unitStream(2, 40, 4)
+	parent := NewNode(testLink(NodeConfig{ID: 100, Tier: TierGlobal}))
+	gate := NewGate(true)
+
+	cfgA := testLink(NodeConfig{ID: 1, Tier: TierUnit})
+	cfgA.Dial = gate.Dial(pipeDial(parent))
+	a := NewNode(cfgA)
+	b := NewNode(testLink(NodeConfig{ID: 2, Tier: TierUnit, Dial: pipeDial(parent)}))
+
+	// Phase 1: both children deliver their first 20 frames.
+	submitAll(a, 1, sA1)
+	submitAll(b, 2, sB1)
+	drain(t, a)
+	drain(t, b)
+
+	// Partition child 1. Its session dies; redials fail at the gate.
+	gate.Set(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for parent.Coverage().Live != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("parent never observed the partition")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Child 1 keeps producing into its store-and-forward ring; child 2
+	// keeps delivering.
+	for _, chunk := range fleet.SplitFrames(sA2)[20:] {
+		a.Submit(1, chunk)
+	}
+	for _, chunk := range fleet.SplitFrames(sB2)[20:] {
+		b.Submit(2, chunk)
+	}
+	drain(t, b)
+
+	// The degraded parent still publishes: flagged, never stalled, and
+	// exactly the phase-1 picture for the partitioned child.
+	cov := parent.Coverage()
+	if !cov.Degraded || cov.Live != 1 || cov.Children != 2 {
+		t.Fatalf("coverage = %+v, want degraded with 1 of 2 live", cov)
+	}
+	mid := canonicalReport(t, parent.Fleet())
+	midWant := flatBaseline(t, map[fleet.UnitID][]byte{1: sA1, 2: sB2})
+	if !bytes.Equal(mid, midWant) {
+		t.Fatalf("degraded report diverges from the partial baseline:\n%s\n-- vs --\n%s", mid, midWant)
+	}
+
+	// Heal. The resume handshake replays the partition backlog.
+	gate.Set(true)
+	drain(t, a)
+	closeNode(t, a)
+	closeNode(t, b)
+	closeNode(t, parent)
+	if got, want := canonicalReport(t, parent.Fleet()), flatBaseline(t, map[fleet.UnitID][]byte{1: sA2, 2: sB2}); !bytes.Equal(got, want) {
+		t.Fatalf("healed report diverges from baseline:\n%s\n-- vs --\n%s", got, want)
+	}
+	st, _ := a.UplinkStatus()
+	if st.Resumes == 0 {
+		t.Fatal("healing the partition should have resumed the session")
+	}
+	if st.DialFails == 0 {
+		t.Fatal("the gate should have rejected dials during the partition")
+	}
+}
+
+// TestReorderResequencing scrambles the send order inside a seeded
+// window and asserts the parent's resequencing buffer restores sequence
+// order exactly: no loss declarations, byte-identical report.
+func TestReorderResequencing(t *testing.T) {
+	streams := map[fleet.UnitID][]byte{3: unitStream(3, 80, 30)}
+	parent := NewNode(testLink(NodeConfig{ID: 100, Tier: TierGlobal}))
+	cfg := testLink(NodeConfig{ID: 3, Tier: TierUnit, Dial: pipeDial(parent)})
+	cfg.ScrambleWindow = 8
+	cfg.ScrambleSeed = 99
+	n := NewNode(cfg)
+	submitAll(n, 3, streams[3])
+	drain(t, n)
+	closeNode(t, n)
+	closeNode(t, parent)
+	for _, c := range parent.Coverage().Links {
+		if c.Lost != 0 {
+			t.Fatalf("reorder within the window declared %d lost", c.Lost)
+		}
+		if c.Dups != 0 {
+			t.Fatalf("reorder produced %d duplicate applies", c.Dups)
+		}
+	}
+	if got, want := canonicalReport(t, parent.Fleet()), flatBaseline(t, streams); !bytes.Equal(got, want) {
+		t.Fatalf("report under reorder diverges from baseline:\n%s\n-- vs --\n%s", got, want)
+	}
+}
+
+// TestUplinkOverflow checks the bounded send queue: with no reachable
+// parent, the ring accepts its capacity and then drops newest with
+// accounting — bounded memory, honest numbers.
+func TestUplinkOverflow(t *testing.T) {
+	u := NewUplink(UplinkConfig{
+		Node: 1, Tier: TierUnit,
+		Dial:        func() (net.Conn, error) { return nil, ErrGateClosed },
+		Buffer:      4,
+		BackoffBase: time.Millisecond, BackoffMax: 5 * time.Millisecond,
+	})
+	defer u.Close()
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if u.Send(9, []byte("frame")) {
+			accepted++
+		}
+	}
+	if accepted != 4 {
+		t.Fatalf("accepted %d sends into a 4-slot ring", accepted)
+	}
+	st := u.Status()
+	if st.Drops != 6 || st.Buffered != 4 {
+		t.Fatalf("status = %+v, want 6 drops and 4 buffered", st)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := u.Drain(ctx); err == nil {
+		t.Fatal("drain with an unreachable parent should time out")
+	}
+}
+
+// TestIdleKeepalive leaves the link idle for several IO timeouts and
+// asserts the keepalive acks hold the session — no reconnect churn on a
+// quiet fleet.
+func TestIdleKeepalive(t *testing.T) {
+	streams := map[fleet.UnitID][]byte{5: unitStream(5, 10, -1)}
+	// Both ends share the 50ms IO timeout: the parent keepalives at that
+	// cadence, the child declares death at 4× of it.
+	pcfg := testLink(NodeConfig{ID: 100, Tier: TierGlobal})
+	pcfg.IOTimeout = 50 * time.Millisecond
+	parent := NewNode(pcfg)
+	cfg := testLink(NodeConfig{ID: 5, Tier: TierUnit, Dial: pipeDial(parent)})
+	cfg.IOTimeout = 50 * time.Millisecond
+	n := NewNode(cfg)
+	chunks := fleet.SplitFrames(streams[5])
+	for _, c := range chunks[:5] {
+		n.Submit(5, c)
+	}
+	drain(t, n)
+	time.Sleep(300 * time.Millisecond) // 6 IO timeouts of silence
+	for _, c := range chunks[5:] {
+		n.Submit(5, c)
+	}
+	drain(t, n)
+	st, _ := n.UplinkStatus()
+	if st.Sessions != 1 || st.Resumes != 0 {
+		t.Fatalf("idle link churned: %d sessions, %d resumes", st.Sessions, st.Resumes)
+	}
+	closeNode(t, n)
+	closeNode(t, parent)
+	if got, want := canonicalReport(t, parent.Fleet()), flatBaseline(t, streams); !bytes.Equal(got, want) {
+		t.Fatalf("report after idle period diverges:\n%s\n-- vs --\n%s", got, want)
+	}
+}
+
+// TestThreeTierTree runs the full unit → region → global shape and
+// asserts both the region's and the root's canonical reports equal the
+// flat baseline — the relay preserves per-unit streams exactly.
+func TestThreeTierTree(t *testing.T) {
+	streams := map[fleet.UnitID][]byte{
+		1: unitStream(1, 25, 3),
+		2: unitStream(2, 25, -1),
+		3: unitStream(3, 30, 11),
+		4: unitStream(4, 15, -1),
+	}
+	global := NewNode(testLink(NodeConfig{ID: 100, Tier: TierGlobal}))
+	region := NewNode(testLink(NodeConfig{ID: 10, Tier: TierRegion, Dial: pipeDial(global)}))
+	for u, s := range streams {
+		n := NewNode(testLink(NodeConfig{ID: uint32(u), Tier: TierUnit, Dial: pipeDial(region)}))
+		submitAll(n, u, s)
+		drain(t, n)
+		closeNode(t, n)
+	}
+	// Region has acked everything; now wait for its own relay to clear.
+	drain(t, region)
+	closeNode(t, region)
+	closeNode(t, global)
+
+	want := flatBaseline(t, streams)
+	if got := canonicalReport(t, region.Fleet()); !bytes.Equal(got, want) {
+		t.Fatalf("region report diverges from baseline:\n%s\n-- vs --\n%s", got, want)
+	}
+	if got := canonicalReport(t, global.Fleet()); !bytes.Equal(got, want) {
+		t.Fatalf("global report diverges from baseline:\n%s\n-- vs --\n%s", got, want)
+	}
+	if cov := global.Coverage(); cov.Children != 1 || cov.Links[0].Tier != "region" {
+		t.Fatalf("global coverage = %+v, want one region child", cov)
+	}
+}
+
+// TestLinkJournal checks that link lifecycle events land in the node's
+// bounded flight journal under the tier-link stage.
+func TestLinkJournal(t *testing.T) {
+	parent := NewNode(testLink(NodeConfig{ID: 100, Tier: TierGlobal}))
+	cfg := testLink(NodeConfig{ID: 4, Tier: TierUnit})
+	cfg.Dial = CutDial(pipeDial(parent), 400)
+	n := NewNode(cfg)
+	submitAll(n, 4, unitStream(4, 40, -1))
+	drain(t, n)
+	closeNode(t, n)
+	closeNode(t, parent)
+	kinds := map[int32]bool{}
+	for _, sp := range n.Journal().Spans() {
+		if sp.Stage != obs.StageLink {
+			t.Fatalf("journal span with stage %v, want %v", sp.Stage, obs.StageLink)
+		}
+		kinds[sp.Code] = true
+	}
+	for _, want := range []LinkEventKind{EventConnect, EventResume, EventDown} {
+		if !kinds[int32(want)] {
+			t.Fatalf("journal missing %v event; have %v", want, kinds)
+		}
+	}
+	if n.Registry().Name() != "fleetnet" {
+		t.Fatalf("registry name = %q", n.Registry().Name())
+	}
+}
+
+// TestTCPLoopback runs one child over a real TCP listener — the
+// deployment transport — to cover the Serve/Accept path.
+func TestTCPLoopback(t *testing.T) {
+	streams := map[fleet.UnitID][]byte{6: unitStream(6, 20, -1)}
+	parent := NewNode(testLink(NodeConfig{ID: 100, Tier: TierGlobal}))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	parent.Serve(ln)
+	addr := ln.Addr().String()
+	cfg := testLink(NodeConfig{ID: 6, Tier: TierUnit})
+	cfg.Dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	n := NewNode(cfg)
+	submitAll(n, 6, streams[6])
+	drain(t, n)
+	closeNode(t, n)
+	closeNode(t, parent)
+	if got, want := canonicalReport(t, parent.Fleet()), flatBaseline(t, streams); !bytes.Equal(got, want) {
+		t.Fatalf("TCP loopback report diverges:\n%s\n-- vs --\n%s", got, want)
+	}
+}

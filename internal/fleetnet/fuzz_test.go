@@ -1,0 +1,32 @@
+package fleetnet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTierDecode drives the tier-link message decoder with arbitrary
+// bytes. The contract matches the downlink decoder's: never panic, never
+// read past the declared lengths, and anything accepted must re-encode
+// to exactly the bytes consumed (the encoding is canonical).
+func FuzzTierDecode(f *testing.F) {
+	f.Add(AppendMsg(nil, Msg{Kind: KindHello, Node: 7, Tier: TierUnit}))
+	f.Add(AppendMsg(nil, Msg{Kind: KindWelcome, Ack: 42}))
+	f.Add(AppendMsg(nil, Msg{Kind: KindData, Seq: 3, Unit: 9, Payload: []byte("frame")}))
+	f.Add(AppendMsg(nil, Msg{Kind: KindAck, Ack: 11}))
+	f.Add([]byte{})
+	f.Add([]byte{linkMagic0, linkMagic1, linkVersion, byte(KindData), 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, n, err := DecodeMsg(data)
+		if err != nil {
+			return // corrupt input rejected: that is the contract
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if got := AppendMsg(nil, m); !bytes.Equal(got, data[:n]) {
+			t.Fatalf("re-encode differs from consumed bytes:\n%x\n%x", got, data[:n])
+		}
+	})
+}

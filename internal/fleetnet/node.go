@@ -1,0 +1,213 @@
+package fleetnet
+
+import (
+	"context"
+	"net"
+	"time"
+
+	"safexplain/internal/fleet"
+	"safexplain/internal/obs"
+)
+
+// NodeConfig sizes one tier node. Zero values get defaults.
+type NodeConfig struct {
+	ID   uint32
+	Tier Tier
+	// Dial connects to the parent tier; nil for the global root, which
+	// has no uplink.
+	Dial func() (net.Conn, error)
+	// Fleet sizes the node's own subtree aggregator.
+	Fleet fleet.Config
+
+	// Link-layer sizing, shared by the child-facing server and the
+	// parent-facing uplink (see ServerConfig / UplinkConfig).
+	Window         int
+	AckEvery       int
+	Buffer         int
+	BackoffBase    time.Duration
+	BackoffMax     time.Duration
+	BackoffSeed    uint64
+	IOTimeout      time.Duration
+	ScrambleWindow int
+	ScrambleSeed   uint64
+	// JournalCap bounds the link-event flight journal (default 256).
+	JournalCap int
+}
+
+// Node is one tier of the aggregation tree. Every tier runs the same
+// machinery: frames entering the node — submitted locally on a unit,
+// delivered by child links on a region or the global root — are ingested
+// into the node's own fleet.Aggregator (so every tier can publish a
+// canonical subtree report and run common-mode detection on it) and, when
+// the node has a parent, relayed upward unchanged through the
+// store-and-forward uplink. Relaying the envelopes rather than a digest
+// is what makes the determinism claim exact: the root converges on the
+// same per-unit streams a flat aggregator would have seen.
+type Node struct {
+	cfg NodeConfig
+	agg *fleet.Aggregator
+	srv *Server
+	up  *Uplink
+
+	reg      *obs.Registry
+	journal  *obs.Flight
+	cApplied *obs.Counter
+	cRelayed *obs.Counter
+	cRelayDr *obs.Counter
+	cConn    *obs.Counter
+	cResume  *obs.Counter
+	cDown    *obs.Counter
+	cLost    *obs.Counter
+	cOverrun *obs.Counter
+}
+
+// NewNode builds and starts a tier node. The subtree aggregator runs in
+// inline mode — a frame is ingested on the link goroutine before its ack
+// is cut, so an acknowledged frame is already visible in the subtree
+// report. The uplink, when configured, begins dialing immediately.
+func NewNode(cfg NodeConfig) *Node {
+	if cfg.Tier == 0 {
+		cfg.Tier = TierUnit
+	}
+	if cfg.JournalCap <= 0 {
+		cfg.JournalCap = 256
+	}
+	reg := obs.NewRegistry("fleetnet")
+	n := &Node{
+		cfg:      cfg,
+		agg:      fleet.New(cfg.Fleet),
+		reg:      reg,
+		journal:  obs.NewFlight(cfg.JournalCap),
+		cApplied: reg.Counter("link_frames_applied_total", "child envelopes applied in sequence"),
+		cRelayed: reg.Counter("link_frames_relayed_total", "frames forwarded to the parent tier"),
+		cRelayDr: reg.Counter("link_relay_drops_total", "frames dropped by a full uplink ring"),
+		cConn:    reg.Counter("link_connects_total", "first sessions established on a link"),
+		cResume:  reg.Counter("link_resumes_total", "sessions resumed from the parent's applied point"),
+		cDown:    reg.Counter("link_downs_total", "sessions ended"),
+		cLost:    reg.Counter("link_frames_lost_total", "frames skipped by resequencing-gap declaration"),
+		cOverrun: reg.Counter("link_overruns_total", "uplink ring overflows"),
+	}
+	n.srv = NewServer(ServerConfig{
+		Apply:     n.apply,
+		Window:    cfg.Window,
+		AckEvery:  cfg.AckEvery,
+		IOTimeout: cfg.IOTimeout,
+		OnEvent:   n.onEvent,
+	})
+	if cfg.Dial != nil {
+		n.up = NewUplink(UplinkConfig{
+			Node:           cfg.ID,
+			Tier:           cfg.Tier,
+			Dial:           cfg.Dial,
+			Buffer:         cfg.Buffer,
+			BackoffBase:    cfg.BackoffBase,
+			BackoffMax:     cfg.BackoffMax,
+			BackoffSeed:    cfg.BackoffSeed,
+			IOTimeout:      cfg.IOTimeout,
+			ScrambleWindow: cfg.ScrambleWindow,
+			ScrambleSeed:   cfg.ScrambleSeed,
+			OnEvent:        n.onEvent,
+		})
+	}
+	return n
+}
+
+// onEvent folds one link lifecycle event into the metrics registry and
+// the bounded link journal (Frame carries the peer node id, Code the
+// event kind, Value the sequence the event names).
+func (n *Node) onEvent(ev LinkEvent) {
+	switch ev.Kind {
+	case EventConnect:
+		n.cConn.Inc()
+	case EventResume:
+		n.cResume.Inc()
+	case EventDown:
+		n.cDown.Inc()
+	case EventLoss:
+		n.cLost.Add(ev.Seq)
+	case EventOverrun:
+		n.cOverrun.Inc()
+	}
+	n.journal.Record(int(ev.Node), obs.StageLink, int32(ev.Kind), float64(ev.Seq))
+}
+
+// apply receives one in-sequence child envelope: ingest into the subtree
+// aggregator, relay upward when a parent exists. The payload is owned
+// here (the server copies per envelope), so both consumers may retain it.
+func (n *Node) apply(_ uint32, unit fleet.UnitID, payload []byte) {
+	n.cApplied.Inc()
+	n.agg.Ingest(unit, payload)
+	n.relay(unit, payload)
+}
+
+// Submit feeds one locally produced telemetry frame — the unit tier's
+// entry point. The frame is copied; callers may reuse the buffer.
+func (n *Node) Submit(unit fleet.UnitID, frame []byte) {
+	payload := append([]byte(nil), frame...)
+	n.cApplied.Inc()
+	n.agg.Ingest(unit, payload)
+	n.relay(unit, payload)
+}
+
+func (n *Node) relay(unit fleet.UnitID, payload []byte) {
+	if n.up == nil {
+		return
+	}
+	if n.up.Send(unit, payload) {
+		n.cRelayed.Inc()
+	} else {
+		n.cRelayDr.Inc()
+	}
+}
+
+// Serve accepts child sessions from ln (regions and the global root).
+func (n *Node) Serve(ln net.Listener) { n.srv.Serve(ln) }
+
+// ServeConn feeds one child connection directly — the net.Pipe test path.
+func (n *Node) ServeConn(conn net.Conn) { n.srv.ServeConn(conn) }
+
+// Fleet exposes the node's subtree aggregator for reporting. Callers
+// must quiesce ingest (Close) before demanding a stable report.
+func (n *Node) Fleet() *fleet.Aggregator { return n.agg }
+
+// Registry exposes the node's link-metrics registry.
+func (n *Node) Registry() *obs.Registry { return n.reg }
+
+// Journal exposes the bounded link-event journal.
+func (n *Node) Journal() *obs.Flight { return n.journal }
+
+// Coverage derives the degradation summary over the node's child links.
+func (n *Node) Coverage() Coverage {
+	return coverageOf(n.cfg.Tier, n.cfg.ID, n.srv.Status(), time.Now())
+}
+
+// UplinkStatus freezes the parent-link accounting; ok is false on the
+// global root.
+func (n *Node) UplinkStatus() (UplinkStatus, bool) {
+	if n.up == nil {
+		return UplinkStatus{}, false
+	}
+	return n.up.Status(), true
+}
+
+// Drain blocks until the uplink's buffered envelopes are all
+// acknowledged by the parent (no-op on the global root).
+func (n *Node) Drain(ctx context.Context) error {
+	if n.up == nil {
+		return nil
+	}
+	return n.up.Drain(ctx)
+}
+
+// Close tears the node down: child links first (no more applies), then
+// the uplink — drained within ctx so a graceful shutdown relays
+// everything it accepted.
+func (n *Node) Close(ctx context.Context) error {
+	n.srv.Close()
+	var err error
+	if n.up != nil {
+		err = n.up.Drain(ctx)
+		n.up.Close()
+	}
+	return err
+}

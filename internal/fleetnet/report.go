@@ -1,0 +1,104 @@
+package fleetnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// LinkEventKind tags one link lifecycle event.
+type LinkEventKind uint8
+
+// Link lifecycle events, surfaced to the node's flight journal and
+// evidence chain.
+const (
+	EventConnect LinkEventKind = iota + 1 // first session on a link
+	EventResume                           // reconnect replaying from the parent's applied point
+	EventDown                             // session ended
+	EventLoss                             // resequencing gap declared lost (Seq = frames lost)
+	EventOverrun                          // uplink ring overflow drop (Seq = dropped sequence)
+)
+
+// String returns the event kind name.
+func (k LinkEventKind) String() string {
+	switch k {
+	case EventConnect:
+		return "connect"
+	case EventResume:
+		return "resume"
+	case EventDown:
+		return "down"
+	case EventLoss:
+		return "loss"
+	case EventOverrun:
+		return "overrun"
+	default:
+		return fmt.Sprintf("LinkEventKind(%d)", uint8(k))
+	}
+}
+
+// LinkEvent is one link lifecycle observation. Node is the child id of
+// the link it happened on; Seq's meaning depends on the kind (applied
+// sequence at connect/resume/down, a count for loss, the dropped
+// sequence for overrun).
+type LinkEvent struct {
+	Kind LinkEventKind
+	Node uint32
+	Seq  uint64
+}
+
+// UplinkStatus freezes an uplink's store-and-forward accounting.
+type UplinkStatus struct {
+	Node      uint32 `json:"node"`
+	Connected bool   `json:"connected"`
+	Sent      uint64 `json:"sent"`  // envelopes assigned a sequence
+	Acked     uint64 `json:"acked"` // parent's cumulative applied point
+	Buffered  int    `json:"buffered"`
+	Drops     uint64 `json:"drops"` // sends rejected by a full ring
+	Sessions  uint64 `json:"sessions"`
+	Resumes   uint64 `json:"resumes"`
+	DialFails uint64 `json:"dial_fails"`
+}
+
+// ChildStatus freezes the parent-side accounting for one child link.
+type ChildStatus struct {
+	Node      uint32    `json:"node"`
+	Tier      string    `json:"tier"`
+	Connected bool      `json:"connected"`
+	Applied   uint64    `json:"applied"`
+	Pending   int       `json:"pending"` // resequencing buffer occupancy
+	Lost      uint64    `json:"lost"`    // frames skipped by gap declaration
+	Dups      uint64    `json:"dups"`
+	Sessions  uint64    `json:"sessions"`
+	LastFrame time.Time `json:"-"`
+	// StaleMS is how many milliseconds ago the link last delivered a
+	// frame, resolved at Coverage time; zero before the first frame.
+	StaleMS float64 `json:"stale_ms"`
+}
+
+// Coverage summarizes graceful degradation for one tier: how many child
+// links are live versus known, and whether the published report should
+// be read as degraded. A degraded tier keeps publishing — the flag and
+// the per-link detail are the honesty, not a stall.
+type Coverage struct {
+	Tier     string        `json:"tier"`
+	Node     uint32        `json:"node"`
+	Children int           `json:"children"` // links ever seen
+	Live     int           `json:"live"`     // links currently connected
+	Degraded bool          `json:"degraded"` // at least one known link is down
+	Links    []ChildStatus `json:"links"`
+}
+
+// coverageOf derives the degradation summary from per-child status.
+func coverageOf(tier Tier, node uint32, links []ChildStatus, now time.Time) Coverage {
+	cov := Coverage{Tier: tier.String(), Node: node, Children: len(links), Links: links}
+	for i := range links {
+		if links[i].Connected {
+			cov.Live++
+		}
+		if !links[i].LastFrame.IsZero() {
+			cov.Links[i].StaleMS = float64(now.Sub(links[i].LastFrame)) / float64(time.Millisecond)
+		}
+	}
+	cov.Degraded = cov.Live < cov.Children
+	return cov
+}

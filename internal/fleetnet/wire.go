@@ -1,0 +1,234 @@
+// Package fleetnet scales the single-process fleet ground segment
+// (internal/fleet) into a multi-process aggregation tree: unit → region
+// → global. Each tier link carries the unit downlink wire format
+// (internal/obs) wrapped in sequenced envelopes over an ordinary byte
+// stream (TCP in deployment, net.Pipe in tests); every tier ingests what
+// flows through it into its own fleet.Aggregator — so each tier can
+// publish a canonical subtree report — and relays the envelopes upward
+// unchanged, so the global tier converges on exactly the per-unit
+// streams a flat aggregator would have seen.
+//
+// The robustness core is the link layer:
+//
+//	store-and-forward  the child retains every sent envelope in a bounded
+//	                   ring until the parent's cumulative ack covers it;
+//	                   a dropped connection replays from the parent's
+//	                   last applied sequence after the resume handshake,
+//	                   so no frame is lost and none is applied twice.
+//	backoff            reconnects use jittered exponential backoff with a
+//	                   cap, driven by the deterministic internal/prng.
+//	bounded queues     a child that outruns a congested or partitioned
+//	                   parent overflows its ring: the newest envelope is
+//	                   dropped and counted, never buffered unboundedly.
+//	resequencing       the parent holds out-of-order envelopes in a
+//	                   bounded window and applies them in sequence;
+//	                   a gap that outlives the window is declared lost
+//	                   and counted rather than stalling the subtree.
+//	degradation        a tier that loses k of n children keeps publishing
+//	                   its report, flagged with per-link coverage and
+//	                   staleness — it never stalls on a dead link.
+//
+// Because each child's envelopes are applied in sequence order and the
+// fleet merge is order-independent across units, the global canonical
+// report converges byte-identically to the fault-free run once all links
+// recover — experiment T17 sweeps link loss, partition and reorder to
+// prove exactly that.
+package fleetnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"safexplain/internal/fleet"
+)
+
+// Tier identifies a node's level in the aggregation tree.
+type Tier uint8
+
+// Tree tiers, leaf to root.
+const (
+	TierUnit   Tier = 1 // one operating unit uplinking its downlink frames
+	TierRegion Tier = 2 // aggregates units, relays upward
+	TierGlobal Tier = 3 // the root: aggregates everything, publishes the fleet report
+)
+
+// String returns the tier name.
+func (t Tier) String() string {
+	switch t {
+	case TierUnit:
+		return "unit"
+	case TierRegion:
+		return "region"
+	case TierGlobal:
+		return "global"
+	default:
+		return fmt.Sprintf("Tier(%d)", uint8(t))
+	}
+}
+
+// ParseTier maps a CLI tier name to its Tier.
+func ParseTier(s string) (Tier, error) {
+	switch s {
+	case "unit":
+		return TierUnit, nil
+	case "region":
+		return TierRegion, nil
+	case "global":
+		return TierGlobal, nil
+	}
+	return 0, fmt.Errorf("fleetnet: unknown tier %q (unit|region|global)", s)
+}
+
+// Tier-link wire format (all little-endian). Every message starts with a
+// fixed 4-byte header; the payload layout depends on the kind:
+//
+//	header  := 'T' 'L' ver=0x01 kind:u8
+//	hello   := header node:u32 tier:u8                       (child → parent)
+//	welcome := header ack:u64                                (parent → child)
+//	data    := header seq:u64 unit:u32 plen:u16 payload      (child → parent)
+//	ack     := header seq:u64                                (parent → child)
+//
+// A data payload is one unit telemetry frame in the downlink wire format
+// (obs.DecodeFrame decodes it); the envelope adds the link-local sequence
+// number the resume handshake and ack machinery run on, and the unit the
+// frame belongs to (a region's uplink multiplexes many units).
+const (
+	linkMagic0   = 'T'
+	linkMagic1   = 'L'
+	linkVersion  = 0x01
+	msgHeaderLen = 4
+
+	helloBodyLen   = 5  // node:u32 tier:u8
+	welcomeBodyLen = 8  // ack:u64
+	dataFixedLen   = 14 // seq:u64 unit:u32 plen:u16
+	ackBodyLen     = 8  // seq:u64
+
+	// MaxPayload bounds a data envelope's payload — far above any
+	// realistic downlink frame budget, low enough that a corrupt length
+	// cannot make the reader buffer garbage.
+	MaxPayload = 4096
+)
+
+// MsgKind tags one tier-link message.
+type MsgKind uint8
+
+// Tier-link message kinds.
+const (
+	KindInvalid MsgKind = iota
+	KindHello           // child opens a session: node id + tier
+	KindWelcome         // parent's resume point: last sequence applied
+	KindData            // one sequenced unit telemetry frame
+	KindAck             // parent's cumulative acknowledgement
+)
+
+// String returns the message kind name.
+func (k MsgKind) String() string {
+	switch k {
+	case KindHello:
+		return "hello"
+	case KindWelcome:
+		return "welcome"
+	case KindData:
+		return "data"
+	case KindAck:
+		return "ack"
+	default:
+		return fmt.Sprintf("MsgKind(%d)", uint8(k))
+	}
+}
+
+// Msg is one decoded tier-link message. Only the fields of its kind are
+// meaningful.
+type Msg struct {
+	Kind MsgKind
+
+	Node uint32 // KindHello: child node id
+	Tier Tier   // KindHello: child tier
+
+	Ack uint64 // KindWelcome, KindAck: cumulative applied sequence
+
+	Seq     uint64       // KindData: link-local sequence (1-based)
+	Unit    fleet.UnitID // KindData: unit the frame belongs to
+	Payload []byte       // KindData: one downlink wire-format frame (aliases the input)
+}
+
+// ErrLinkCorrupt reports a malformed tier-link message.
+var ErrLinkCorrupt = errors.New("fleetnet: corrupt tier-link message")
+
+// AppendMsg encodes m onto dst and returns the extended slice.
+func AppendMsg(dst []byte, m Msg) []byte {
+	dst = append(dst, linkMagic0, linkMagic1, linkVersion, byte(m.Kind))
+	switch m.Kind {
+	case KindHello:
+		dst = binary.LittleEndian.AppendUint32(dst, m.Node)
+		dst = append(dst, byte(m.Tier))
+	case KindWelcome:
+		dst = binary.LittleEndian.AppendUint64(dst, m.Ack)
+	case KindData:
+		dst = binary.LittleEndian.AppendUint64(dst, m.Seq)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(m.Unit))
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(m.Payload)))
+		dst = append(dst, m.Payload...)
+	case KindAck:
+		dst = binary.LittleEndian.AppendUint64(dst, m.Ack)
+	}
+	return dst
+}
+
+// DecodeMsg decodes one tier-link message from the head of b, returning
+// the message, the bytes consumed, and an error on corruption. Like the
+// downlink decoder it is a pure function: bounds-checked throughout, it
+// never panics and never reads past the declared lengths
+// (FuzzTierDecode enforces this). A data message's Payload aliases b.
+func DecodeMsg(b []byte) (Msg, int, error) {
+	if len(b) < msgHeaderLen {
+		return Msg{}, 0, fmt.Errorf("%w: %d bytes, need %d for the header", ErrLinkCorrupt, len(b), msgHeaderLen)
+	}
+	if b[0] != linkMagic0 || b[1] != linkMagic1 {
+		return Msg{}, 0, fmt.Errorf("%w: bad magic %#02x%02x", ErrLinkCorrupt, b[0], b[1])
+	}
+	if b[2] != linkVersion {
+		return Msg{}, 0, fmt.Errorf("%w: unknown version %d", ErrLinkCorrupt, b[2])
+	}
+	m := Msg{Kind: MsgKind(b[3])}
+	body := b[msgHeaderLen:]
+	switch m.Kind {
+	case KindHello:
+		if len(body) < helloBodyLen {
+			return Msg{}, 0, fmt.Errorf("%w: truncated hello (%d bytes)", ErrLinkCorrupt, len(body))
+		}
+		m.Node = binary.LittleEndian.Uint32(body)
+		m.Tier = Tier(body[4])
+		return m, msgHeaderLen + helloBodyLen, nil
+	case KindWelcome:
+		if len(body) < welcomeBodyLen {
+			return Msg{}, 0, fmt.Errorf("%w: truncated welcome (%d bytes)", ErrLinkCorrupt, len(body))
+		}
+		m.Ack = binary.LittleEndian.Uint64(body)
+		return m, msgHeaderLen + welcomeBodyLen, nil
+	case KindData:
+		if len(body) < dataFixedLen {
+			return Msg{}, 0, fmt.Errorf("%w: truncated data envelope (%d bytes)", ErrLinkCorrupt, len(body))
+		}
+		m.Seq = binary.LittleEndian.Uint64(body)
+		m.Unit = fleet.UnitID(int32(binary.LittleEndian.Uint32(body[8:])))
+		plen := int(binary.LittleEndian.Uint16(body[12:]))
+		if plen > MaxPayload {
+			return Msg{}, 0, fmt.Errorf("%w: payload %d bytes exceeds bound %d", ErrLinkCorrupt, plen, MaxPayload)
+		}
+		if len(body)-dataFixedLen < plen {
+			return Msg{}, 0, fmt.Errorf("%w: truncated payload (%d of %d bytes)", ErrLinkCorrupt, len(body)-dataFixedLen, plen)
+		}
+		m.Payload = body[dataFixedLen : dataFixedLen+plen]
+		return m, msgHeaderLen + dataFixedLen + plen, nil
+	case KindAck:
+		if len(body) < ackBodyLen {
+			return Msg{}, 0, fmt.Errorf("%w: truncated ack (%d bytes)", ErrLinkCorrupt, len(body))
+		}
+		m.Ack = binary.LittleEndian.Uint64(body)
+		return m, msgHeaderLen + ackBodyLen, nil
+	default:
+		return Msg{}, 0, fmt.Errorf("%w: unknown kind %d", ErrLinkCorrupt, uint8(m.Kind))
+	}
+}

@@ -31,6 +31,7 @@ const (
 	StageDrift
 	StageRecovery
 	StageFrame // trace-context frame root span
+	StageLink  // fleet tier-link lifecycle event (ground segment)
 )
 
 // String returns the stage name.
@@ -54,6 +55,8 @@ func (s Stage) String() string {
 		return "recovery"
 	case StageFrame:
 		return "frame"
+	case StageLink:
+		return "tier-link"
 	default:
 		return fmt.Sprintf("Stage(%d)", uint8(s))
 	}
