@@ -9,7 +9,8 @@ FUZZ_TARGETS = \
 	FuzzHealthTransitions=./internal/fdir \
 	FuzzDownlinkDecode=./internal/obs \
 	FuzzFleetIngest=./internal/fleet \
-	FuzzTierDecode=./internal/fleetnet
+	FuzzTierDecode=./internal/fleetnet \
+	FuzzWatchRuleDecode=./internal/watch
 FUZZTIME ?= 30s
 
 .PHONY: all build vet test race bench bench-json bench-diff lint safelint staticcheck experiments examples fuzz cover clean

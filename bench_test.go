@@ -1,4 +1,4 @@
-// Benchmark harness: one benchmark per table (T1–T17) and figure (F1–F3)
+// Benchmark harness: one benchmark per table (T1–T18) and figure (F1–F3)
 // of EXPERIMENTS.md. Each benchmark regenerates its experiment — printing
 // the full table via -v logs — and times a regeneration pass, so
 //
@@ -162,4 +162,12 @@ func BenchmarkT16Fleet(b *testing.B) {
 // including every reconnect/resume cycle.
 func BenchmarkT17FleetLinks(b *testing.B) {
 	benchExperiment(b, "T17", "fps_2r_clean", "resumes_2r_loss", "fleet_detect_latency")
+}
+
+// BenchmarkT18Watch regenerates Table T18: the continuous health watch
+// over the fleet tree — detection latency and probe cost for WCET
+// burn-rate creep, stage stall and link flap, with the clean run as the
+// false-positive floor.
+func BenchmarkT18Watch(b *testing.B) {
+	benchExperiment(b, "T18", "latency_creep", "probe_us_per_tick_clean", "false_positives_clean")
 }

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// The Go profiler is strictly opt-in: every operational endpoint
+// (-listen scrape muxes, tier handlers) is built on its own ServeMux, so
+// nothing from net/http/pprof's DefaultServeMux registration leaks into
+// them. Profiling — with its measurable probe effect — only exists on
+// the dedicated -debug-addr listener, and only when that flag is set.
+
+// debugReady observes the bound address of a -debug-addr :0 socket — a
+// test hook mirroring fleetServeReady.
+var debugReady = func(net.Addr) {}
+
+// startDebugServer serves net/http/pprof on addr in the background and
+// returns a closer. The handlers are registered explicitly on a private
+// mux; the default mux is never served.
+func startDebugServer(addr string) (stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	debugReady(ln.Addr())
+	return func() { srv.Close() }, nil
+}

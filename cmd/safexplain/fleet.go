@@ -19,6 +19,7 @@ import (
 	"safexplain/internal/obs"
 	"safexplain/internal/safety"
 	"safexplain/internal/trace"
+	"safexplain/internal/watch"
 )
 
 // cmdFleet is the ground-segment workflow: simulate N units running the
@@ -50,6 +51,10 @@ func cmdFleet(args []string, out io.Writer) error {
 	parent := fs.String("parent", "", "tier mode: parent tier-link address to uplink to (unit and region tiers)")
 	link := fs.String("link", "", "tier mode: tier-link listen address for child sessions (region and global tiers)")
 	fault := fs.Bool("fault", false, "tier mode, unit tier: carry the common-mode sensor fault")
+	watchRules := fs.String("watch-rules", "", "arm a continuous-health watcher with this declarative rule file")
+	watchEvery := fs.Int("watch-every", 8, "watch cadence: ingest rounds per tick (single-process) or seconds per tick (server tiers)")
+	watchOut := fs.String("watch-out", "", "write the watch alert ledger JSON to this file")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this address (opt-in; never on the operational endpoints)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,11 +64,19 @@ func cmdFleet(args []string, out io.Writer) error {
 			listen: *listen, format: *format, fault: *fault,
 			caseName: *caseName, pattern: *pattern, seed: *seed,
 			shards: *shards, window: *window, quorum: *quorum,
+			watchRules: *watchRules, watchEvery: *watchEvery, debugAddr: *debugAddr,
 			sim: fleetSimConfig{
 				units: *units, faulty: *faulty, frames: *frames, inject: *inject,
 				duration: *duration, intensity: *intensity, budget: *budget, seed: *seed,
 			},
 		}, out)
+	}
+	if *debugAddr != "" {
+		stopDebug, err := startDebugServer(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer stopDebug()
 	}
 	if *format != "table" && *format != "json" && *format != "prom" {
 		return fmt.Errorf("unknown format %q (table|json|prom)", *format)
@@ -91,6 +104,48 @@ func cmdFleet(args []string, out io.Writer) error {
 	agg := fleet.New(fleet.Config{
 		Shards: *shards, Window: *window, MinUnits: *quorum,
 	})
+
+	// The continuous-health watcher samples the merged shard registries
+	// between ingest rounds. Each tick is a barrier — Stop drains the
+	// shard queues so the sample is a consistent point-in-time merge, and
+	// the same ingest order therefore yields the same alert ledger.
+	var watcher *watch.Watcher
+	var wTick int64
+	if *watchRules != "" {
+		src, err := os.ReadFile(*watchRules)
+		if err != nil {
+			return err
+		}
+		rules, err := watch.ParseRules(string(src))
+		if err != nil {
+			return err
+		}
+		merged, err := agg.MetricsSnapshot()
+		if err != nil {
+			return err
+		}
+		watcher, err = watch.New(watch.Config{Origin: "fleet", Rules: rules}, []obs.Snapshot{merged})
+		if err != nil {
+			return err
+		}
+	}
+	watchTick := func() error {
+		if watcher == nil {
+			return nil
+		}
+		agg.Stop()
+		merged, err := agg.MetricsSnapshot()
+		if err != nil {
+			return err
+		}
+		wTick++
+		if _, err := watcher.Observe(wTick, []obs.Snapshot{merged}); err != nil {
+			return err
+		}
+		agg.Start()
+		return nil
+	}
+
 	agg.Start()
 	// Round-robin arrival: every unit's stream interleaved frame by frame,
 	// the worst realistic mixing for the determinism property.
@@ -105,6 +160,15 @@ func cmdFleet(args []string, out io.Writer) error {
 		if !fed {
 			break
 		}
+		if *watchEvery > 0 && (i+1)%*watchEvery == 0 {
+			if err := watchTick(); err != nil {
+				return err
+			}
+		}
+	}
+	// One final tick so a short run still gets at least one sample.
+	if err := watchTick(); err != nil {
+		return err
 	}
 	agg.Stop()
 
@@ -126,6 +190,19 @@ func cmdFleet(args []string, out io.Writer) error {
 			fmt.Sprintf("common-mode %s in units %v, window [%d..%d], evidence sha256 %.12s…",
 				al.Signature, al.Units, al.FirstFrame, al.DetectFrame, al.EvidenceHash))
 	}
+	var watchAlerts []watch.Alert
+	if watcher != nil {
+		watchAlerts = watcher.Alerts()
+		h := watcher.Health()
+		sys.Log.Append(trace.KindWatch, "watch:summary",
+			fmt.Sprintf("continuous-health watch %q: %d ticks over %d series, %d rules, %d alert transitions (%d firing at shutdown)",
+				h.Origin, h.Tick, h.Series, h.Rules, h.AlertsTotal, h.Firing))
+		for _, a := range watchAlerts {
+			sys.Log.Append(trace.KindWatch, "watch:alert:"+a.Metric,
+				fmt.Sprintf("%s %s at tick %d: %s = %g vs %g, evidence sha256 %.12s…",
+					a.Rule, a.State, a.Tick, a.Metric, a.Value, a.Threshold, a.EvidenceHash))
+		}
+	}
 
 	switch *format {
 	case "json":
@@ -138,7 +215,29 @@ func cmdFleet(args []string, out io.Writer) error {
 		fmt.Fprint(out, rep.Prometheus())
 	default:
 		fmt.Fprint(out, rep.Table())
+		if watcher != nil {
+			h := watcher.Health()
+			fmt.Fprintf(out, "watch: %s, %d ticks, %d rules, %d alert transitions, %d firing\n",
+				h.Status, h.Tick, h.Rules, h.AlertsTotal, h.Firing)
+			for _, a := range watchAlerts {
+				fmt.Fprintf(out, "  WATCH %s %s tick=%d %s=%g vs %g evidence %.12s…\n",
+					a.State, a.Rule, a.Tick, a.Metric, a.Value, a.Threshold, a.EvidenceHash)
+			}
+		}
 		fmt.Fprintf(out, "\nreport sha256: %s\nevidence chain valid: %v\n", hash, sys.Log.Verify() == nil)
+	}
+	if *watchOut != "" {
+		if watcher == nil {
+			return fmt.Errorf("-watch-out needs -watch-rules")
+		}
+		blob, err := watch.AlertsJSON("fleet", watchAlerts)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*watchOut, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote watch alert ledger to %s\n", *watchOut)
 	}
 	if *outPath != "" {
 		blob, err := rep.CanonicalJSON()
@@ -156,8 +255,8 @@ func cmdFleet(args []string, out io.Writer) error {
 		// the command exits cleanly instead of dying mid-response.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		fmt.Fprintf(out, "serving fleet scrape endpoint on %s (/metrics, /report); interrupt to stop\n", *listen)
-		return serveHTTP(ctx, *listen, newFleetHandler(agg))
+		fmt.Fprintf(out, "serving fleet scrape endpoint on %s (/metrics, /report, /health, /alerts); interrupt to stop\n", *listen)
+		return serveHTTP(ctx, *listen, newFleetHandler(agg, watcher))
 	}
 	return nil
 }
@@ -267,11 +366,26 @@ func simulateUnit(sys *safexplain.System, cfg fleetSimConfig, u int, faulty bool
 }
 
 // newFleetHandler serves the live fleet state: /metrics in Prometheus
-// text exposition, /report as canonical JSON. Each request freezes a
-// fresh report from the aggregator, so a scrape during ingest sees a
-// consistent point-in-time merge.
-func newFleetHandler(agg *fleet.Aggregator) http.Handler {
+// text exposition, /report as canonical JSON, /health and /alerts from
+// the armed watcher (w may be nil: /health then answers 404 and /alerts
+// an empty ledger). Each request freezes a fresh report from the
+// aggregator, so a scrape during ingest sees a consistent point-in-time
+// merge.
+func newFleetHandler(agg *fleet.Aggregator, w *watch.Watcher) http.Handler {
 	mux := http.NewServeMux()
+	addWatchEndpoints(mux, "fleet",
+		func() (watch.Health, bool) {
+			if w == nil {
+				return watch.Health{}, false
+			}
+			return w.Health(), true
+		},
+		func() []watch.Alert {
+			if w == nil {
+				return nil
+			}
+			return w.Alerts()
+		})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		rep, err := agg.Report()
 		if err != nil {

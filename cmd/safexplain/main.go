@@ -20,7 +20,12 @@
 //	           serving a live Prometheus scrape endpoint); with -tier
 //	           unit|region|global one binary plays any node of a
 //	           multi-process aggregation tree over fault-tolerant tier
-//	           links (store-and-forward resume, backoff, degradation)
+//	           links (store-and-forward resume, backoff, degradation);
+//	           with -watch-rules every node also runs a continuous-health
+//	           watcher whose alerts relay up the tree
+//	watch      tail a running node's continuous-health watch: poll its
+//	           /health and /alerts endpoints and render the status and
+//	           the evidence-hashed alert ledger
 //
 // Everything is deterministic given -seed; no files are read or written
 // unless a subcommand is given an output path.
@@ -79,13 +84,15 @@ func run(args []string, out io.Writer) error {
 		return cmdBlackbox(args[1:], out)
 	case "fleet":
 		return cmdFleet(args[1:], out)
+	case "watch":
+		return cmdWatch(args[1:], out)
 	default:
 		return fmt.Errorf("%w: unknown subcommand %q", errUsage, args[0])
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: safexplain <lifecycle|explain|infer|timing|evidence|obs|blackbox|fleet> [flags]
+	fmt.Fprintln(os.Stderr, `usage: safexplain <lifecycle|explain|infer|timing|evidence|obs|blackbox|fleet|watch> [flags]
 run "safexplain <subcommand> -h" for flags`)
 }
 

@@ -15,6 +15,7 @@ import (
 	"safexplain/internal/fleet"
 	"safexplain/internal/fleetnet"
 	"safexplain/internal/trace"
+	"safexplain/internal/watch"
 )
 
 // Tier mode: `safexplain fleet -tier unit|region|global` runs one node
@@ -42,6 +43,10 @@ type tierOptions struct {
 	window   int
 	quorum   int
 	sim      fleetSimConfig
+
+	watchRules string // rule file arming the node watcher ("" = unarmed)
+	watchEvery int    // tick cadence in seconds (server tiers)
+	debugAddr  string // opt-in net/http/pprof address
 }
 
 // fleetLinkReady observes the bound address of a -link :0 socket — a
@@ -58,6 +63,13 @@ func cmdFleetTier(opt tierOptions, out io.Writer) error {
 	}
 	if opt.quorum <= 0 {
 		opt.quorum = opt.sim.faulty
+	}
+	if opt.debugAddr != "" {
+		stopDebug, err := startDebugServer(opt.debugAddr)
+		if err != nil {
+			return err
+		}
+		defer stopDebug()
 	}
 	cfg := fleetnet.NodeConfig{
 		ID:   opt.id,
@@ -104,9 +116,20 @@ func runUnitTier(cfg fleetnet.NodeConfig, opt tierOptions, out io.Writer) error 
 		return err
 	}
 	node := fleetnet.NewNode(cfg)
+	if err := armNodeWatch(node, opt.watchRules); err != nil {
+		return err
+	}
 	unit := fleet.UnitID(opt.id)
-	for _, c := range chunks {
+	// Units tick the watcher once per submitted frame chunk — a
+	// deterministic cadence tied to the telemetry stream itself, so the
+	// same simulation yields the same alert ledger.
+	for i, c := range chunks {
 		node.Submit(unit, c)
+		if opt.watchRules != "" {
+			if _, err := node.WatchTick(int64(i + 1)); err != nil {
+				return err
+			}
+		}
 	}
 	fmt.Fprintf(out, "unit %d: %d frames buffered for uplink to %s\n", opt.id, len(chunks), opt.parent)
 	drainErr := node.Drain(ctx)
@@ -122,6 +145,13 @@ func runUnitTier(cfg fleetnet.NodeConfig, opt tierOptions, out io.Writer) error 
 			opt.id, st.Acked, st.Sent, st.Sessions, st.Resumes, st.Drops, node.Journal().Hash()))
 	fmt.Fprintf(out, "uplink: %d/%d frames acknowledged, %d sessions, %d resumes, %d dial failures, %d drops\n",
 		st.Acked, st.Sent, st.Sessions, st.Resumes, st.DialFails, st.Drops)
+	if h, ok := node.WatchHealth(); ok {
+		sys.Log.Append(trace.KindWatch, "watch:summary",
+			fmt.Sprintf("unit watch %q: %d ticks, %d rules, %d alert transitions (%d firing at shutdown)",
+				h.Origin, h.Tick, h.Rules, h.AlertsTotal, h.Firing))
+		fmt.Fprintf(out, "watch: %s, %d ticks, %d rules, %d alert transitions, %d firing\n",
+			h.Status, h.Tick, h.Rules, h.AlertsTotal, h.Firing)
+	}
 	fmt.Fprintf(out, "evidence chain valid: %v\n", sys.Log.Verify() == nil)
 	if drainErr != nil {
 		return fmt.Errorf("interrupted with %d frames unacknowledged: %w", st.Sent-st.Acked, drainErr)
@@ -137,20 +167,26 @@ func runServerTier(cfg fleetnet.NodeConfig, opt tierOptions, out io.Writer) erro
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	node := fleetnet.NewNode(cfg)
+	if err := armNodeWatch(node, opt.watchRules); err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", opt.link)
 	if err != nil {
 		return err
 	}
 	fleetLinkReady(ln.Addr())
 	node.Serve(ln)
-	fmt.Fprintf(out, "%s tier %d: child links on %s, scrape endpoint on %s (/metrics, /report, /links); interrupt to stop\n",
+	stopWatch := startWatchLoop(ctx, node, opt)
+	fmt.Fprintf(out, "%s tier %d: child links on %s, scrape endpoint on %s (/metrics, /report, /links, /health, /alerts); interrupt to stop\n",
 		cfg.Tier, opt.id, ln.Addr(), opt.listen)
 	if err := serveHTTP(ctx, opt.listen, newTierHandler(node)); err != nil {
+		stopWatch()
 		closeCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
 		node.Close(closeCtx)
 		return err
 	}
+	stopWatch()
 
 	// Graceful drain: children are disconnected (they buffer and resume
 	// against our successor), then the region's own backlog is relayed.
@@ -174,6 +210,12 @@ func runServerTier(cfg fleetnet.NodeConfig, opt tierOptions, out io.Writer) erro
 	cov := node.Coverage()
 	fmt.Fprintf(out, "links: %d/%d live at shutdown, degraded=%v; journal %d events, sha256 %.12s…\n",
 		cov.Live, cov.Children, cov.Degraded, node.Journal().Len(), node.Journal().Hash())
+	if h, ok := node.WatchHealth(); ok {
+		fmt.Fprintf(out, "watch: %s, %d ticks, %d rules, %d alert transitions, %d firing; ledger %d alerts\n",
+			h.Status, h.Tick, h.Rules, h.AlertsTotal, h.Firing, len(node.Alerts()))
+	} else if n := len(node.Alerts()); n > 0 {
+		fmt.Fprintf(out, "watch: unarmed, ledger %d relayed alerts\n", n)
+	}
 	if up, ok := node.UplinkStatus(); ok {
 		fmt.Fprintf(out, "uplink: %d/%d frames acknowledged, %d sessions, %d resumes, %d drops\n",
 			up.Acked, up.Sent, up.Sessions, up.Resumes, up.Drops)
@@ -184,12 +226,68 @@ func runServerTier(cfg fleetnet.NodeConfig, opt tierOptions, out io.Writer) erro
 	return nil
 }
 
+// armNodeWatch binds the rule file onto the node's watcher; an empty
+// path leaves the node unarmed (it still ledgers relayed alerts).
+func armNodeWatch(node *fleetnet.Node, rulesPath string) error {
+	if rulesPath == "" {
+		return nil
+	}
+	src, err := os.ReadFile(rulesPath)
+	if err != nil {
+		return err
+	}
+	rules, err := watch.ParseRules(string(src))
+	if err != nil {
+		return err
+	}
+	return node.ArmWatch(watch.Config{Rules: rules})
+}
+
+// startWatchLoop ticks an armed server-tier watcher every
+// opt.watchEvery seconds until the returned stop function is called (or
+// ctx ends). Unarmed nodes get a no-op stop.
+func startWatchLoop(ctx context.Context, node *fleetnet.Node, opt tierOptions) (stop func()) {
+	if opt.watchRules == "" {
+		return func() {}
+	}
+	every := opt.watchEvery
+	if every <= 0 {
+		every = 5
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(time.Duration(every) * time.Second)
+		defer t.Stop()
+		var tick int64
+		for {
+			select {
+			case <-wctx.Done():
+				return
+			case <-t.C:
+				tick++
+				// A transient subtree snapshot failure skips the tick; the
+				// absence rules surface a persistent one.
+				node.WatchTick(tick)
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
+}
+
 // newTierHandler serves a tier node's live state: /metrics merges the
 // subtree fleet exposition with the node's link-layer metrics, /report
 // is the canonical subtree JSON (with a degradation header), /links the
-// per-child coverage and staleness detail.
+// per-child coverage and staleness detail, /health the armed watcher's
+// summary, /alerts the node ledger (own transitions plus everything
+// relayed from the subtree).
 func newTierHandler(n *fleetnet.Node) http.Handler {
 	mux := http.NewServeMux()
+	addWatchEndpoints(mux, n.Name(), n.WatchHealth, n.Alerts)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		rep, err := n.Fleet().Report()
 		if err != nil {

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"safexplain/internal/watch"
+)
+
+// cmdWatch tails a running node's continuous-health watch over HTTP:
+// poll /health and /alerts on the node's scrape endpoint and render the
+// status plus the alert ledger. Works against any tier node and against
+// a flat `fleet -listen` process.
+func cmdWatch(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	addr := fs.String("addr", "", "node scrape address to tail (host:port, required)")
+	format := fs.String("format", "table", "output format: table|json")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	n := fs.Int("n", 1, "polls before exiting (0 = poll until interrupted)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("watch needs -addr host:port")
+	}
+	if *format != "table" && *format != "json" {
+		return fmt.Errorf("unknown format %q (table|json)", *format)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	client := &http.Client{Timeout: 5 * time.Second}
+	for poll := 0; *n == 0 || poll < *n; poll++ {
+		if poll > 0 {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(*interval):
+			}
+		}
+		if err := watchPoll(ctx, client, *addr, *format, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// watchLedger mirrors the /alerts envelope.
+type watchLedger struct {
+	Origin string        `json:"origin"`
+	Alerts []watch.Alert `json:"alerts"`
+}
+
+// watchPoll fetches one /health + /alerts pair and renders it.
+func watchPoll(ctx context.Context, client *http.Client, addr, format string, out io.Writer) error {
+	healthBlob, healthCode, err := watchGet(ctx, client, addr, "/health")
+	if err != nil {
+		return err
+	}
+	alertsBlob, alertsCode, err := watchGet(ctx, client, addr, "/alerts")
+	if err != nil {
+		return err
+	}
+	if alertsCode != http.StatusOK {
+		return fmt.Errorf("watch: %s/alerts answered %d", addr, alertsCode)
+	}
+	var ledger watchLedger
+	if err := json.Unmarshal(alertsBlob, &ledger); err != nil {
+		return fmt.Errorf("watch: %s/alerts not a ledger: %w", addr, err)
+	}
+
+	if format == "json" {
+		h := json.RawMessage("null")
+		if healthCode == http.StatusOK {
+			h = json.RawMessage(healthBlob)
+		}
+		blob, err := json.Marshal(struct {
+			Health json.RawMessage `json:"health"`
+			Alerts json.RawMessage `json:"alerts"`
+		}{Health: h, Alerts: json.RawMessage(alertsBlob)})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s\n", blob)
+		return nil
+	}
+
+	if healthCode == http.StatusOK {
+		var h watch.Health
+		if err := json.Unmarshal(healthBlob, &h); err != nil {
+			return fmt.Errorf("watch: %s/health not a health summary: %w", addr, err)
+		}
+		fmt.Fprintf(out, "watch %s: %s, tick %d, %d samples over %d series, %d rules, %d firing, %d transitions (%d dropped)\n",
+			h.Origin, h.Status, h.Tick, h.Samples, h.Series, h.Rules, h.Firing, h.AlertsTotal, h.AlertsDropped)
+	} else {
+		fmt.Fprintf(out, "watch %s: unarmed (ledger only)\n", ledger.Origin)
+	}
+	for _, a := range ledger.Alerts {
+		fmt.Fprintf(out, "  %-8s %-10s tick=%-6d %s = %g vs %g  rule %q  evidence %.12s…\n",
+			a.State, a.Origin, a.Tick, a.Metric, a.Value, a.Threshold, a.Rule, a.EvidenceHash)
+	}
+	if len(ledger.Alerts) == 0 {
+		fmt.Fprintln(out, "  no alerts")
+	}
+	return nil
+}
+
+// watchGet fetches one endpoint, tolerating 404 (unarmed node).
+func watchGet(ctx context.Context, client *http.Client, addr, path string) ([]byte, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+path, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, 0, fmt.Errorf("watch: %s unreachable: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return body, resp.StatusCode, nil
+}
+
+// addWatchEndpoints mounts the continuous-health endpoints on an
+// operational mux: /health answers the armed watcher's summary (404
+// when unarmed), /alerts the canonical ledger envelope (always 200 — an
+// unarmed parent still ledgers relayed alerts).
+func addWatchEndpoints(mux *http.ServeMux, origin string, health func() (watch.Health, bool), alerts func() []watch.Alert) {
+	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+		h, ok := health()
+		if !ok {
+			http.Error(w, "no watcher armed", http.StatusNotFound)
+			return
+		}
+		blob, err := json.MarshalIndent(h, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(blob)
+	})
+	mux.HandleFunc("/alerts", func(w http.ResponseWriter, r *http.Request) {
+		blob, err := watch.AlertsJSON(origin, alerts())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(blob)
+	})
+}

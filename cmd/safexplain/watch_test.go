@@ -1,0 +1,216 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"safexplain/internal/fleet"
+	"safexplain/internal/fleetnet"
+	"safexplain/internal/watch"
+)
+
+// testTierNode builds a rootless tier node with an armed watcher whose
+// rule fires on the first tick (a node always runs goroutines).
+func testTierNode(t *testing.T, rules string) *fleetnet.Node {
+	t.Helper()
+	node := fleetnet.NewNode(fleetnet.NodeConfig{ID: 1, Tier: fleetnet.TierUnit})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		node.Close(ctx)
+	})
+	if rules == "" {
+		return node
+	}
+	parsed, err := watch.ParseRules(rules)
+	if err != nil {
+		t.Fatalf("ParseRules: %v", err)
+	}
+	if err := node.ArmWatch(watch.Config{Rules: parsed}); err != nil {
+		t.Fatalf("ArmWatch: %v", err)
+	}
+	return node
+}
+
+func TestCmdWatchTailsTierNode(t *testing.T) {
+	node := testTierNode(t, "threshold self_goroutines > 0\n")
+	if fired, err := node.WatchTick(1); err != nil || fired != 1 {
+		t.Fatalf("WatchTick = %d, %v; want 1 firing", fired, err)
+	}
+	srv := httptest.NewServer(newTierHandler(node))
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	var out bytes.Buffer
+	if err := run([]string{"watch", "-addr", addr}, &out); err != nil {
+		t.Fatalf("run watch: %v", err)
+	}
+	for _, want := range []string{"watch unit-1: alerting", "firing", "self_goroutines", "evidence"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("table output missing %q\n--- output ---\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"watch", "-addr", addr, "-format", "json", "-n", "2", "-interval", "10ms"}, &out); err != nil {
+		t.Fatalf("run watch -format json: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("-n 2 produced %d lines", len(lines))
+	}
+	var doc struct {
+		Health *watch.Health `json:"health"`
+		Alerts struct {
+			Origin string        `json:"origin"`
+			Alerts []watch.Alert `json:"alerts"`
+		} `json:"alerts"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &doc); err != nil {
+		t.Fatalf("json output not valid: %v\n%s", err, lines[0])
+	}
+	if doc.Health == nil || doc.Health.Origin != "unit-1" || doc.Health.Firing != 1 {
+		t.Fatalf("json health = %+v", doc.Health)
+	}
+	if len(doc.Alerts.Alerts) != 1 || doc.Alerts.Alerts[0].Metric != "self_goroutines" {
+		t.Fatalf("json ledger = %+v", doc.Alerts)
+	}
+}
+
+func TestCmdWatchUnarmedNode(t *testing.T) {
+	node := testTierNode(t, "")
+	srv := httptest.NewServer(newTierHandler(node))
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	var out bytes.Buffer
+	if err := run([]string{"watch", "-addr", addr}, &out); err != nil {
+		t.Fatalf("run watch: %v", err)
+	}
+	for _, want := range []string{"unarmed (ledger only)", "no alerts"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q\n--- output ---\n%s", want, out.String())
+		}
+	}
+}
+
+func TestCmdWatchBadArguments(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"watch"},
+		{"watch", "-addr", "127.0.0.1:1", "-format", "xml"},
+		{"watch", "-addr", "127.0.0.1:1"}, // nothing listens on port 1
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}
+
+// TestDebugProfilerOptIn is the negative test the observability hardening
+// demands: the operational endpoints must never expose the Go profiler,
+// even though the binary links net/http/pprof; only the dedicated
+// -debug-addr listener serves it.
+func TestDebugProfilerOptIn(t *testing.T) {
+	node := testTierNode(t, "")
+	for name, h := range map[string]http.Handler{
+		"tier":  newTierHandler(node),
+		"fleet": newFleetHandler(fleet.New(fleet.Config{Shards: 1}), nil),
+	} {
+		srv := httptest.NewServer(h)
+		resp, err := http.Get(srv.URL + "/debug/pprof/")
+		if err != nil {
+			t.Fatalf("%s handler: %v", name, err)
+		}
+		resp.Body.Close()
+		srv.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s handler serves /debug/pprof/ with status %d; profiling must be opt-in", name, resp.StatusCode)
+		}
+	}
+
+	var bound net.Addr
+	old := debugReady
+	debugReady = func(a net.Addr) { bound = a }
+	defer func() { debugReady = old }()
+	stop, err := startDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("startDebugServer: %v", err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + bound.String() + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET /debug/pprof/ on debug listener: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("debug listener /debug/pprof/ = %d\n%s", resp.StatusCode, body)
+	}
+}
+
+// TestFleetWatchFlat runs the single-process fleet with an armed watcher:
+// the ingest-volume rule must fire, the decode-error rule must stay
+// quiet (zero false positives on a clean downlink), and the ledger must
+// land in -watch-out as canonical JSON.
+func TestFleetWatchFlat(t *testing.T) {
+	dir := t.TempDir()
+	rulesPath := filepath.Join(dir, "watch.rules")
+	ledgerPath := filepath.Join(dir, "watch-alerts.json")
+	rules := "# fires once ingest starts\n" +
+		"threshold fleet_frames_total >= 1\n" +
+		"# must never fire on a clean run\n" +
+		"threshold fleet_decode_errors_total > 0\n"
+	if err := os.WriteFile(rulesPath, []byte(rules), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	args := append(append([]string{}, fleetArgs...),
+		"-watch-rules", rulesPath, "-watch-every", "4", "-watch-out", ledgerPath)
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	if !strings.Contains(out.String(), "watch: alerting") {
+		t.Errorf("table output missing watch summary\n--- output ---\n%s", out.String())
+	}
+	blob, err := os.ReadFile(ledgerPath)
+	if err != nil {
+		t.Fatalf("ledger not written: %v", err)
+	}
+	var ledger struct {
+		Origin string        `json:"origin"`
+		Alerts []watch.Alert `json:"alerts"`
+	}
+	if err := json.Unmarshal(blob, &ledger); err != nil {
+		t.Fatalf("ledger not valid JSON: %v\n%s", err, blob)
+	}
+	if ledger.Origin != "fleet" || len(ledger.Alerts) != 1 {
+		t.Fatalf("ledger = %+v, want exactly the ingest-volume alert", ledger)
+	}
+	a := ledger.Alerts[0]
+	if a.Metric != "fleet_frames_total" || a.State != watch.StateFiring || a.EvidenceHash == "" {
+		t.Fatalf("alert = %+v", a)
+	}
+	if _, err := watch.DecodeAlert(mustEncode(t, a)); err != nil {
+		t.Fatalf("ledger alert fails evidence verification: %v", err)
+	}
+}
+
+func mustEncode(t *testing.T, a watch.Alert) []byte {
+	t.Helper()
+	blob, err := watch.EncodeAlert(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}

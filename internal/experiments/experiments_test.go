@@ -6,7 +6,7 @@ import (
 )
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"F1", "F2", "F3", "T1", "T10", "T11", "T12", "T13", "T14", "T15", "T16", "T17", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9"}
+	want := []string{"F1", "F2", "F3", "T1", "T10", "T11", "T12", "T13", "T14", "T15", "T16", "T17", "T18", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)
@@ -281,6 +281,40 @@ func TestT17FleetLinks(t *testing.T) {
 	}
 	if r.Metrics["alerts"] <= 0 {
 		t.Fatal("T17 shape: no common-mode alert through the tier tree")
+	}
+}
+
+func TestT18HealthWatch(t *testing.T) {
+	r := requireResult(t, "T18", "creep")
+	// The false-positive floor: the clean baseline and every injected
+	// scenario must alert only on the injected degradation.
+	for _, mode := range []string{"clean", "creep", "stall", "flap"} {
+		if r.Metrics["false_positives_"+mode] != 0 {
+			t.Fatalf("T18 shape: %s raised %v false positives", mode, r.Metrics["false_positives_"+mode])
+		}
+		// The determinism claim: the global alert ledger serializes
+		// byte-identically under reversed unit interleaving.
+		if r.Metrics["determinism_"+mode] != 1 {
+			t.Fatalf("T18 shape: %s ledger diverged across interleavings", mode)
+		}
+	}
+	if r.Metrics["alerts_clean"] != 0 {
+		t.Fatalf("T18 shape: clean run alerted %v times", r.Metrics["alerts_clean"])
+	}
+	// Every degradation must be detected, within a bounded number of
+	// ticks of injection.
+	for mode, maxLatency := range map[string]float64{"creep": 4, "stall": 3, "flap": 1} {
+		lat, ok := r.Metrics["latency_"+mode]
+		if !ok {
+			t.Fatalf("T18 shape: %s degradation never detected: %v", mode, r.Metrics)
+		}
+		if lat < 0 || lat > maxLatency {
+			t.Fatalf("T18 shape: %s detection latency %v ticks, want ≤ %v", mode, lat, maxLatency)
+		}
+	}
+	// The flap must both fire and resolve — two ledger entries.
+	if r.Metrics["alerts_flap"] != 2 {
+		t.Fatalf("T18 shape: flap ledgered %v alerts, want firing+resolved", r.Metrics["alerts_flap"])
 	}
 }
 

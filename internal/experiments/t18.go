@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"safexplain/internal/fleet"
+	"safexplain/internal/fleetnet"
+	"safexplain/internal/obs"
+	"safexplain/internal/watch"
+)
+
+func init() { registry["T18"] = runT18 }
+
+// T18 — continuous health watch over the fleet tree: the T17 tier
+// topology (units → regions → global over in-process pipes), but with
+// synthetic telemetry producers and a continuous-health watcher armed on
+// every unit and region. Units watch their own runtime registry with a
+// WCET burn-rate rule (budget straight from the rt_frame_cycles
+// histogram bounds); regions watch subtree ingest rate. Three
+// degradations are injected one at a time, plus a clean baseline:
+//
+//	clean  no degradation — the false-positive floor (must be zero)
+//	creep  unit 1's frame cycles grow past the WCET budget mid-run;
+//	       the unit's burn rule must fire and relay to the global root
+//	stall  unit 2 stops producing mid-run; its region's ingest-rate
+//	       rule must fire
+//	flap   unit 3's uplink is severed and healed twice; the unit's
+//	       resume-rate rule must fire (and resolve once the link is
+//	       quiet again)
+//
+// Every scenario runs on fixed barrier ticks (produce → drain → sample),
+// so alert ticks are logical, not wall-clock, and each scenario is run
+// twice with the per-tick unit order reversed: the global root's alert
+// ledger must serialize byte-identically — the same determinism claim
+// the ground segment makes for reports, extended to alerts. The probe
+// column is the measured cost of one watch tick across the whole tree.
+func runT18() Result {
+	const (
+		nUnits       = 4
+		nRegions     = 2
+		ticks        = 12
+		framesPer    = 2
+		cycleBudget  = 100
+		injectTick   = 7 // first degraded tick in every scenario
+		cleanCycles  = 60
+		creepStep    = 25
+		drainTimeout = 30 * time.Second
+	)
+
+	unitRules, err := watch.ParseRules(
+		"burn rt_frame_cycles bound 4 slo 0.9 window 4 > 1 for 2\n" +
+			"rate link_resumes_total window 2 > 0\n")
+	if err != nil {
+		panic(fmt.Sprintf("t18: unit rules: %v", err))
+	}
+	regionRules, err := watch.ParseRules("rate fleet_frames_total window 2 < 3.5 for 2\n")
+	if err != nil {
+		panic(fmt.Sprintf("t18: region rules: %v", err))
+	}
+
+	link := func(cfg fleetnet.NodeConfig) fleetnet.NodeConfig {
+		cfg.BackoffBase = time.Millisecond
+		cfg.BackoffMax = 25 * time.Millisecond
+		cfg.IOTimeout = 500 * time.Millisecond
+		return cfg
+	}
+	dialTo := func(parent *fleetnet.Node) func() (net.Conn, error) {
+		return func() (net.Conn, error) {
+			c, s := net.Pipe()
+			parent.ServeConn(s)
+			return c, nil
+		}
+	}
+
+	// expected maps each scenario to the (origin, metric) pairs its
+	// injected degradation legitimately alerts on; anything else in any
+	// ledger is a false positive.
+	expected := map[string]map[string]bool{
+		"clean": {},
+		"creep": {"unit-1/rt_frame_cycles": true},
+		"stall": {"region-100/fleet_frames_total": true},
+		"flap":  {"unit-3/link_resumes_total": true},
+	}
+
+	type outcome struct {
+		alerts       []watch.Alert
+		ledgerJSON   []byte
+		fp           int
+		detectTick   int64 // first expected firing transition, -1 if missed
+		probePerTick time.Duration
+	}
+
+	// runScenario drives one tree through the full tick schedule.
+	// reversed flips the per-tick unit order — the interleaving the
+	// determinism claim must be invariant to.
+	runScenario := func(mode string, reversed bool) outcome {
+		global := fleetnet.NewNode(link(fleetnet.NodeConfig{
+			ID: 1000, Tier: fleetnet.TierGlobal,
+			Fleet: fleet.Config{Shards: 2},
+		}))
+		regions := make([]*fleetnet.Node, nRegions)
+		for r := range regions {
+			regions[r] = fleetnet.NewNode(link(fleetnet.NodeConfig{
+				ID: uint32(100 + r), Tier: fleetnet.TierRegion,
+				Fleet: fleet.Config{Shards: 1},
+				Dial:  dialTo(global),
+			}))
+			if err := regions[r].ArmWatch(watch.Config{Rules: regionRules}); err != nil {
+				panic(fmt.Sprintf("t18: %s: region watch: %v", mode, err))
+			}
+		}
+		producers := make([]*obs.Obs, nUnits)
+		downlinks := make([]*obs.Downlink, nUnits)
+		gates := make([]*fleetnet.Gate, nUnits)
+		units := make([]*fleetnet.Node, nUnits)
+		for u := range units {
+			producers[u] = obs.New(obs.Config{
+				Name: fmt.Sprintf("t18-unit-%d", u+1), FrameBudget: cycleBudget,
+			})
+			downlinks[u] = obs.NewDownlink(obs.DownlinkConfig{BytesPerFrame: 2048, QueueDepth: 64})
+			producers[u].AttachDownlink(downlinks[u])
+			gates[u] = fleetnet.NewGate(true)
+			reg := producers[u].Reg
+			units[u] = fleetnet.NewNode(link(fleetnet.NodeConfig{
+				ID: uint32(u + 1), Tier: fleetnet.TierUnit,
+				Dial:        gates[u].Dial(dialTo(regions[u/(nUnits/nRegions)])),
+				WatchSource: func() (obs.Snapshot, error) { return reg.Snapshot(), nil },
+			}))
+			if err := units[u].ArmWatch(watch.Config{Rules: unitRules}); err != nil {
+				panic(fmt.Sprintf("t18: %s: unit watch: %v", mode, err))
+			}
+		}
+
+		drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		drainAll := func(nodes []*fleetnet.Node) {
+			for _, n := range nodes {
+				if err := n.Drain(drainCtx); err != nil {
+					panic(fmt.Sprintf("t18: %s: drain: %v", mode, err))
+				}
+			}
+		}
+		captured := make([]int, nUnits) // capture bytes already submitted
+		produce := func(u int, tick int64) {
+			cycles := float64(cleanCycles)
+			if mode == "creep" && u == 0 && tick >= injectTick {
+				cycles = float64(cleanCycles + creepStep*int(tick-injectTick))
+			}
+			for k := 0; k < framesPer; k++ {
+				frame := int(tick-1)*framesPer + k
+				producers[u].TraceBegin(frame)
+				producers[u].Frames.Inc()
+				producers[u].FrameCycles.Observe(cycles)
+				producers[u].TraceEnd(frame)
+			}
+			tail := downlinks[u].Capture()[captured[u]:]
+			captured[u] += len(tail)
+			for _, chunk := range fleet.SplitFrames(tail) {
+				units[u].Submit(fleet.UnitID(u+1), chunk)
+			}
+		}
+
+		var probe time.Duration
+		order := make([]int, nUnits)
+		for u := range order {
+			order[u] = u
+			if reversed {
+				order[u] = nUnits - 1 - u
+			}
+		}
+		for tick := int64(1); tick <= ticks; tick++ {
+			flapping := mode == "flap" && (tick == injectTick || tick == injectTick+2)
+			if flapping {
+				gates[2].Set(false)
+			}
+			for _, u := range order {
+				if mode == "stall" && u == 1 && tick >= injectTick {
+					continue
+				}
+				produce(u, tick)
+			}
+			if flapping {
+				gates[2].Set(true)
+			}
+			// Barrier: every frame (and the flap's resume handshake) lands
+			// before anything samples, so the tick is a consistent cut.
+			drainAll(units)
+			start := time.Now()
+			for _, u := range order {
+				if _, err := units[u].WatchTick(tick); err != nil {
+					panic(fmt.Sprintf("t18: %s: unit tick: %v", mode, err))
+				}
+			}
+			drainAll(units) // relay freshly emitted unit alerts
+			for _, r := range regions {
+				if _, err := r.WatchTick(tick); err != nil {
+					panic(fmt.Sprintf("t18: %s: region tick: %v", mode, err))
+				}
+			}
+			probe += time.Since(start)
+			drainAll(regions)
+		}
+
+		var o outcome
+		o.alerts = global.Alerts()
+		o.ledgerJSON, err = watch.AlertsJSON("global-1000", o.alerts)
+		if err != nil {
+			panic(fmt.Sprintf("t18: %s: ledger json: %v", mode, err))
+		}
+		o.detectTick = -1
+		for _, a := range o.alerts {
+			key := a.Origin + "/" + a.Metric
+			if !expected[mode][key] {
+				o.fp++
+				continue
+			}
+			if a.State == watch.StateFiring && (o.detectTick < 0 || a.Tick < o.detectTick) {
+				o.detectTick = a.Tick
+			}
+		}
+		o.probePerTick = probe / ticks
+
+		for _, n := range units {
+			n.Close(drainCtx)
+		}
+		for _, n := range regions {
+			n.Close(drainCtx)
+		}
+		global.Close(drainCtx)
+		return o
+	}
+
+	header := []string{"scenario", "ticks", "alerts", "false-pos", "inject", "detect",
+		"latency", "probe/tick", "determinism"}
+	var rows [][]string
+	metrics := map[string]float64{}
+	for _, mode := range []string{"clean", "creep", "stall", "flap"} {
+		fwd := runScenario(mode, false)
+		rev := runScenario(mode, true)
+		det := "ok"
+		if !bytes.Equal(fwd.ledgerJSON, rev.ledgerJSON) {
+			det = "MISMATCH"
+		}
+		inject, detect, latency := "-", "-", "-"
+		if mode != "clean" {
+			inject = fmt.Sprintf("t%d", injectTick)
+			detect, latency = "MISSED", "MISSED"
+			if fwd.detectTick >= 0 {
+				detect = fmt.Sprintf("t%d", fwd.detectTick)
+				latency = fmt.Sprintf("%d", fwd.detectTick-injectTick)
+				metrics["latency_"+mode] = float64(fwd.detectTick - injectTick)
+			}
+		}
+		rows = append(rows, []string{
+			mode, fmt.Sprintf("%d", ticks),
+			fmt.Sprintf("%d", len(fwd.alerts)), fmt.Sprintf("%d", fwd.fp),
+			inject, detect, latency,
+			fmt.Sprintf("%dµs", fwd.probePerTick.Microseconds()), det,
+		})
+		metrics["alerts_"+mode] = float64(len(fwd.alerts))
+		metrics["false_positives_"+mode] = float64(fwd.fp)
+		if det == "ok" {
+			metrics["determinism_"+mode] = 1
+		}
+		metrics["probe_us_per_tick_"+mode] = float64(fwd.probePerTick.Microseconds())
+	}
+
+	return Result{
+		ID:      "T18",
+		Title:   "Continuous health watch over the fleet tree: detection latency, false positives and probe cost for WCET burn, stage stall and link flap (4 units, 2 regions)",
+		Table:   table(header, rows),
+		Metrics: metrics,
+	}
+}

@@ -128,6 +128,28 @@ func (a *Aggregator) Report() (Report, error) {
 	}, nil
 }
 
+// MetricsSnapshot merges just the shard registries into one subtree
+// metrics snapshot — the lightweight view a continuous-health watcher
+// samples each cadence tick, without freezing unit ledgers or running
+// common-mode detection. Shard registries are declared identically at
+// construction, so the metric layout is stable across calls.
+func (a *Aggregator) MetricsSnapshot() (obs.Snapshot, error) {
+	var merged obs.Snapshot
+	for i, s := range a.shards {
+		s.mu.Lock()
+		snap := s.reg.Snapshot()
+		s.mu.Unlock()
+		if i == 0 {
+			merged = snap.CloneMetrics()
+			continue
+		}
+		if err := merged.Merge(snap); err != nil {
+			return obs.Snapshot{}, fmt.Errorf("fleet: shard %d registry: %w", i, err)
+		}
+	}
+	return merged, nil
+}
+
 // CanonicalJSON renders the report as its canonical evidence form:
 // indented JSON with fixed field order and unit-sorted rows.
 func (r Report) CanonicalJSON() ([]byte, error) {

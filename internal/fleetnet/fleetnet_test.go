@@ -121,6 +121,8 @@ func TestMsgRoundTrip(t *testing.T) {
 		{Kind: KindData, Seq: 9001, Unit: 17, Payload: []byte("frame-bytes")},
 		{Kind: KindData, Seq: 1, Unit: -3, Payload: nil},
 		{Kind: KindAck, Ack: 12345},
+		{Kind: KindAlert, Seq: 77, Node: 3, Payload: []byte(`{"origin":"unit-3"}`)},
+		{Kind: KindAlert, Seq: 1, Node: 0, Payload: nil},
 	}
 	for _, want := range msgs {
 		enc := AppendMsg(nil, want)

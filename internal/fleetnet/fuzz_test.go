@@ -14,6 +14,7 @@ func FuzzTierDecode(f *testing.F) {
 	f.Add(AppendMsg(nil, Msg{Kind: KindWelcome, Ack: 42}))
 	f.Add(AppendMsg(nil, Msg{Kind: KindData, Seq: 3, Unit: 9, Payload: []byte("frame")}))
 	f.Add(AppendMsg(nil, Msg{Kind: KindAck, Ack: 11}))
+	f.Add(AppendMsg(nil, Msg{Kind: KindAlert, Seq: 5, Node: 12, Payload: []byte(`{"origin":"n12"}`)}))
 	f.Add([]byte{})
 	f.Add([]byte{linkMagic0, linkMagic1, linkVersion, byte(KindData), 0xff, 0xff})
 

@@ -2,11 +2,14 @@ package fleetnet
 
 import (
 	"context"
+	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"safexplain/internal/fleet"
 	"safexplain/internal/obs"
+	"safexplain/internal/watch"
 )
 
 // NodeConfig sizes one tier node. Zero values get defaults.
@@ -32,6 +35,15 @@ type NodeConfig struct {
 	ScrambleSeed   uint64
 	// JournalCap bounds the link-event flight journal (default 256).
 	JournalCap int
+	// AlertCap bounds the retained watch-alert ledger — the node's own
+	// transitions plus alerts relayed from its subtree (default 256).
+	AlertCap int
+	// WatchSource, when set, contributes one extra snapshot to the watch
+	// layout — typically the unit's own runtime obs registry, so WCET
+	// burn-rate rules can bind against rt_frame_cycles and its budget
+	// bounds. The source must keep a stable metric layout: every metric
+	// is declared before ArmWatch and none added after.
+	WatchSource func() (obs.Snapshot, error)
 }
 
 // Node is one tier of the aggregation tree. Every tier runs the same
@@ -51,6 +63,7 @@ type Node struct {
 
 	reg      *obs.Registry
 	journal  *obs.Flight
+	self     *obs.SelfStats
 	cApplied *obs.Counter
 	cRelayed *obs.Counter
 	cRelayDr *obs.Counter
@@ -59,6 +72,15 @@ type Node struct {
 	cDown    *obs.Counter
 	cLost    *obs.Counter
 	cOverrun *obs.Counter
+
+	cWatchSamples *obs.Counter
+	cWatchAlerts  *obs.Counter
+	cWatchRelayed *obs.Counter
+	cWatchDrops   *obs.Counter
+
+	wmu     sync.Mutex
+	watcher *watch.Watcher
+	alerts  []watch.Alert
 }
 
 // NewNode builds and starts a tier node. The subtree aggregator runs in
@@ -71,6 +93,9 @@ func NewNode(cfg NodeConfig) *Node {
 	}
 	if cfg.JournalCap <= 0 {
 		cfg.JournalCap = 256
+	}
+	if cfg.AlertCap <= 0 {
+		cfg.AlertCap = 256
 	}
 	reg := obs.NewRegistry("fleetnet")
 	n := &Node{
@@ -86,13 +111,22 @@ func NewNode(cfg NodeConfig) *Node {
 		cDown:    reg.Counter("link_downs_total", "sessions ended"),
 		cLost:    reg.Counter("link_frames_lost_total", "frames skipped by resequencing-gap declaration"),
 		cOverrun: reg.Counter("link_overruns_total", "uplink ring overflows"),
+
+		cWatchSamples: reg.Counter("watch_samples_total", "continuous-health watch cadence ticks sampled"),
+		cWatchAlerts:  reg.Counter("watch_alerts_total", "alert transitions emitted by this node's watcher"),
+		cWatchRelayed: reg.Counter("watch_alerts_relayed_total", "watch alerts relayed to the parent tier"),
+		cWatchDrops:   reg.Counter("watch_alerts_dropped_total", "watch alerts dropped (corrupt relay, full uplink ring, or full ledger)"),
 	}
+	// The node watches its own health too: runtime self-gauges live in
+	// the same registry the watcher samples.
+	n.self = obs.NewSelfStats(reg)
 	n.srv = NewServer(ServerConfig{
-		Apply:     n.apply,
-		Window:    cfg.Window,
-		AckEvery:  cfg.AckEvery,
-		IOTimeout: cfg.IOTimeout,
-		OnEvent:   n.onEvent,
+		Apply:      n.apply,
+		ApplyAlert: n.applyAlert,
+		Window:     cfg.Window,
+		AckEvery:   cfg.AckEvery,
+		IOTimeout:  cfg.IOTimeout,
+		OnEvent:    n.onEvent,
 	})
 	if cfg.Dial != nil {
 		n.up = NewUplink(UplinkConfig{
@@ -173,6 +207,10 @@ func (n *Node) Fleet() *fleet.Aggregator { return n.agg }
 // Registry exposes the node's link-metrics registry.
 func (n *Node) Registry() *obs.Registry { return n.reg }
 
+// Name is the node's canonical "<tier>-<id>" identity — the default
+// alert origin and the ledger name served on /alerts.
+func (n *Node) Name() string { return fmt.Sprintf("%s-%d", n.cfg.Tier, n.cfg.ID) }
+
 // Journal exposes the bounded link-event journal.
 func (n *Node) Journal() *obs.Flight { return n.journal }
 
@@ -210,4 +248,160 @@ func (n *Node) Close(ctx context.Context) error {
 		n.up.Close()
 	}
 	return err
+}
+
+// watchSnaps freezes the snapshots the node watcher samples, in layout
+// order: the node registry (link metrics + runtime self-gauges) first,
+// the merged subtree fleet metrics second. Snapshot production is the
+// allocating leg of the watch cadence; the fill/sample/eval leg that
+// follows it is allocation-free.
+func (n *Node) watchSnaps() ([]obs.Snapshot, error) {
+	sub, err := n.agg.MetricsSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	snaps := []obs.Snapshot{n.reg.Snapshot(), sub}
+	if n.cfg.WatchSource != nil {
+		src, err := n.cfg.WatchSource()
+		if err != nil {
+			return nil, err
+		}
+		snaps = append(snaps, src)
+	}
+	return snaps, nil
+}
+
+// ArmWatch binds a continuous-health watcher over the node's own metric
+// layout (node registry + merged subtree fleet metrics). Defaults:
+// Origin "<tier>-<id>", Journal the node's link journal. Own alert
+// transitions are retained in the node ledger and relayed to the parent
+// tier through the store-and-forward uplink, interleaved with telemetry
+// in the same sequence space. Arm before the first WatchTick; rules
+// naming metrics outside the layout fail here, not silently at runtime.
+func (n *Node) ArmWatch(cfg watch.Config) error {
+	if cfg.Origin == "" {
+		cfg.Origin = n.Name()
+	}
+	if cfg.Journal == nil {
+		cfg.Journal = n.journal
+	}
+	userHook := cfg.OnAlert
+	cfg.OnAlert = func(a watch.Alert) {
+		n.onOwnAlert(a)
+		if userHook != nil {
+			userHook(a)
+		}
+	}
+	n.self.Update()
+	snaps, err := n.watchSnaps()
+	if err != nil {
+		return err
+	}
+	w, err := watch.New(cfg, snaps)
+	if err != nil {
+		return err
+	}
+	n.wmu.Lock()
+	n.watcher = w
+	n.wmu.Unlock()
+	return nil
+}
+
+// WatchTick runs one watch cadence tick: refresh the self-gauges,
+// freeze the snapshots, sample and evaluate. Returns the number of
+// rules that newly fired. A node with no armed watcher is a no-op.
+func (n *Node) WatchTick(tick int64) (int, error) {
+	n.wmu.Lock()
+	w := n.watcher
+	n.wmu.Unlock()
+	if w == nil {
+		return 0, nil
+	}
+	n.self.Update()
+	snaps, err := n.watchSnaps()
+	if err != nil {
+		return 0, err
+	}
+	fired, err := w.Observe(tick, snaps)
+	if err != nil {
+		return 0, err
+	}
+	n.cWatchSamples.Inc()
+	return fired, nil
+}
+
+// onOwnAlert handles one transition from the node's own watcher: count,
+// retain, relay upward. Called with the watcher lock held.
+func (n *Node) onOwnAlert(a watch.Alert) {
+	n.cWatchAlerts.Inc()
+	n.ledgerAdd(a)
+	if n.up == nil {
+		return
+	}
+	blob, err := watch.EncodeAlert(a)
+	if err != nil {
+		n.cWatchDrops.Inc()
+		return
+	}
+	if n.up.SendAlert(n.cfg.ID, blob) {
+		n.cWatchRelayed.Inc()
+	} else {
+		n.cWatchDrops.Inc()
+	}
+}
+
+// applyAlert receives one relayed alert from a child link: authenticate
+// the evidence hash, retain it, and forward the original payload upward
+// so the bytes — and therefore the hash — are identical at every tier.
+func (n *Node) applyAlert(_ uint32, origin uint32, payload []byte) {
+	a, err := watch.DecodeAlert(payload)
+	if err != nil {
+		n.cWatchDrops.Inc()
+		return
+	}
+	n.ledgerAdd(a)
+	if n.up == nil {
+		return
+	}
+	if n.up.SendAlert(origin, payload) {
+		n.cWatchRelayed.Inc()
+	} else {
+		n.cWatchDrops.Inc()
+	}
+}
+
+// ledgerAdd retains one alert in the bounded node ledger.
+func (n *Node) ledgerAdd(a watch.Alert) {
+	n.wmu.Lock()
+	if len(n.alerts) < n.cfg.AlertCap {
+		n.alerts = append(n.alerts, a)
+		n.wmu.Unlock()
+		return
+	}
+	n.wmu.Unlock()
+	n.cWatchDrops.Inc()
+}
+
+// Alerts returns the node's retained alert ledger — its own watcher's
+// transitions plus every alert relayed from the subtree — in canonical
+// (origin, tick, rule, state) order, so the serialized ledger is
+// byte-identical regardless of relay interleaving.
+func (n *Node) Alerts() []watch.Alert {
+	n.wmu.Lock()
+	out := append([]watch.Alert(nil), n.alerts...)
+	n.wmu.Unlock()
+	watch.SortAlerts(out)
+	return out
+}
+
+// WatchHealth freezes the armed watcher's summary; ok is false when no
+// watcher is armed.
+func (n *Node) WatchHealth() (watch.Health, bool) {
+	n.wmu.Lock()
+	w := n.watcher
+	n.wmu.Unlock()
+	if w == nil {
+		return watch.Health{}, false
+	}
+	return w.Health(), true
 }

@@ -12,9 +12,14 @@ import (
 // ServerConfig sizes the parent end of tier links. Zero values get
 // defaults.
 type ServerConfig struct {
-	// Apply receives each child envelope exactly once, in sequence order
-	// per child. The payload is owned by the callee. Required.
+	// Apply receives each child data envelope exactly once, in sequence
+	// order per child. The payload is owned by the callee. Required.
 	Apply func(node uint32, unit fleet.UnitID, payload []byte)
+	// ApplyAlert receives each relayed watch alert exactly once, in the
+	// same per-child sequence order as data (alerts share the sequence
+	// space). node is the directly-connected child, origin the node the
+	// alert originated on. Optional: nil drops relayed alerts.
+	ApplyAlert func(node uint32, origin uint32, payload []byte)
 	// Window bounds the per-child resequencing buffer (default 256
 	// envelopes). A sequence gap still open when the buffer fills is
 	// declared lost and skipped — the subtree never stalls on one
@@ -47,7 +52,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 
 // pendEnv is one out-of-order envelope held for resequencing.
 type pendEnv struct {
-	unit    fleet.UnitID
+	kind    MsgKind
+	unit    fleet.UnitID // KindData
+	node    uint32       // KindAlert: origin node id
 	payload []byte
 }
 
@@ -227,7 +234,7 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			continue
 		}
-		if m.Kind != KindData {
+		if m.Kind != KindData && m.Kind != KindAlert {
 			continue
 		}
 		s.ingest(c, m)
@@ -259,16 +266,16 @@ func (s *Server) ingest(c *child, m Msg) {
 		c.mu.Unlock()
 		return
 	case m.Seq == c.applied+1:
-		payload := append([]byte(nil), m.Payload...)
+		e := pendEnv{kind: m.Kind, unit: m.Unit, node: m.Node, payload: append([]byte(nil), m.Payload...)}
 		c.applied++
 		c.unacked++
 		c.mu.Unlock()
-		s.cfg.Apply(c.node, m.Unit, payload)
+		s.applyEnv(c.node, e)
 		s.drainPending(c)
 		return
 	default:
 		if _, ok := c.pending[m.Seq]; !ok {
-			c.pending[m.Seq] = pendEnv{unit: m.Unit, payload: append([]byte(nil), m.Payload...)}
+			c.pending[m.Seq] = pendEnv{kind: m.Kind, unit: m.Unit, node: m.Node, payload: append([]byte(nil), m.Payload...)}
 		}
 		if len(c.pending) <= s.cfg.Window {
 			c.mu.Unlock()
@@ -310,8 +317,19 @@ func (s *Server) drainPending(c *child) {
 		c.applied++
 		c.unacked++
 		c.mu.Unlock()
-		s.cfg.Apply(c.node, e.unit, e.payload)
+		s.applyEnv(c.node, e)
 	}
+}
+
+// applyEnv dispatches one in-sequence envelope to its kind's consumer.
+func (s *Server) applyEnv(node uint32, e pendEnv) {
+	if e.kind == KindAlert {
+		if s.cfg.ApplyAlert != nil {
+			s.cfg.ApplyAlert(node, e.node, e.payload)
+		}
+		return
+	}
+	s.cfg.Apply(node, e.unit, e.payload)
 }
 
 // ackNow sends the cumulative ack if this session still owns the link.

@@ -63,10 +63,15 @@ func (c UplinkConfig) withDefaults() UplinkConfig {
 	return c
 }
 
-// envelope is one buffered unit frame awaiting acknowledgement.
+// envelope is one buffered message awaiting acknowledgement: a unit
+// telemetry frame (KindData) or a relayed watch alert (KindAlert). Both
+// kinds share the ring and the sequence space, so the resume handshake
+// replays them in their original interleaving.
 type envelope struct {
 	seq     uint64
-	unit    fleet.UnitID
+	kind    MsgKind
+	unit    fleet.UnitID // KindData
+	node    uint32       // KindAlert: origin node id
 	payload []byte
 }
 
@@ -119,6 +124,18 @@ func NewUplink(cfg UplinkConfig) *Uplink {
 // this child has outrun a congested or unreachable parent beyond its
 // store-and-forward capacity. Never blocks on the network.
 func (u *Uplink) Send(unit fleet.UnitID, frame []byte) bool {
+	return u.push(envelope{kind: KindData, unit: unit}, frame)
+}
+
+// SendAlert buffers one evidence-hashed watch alert for uplink, copying
+// the payload. origin is the node the alert originated on (preserved
+// across multi-tier relay). Same ring, same drop semantics as Send.
+func (u *Uplink) SendAlert(origin uint32, alert []byte) bool {
+	return u.push(envelope{kind: KindAlert, node: origin}, alert)
+}
+
+// push assigns the next sequence to e and buffers it in the ring.
+func (u *Uplink) push(e envelope, payload []byte) bool {
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	if u.closed {
@@ -132,9 +149,9 @@ func (u *Uplink) Send(unit fleet.UnitID, frame []byte) bool {
 		}
 		return false
 	}
-	u.ring[(u.head+u.n)%len(u.ring)] = envelope{
-		seq: u.next, unit: unit, payload: append([]byte(nil), frame...),
-	}
+	e.seq = u.next
+	e.payload = append([]byte(nil), payload...)
+	u.ring[(u.head+u.n)%len(u.ring)] = e
 	u.n++
 	u.next++
 	u.cond.Broadcast()
@@ -353,7 +370,7 @@ func (u *Uplink) session(conn net.Conn) bool {
 		}
 		ok := true
 		for _, e := range batch {
-			if err := mc.write(Msg{Kind: KindData, Seq: e.seq, Unit: e.unit, Payload: e.payload}); err != nil {
+			if err := mc.write(Msg{Kind: e.kind, Seq: e.seq, Unit: e.unit, Node: e.node, Payload: e.payload}); err != nil {
 				ok = false
 				break
 			}

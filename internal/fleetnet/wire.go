@@ -88,11 +88,17 @@ func ParseTier(s string) (Tier, error) {
 //	welcome := header ack:u64                                (parent → child)
 //	data    := header seq:u64 unit:u32 plen:u16 payload      (child → parent)
 //	ack     := header seq:u64                                (parent → child)
+//	alert   := header seq:u64 node:u32 plen:u16 payload      (child → parent)
 //
 // A data payload is one unit telemetry frame in the downlink wire format
 // (obs.DecodeFrame decodes it); the envelope adds the link-local sequence
 // number the resume handshake and ack machinery run on, and the unit the
-// frame belongs to (a region's uplink multiplexes many units).
+// frame belongs to (a region's uplink multiplexes many units). An alert
+// payload is one evidence-hashed watch alert (watch.DecodeAlert decodes
+// and authenticates it); its body is data-shaped — same fixed lengths,
+// same sequence space — with the u32 slot carrying the origin node id,
+// so the store-and-forward ring, resume handshake and resequencing
+// window cover alert relay with no second delivery machinery.
 const (
 	linkMagic0   = 'T'
 	linkMagic1   = 'L'
@@ -120,6 +126,7 @@ const (
 	KindWelcome         // parent's resume point: last sequence applied
 	KindData            // one sequenced unit telemetry frame
 	KindAck             // parent's cumulative acknowledgement
+	KindAlert           // one sequenced evidence-hashed watch alert
 )
 
 // String returns the message kind name.
@@ -133,6 +140,8 @@ func (k MsgKind) String() string {
 		return "data"
 	case KindAck:
 		return "ack"
+	case KindAlert:
+		return "alert"
 	default:
 		return fmt.Sprintf("MsgKind(%d)", uint8(k))
 	}
@@ -143,14 +152,14 @@ func (k MsgKind) String() string {
 type Msg struct {
 	Kind MsgKind
 
-	Node uint32 // KindHello: child node id
+	Node uint32 // KindHello: child node id; KindAlert: origin node id
 	Tier Tier   // KindHello: child tier
 
 	Ack uint64 // KindWelcome, KindAck: cumulative applied sequence
 
-	Seq     uint64       // KindData: link-local sequence (1-based)
+	Seq     uint64       // KindData, KindAlert: link-local sequence (1-based)
 	Unit    fleet.UnitID // KindData: unit the frame belongs to
-	Payload []byte       // KindData: one downlink wire-format frame (aliases the input)
+	Payload []byte       // KindData: one downlink wire-format frame; KindAlert: one watch alert (aliases the input)
 }
 
 // ErrLinkCorrupt reports a malformed tier-link message.
@@ -172,6 +181,11 @@ func AppendMsg(dst []byte, m Msg) []byte {
 		dst = append(dst, m.Payload...)
 	case KindAck:
 		dst = binary.LittleEndian.AppendUint64(dst, m.Ack)
+	case KindAlert:
+		dst = binary.LittleEndian.AppendUint64(dst, m.Seq)
+		dst = binary.LittleEndian.AppendUint32(dst, m.Node)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(m.Payload)))
+		dst = append(dst, m.Payload...)
 	}
 	return dst
 }
@@ -228,6 +242,21 @@ func DecodeMsg(b []byte) (Msg, int, error) {
 		}
 		m.Ack = binary.LittleEndian.Uint64(body)
 		return m, msgHeaderLen + ackBodyLen, nil
+	case KindAlert:
+		if len(body) < dataFixedLen {
+			return Msg{}, 0, fmt.Errorf("%w: truncated alert envelope (%d bytes)", ErrLinkCorrupt, len(body))
+		}
+		m.Seq = binary.LittleEndian.Uint64(body)
+		m.Node = binary.LittleEndian.Uint32(body[8:])
+		plen := int(binary.LittleEndian.Uint16(body[12:]))
+		if plen > MaxPayload {
+			return Msg{}, 0, fmt.Errorf("%w: payload %d bytes exceeds bound %d", ErrLinkCorrupt, plen, MaxPayload)
+		}
+		if len(body)-dataFixedLen < plen {
+			return Msg{}, 0, fmt.Errorf("%w: truncated payload (%d of %d bytes)", ErrLinkCorrupt, len(body)-dataFixedLen, plen)
+		}
+		m.Payload = body[dataFixedLen : dataFixedLen+plen]
+		return m, msgHeaderLen + dataFixedLen + plen, nil
 	default:
 		return Msg{}, 0, fmt.Errorf("%w: unknown kind %d", ErrLinkCorrupt, uint8(m.Kind))
 	}

@@ -32,6 +32,7 @@ const (
 	StageRecovery
 	StageFrame // trace-context frame root span
 	StageLink  // fleet tier-link lifecycle event (ground segment)
+	StageWatch // continuous-health watch alert transition (internal/watch)
 )
 
 // String returns the stage name.
@@ -57,6 +58,8 @@ func (s Stage) String() string {
 		return "frame"
 	case StageLink:
 		return "tier-link"
+	case StageWatch:
+		return "watch-alert"
 	default:
 		return fmt.Sprintf("Stage(%d)", uint8(s))
 	}

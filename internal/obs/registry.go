@@ -218,10 +218,22 @@ func (h *Histogram) Quantile(q float64) float64 {
 //
 //safexplain:req REQ-WCET
 func BudgetBounds(budget uint64) []float64 {
-	fr := []float64{0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5}
+	fr := budgetFractions()
 	out := make([]float64, len(fr))
 	for i, f := range fr {
 		out[i] = f * float64(budget)
 	}
 	return out
+}
+
+// BudgetBoundIndex is the index of the 1.0x-budget bound inside a
+// BudgetBounds histogram — the bound a WCET burn-rate rule compares
+// against, so the SLO budget is read straight off the registry's
+// declared bounds instead of being configured twice.
+//
+//safexplain:req REQ-WCET
+const BudgetBoundIndex = 4
+
+func budgetFractions() []float64 {
+	return []float64{0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5}
 }

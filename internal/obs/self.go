@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// runtime/metrics keys sampled by SelfStats. The names are stable Go
+// runtime API; sampling them costs a few microseconds and never runs on
+// a record path — Update is an explicit, caller-paced activity.
+const (
+	selfHeapKey  = "/memory/classes/heap/objects:bytes"
+	selfGCKey    = "/gc/pauses:seconds"
+	selfGoroKey  = "/sched/goroutines:goroutines"
+	selfSchedKey = "/sched/latencies:seconds"
+)
+
+// SelfStats publishes the observer's own runtime health — live heap
+// bytes, p99 GC pause, goroutine count, p99 scheduler latency — as
+// plain gauges in a Registry, so the continuous-health watch can alert
+// on the monitoring plane itself (a leaking or GC-thrashing observer is
+// a hazard to the frame budget it claims to guard). Construction
+// allocates; Update reuses the preallocated sample slice.
+//
+//safexplain:req REQ-WCET REQ-DET
+type SelfStats struct {
+	heap       *Gauge
+	gcPause    *Gauge
+	goroutines *Gauge
+	schedLat   *Gauge
+	samples    []metrics.Sample
+}
+
+// NewSelfStats declares the self-observability gauges on reg and
+// returns the sampler. Gauge names are promlint-clean and prefixed
+// self_ to keep them apart from the observed system's metrics.
+//
+//safexplain:req REQ-WCET REQ-DET
+func NewSelfStats(reg *Registry) *SelfStats {
+	return &SelfStats{
+		heap:       reg.Gauge("self_heap_bytes", "live heap object bytes of this process (runtime/metrics)"),
+		gcPause:    reg.Gauge("self_gc_pause_seconds", "p99 stop-the-world GC pause of this process (runtime/metrics)"),
+		goroutines: reg.Gauge("self_goroutines", "live goroutine count of this process (runtime/metrics)"),
+		schedLat:   reg.Gauge("self_sched_latency_seconds", "p99 goroutine scheduling latency of this process (runtime/metrics)"),
+		samples: []metrics.Sample{
+			{Name: selfHeapKey},
+			{Name: selfGCKey},
+			{Name: selfGoroKey},
+			{Name: selfSchedKey},
+		},
+	}
+}
+
+// Update samples the runtime and refreshes the gauges. Not a hotpath:
+// call it at watch cadence (or before an exposition), never per frame.
+// Nil receivers are a no-op, matching the package's disabled-mode
+// convention.
+func (s *SelfStats) Update() {
+	if s == nil {
+		return
+	}
+	metrics.Read(s.samples)
+	//safexplain:bounded sample list fixed at construction (4 entries)
+	for i := range s.samples {
+		sm := &s.samples[i]
+		switch sm.Name {
+		case selfHeapKey:
+			if sm.Value.Kind() == metrics.KindUint64 {
+				s.heap.Set(float64(sm.Value.Uint64()))
+			}
+		case selfGoroKey:
+			if sm.Value.Kind() == metrics.KindUint64 {
+				s.goroutines.Set(float64(sm.Value.Uint64()))
+			}
+		case selfGCKey:
+			if sm.Value.Kind() == metrics.KindFloat64Histogram {
+				s.gcPause.Set(runtimeHistQuantile(sm.Value.Float64Histogram(), 0.99))
+			}
+		case selfSchedKey:
+			if sm.Value.Kind() == metrics.KindFloat64Histogram {
+				s.schedLat.Set(runtimeHistQuantile(sm.Value.Float64Histogram(), 0.99))
+			}
+		}
+	}
+}
+
+// runtimeHistQuantile estimates quantile q of a runtime/metrics
+// histogram as the upper edge of the bucket holding the q-th
+// observation, clamped to the last finite edge (the runtime's final
+// bucket edge is +Inf). Returns 0 for an empty histogram.
+func runtimeHistQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 || len(h.Buckets) != len(h.Counts)+1 {
+		return 0
+	}
+	var total uint64
+	//safexplain:bounded runtime histogram shape is fixed per Go release
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	edge := 0.0
+	//safexplain:bounded runtime histogram shape is fixed per Go release
+	for i, c := range h.Counts {
+		cum += c
+		upper := h.Buckets[i+1]
+		if !math.IsInf(upper, 1) {
+			edge = upper
+		}
+		if cum > rank {
+			return edge
+		}
+	}
+	return edge
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"strings"
+	"testing"
+)
+
+func TestSelfStatsGauges(t *testing.T) {
+	reg := NewRegistry("self")
+	ss := NewSelfStats(reg)
+
+	// Force some runtime activity so every gauge has something to show.
+	runtime.GC()
+	ss.Update()
+
+	snap := reg.Snapshot()
+	want := map[string]bool{
+		"self_heap_bytes":            false,
+		"self_gc_pause_seconds":      false,
+		"self_goroutines":            false,
+		"self_sched_latency_seconds": false,
+	}
+	for _, g := range snap.Gauges {
+		if _, ok := want[g.Name]; ok {
+			want[g.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("gauge %s missing from snapshot", name)
+		}
+	}
+	get := func(name string) float64 {
+		for _, g := range snap.Gauges {
+			if g.Name == name {
+				return g.Value
+			}
+		}
+		t.Fatalf("gauge %s not found", name)
+		return 0
+	}
+	if v := get("self_heap_bytes"); v <= 0 {
+		t.Errorf("self_heap_bytes = %v, want > 0", v)
+	}
+	if v := get("self_goroutines"); v < 1 {
+		t.Errorf("self_goroutines = %v, want >= 1", v)
+	}
+	if v := get("self_gc_pause_seconds"); v < 0 {
+		t.Errorf("self_gc_pause_seconds = %v, want >= 0", v)
+	}
+	if v := get("self_sched_latency_seconds"); v < 0 {
+		t.Errorf("self_sched_latency_seconds = %v, want >= 0", v)
+	}
+}
+
+func TestSelfStatsNilSafe(t *testing.T) {
+	var ss *SelfStats
+	ss.Update() // must not panic
+}
+
+func TestSelfStatsUpdateDoesNotGrow(t *testing.T) {
+	reg := NewRegistry("self")
+	ss := NewSelfStats(reg)
+	ss.Update()
+	before := len(ss.samples)
+	for i := 0; i < 10; i++ {
+		ss.Update()
+	}
+	if len(ss.samples) != before {
+		t.Fatalf("sample slice grew: %d -> %d", before, len(ss.samples))
+	}
+}
+
+// TestSelfStatsExpositionsLint runs the promlint gate over both
+// expositions of a registry carrying the self gauges: names, HELP/TYPE
+// pairing and value syntax must all be clean.
+func TestSelfStatsExpositionsLint(t *testing.T) {
+	reg := NewRegistry("self")
+	ss := NewSelfStats(reg)
+	runtime.GC()
+	ss.Update()
+	snap := reg.Snapshot()
+
+	prom := snap.Prometheus()
+	if issues := LintExposition(prom); len(issues) != 0 {
+		t.Fatalf("promlint issues in self-stats exposition:\n%s", strings.Join(issues, "\n"))
+	}
+	for _, name := range []string{
+		"safexplain_self_heap_bytes",
+		"safexplain_self_gc_pause_seconds",
+		"safexplain_self_goroutines",
+		"safexplain_self_sched_latency_seconds",
+	} {
+		if !strings.Contains(prom, name) {
+			t.Errorf("prometheus exposition missing %s", name)
+		}
+	}
+
+	js, err := snap.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(js, &decoded); err != nil {
+		t.Fatalf("JSON exposition not valid JSON: %v", err)
+	}
+	if !strings.Contains(string(js), "self_goroutines") {
+		t.Errorf("JSON exposition missing self_goroutines")
+	}
+}
+
+func TestRuntimeHistQuantile(t *testing.T) {
+	inf := math.Inf(1)
+
+	cases := []struct {
+		name string
+		h    *metrics.Float64Histogram
+		q    float64
+		want float64
+	}{
+		{"nil", nil, 0.99, 0},
+		{"empty", &metrics.Float64Histogram{
+			Counts:  []uint64{0, 0},
+			Buckets: []float64{0, 1, 2},
+		}, 0.99, 0},
+		{"single-bucket", &metrics.Float64Histogram{
+			Counts:  []uint64{10},
+			Buckets: []float64{0, 1},
+		}, 0.5, 1},
+		{"p99-in-last", &metrics.Float64Histogram{
+			Counts:  []uint64{99, 1},
+			Buckets: []float64{0, 1, 2},
+		}, 0.99, 2},
+		{"inf-clamped", &metrics.Float64Histogram{
+			Counts:  []uint64{1, 1},
+			Buckets: []float64{0, 1, inf},
+		}, 0.99, 1},
+		{"malformed", &metrics.Float64Histogram{
+			Counts:  []uint64{1, 2, 3},
+			Buckets: []float64{0, 1},
+		}, 0.99, 0},
+	}
+	for _, tc := range cases {
+		if got := runtimeHistQuantile(tc.h, tc.q); got != tc.want {
+			t.Errorf("%s: runtimeHistQuantile = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

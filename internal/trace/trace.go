@@ -46,6 +46,7 @@ const (
 	KindOperation    Kind = "operation"
 	KindIncident     Kind = "incident"
 	KindFleet        Kind = "fleet" // ground-segment aggregation evidence
+	KindWatch        Kind = "watch" // continuous-health watch alert evidence
 )
 
 // Event is one evidence record.

@@ -1,0 +1,37 @@
+package watch
+
+import "testing"
+
+// FuzzWatchRuleDecode drives the rule parser with arbitrary lines: it
+// must never panic, and anything it accepts must re-encode to a
+// canonical form that parses back to the identical rule (a fixed point
+// after one canonicalization).
+func FuzzWatchRuleDecode(f *testing.F) {
+	f.Add("threshold queue_depth > 5 for 2")
+	f.Add("rate frames_total window 4 < 3.5")
+	f.Add("absence heartbeat_total for 7")
+	f.Add("burn rt_frame_cycles bound 4 slo 0.99 window 8 > 1")
+	f.Add("threshold m <= -0 for 65536")
+	f.Add("burn h bound 0 slo 0.5 window 2 >= 2 for 5 # comment")
+	f.Add("")
+	f.Add("# comment only")
+	f.Add("threshold m > 1e308")
+	f.Add("rate ::__:: window 1 > 0")
+	f.Fuzz(func(t *testing.T, line string) {
+		r, err := ParseRule(line)
+		if err != nil {
+			return
+		}
+		canon := r.String()
+		back, err := ParseRule(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not parse: %v", canon, line, err)
+		}
+		if back != r {
+			t.Fatalf("canonical round trip changed the rule: %+v vs %+v (line %q)", back, r, line)
+		}
+		if again := back.String(); again != canon {
+			t.Fatalf("canonical form is not a fixed point: %q vs %q", again, canon)
+		}
+	})
+}

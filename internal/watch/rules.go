@@ -1,0 +1,349 @@
+package watch
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// The alert-rule grammar is line-oriented: one rule per line, '#' starts
+// a comment, blank lines are skipped. Tokens are space-separated.
+//
+//	threshold <metric> <op> <value> [for <n>]
+//	rate <metric> window <w> <op> <value> [for <n>]
+//	absence <metric> for <n>
+//	burn <hist> bound <i> slo <q> window <w> > <value> [for <n>]
+//
+// threshold compares a metric's latest sample; rate compares its
+// per-tick rate over a window of <w> ticks; absence fires when a metric
+// has not changed for <n> consecutive ticks (a stalled stage or a silent
+// child); burn compares the WCET burn rate of a histogram against its
+// own declared bound at index <i> — for a BudgetBounds histogram, index
+// obs.BudgetBoundIndex is exactly 1.0x the frame budget, so the SLO
+// budget comes straight from the registry's histogram bounds rather
+// than a second copy of the number. `for <n>` requires the breach to
+// hold n consecutive ticks before the rule fires (hysteresis).
+//
+// ParseRules is a pure function: it never panics on any input
+// (FuzzWatchRuleDecode), and everything it accepts re-encodes to a
+// canonical form that parses back to the same rule.
+
+// RuleKind tags one alert rule's evaluation mode.
+type RuleKind uint8
+
+// Rule kinds.
+const (
+	RuleInvalid   RuleKind = iota
+	RuleThreshold          // latest sample vs a bound
+	RuleRate               // per-tick rate over a window vs a bound
+	RuleAbsence            // metric unchanged for N consecutive ticks
+	RuleBurn               // WCET burn rate of a histogram vs a bound
+)
+
+// String returns the rule-kind keyword.
+func (k RuleKind) String() string {
+	switch k {
+	case RuleThreshold:
+		return "threshold"
+	case RuleRate:
+		return "rate"
+	case RuleAbsence:
+		return "absence"
+	case RuleBurn:
+		return "burn"
+	default:
+		return fmt.Sprintf("RuleKind(%d)", uint8(k))
+	}
+}
+
+// Op is a rule's comparison operator.
+type Op uint8
+
+// Comparison operators.
+const (
+	OpInvalid Op = iota
+	OpGT
+	OpGE
+	OpLT
+	OpLE
+)
+
+// String returns the operator token.
+func (o Op) String() string {
+	switch o {
+	case OpGT:
+		return ">"
+	case OpGE:
+		return ">="
+	case OpLT:
+		return "<"
+	case OpLE:
+		return "<="
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+func parseOp(tok string) (Op, bool) {
+	switch tok {
+	case ">":
+		return OpGT, true
+	case ">=":
+		return OpGE, true
+	case "<":
+		return OpLT, true
+	case "<=":
+		return OpLE, true
+	}
+	return OpInvalid, false
+}
+
+// compare applies the operator.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (o Op) compare(v, bound float64) bool {
+	switch o {
+	case OpGT:
+		return v > bound
+	case OpGE:
+		return v >= bound
+	case OpLT:
+		return v < bound
+	case OpLE:
+		return v <= bound
+	}
+	return false
+}
+
+// Rule is one declarative alert rule. Only the fields of its kind are
+// meaningful (see the grammar above).
+type Rule struct {
+	Kind   RuleKind
+	Metric string
+	Op     Op      // threshold, rate, burn
+	Value  float64 // threshold, rate, burn: the bound
+	Window int     // rate, burn: derivation window in ticks
+	For    int     // hysteresis ticks (absence: the staleness bound)
+	Bound  int     // burn: index into the histogram's declared bounds
+	SLO    float64 // burn: SLO target in (0,1)
+}
+
+// maxRuleInt bounds windows and hysteresis counts — far above any
+// realistic cadence, low enough that a corrupt rule cannot demand an
+// unbounded ring.
+const maxRuleInt = 1 << 16
+
+// validMetricName accepts the registry's metric-name alphabet
+// ([a-zA-Z_:][a-zA-Z0-9_:]*) without regexp, keeping the parser pure
+// and allocation-light.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parseRuleInt(tok string) (int, error) {
+	n, err := strconv.Atoi(tok)
+	if err != nil {
+		return 0, err
+	}
+	if n < 1 || n > maxRuleInt {
+		return 0, fmt.Errorf("value %d outside [1,%d]", n, maxRuleInt)
+	}
+	return n, nil
+}
+
+func parseRuleFloat(tok string) (float64, error) {
+	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("value %q is not finite", tok)
+	}
+	return v, nil
+}
+
+// parseFor consumes an optional trailing "for <n>" clause.
+func parseFor(fields []string) (int, error) {
+	switch len(fields) {
+	case 0:
+		return 1, nil
+	case 2:
+		if fields[0] != "for" {
+			return 0, fmt.Errorf("expected %q, got %q", "for", fields[0])
+		}
+		return parseRuleInt(fields[1])
+	default:
+		return 0, fmt.Errorf("trailing tokens %v", fields)
+	}
+}
+
+// ParseRule parses one rule line. It is pure: any input yields a rule or
+// an error, never a panic.
+func ParseRule(line string) (Rule, error) {
+	if i := strings.IndexByte(line, '#'); i >= 0 {
+		line = line[:i]
+	}
+	f := strings.Fields(line)
+	if len(f) == 0 {
+		return Rule{}, fmt.Errorf("watch: empty rule")
+	}
+	fail := func(format string, args ...any) (Rule, error) {
+		return Rule{}, fmt.Errorf("watch: rule %q: %s", strings.Join(f, " "), fmt.Sprintf(format, args...))
+	}
+	if len(f) < 2 || !validMetricName(f[1]) {
+		return fail("expected a metric name after %q", f[0])
+	}
+	r := Rule{Metric: f[1], For: 1}
+	var err error
+	switch f[0] {
+	case "threshold":
+		// threshold <metric> <op> <value> [for <n>]
+		r.Kind = RuleThreshold
+		if len(f) < 4 {
+			return fail("expected <op> <value>")
+		}
+		op, ok := parseOp(f[2])
+		if !ok {
+			return fail("unknown operator %q", f[2])
+		}
+		r.Op = op
+		if r.Value, err = parseRuleFloat(f[3]); err != nil {
+			return fail("bad bound: %v", err)
+		}
+		if r.For, err = parseFor(f[4:]); err != nil {
+			return fail("bad for clause: %v", err)
+		}
+	case "rate":
+		// rate <metric> window <w> <op> <value> [for <n>]
+		r.Kind = RuleRate
+		if len(f) < 6 || f[2] != "window" {
+			return fail("expected window <w> <op> <value>")
+		}
+		if r.Window, err = parseRuleInt(f[3]); err != nil {
+			return fail("bad window: %v", err)
+		}
+		op, ok := parseOp(f[4])
+		if !ok {
+			return fail("unknown operator %q", f[4])
+		}
+		r.Op = op
+		if r.Value, err = parseRuleFloat(f[5]); err != nil {
+			return fail("bad bound: %v", err)
+		}
+		if r.For, err = parseFor(f[6:]); err != nil {
+			return fail("bad for clause: %v", err)
+		}
+	case "absence":
+		// absence <metric> for <n>
+		r.Kind = RuleAbsence
+		if len(f) != 4 || f[2] != "for" {
+			return fail("expected for <n>")
+		}
+		if r.For, err = parseRuleInt(f[3]); err != nil {
+			return fail("bad for clause: %v", err)
+		}
+	case "burn":
+		// burn <hist> bound <i> slo <q> window <w> > <value> [for <n>]
+		r.Kind = RuleBurn
+		if len(f) < 10 || f[2] != "bound" || f[4] != "slo" || f[6] != "window" {
+			return fail("expected bound <i> slo <q> window <w> <op> <value>")
+		}
+		bound, err := strconv.Atoi(f[3])
+		if err != nil || bound < 0 || bound > 63 {
+			return fail("bad bound index %q (0..63)", f[3])
+		}
+		r.Bound = bound
+		if r.SLO, err = parseRuleFloat(f[5]); err != nil || r.SLO <= 0 || r.SLO >= 1 {
+			return fail("bad slo %q (need 0 < slo < 1)", f[5])
+		}
+		if r.Window, err = parseRuleInt(f[7]); err != nil {
+			return fail("bad window: %v", err)
+		}
+		op, ok := parseOp(f[8])
+		if !ok {
+			return fail("unknown operator %q", f[8])
+		}
+		r.Op = op
+		if r.Value, err = parseRuleFloat(f[9]); err != nil {
+			return fail("bad bound: %v", err)
+		}
+		if r.For, err = parseFor(f[10:]); err != nil {
+			return fail("bad for clause: %v", err)
+		}
+	default:
+		return fail("unknown rule kind %q", f[0])
+	}
+	return r, nil
+}
+
+// String renders the rule in canonical grammar form: parsing the result
+// yields an identical rule (the round-trip FuzzWatchRuleDecode checks).
+func (r Rule) String() string {
+	num := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	var b strings.Builder
+	switch r.Kind {
+	case RuleThreshold:
+		fmt.Fprintf(&b, "threshold %s %s %s", r.Metric, r.Op, num(r.Value))
+	case RuleRate:
+		fmt.Fprintf(&b, "rate %s window %d %s %s", r.Metric, r.Window, r.Op, num(r.Value))
+	case RuleAbsence:
+		fmt.Fprintf(&b, "absence %s for %d", r.Metric, r.For)
+		return b.String() // For is the clause itself, not hysteresis
+	case RuleBurn:
+		fmt.Fprintf(&b, "burn %s bound %d slo %s window %d %s %s",
+			r.Metric, r.Bound, num(r.SLO), r.Window, r.Op, num(r.Value))
+	default:
+		fmt.Fprintf(&b, "invalid %s", r.Metric)
+	}
+	if r.For > 1 {
+		fmt.Fprintf(&b, " for %d", r.For)
+	}
+	return b.String()
+}
+
+// ParseRules parses a rule file: one rule per line, '#' comments and
+// blank lines skipped. Pure and never panicking, like ParseRule.
+func ParseRules(src string) ([]Rule, error) {
+	var rules []Rule
+	for ln, line := range strings.Split(src, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		r, err := ParseRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// EncodeRules renders rules in canonical form, one per line.
+func EncodeRules(rules []Rule) string {
+	var b strings.Builder
+	for _, r := range rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

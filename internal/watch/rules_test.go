@@ -1,0 +1,135 @@
+package watch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRuleValid(t *testing.T) {
+	cases := []struct {
+		line string
+		want Rule
+	}{
+		{"threshold queue_depth > 5", Rule{Kind: RuleThreshold, Metric: "queue_depth", Op: OpGT, Value: 5, For: 1}},
+		{"threshold queue_depth <= -2.5 for 3", Rule{Kind: RuleThreshold, Metric: "queue_depth", Op: OpLE, Value: -2.5, For: 3}},
+		{"rate frames_total window 4 < 3.5", Rule{Kind: RuleRate, Metric: "frames_total", Window: 4, Op: OpLT, Value: 3.5, For: 1}},
+		{"rate frames_total window 1 >= 0 for 2", Rule{Kind: RuleRate, Metric: "frames_total", Window: 1, Op: OpGE, Value: 0, For: 2}},
+		{"absence heartbeat_total for 7", Rule{Kind: RuleAbsence, Metric: "heartbeat_total", For: 7}},
+		{"burn rt_frame_cycles bound 4 slo 0.99 window 8 > 1", Rule{Kind: RuleBurn, Metric: "rt_frame_cycles", Bound: 4, SLO: 0.99, Window: 8, Op: OpGT, Value: 1, For: 1}},
+		{"burn h bound 0 slo 0.5 window 2 >= 2 for 5", Rule{Kind: RuleBurn, Metric: "h", Bound: 0, SLO: 0.5, Window: 2, Op: OpGE, Value: 2, For: 5}},
+		{"threshold m:sub > 1 # trailing comment", Rule{Kind: RuleThreshold, Metric: "m:sub", Op: OpGT, Value: 1, For: 1}},
+	}
+	for _, tc := range cases {
+		got, err := ParseRule(tc.line)
+		if err != nil {
+			t.Errorf("ParseRule(%q): %v", tc.line, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseRule(%q) = %+v, want %+v", tc.line, got, tc.want)
+		}
+		// Canonical round trip: String() reparses to the same rule.
+		back, err := ParseRule(got.String())
+		if err != nil {
+			t.Errorf("reparse of %q: %v", got.String(), err)
+			continue
+		}
+		if back != got {
+			t.Errorf("round trip of %q changed the rule: %+v vs %+v", tc.line, back, got)
+		}
+	}
+}
+
+func TestParseRuleInvalid(t *testing.T) {
+	lines := []string{
+		"",
+		"   # only a comment",
+		"frobnicate m > 1",
+		"threshold",
+		"threshold 9metric > 1",
+		"threshold m == 1",
+		"threshold m > NaN",
+		"threshold m > Inf",
+		"threshold m > 1 for 0",
+		"threshold m > 1 for 99999999",
+		"threshold m > 1 extra",
+		"threshold m > 1 for 2 extra",
+		"rate m > 1",
+		"rate m window 0 > 1",
+		"rate m window x > 1",
+		"absence m",
+		"absence m for",
+		"absence m for -1",
+		"absence m for 2 for 3",
+		"burn h bound 64 slo 0.9 window 2 > 1",
+		"burn h bound -1 slo 0.9 window 2 > 1",
+		"burn h bound 4 slo 0 window 2 > 1",
+		"burn h bound 4 slo 1 window 2 > 1",
+		"burn h bound 4 slo 0.9 window 2 > ",
+		"burn h bound 4 window 2 slo 0.9 > 1",
+	}
+	for _, line := range lines {
+		if r, err := ParseRule(line); err == nil {
+			t.Errorf("ParseRule(%q) accepted: %+v", line, r)
+		}
+	}
+}
+
+func TestParseRulesFile(t *testing.T) {
+	src := `
+# fleet watch rules
+threshold queue_depth > 5 for 2
+
+rate frames_total window 4 < 3.5   # stall
+absence heartbeat_total for 7
+burn rt_frame_cycles bound 4 slo 0.99 window 8 > 1
+`
+	rules, err := ParseRules(src)
+	if err != nil {
+		t.Fatalf("ParseRules: %v", err)
+	}
+	if len(rules) != 4 {
+		t.Fatalf("parsed %d rules, want 4", len(rules))
+	}
+	kinds := []RuleKind{RuleThreshold, RuleRate, RuleAbsence, RuleBurn}
+	for i, k := range kinds {
+		if rules[i].Kind != k {
+			t.Errorf("rule %d kind = %v, want %v", i, rules[i].Kind, k)
+		}
+	}
+
+	// Encode → parse round trip preserves the whole set.
+	back, err := ParseRules(EncodeRules(rules))
+	if err != nil {
+		t.Fatalf("reparse of EncodeRules: %v", err)
+	}
+	if len(back) != len(rules) {
+		t.Fatalf("round trip changed rule count: %d vs %d", len(back), len(rules))
+	}
+	for i := range rules {
+		if back[i] != rules[i] {
+			t.Errorf("round trip changed rule %d: %+v vs %+v", i, back[i], rules[i])
+		}
+	}
+
+	// Errors carry the 1-based line number.
+	_, err = ParseRules("threshold ok > 1\nbogus line here\n")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("ParseRules error = %v, want a line 2 prefix", err)
+	}
+}
+
+func TestRuleKindAndOpStrings(t *testing.T) {
+	if RuleBurn.String() != "burn" || RuleAbsence.String() != "absence" {
+		t.Error("RuleKind.String mismatch")
+	}
+	if OpGE.String() != ">=" || OpLT.String() != "<" {
+		t.Error("Op.String mismatch")
+	}
+	if !strings.Contains(RuleKind(99).String(), "99") || !strings.Contains(Op(99).String(), "99") {
+		t.Error("invalid enum String not diagnostic")
+	}
+	if !OpGT.compare(2, 1) || OpGT.compare(1, 1) || !OpLE.compare(1, 1) || OpLT.compare(2, 1) {
+		t.Error("Op.compare mismatch")
+	}
+}

@@ -1,0 +1,498 @@
+// Package watch is the continuous-health layer over the obs substrate: a
+// statically-allocated time-series ring store that samples frozen
+// obs.Snapshot values at a fixed cadence, windowed derivations over the
+// stored series (delta, rate, histogram quantile, staleness), and a
+// declarative alert-rule engine (threshold, rate-of-change,
+// absence/staleness, WCET burn-rate) whose alerts carry SHA-256 evidence
+// hashes and land in the flight journal.
+//
+// The paper's safety argument needs *ongoing-monitoring* evidence, not
+// point-in-time snapshots: a latency creep toward the WCET budget, a
+// stalling pipeline stage, or a flapping tier link must be detected by
+// the platform itself, continuously, with the same determinism and
+// probe-effect discipline as the rest of the obs stack. The sample path
+// (Layout.Fill + Store.Sample + rule evaluation) is therefore
+// zero-allocation in steady state — proven dynamically by
+// testing.AllocsPerRun and BenchmarkT18Watch — and every loop it runs is
+// bounded by sizes frozen when the layout was built. Producing a
+// snapshot to sample, and emitting an alert on a rule transition, are
+// the exceptional paths and may allocate, exactly like obs.AutoDump.
+//
+// The package is replay-deterministic: no wall clock (ticks are caller
+// supplied), no ambient randomness, no map iteration; float comparisons
+// go through math.Float64bits.
+//
+//safexplain:deterministic
+package watch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"safexplain/internal/obs"
+)
+
+// ErrLayout reports a snapshot whose metric layout drifted from the one
+// the store was built over (registry redeclared, child replaced, merge
+// shape changed). It is a static error so the sample path can reject
+// drift without allocating.
+var ErrLayout = errors.New("watch: snapshot layout drifted from the bound layout")
+
+// histSpec pins one histogram's shape inside a snapshot spec.
+type histSpec struct {
+	name    string
+	buckets int // len(Bounds)+1, the +Inf bucket included
+}
+
+// snapSpec pins the full metric layout of one input snapshot: Fill
+// validates names positionally against it, so a drifted snapshot is
+// rejected rather than silently mis-sampled.
+type snapSpec struct {
+	system   string
+	counters []string
+	gauges   []string
+	hists    []histSpec
+}
+
+// histSeries locates one histogram's derived columns in the store.
+type histSeries struct {
+	name     string
+	bounds   []float64
+	count    int // column holding the cumulative observation count
+	sum      int // column holding the cumulative sum
+	bucket0  int // first bucket column; buckets are contiguous
+	nbuckets int // len(bounds)+1
+}
+
+// Layout is the frozen mapping from a fixed list of snapshots to store
+// columns: every counter and gauge gets one column; every histogram gets
+// a count column, a sum column, and one column per bucket. It is built
+// once, from representative snapshots, and shared by the store and the
+// rule engine.
+type Layout struct {
+	specs     []snapSpec
+	ncols     int
+	index     map[string]int // scalar series name -> column
+	hists     []histSeries
+	histIndex map[string]int // histogram name -> hists index
+}
+
+// NewLayout freezes the metric layout of the given snapshots, in order.
+// Metric names must be unique across all snapshots (the fleet and
+// fleetnet registries use disjoint prefixes by construction).
+func NewLayout(snaps []obs.Snapshot) (*Layout, error) {
+	if len(snaps) == 0 {
+		return nil, errors.New("watch: layout needs at least one snapshot")
+	}
+	l := &Layout{
+		index:     make(map[string]int),
+		histIndex: make(map[string]int),
+	}
+	claim := func(name string) error {
+		if _, dup := l.index[name]; dup {
+			return fmt.Errorf("watch: duplicate metric %q across layout snapshots", name)
+		}
+		if _, dup := l.histIndex[name]; dup {
+			return fmt.Errorf("watch: duplicate metric %q across layout snapshots", name)
+		}
+		return nil
+	}
+	for _, s := range snaps {
+		spec := snapSpec{system: s.System}
+		for _, c := range s.Counters {
+			if err := claim(c.Name); err != nil {
+				return nil, err
+			}
+			l.index[c.Name] = l.ncols
+			l.ncols++
+			spec.counters = append(spec.counters, c.Name)
+		}
+		for _, g := range s.Gauges {
+			if err := claim(g.Name); err != nil {
+				return nil, err
+			}
+			l.index[g.Name] = l.ncols
+			l.ncols++
+			spec.gauges = append(spec.gauges, g.Name)
+		}
+		for _, h := range s.Histograms {
+			if err := claim(h.Name); err != nil {
+				return nil, err
+			}
+			hs := histSeries{
+				name:     h.Name,
+				bounds:   append([]float64(nil), h.Bounds...),
+				count:    l.ncols,
+				sum:      l.ncols + 1,
+				bucket0:  l.ncols + 2,
+				nbuckets: len(h.Buckets),
+			}
+			if hs.nbuckets != len(h.Bounds)+1 {
+				return nil, fmt.Errorf("watch: histogram %q has %d buckets for %d bounds",
+					h.Name, len(h.Buckets), len(h.Bounds))
+			}
+			l.ncols += 2 + hs.nbuckets
+			l.histIndex[h.Name] = len(l.hists)
+			l.hists = append(l.hists, hs)
+			spec.hists = append(spec.hists, histSpec{name: h.Name, buckets: hs.nbuckets})
+		}
+		l.specs = append(l.specs, spec)
+	}
+	return l, nil
+}
+
+// Columns returns the total number of store columns the layout maps to.
+func (l *Layout) Columns() int { return l.ncols }
+
+// Fill reads the snapshots position-wise into vals (length Columns()),
+// validating every metric name against the frozen layout. The snapshots
+// must be passed in the same order the layout was built from. Fill is
+// the first leg of the zero-allocation sample path.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (l *Layout) Fill(vals []float64, snaps []obs.Snapshot) error {
+	if len(snaps) != len(l.specs) || len(vals) != l.ncols {
+		return ErrLayout
+	}
+	col := 0
+	//safexplain:bounded snapshot list frozen at layout build
+	for i := range l.specs {
+		spec := &l.specs[i]
+		s := &snaps[i]
+		if len(s.Counters) != len(spec.counters) ||
+			len(s.Gauges) != len(spec.gauges) ||
+			len(s.Histograms) != len(spec.hists) {
+			return ErrLayout
+		}
+		//safexplain:bounded counter list frozen at layout build
+		for j := range spec.counters {
+			if s.Counters[j].Name != spec.counters[j] {
+				return ErrLayout
+			}
+			vals[col] = float64(s.Counters[j].Value)
+			col++
+		}
+		//safexplain:bounded gauge list frozen at layout build
+		for j := range spec.gauges {
+			if s.Gauges[j].Name != spec.gauges[j] {
+				return ErrLayout
+			}
+			vals[col] = s.Gauges[j].Value
+			col++
+		}
+		//safexplain:bounded histogram list frozen at layout build
+		for j := range spec.hists {
+			h := &s.Histograms[j]
+			if h.Name != spec.hists[j].name || len(h.Buckets) != spec.hists[j].buckets {
+				return ErrLayout
+			}
+			vals[col] = float64(h.Count)
+			vals[col+1] = h.Sum
+			col += 2
+			//safexplain:bounded bucket count frozen at layout build
+			for k := range h.Buckets {
+				vals[col] = float64(h.Buckets[k])
+				col++
+			}
+		}
+	}
+	return nil
+}
+
+// Store is the statically-allocated time-series ring: one float64 ring
+// per column plus a tick ring, all sized at construction. Sampling
+// overwrites the oldest slot; nothing grows after NewStore.
+type Store struct {
+	layout *Layout
+	depth  int
+	ticks  []int64
+	cols   [][]float64
+	n      int // total samples taken (ring holds the most recent min(n, depth))
+}
+
+// NewStore allocates a ring store of the given depth over the layout.
+func NewStore(l *Layout, depth int) *Store {
+	if depth < 2 {
+		depth = 2
+	}
+	s := &Store{
+		layout: l,
+		depth:  depth,
+		ticks:  make([]int64, depth),
+		cols:   make([][]float64, l.ncols),
+	}
+	backing := make([]float64, l.ncols*depth)
+	for c := range s.cols {
+		s.cols[c] = backing[c*depth : (c+1)*depth]
+	}
+	return s
+}
+
+// Sample stores one filled value vector at the given tick — the second
+// leg of the zero-allocation sample path.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (s *Store) Sample(tick int64, vals []float64) error {
+	if len(vals) != len(s.cols) {
+		return ErrLayout
+	}
+	slot := s.n % s.depth
+	s.ticks[slot] = tick
+	//safexplain:bounded column count frozen at layout build
+	for c := range s.cols {
+		s.cols[c][slot] = vals[c]
+	}
+	s.n++
+	return nil
+}
+
+// Samples returns the total number of samples taken.
+func (s *Store) Samples() int { return s.n }
+
+// Depth returns the ring depth.
+func (s *Store) Depth() int { return s.depth }
+
+// span is the number of samples currently held.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (s *Store) span() int {
+	if s.n < s.depth {
+		return s.n
+	}
+	return s.depth
+}
+
+// at reads the value of col, back samples before the latest one.
+// Requires 0 <= back < span().
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (s *Store) at(col, back int) float64 {
+	return s.cols[col][(s.n-1-back)%s.depth]
+}
+
+// latestCol reads a column's most recent sample.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (s *Store) latestCol(col int) (float64, bool) {
+	if s.span() < 1 {
+		return 0, false
+	}
+	return s.at(col, 0), true
+}
+
+// deltaCol is the change of col over the last window ticks, clamped for
+// counter resets: a decrease (node restart, registry rebuild) is treated
+// as a restart from zero, so the delta is the current value rather than
+// a negative excursion. Requires window+1 held samples.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (s *Store) deltaCol(col, window int) (float64, bool) {
+	if window <= 0 || s.span() < window+1 {
+		return 0, false
+	}
+	cur := s.at(col, 0)
+	d := cur - s.at(col, window)
+	if d < 0 {
+		d = cur
+	}
+	return d, true
+}
+
+// rateCol is deltaCol per tick.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (s *Store) rateCol(col, window int) (float64, bool) {
+	d, ok := s.deltaCol(col, window)
+	if !ok {
+		return 0, false
+	}
+	return d / float64(window), true
+}
+
+// stalenessCol counts how many consecutive recent ticks col has held its
+// current bit pattern: 0 means it changed at the latest sample, span()-1
+// means it never changed within the ring. Bit comparison keeps float
+// equality out of the replay-deterministic path.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (s *Store) stalenessCol(col int) (int, bool) {
+	sp := s.span()
+	if sp < 2 {
+		return 0, false
+	}
+	cur := math.Float64bits(s.at(col, 0))
+	stale := 0
+	//safexplain:bounded ring depth frozen at store build
+	for back := 1; back < sp; back++ {
+		if math.Float64bits(s.at(col, back)) != cur {
+			break
+		}
+		stale++
+	}
+	return stale, true
+}
+
+// quantileHist interpolates the q-quantile of the observations a
+// histogram gained over the last window ticks (bucket deltas, linear
+// interpolation inside the crossing bucket — the same scheme as
+// obs.Histogram.Quantile, applied to a window instead of the cumulative
+// distribution). ok is false until the window is full or when the
+// window saw no observations.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (s *Store) quantileHist(h *histSeries, q float64, window int) (float64, bool) {
+	if s.span() < window+1 {
+		return 0, false
+	}
+	var total float64
+	//safexplain:bounded bucket count frozen at layout build
+	for k := 0; k < h.nbuckets; k++ {
+		d, _ := s.deltaCol(h.bucket0+k, window)
+		total += d
+	}
+	if total <= 0 {
+		return 0, false
+	}
+	target := q * total
+	cum := 0.0
+	//safexplain:bounded bucket count frozen at layout build
+	for k := 0; k < h.nbuckets; k++ {
+		d, _ := s.deltaCol(h.bucket0+k, window)
+		if cum+d >= target && d > 0 {
+			lo := 0.0
+			if k > 0 {
+				lo = h.bounds[k-1]
+			}
+			if k == h.nbuckets-1 {
+				// +Inf bucket: the last finite bound is the best answer.
+				return h.bounds[len(h.bounds)-1], true
+			}
+			hi := h.bounds[k]
+			return lo + (hi-lo)*(target-cum)/d, true
+		}
+		cum += d
+	}
+	return h.bounds[len(h.bounds)-1], true
+}
+
+// burnHist is the WCET burn rate over the last window ticks: the
+// fraction of new observations that landed above the budget bound
+// (bounds[boundIndex] — for a BudgetBounds histogram, index
+// obs.BudgetBoundIndex is exactly the frame budget), divided by the SLO
+// error allowance 1-slo. A burn rate of 1 consumes the error budget
+// exactly as fast as the SLO permits; above 1 the budget is burning
+// down. ok is false until the window is full.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (s *Store) burnHist(h *histSeries, boundIndex int, slo float64, window int) (float64, bool) {
+	cd, ok := s.deltaCol(h.count, window)
+	if !ok {
+		return 0, false
+	}
+	if cd <= 0 {
+		return 0, true
+	}
+	var below float64
+	//safexplain:bounded bound index validated against frozen bucket count at bind
+	for k := 0; k <= boundIndex; k++ {
+		d, _ := s.deltaCol(h.bucket0+k, window)
+		below += d
+	}
+	viol := cd - below
+	if viol < 0 {
+		viol = 0
+	}
+	return (viol / cd) / (1 - slo), true
+}
+
+// scalarColumn resolves a metric name to its scalar column: counters and
+// gauges directly, histograms through their observation-count column (so
+// rate/absence rules can watch a histogram's activity).
+func (l *Layout) scalarColumn(name string) (int, bool) {
+	if col, ok := l.index[name]; ok {
+		return col, true
+	}
+	if hi, ok := l.histIndex[name]; ok {
+		return l.hists[hi].count, true
+	}
+	return 0, false
+}
+
+// histogram resolves a metric name to its histogram series.
+func (l *Layout) histogram(name string) (*histSeries, bool) {
+	hi, ok := l.histIndex[name]
+	if !ok {
+		return nil, false
+	}
+	return &l.hists[hi], true
+}
+
+// Latest returns the most recent sample of a metric (histograms: the
+// observation count).
+func (s *Store) Latest(metric string) (float64, bool) {
+	col, ok := s.layout.scalarColumn(metric)
+	if !ok {
+		return 0, false
+	}
+	return s.latestCol(col)
+}
+
+// Delta returns the counter-reset-clamped change of a metric over the
+// last window ticks.
+func (s *Store) Delta(metric string, window int) (float64, bool) {
+	col, ok := s.layout.scalarColumn(metric)
+	if !ok {
+		return 0, false
+	}
+	return s.deltaCol(col, window)
+}
+
+// Rate returns the per-tick rate of a metric over the last window ticks.
+func (s *Store) Rate(metric string, window int) (float64, bool) {
+	col, ok := s.layout.scalarColumn(metric)
+	if !ok {
+		return 0, false
+	}
+	return s.rateCol(col, window)
+}
+
+// Staleness returns how many consecutive recent ticks a metric has been
+// unchanged.
+func (s *Store) Staleness(metric string) (int, bool) {
+	col, ok := s.layout.scalarColumn(metric)
+	if !ok {
+		return 0, false
+	}
+	return s.stalenessCol(col)
+}
+
+// Quantile returns the q-quantile of a histogram's observations over the
+// last window ticks.
+func (s *Store) Quantile(hist string, q float64, window int) (float64, bool) {
+	h, ok := s.layout.histogram(hist)
+	if !ok {
+		return 0, false
+	}
+	return s.quantileHist(h, q, window)
+}
+
+// BurnRate returns the SLO burn rate of a histogram against its declared
+// bound at boundIndex over the last window ticks.
+func (s *Store) BurnRate(hist string, boundIndex int, slo float64, window int) (float64, bool) {
+	h, ok := s.layout.histogram(hist)
+	if !ok || boundIndex < 0 || boundIndex >= len(h.bounds) || slo <= 0 || slo >= 1 {
+		return 0, false
+	}
+	return s.burnHist(h, boundIndex, slo, window)
+}

@@ -1,0 +1,335 @@
+package watch
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"safexplain/internal/obs"
+)
+
+// testSnap builds one hand-rolled snapshot: a counter, a gauge and a
+// 3-bound histogram — the smallest layout exercising every column kind.
+func testSnap() obs.Snapshot {
+	return obs.Snapshot{
+		System:   "t",
+		Counters: []obs.CounterSnap{{Name: "frames_total"}},
+		Gauges:   []obs.GaugeSnap{{Name: "queue_depth"}},
+		Histograms: []obs.HistogramSnap{{
+			Name:    "frame_cycles",
+			Bounds:  []float64{1, 2, 4},
+			Buckets: []uint64{0, 0, 0, 0},
+		}},
+	}
+}
+
+func TestLayoutColumns(t *testing.T) {
+	l, err := NewLayout([]obs.Snapshot{testSnap()})
+	if err != nil {
+		t.Fatalf("NewLayout: %v", err)
+	}
+	// counter + gauge + histogram(count + sum + 4 buckets) = 8
+	if got := l.Columns(); got != 8 {
+		t.Fatalf("Columns = %d, want 8", got)
+	}
+}
+
+func TestLayoutRejectsDuplicates(t *testing.T) {
+	a, b := testSnap(), testSnap()
+	if _, err := NewLayout([]obs.Snapshot{a, b}); err == nil {
+		t.Fatal("NewLayout accepted duplicate metric names across snapshots")
+	}
+	if _, err := NewLayout(nil); err == nil {
+		t.Fatal("NewLayout accepted an empty snapshot list")
+	}
+}
+
+func TestFillDetectsDrift(t *testing.T) {
+	base := testSnap()
+	l, err := NewLayout([]obs.Snapshot{base})
+	if err != nil {
+		t.Fatalf("NewLayout: %v", err)
+	}
+	vals := make([]float64, l.Columns())
+
+	if err := l.Fill(vals, []obs.Snapshot{base}); err != nil {
+		t.Fatalf("Fill on the layout's own snapshot: %v", err)
+	}
+
+	renamed := testSnap()
+	renamed.Counters[0].Name = "frames_renamed_total"
+	if err := l.Fill(vals, []obs.Snapshot{renamed}); !errors.Is(err, ErrLayout) {
+		t.Fatalf("Fill on renamed counter = %v, want ErrLayout", err)
+	}
+
+	rebucketed := testSnap()
+	rebucketed.Histograms[0].Buckets = []uint64{0, 0, 0}
+	if err := l.Fill(vals, []obs.Snapshot{rebucketed}); !errors.Is(err, ErrLayout) {
+		t.Fatalf("Fill on rebucketed histogram = %v, want ErrLayout", err)
+	}
+
+	if err := l.Fill(vals[:3], []obs.Snapshot{base}); !errors.Is(err, ErrLayout) {
+		t.Fatalf("Fill with short vals = %v, want ErrLayout", err)
+	}
+	if err := l.Fill(vals, []obs.Snapshot{base, base}); !errors.Is(err, ErrLayout) {
+		t.Fatalf("Fill with extra snapshot = %v, want ErrLayout", err)
+	}
+}
+
+// feed samples the snapshot through a fresh fill each tick.
+func feed(t *testing.T, s *Store, l *Layout, tick int64, snap obs.Snapshot) {
+	t.Helper()
+	vals := make([]float64, l.Columns())
+	if err := l.Fill(vals, []obs.Snapshot{snap}); err != nil {
+		t.Fatalf("Fill: %v", err)
+	}
+	if err := s.Sample(tick, vals); err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+}
+
+func TestStoreDerivations(t *testing.T) {
+	snap := testSnap()
+	l, err := NewLayout([]obs.Snapshot{snap})
+	if err != nil {
+		t.Fatalf("NewLayout: %v", err)
+	}
+	s := NewStore(l, 8)
+
+	// tick 1: counter 0; tick 2: 4; tick 3: 8. Gauge constant.
+	for i, v := range []uint64{0, 4, 8} {
+		snap.Counters[0].Value = v
+		snap.Gauges[0].Value = 7
+		feed(t, s, l, int64(i+1), snap)
+	}
+
+	if v, ok := s.Latest("frames_total"); !ok || v != 8 {
+		t.Errorf("Latest = %v,%v want 8,true", v, ok)
+	}
+	if d, ok := s.Delta("frames_total", 2); !ok || d != 8 {
+		t.Errorf("Delta(2) = %v,%v want 8,true", d, ok)
+	}
+	if r, ok := s.Rate("frames_total", 2); !ok || r != 4 {
+		t.Errorf("Rate(2) = %v,%v want 4,true", r, ok)
+	}
+	if _, ok := s.Rate("frames_total", 3); ok {
+		t.Error("Rate over an unfilled window reported ok")
+	}
+	if st, ok := s.Staleness("queue_depth"); !ok || st != 2 {
+		t.Errorf("Staleness = %v,%v want 2,true", st, ok)
+	}
+	if st, ok := s.Staleness("frames_total"); !ok || st != 0 {
+		t.Errorf("Staleness of a moving counter = %v,%v want 0,true", st, ok)
+	}
+	if _, ok := s.Latest("no_such_metric"); ok {
+		t.Error("Latest of an unknown metric reported ok")
+	}
+}
+
+func TestStoreCounterResetClamp(t *testing.T) {
+	snap := testSnap()
+	l, _ := NewLayout([]obs.Snapshot{snap})
+	s := NewStore(l, 8)
+
+	// A node restart: the counter falls from 10 to 3. The delta clamps to
+	// the post-restart value instead of going negative.
+	for i, v := range []uint64{10, 3} {
+		snap.Counters[0].Value = v
+		feed(t, s, l, int64(i+1), snap)
+	}
+	if d, ok := s.Delta("frames_total", 1); !ok || d != 3 {
+		t.Errorf("Delta across a reset = %v,%v want 3,true", d, ok)
+	}
+	if r, ok := s.Rate("frames_total", 1); !ok || r != 3 {
+		t.Errorf("Rate across a reset = %v,%v want 3,true", r, ok)
+	}
+}
+
+func TestStoreQuantileAndBurn(t *testing.T) {
+	snap := testSnap()
+	l, _ := NewLayout([]obs.Snapshot{snap})
+	s := NewStore(l, 8)
+
+	// Tick 1: empty histogram. Tick 2: 10 observations, 8 at <=2, 2 above
+	// every bound (+Inf bucket).
+	feed(t, s, l, 1, snap)
+	snap.Histograms[0].Buckets = []uint64{5, 3, 0, 2}
+	snap.Histograms[0].Count = 10
+	snap.Histograms[0].Sum = 20
+	feed(t, s, l, 2, snap)
+
+	// Median: target 5 lands at the top of bucket 0 → bound 1.
+	if q, ok := s.Quantile("frame_cycles", 0.5, 1); !ok || q != 1 {
+		t.Errorf("Quantile(0.5) = %v,%v want 1,true", q, ok)
+	}
+	// p95: target 9.5 crosses the +Inf bucket → clamped to last bound 4.
+	if q, ok := s.Quantile("frame_cycles", 0.95, 1); !ok || q != 4 {
+		t.Errorf("Quantile(0.95) = %v,%v want 4,true", q, ok)
+	}
+	// Burn against bound index 1 (value 2): 2 of 10 violated, slo 0.9 →
+	// (0.2)/(0.1) = 2 (up to float rounding of 1-0.9).
+	if b, ok := s.BurnRate("frame_cycles", 1, 0.9, 1); !ok || math.Abs(b-2) > 1e-12 {
+		t.Errorf("BurnRate = %v,%v want ~2,true", b, ok)
+	}
+	// A histogram's activity is visible to scalar derivations via the
+	// count column.
+	if d, ok := s.Delta("frame_cycles", 1); !ok || d != 10 {
+		t.Errorf("Delta(hist count) = %v,%v want 10,true", d, ok)
+	}
+	// Bad bound index / SLO are rejected.
+	if _, ok := s.BurnRate("frame_cycles", 7, 0.9, 1); ok {
+		t.Error("BurnRate accepted an out-of-range bound index")
+	}
+	if _, ok := s.BurnRate("frame_cycles", 1, 1.5, 1); ok {
+		t.Error("BurnRate accepted slo > 1")
+	}
+}
+
+func TestStoreQuantileIdleWindow(t *testing.T) {
+	snap := testSnap()
+	l, _ := NewLayout([]obs.Snapshot{snap})
+	s := NewStore(l, 8)
+	feed(t, s, l, 1, snap)
+	feed(t, s, l, 2, snap)
+	if _, ok := s.Quantile("frame_cycles", 0.5, 1); ok {
+		t.Error("Quantile over a window with no observations reported ok")
+	}
+	if b, ok := s.BurnRate("frame_cycles", 1, 0.9, 1); !ok || b != 0 {
+		t.Errorf("BurnRate over an idle window = %v,%v want 0,true", b, ok)
+	}
+}
+
+func TestStoreRingWrap(t *testing.T) {
+	snap := testSnap()
+	l, _ := NewLayout([]obs.Snapshot{snap})
+	s := NewStore(l, 4)
+	for i := 1; i <= 10; i++ {
+		snap.Counters[0].Value = uint64(i * 2)
+		feed(t, s, l, int64(i), snap)
+	}
+	if s.Samples() != 10 || s.Depth() != 4 {
+		t.Fatalf("Samples/Depth = %d/%d, want 10/4", s.Samples(), s.Depth())
+	}
+	// Only depth-1 windows are derivable after wrap; values stay exact.
+	if d, ok := s.Delta("frames_total", 3); !ok || d != 6 {
+		t.Errorf("Delta(3) after wrap = %v,%v want 6,true", d, ok)
+	}
+	if _, ok := s.Delta("frames_total", 4); ok {
+		t.Error("Delta wider than the ring reported ok")
+	}
+}
+
+// --- obs.Snapshot edges as seen by the watcher (satellite coverage) ---
+
+func TestWatcherEmptyRegistry(t *testing.T) {
+	reg := obs.NewRegistry("empty")
+	snaps := []obs.Snapshot{reg.Snapshot()}
+
+	w, err := New(Config{Origin: "n0"}, snaps)
+	if err != nil {
+		t.Fatalf("New over an empty registry: %v", err)
+	}
+	if _, err := w.Observe(1, snaps); err != nil {
+		t.Fatalf("Observe over an empty registry: %v", err)
+	}
+	h := w.Health()
+	if h.Series != 0 || h.Samples != 1 || h.Status != "ok" {
+		t.Errorf("Health = %+v, want 0 series, 1 sample, ok", h)
+	}
+
+	// A rule over a metric that does not exist must fail at bind time,
+	// not silently never fire.
+	rules, err := ParseRules("threshold ghost_metric > 1\n")
+	if err != nil {
+		t.Fatalf("ParseRules: %v", err)
+	}
+	if _, err := New(Config{Rules: rules}, snaps); err == nil {
+		t.Fatal("New bound a rule over a metric absent from the layout")
+	}
+}
+
+func TestWatcherCounterResetAfterRestart(t *testing.T) {
+	snap := testSnap()
+	rules, err := ParseRules("rate frames_total window 1 > 100\n")
+	if err != nil {
+		t.Fatalf("ParseRules: %v", err)
+	}
+	w, err := New(Config{Origin: "n0", Rules: rules}, []obs.Snapshot{snap})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Healthy growth, then a restart back to a small value: the clamped
+	// delta must not produce a huge rate spike (or a negative one).
+	for i, v := range []uint64{1000, 1050, 7} {
+		snap.Counters[0].Value = v
+		fired, err := w.Observe(int64(i+1), []obs.Snapshot{snap})
+		if err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+		if fired != 0 {
+			t.Fatalf("rule fired across a counter reset at tick %d", i+1)
+		}
+	}
+	if len(w.Alerts()) != 0 {
+		t.Fatalf("alert ledger not empty after reset: %+v", w.Alerts())
+	}
+}
+
+func TestWatcherStaleChildInMerge(t *testing.T) {
+	// Two identically-declared child registries merged the way the fleet
+	// aggregator merges unit snapshots.
+	active := obs.NewRegistry("unit")
+	activeFrames := active.Counter("frames_total", "frames")
+	stale := obs.NewRegistry("unit")
+	staleFrames := stale.Counter("frames_total", "frames")
+	staleFrames.Add(5) // the stale child froze at some past value
+
+	merged := func() obs.Snapshot {
+		m := active.Snapshot().CloneMetrics()
+		if err := m.Merge(stale.Snapshot()); err != nil {
+			t.Fatalf("Merge: %v", err)
+		}
+		return m
+	}
+
+	rules, err := ParseRules("absence frames_total for 2\n")
+	if err != nil {
+		t.Fatalf("ParseRules: %v", err)
+	}
+	w, err := New(Config{Origin: "agg", Rules: rules}, []obs.Snapshot{merged()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	tick := int64(0)
+	observe := func() int {
+		tick++
+		fired, err := w.Observe(tick, []obs.Snapshot{merged()})
+		if err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+		return fired
+	}
+
+	// One child stalls but the other keeps producing: the merged counter
+	// still moves every tick, so the absence rule must stay quiet.
+	for i := 0; i < 4; i++ {
+		activeFrames.Inc()
+		if fired := observe(); fired != 0 {
+			t.Fatalf("absence fired while one child was still active (round %d)", i)
+		}
+	}
+
+	// Both children stall: the merged counter freezes and absence fires
+	// once the staleness bound is reached.
+	fired := 0
+	for i := 0; i < 3; i++ {
+		fired += observe()
+	}
+	if fired != 1 {
+		t.Fatalf("absence transitions with both children stalled = %d, want 1", fired)
+	}
+	alerts := w.Alerts()
+	if len(alerts) != 1 || alerts[0].State != StateFiring || alerts[0].Metric != "frames_total" {
+		t.Fatalf("alert ledger = %+v, want one firing frames_total alert", alerts)
+	}
+}

@@ -1,0 +1,385 @@
+package watch
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"safexplain/internal/obs"
+)
+
+// Alert is one evidence-grade alert record: a rule transition (firing or
+// resolved) at a watch tick, stamped with the emitting node and a
+// SHA-256 evidence hash over the canonical JSON encoding (hash field
+// empty while hashing — the same scheme as fleet common-mode alerts), so
+// a relayed alert can be checked against the evidence chain at any tier.
+type Alert struct {
+	Origin    string  `json:"origin"`
+	Rule      string  `json:"rule"`
+	Metric    string  `json:"metric"`
+	State     string  `json:"state"` // "firing" | "resolved"
+	Tick      int64   `json:"tick"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+
+	EvidenceHash string `json:"evidence_hash"`
+}
+
+// Alert states.
+const (
+	StateFiring   = "firing"
+	StateResolved = "resolved"
+)
+
+// hashAlert computes the evidence hash: SHA-256 over the canonical JSON
+// with the hash field empty.
+func hashAlert(a Alert) string {
+	a.EvidenceHash = ""
+	blob, err := json.Marshal(a)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
+
+// EncodeAlert renders one alert as canonical one-line JSON — the wire
+// payload alert relay carries up the tier tree.
+func EncodeAlert(a Alert) ([]byte, error) {
+	return json.Marshal(a)
+}
+
+// DecodeAlert parses one relayed alert payload and verifies its evidence
+// hash. Pure: any input yields an alert or an error, never a panic.
+func DecodeAlert(b []byte) (Alert, error) {
+	var a Alert
+	if err := json.Unmarshal(b, &a); err != nil {
+		return Alert{}, fmt.Errorf("watch: corrupt alert payload: %w", err)
+	}
+	if a.EvidenceHash == "" || a.EvidenceHash != hashAlert(a) {
+		return Alert{}, errors.New("watch: alert evidence hash mismatch")
+	}
+	return a, nil
+}
+
+// SortAlerts orders alerts canonically — (origin, tick, rule, state) —
+// so a ledger merged from asynchronous relay arrivals serializes
+// byte-identically regardless of interleaving.
+func SortAlerts(alerts []Alert) {
+	sort.Slice(alerts, func(i, j int) bool {
+		a, b := alerts[i], alerts[j]
+		if a.Origin != b.Origin {
+			return a.Origin < b.Origin
+		}
+		if a.Tick != b.Tick {
+			return a.Tick < b.Tick
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.State < b.State
+	})
+}
+
+// AlertsJSON renders an alert ledger as a canonical JSON envelope
+// (alerts sorted, stable field order).
+func AlertsJSON(origin string, alerts []Alert) ([]byte, error) {
+	sorted := append([]Alert(nil), alerts...)
+	SortAlerts(sorted)
+	if sorted == nil {
+		sorted = []Alert{}
+	}
+	return json.Marshal(struct {
+		Origin string  `json:"origin"`
+		Alerts []Alert `json:"alerts"`
+	}{Origin: origin, Alerts: sorted})
+}
+
+// Health is a watcher's one-glance summary, served on /health.
+type Health struct {
+	Origin        string `json:"origin"`
+	Status        string `json:"status"` // "ok" | "alerting"
+	Tick          int64  `json:"tick"`
+	Samples       int    `json:"samples"`
+	Series        int    `json:"series"`
+	Rules         int    `json:"rules"`
+	Firing        int    `json:"firing"`
+	AlertsTotal   uint64 `json:"alerts_total"`
+	AlertsDropped uint64 `json:"alerts_dropped"`
+}
+
+// Config shapes a watcher. Zero values get defaults.
+type Config struct {
+	// Origin names the emitting node in alerts (default "watch").
+	Origin string
+	// Rules are the armed alert rules; every metric they name must
+	// resolve in the bound layout.
+	Rules []Rule
+	// Depth is the ring depth in samples (default 128). Every rule's
+	// window (and an absence rule's staleness bound) must fit inside it.
+	Depth int
+	// MaxAlerts bounds the retained alert ledger (default 64); overflow
+	// drops the newest record and counts it, like every other bounded
+	// buffer in the stack.
+	MaxAlerts int
+	// Journal, when set, receives one obs.StageWatch span per alert
+	// transition (frame = tick, code = rule index, value = observed).
+	Journal *obs.Flight
+	// OnAlert, when set, observes each alert as it is emitted — the
+	// relay hook. Called with the watcher lock held; must not call back.
+	OnAlert func(Alert)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Origin == "" {
+		c.Origin = "watch"
+	}
+	if c.Depth <= 0 {
+		c.Depth = 128
+	}
+	if c.MaxAlerts <= 0 {
+		c.MaxAlerts = 64
+	}
+	return c
+}
+
+// boundRule is one rule resolved against the layout, with its hysteresis
+// state.
+type boundRule struct {
+	rule   Rule
+	canon  string // pre-rendered canonical text, so firing never formats
+	col    int    // scalar column (threshold, rate, absence)
+	hist   *histSeries
+	streak int
+	firing bool
+}
+
+// Watcher samples snapshots into the ring store and evaluates the armed
+// rules each tick. The sample path (Observe without a rule transition)
+// is zero-allocation; emitting an alert is the exceptional path and
+// allocates. Methods are safe for concurrent use — the HTTP handlers
+// read Health/Alerts while the cadence loop ticks.
+type Watcher struct {
+	mu      sync.Mutex
+	cfg     Config
+	layout  *Layout
+	store   *Store
+	rules   []boundRule
+	vals    []float64
+	alerts  []Alert
+	fired   uint64
+	dropped uint64
+	tick    int64
+}
+
+// New binds the rules against the layout of the given representative
+// snapshots and allocates the ring store. Every metric a rule names must
+// exist in the layout; windows must fit the ring; burn rules must name a
+// histogram and one of its declared bounds.
+func New(cfg Config, snaps []obs.Snapshot) (*Watcher, error) {
+	cfg = cfg.withDefaults()
+	layout, err := NewLayout(snaps)
+	if err != nil {
+		return nil, err
+	}
+	w := &Watcher{
+		cfg:    cfg,
+		layout: layout,
+		store:  NewStore(layout, cfg.Depth),
+		vals:   make([]float64, layout.Columns()),
+	}
+	for _, r := range cfg.Rules {
+		br := boundRule{rule: r, canon: r.String()}
+		switch r.Kind {
+		case RuleThreshold, RuleRate, RuleAbsence:
+			col, ok := layout.scalarColumn(r.Metric)
+			if !ok {
+				return nil, fmt.Errorf("watch: rule %q: metric %q not in the bound layout", br.canon, r.Metric)
+			}
+			br.col = col
+		case RuleBurn:
+			h, ok := layout.histogram(r.Metric)
+			if !ok {
+				return nil, fmt.Errorf("watch: rule %q: %q is not a histogram in the bound layout", br.canon, r.Metric)
+			}
+			if r.Bound >= len(h.bounds) {
+				return nil, fmt.Errorf("watch: rule %q: bound index %d outside %q's %d declared bounds",
+					br.canon, r.Bound, r.Metric, len(h.bounds))
+			}
+			if r.SLO <= 0 || r.SLO >= 1 {
+				return nil, fmt.Errorf("watch: rule %q: slo %v outside (0,1)", br.canon, r.SLO)
+			}
+			br.hist = h
+		default:
+			return nil, fmt.Errorf("watch: rule %q: invalid kind", br.canon)
+		}
+		if r.Window >= cfg.Depth {
+			return nil, fmt.Errorf("watch: rule %q: window %d does not fit ring depth %d", br.canon, r.Window, cfg.Depth)
+		}
+		if r.Kind == RuleAbsence && r.For >= cfg.Depth {
+			return nil, fmt.Errorf("watch: rule %q: for %d does not fit ring depth %d", br.canon, r.For, cfg.Depth)
+		}
+		w.rules = append(w.rules, br)
+	}
+	return w, nil
+}
+
+// Observe is the cadence entry point: fill the value vector from the
+// snapshots (validated against the frozen layout), store the sample at
+// the given tick, and evaluate every rule. It returns the number of
+// rules that newly transitioned to firing. Steady state — no layout
+// drift, no rule transition — is zero-allocation.
+func (w *Watcher) Observe(tick int64, snaps []obs.Snapshot) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.layout.Fill(w.vals, snaps); err != nil {
+		return 0, err
+	}
+	if err := w.store.Sample(tick, w.vals); err != nil {
+		return 0, err
+	}
+	w.tick = tick
+	return w.evalLocked(tick), nil
+}
+
+// evalLocked evaluates every bound rule at tick and handles transitions.
+func (w *Watcher) evalLocked(tick int64) int {
+	fired := 0
+	for i := range w.rules {
+		br := &w.rules[i]
+		v, breach, ok := w.evalRule(br)
+		if !ok {
+			// Warmup: the window (or staleness baseline) is not yet full.
+			// Rules stay silent rather than firing on partial data — the
+			// false-positive hygiene T18 measures.
+			br.streak = 0
+			continue
+		}
+		if breach {
+			br.streak++
+		} else {
+			br.streak = 0
+		}
+		need := br.rule.For
+		if br.rule.Kind == RuleAbsence {
+			need = 1 // the staleness bound is the temporal clause itself
+		}
+		switch {
+		case br.streak >= need && !br.firing:
+			br.firing = true
+			w.fireLocked(i, br, tick, v, StateFiring)
+			fired++
+		case !breach && br.firing:
+			br.firing = false
+			w.fireLocked(i, br, tick, v, StateResolved)
+		}
+	}
+	return fired
+}
+
+// evalRule computes one rule's observed value and breach state.
+//
+//safexplain:wcet
+func (w *Watcher) evalRule(br *boundRule) (v float64, breach, ok bool) {
+	switch br.rule.Kind {
+	case RuleThreshold:
+		v, ok = w.store.latestCol(br.col)
+		return v, ok && br.rule.Op.compare(v, br.rule.Value), ok
+	case RuleRate:
+		v, ok = w.store.rateCol(br.col, br.rule.Window)
+		return v, ok && br.rule.Op.compare(v, br.rule.Value), ok
+	case RuleAbsence:
+		stale, sok := w.store.stalenessCol(br.col)
+		return float64(stale), sok && stale >= br.rule.For, sok
+	case RuleBurn:
+		v, ok = w.store.burnHist(br.hist, br.rule.Bound, br.rule.SLO, br.rule.Window)
+		return v, ok && br.rule.Op.compare(v, br.rule.Value), ok
+	}
+	return 0, false, false
+}
+
+// fireLocked emits one alert transition: evidence-hash it, retain it in
+// the bounded ledger, span it into the flight journal, and hand it to
+// the relay hook. This is the exceptional, allocating path.
+func (w *Watcher) fireLocked(ruleIdx int, br *boundRule, tick int64, v float64, state string) {
+	a := Alert{
+		Origin:    w.cfg.Origin,
+		Rule:      br.canon,
+		Metric:    br.rule.Metric,
+		State:     state,
+		Tick:      tick,
+		Value:     v,
+		Threshold: br.rule.Value,
+	}
+	a.EvidenceHash = hashAlert(a)
+	if len(w.alerts) < w.cfg.MaxAlerts {
+		w.alerts = append(w.alerts, a)
+	} else {
+		w.dropped++
+	}
+	if state == StateFiring {
+		w.fired++
+	}
+	if w.cfg.Journal != nil {
+		w.cfg.Journal.Record(int(tick), obs.StageWatch, int32(ruleIdx), v)
+	}
+	if w.cfg.OnAlert != nil {
+		w.cfg.OnAlert(a)
+	}
+}
+
+// Alerts returns the retained alert ledger in canonical order.
+func (w *Watcher) Alerts() []Alert {
+	w.mu.Lock()
+	out := append([]Alert(nil), w.alerts...)
+	w.mu.Unlock()
+	SortAlerts(out)
+	return out
+}
+
+// Firing returns how many rules are currently in the firing state.
+func (w *Watcher) Firing() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.firingLocked()
+}
+
+func (w *Watcher) firingLocked() int {
+	n := 0
+	for i := range w.rules {
+		if w.rules[i].firing {
+			n++
+		}
+	}
+	return n
+}
+
+// Health freezes the watcher's summary.
+func (w *Watcher) Health() Health {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	h := Health{
+		Origin:        w.cfg.Origin,
+		Status:        "ok",
+		Tick:          w.tick,
+		Samples:       w.store.Samples(),
+		Series:        w.layout.Columns(),
+		Rules:         len(w.rules),
+		Firing:        w.firingLocked(),
+		AlertsTotal:   w.fired,
+		AlertsDropped: w.dropped,
+	}
+	if h.Firing > 0 {
+		h.Status = "alerting"
+	}
+	return h
+}
+
+// Store exposes the underlying ring store for derivation queries (tests,
+// ad-hoc inspection). The watcher keeps sampling into it; callers get
+// point-in-time reads.
+func (w *Watcher) Store() *Store { return w.store }

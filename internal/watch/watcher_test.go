@@ -1,0 +1,384 @@
+package watch
+
+import (
+	"strings"
+	"testing"
+
+	"safexplain/internal/obs"
+)
+
+func mustRules(t *testing.T, src string) []Rule {
+	t.Helper()
+	rules, err := ParseRules(src)
+	if err != nil {
+		t.Fatalf("ParseRules(%q): %v", src, err)
+	}
+	return rules
+}
+
+func TestWatcherThresholdHysteresis(t *testing.T) {
+	snap := testSnap()
+	w, err := New(Config{
+		Origin: "n0",
+		Rules:  mustRules(t, "threshold queue_depth > 5 for 2\n"),
+	}, []obs.Snapshot{snap})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	obsv := func(tick int64, v float64) int {
+		snap.Gauges[0].Value = v
+		fired, err := w.Observe(tick, []obs.Snapshot{snap})
+		if err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+		return fired
+	}
+
+	if f := obsv(1, 10); f != 0 {
+		t.Fatal("fired on the first breach tick despite for 2")
+	}
+	if f := obsv(2, 10); f != 1 {
+		t.Fatal("did not fire after two consecutive breach ticks")
+	}
+	if f := obsv(3, 10); f != 0 {
+		t.Fatal("re-fired while already firing")
+	}
+	if w.Firing() != 1 {
+		t.Fatalf("Firing = %d, want 1", w.Firing())
+	}
+	if f := obsv(4, 1); f != 0 {
+		t.Fatal("counted a resolve as a firing transition")
+	}
+	if w.Firing() != 0 {
+		t.Fatalf("Firing after resolve = %d, want 0", w.Firing())
+	}
+
+	alerts := w.Alerts()
+	if len(alerts) != 2 {
+		t.Fatalf("ledger holds %d alerts, want 2 (firing + resolved)", len(alerts))
+	}
+	if alerts[0].State != StateFiring || alerts[0].Tick != 2 || alerts[0].Value != 10 {
+		t.Errorf("firing alert = %+v", alerts[0])
+	}
+	if alerts[1].State != StateResolved || alerts[1].Tick != 4 {
+		t.Errorf("resolved alert = %+v", alerts[1])
+	}
+
+	// A breach interrupted before the hysteresis count never fires.
+	if f := obsv(5, 10); f != 0 {
+		t.Fatal("fired on a single breach tick")
+	}
+	if f := obsv(6, 1); f != 0 {
+		t.Fatal("fired after the breach streak broke")
+	}
+	if f := obsv(7, 10); f != 0 {
+		t.Fatal("streak did not reset after a clean tick")
+	}
+}
+
+func TestWatcherAlertEvidence(t *testing.T) {
+	snap := testSnap()
+	journal := obs.NewFlight(16)
+	w, err := New(Config{
+		Origin:  "n3",
+		Rules:   mustRules(t, "threshold queue_depth > 5\n"),
+		Journal: journal,
+	}, []obs.Snapshot{snap})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	snap.Gauges[0].Value = 9
+	if _, err := w.Observe(42, []obs.Snapshot{snap}); err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	alerts := w.Alerts()
+	if len(alerts) != 1 {
+		t.Fatalf("want one alert, got %d", len(alerts))
+	}
+	a := alerts[0]
+	if a.Origin != "n3" || a.Rule != "threshold queue_depth > 5" || a.Tick != 42 {
+		t.Errorf("alert = %+v", a)
+	}
+
+	// Encode → decode round-trips and the evidence hash authenticates.
+	blob, err := EncodeAlert(a)
+	if err != nil {
+		t.Fatalf("EncodeAlert: %v", err)
+	}
+	back, err := DecodeAlert(blob)
+	if err != nil {
+		t.Fatalf("DecodeAlert: %v", err)
+	}
+	if back != a {
+		t.Errorf("round-trip changed the alert: %+v vs %+v", back, a)
+	}
+
+	// Any tampering breaks the hash.
+	tampered := strings.Replace(string(blob), `"tick":42`, `"tick":43`, 1)
+	if _, err := DecodeAlert([]byte(tampered)); err == nil {
+		t.Fatal("DecodeAlert accepted a tampered alert")
+	}
+	if _, err := DecodeAlert([]byte("{")); err == nil {
+		t.Fatal("DecodeAlert accepted truncated JSON")
+	}
+
+	// The transition landed in the flight journal as a watch span.
+	spans := journal.Spans()
+	found := false
+	for _, s := range spans {
+		if s.Stage == obs.StageWatch && s.Frame == 42 && s.Value == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no StageWatch span in the journal: %+v", spans)
+	}
+}
+
+func TestWatcherBurnRule(t *testing.T) {
+	// A BudgetBounds histogram with budget 100: bound index
+	// obs.BudgetBoundIndex is exactly the budget.
+	reg := obs.NewRegistry("rt")
+	hist := reg.Histogram("rt_frame_cycles", "cycles", obs.BudgetBounds(100)...)
+	snaps := func() []obs.Snapshot { return []obs.Snapshot{reg.Snapshot()} }
+
+	w, err := New(Config{
+		Origin: "n0",
+		Rules:  mustRules(t, "burn rt_frame_cycles bound 4 slo 0.9 window 2 > 1 for 2\n"),
+	}, snaps())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	tick := int64(0)
+	step := func(values ...float64) int {
+		tick++
+		for _, v := range values {
+			hist.Observe(v)
+		}
+		fired, err := w.Observe(tick, snaps())
+		if err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+		return fired
+	}
+
+	// Clean frames: everything under budget, burn 0 — no alert through
+	// warmup and beyond.
+	for i := 0; i < 5; i++ {
+		if f := step(50, 80, 90); f != 0 {
+			t.Fatalf("burn rule fired on clean frames at tick %d", tick)
+		}
+	}
+	// Latency creep past the budget: 2 of 4 observations per tick land
+	// above 100 → burn (0.5)/(0.1) = 5 > 1, firing after 2 ticks.
+	if f := step(50, 90, 120, 130); f != 0 {
+		t.Fatal("burn rule fired before its hysteresis count")
+	}
+	if f := step(50, 90, 120, 130); f != 1 {
+		t.Fatal("burn rule did not fire on sustained over-budget frames")
+	}
+	// Back under budget: the rule resolves once the window clears.
+	resolved := false
+	for i := 0; i < 4; i++ {
+		step(50, 60)
+		if w.Firing() == 0 {
+			resolved = true
+			break
+		}
+	}
+	if !resolved {
+		t.Fatal("burn rule never resolved after load returned under budget")
+	}
+}
+
+func TestWatcherWarmupStaysSilent(t *testing.T) {
+	snap := testSnap()
+	w, err := New(Config{
+		Origin: "n0",
+		// Deliberately breach-shaped from tick one: rate < 100 is true as
+		// soon as it is computable.
+		Rules: mustRules(t, "rate frames_total window 3 < 100\n"),
+	}, []obs.Snapshot{snap})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for tick := int64(1); tick <= 3; tick++ {
+		fired, err := w.Observe(tick, []obs.Snapshot{snap})
+		if err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+		if fired != 0 {
+			t.Fatalf("rule fired during warmup at tick %d", tick)
+		}
+	}
+	fired, err := w.Observe(4, []obs.Snapshot{snap})
+	if err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	if fired != 1 {
+		t.Fatal("rule did not fire on the first tick with a full window")
+	}
+}
+
+func TestWatcherMaxAlerts(t *testing.T) {
+	snap := testSnap()
+	w, err := New(Config{
+		Origin:    "n0",
+		MaxAlerts: 2,
+		Rules:     mustRules(t, "threshold queue_depth > 5\n"),
+	}, []obs.Snapshot{snap})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Flap the gauge across the threshold: each crossing is a transition.
+	tick := int64(0)
+	for i := 0; i < 4; i++ {
+		for _, v := range []float64{10, 0} {
+			tick++
+			snap.Gauges[0].Value = v
+			if _, err := w.Observe(tick, []obs.Snapshot{snap}); err != nil {
+				t.Fatalf("Observe: %v", err)
+			}
+		}
+	}
+	if got := len(w.Alerts()); got != 2 {
+		t.Fatalf("ledger holds %d alerts, want the MaxAlerts bound 2", got)
+	}
+	h := w.Health()
+	if h.AlertsDropped == 0 {
+		t.Fatal("overflowed transitions were not counted as dropped")
+	}
+	if h.AlertsTotal != 4 {
+		t.Fatalf("AlertsTotal = %d, want 4 firings", h.AlertsTotal)
+	}
+}
+
+func TestWatcherHealth(t *testing.T) {
+	snap := testSnap()
+	w, err := New(Config{
+		Origin: "n7",
+		Rules:  mustRules(t, "threshold queue_depth > 5\n"),
+	}, []obs.Snapshot{snap})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	h := w.Health()
+	if h.Origin != "n7" || h.Status != "ok" || h.Rules != 1 || h.Series != 8 {
+		t.Errorf("initial Health = %+v", h)
+	}
+	snap.Gauges[0].Value = 10
+	if _, err := w.Observe(5, []obs.Snapshot{snap}); err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	h = w.Health()
+	if h.Status != "alerting" || h.Firing != 1 || h.Tick != 5 || h.Samples != 1 {
+		t.Errorf("alerting Health = %+v", h)
+	}
+}
+
+func TestWatcherBindErrors(t *testing.T) {
+	snap := testSnap()
+	snaps := []obs.Snapshot{snap}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"unknown metric", Config{Rules: mustRules(t, "threshold ghost > 1\n")}},
+		{"burn on non-histogram", Config{Rules: mustRules(t, "burn frames_total bound 0 slo 0.9 window 2 > 1\n")}},
+		{"burn bound out of range", Config{Rules: mustRules(t, "burn frame_cycles bound 9 slo 0.9 window 2 > 1\n")}},
+		{"window too wide", Config{Depth: 4, Rules: mustRules(t, "rate frames_total window 4 > 1\n")}},
+		{"absence beyond ring", Config{Depth: 4, Rules: mustRules(t, "absence frames_total for 4\n")}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg, snaps); err == nil {
+			t.Errorf("%s: New accepted the rule", tc.name)
+		}
+	}
+}
+
+func TestWatcherObserveDrift(t *testing.T) {
+	snap := testSnap()
+	w, err := New(Config{}, []obs.Snapshot{snap})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	drifted := testSnap()
+	drifted.Gauges[0].Name = "queue_depth_renamed"
+	if _, err := w.Observe(1, []obs.Snapshot{drifted}); err == nil {
+		t.Fatal("Observe accepted a drifted snapshot")
+	}
+}
+
+// TestObserveZeroAlloc proves the steady-state sample path — Fill,
+// Sample, and full rule evaluation without a transition — allocates
+// nothing, the probe-effect contract the tentpole claims.
+func TestObserveZeroAlloc(t *testing.T) {
+	snap := testSnap()
+	snap.Histograms[0].Buckets = []uint64{1, 0, 0, 0}
+	snap.Histograms[0].Count = 1
+	w, err := New(Config{
+		Origin: "n0",
+		Rules: mustRules(t, `
+threshold queue_depth > 1e9
+rate frames_total window 2 > 1e9
+absence frames_total for 1000
+burn frame_cycles bound 1 slo 0.9 window 2 > 1e9
+`),
+		Depth: 2048,
+	}, []obs.Snapshot{snap})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	snaps := []obs.Snapshot{snap}
+	tick := int64(0)
+	allocs := testing.AllocsPerRun(500, func() {
+		tick++
+		// Mutate the sampled values in place: the counter and histogram
+		// keep moving, so absence never trips and nothing transitions.
+		snaps[0].Counters[0].Value++
+		snaps[0].Histograms[0].Buckets[0]++
+		snaps[0].Histograms[0].Count++
+		snaps[0].Histograms[0].Sum += 0.5
+		if _, err := w.Observe(tick, snaps); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocated %v allocs/op in steady state, want 0", allocs)
+	}
+}
+
+// BenchmarkWatchObserve times the steady-state sample path (Fill +
+// Sample + rule evaluation, no transitions) and reports its allocation
+// count — run with -benchmem to see the 0 allocs/op contract held.
+func BenchmarkWatchObserve(b *testing.B) {
+	snap := testSnap()
+	snap.Histograms[0].Buckets = []uint64{1, 0, 0, 0}
+	snap.Histograms[0].Count = 1
+	rules, err := ParseRules(`
+threshold queue_depth > 1e9
+rate frames_total window 2 > 1e9
+absence frames_total for 2000
+burn frame_cycles bound 1 slo 0.9 window 2 > 1e9
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := New(Config{Origin: "n0", Rules: rules, Depth: 2048}, []obs.Snapshot{snap})
+	if err != nil {
+		b.Fatal(err)
+	}
+	snaps := []obs.Snapshot{snap}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snaps[0].Counters[0].Value++
+		snaps[0].Histograms[0].Buckets[0]++
+		snaps[0].Histograms[0].Count++
+		snaps[0].Histograms[0].Sum += 0.5
+		if _, err := w.Observe(int64(i+1), snaps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
