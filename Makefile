@@ -13,7 +13,7 @@ FUZZ_TARGETS = \
 	FuzzWatchRuleDecode=./internal/watch
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race bench bench-json bench-diff lint safelint staticcheck experiments examples fuzz cover clean
+.PHONY: all build vet test race bench bench-json bench-diff lint safelint staticcheck govulncheck experiments examples fuzz cover clean
 
 all: build lint test
 
@@ -26,9 +26,10 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-detector lane over the unit-test packages (benchmarks excluded).
+# Race-detector lane over every package — the dynamic complement of the
+# safelint ownership pass.
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./...
 
 # Regenerate every table/figure in EXPERIMENTS.md as benchmark targets.
 bench:
@@ -52,14 +53,17 @@ bench-diff:
 		$(BENCH_BASELINE) BENCH_current.json
 
 # The lint umbrella: vet, the repo's own safety-rules analyzer, and
-# staticcheck when installed. This is the target CI runs.
-lint: vet safelint staticcheck
+# staticcheck/govulncheck when installed. This is the target CI runs.
+lint: vet safelint staticcheck govulncheck
 
-# Repo-specific safety rules (hotpath allocation, WCET loop bounds,
-# determinism, operate-path panic, requirement traceability tags) — see
-# internal/lint and DESIGN.md.
+# Repo-specific safety rules — the per-function families (hotpath
+# allocation, WCET loop bounds, determinism, operate-path panic,
+# requirement traceability tags) plus the interprocedural passes
+# (hotpath closure, concurrency ownership, evidence-integrity taint)
+# against the committed waiver file, emitting the hashed findings
+# report — see internal/lint and DESIGN.md.
 safelint:
-	$(GO) run ./cmd/safelint ./...
+	$(GO) run ./cmd/safelint -baseline lint.baseline -out safelint-report.json ./...
 
 # Static analysis beyond vet; skips with a hint when the tool is absent.
 staticcheck:
@@ -67,6 +71,15 @@ staticcheck:
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"; \
+	fi
+
+# Known-vulnerability scan of the module and its (stdlib-only)
+# dependency graph; skips with a hint when the tool is absent.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
 # Regenerate the evaluation tables directly.

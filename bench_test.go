@@ -1,4 +1,4 @@
-// Benchmark harness: one benchmark per table (T1–T18) and figure (F1–F3)
+// Benchmark harness: one benchmark per table (T1–T19) and figure (F1–F3)
 // of EXPERIMENTS.md. Each benchmark regenerates its experiment — printing
 // the full table via -v logs — and times a regeneration pass, so
 //
@@ -170,4 +170,12 @@ func BenchmarkT17FleetLinks(b *testing.B) {
 // false-positive floor.
 func BenchmarkT18Watch(b *testing.B) {
 	benchExperiment(b, "T18", "latency_creep", "probe_us_per_tick_clean", "false_positives_clean")
+}
+
+// BenchmarkT19SafelintV2 regenerates Table T19: the interprocedural
+// seeded-defect campaign — per-family detection and false-positive
+// rates for the hotpath-closure, concurrency-ownership and
+// evidence-integrity-taint passes.
+func BenchmarkT19SafelintV2(b *testing.B) {
+	benchExperiment(b, "T19", "detection_rate", "taint_detection_rate")
 }

@@ -1,12 +1,16 @@
 // Command safelint runs the repository's safety-rules static analyzer
 // (internal/lint) over the module and reports violations in the
-// conventional file:line:col form. Exit status: 0 clean, 1 violations
-// found, 2 bad invocation.
+// conventional file:line:col form. The analysis is interprocedural:
+// besides the per-function rules it builds the module call graph and
+// runs the hotpath-closure, concurrency-ownership and evidence-taint
+// passes. Exit status: 0 clean, 1 violations found, 2 bad invocation.
 //
-//	safelint ./...                 check the whole module
-//	safelint ./internal/rt         check one package
-//	safelint -report req.json ./...  also write the hashed requirement
-//	                                 coverage report (traceability evidence)
+//	safelint ./...                   check the whole module
+//	safelint ./internal/rt           check one package
+//	safelint -baseline lint.baseline   apply the committed waiver file
+//	safelint -out safelint-report.json write the hashed findings report
+//	safelint -report req.json          also write the hashed requirement
+//	                                   coverage report (traceability evidence)
 package main
 
 import (
@@ -29,7 +33,7 @@ var errViolations = errors.New("violations found")
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		if errors.Is(err, errUsage) {
-			fmt.Fprintln(os.Stderr, "usage: safelint [-root dir] [-report file] [patterns]")
+			fmt.Fprintln(os.Stderr, "usage: safelint [-root dir] [-baseline file] [-out file] [-report file] [patterns]")
 			flag.CommandLine.SetOutput(os.Stderr)
 			os.Exit(2)
 		}
@@ -41,39 +45,66 @@ func main() {
 	}
 }
 
-// run loads the module, applies the rules, prints diagnostics, and
-// optionally writes the requirement coverage report.
+// run loads the module, applies the rules and interprocedural passes,
+// prints surviving diagnostics, and optionally writes the findings and
+// requirement coverage reports.
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("safelint", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
 	root := fs.String("root", ".", "module root (or any directory inside it)")
+	baseline := fs.String("baseline", "", "baseline/waiver file (rule + symbol + justification per line)")
+	outFile := fs.String("out", "", "write the hashed findings JSON report to this file")
 	report := fs.String("report", "", "write the requirement coverage JSON report to this file")
-	verbose := fs.Bool("v", false, "also print per-package type-check fallbacks")
+	verbose := fs.Bool("v", false, "also print per-package type-check fallbacks and graph stats")
 	if err := fs.Parse(args); err != nil {
 		return fmt.Errorf("%w: %v", errUsage, err)
 	}
 
-	pkgs, err := lint.LoadModule(*root, fs.Args())
+	res, err := lint.AnalyzeModule(*root, fs.Args(), lint.DefaultConfig())
 	if err != nil {
 		return err
 	}
 	if *verbose {
-		for _, p := range pkgs {
+		for _, p := range res.Pkgs {
 			if len(p.TypeErrors) > 0 {
 				fmt.Fprintf(out, "# %s: %d type-check issue(s); syntax-level rules still apply\n",
 					p.Path, len(p.TypeErrors))
 			}
 		}
+		fmt.Fprintf(out, "# call graph: %d functions, %d edges (%d devirtualized), %d dynamic sites (%d waived)\n",
+			len(res.Graph.Nodes), res.Graph.EdgeCount, res.Graph.DevirtEdges,
+			res.Graph.DynamicSites, res.Graph.DynamicWaived)
+		fmt.Fprintf(out, "# hotpath closure: %d roots, %d members, %d on the frontier\n",
+			len(res.Closure.Roots), len(res.Closure.Order), len(res.Frontier))
 	}
 
-	diags := lint.Check(pkgs, lint.DefaultConfig())
+	diags := res.Diags
+	var waived []lint.WaivedFinding
+	if *baseline != "" {
+		b, berr := lint.LoadBaseline(*baseline)
+		if berr != nil {
+			return berr
+		}
+		diags, waived = b.Apply(diags)
+	}
 	for _, d := range diags {
 		fmt.Fprintf(out, "%s:%d:%d: %s: %s\n",
 			relPath(*root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
 	}
 
+	if *outFile != "" {
+		rep := lint.BuildReport(res, diags, waived)
+		blob, jerr := rep.JSON()
+		if jerr != nil {
+			return jerr
+		}
+		if werr := os.WriteFile(*outFile, append(blob, '\n'), 0o644); werr != nil {
+			return werr
+		}
+		fmt.Fprintf(out, "%s -> %s\n", rep.EvidenceDetail(), *outFile)
+	}
 	if *report != "" {
-		rep := lint.BuildReqReport(pkgs)
+		rep := lint.BuildReqReport(res.Pkgs)
 		blob, jerr := rep.JSON()
 		if jerr != nil {
 			return jerr
@@ -85,10 +116,12 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if len(diags) > 0 {
-		fmt.Fprintf(out, "safelint: %d violation(s) in %d package(s)\n", len(diags), len(pkgs))
+		fmt.Fprintf(out, "safelint: %d violation(s) in %d package(s) (%d waived by baseline)\n",
+			len(diags), len(res.Pkgs), len(waived))
 		return errViolations
 	}
-	fmt.Fprintf(out, "safelint: %d package(s) clean\n", len(pkgs))
+	fmt.Fprintf(out, "safelint: %d package(s) clean (%d finding(s) waived by baseline)\n",
+		len(res.Pkgs), len(waived))
 	return nil
 }
 

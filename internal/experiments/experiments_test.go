@@ -6,7 +6,7 @@ import (
 )
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"F1", "F2", "F3", "T1", "T10", "T11", "T12", "T13", "T14", "T15", "T16", "T17", "T18", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9"}
+	want := []string{"F1", "F2", "F3", "T1", "T10", "T11", "T12", "T13", "T14", "T15", "T16", "T17", "T18", "T19", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)
@@ -315,6 +315,25 @@ func TestT18HealthWatch(t *testing.T) {
 	// The flap must both fire and resolve — two ledger entries.
 	if r.Metrics["alerts_flap"] != 2 {
 		t.Fatalf("T18 shape: flap ledgered %v alerts, want firing+resolved", r.Metrics["alerts_flap"])
+	}
+}
+
+func TestT19SafelintV2(t *testing.T) {
+	r := requireResult(t, "T19", "documented miss classes")
+	// The qualification bar: ≥90% detection per interprocedural family,
+	// zero false positives on the clean twins.
+	for _, fam := range []string{"closure", "frontier", "ownership", "taint"} {
+		if r.Metrics[fam+"_detection_rate"] < 0.9 {
+			t.Fatalf("T19 shape: %s detection %v < 0.9", fam, r.Metrics[fam+"_detection_rate"])
+		}
+		if r.Metrics[fam+"_false_positive_rate"] != 0 {
+			t.Fatalf("T19 shape: %s false positives %v", fam, r.Metrics[fam+"_false_positive_rate"])
+		}
+	}
+	// The honesty bar: the documented miss classes keep overall below a
+	// tautological 100%.
+	if r.Metrics["detection_rate"] >= 1 {
+		t.Fatal("T19 shape: overall detection claims 100% despite documented miss classes")
 	}
 }
 

@@ -86,9 +86,9 @@ type shard struct {
 	hBytes   *obs.Histogram
 	hRecords *obs.Histogram
 
-	units   map[UnitID]*unitState
-	order   []UnitID // units in first-seen order; reports re-sort globally
-	scratch []obs.DownRecord
+	units   map[UnitID]*unitState //safexplain:guardedby mu
+	order   []UnitID              //safexplain:guardedby mu
+	scratch []obs.DownRecord      //safexplain:guardedby mu
 }
 
 func newShard(cfg Config) *shard {
@@ -114,6 +114,8 @@ func newShard(cfg Config) *shard {
 // unit returns u's ledger, creating and preallocating it on first sight.
 // Creation is the only allocating step on the ingest path; every later
 // frame of the unit runs allocation-free.
+//
+//safexplain:locked mu
 func (s *shard) unit(u UnitID) *unitState {
 	st := s.units[u]
 	if st == nil {

@@ -79,8 +79,8 @@ type Node struct {
 	cWatchDrops   *obs.Counter
 
 	wmu     sync.Mutex
-	watcher *watch.Watcher
-	alerts  []watch.Alert
+	watcher *watch.Watcher //safexplain:guardedby wmu
+	alerts  []watch.Alert  //safexplain:guardedby wmu
 }
 
 // NewNode builds and starts a tier node. The subtree aggregator runs in

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+)
+
+// Analyze is the v2 entry point: the per-package (v1) rules plus the
+// interprocedural passes — call graph, hotpath closure, concurrency
+// ownership, evidence-integrity taint — over the loaded package set.
+
+// Result is the full analysis output: diagnostics plus the structural
+// evidence the findings report serializes.
+type Result struct {
+	Pkgs    []*Package
+	Module  string
+	Diags   []Diagnostic
+	Graph   *CallGraph
+	Closure *Closure
+	// Frontier lists hotpath-reachable functions missing the annotation.
+	Frontier  []FrontierEntry
+	Ownership OwnershipStats
+	Taint     TaintStats
+}
+
+// Analyze runs everything over an already-loaded package set.
+func Analyze(pkgs []*Package, cfg Config) *Result {
+	res := &Result{Pkgs: pkgs}
+	if len(pkgs) > 0 {
+		res.Module = pkgs[0].Module
+	}
+	for _, p := range pkgs {
+		res.Diags = append(res.Diags, CheckPackage(p, cfg)...)
+		od, ostats := checkOwnership(p, cfg)
+		res.Diags = append(res.Diags, od...)
+		res.Ownership.GuardedFields += ostats.GuardedFields
+		res.Ownership.LockedFuncs += ostats.LockedFuncs
+		res.Ownership.GoSpawns += ostats.GoSpawns
+	}
+	res.Graph = BuildCallGraph(pkgs)
+	res.Closure = BuildClosure(res.Graph)
+	res.Diags = append(res.Diags, checkClosure(res.Graph, res.Closure, cfg, res.Module)...)
+	res.Frontier = res.Closure.Frontier(res.Module)
+	td, tstats := checkTaint(res.Graph, cfg)
+	res.Diags = append(res.Diags, td...)
+	res.Taint = tstats
+	sortDiags(res.Diags)
+	return res
+}
+
+// AnalyzeModule loads a module subtree and analyzes it — what
+// cmd/safelint runs.
+func AnalyzeModule(root string, patterns []string, cfg Config) (*Result, error) {
+	pkgs, err := LoadModule(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(pkgs, cfg), nil
+}
+
+// AnalyzeSource runs the full analysis over a single self-contained
+// source file as its own one-package module — the entry point the T19
+// seeded-defect campaign and the interprocedural unit tests use.
+func AnalyzeSource(filename, src string, cfg Config) (*Result, error) {
+	p, err := parseSource(filename, src)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze([]*Package{p}, cfg), nil
+}
+
+// parseSource parses and best-effort type-checks one file as package
+// "seed/<name>" (shared by CheckSource and AnalyzeSource).
+func parseSource(filename, src string) (*Package, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	pkgName := f.Name.Name
+	p := &Package{Path: "seed/" + pkgName, Dir: ".", ModDir: ".", Module: "seed", Fset: fset, Files: []*ast.File{f}}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	p.Pkg, _ = conf.Check(p.Path, fset, p.Files, info)
+	p.Info = info
+	return p, nil
+}

@@ -15,6 +15,9 @@ const (
 	markDeterministic = "//safexplain:deterministic"
 	markBounded       = "//safexplain:bounded"
 	markReq           = "//safexplain:req"
+	markDynamic       = "//safexplain:dynamic"
+	markGuardedBy     = "//safexplain:guardedby"
+	markLocked        = "//safexplain:locked"
 )
 
 var reqIDPattern = regexp.MustCompile(`^REQ-[A-Z0-9][A-Z0-9-]*$`)
@@ -23,24 +26,45 @@ var reqIDPattern = regexp.MustCompile(`^REQ-[A-Z0-9][A-Z0-9-]*$`)
 type FuncMarks struct {
 	Hotpath bool
 	WCET    bool
+	// Locked names the guard fields (//safexplain:locked <mu>) the caller
+	// contract requires to be held on entry: accesses to fields guarded
+	// by a listed mutex are exempt from the ownership lock-interval check
+	// in this function. The annotation is a trusted, reviewable deviation
+	// record, like //safexplain:bounded.
+	Locked []string
 }
 
 // funcMarks reads a function declaration's doc comment for hotpath/wcet
-// markers.
+// and locked markers.
 func funcMarks(fd *ast.FuncDecl) FuncMarks {
 	var m FuncMarks
 	if fd.Doc == nil {
 		return m
 	}
 	for _, c := range fd.Doc.List {
-		switch strings.TrimSpace(c.Text) {
+		text := strings.TrimSpace(c.Text)
+		switch text {
 		case markHotpath:
 			m.Hotpath = true
 		case markWCET:
 			m.WCET = true
 		}
+		if rest, ok := strings.CutPrefix(text, markLocked); ok {
+			m.Locked = append(m.Locked, strings.Fields(rest)...)
+		}
 	}
 	return m
+}
+
+// holdsLocked reports whether the function's locked contract covers the
+// named guard.
+func (m FuncMarks) holdsLocked(guard string) bool {
+	for _, g := range m.Locked {
+		if g == guard {
+			return true
+		}
+	}
+	return false
 }
 
 // packageDeterministic reports whether any file's package doc comment
@@ -88,12 +112,25 @@ type boundWaivers map[int]string
 
 // fileWaivers scans all comments of a file for bounded waivers.
 func fileWaivers(fset *token.FileSet, f *ast.File) boundWaivers {
+	return fileLineMarkers(fset, f, markBounded)
+}
+
+// fileDynamicWaivers scans a file for //safexplain:dynamic waivers: each
+// one covers an unresolvable (function-value) call site on the same line
+// or the line below, excusing it from call-graph closure with a recorded
+// justification. Same line grammar as bounded waivers.
+func fileDynamicWaivers(fset *token.FileSet, f *ast.File) boundWaivers {
+	return fileLineMarkers(fset, f, markDynamic)
+}
+
+// fileLineMarkers indexes one marker kind by source line.
+func fileLineMarkers(fset *token.FileSet, f *ast.File, mark string) boundWaivers {
 	w := boundWaivers{}
 	for _, group := range f.Comments {
 		for _, c := range group.List {
 			text := strings.TrimSpace(c.Text)
-			rest, ok := strings.CutPrefix(text, markBounded)
-			if !ok {
+			rest, ok := strings.CutPrefix(text, mark)
+			if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
 				continue
 			}
 			line := fset.Position(c.Pos()).Line
@@ -101,6 +138,28 @@ func fileWaivers(fset *token.FileSet, f *ast.File) boundWaivers {
 		}
 	}
 	return w
+}
+
+// guardName extracts a //safexplain:guardedby annotation from a struct
+// field's doc or trailing line comment; found distinguishes an absent
+// marker from an empty guard name (itself diagnosed).
+func guardName(field *ast.Field) (guard string, found bool) {
+	for _, group := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if group == nil {
+			continue
+		}
+		for _, c := range group.List {
+			text := strings.TrimSpace(c.Text)
+			if rest, ok := strings.CutPrefix(text, markGuardedBy); ok {
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					return "", true
+				}
+				return fields[0], true
+			}
+		}
+	}
+	return "", false
 }
 
 // waiverFor looks up a waiver covering a statement at pos: same line

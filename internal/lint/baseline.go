@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// positionIn fabricates a position inside a non-Go file (the baseline
+// itself), for baseline-unused diagnostics.
+func positionIn(path string, line int) token.Position {
+	return token.Position{Filename: path, Line: line, Column: 1}
+}
+
+// The baseline/waiver file (conventionally lint.baseline at the module
+// root) is the committed deviation record for the interprocedural
+// passes: each line waives one (rule, symbol) pair with a mandatory
+// justification, so accepted findings are reviewable in diff rather
+// than silenced in code. Matching is by rule ID plus the stable symbol
+// ("pkg/path.Func" or "pkg/path.(Type).Method"), never by line number,
+// so waivers survive unrelated source churn. Format:
+//
+//	# comment
+//	closure-frontier safexplain/internal/obs.(Ring).Push ring push is alloc-free by construction
+//	own-unguarded    safexplain/internal/watch.(Watcher).snapshot read-only stats probe
+//
+// An entry no diagnostic matches is itself diagnosed (baseline-unused):
+// a stale waiver is a silent hole in the evidence.
+
+// BaselineEntry is one parsed waiver line.
+type BaselineEntry struct {
+	Rule          string `json:"rule"`
+	Symbol        string `json:"symbol"`
+	Justification string `json:"justification"`
+	Line          int    `json:"-"`
+
+	used int
+}
+
+// Baseline is a parsed waiver file.
+type Baseline struct {
+	Path    string
+	Entries []*BaselineEntry
+}
+
+// LoadBaseline reads and parses a baseline file; a missing file is an
+// empty baseline, not an error (the clean-repo default).
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Path: path}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ParseBaseline(path, string(data))
+}
+
+// ParseBaseline parses the waiver-line format. Malformed lines (fewer
+// than three fields — rule, symbol, justification) are errors: an
+// unreviewable waiver must not silently waive anything.
+func ParseBaseline(path, src string) (*Baseline, error) {
+	b := &Baseline{Path: path}
+	for i, line := range strings.Split(src, "\n") {
+		text := strings.TrimSpace(line)
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("lint: %s:%d: baseline entry needs <rule> <symbol> <justification>", path, i+1)
+		}
+		b.Entries = append(b.Entries, &BaselineEntry{
+			Rule:          fields[0],
+			Symbol:        fields[1],
+			Justification: strings.Join(fields[2:], " "),
+			Line:          i + 1,
+		})
+	}
+	return b, nil
+}
+
+// WaivedFinding is one baseline-suppressed diagnostic group, kept in
+// the report so the deviation stays visible evidence.
+type WaivedFinding struct {
+	Rule          string `json:"rule"`
+	Symbol        string `json:"symbol"`
+	Justification string `json:"justification"`
+	Count         int    `json:"count"`
+}
+
+// Apply filters the diagnostics through the baseline: matched ones are
+// returned as waived findings instead, and every baseline entry that
+// matched nothing yields a baseline-unused diagnostic (positioned at
+// its line of the baseline file).
+func (b *Baseline) Apply(diags []Diagnostic) (kept []Diagnostic, waived []WaivedFinding) {
+	index := map[string]*BaselineEntry{}
+	for _, e := range b.Entries {
+		index[e.Rule+"\x00"+e.Symbol] = e
+	}
+	for _, d := range diags {
+		if d.Symbol != "" {
+			if e, ok := index[d.Rule+"\x00"+d.Symbol]; ok {
+				e.used++
+				continue
+			}
+		}
+		kept = append(kept, d)
+	}
+	for _, e := range b.Entries {
+		if e.used > 0 {
+			waived = append(waived, WaivedFinding{
+				Rule: e.Rule, Symbol: e.Symbol, Justification: e.Justification, Count: e.used,
+			})
+			continue
+		}
+		kept = append(kept, Diagnostic{
+			Pos:     positionIn(b.Path, e.Line),
+			Rule:    "baseline-unused",
+			Message: fmt.Sprintf("baseline entry %s %s matches no finding — delete the stale waiver", e.Rule, e.Symbol),
+			Symbol:  e.Symbol,
+		})
+	}
+	sort.Slice(waived, func(i, j int) bool {
+		if waived[i].Rule != waived[j].Rule {
+			return waived[i].Rule < waived[j].Rule
+		}
+		return waived[i].Symbol < waived[j].Symbol
+	})
+	sortDiags(kept)
+	return kept, waived
+}

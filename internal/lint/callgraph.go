@@ -1,0 +1,447 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The static call graph over the loaded module — the substrate of the
+// interprocedural (v2) passes. Nodes are the module's declared functions
+// and methods; edges are the statically resolvable calls between them:
+//
+//   - direct calls of package functions and concrete methods (including
+//     generic functions and instantiated methods, normalized to their
+//     declaring origin),
+//   - interface method calls, devirtualized type-based: an edge is added
+//     to every module-declared concrete type implementing the interface
+//     (implementations outside the module are out of analysis scope and
+//     documented as such),
+//   - function/method *values* taken in non-call position (assigned,
+//     passed as callbacks): a reference edge, because a hotpath that
+//     captures a function value may call it anywhere downstream,
+//   - calls spawned by go statements and defer statements.
+//
+// Calls through function-typed variables, fields or parameters cannot be
+// resolved statically; each such site is recorded as a dynamic site and
+// must carry an explicit //safexplain:dynamic <why> waiver to be
+// admissible inside a hotpath closure. An interface call with zero
+// module implementations is treated the same way: the dispatch target is
+// invisible to the analysis.
+
+// EdgeKind classifies how a call-graph edge was established.
+type EdgeKind string
+
+const (
+	// EdgeStatic is a direct call of a declared function or concrete
+	// method.
+	EdgeStatic EdgeKind = "static"
+	// EdgeIface is a devirtualized interface-method call.
+	EdgeIface EdgeKind = "iface"
+	// EdgeRef is a function or method value taken in non-call position.
+	EdgeRef EdgeKind = "ref"
+)
+
+// Edge is one resolved call (or function-value reference) site.
+type Edge struct {
+	To   *FuncNode
+	Pos  token.Pos
+	Kind EdgeKind
+}
+
+// DynamicSite is a call through a function value the graph cannot
+// resolve. Waived sites carry the //safexplain:dynamic justification.
+type DynamicSite struct {
+	Pos    token.Pos
+	Waived bool
+	Reason string
+}
+
+// FuncNode is one declared function or method of the module.
+type FuncNode struct {
+	Obj     *types.Func
+	Decl    *ast.FuncDecl
+	Pkg     *Package
+	File    *ast.File
+	Marks   FuncMarks
+	Symbol  string
+	Edges   []Edge
+	Dynamic []DynamicSite
+
+	// succ dedupes edge targets during construction.
+	succ map[*FuncNode]bool
+}
+
+// CallGraph is the module-wide graph plus construction statistics.
+type CallGraph struct {
+	Nodes    []*FuncNode // sorted by Symbol, deterministic
+	byObj    map[*types.Func]*FuncNode
+	BySymbol map[string]*FuncNode
+
+	EdgeCount     int
+	DevirtEdges   int
+	DynamicSites  int
+	DynamicWaived int
+}
+
+// funcSymbol renders the stable symbol of a declaration:
+// "pkg/path.Func" or "pkg/path.(Type).Method".
+func funcSymbol(pkgPath string, fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		return pkgPath + ".(" + recvTypeName(fd.Recv.List[0].Type) + ")." + fd.Name.Name
+	}
+	return pkgPath + "." + fd.Name.Name
+}
+
+// BuildCallGraph indexes every declared function of the loaded packages
+// and resolves the call edges between them.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		byObj:    map[*types.Func]*FuncNode{},
+		BySymbol: map[string]*FuncNode{},
+	}
+
+	// Pass 1: index declarations.
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				n := &FuncNode{
+					Decl:   fd,
+					Pkg:    p,
+					File:   f,
+					Marks:  funcMarks(fd),
+					Symbol: funcSymbol(p.Path, fd),
+					succ:   map[*FuncNode]bool{},
+				}
+				if p.Info != nil {
+					if obj, isFn := p.Info.Defs[fd.Name].(*types.Func); isFn {
+						n.Obj = obj
+						g.byObj[obj] = n
+					}
+				}
+				g.Nodes = append(g.Nodes, n)
+				g.BySymbol[n.Symbol] = n
+			}
+		}
+	}
+	sort.Slice(g.Nodes, func(i, j int) bool { return g.Nodes[i].Symbol < g.Nodes[j].Symbol })
+
+	ifaceImpls := newDevirtualizer(pkgs, g)
+
+	// Pass 2: resolve edges.
+	for _, n := range g.Nodes {
+		g.resolveBody(n, ifaceImpls)
+	}
+	return g
+}
+
+// lookup maps a (possibly instantiated) function object to its node,
+// normalizing generic instantiations to the declaring origin.
+func (g *CallGraph) lookup(obj *types.Func) *FuncNode {
+	if obj == nil {
+		return nil
+	}
+	if n, ok := g.byObj[obj]; ok {
+		return n
+	}
+	if o := obj.Origin(); o != obj {
+		if n, ok := g.byObj[o]; ok {
+			return n
+		}
+	}
+	return nil
+}
+
+// addEdge records one resolved target, deduplicating by target so the
+// closure traversal and via-chains stay deterministic.
+func (g *CallGraph) addEdge(from *FuncNode, to *FuncNode, pos token.Pos, kind EdgeKind) {
+	if to == nil || from.succ[to] {
+		return
+	}
+	from.succ[to] = true
+	from.Edges = append(from.Edges, Edge{To: to, Pos: pos, Kind: kind})
+	g.EdgeCount++
+	if kind == EdgeIface {
+		g.DevirtEdges++
+	}
+}
+
+// resolveBody walks one declaration body (nested function literals
+// included — their calls are attributed to the declaring function) and
+// resolves every call and function-value reference.
+func (g *CallGraph) resolveBody(n *FuncNode, dv *devirtualizer) {
+	info := n.Pkg.Info
+	waivers := fileDynamicWaivers(n.Pkg.Fset, n.File)
+
+	// callFuns marks expressions appearing in call-operator position, so
+	// the reference pass below does not double-count them.
+	callFuns := map[ast.Node]bool{}
+
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun := unwrapFun(call.Fun)
+		callFuns[fun] = true
+		g.resolveCall(n, call, fun, dv, waivers)
+		return true
+	})
+
+	// Reference pass: function/method values in non-call position.
+	if info == nil {
+		return
+	}
+	handledSel := map[*ast.Ident]bool{}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch v := node.(type) {
+		case *ast.SelectorExpr:
+			// The Sel identifier is owned by this case (call or method
+			// value); the bare-Ident case below must not re-resolve it.
+			handledSel[v.Sel] = true
+			if callFuns[v] {
+				return true
+			}
+			if obj, isFn := info.Uses[v.Sel].(*types.Func); isFn {
+				g.addEdge(n, g.lookup(obj), v.Pos(), EdgeRef)
+			}
+		case *ast.Ident:
+			if callFuns[v] || handledSel[v] {
+				return true
+			}
+			if obj, isFn := info.Uses[v].(*types.Func); isFn {
+				g.addEdge(n, g.lookup(obj), v.Pos(), EdgeRef)
+			}
+		}
+		return true
+	})
+}
+
+// unwrapFun strips parens and generic instantiation indexes off a call
+// operator, returning the identifier-ish core expression.
+func unwrapFun(e ast.Expr) ast.Expr {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.IndexListExpr:
+			e = v.X
+		default:
+			return e
+		}
+	}
+}
+
+// resolveCall classifies one call site: static edge, devirtualized
+// interface edges, an ignorable construct (builtin, conversion, inline
+// literal), or a dynamic site.
+func (g *CallGraph) resolveCall(n *FuncNode, call *ast.CallExpr, fun ast.Expr, dv *devirtualizer, waivers boundWaivers) {
+	info := n.Pkg.Info
+
+	switch v := fun.(type) {
+	case *ast.FuncLit:
+		// Called inline; its body is walked as part of this declaration.
+		return
+	case *ast.ArrayType, *ast.MapType, *ast.ChanType, *ast.StructType,
+		*ast.InterfaceType, *ast.StarExpr, *ast.FuncType:
+		// Type conversions.
+		return
+	case *ast.Ident:
+		if info == nil {
+			return
+		}
+		switch obj := info.Uses[v].(type) {
+		case *types.Func:
+			g.addEdge(n, g.lookup(obj), call.Pos(), EdgeStatic)
+			return
+		case *types.Builtin, *types.TypeName, *types.Nil:
+			return
+		case *types.Var:
+			g.recordDynamic(n, call.Pos(), waivers)
+			return
+		}
+		if _, isDef := info.Defs[v]; isDef {
+			return
+		}
+		// Untyped tree: unresolvable, but not provably dynamic — the
+		// conservative direction for noise (T19 quantifies reach).
+		return
+	case *ast.SelectorExpr:
+		if info == nil {
+			return
+		}
+		if sel, ok := info.Selections[v]; ok {
+			switch sel.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				m, _ := sel.Obj().(*types.Func)
+				if m == nil {
+					return
+				}
+				recv := sel.Recv()
+				if types.IsInterface(recv) {
+					impls := dv.implementors(recv, m.Name())
+					for _, impl := range impls {
+						g.addEdge(n, impl, call.Pos(), EdgeIface)
+					}
+					if len(impls) == 0 {
+						// Dispatch target invisible to the module: treat
+						// like a dynamic call.
+						g.recordDynamic(n, call.Pos(), waivers)
+					}
+					return
+				}
+				g.addEdge(n, g.lookup(m), call.Pos(), EdgeStatic)
+				return
+			case types.FieldVal:
+				// Function-typed struct field.
+				g.recordDynamic(n, call.Pos(), waivers)
+				return
+			}
+			return
+		}
+		// Qualified identifier (pkg.Fn) or unresolved selector.
+		switch obj := info.Uses[v.Sel].(type) {
+		case *types.Func:
+			g.addEdge(n, g.lookup(obj), call.Pos(), EdgeStatic)
+		case *types.Var:
+			g.recordDynamic(n, call.Pos(), waivers)
+		}
+		return
+	default:
+		// Call of a call result or other computed function value.
+		g.recordDynamic(n, call.Pos(), waivers)
+	}
+}
+
+// recordDynamic books one unresolvable call site, honoring a same-line
+// (or line-above) //safexplain:dynamic waiver.
+func (g *CallGraph) recordDynamic(n *FuncNode, pos token.Pos, waivers boundWaivers) {
+	reason, waived := waivers.waiverFor(n.Pkg.Fset, pos)
+	n.Dynamic = append(n.Dynamic, DynamicSite{Pos: pos, Waived: waived, Reason: reason})
+	g.DynamicSites++
+	if waived {
+		g.DynamicWaived++
+	}
+}
+
+// devirtualizer caches, per (interface, method name), the module-declared
+// concrete methods implementing it.
+type devirtualizer struct {
+	graph *CallGraph
+	named []*types.Named
+	cache map[string][]*FuncNode
+}
+
+// newDevirtualizer collects every named (non-interface) type declared in
+// the loaded packages.
+func newDevirtualizer(pkgs []*Package, g *CallGraph) *devirtualizer {
+	dv := &devirtualizer{graph: g, cache: map[string][]*FuncNode{}}
+	seen := map[*types.TypeName]bool{}
+	for _, p := range pkgs {
+		if p.Pkg == nil {
+			continue
+		}
+		scope := p.Pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() || seen[tn] {
+				continue
+			}
+			seen[tn] = true
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			dv.named = append(dv.named, named)
+		}
+	}
+	sort.Slice(dv.named, func(i, j int) bool {
+		return dv.named[i].Obj().Pkg().Path()+"."+dv.named[i].Obj().Name() <
+			dv.named[j].Obj().Pkg().Path()+"."+dv.named[j].Obj().Name()
+	})
+	return dv
+}
+
+// implementors returns the module methods a call of iface.method may
+// dispatch to, in deterministic order.
+func (dv *devirtualizer) implementors(recv types.Type, method string) []*FuncNode {
+	iface, ok := underlying(recv).(*types.Interface)
+	if !ok {
+		return nil
+	}
+	key := types.TypeString(recv, nil) + "." + method
+	if impls, hit := dv.cache[key]; hit {
+		return impls
+	}
+	var impls []*FuncNode
+	for _, named := range dv.named {
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, named.Obj().Pkg(), method)
+		m, isFn := obj.(*types.Func)
+		if !isFn {
+			continue
+		}
+		if n := dv.graph.lookup(m); n != nil {
+			impls = append(impls, n)
+		}
+	}
+	dv.cache[key] = impls
+	return impls
+}
+
+// exprString renders a selector/identifier chain ("n.srv.mu") for
+// lexical base matching in the ownership and taint passes; non-chain
+// expressions render as "" (untrackable).
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		base := exprString(v.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + v.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(v.X)
+	}
+	return ""
+}
+
+// chainBase returns the leading identifier of a selector chain, nil when
+// the expression is not a chain.
+func chainBase(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// symbolList renders node symbols for messages, trimming the module
+// prefix for readability.
+func symbolList(module string, nodes []*FuncNode) string {
+	var parts []string
+	for _, n := range nodes {
+		parts = append(parts, strings.TrimPrefix(n.Symbol, module+"/"))
+	}
+	return strings.Join(parts, " → ")
+}

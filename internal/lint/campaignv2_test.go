@@ -1,0 +1,90 @@
+package lint
+
+import "testing"
+
+// TestCorpusV2Counts pins the interprocedural corpus composition the
+// T19 claim rests on: per-family seeded/expected totals and the
+// presence of the three documented-miss cases.
+func TestCorpusV2Counts(t *testing.T) {
+	want := map[string][2]int{ // family -> {seeded, expected}
+		"frontier":  {4, 4},
+		"closure":   {11, 10},
+		"ownership": {11, 10},
+		"taint":     {11, 10},
+	}
+	got := map[string][2]int{}
+	cleans := map[string]int{}
+	misses := map[string]bool{}
+	for _, sc := range CorpusV2() {
+		if sc.Clean {
+			if sc.Seeded != 0 || sc.Constructs == 0 {
+				t.Fatalf("clean case %s must have Seeded=0 and Constructs>0", sc.Name)
+			}
+			cleans[sc.Family]++
+			continue
+		}
+		if sc.Expected > sc.Seeded || sc.Seeded == 0 {
+			t.Fatalf("case %s: Expected %d > Seeded %d or zero seeds", sc.Name, sc.Expected, sc.Seeded)
+		}
+		if sc.Expected < sc.Seeded {
+			misses[sc.Name] = true
+		}
+		v := got[sc.Family]
+		v[0] += sc.Seeded
+		v[1] += sc.Expected
+		got[sc.Family] = v
+	}
+	for fam, w := range want {
+		if got[fam] != w {
+			t.Errorf("family %s: seeded/expected = %v, want %v", fam, got[fam], w)
+		}
+		if cleans[fam] == 0 {
+			t.Errorf("family %s has no clean twin", fam)
+		}
+	}
+	for _, name := range []string{"cl_waiver_miss", "own_alias_miss", "ta_alias_miss"} {
+		if !misses[name] {
+			t.Errorf("documented miss case %s absent or no longer a miss", name)
+		}
+	}
+}
+
+// TestRunCampaignV2 runs the interprocedural campaign and holds it to
+// the T19 acceptance bar: every family detects at least 90% of its
+// seeds, detection matches the per-case Expected counts exactly, and
+// the clean twins produce zero false positives.
+func TestRunCampaignV2(t *testing.T) {
+	res, err := RunCampaignV2()
+	if err != nil {
+		t.Fatalf("RunCampaignV2: %v", err)
+	}
+	for _, cr := range res.Cases {
+		if cr.Case.Clean {
+			if cr.FalsePos != 0 {
+				t.Errorf("clean case %s: %d false positives", cr.Case.Name, cr.FalsePos)
+			}
+			continue
+		}
+		if cr.Detected != cr.Case.Expected {
+			t.Errorf("case %s: detected %d, expected %d (found %d)",
+				cr.Case.Name, cr.Detected, cr.Case.Expected, cr.Found)
+		}
+	}
+	if len(res.Families) != len(FamiliesV2()) {
+		t.Fatalf("families = %d, want %d", len(res.Families), len(FamiliesV2()))
+	}
+	for _, fr := range res.Families {
+		if fr.DetectionRate < 0.9 {
+			t.Errorf("family %s: detection rate %.3f < 0.9 (%d/%d)",
+				fr.Family, fr.DetectionRate, fr.Detected, fr.Seeded)
+		}
+		if fr.FalsePositives != 0 {
+			t.Errorf("family %s: %d false positives over %d clean constructs",
+				fr.Family, fr.FalsePositives, fr.CleanConstructs)
+		}
+	}
+	seeded, detected, rate := res.Overall()
+	if seeded == 0 || rate < 0.9 {
+		t.Fatalf("overall detection %d/%d = %.3f, want >= 0.9", detected, seeded, rate)
+	}
+}

@@ -45,6 +45,11 @@ type checker struct {
 	cfg   Config
 	diags []Diagnostic
 
+	// sym is the stable symbol of the function currently being checked
+	// ("" for file/package-scope rules); report stamps it onto each
+	// diagnostic as the baseline matching key.
+	sym string
+
 	deterministic bool
 	noPanic       bool
 	reqPkg        bool
@@ -55,6 +60,7 @@ func (c *checker) report(pos token.Pos, rule, format string, args ...any) {
 		Pos:     c.pkg.Fset.Position(pos),
 		Rule:    rule,
 		Message: fmt.Sprintf(format, args...),
+		Symbol:  c.sym,
 	})
 }
 
@@ -184,12 +190,14 @@ func (c *checker) checkFile(f *ast.File) {
 	for _, decl := range f.Decls {
 		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
 			m := funcMarks(fd)
+			c.sym = funcSymbol(c.pkg.Path, fd)
 			if m.Hotpath {
 				c.checkHotpath(fd, imports)
 			}
 			if m.WCET {
 				c.checkWCET(fd, waivers)
 			}
+			c.sym = ""
 		}
 	}
 	if c.reqPkg {

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// The hotpath-closure pass: the safety obligations of a
+// //safexplain:hotpath root hold for the *whole* operate path, not just
+// the annotated body. Every function reachable from a root through the
+// call graph joins the root's closure and inherits the obligations:
+//
+//   - closure-frontier: a reachable function that is not itself
+//     annotated //safexplain:hotpath. The frontier report names these so
+//     the annotation set can be burned down to a fixed point — once a
+//     callee is annotated, the per-function hotpath rule owns its body.
+//   - closure-alloc / closure-defer / closure-go / closure-map-write:
+//     the hotpath body obligations, checked on reachable-but-unannotated
+//     functions (annotated ones are already covered by the hotpath rule).
+//   - closure-panic: panic reachability — no function in a hotpath
+//     closure may call panic (packages already under the operate-panic
+//     rule are excluded to avoid duplicate diagnostics).
+//   - closure-unbounded: loop-boundedness for closure members not
+//     annotated //safexplain:wcet (annotated ones are covered by the
+//     wcet rule); //safexplain:bounded waivers apply as usual.
+//   - closure-dynamic: a call through a function value inside the
+//     closure that carries no //safexplain:dynamic waiver — the graph
+//     cannot prove what runs below it.
+
+// Closure is the transitive hotpath reachability result.
+type Closure struct {
+	Roots []*FuncNode
+	// Members maps every closure member (roots included) to its
+	// provenance.
+	Members map[*FuncNode]*Provenance
+	// Order lists members in deterministic BFS order.
+	Order []*FuncNode
+}
+
+// Provenance records how a function entered the closure.
+type Provenance struct {
+	Root *FuncNode
+	From *FuncNode // nil for roots
+}
+
+// Via renders the call chain root → … → fn (bounded, for messages).
+func (cl *Closure) Via(n *FuncNode, module string) string {
+	var chain []*FuncNode
+	for cur := n; cur != nil; {
+		chain = append([]*FuncNode{cur}, chain...)
+		prov := cl.Members[cur]
+		if prov == nil || prov.From == nil {
+			break
+		}
+		cur = prov.From
+	}
+	if len(chain) > 5 {
+		head := symbolList(module, chain[:2])
+		tail := symbolList(module, chain[len(chain)-2:])
+		return head + " → … → " + tail
+	}
+	return symbolList(module, chain)
+}
+
+// BuildClosure runs the BFS from every hotpath root.
+func BuildClosure(g *CallGraph) *Closure {
+	cl := &Closure{Members: map[*FuncNode]*Provenance{}}
+	var queue []*FuncNode
+	for _, n := range g.Nodes { // Nodes are symbol-sorted: deterministic
+		if n.Marks.Hotpath {
+			cl.Roots = append(cl.Roots, n)
+			cl.Members[n] = &Provenance{Root: n}
+			cl.Order = append(cl.Order, n)
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range cur.Edges {
+			if _, seen := cl.Members[e.To]; seen {
+				continue
+			}
+			cl.Members[e.To] = &Provenance{Root: cl.Members[cur].Root, From: cur}
+			cl.Order = append(cl.Order, e.To)
+			queue = append(queue, e.To)
+		}
+	}
+	return cl
+}
+
+// FrontierEntry is one reachable-but-unannotated function, for the
+// findings report.
+type FrontierEntry struct {
+	Symbol string `json:"symbol"`
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Via    string `json:"via"`
+}
+
+// Frontier lists the closure members missing a hotpath annotation, in
+// BFS order.
+func (cl *Closure) Frontier(module string) []FrontierEntry {
+	var out []FrontierEntry
+	for _, n := range cl.Order {
+		if n.Marks.Hotpath {
+			continue
+		}
+		pos := n.Pkg.Fset.Position(n.Decl.Pos())
+		out = append(out, FrontierEntry{
+			Symbol: n.Symbol,
+			File:   n.Pkg.Rel(pos.Filename),
+			Line:   pos.Line,
+			Via:    cl.Via(n, module),
+		})
+	}
+	return out
+}
+
+// checkClosure emits the closure diagnostics over one built closure.
+func checkClosure(g *CallGraph, cl *Closure, cfg Config, module string) []Diagnostic {
+	var diags []Diagnostic
+	for _, n := range cl.Order {
+		c := &checker{pkg: n.Pkg, cfg: cfg, sym: n.Symbol}
+		via := cl.Via(n, module)
+		note := " (hotpath closure: " + via + ")"
+
+		if !n.Marks.Hotpath {
+			c.report(n.Decl.Pos(), "closure-frontier",
+				"%s is reachable from hotpath root %s (via %s) but not annotated %s",
+				n.Decl.Name.Name, strings.TrimPrefix(cl.Members[n].Root.Symbol, module+"/"),
+				via, markHotpath)
+			// Body obligations for the unannotated member; annotated
+			// members are already covered by the per-function rule.
+			c.hotpathWalk(n.Decl, fileImports(n.File), "closure", note)
+		}
+
+		// Panic reachability, all members; skip packages the
+		// operate-panic rule already owns.
+		pkgName := ""
+		if len(n.Pkg.Files) > 0 {
+			pkgName = n.Pkg.Files[0].Name.Name
+		}
+		if !matches(n.Pkg.Path, pkgName, cfg.NoPanicPackages) {
+			ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+				if call, ok := node.(*ast.CallExpr); ok && c.isBuiltin(call.Fun, "panic") {
+					c.report(call.Pos(), "closure-panic",
+						"%s: panic is reachable from a hotpath root%s", n.Decl.Name.Name, note)
+				}
+				return true
+			})
+		}
+
+		// Loop boundedness, members without their own wcet annotation.
+		if !n.Marks.WCET {
+			c.wcetWalk(n.Decl, fileWaivers(n.Pkg.Fset, n.File), "closure-unbounded", note)
+		}
+
+		// Unwaived dynamic calls sever the closure proof.
+		for _, site := range n.Dynamic {
+			if site.Waived {
+				if site.Reason == "" {
+					c.report(site.Pos, "closure-dynamic",
+						"%s: %s waiver requires a justification", n.Decl.Name.Name, markDynamic)
+				}
+				continue
+			}
+			c.report(site.Pos, "closure-dynamic",
+				"%s: call through a function value cannot be resolved by the call graph%s — annotate with %s <why> or refactor to a static call",
+				n.Decl.Name.Name, note, markDynamic)
+		}
+		diags = append(diags, c.diags...)
+	}
+	return diags
+}

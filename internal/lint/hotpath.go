@@ -32,45 +32,52 @@ var allocPkgs = map[string]bool{
 
 // checkHotpath walks one annotated function body.
 func (c *checker) checkHotpath(fd *ast.FuncDecl, imports map[string]string) {
+	c.hotpathWalk(fd, imports, "hotpath", "")
+}
+
+// hotpathWalk is the shared body walk behind the per-function hotpath
+// rule (prefix "hotpath") and the transitive closure obligations (prefix
+// "closure", with a provenance note appended to each message).
+func (c *checker) hotpathWalk(fd *ast.FuncDecl, imports map[string]string, prefix, note string) {
 	name := fd.Name.Name
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch v := n.(type) {
 		case *ast.DeferStmt:
-			c.report(v.Pos(), "hotpath-defer", "%s: defer in hotpath function", name)
+			c.report(v.Pos(), prefix+"-defer", "%s: defer in hotpath function%s", name, note)
 		case *ast.GoStmt:
-			c.report(v.Pos(), "hotpath-go", "%s: go statement in hotpath function", name)
+			c.report(v.Pos(), prefix+"-go", "%s: go statement in hotpath function%s", name, note)
 		case *ast.FuncLit:
-			c.report(v.Pos(), "hotpath-alloc", "%s: closure literal allocates", name)
+			c.report(v.Pos(), prefix+"-alloc", "%s: closure literal allocates%s", name, note)
 			return false // the closure body is not part of the hot frame
 		case *ast.UnaryExpr:
 			if v.Op == token.AND {
 				if _, isLit := v.X.(*ast.CompositeLit); isLit {
-					c.report(v.Pos(), "hotpath-alloc", "%s: &composite literal allocates", name)
+					c.report(v.Pos(), prefix+"-alloc", "%s: &composite literal allocates%s", name, note)
 					return false
 				}
 			}
 		case *ast.CompositeLit:
 			if c.isSliceOrMapLit(v) {
-				c.report(v.Pos(), "hotpath-alloc", "%s: slice/map composite literal allocates", name)
+				c.report(v.Pos(), prefix+"-alloc", "%s: slice/map composite literal allocates%s", name, note)
 			}
 		case *ast.CallExpr:
-			c.checkHotpathCall(name, v, imports)
+			c.checkHotpathCall(name, v, imports, prefix, note)
 		case *ast.AssignStmt:
 			for _, lhs := range v.Lhs {
 				if idx, ok := lhs.(*ast.IndexExpr); ok && c.isMap(idx.X) {
-					c.report(idx.Pos(), "hotpath-map-write", "%s: map write in hotpath function", name)
+					c.report(idx.Pos(), prefix+"-map-write", "%s: map write in hotpath function%s", name, note)
 				}
 			}
 			if v.Tok == token.ADD_ASSIGN && len(v.Lhs) == 1 && c.isString(v.Lhs[0]) {
-				c.report(v.Pos(), "hotpath-alloc", "%s: string concatenation allocates", name)
+				c.report(v.Pos(), prefix+"-alloc", "%s: string concatenation allocates%s", name, note)
 			}
 		case *ast.IncDecStmt:
 			if idx, ok := v.X.(*ast.IndexExpr); ok && c.isMap(idx.X) {
-				c.report(idx.Pos(), "hotpath-map-write", "%s: map write in hotpath function", name)
+				c.report(idx.Pos(), prefix+"-map-write", "%s: map write in hotpath function%s", name, note)
 			}
 		case *ast.BinaryExpr:
 			if v.Op == token.ADD && (c.isString(v.X) || c.isString(v.Y)) {
-				c.report(v.Pos(), "hotpath-alloc", "%s: string concatenation allocates", name)
+				c.report(v.Pos(), prefix+"-alloc", "%s: string concatenation allocates%s", name, note)
 			}
 		}
 		return true
@@ -102,29 +109,29 @@ func (c *checker) isSliceOrMapLit(lit *ast.CompositeLit) bool {
 // delete (a map write), conversions that copy to a fresh backing store
 // ([]byte(s), []rune(s), string(b)), and calls into allocating stdlib
 // packages.
-func (c *checker) checkHotpathCall(name string, call *ast.CallExpr, imports map[string]string) {
+func (c *checker) checkHotpathCall(name string, call *ast.CallExpr, imports map[string]string, prefix, note string) {
 	switch {
 	case c.isBuiltin(call.Fun, "make"):
-		c.report(call.Pos(), "hotpath-alloc", "%s: make allocates", name)
+		c.report(call.Pos(), prefix+"-alloc", "%s: make allocates%s", name, note)
 	case c.isBuiltin(call.Fun, "new"):
-		c.report(call.Pos(), "hotpath-alloc", "%s: new allocates", name)
+		c.report(call.Pos(), prefix+"-alloc", "%s: new allocates%s", name, note)
 	case c.isBuiltin(call.Fun, "append"):
-		c.report(call.Pos(), "hotpath-alloc", "%s: append may grow and allocate", name)
+		c.report(call.Pos(), prefix+"-alloc", "%s: append may grow and allocate%s", name, note)
 	case c.isBuiltin(call.Fun, "delete"):
-		c.report(call.Pos(), "hotpath-map-write", "%s: map delete in hotpath function", name)
+		c.report(call.Pos(), prefix+"-map-write", "%s: map delete in hotpath function%s", name, note)
 	default:
 		if _, isSlice := call.Fun.(*ast.ArrayType); isSlice && len(call.Args) == 1 {
-			c.report(call.Pos(), "hotpath-alloc", "%s: conversion to slice allocates", name)
+			c.report(call.Pos(), prefix+"-alloc", "%s: conversion to slice allocates%s", name, note)
 			return
 		}
 		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "string" && len(call.Args) == 1 {
 			if _, isSlice := underlying(c.typeOf(call.Args[0])).(*types.Slice); isSlice {
-				c.report(call.Pos(), "hotpath-alloc", "%s: string(bytes) conversion allocates", name)
+				c.report(call.Pos(), prefix+"-alloc", "%s: string(bytes) conversion allocates%s", name, note)
 			}
 			return
 		}
 		if path, fn, ok := c.pkgCall(call, imports); ok && allocPkgs[path] {
-			c.report(call.Pos(), "hotpath-alloc", "%s: call to allocating stdlib %s.%s", name, path, fn)
+			c.report(call.Pos(), prefix+"-alloc", "%s: call to allocating stdlib %s.%s%s", name, path, fn, note)
 		}
 	}
 }

@@ -47,6 +47,11 @@ type Diagnostic struct {
 	Pos     token.Position
 	Rule    string // e.g. "hotpath-alloc", "wcet-unbounded", "det-map-range"
 	Message string
+	// Symbol is the enclosing function's stable symbol
+	// ("pkg/path.Func" or "pkg/path.(Type).Method"), when the
+	// diagnostic is attributable to one — the key the baseline/waiver
+	// file matches on, so waivers survive line-number churn.
+	Symbol string
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -54,8 +59,12 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
 }
 
-// Family maps a rule ID to its rule family — the unit T14 scores
-// detection rates over: hotpath, wcet, determinism, panic, req.
+// Family maps a rule ID to its rule family — the unit the campaigns
+// (T14, T19) score detection rates over. The intraprocedural families
+// are hotpath, wcet, determinism, panic, req; the interprocedural ones
+// are frontier (closure-frontier only), closure (transitive hotpath
+// obligations), ownership (guardedby + goroutine escape) and taint
+// (evidence-integrity).
 func (d Diagnostic) Family() string {
 	switch {
 	case strings.HasPrefix(d.Rule, "hotpath-"):
@@ -68,14 +77,29 @@ func (d Diagnostic) Family() string {
 		return "panic"
 	case strings.HasPrefix(d.Rule, "req-"):
 		return "req"
+	case d.Rule == "closure-frontier":
+		return "frontier"
+	case strings.HasPrefix(d.Rule, "closure-"):
+		return "closure"
+	case strings.HasPrefix(d.Rule, "own-"):
+		return "ownership"
+	case strings.HasPrefix(d.Rule, "taint-"):
+		return "taint"
 	default:
 		return d.Rule
 	}
 }
 
-// Families lists the rule families in reporting order.
+// Families lists the intraprocedural rule families in reporting order —
+// the T14 scoring unit, pinned by campaign_test.go.
 func Families() []string {
 	return []string{"hotpath", "wcet", "determinism", "panic", "req"}
+}
+
+// FamiliesV2 lists the interprocedural rule families the v2 analysis
+// adds — the T19 scoring unit.
+func FamiliesV2() []string {
+	return []string{"closure", "frontier", "ownership", "taint"}
 }
 
 // Config selects which packages the annotation-free rules apply to. An

@@ -4,12 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -22,6 +24,7 @@ type Package struct {
 	Path   string // import path, e.g. "safexplain/internal/rt"
 	Dir    string // absolute directory
 	ModDir string // absolute module root (for stable relative paths)
+	Module string // module path, e.g. "safexplain" (prefix of Path)
 	Fset   *token.FileSet
 	Files  []*ast.File
 	Pkg    *types.Package
@@ -97,9 +100,10 @@ func LoadModule(root string, patterns []string) ([]*Package, error) {
 	for _, path := range order {
 		p := all[path]
 		info := &types.Info{
-			Types: map[ast.Expr]types.TypeAndValue{},
-			Defs:  map[*ast.Ident]types.Object{},
-			Uses:  map[*ast.Ident]types.Object{},
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
 		}
 		conf := types.Config{
 			Importer: imp,
@@ -150,13 +154,19 @@ func parseDir(fset *token.FileSet, dir, modDir, modPath string) (*Package, error
 		return nil, nil
 	}
 	sort.Strings(names)
-	p := &Package{Dir: dir, ModDir: modDir, Fset: fset}
+	p := &Package{Dir: dir, ModDir: modDir, Module: modPath, Fset: fset}
 	for _, n := range names {
 		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("lint: parse %s: %w", filepath.Join(dir, n), err)
 		}
+		if !buildIncluded(f) {
+			continue
+		}
 		p.Files = append(p.Files, f)
+	}
+	if len(p.Files) == 0 {
+		return nil, nil
 	}
 	rel, err := filepath.Rel(modDir, dir)
 	if err != nil {
@@ -168,6 +178,35 @@ func parseDir(fset *token.FileSet, dir, modDir, modPath string) (*Package, error
 		p.Path = modPath + "/" + filepath.ToSlash(rel)
 	}
 	return p, nil
+}
+
+// buildIncluded evaluates a file's //go:build constraint (the modern
+// form; legacy // +build lines without a //go:build twin are ignored,
+// as gofmt has synthesized the twin since go1.17) against the default
+// build context: host GOOS/GOARCH, and any go1.N version tag accepted.
+// A file the default build excludes (e.g. //go:build ignore, or a
+// foreign GOOS) must not leak diagnostics — or call-graph edges — into
+// the analysis of the code that actually builds.
+func buildIncluded(f *ast.File) bool {
+	for _, group := range f.Comments {
+		if group.Pos() >= f.Package {
+			break // constraints live above the package clause
+		}
+		for _, c := range group.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true // unparseable constraint: keep the file, conservative
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH ||
+					strings.HasPrefix(tag, "go1")
+			})
+		}
+	}
+	return true
 }
 
 // findModule walks upward from dir to the enclosing go.mod and returns
@@ -275,27 +314,15 @@ func (c *chainImporter) Import(path string) (*types.Package, error) {
 }
 
 // CheckSource parses and checks a single self-contained source file as
-// its own package — the entry point the seeded-defect campaign (T14) and
-// the rule unit tests use. Standard-library imports resolve from GOROOT
-// source; type errors are tolerated exactly as in LoadModule.
+// its own package with the per-package (v1) rules only — the entry
+// point the seeded-defect campaign (T14) and the rule unit tests use.
+// Standard-library imports resolve from GOROOT source; type errors are
+// tolerated exactly as in LoadModule. The interprocedural passes run
+// via AnalyzeSource instead.
 func CheckSource(filename, src string, cfg Config) ([]Diagnostic, error) {
-	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	p, err := parseSource(filename, src)
 	if err != nil {
 		return nil, err
 	}
-	pkgName := f.Name.Name
-	p := &Package{Path: "seed/" + pkgName, Dir: ".", ModDir: ".", Fset: fset, Files: []*ast.File{f}}
-	info := &types.Info{
-		Types: map[ast.Expr]types.TypeAndValue{},
-		Defs:  map[*ast.Ident]types.Object{},
-		Uses:  map[*ast.Ident]types.Object{},
-	}
-	conf := types.Config{
-		Importer: importer.ForCompiler(fset, "source", nil),
-		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
-	}
-	p.Pkg, _ = conf.Check(p.Path, fset, p.Files, info)
-	p.Info = info
 	return CheckPackage(p, cfg), nil
 }

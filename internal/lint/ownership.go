@@ -1,0 +1,581 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The concurrency-ownership pass — the static precondition for running
+// operate pipelines in parallel. Struct fields annotated
+//
+//	//safexplain:guardedby <mu>
+//
+// name a sibling sync.Mutex/sync.RWMutex field; every access to the
+// annotated field must then happen while that mutex is lexically held:
+// between a <base>.<mu>.Lock()/RLock() and the matching Unlock (a
+// deferred Unlock holds to the end of the function), where <base> is the
+// same selector chain the access uses. A function may instead declare a
+// caller contract with //safexplain:locked <mu> — the reviewable
+// equivalent of a *Locked method-name convention. Writes require the
+// write lock: a write under RLock alone is own-write-rlock.
+//
+// Two exemptions keep the rule lexical rather than alias-analytic, and
+// both are documented miss classes measured by T19: accesses through a
+// single local identifier declared inside the same function body are
+// treated as construction of a not-yet-shared value (a local *alias* of
+// a shared value therefore escapes the check), and lock state does not
+// propagate across call edges (the locked annotation is the explicit
+// summary instead).
+//
+// The second half is goroutine-spawn escape: inside a `go func() {...}`
+// literal, a write to a variable captured from the spawning frame is
+// shared mutable state crossing a concurrency boundary. It is flagged
+// (own-go-capture) unless the write happens under a lock taken inside
+// the goroutine, the variable is itself a synchronization object
+// (sync/atomic/channel), or the written field is already covered by a
+// guardedby annotation (then the field rule owns the diagnostic).
+
+// guardedField describes one annotated field.
+type guardedField struct {
+	guard  string // sibling mutex field name
+	rw     bool   // guard is a sync.RWMutex
+	owner  string // struct type name, for messages
+	fields []string
+}
+
+// OwnershipStats summarizes the pass for the findings report.
+type OwnershipStats struct {
+	GuardedFields int `json:"guarded_fields"`
+	LockedFuncs   int `json:"locked_funcs"`
+	GoSpawns      int `json:"go_spawns"`
+}
+
+// checkOwnership runs the pass over one package.
+func checkOwnership(p *Package, cfg Config) ([]Diagnostic, OwnershipStats) {
+	c := &checker{pkg: p, cfg: cfg}
+	o := &ownership{c: c, guarded: map[*types.Var]*guardedField{}, guardNames: map[string]bool{}}
+	for _, f := range p.Files {
+		o.collectGuards(f)
+	}
+	var stats OwnershipStats
+	stats.GuardedFields = len(o.guarded)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			marks := funcMarks(fd)
+			if len(marks.Locked) > 0 {
+				stats.LockedFuncs++
+				for _, g := range marks.Locked {
+					if !o.guardNames[g] {
+						c.sym = funcSymbol(p.Path, fd)
+						c.report(fd.Pos(), "own-badlock",
+							"%s: %s names %q, which guards no annotated field in this package",
+							fd.Name.Name, markLocked, g)
+					}
+				}
+			}
+			stats.GoSpawns += o.checkFunc(fd, marks)
+		}
+	}
+	sortDiags(c.diags)
+	return c.diags, stats
+}
+
+// ownership holds the per-package pass state.
+type ownership struct {
+	c       *checker
+	guarded map[*types.Var]*guardedField
+	// guardNames is the set of mutex field names used as guards, for
+	// locked-annotation validation.
+	guardNames map[string]bool
+}
+
+// collectGuards reads guardedby annotations off struct fields and
+// validates the named sibling mutex.
+func (o *ownership) collectGuards(f *ast.File) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			o.collectStructGuards(ts.Name.Name, st)
+		}
+	}
+}
+
+// collectStructGuards processes one struct literal's fields.
+func (o *ownership) collectStructGuards(typeName string, st *ast.StructType) {
+	// Index sibling fields by name, with mutex classification.
+	type sibling struct {
+		mutex bool
+		rw    bool
+	}
+	siblings := map[string]sibling{}
+	for _, field := range st.Fields.List {
+		mutex, rw := o.isMutexType(field.Type)
+		for _, name := range field.Names {
+			siblings[name.Name] = sibling{mutex: mutex, rw: rw}
+		}
+	}
+	for _, field := range st.Fields.List {
+		guard, found := guardName(field)
+		if !found {
+			continue
+		}
+		if guard == "" {
+			o.c.report(field.Pos(), "own-badguard",
+				"%s: %s requires a sibling mutex field name", typeName, markGuardedBy)
+			continue
+		}
+		sib, exists := siblings[guard]
+		if !exists || !sib.mutex {
+			o.c.report(field.Pos(), "own-badguard",
+				"%s: guard %q is not a sibling sync.Mutex/sync.RWMutex field", typeName, guard)
+			continue
+		}
+		gf := &guardedField{guard: guard, rw: sib.rw, owner: typeName}
+		o.guardNames[guard] = true
+		for _, name := range field.Names {
+			gf.fields = append(gf.fields, name.Name)
+			if o.c.pkg.Info != nil {
+				if v, isVar := o.c.pkg.Info.Defs[name].(*types.Var); isVar {
+					o.guarded[v] = gf
+				}
+			}
+		}
+	}
+}
+
+// isMutexType recognizes sync.Mutex / sync.RWMutex (or pointers to
+// them), by type info when available and by source text as fallback.
+func (o *ownership) isMutexType(e ast.Expr) (mutex, rw bool) {
+	if star, ok := e.(*ast.StarExpr); ok {
+		return o.isMutexType(star.X)
+	}
+	if o.c.pkg.Info != nil {
+		if t := o.c.pkg.Info.TypeOf(e); t != nil {
+			name := types.TypeString(t, nil)
+			name = strings.TrimPrefix(name, "*")
+			switch name {
+			case "sync.Mutex":
+				return true, false
+			case "sync.RWMutex":
+				return true, true
+			}
+			return false, false
+		}
+	}
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if x, isIdent := sel.X.(*ast.Ident); isIdent && x.Name == "sync" {
+			switch sel.Sel.Name {
+			case "Mutex":
+				return true, false
+			case "RWMutex":
+				return true, true
+			}
+		}
+	}
+	return false, false
+}
+
+// lockInterval is one lexical span during which a guard key is held.
+type lockInterval struct {
+	start, end token.Pos
+	rlock      bool
+}
+
+// lockEvent is a Lock/Unlock call found during the scan.
+type lockEvent struct {
+	key      string
+	pos      token.Pos
+	unlock   bool
+	rlock    bool
+	deferred bool
+}
+
+// bodyContext is one lexical concurrency domain: a function body, or a
+// go-spawned function literal (whose code does NOT inherit locks held by
+// the spawner).
+type bodyContext struct {
+	body  ast.Node
+	end   token.Pos
+	isGo  bool
+	goLit *ast.FuncLit
+}
+
+// checkFunc analyzes one declaration: the top context plus one context
+// per go-spawned literal. Returns the number of go-spawned literals.
+func (o *ownership) checkFunc(fd *ast.FuncDecl, marks FuncMarks) int {
+	o.c.sym = funcSymbol(o.c.pkg.Path, fd)
+	defer func() { o.c.sym = "" }()
+
+	// Find the go-spawned literals: each is its own context.
+	goLits := map[*ast.FuncLit]bool{}
+	var spawned []*ast.FuncLit
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if lit, isLit := g.Call.Fun.(*ast.FuncLit); isLit {
+				goLits[lit] = true
+				spawned = append(spawned, lit)
+			}
+		}
+		return true
+	})
+
+	contexts := []bodyContext{{body: fd.Body, end: fd.Body.End()}}
+	for _, lit := range spawned {
+		contexts = append(contexts, bodyContext{body: lit.Body, end: lit.Body.End(), isGo: true, goLit: lit})
+	}
+	for _, ctx := range contexts {
+		intervals := o.lockIntervals(ctx, goLits)
+		o.checkAccesses(fd, marks, ctx, goLits, intervals)
+		if ctx.isGo {
+			o.checkCaptures(fd, ctx, goLits, intervals)
+		}
+	}
+	return len(spawned)
+}
+
+// inspectContext walks a context's subtree, not descending into nested
+// go-spawned literals (they are separate contexts).
+func inspectContext(root ast.Node, skip map[*ast.FuncLit]bool, self ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && skip[lit] && lit.Body != self {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// lockIntervals scans one context for Lock/Unlock calls and builds the
+// held spans per guard key ("<base>.<mu>").
+func (o *ownership) lockIntervals(ctx bodyContext, goLits map[*ast.FuncLit]bool) map[string][]lockInterval {
+	var events []lockEvent
+	inspectContext(ctx.body, goLits, ctx.body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.DeferStmt:
+			// defer mu.Unlock(), or defer func() { ...mu.Unlock()... }()
+			if ev, ok := lockCallEvent(v.Call); ok {
+				ev.deferred = true
+				events = append(events, ev)
+				return false
+			}
+			if lit, isLit := v.Call.Fun.(*ast.FuncLit); isLit {
+				ast.Inspect(lit.Body, func(inner ast.Node) bool {
+					if call, isCall := inner.(*ast.CallExpr); isCall {
+						if ev, ok := lockCallEvent(call); ok && ev.unlock {
+							ev.deferred = true
+							events = append(events, ev)
+						}
+					}
+					return true
+				})
+				return false
+			}
+		case *ast.CallExpr:
+			if ev, ok := lockCallEvent(v); ok {
+				events = append(events, ev)
+			}
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	intervals := map[string][]lockInterval{}
+	open := map[string][]int{} // key -> indices of open intervals
+	for _, ev := range events {
+		if !ev.unlock {
+			intervals[ev.key] = append(intervals[ev.key], lockInterval{start: ev.pos, end: token.NoPos, rlock: ev.rlock})
+			open[ev.key] = append(open[ev.key], len(intervals[ev.key])-1)
+			continue
+		}
+		if ev.deferred {
+			// Closes at context end; handled below.
+			continue
+		}
+		stack := open[ev.key]
+		if len(stack) == 0 {
+			continue // unlock of a lock taken elsewhere: out of lexical scope
+		}
+		idx := stack[len(stack)-1]
+		open[ev.key] = stack[:len(stack)-1]
+		intervals[ev.key][idx].end = ev.pos
+	}
+	for key, stack := range open {
+		for _, idx := range stack {
+			intervals[key][idx].end = ctx.end
+		}
+	}
+	return intervals
+}
+
+// lockCallEvent classifies a call as a Lock/Unlock event on a rendered
+// selector chain.
+func lockCallEvent(call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return lockEvent{}, false
+	}
+	key := exprString(sel.X)
+	if key == "" {
+		return lockEvent{}, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		return lockEvent{key: key, pos: call.Pos()}, true
+	case "RLock":
+		return lockEvent{key: key, pos: call.Pos(), rlock: true}, true
+	case "Unlock":
+		return lockEvent{key: key, pos: call.Pos(), unlock: true}, true
+	case "RUnlock":
+		return lockEvent{key: key, pos: call.Pos(), unlock: true, rlock: true}, true
+	}
+	return lockEvent{}, false
+}
+
+// heldAt reports whether (and how) a guard key is held at pos.
+func heldAt(intervals map[string][]lockInterval, key string, pos token.Pos) (held, writeHeld bool) {
+	for _, iv := range intervals[key] {
+		if iv.start < pos && pos < iv.end {
+			held = true
+			if !iv.rlock {
+				writeHeld = true
+			}
+		}
+	}
+	return held, writeHeld
+}
+
+// checkAccesses verifies every guarded-field access in one context.
+func (o *ownership) checkAccesses(fd *ast.FuncDecl, marks FuncMarks, ctx bodyContext,
+	goLits map[*ast.FuncLit]bool, intervals map[string][]lockInterval) {
+	if o.c.pkg.Info == nil || len(o.guarded) == 0 {
+		return
+	}
+	writes := writeTargets(ctx, goLits)
+	inspectContext(ctx.body, goLits, ctx.body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		field := o.fieldOf(sel)
+		gf, guarded := o.guarded[field]
+		if !guarded {
+			return true
+		}
+		// A go-spawned literal never inherits the spawner's locks; a
+		// locked caller contract likewise stops at the spawn boundary.
+		if !ctx.isGo && marks.holdsLocked(gf.guard) {
+			return true
+		}
+		base := exprString(sel.X)
+		if base != "" && !strings.Contains(base, ".") && o.freshLocal(fd, ctx, sel.X) {
+			return true // construction of a not-yet-shared value
+		}
+		key := base + "." + gf.guard
+		held, writeHeld := heldAt(intervals, key, sel.Pos())
+		isWrite := writes[sel]
+		switch {
+		case !held:
+			o.c.report(sel.Pos(), "own-unguarded",
+				"%s: %s.%s is guarded by %q but accessed without holding %s",
+				fd.Name.Name, gf.owner, sel.Sel.Name, gf.guard, key)
+		case isWrite && !writeHeld && gf.rw:
+			o.c.report(sel.Pos(), "own-write-rlock",
+				"%s: %s.%s is written under RLock; writes require %s.Lock()",
+				fd.Name.Name, gf.owner, sel.Sel.Name, key)
+		}
+		return true
+	})
+}
+
+// fieldOf resolves a selector to the field object it reads or writes.
+func (o *ownership) fieldOf(sel *ast.SelectorExpr) *types.Var {
+	info := o.c.pkg.Info
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, isVar := s.Obj().(*types.Var); isVar {
+			return v
+		}
+	}
+	if v, isVar := info.Uses[sel.Sel].(*types.Var); isVar && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// freshLocal reports whether the base expression is a single local
+// identifier declared inside the current context — a value under
+// construction, not yet visible to other goroutines. (A local alias of
+// a shared value also passes: the documented alias miss class.)
+func (o *ownership) freshLocal(fd *ast.FuncDecl, ctx bodyContext, base ast.Expr) bool {
+	id, ok := base.(*ast.Ident)
+	if !ok || o.c.pkg.Info == nil {
+		return false
+	}
+	obj := o.c.pkg.Info.ObjectOf(id)
+	v, isVar := obj.(*types.Var)
+	if !isVar || v.IsField() {
+		return false
+	}
+	// Declared inside this context's body: parameters and receivers sit
+	// before Body.Pos(), captured outer locals before a go-literal's
+	// body.
+	return v.Pos() > ctx.body.Pos() && v.Pos() < ctx.end
+}
+
+// writeTargets collects the expressions written in a context:
+// assignment LHS, ++/--, and address-taken operands (a taken address
+// escapes the lexical analysis, so it is conservatively a write).
+func writeTargets(ctx bodyContext, goLits map[*ast.FuncLit]bool) map[ast.Node]bool {
+	writes := map[ast.Node]bool{}
+	mark := func(e ast.Expr) {
+		for {
+			switch v := e.(type) {
+			case *ast.ParenExpr:
+				e = v.X
+				continue
+			case *ast.StarExpr:
+				e = v.X
+				continue
+			case *ast.IndexExpr:
+				e = v.X
+				continue
+			}
+			break
+		}
+		writes[e] = true
+	}
+	inspectContext(ctx.body, goLits, ctx.body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(v.X)
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				mark(v.X)
+			}
+		}
+		return true
+	})
+	return writes
+}
+
+// checkCaptures flags writes to spawning-frame variables inside a
+// go-spawned literal.
+func (o *ownership) checkCaptures(fd *ast.FuncDecl, ctx bodyContext,
+	goLits map[*ast.FuncLit]bool, intervals map[string][]lockInterval) {
+	if o.c.pkg.Info == nil {
+		return
+	}
+	reported := map[types.Object]bool{}
+	flag := func(target ast.Expr, pos token.Pos) {
+		// Strip down to the base chain; field writes to guarded fields
+		// are owned by the field rule.
+		e := target
+		for {
+			if p, ok := e.(*ast.ParenExpr); ok {
+				e = p.X
+				continue
+			}
+			if s, ok := e.(*ast.StarExpr); ok {
+				e = s.X
+				continue
+			}
+			if ix, ok := e.(*ast.IndexExpr); ok {
+				e = ix.X
+				continue
+			}
+			break
+		}
+		if sel, ok := e.(*ast.SelectorExpr); ok {
+			if _, guarded := o.guarded[o.fieldOf(sel)]; guarded {
+				return
+			}
+		}
+		id := chainBase(e)
+		if id == nil {
+			return
+		}
+		obj := o.c.pkg.Info.ObjectOf(id)
+		v, isVar := obj.(*types.Var)
+		if !isVar || v.IsField() {
+			return
+		}
+		// Captured = declared outside the literal body.
+		if v.Pos() > ctx.body.Pos() && v.Pos() < ctx.end {
+			return
+		}
+		if isSyncType(v.Type()) {
+			return
+		}
+		// Held under any lock taken inside the goroutine?
+		for key := range intervals {
+			if held, _ := heldAt(intervals, key, pos); held {
+				return
+			}
+		}
+		if reported[v] {
+			return
+		}
+		reported[v] = true
+		o.c.report(pos, "own-go-capture",
+			"%s: go func writes captured %q without a guard — shared mutable state escapes the spawning frame",
+			fd.Name.Name, id.Name)
+	}
+	inspectContext(ctx.body, goLits, ctx.body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if v.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range v.Lhs {
+				flag(lhs, lhs.Pos())
+			}
+		case *ast.IncDecStmt:
+			flag(v.X, v.Pos())
+		}
+		return true
+	})
+}
+
+// isSyncType recognizes synchronization values whose mutation is their
+// purpose: channels, sync.* and sync/atomic types.
+func isSyncType(t types.Type) bool {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if _, isChan := underlying(t).(*types.Chan); isChan {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() {
+	case "sync", "sync/atomic":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+)
+
+// The v2 findings report: one canonical-JSON document carrying the call
+// graph statistics, the hotpath closure and its frontier, the ownership
+// and taint pass summaries, the surviving diagnostics and the
+// baseline-waived findings, sealed with a SHA-256 over the canonical
+// body — the same evidence-linkage pattern as ReqReport and the obs
+// flight-recorder dump hashes, so CI can archive the report and gate on
+// its content while the trace chain proves which findings state the
+// evidence claims.
+
+// GraphStats summarizes call-graph construction.
+type GraphStats struct {
+	Functions     int `json:"functions"`
+	Edges         int `json:"edges"`
+	DevirtEdges   int `json:"devirt_edges"`
+	DynamicSites  int `json:"dynamic_sites"`
+	DynamicWaived int `json:"dynamic_waived"`
+}
+
+// ClosureStats summarizes the hotpath closure.
+type ClosureStats struct {
+	Roots    int `json:"roots"`
+	Members  int `json:"members"`
+	Frontier int `json:"frontier"`
+}
+
+// ReportDiag is one surviving diagnostic in machine-stable form
+// (module-relative path, no absolute filenames).
+type ReportDiag struct {
+	Rule    string `json:"rule"`
+	Symbol  string `json:"symbol,omitempty"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Message string `json:"message"`
+}
+
+// Report is the sealed findings document.
+type Report struct {
+	Module    string          `json:"module"`
+	Graph     GraphStats      `json:"graph"`
+	Closure   ClosureStats    `json:"closure"`
+	Frontier  []FrontierEntry `json:"frontier"`
+	Ownership OwnershipStats  `json:"ownership"`
+	Taint     TaintStats      `json:"taint"`
+	Findings  []ReportDiag    `json:"findings"`
+	Waived    []WaivedFinding `json:"waived"`
+	Hash      string          `json:"hash"`
+}
+
+// BuildReport assembles the report from an analysis result and the
+// baseline-filtered diagnostics.
+func BuildReport(res *Result, diags []Diagnostic, waived []WaivedFinding) *Report {
+	rep := &Report{
+		Module: res.Module,
+		Graph: GraphStats{
+			Functions:     len(res.Graph.Nodes),
+			Edges:         res.Graph.EdgeCount,
+			DevirtEdges:   res.Graph.DevirtEdges,
+			DynamicSites:  res.Graph.DynamicSites,
+			DynamicWaived: res.Graph.DynamicWaived,
+		},
+		Closure: ClosureStats{
+			Roots:    len(res.Closure.Roots),
+			Members:  len(res.Closure.Order),
+			Frontier: len(res.Frontier),
+		},
+		Frontier:  res.Frontier,
+		Ownership: res.Ownership,
+		Taint:     res.Taint,
+		Waived:    waived,
+	}
+	if rep.Frontier == nil {
+		rep.Frontier = []FrontierEntry{}
+	}
+	if rep.Waived == nil {
+		rep.Waived = []WaivedFinding{}
+	}
+	rep.Findings = []ReportDiag{}
+	for _, d := range diags {
+		rep.Findings = append(rep.Findings, ReportDiag{
+			Rule:    d.Rule,
+			Symbol:  d.Symbol,
+			File:    relTo(res, d.Pos.Filename),
+			Line:    d.Pos.Line,
+			Message: d.Message,
+		})
+	}
+	rep.Hash = rep.hashBody()
+	return rep
+}
+
+// relTo renders a filename module-relative via any loaded package (all
+// share the module root).
+func relTo(res *Result, filename string) string {
+	if len(res.Pkgs) > 0 {
+		return res.Pkgs[0].Rel(filename)
+	}
+	return filepath.ToSlash(filename)
+}
+
+// hashBody computes the canonical SHA-256 over everything but the hash
+// field itself (json.Marshal emits struct fields in declaration order
+// and the slices are pre-sorted, so the hash is machine-stable).
+func (r *Report) hashBody() string {
+	body := struct {
+		Module    string          `json:"module"`
+		Graph     GraphStats      `json:"graph"`
+		Closure   ClosureStats    `json:"closure"`
+		Frontier  []FrontierEntry `json:"frontier"`
+		Ownership OwnershipStats  `json:"ownership"`
+		Taint     TaintStats      `json:"taint"`
+		Findings  []ReportDiag    `json:"findings"`
+		Waived    []WaivedFinding `json:"waived"`
+	}{r.Module, r.Graph, r.Closure, r.Frontier, r.Ownership, r.Taint, r.Findings, r.Waived}
+	blob, err := json.Marshal(body)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
+
+// JSON renders the report, indented, hash included.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// EvidenceDetail is the one-line summary for the chained evidence log.
+func (r *Report) EvidenceDetail() string {
+	return fmt.Sprintf("safelint v2: %d findings (%d waived), closure %d roots/%d members, frontier %d, sha256 %.12s…",
+		len(r.Findings), len(r.Waived), r.Closure.Roots, r.Closure.Members, len(r.Frontier), r.Hash)
+}

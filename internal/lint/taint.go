@@ -1,0 +1,436 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// The evidence-integrity taint pass. The repository's safety case leans
+// on SHA-256 evidence hashes: trace ring dumps, fleet common-mode
+// alerts, relay envelopes, the watch alert ledger. The hash is only
+// evidence if the bytes that were hashed are the bytes that get
+// encoded, forwarded or stored afterwards. This pass proves the
+// in-function half of that property: once a byte buffer has been fed to
+// a SHA-256 hash (sha256.Sum256(buf), or h.Write(buf) on a hash.Hash),
+// any later mutation of that buffer — element writes, reassignment
+// (including buf = append(buf, …)), copy-into, or a call passing it to
+// a function the call graph knows writes through that parameter —
+// followed by a later *use* of the buffer is a taint-mutate
+// diagnostic: the forwarded bytes no longer match the hash. Mutation
+// after the final use (buffer recycling) is legal, and re-hashing the
+// buffer clears the taint.
+//
+// The mutation knowledge is interprocedural: per-function summaries
+// ("writes through slice parameter i") are computed for every module
+// function and propagated to callers through the call graph to a fixed
+// point, so a helper that clears a buffer two calls down still taints
+// its caller's hashed slice.
+
+// mutSummary records which slice parameters a function writes through.
+type mutSummary struct {
+	params []*types.Var // slice-typed parameters, in order
+	mut    []bool
+}
+
+// TaintStats summarizes the pass for the findings report.
+type TaintStats struct {
+	HashSites      int `json:"hash_sites"`
+	MutatingFuncs  int `json:"mutating_funcs"`
+	TrackedBuffers int `json:"tracked_buffers"`
+}
+
+// staticCallee resolves a call expression to its module FuncNode, nil
+// for builtins, conversions, interface dispatch and dynamic calls.
+func staticCallee(g *CallGraph, info *types.Info, call *ast.CallExpr) *FuncNode {
+	if info == nil {
+		return nil
+	}
+	switch fun := unwrapFun(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[fun].(*types.Func); ok {
+			return g.lookup(obj)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if types.IsInterface(sel.Recv()) {
+				return nil
+			}
+			if m, isFn := sel.Obj().(*types.Func); isFn {
+				return g.lookup(m)
+			}
+			return nil
+		}
+		if obj, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return g.lookup(obj)
+		}
+	}
+	return nil
+}
+
+// buildMutSummaries computes the parameter-mutation summaries to a
+// fixed point over the call graph.
+func buildMutSummaries(g *CallGraph) map[*FuncNode]*mutSummary {
+	sums := map[*FuncNode]*mutSummary{}
+	for _, n := range g.Nodes {
+		sums[n] = newMutSummary(n)
+	}
+	// Direct mutations first, then propagate through call sites until
+	// stable; iterations are bounded by the longest acyclic call chain.
+	for _, n := range g.Nodes {
+		scanDirectMutations(n, sums[n])
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			if propagateCalleeMutations(g, n, sums) {
+				changed = true
+			}
+		}
+	}
+	return sums
+}
+
+// newMutSummary indexes a node's slice-typed parameters.
+func newMutSummary(n *FuncNode) *mutSummary {
+	s := &mutSummary{}
+	if n.Obj == nil {
+		return s
+	}
+	sig, ok := n.Obj.Type().(*types.Signature)
+	if !ok {
+		return s
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if _, isSlice := underlying(p.Type()).(*types.Slice); isSlice {
+			s.params = append(s.params, p)
+			s.mut = append(s.mut, false)
+		}
+	}
+	return s
+}
+
+// paramIndex maps an identifier back to the summary's parameter slot,
+// -1 when it is not a tracked parameter.
+func (s *mutSummary) paramIndex(info *types.Info, e ast.Expr) int {
+	id, ok := e.(*ast.Ident)
+	if !ok || info == nil {
+		return -1
+	}
+	obj := info.ObjectOf(id)
+	for i, p := range s.params {
+		if obj == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// scanDirectMutations marks parameters the body writes through
+// directly: p[i] = …, and copy(p, …).
+func scanDirectMutations(n *FuncNode, s *mutSummary) {
+	if len(s.params) == 0 {
+		return
+	}
+	info := n.Pkg.Info
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch v := node.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				if ix, ok := lhs.(*ast.IndexExpr); ok {
+					if i := s.paramIndex(info, sliceBase(ix.X)); i >= 0 {
+						s.mut[i] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "copy" && len(v.Args) == 2 {
+				if i := s.paramIndex(info, sliceBase(v.Args[0])); i >= 0 {
+					s.mut[i] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// propagateCalleeMutations folds callee summaries into the caller:
+// passing parameter p at a mutated argument position mutates p.
+func propagateCalleeMutations(g *CallGraph, n *FuncNode, sums map[*FuncNode]*mutSummary) bool {
+	s := sums[n]
+	if len(s.params) == 0 {
+		return false
+	}
+	info := n.Pkg.Info
+	changed := false
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		cs := sums[staticCallee(g, info, call)]
+		if cs == nil {
+			return true
+		}
+		for ai, arg := range sliceArgs(info, call) {
+			if ai >= len(cs.mut) || !cs.mut[ai] {
+				continue
+			}
+			if i := s.paramIndex(info, sliceBase(arg)); i >= 0 && !s.mut[i] {
+				s.mut[i] = true
+				changed = true
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// sliceArgs returns a call's slice-typed arguments in positional order
+// (the order mutSummary indexes parameters by).
+func sliceArgs(info *types.Info, call *ast.CallExpr) []ast.Expr {
+	var out []ast.Expr
+	if info == nil {
+		return nil
+	}
+	for _, arg := range call.Args {
+		if _, isSlice := underlying(info.TypeOf(arg)).(*types.Slice); isSlice {
+			out = append(out, arg)
+		}
+	}
+	return out
+}
+
+// sliceBase reduces an argument to its trackable chain expression: a
+// bare identifier or selector chain, possibly under a slice expression
+// (buf[:n] tracks buf). Nil when untrackable.
+func sliceBase(e ast.Expr) ast.Expr {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		default:
+			if exprString(e) == "" {
+				return nil
+			}
+			return e
+		}
+	}
+}
+
+// taintEvent is one occurrence of a tracked buffer.
+type taintEvent struct {
+	pos  token.Pos
+	kind int
+}
+
+const (
+	evHash = iota
+	evMut
+	evUse
+)
+
+// checkTaint runs the pass over every function of the module.
+func checkTaint(g *CallGraph, cfg Config) ([]Diagnostic, TaintStats) {
+	sums := buildMutSummaries(g)
+	var stats TaintStats
+	for _, n := range g.Nodes { // deterministic order
+		s := sums[n]
+		for _, m := range s.mut {
+			if m {
+				stats.MutatingFuncs++
+				break
+			}
+		}
+	}
+	var diags []Diagnostic
+	for _, n := range g.Nodes {
+		d, hashSites, tracked := checkFuncTaint(g, n, sums, cfg)
+		stats.HashSites += hashSites
+		stats.TrackedBuffers += tracked
+		diags = append(diags, d...)
+	}
+	return diags, stats
+}
+
+// checkFuncTaint analyzes one function body with the
+// hash → mutate → use state machine per tracked buffer key.
+func checkFuncTaint(g *CallGraph, n *FuncNode, sums map[*FuncNode]*mutSummary, cfg Config) ([]Diagnostic, int, int) {
+	info := n.Pkg.Info
+	if info == nil {
+		return nil, 0, 0
+	}
+	c := &checker{pkg: n.Pkg, cfg: cfg, sym: n.Symbol}
+	imports := fileImports(n.File)
+
+	events := map[string][]taintEvent{}
+	add := func(key string, pos token.Pos, kind int) {
+		events[key] = append(events[key], taintEvent{pos: pos, kind: kind})
+	}
+	// claimed marks subtrees already consumed by a hash or mutation
+	// event so the use pass does not double-count them.
+	claimed := map[ast.Node]bool{}
+	hashSites := 0
+
+	// Pass 1: hash events and mutations.
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch v := node.(type) {
+		case *ast.CallExpr:
+			if key, ok := c.hashEventKey(v, imports); ok {
+				hashSites++
+				if key != "" {
+					add(key, v.Pos(), evHash)
+					for _, arg := range v.Args {
+						claimed[arg] = true
+					}
+				}
+				return true
+			}
+			if id, isIdent := v.Fun.(*ast.Ident); isIdent && id.Name == "copy" && len(v.Args) == 2 {
+				if base := sliceBase(v.Args[0]); base != nil {
+					add(exprString(base), v.Args[0].Pos(), evMut)
+					claimed[v.Args[0]] = true
+				}
+				return true
+			}
+			// Callee-summary mutations: f(buf) where f writes through
+			// that parameter (directly or transitively).
+			if cs := sums[staticCallee(g, info, v)]; cs != nil {
+				for ai, arg := range sliceArgs(info, v) {
+					if ai >= len(cs.mut) || !cs.mut[ai] {
+						continue
+					}
+					if base := sliceBase(arg); base != nil {
+						add(exprString(base), arg.Pos(), evMut)
+						claimed[arg] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				if ix, ok := lhs.(*ast.IndexExpr); ok {
+					if base := sliceBase(ix.X); base != nil {
+						add(exprString(base), ix.Pos(), evMut)
+						claimed[ix] = true
+						claimed[ix.X] = true
+					}
+					continue
+				}
+				// Reassignment (including buf = append(buf, …)): the name
+				// no longer aliases the hashed backing store.
+				if key := exprString(lhs); key != "" {
+					if _, isSlice := underlying(info.TypeOf(lhs)).(*types.Slice); isSlice {
+						add(key, lhs.Pos(), evMut)
+						claimed[lhs] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(events) == 0 {
+		return nil, hashSites, 0
+	}
+
+	// Pass 2: uses — any unclaimed occurrence of a tracked chain.
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		if claimed[node] {
+			return true
+		}
+		e, ok := node.(ast.Expr)
+		if !ok {
+			return true
+		}
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+		default:
+			return true
+		}
+		key := exprString(e)
+		if key == "" {
+			return true
+		}
+		if _, tracked := events[key]; tracked {
+			add(key, e.Pos(), evUse)
+			return false // don't re-count the chain's inner identifiers
+		}
+		return true
+	})
+
+	var keys []string
+	for key := range events {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	tracked := 0
+	for _, key := range keys {
+		evs := events[key]
+		sort.Slice(evs, func(i, j int) bool {
+			if evs[i].pos != evs[j].pos {
+				return evs[i].pos < evs[j].pos
+			}
+			return evs[i].kind < evs[j].kind
+		})
+		hashed, sawHash := false, false
+		mutPos := token.NoPos
+		for _, ev := range evs {
+			switch ev.kind {
+			case evHash:
+				hashed, sawHash, mutPos = true, true, token.NoPos
+			case evMut:
+				if hashed && mutPos == token.NoPos {
+					mutPos = ev.pos
+				}
+			case evUse:
+				if hashed && mutPos != token.NoPos {
+					c.report(mutPos, "taint-mutate",
+						"%s: buffer %q is mutated after being SHA-256 hashed and used again at line %d — the evidence hash no longer matches the forwarded bytes (re-hash, or copy before mutating)",
+						n.Decl.Name.Name, key, c.pkg.Fset.Position(ev.pos).Line)
+					hashed, mutPos = false, token.NoPos
+				}
+			}
+		}
+		if sawHash {
+			tracked++
+		}
+	}
+	return c.diags, hashSites, tracked
+}
+
+// hashEventKey recognizes sha256.Sum256(buf)/Sum224(buf) and
+// h.Write(buf) where h is a hash.Hash, returning the tracked chain key
+// of the hashed buffer ("" when the argument is not trackable).
+func (c *checker) hashEventKey(call *ast.CallExpr, imports map[string]string) (string, bool) {
+	if path, fn, ok := c.pkgCall(call, imports); ok {
+		if path == "crypto/sha256" && (fn == "Sum256" || fn == "Sum224") && len(call.Args) == 1 {
+			return trackKey(call.Args[0]), true
+		}
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Write" || len(call.Args) != 1 {
+		return "", false
+	}
+	named, isNamed := c.typeOf(sel.X).(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	if named.Obj().Pkg().Path() == "hash" && named.Obj().Name() == "Hash" {
+		return trackKey(call.Args[0]), true
+	}
+	return "", false
+}
+
+// trackKey renders a hash argument's trackable chain ("" when the pass
+// cannot follow the expression).
+func trackKey(e ast.Expr) string {
+	base := sliceBase(e)
+	if base == nil {
+		return ""
+	}
+	return exprString(base)
+}

@@ -1,0 +1,594 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// analyzeSrc runs the full v2 analysis over one self-contained source.
+func analyzeSrc(t *testing.T, src string) *Result {
+	t.Helper()
+	res, err := AnalyzeSource("t.go", src, DefaultConfig())
+	if err != nil {
+		t.Fatalf("AnalyzeSource: %v", err)
+	}
+	return res
+}
+
+// ruled filters diagnostics down to one rule ID.
+func ruled(diags []Diagnostic, rule string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Rule == rule {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// node fetches a call-graph node by symbol or fails the test.
+func node(t *testing.T, g *CallGraph, sym string) *FuncNode {
+	t.Helper()
+	n := g.BySymbol[sym]
+	if n == nil {
+		var have []string
+		for s := range g.BySymbol {
+			have = append(have, s)
+		}
+		t.Fatalf("no node %s; have %v", sym, have)
+	}
+	return n
+}
+
+func TestCallGraphStaticAndRefEdges(t *testing.T) {
+	res := analyzeSrc(t, `package p
+
+func helper() {}
+
+func Direct() { helper() }
+
+func Ref() func() { return helper }
+`)
+	d := node(t, res.Graph, "seed/p.Direct")
+	if len(d.Edges) != 1 || d.Edges[0].Kind != EdgeStatic || d.Edges[0].To.Symbol != "seed/p.helper" {
+		t.Fatalf("Direct edges = %+v, want one static edge to helper", d.Edges)
+	}
+	r := node(t, res.Graph, "seed/p.Ref")
+	if len(r.Edges) != 1 || r.Edges[0].Kind != EdgeRef || r.Edges[0].To.Symbol != "seed/p.helper" {
+		t.Fatalf("Ref edges = %+v, want one ref edge to helper", r.Edges)
+	}
+}
+
+func TestCallGraphDevirtualization(t *testing.T) {
+	res := analyzeSrc(t, `package p
+
+type Doer interface{ Do() }
+
+type A struct{}
+
+func (A) Do() {}
+
+type B struct{}
+
+func (*B) Do() {}
+
+func Call(d Doer) { d.Do() }
+
+type Alien interface{ Zap() }
+
+func CallAlien(a Alien) { a.Zap() }
+`)
+	c := node(t, res.Graph, "seed/p.Call")
+	if len(c.Edges) != 2 {
+		t.Fatalf("Call edges = %+v, want devirtualized edges to A.Do and B.Do", c.Edges)
+	}
+	for _, e := range c.Edges {
+		if e.Kind != EdgeIface {
+			t.Fatalf("edge to %s has kind %s, want iface", e.To.Symbol, e.Kind)
+		}
+	}
+	if res.Graph.DevirtEdges != 2 {
+		t.Fatalf("DevirtEdges = %d, want 2", res.Graph.DevirtEdges)
+	}
+	// An interface with zero module implementations is an invisible
+	// dispatch target: a dynamic site, not a silent gap.
+	al := node(t, res.Graph, "seed/p.CallAlien")
+	if len(al.Dynamic) != 1 || al.Dynamic[0].Waived {
+		t.Fatalf("CallAlien dynamic sites = %+v, want one unwaived", al.Dynamic)
+	}
+}
+
+func TestCallGraphGenericsNormalized(t *testing.T) {
+	res := analyzeSrc(t, `package p
+
+func Apply[T any](x T) T { return x }
+
+func Use() {
+	_ = Apply(1)
+	_ = Apply("s")
+}
+`)
+	u := node(t, res.Graph, "seed/p.Use")
+	// Two instantiations normalize to the declaring origin, deduped to
+	// one edge.
+	if len(u.Edges) != 1 || u.Edges[0].To.Symbol != "seed/p.Apply" {
+		t.Fatalf("Use edges = %+v, want one edge to the generic origin", u.Edges)
+	}
+}
+
+func TestCallGraphMethodValue(t *testing.T) {
+	res := analyzeSrc(t, `package p
+
+type T struct{}
+
+func (T) M() {}
+
+func Use() {
+	var t T
+	f := t.M
+	f()
+}
+`)
+	u := node(t, res.Graph, "seed/p.Use")
+	// The method value t.M is a ref edge; the call through f is a
+	// dynamic site.
+	if len(u.Edges) != 1 || u.Edges[0].Kind != EdgeRef || u.Edges[0].To.Symbol != "seed/p.(T).M" {
+		t.Fatalf("Use edges = %+v, want one ref edge to (T).M", u.Edges)
+	}
+	if len(u.Dynamic) != 1 {
+		t.Fatalf("Use dynamic sites = %+v, want one", u.Dynamic)
+	}
+}
+
+func TestClosureFrontierAndObligations(t *testing.T) {
+	res := analyzeSrc(t, `package p
+
+var sink []int
+
+//safexplain:hotpath
+func Root() { step() }
+
+func step() { leaf() }
+
+func leaf() { sink = append(sink, 1) }
+`)
+	if got := len(res.Closure.Roots); got != 1 {
+		t.Fatalf("roots = %d, want 1", got)
+	}
+	if got := len(res.Closure.Members); got != 3 {
+		t.Fatalf("members = %d, want 3 (Root, step, leaf)", got)
+	}
+	wantRules(t, res.Diags, "closure-frontier", "closure-frontier", "closure-alloc")
+	if len(res.Frontier) != 2 {
+		t.Fatalf("frontier = %+v, want step and leaf", res.Frontier)
+	}
+	if !strings.Contains(res.Frontier[1].Via, "p.Root") || !strings.Contains(res.Frontier[1].Via, "p.step") {
+		t.Fatalf("frontier via = %q, want the Root → step chain", res.Frontier[1].Via)
+	}
+	for _, d := range ruled(res.Diags, "closure-frontier") {
+		if d.Symbol == "" {
+			t.Fatalf("closure diagnostic carries no symbol: %+v", d)
+		}
+	}
+}
+
+func TestClosurePanicAndUnbounded(t *testing.T) {
+	res := analyzeSrc(t, `package p
+
+//safexplain:hotpath
+func Root() {
+	boom()
+	spin(4)
+}
+
+func boom() { panic("x") }
+
+func spin(n int) {
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}
+`)
+	wantRules(t, res.Diags,
+		"closure-frontier", "closure-frontier", "closure-panic", "closure-unbounded")
+}
+
+func TestClosureDynamicWaiver(t *testing.T) {
+	res := analyzeSrc(t, `package p
+
+//safexplain:hotpath
+func Run(f func()) {
+	f() //safexplain:dynamic callback fixed at construction and vetted
+}
+
+//safexplain:hotpath
+func RunBare(f func()) {
+	f() //safexplain:dynamic
+}
+
+//safexplain:hotpath
+func RunNaked(f func()) {
+	f()
+}
+`)
+	// Justified waiver is clean; a bare waiver and no waiver both flag.
+	wantRules(t, res.Diags, "closure-dynamic", "closure-dynamic")
+	if res.Graph.DynamicSites != 3 || res.Graph.DynamicWaived != 2 {
+		t.Fatalf("dynamic sites = %d waived = %d, want 3/2",
+			res.Graph.DynamicSites, res.Graph.DynamicWaived)
+	}
+}
+
+func TestOwnershipGuardedBy(t *testing.T) {
+	res := analyzeSrc(t, `package p
+
+import "sync"
+
+type S struct {
+	mu sync.RWMutex
+	n  int //safexplain:guardedby mu
+}
+
+func (s *S) Unguarded() int { return s.n }
+
+func (s *S) ReadOK() int {
+	s.mu.RLock()
+	v := s.n
+	s.mu.RUnlock()
+	return v
+}
+
+func (s *S) WriteRLock() {
+	s.mu.RLock()
+	s.n = 1
+	s.mu.RUnlock()
+}
+
+func (s *S) WriteOK() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n = 2
+}
+
+//safexplain:locked mu
+func (s *S) contract() int { return s.n }
+
+func use() { var s S; _ = s.Unguarded() + s.ReadOK() + s.contract(); s.WriteRLock(); s.WriteOK() }
+`)
+	wantRules(t, res.Diags, "own-unguarded", "own-write-rlock")
+	if res.Ownership.GuardedFields != 1 || res.Ownership.LockedFuncs != 1 {
+		t.Fatalf("stats = %+v, want 1 guarded field, 1 locked func", res.Ownership)
+	}
+	bad := ruled(res.Diags, "own-unguarded")[0]
+	if bad.Symbol != "seed/p.(S).Unguarded" {
+		t.Fatalf("own-unguarded symbol = %q", bad.Symbol)
+	}
+}
+
+func TestOwnershipBadAnnotations(t *testing.T) {
+	res := analyzeSrc(t, `package p
+
+type B1 struct {
+	n int //safexplain:guardedby
+}
+
+type B2 struct {
+	x int //safexplain:guardedby nothere
+}
+
+//safexplain:locked ghost
+func F() {}
+`)
+	wantRules(t, res.Diags, "own-badguard", "own-badguard", "own-badlock")
+}
+
+func TestOwnershipGoCapture(t *testing.T) {
+	res := analyzeSrc(t, `package p
+
+import "sync"
+
+func Capture() {
+	x := 0
+	go func() { x = 1 }()
+	_ = x
+}
+
+func CaptureLocked(mu *sync.Mutex) {
+	x := 0
+	go func() {
+		mu.Lock()
+		x = 2
+		mu.Unlock()
+	}()
+	_ = x
+}
+
+func CaptureLocal() {
+	go func() {
+		y := 0
+		y++
+		_ = y
+	}()
+}
+`)
+	wantRules(t, res.Diags, "own-go-capture")
+	if res.Ownership.GoSpawns != 3 {
+		t.Fatalf("GoSpawns = %d, want 3", res.Ownership.GoSpawns)
+	}
+}
+
+func TestOwnershipFreshLocalExemption(t *testing.T) {
+	res := analyzeSrc(t, `package p
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int //safexplain:guardedby mu
+}
+
+// Make constructs a not-yet-shared value: lock-free writes are legal.
+func Make() *S {
+	s := &S{}
+	s.n = 1
+	return s
+}
+`)
+	wantRules(t, res.Diags)
+}
+
+func TestTaintMutateAfterHash(t *testing.T) {
+	res := analyzeSrc(t, `package p
+
+import "crypto/sha256"
+
+var sink [32]byte
+
+func Mutated(buf []byte) byte {
+	sink = sha256.Sum256(buf)
+	buf[0] = 1
+	return buf[1]
+}
+`)
+	wantRules(t, res.Diags, "taint-mutate")
+	if res.Taint.HashSites != 1 || res.Taint.TrackedBuffers != 1 {
+		t.Fatalf("taint stats = %+v, want 1 hash site, 1 tracked buffer", res.Taint)
+	}
+}
+
+func TestTaintRehashAndRecycleClean(t *testing.T) {
+	res := analyzeSrc(t, `package p
+
+import "crypto/sha256"
+
+// Rehash: mutating and hashing again re-establishes evidence.
+func Rehash(buf []byte) [32]byte {
+	_ = sha256.Sum256(buf)
+	buf[0] = 1
+	return sha256.Sum256(buf)
+}
+
+// Recycle: mutation after the final use of the buffer is legal reuse.
+func Recycle(buf []byte) [32]byte {
+	sum := sha256.Sum256(buf)
+	buf[0] = 1
+	return sum
+}
+`)
+	wantRules(t, res.Diags)
+}
+
+func TestTaintCalleeSummary(t *testing.T) {
+	res := analyzeSrc(t, `package p
+
+import "crypto/sha256"
+
+func scrub(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+func wipe(b []byte) { scrub(b) }
+
+// ViaHelper mutates through two call edges: the summary propagation
+// must carry scrub's write up through wipe.
+func ViaHelper(buf []byte) byte {
+	_ = sha256.Sum256(buf)
+	wipe(buf)
+	return buf[0]
+}
+`)
+	wantRules(t, res.Diags, "taint-mutate")
+	if res.Taint.MutatingFuncs < 2 {
+		t.Fatalf("MutatingFuncs = %d, want scrub and wipe", res.Taint.MutatingFuncs)
+	}
+}
+
+func TestTaintHashWriter(t *testing.T) {
+	res := analyzeSrc(t, `package p
+
+import "crypto/sha256"
+
+func Writer(buf []byte) byte {
+	h := sha256.New()
+	h.Write(buf)
+	buf[0] = 1
+	return buf[2]
+}
+`)
+	wantRules(t, res.Diags, "taint-mutate")
+}
+
+func TestBaselineApply(t *testing.T) {
+	b, err := ParseBaseline("lint.baseline", `# reviewed deviations
+closure-frontier seed/p.step dump path only, reviewed 2026-08
+own-unguarded seed/p.Gone stale entry
+`)
+	if err != nil {
+		t.Fatalf("ParseBaseline: %v", err)
+	}
+	diags := []Diagnostic{
+		{Rule: "closure-frontier", Symbol: "seed/p.step", Pos: positionIn("a.go", 3)},
+		{Rule: "closure-alloc", Symbol: "seed/p.leaf", Pos: positionIn("a.go", 9)},
+	}
+	kept, waived := b.Apply(diags)
+	wantRules(t, kept, "closure-alloc", "baseline-unused")
+	if len(waived) != 1 || waived[0].Rule != "closure-frontier" || waived[0].Count != 1 {
+		t.Fatalf("waived = %+v, want the matched frontier entry", waived)
+	}
+	stale := ruled(kept, "baseline-unused")[0]
+	if stale.Pos.Filename != "lint.baseline" || stale.Pos.Line != 3 {
+		t.Fatalf("baseline-unused at %s:%d, want lint.baseline:3", stale.Pos.Filename, stale.Pos.Line)
+	}
+
+	if _, err := ParseBaseline("b", "closure-alloc onlytwo"); err == nil {
+		t.Fatal("ParseBaseline accepted an unjustified entry")
+	}
+	missing, err := LoadBaseline(filepath.Join(t.TempDir(), "absent"))
+	if err != nil || len(missing.Entries) != 0 {
+		t.Fatalf("LoadBaseline(missing) = %+v, %v; want empty baseline", missing, err)
+	}
+}
+
+func TestBuildReportStableHash(t *testing.T) {
+	src := `package p
+
+var sink []int
+
+//safexplain:hotpath
+func Root() { leaf() }
+
+func leaf() { sink = append(sink, 1) }
+`
+	res := analyzeSrc(t, src)
+	rep := BuildReport(res, res.Diags, nil)
+	if len(rep.Hash) != 64 {
+		t.Fatalf("Hash = %q, want 64 hex chars", rep.Hash)
+	}
+	rep2 := BuildReport(analyzeSrc(t, src), res.Diags, nil)
+	if rep2.Hash != rep.Hash {
+		t.Fatalf("hash not stable: %s vs %s", rep.Hash, rep2.Hash)
+	}
+	if !strings.Contains(rep.EvidenceDetail(), rep.Hash[:12]) {
+		t.Fatalf("EvidenceDetail %q does not carry the hash prefix", rep.EvidenceDetail())
+	}
+	blob, err := rep.JSON()
+	if err != nil || !strings.Contains(string(blob), `"hash"`) {
+		t.Fatalf("JSON: %v\n%s", err, blob)
+	}
+	// Waiving a finding changes the evidence.
+	rep3 := BuildReport(res, nil, []WaivedFinding{{Rule: "closure-alloc", Symbol: "seed/p.leaf", Count: 1}})
+	if rep3.Hash == rep.Hash {
+		t.Fatal("hash ignores the waived set")
+	}
+}
+
+func TestBuildIncluded(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"package p\n", true},
+		{"//go:build ignore\n\npackage p\n", false},
+		{"//go:build linux || !linux\n\npackage p\n", true},
+		{"//go:build go1.18\n\npackage p\n", true},
+		{"//go:build someotheros\n\npackage p\n", false},
+		// A build-style comment after the package clause is not a
+		// constraint.
+		{"package p\n\n//go:build ignore\nvar X int\n", true},
+	}
+	for _, c := range cases {
+		p, err := parseSource("t.go", c.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.src, err)
+		}
+		if got := buildIncluded(p.Files[0]); got != c.want {
+			t.Fatalf("buildIncluded(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+// TestLoadModuleEdgeCases drives LoadModule over a real on-disk module
+// exercising the loader's corner cases: a build-tagged file that must
+// not leak findings, a directory whose files are all excluded, a
+// generics package, and a method-value call site.
+func TestLoadModuleEdgeCases(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tagmod\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+//safexplain:hotpath
+func Ok() {}
+`,
+		"a/ignored.go": `//go:build ignore
+
+package a
+
+var buf []int
+
+//safexplain:hotpath
+func Bad(v int) { buf = append(buf, v) }
+`,
+		"skipped/s.go": `//go:build ignore
+
+package skipped
+`,
+		"g/g.go": `package g
+
+func Apply[T any](x T) T { return x }
+
+type T struct{}
+
+func (T) M() {}
+
+func Use() {
+	_ = Apply(1)
+	_ = Apply("s")
+	f := T{}.M
+	_ = f
+}
+`,
+	}
+	for rel, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := AnalyzeModule(dir, []string{"./..."}, DefaultConfig())
+	if err != nil {
+		t.Fatalf("AnalyzeModule: %v", err)
+	}
+	var paths []string
+	for _, p := range res.Pkgs {
+		paths = append(paths, p.Path)
+	}
+	if len(paths) != 2 || paths[0] != "tagmod/a" || paths[1] != "tagmod/g" {
+		t.Fatalf("packages = %v, want [tagmod/a tagmod/g] (ignored files excluded)", paths)
+	}
+	// The violation lives only in the build-excluded file.
+	wantRules(t, res.Diags)
+	if _, loaded := res.Graph.BySymbol["tagmod/a.Bad"]; loaded {
+		t.Fatal("build-excluded declaration leaked into the call graph")
+	}
+	u := node(t, res.Graph, "tagmod/g.Use")
+	var static, ref int
+	for _, e := range u.Edges {
+		switch e.Kind {
+		case EdgeStatic:
+			static++
+		case EdgeRef:
+			ref++
+		}
+	}
+	if static != 1 || ref != 1 {
+		t.Fatalf("Use edges = %+v, want one normalized generic edge and one method-value ref", u.Edges)
+	}
+}

@@ -15,6 +15,13 @@ import (
 
 // checkWCET walks one annotated function body.
 func (c *checker) checkWCET(fd *ast.FuncDecl, waivers boundWaivers) {
+	c.wcetWalk(fd, waivers, "wcet-unbounded", "")
+}
+
+// wcetWalk is the shared loop-bound walk behind the per-function wcet
+// rule and the closure-unbounded obligation (which appends a provenance
+// note).
+func (c *checker) wcetWalk(fd *ast.FuncDecl, waivers boundWaivers, rule, note string) {
 	name := fd.Name.Name
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch v := n.(type) {
@@ -23,20 +30,20 @@ func (c *checker) checkWCET(fd *ast.FuncDecl, waivers boundWaivers) {
 				return true
 			}
 			if v.Cond == nil {
-				c.report(v.Pos(), "wcet-unbounded", "%s: loop without condition has no static bound", name)
+				c.report(v.Pos(), rule, "%s: loop without condition has no static bound%s", name, note)
 				return true
 			}
 			if !c.boundedCond(v.Cond) {
-				c.report(v.Pos(), "wcet-unbounded",
-					"%s: loop condition is not bounded by a constant or fixed-length array", name)
+				c.report(v.Pos(), rule,
+					"%s: loop condition is not bounded by a constant or fixed-length array%s", name, note)
 			}
 		case *ast.RangeStmt:
 			if c.waived(v.Pos(), waivers, name) {
 				return true
 			}
 			if !c.boundedRange(v.X) {
-				c.report(v.Pos(), "wcet-unbounded",
-					"%s: range over a dynamically sized value has no static bound", name)
+				c.report(v.Pos(), rule,
+					"%s: range over a dynamically sized value has no static bound%s", name, note)
 			}
 		}
 		return true

@@ -127,13 +127,20 @@ func (f *Flight) Total() uint64 {
 	return f.next
 }
 
-// Len returns the number of spans currently held.
+// Len returns the number of spans currently held. Called from the
+// auto-dump tail of the frame loop, so it stays defer-free.
+//
+//safexplain:hotpath
+//safexplain:wcet
 func (f *Flight) Len() int {
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.held()
+	n := f.held()
+	f.mu.Unlock()
+	return n
 }
 
+//safexplain:hotpath
+//safexplain:wcet
 func (f *Flight) held() int {
 	if f.next < uint64(len(f.ring)) {
 		return int(f.next)
@@ -169,8 +176,9 @@ func (f *Flight) Hash() string {
 		buf[12] = byte(s.Stage)
 		binary.LittleEndian.PutUint32(buf[13:], uint32(s.Code))
 		binary.LittleEndian.PutUint64(buf[17:], math.Float64bits(s.Value))
-		h.Write(buf[:])
+		h.Write(buf[:]) //safexplain:dynamic stdlib sha256 digest write, constant-time per block
 	}
+	//safexplain:dynamic stdlib sha256 finalization, fixed cost
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -88,7 +88,10 @@ func (c *Counter) Inc() { c.v.Add(1) }
 //safexplain:wcet
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
-// Value returns the current count.
+// Value returns the current count. Zero-allocation, lock-free.
+//
+//safexplain:hotpath
+//safexplain:wcet
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
 // Name returns the metric name.
@@ -108,7 +111,10 @@ type Gauge struct {
 //safexplain:wcet
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
-// Value returns the stored value.
+// Value returns the stored value. Zero-allocation, lock-free.
+//
+//safexplain:hotpath
+//safexplain:wcet
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Name returns the metric name.

@@ -225,7 +225,7 @@ func (e *Executive) Step(frame int) FrameResult {
 		if e.degraded[i] && t.Degraded != nil {
 			run = t.Degraded
 		}
-		used := run(frame)
+		used := run(frame) //safexplain:dynamic task Run/Degraded functions are fixed at construction and vetted per task
 		res.Used += used
 		if used > t.Budget {
 			e.missBuf[nMiss] = t.Name

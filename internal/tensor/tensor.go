@@ -54,7 +54,11 @@ func FromSlice(data []float32, shape ...int) *Tensor {
 // Shape returns the tensor's dimensions. The caller must not modify it.
 func (t *Tensor) Shape() []int { return t.shape }
 
-// Data returns the backing slice in row-major order.
+// Data returns the backing slice in row-major order. Zero-allocation
+// accessor; inference kernels call it per frame.
+//
+//safexplain:hotpath
+//safexplain:wcet
 func (t *Tensor) Data() []float32 { return t.data }
 
 // Len returns the total number of elements.

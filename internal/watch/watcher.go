@@ -165,15 +165,15 @@ type boundRule struct {
 // read Health/Alerts while the cadence loop ticks.
 type Watcher struct {
 	mu      sync.Mutex
-	cfg     Config
-	layout  *Layout
-	store   *Store
-	rules   []boundRule
-	vals    []float64
-	alerts  []Alert
-	fired   uint64
-	dropped uint64
-	tick    int64
+	cfg     Config      // immutable after New
+	layout  *Layout     // immutable after New
+	store   *Store      //safexplain:guardedby mu
+	rules   []boundRule //safexplain:guardedby mu
+	vals    []float64   //safexplain:guardedby mu
+	alerts  []Alert     //safexplain:guardedby mu
+	fired   uint64      //safexplain:guardedby mu
+	dropped uint64      //safexplain:guardedby mu
+	tick    int64       //safexplain:guardedby mu
 }
 
 // New binds the rules against the layout of the given representative
@@ -247,6 +247,8 @@ func (w *Watcher) Observe(tick int64, snaps []obs.Snapshot) (int, error) {
 }
 
 // evalLocked evaluates every bound rule at tick and handles transitions.
+//
+//safexplain:locked mu
 func (w *Watcher) evalLocked(tick int64) int {
 	fired := 0
 	for i := range w.rules {
@@ -284,6 +286,7 @@ func (w *Watcher) evalLocked(tick int64) int {
 // evalRule computes one rule's observed value and breach state.
 //
 //safexplain:wcet
+//safexplain:locked mu
 func (w *Watcher) evalRule(br *boundRule) (v float64, breach, ok bool) {
 	switch br.rule.Kind {
 	case RuleThreshold:
@@ -305,6 +308,8 @@ func (w *Watcher) evalRule(br *boundRule) (v float64, breach, ok bool) {
 // fireLocked emits one alert transition: evidence-hash it, retain it in
 // the bounded ledger, span it into the flight journal, and hand it to
 // the relay hook. This is the exceptional, allocating path.
+//
+//safexplain:locked mu
 func (w *Watcher) fireLocked(ruleIdx int, br *boundRule, tick int64, v float64, state string) {
 	a := Alert{
 		Origin:    w.cfg.Origin,
@@ -348,6 +353,7 @@ func (w *Watcher) Firing() int {
 	return w.firingLocked()
 }
 
+//safexplain:locked mu
 func (w *Watcher) firingLocked() int {
 	n := 0
 	for i := range w.rules {
@@ -382,4 +388,9 @@ func (w *Watcher) Health() Health {
 // Store exposes the underlying ring store for derivation queries (tests,
 // ad-hoc inspection). The watcher keeps sampling into it; callers get
 // point-in-time reads.
-func (w *Watcher) Store() *Store { return w.store }
+func (w *Watcher) Store() *Store {
+	w.mu.Lock()
+	s := w.store
+	w.mu.Unlock()
+	return s
+}
