@@ -1,4 +1,4 @@
-// Benchmark harness: one benchmark per table (T1–T19) and figure (F1–F3)
+// Benchmark harness: one benchmark per table (T1–T20) and figure (F1–F3)
 // of EXPERIMENTS.md. Each benchmark regenerates its experiment — printing
 // the full table via -v logs — and times a regeneration pass, so
 //
@@ -178,4 +178,12 @@ func BenchmarkT18Watch(b *testing.B) {
 // evidence-integrity-taint passes.
 func BenchmarkT19SafelintV2(b *testing.B) {
 	benchExperiment(b, "T19", "detection_rate", "taint_detection_rate")
+}
+
+// BenchmarkT20Tracing regenerates Table T20: end-to-end distributed
+// tracing — bundle-set determinism under arrival reversal, link loss
+// and reorder, with exact per-tier latency attribution on the shared
+// counter clock.
+func BenchmarkT20Tracing(b *testing.B) {
+	benchExperiment(b, "T20", "fps_clean", "resumes_loss", "attr_err_max_loss")
 }

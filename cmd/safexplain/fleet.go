@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"safexplain/internal/obs"
 	"safexplain/internal/safety"
 	"safexplain/internal/trace"
+	"safexplain/internal/tracequery"
 	"safexplain/internal/watch"
 )
 
@@ -51,6 +53,7 @@ func cmdFleet(args []string, out io.Writer) error {
 	parent := fs.String("parent", "", "tier mode: parent tier-link address to uplink to (unit and region tiers)")
 	link := fs.String("link", "", "tier mode: tier-link listen address for child sessions (region and global tiers)")
 	fault := fs.Bool("fault", false, "tier mode, unit tier: carry the common-mode sensor fault")
+	traced := fs.Bool("trace", false, "tier mode: stamp hop records and reassemble end-to-end traces (wall-derived tick clock; unit tiers also emit v2 spans)")
 	watchRules := fs.String("watch-rules", "", "arm a continuous-health watcher with this declarative rule file")
 	watchEvery := fs.Int("watch-every", 8, "watch cadence: ingest rounds per tick (single-process) or seconds per tick (server tiers)")
 	watchOut := fs.String("watch-out", "", "write the watch alert ledger JSON to this file")
@@ -61,7 +64,7 @@ func cmdFleet(args []string, out io.Writer) error {
 	if *tier != "" {
 		return cmdFleetTier(tierOptions{
 			tier: *tier, id: uint32(*id), parent: *parent, link: *link,
-			listen: *listen, format: *format, fault: *fault,
+			listen: *listen, format: *format, fault: *fault, traced: *traced,
 			caseName: *caseName, pattern: *pattern, seed: *seed,
 			shards: *shards, window: *window, quorum: *quorum,
 			watchRules: *watchRules, watchEvery: *watchEvery, debugAddr: *debugAddr,
@@ -256,7 +259,7 @@ func cmdFleet(args []string, out io.Writer) error {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		fmt.Fprintf(out, "serving fleet scrape endpoint on %s (/metrics, /report, /health, /alerts); interrupt to stop\n", *listen)
-		return serveHTTP(ctx, *listen, newFleetHandler(agg, watcher))
+		return serveHTTP(ctx, *listen, newFleetHandler(agg, watcher, nil))
 	}
 	return nil
 }
@@ -290,6 +293,12 @@ func serveHTTP(ctx context.Context, addr string, handler http.Handler) error {
 type fleetSimConfig struct {
 	units, faulty, frames, inject, duration, intensity, budget int
 	seed                                                       uint64
+
+	// clock, when set, turns on distributed tracing in the simulated
+	// units: each unit's tracer stamps v2 spans (TraceID + begin/duration
+	// ticks from this clock), so the downlink carries traceable records.
+	// v2 spans are 24 B larger on the wire — raise the budget accordingly.
+	clock func() uint64
 }
 
 // simulateFleet runs one FDIR campaign cell per unit against the deployed
@@ -354,7 +363,15 @@ func simulateUnit(sys *safexplain.System, cfg fleetSimConfig, u int, faulty bool
 	}
 	var link *obs.Downlink
 	unitCfg.NewObs = func(fn, pn string) *obs.Obs {
-		o := obs.New(obs.Config{Name: fmt.Sprintf("unit-%d", u)})
+		ocfg := obs.Config{Name: fmt.Sprintf("unit-%d", u)}
+		if cfg.clock != nil {
+			// Tracing on: stamp every frame's spans with TraceID(u, frame)
+			// and ticks from the shared clock. Off by default so untraced
+			// runs stay byte-exact with the v1 wire format.
+			ocfg.Unit = uint32(u)
+			ocfg.Clock = cfg.clock
+		}
+		o := obs.New(ocfg)
 		link = obs.NewDownlink(obs.DownlinkConfig{BytesPerFrame: cfg.budget})
 		o.AttachDownlink(link)
 		return o
@@ -365,13 +382,30 @@ func simulateUnit(sys *safexplain.System, cfg fleetSimConfig, u int, faulty bool
 	return fleet.SplitFrames(link.Capture()), nil
 }
 
+// promContentType and omContentType are the negotiated /metrics media
+// types: Prometheus text exposition by default, OpenMetrics when the
+// scraper's Accept header asks for it (the form Prometheus itself
+// sends when exemplar ingestion is on).
+const (
+	promContentType = "text/plain; version=0.0.4; charset=utf-8"
+	omContentType   = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+// wantsOpenMetrics reports whether the request negotiates the
+// OpenMetrics exposition on its Accept header.
+func wantsOpenMetrics(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text")
+}
+
 // newFleetHandler serves the live fleet state: /metrics in Prometheus
-// text exposition, /report as canonical JSON, /health and /alerts from
-// the armed watcher (w may be nil: /health then answers 404 and /alerts
-// an empty ledger). Each request freezes a fresh report from the
-// aggregator, so a scrape during ingest sees a consistent point-in-time
-// merge.
-func newFleetHandler(agg *fleet.Aggregator, w *watch.Watcher) http.Handler {
+// or OpenMetrics text exposition (Accept-negotiated), /report as
+// canonical JSON, /health and /alerts from the armed watcher (w may be
+// nil: /health then answers 404 and /alerts an empty ledger), /trace
+// the reassembled trace bundles (404 when traces is nil — the untraced
+// single-process simulation). Each request freezes a fresh report from
+// the aggregator, so a scrape during ingest sees a consistent
+// point-in-time merge.
+func newFleetHandler(agg *fleet.Aggregator, w *watch.Watcher, traces *tracequery.Store) http.Handler {
 	mux := http.NewServeMux()
 	addWatchEndpoints(mux, "fleet",
 		func() (watch.Health, bool) {
@@ -386,13 +420,19 @@ func newFleetHandler(agg *fleet.Aggregator, w *watch.Watcher) http.Handler {
 			}
 			return w.Alerts()
 		})
+	addTraceEndpoint(mux, "fleet", traces)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		rep, err := agg.Report()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if wantsOpenMetrics(r) {
+			w.Header().Set("Content-Type", omContentType)
+			fmt.Fprint(w, rep.OpenMetrics())
+			return
+		}
+		w.Header().Set("Content-Type", promContentType)
 		fmt.Fprint(w, rep.Prometheus())
 	})
 	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {

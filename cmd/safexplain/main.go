@@ -26,6 +26,12 @@
 //	watch      tail a running node's continuous-health watch: poll its
 //	           /health and /alerts endpoints and render the status and
 //	           the evidence-hashed alert ledger
+//	trace      run the three-tier aggregation tree in-process on a shared
+//	           deterministic clock, reassemble end-to-end traces at the
+//	           global tier, and query them by id, frame, or slowest-first
+//	           with per-tier latency attribution (the bundle-set hash
+//	           chains into the evidence log); with -addr query a running
+//	           node's /trace endpoint instead
 //
 // Everything is deterministic given -seed; no files are read or written
 // unless a subcommand is given an output path.
@@ -86,13 +92,15 @@ func run(args []string, out io.Writer) error {
 		return cmdFleet(args[1:], out)
 	case "watch":
 		return cmdWatch(args[1:], out)
+	case "trace":
+		return cmdTrace(args[1:], out)
 	default:
 		return fmt.Errorf("%w: unknown subcommand %q", errUsage, args[0])
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: safexplain <lifecycle|explain|infer|timing|evidence|obs|blackbox|fleet|watch> [flags]
+	fmt.Fprintln(os.Stderr, `usage: safexplain <lifecycle|explain|infer|timing|evidence|obs|blackbox|fleet|watch|trace> [flags]
 run "safexplain <subcommand> -h" for flags`)
 }
 

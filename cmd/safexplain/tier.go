@@ -36,6 +36,7 @@ type tierOptions struct {
 	listen   string // HTTP scrape address (region, global)
 	format   string
 	fault    bool
+	traced   bool // stamp hop records / emit v2 spans on this node
 	caseName string
 	pattern  string
 	seed     uint64
@@ -77,6 +78,14 @@ func cmdFleetTier(opt tierOptions, out io.Writer) error {
 		Fleet: fleet.Config{
 			Shards: opt.shards, Window: opt.window, MinUnits: opt.quorum,
 		},
+	}
+	if opt.traced {
+		// Deployed tiers stamp hops off the wall clock (nanosecond ticks);
+		// attribution across tiers is as good as the hosts' clock sync.
+		// Deterministic byte-exact bundles come from the counter clock the
+		// `safexplain trace` local simulation and experiment T20 inject.
+		cfg.Clock = wallClock
+		opt.sim.clock = wallClock
 	}
 	if opt.parent != "" {
 		addr := opt.parent
@@ -280,21 +289,31 @@ func startWatchLoop(ctx context.Context, node *fleetnet.Node, opt tierOptions) (
 }
 
 // newTierHandler serves a tier node's live state: /metrics merges the
-// subtree fleet exposition with the node's link-layer metrics, /report
-// is the canonical subtree JSON (with a degradation header), /links the
+// subtree fleet exposition with the node's link-layer metrics
+// (Prometheus or OpenMetrics text, Accept-negotiated), /report is the
+// canonical subtree JSON (with a degradation header), /links the
 // per-child coverage and staleness detail, /health the armed watcher's
 // summary, /alerts the node ledger (own transitions plus everything
-// relayed from the subtree).
+// relayed from the subtree), /trace the reassembled end-to-end trace
+// bundles (404 unless the node runs with -trace).
 func newTierHandler(n *fleetnet.Node) http.Handler {
 	mux := http.NewServeMux()
 	addWatchEndpoints(mux, n.Name(), n.WatchHealth, n.Alerts)
+	addTraceEndpoint(mux, n.Name(), n.Traces())
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		rep, err := n.Fleet().Report()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if wantsOpenMetrics(r) {
+			w.Header().Set("Content-Type", omContentType)
+			fmt.Fprint(w, rep.OpenMetricsBody())
+			fmt.Fprint(w, n.Registry().Snapshot().OpenMetricsBody())
+			fmt.Fprint(w, "# EOF\n")
+			return
+		}
+		w.Header().Set("Content-Type", promContentType)
 		fmt.Fprint(w, rep.Prometheus())
 		fmt.Fprint(w, n.Registry().Snapshot().Prometheus())
 	})

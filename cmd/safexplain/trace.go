@@ -1,0 +1,361 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"safexplain/internal/fleet"
+	"safexplain/internal/fleetnet"
+	"safexplain/internal/obs"
+	"safexplain/internal/trace"
+	"safexplain/internal/tracequery"
+)
+
+// `safexplain trace` is the distributed-tracing workflow: run the
+// three-tier aggregation tree (unit → region → global) in one process
+// over deterministic pipes with a shared counter clock, reassemble the
+// end-to-end trace bundles at the global tier, and query them — by
+// trace id, by frame, or slowest-first. The bundle-set hash chains into
+// the evidence log, so a trace export is a first-class evidence
+// artifact like the fleet report. With -addr the same queries hit a
+// running node's /trace endpoint instead of simulating.
+
+// wallClock is the tick source deployed tiers stamp hops with:
+// nanoseconds since the Unix epoch. Cross-tier attribution under it is
+// as good as the hosts' clock sync; the deterministic experiments
+// inject a counter clock instead.
+func wallClock() uint64 { return uint64(time.Now().UnixNano()) }
+
+// traceEnvelope is the /trace response and -format json shape: which
+// node answered, the bundles the query selected, and the set hash over
+// exactly those bundles.
+type traceEnvelope struct {
+	Origin  string              `json:"origin"`
+	Bundles []tracequery.Bundle `json:"bundles"`
+	SetHash string              `json:"set_hash"`
+}
+
+// traceBundlesJSON renders the canonical trace export envelope.
+func traceBundlesJSON(origin string, bundles []tracequery.Bundle) ([]byte, error) {
+	if bundles == nil {
+		bundles = []tracequery.Bundle{}
+	}
+	return json.MarshalIndent(traceEnvelope{
+		Origin: origin, Bundles: bundles, SetHash: tracequery.SetHash(bundles),
+	}, "", "  ")
+}
+
+// addTraceEndpoint registers /trace on mux: the node's reassembled
+// bundles as a traceEnvelope, filtered by the id, frame or slowest
+// query parameter (all bundles when none is given). Nodes running
+// without tracing answer 404 — the endpoint is always registered so
+// the error is explicit rather than a mux miss.
+func addTraceEndpoint(mux *http.ServeMux, origin string, st *tracequery.Store) {
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if st == nil {
+			http.Error(w, "tracing not enabled on this node (run with -trace)", http.StatusNotFound)
+			return
+		}
+		q := r.URL.Query()
+		var bundles []tracequery.Bundle
+		switch {
+		case q.Get("id") != "":
+			id, err := obs.ParseTraceID(q.Get("id"))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if b, ok := st.Bundle(id); ok {
+				bundles = []tracequery.Bundle{b}
+			}
+		case q.Get("frame") != "":
+			f, err := strconv.Atoi(q.Get("frame"))
+			if err != nil {
+				http.Error(w, "frame must be an integer", http.StatusBadRequest)
+				return
+			}
+			bundles = st.ByFrame(int32(f))
+		case q.Get("slowest") != "":
+			n, err := strconv.Atoi(q.Get("slowest"))
+			if err != nil || n <= 0 {
+				http.Error(w, "slowest must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			bundles = st.Slowest(n)
+		default:
+			bundles = st.Bundles()
+		}
+		blob, err := traceBundlesJSON(origin, bundles)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(blob)
+	})
+}
+
+// cmdTrace runs the end-to-end tracing workflow.
+func cmdTrace(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	caseName, pattern, seed := buildFlags(fs)
+	units := fs.Int("units", 3, "fleet size (units numbered 1..N)")
+	faulty := fs.Int("faulty", 1, "units carrying the common-mode fault")
+	frames := fs.Int("frames", 120, "frames each unit operates")
+	inject := fs.Int("inject", 40, "earliest injection frame (staggered +3 per faulty unit)")
+	duration := fs.Int("duration", 25, "fault duration in frames")
+	intensity := fs.Int("intensity", 200, "corrupted pixels per faulty frame")
+	// v2 span records carry 24 extra bytes each, so the traced default
+	// budget is higher than the untraced fleet default of 320.
+	budget := fs.Int("budget", 384, "downlink budget in bytes per frame")
+	id := fs.String("id", "", "query one trace by id (16-hex-digit form or 0x…)")
+	frame := fs.Int("frame", -1, "query every unit's trace for this frame index")
+	slowest := fs.Int("slowest", 0, "query the N slowest traces by unit-local root duration")
+	format := fs.String("format", "table", "output format: table|json")
+	outPath := fs.String("out", "", "also write the JSON trace export to this file")
+	addr := fs.String("addr", "", "query a running node's /trace endpoint (host:port) instead of simulating")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "table" && *format != "json" {
+		return fmt.Errorf("unknown format %q (table|json)", *format)
+	}
+	if *addr != "" {
+		return traceRemote(*addr, *id, *frame, *slowest, *format, *outPath, out)
+	}
+	if *units <= 0 || *faulty < 0 || *faulty > *units {
+		return fmt.Errorf("invalid fleet shape: %d units, %d faulty", *units, *faulty)
+	}
+	if *inject < 0 || *inject+3**units >= *frames {
+		return fmt.Errorf("inject frame %d (+3 per unit) outside run of %d frames", *inject, *frames)
+	}
+
+	sys, err := build(*caseName, *pattern, *seed)
+	if err != nil {
+		return err
+	}
+
+	// One shared counter clock across the unit tracers and every fleet
+	// node: attribution is exact and the reassembled bundles are
+	// byte-identical run to run (experiment T20 proves both).
+	clock := obs.NewCounterClock()
+	traceCap := *units**frames + 8
+	global := fleetnet.NewNode(fleetnet.NodeConfig{
+		ID: 200, Tier: fleetnet.TierGlobal, Clock: clock, TraceCap: traceCap,
+		Fleet: fleet.Config{Shards: 2, Window: 16, MinUnits: *faulty},
+	})
+	region := fleetnet.NewNode(fleetnet.NodeConfig{
+		ID: 100, Tier: fleetnet.TierRegion, Clock: clock, TraceCap: traceCap,
+		Dial:  pipeDial(global),
+		Fleet: fleet.Config{Shards: 2, Window: 16, MinUnits: *faulty},
+	})
+	unitNodes := make([]*fleetnet.Node, 0, *units)
+	// Units are numbered 1..N so the uplink unit id matches the tracer's
+	// Config.Unit — the hop records and the spans then agree on the
+	// TraceID and the bundle reassembles as one trace.
+	for u := 1; u <= *units; u++ {
+		unitNodes = append(unitNodes, fleetnet.NewNode(fleetnet.NodeConfig{
+			ID: uint32(u), Tier: fleetnet.TierUnit, Clock: clock, TraceCap: traceCap,
+			Dial:  pipeDial(region),
+			Fleet: fleet.Config{Shards: 1, Window: 16, MinUnits: 1},
+		}))
+	}
+
+	simCfg := fleetSimConfig{
+		units: *units, faulty: *faulty, frames: *frames, inject: *inject,
+		duration: *duration, intensity: *intensity, budget: *budget, seed: *seed,
+		clock: clock,
+	}
+	// Simulate every unit before submitting anything: the span ticks are
+	// then a pure function of the sequential simulation order, while the
+	// fleet nodes' hop stamps — which interleave with relay scheduling —
+	// ride outside the bundle core hash. That split is what makes the
+	// bundle set byte-identical run to run.
+	unitChunks := make([][][]byte, *units)
+	for u := 1; u <= *units; u++ {
+		chunks, err := simulateUnit(sys, simCfg, u, u <= *faulty)
+		if err != nil {
+			return err
+		}
+		unitChunks[u-1] = chunks
+	}
+	for i, node := range unitNodes {
+		for _, c := range unitChunks[i] {
+			node.Submit(fleet.UnitID(i+1), c)
+		}
+	}
+	// Drain bottom-up: every unit's backlog through the region, then the
+	// region's through the global root, so the global store holds the
+	// complete hop chains before we query it.
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, node := range unitNodes {
+		if err := node.Drain(drainCtx); err != nil {
+			return fmt.Errorf("unit uplink drain: %w", err)
+		}
+		node.Close(drainCtx)
+	}
+	if err := region.Drain(drainCtx); err != nil {
+		return fmt.Errorf("region uplink drain: %w", err)
+	}
+	region.Close(drainCtx)
+	defer global.Close(drainCtx)
+
+	st := global.Traces()
+	all := st.Bundles()
+	bundles, err := selectBundles(st, *id, *frame, *slowest)
+	if err != nil {
+		return err
+	}
+
+	// Chain the trace evidence: the set hash over every reassembled
+	// bundle is the scalar that later verifies a trace export.
+	setHash := tracequery.SetHash(all)
+	sys.Log.Append(trace.KindFleet, "fleet:trace",
+		fmt.Sprintf("global tier reassembled %d traces from %d units over %d frames, bundle-set sha256 %.12s…",
+			len(all), *units, *frames, setHash))
+
+	origin := global.Name()
+	if *format == "json" {
+		blob, err := traceBundlesJSON(origin, bundles)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s\n", blob)
+	} else {
+		fmt.Fprintf(out, "trace: %d bundles reassembled at %s (%d units, %d frames), %d selected\n",
+			len(all), origin, *units, *frames, len(bundles))
+		printTraceTable(out, bundles)
+		fmt.Fprintf(out, "\nbundle-set sha256: %s\nevidence chain valid: %v\n", setHash, sys.Log.Verify() == nil)
+	}
+	if *outPath != "" {
+		blob, err := traceBundlesJSON(origin, bundles)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote trace export to %s\n", *outPath)
+	}
+	return nil
+}
+
+// pipeDial connects an uplink to a parent node over an in-process pipe
+// — the deterministic local topology `safexplain trace` simulates on.
+func pipeDial(parent *fleetnet.Node) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		c, s := net.Pipe()
+		parent.ServeConn(s)
+		return c, nil
+	}
+}
+
+// selectBundles applies the query flags to a store: one id, one frame,
+// the N slowest, or everything.
+func selectBundles(st *tracequery.Store, id string, frame, slowest int) ([]tracequery.Bundle, error) {
+	switch {
+	case id != "":
+		tid, err := obs.ParseTraceID(id)
+		if err != nil {
+			return nil, err
+		}
+		b, ok := st.Bundle(tid)
+		if !ok {
+			return nil, fmt.Errorf("trace %s not held (evicted, lost, or never emitted)", obs.FormatTraceID(tid))
+		}
+		return []tracequery.Bundle{b}, nil
+	case frame >= 0:
+		return st.ByFrame(int32(frame)), nil
+	case slowest > 0:
+		return st.Slowest(slowest), nil
+	default:
+		return st.Bundles(), nil
+	}
+}
+
+// printTraceTable renders bundles for humans: identity, unit-local
+// duration, reassembly shape, and the per-tier latency split.
+func printTraceTable(out io.Writer, bundles []tracequery.Bundle) {
+	fmt.Fprintf(out, "  %-16s %5s %6s %10s %5s %4s  %s\n",
+		"trace-id", "unit", "frame", "root-ticks", "spans", "hops", "attribution")
+	for _, b := range bundles {
+		fmt.Fprintf(out, "  %-16s %5d %6d %10d %5d %4d  %s\n",
+			b.ID, b.Unit, b.Frame, b.RootDur(), len(b.Spans), len(b.Hops), formatAttribution(b.Attribution))
+	}
+}
+
+// formatAttribution renders the latency split on one line, path order.
+func formatAttribution(att []tracequery.TierLatency) string {
+	if len(att) == 0 {
+		return "-"
+	}
+	parts := make([]string, 0, len(att))
+	for _, a := range att {
+		switch a.Kind {
+		case "unit":
+			parts = append(parts, fmt.Sprintf("unit=%d", a.Ticks))
+		case "link":
+			parts = append(parts, fmt.Sprintf("link→%s=%d", a.Tier, a.Ticks))
+		default:
+			parts = append(parts, fmt.Sprintf("%s-hold=%d", a.Tier, a.Ticks))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// traceRemote queries a running node's /trace endpoint and renders the
+// envelope it returns.
+func traceRemote(addr, id string, frame, slowest int, format, outPath string, out io.Writer) error {
+	q := url.Values{}
+	switch {
+	case id != "":
+		q.Set("id", id)
+	case frame >= 0:
+		q.Set("frame", strconv.Itoa(frame))
+	case slowest > 0:
+		q.Set("slowest", strconv.Itoa(slowest))
+	}
+	u := url.URL{Scheme: "http", Host: addr, Path: "/trace", RawQuery: q.Encode()}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(u.String())
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s: %s", u.String(), resp.Status, strings.TrimSpace(string(body)))
+	}
+	var env traceEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return fmt.Errorf("decoding /trace response: %w", err)
+	}
+	if format == "json" {
+		fmt.Fprintf(out, "%s\n", body)
+	} else {
+		fmt.Fprintf(out, "trace: %d bundles from %s\n", len(env.Bundles), env.Origin)
+		printTraceTable(out, env.Bundles)
+		fmt.Fprintf(out, "\nbundle-set sha256: %s\n", env.SetHash)
+	}
+	if outPath != "" {
+		if err := os.WriteFile(outPath, body, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote trace export to %s\n", outPath)
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"safexplain/internal/fleet"
+	"safexplain/internal/fleetnet"
+	"safexplain/internal/obs"
+	"safexplain/internal/tracequery"
+)
+
+// traceArgs is a small, fast trace-simulation invocation shared by the
+// CLI tests: 2 units over 40 frames keeps the run under a second.
+func traceArgs(extra ...string) []string {
+	return append([]string{
+		"trace", "-case", "railway", "-seed", "42",
+		"-units", "2", "-frames", "40", "-inject", "10",
+	}, extra...)
+}
+
+// TestTraceCLIDeterministic pins the headline property: reassembled
+// bundle cores — and therefore every bundle hash and the set hash —
+// are identical run to run. Hop stamps ride outside the core (their
+// ticks depend on relay scheduling), which is exactly why CoreHash
+// excludes them; the comparison here is over what the evidence chain
+// covers.
+func TestTraceCLIDeterministic(t *testing.T) {
+	export := func() traceEnvelope {
+		var out bytes.Buffer
+		if err := run(traceArgs("-format", "json"), &out); err != nil {
+			t.Fatalf("trace run: %v", err)
+		}
+		var env traceEnvelope
+		if err := json.Unmarshal(out.Bytes(), &env); err != nil {
+			t.Fatalf("json output: %v", err)
+		}
+		return env
+	}
+	a, b := export(), export()
+	if a.SetHash != b.SetHash {
+		t.Fatalf("bundle-set hash not deterministic: %s vs %s", a.SetHash, b.SetHash)
+	}
+	if len(a.Bundles) != len(b.Bundles) || len(a.Bundles) != 2*40 {
+		t.Fatalf("bundles = %d and %d, want 80 (2 units × 40 frames)", len(a.Bundles), len(b.Bundles))
+	}
+	for i := range a.Bundles {
+		if a.Bundles[i].Hash != b.Bundles[i].Hash {
+			t.Fatalf("bundle %s core hash differs across runs", a.Bundles[i].ID)
+		}
+	}
+
+	// The human-facing run chains the export into the evidence log.
+	var tbl bytes.Buffer
+	if err := run(traceArgs("-slowest", "5"), &tbl); err != nil {
+		t.Fatalf("table run: %v", err)
+	}
+	if !strings.Contains(tbl.String(), "bundle-set sha256: "+a.SetHash) {
+		t.Fatalf("table output set hash does not match the JSON export:\n%s", tbl.String())
+	}
+	if !strings.Contains(tbl.String(), "evidence chain valid: true") {
+		t.Fatalf("trace export did not chain into a valid evidence log:\n%s", tbl.String())
+	}
+}
+
+// TestTraceCLIQueryByID resolves one known TraceID — the linkage a
+// watch alert's exemplar relies on — and checks the JSON export shape.
+func TestTraceCLIQueryByID(t *testing.T) {
+	id := obs.TraceID(1, 5)
+	var out bytes.Buffer
+	if err := run(traceArgs("-id", obs.FormatTraceID(id), "-format", "json"), &out); err != nil {
+		t.Fatalf("trace -id: %v", err)
+	}
+	var env traceEnvelope
+	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
+		t.Fatalf("json output: %v\n%s", err, out.String())
+	}
+	if len(env.Bundles) != 1 {
+		t.Fatalf("bundles = %d, want exactly the queried trace", len(env.Bundles))
+	}
+	b := env.Bundles[0]
+	if b.ID != obs.FormatTraceID(id) || b.Unit != 1 || b.Frame != 5 {
+		t.Fatalf("bundle identity = %s unit %d frame %d, want %s/1/5", b.ID, b.Unit, b.Frame, obs.FormatTraceID(id))
+	}
+	if len(b.Spans) == 0 || b.RootDur() == 0 || len(b.Hops) != 3 {
+		t.Fatalf("bundle not fully reassembled: %d spans, root %d, %d hops", len(b.Spans), b.RootDur(), len(b.Hops))
+	}
+	if env.SetHash != tracequery.SetHash(env.Bundles) {
+		t.Fatal("envelope set hash does not cover the selected bundles")
+	}
+}
+
+func TestTraceCLIBadArguments(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		traceArgs("-format", "xml"),
+		traceArgs("-id", "zz"),
+		{"trace", "-case", "railway", "-seed", "42", "-units", "0"},
+		{"trace", "-case", "railway", "-seed", "42", "-units", "2", "-faulty", "3"},
+		{"trace", "-case", "railway", "-seed", "42", "-units", "2", "-frames", "20", "-inject", "15"},
+		{"trace", "-case", "maritime"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}
+
+// TestHandlerContentTypes walks every endpoint both fleet-facing
+// handlers register and checks each response declares a Content-Type —
+// the scrape-hygiene satellite: no endpoint may leave the type to
+// sniffing.
+func TestHandlerContentTypes(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	traced := fleetnet.NewNode(fleetnet.NodeConfig{
+		ID: 1, Tier: fleetnet.TierGlobal, Clock: obs.NewCounterClock(),
+		Fleet: fleet.Config{Shards: 1},
+	})
+	defer traced.Close(ctx)
+	untraced := fleetnet.NewNode(fleetnet.NodeConfig{
+		ID: 2, Tier: fleetnet.TierGlobal,
+		Fleet: fleet.Config{Shards: 1},
+	})
+	defer untraced.Close(ctx)
+
+	handlers := []struct {
+		name      string
+		h         http.Handler
+		endpoints []string
+	}{
+		{"fleet", newFleetHandler(fleet.New(fleet.Config{Shards: 1}), nil, tracequery.NewStore(4)),
+			[]string{"/metrics", "/report", "/health", "/alerts", "/trace"}},
+		{"tier traced", newTierHandler(traced),
+			[]string{"/metrics", "/report", "/links", "/health", "/alerts", "/trace"}},
+		{"tier untraced", newTierHandler(untraced),
+			[]string{"/metrics", "/report", "/links", "/health", "/alerts", "/trace"}},
+	}
+	for _, hc := range handlers {
+		srv := httptest.NewServer(hc.h)
+		for _, ep := range hc.endpoints {
+			for _, accept := range []string{"", omContentType} {
+				req, _ := http.NewRequest("GET", srv.URL+ep, nil)
+				if accept != "" {
+					req.Header.Set("Accept", accept)
+				}
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Fatalf("%s %s: %v", hc.name, ep, err)
+				}
+				resp.Body.Close()
+				ct := resp.Header.Get("Content-Type")
+				if ct == "" {
+					t.Errorf("%s %s (accept %q): no Content-Type declared", hc.name, ep, accept)
+				}
+				// Specific negotiated types on the scrape endpoint.
+				if ep == "/metrics" && resp.StatusCode == http.StatusOK {
+					want := promContentType
+					if accept != "" {
+						want = omContentType
+					}
+					if ct != want {
+						t.Errorf("%s /metrics (accept %q): Content-Type %q, want %q", hc.name, accept, ct, want)
+					}
+				}
+			}
+		}
+		srv.Close()
+	}
+}
+
+// TestTraceEndpoint drives /trace directly: the enabled node answers
+// JSON envelopes under every query form, the disabled node an explicit
+// 404, and bad queries 400.
+func TestTraceEndpoint(t *testing.T) {
+	st := tracequery.NewStore(8)
+	for f := int32(1); f <= 3; f++ {
+		st.AddSpan(obs.TraceSpan{Frame: f, ID: obs.TraceID(4, f), Begin: 1, Dur: uint64(f)})
+	}
+	mux := http.NewServeMux()
+	addTraceEndpoint(mux, "test-node", st)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(query string) (int, traceEnvelope) {
+		resp, err := http.Get(srv.URL + "/trace" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var env traceEnvelope
+		if resp.StatusCode == http.StatusOK {
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("/trace%s Content-Type %q", query, ct)
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+				t.Fatalf("/trace%s: %v", query, err)
+			}
+		}
+		return resp.StatusCode, env
+	}
+
+	if code, env := get(""); code != http.StatusOK || len(env.Bundles) != 3 || env.Origin != "test-node" {
+		t.Fatalf("all-bundles query: code %d, %d bundles, origin %q", code, len(env.Bundles), env.Origin)
+	}
+	if code, env := get("?id=" + obs.FormatTraceID(obs.TraceID(4, 2))); code != http.StatusOK || len(env.Bundles) != 1 {
+		t.Fatalf("id query: code %d, %d bundles", code, len(env.Bundles))
+	}
+	if code, env := get("?frame=3"); code != http.StatusOK || len(env.Bundles) != 1 || env.Bundles[0].Frame != 3 {
+		t.Fatalf("frame query: code %d, bundles %+v", code, env.Bundles)
+	}
+	if code, env := get("?slowest=2"); code != http.StatusOK || len(env.Bundles) != 2 || env.Bundles[0].RootDur() != 3 {
+		t.Fatalf("slowest query: code %d, bundles %+v", code, env.Bundles)
+	}
+	for _, bad := range []string{"?id=zz", "?frame=x", "?slowest=0"} {
+		if code, _ := get(bad); code != http.StatusBadRequest {
+			t.Errorf("/trace%s: code %d, want 400", bad, code)
+		}
+	}
+
+	// Disabled store: explicit 404, not a mux miss.
+	off := http.NewServeMux()
+	addTraceEndpoint(off, "off-node", nil)
+	offSrv := httptest.NewServer(off)
+	defer offSrv.Close()
+	resp, err := http.Get(offSrv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("untraced /trace: code %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestTraceRemote checks -addr mode end to end against a live /trace
+// endpoint.
+func TestTraceRemote(t *testing.T) {
+	st := tracequery.NewStore(8)
+	st.AddSpan(obs.TraceSpan{Frame: 9, ID: obs.TraceID(3, 9), Begin: 1, Dur: 7})
+	mux := http.NewServeMux()
+	addTraceEndpoint(mux, "remote-node", st)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	var out bytes.Buffer
+	if err := run([]string{"trace", "-addr", addr, "-slowest", "1"}, &out); err != nil {
+		t.Fatalf("trace -addr: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "remote-node") || !strings.Contains(got, obs.FormatTraceID(obs.TraceID(3, 9))) {
+		t.Fatalf("remote table output missing origin or trace id:\n%s", got)
+	}
+
+	// A remote without tracing surfaces the 404 as a CLI error.
+	off := http.NewServeMux()
+	addTraceEndpoint(off, "off", nil)
+	offSrv := httptest.NewServer(off)
+	defer offSrv.Close()
+	if err := run([]string{"trace", "-addr", strings.TrimPrefix(offSrv.URL, "http://")}, &out); err == nil {
+		t.Fatal("remote 404 did not surface as an error")
+	}
+}

@@ -6,7 +6,7 @@ import (
 )
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"F1", "F2", "F3", "T1", "T10", "T11", "T12", "T13", "T14", "T15", "T16", "T17", "T18", "T19", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9"}
+	want := []string{"F1", "F2", "F3", "T1", "T10", "T11", "T12", "T13", "T14", "T15", "T16", "T17", "T18", "T19", "T2", "T20", "T3", "T4", "T5", "T6", "T7", "T8", "T9"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)
@@ -334,6 +334,42 @@ func TestT19SafelintV2(t *testing.T) {
 	// tautological 100%.
 	if r.Metrics["detection_rate"] >= 1 {
 		t.Fatal("T19 shape: overall detection claims 100% despite documented miss classes")
+	}
+}
+
+func TestT20Tracing(t *testing.T) {
+	r := requireResult(t, "T20", "identical")
+	// The reassembly-determinism claim: the bundle-set hash must survive
+	// fully reversed arrival and every transport sweep point.
+	if r.Metrics["reassembly_reversed_identical"] != 1 {
+		t.Fatal("T20 shape: reversed arrival moved the bundle-set hash")
+	}
+	expected := r.Metrics["traces_expected"]
+	if expected <= 0 {
+		t.Fatalf("T20 shape: no traces reassembled in the reference: %v", r.Metrics)
+	}
+	for _, mode := range []string{"clean", "loss", "reorder"} {
+		if r.Metrics["set_identical_"+mode] != 1 {
+			t.Fatalf("T20 shape: %s sweep diverged from the reference bundle set", mode)
+		}
+		if r.Metrics["traces_"+mode] != expected {
+			t.Fatalf("T20 shape: %s reassembled %v traces, want %v",
+				mode, r.Metrics["traces_"+mode], expected)
+		}
+		// The attribution-exactness claim: every clockable bundle's
+		// slices sum to exactly the end-to-end tick span.
+		if r.Metrics["attr_err_max_"+mode] != 0 {
+			t.Fatalf("T20 shape: %s attribution error %v ticks, want exact",
+				mode, r.Metrics["attr_err_max_"+mode])
+		}
+		if r.Metrics["clockable_"+mode] <= 0 {
+			t.Fatalf("T20 shape: %s sweep attributed no bundle end to end", mode)
+		}
+	}
+	// The loss sweep must actually exercise resume replays — otherwise
+	// the invariance claim is vacuous.
+	if r.Metrics["resumes_loss"] <= 0 {
+		t.Fatal("T20 shape: loss sweep consumed no resumes")
 	}
 }
 

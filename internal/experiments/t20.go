@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"safexplain/internal/data"
+	"safexplain/internal/fdir"
+	"safexplain/internal/fleet"
+	"safexplain/internal/fleetnet"
+	"safexplain/internal/nn"
+	"safexplain/internal/obs"
+	"safexplain/internal/safety"
+	"safexplain/internal/tensor"
+	"safexplain/internal/tracequery"
+)
+
+func init() { registry["T20"] = runT20 }
+
+// T20 — end-to-end distributed tracing: four simplex-under-FDIR units
+// (two carrying the staggered common-mode fault) run with tracing on —
+// a shared injected counter clock stamps every frame's v2 spans with
+// deterministic TraceIDs, and the captured downlinks travel a real
+// unit → region → global tier tree that stamps per-hop sidecar records.
+// The global root reassembles one bundle per (unit, frame): the span
+// tree, the hop chain, and the per-tier latency attribution.
+//
+// Two claims are measured, both exact:
+//
+//   - Reassembly determinism. The bundle-set hash (SHA-256 over each
+//     bundle's canonical span core, chained sorted) must be identical
+//     across in-order reassembly, fully reversed arrival, and transport
+//     sweeps with injected link loss (CutDial severings forcing resume
+//     replays) and send-window reordering — hop stamps depend on relay
+//     scheduling and deliberately ride outside the hashed core.
+//
+//   - Attribution exactness. Under the shared counter clock, a fully
+//     clockable bundle's attributed slices (unit compute, link transit
+//     and per-node aggregation holds) must sum to exactly the tick span
+//     from the root span's begin to the terminal hop's ingest: zero
+//     attribution error, for every trace, at every sweep point.
+func runT20() Result {
+	const seed = 110_000
+	const frames = 120
+	const nUnits = 4
+	const faulty = 2
+	f := getFixture("railway")
+
+	conservative := safety.FuncChannel{ID: "conservative",
+		F: func(*tensor.Tensor) int { return data.RailObstacle }}
+	pattern := fdir.PatternSpec{
+		Name: "simplex", Build: func(live *nn.Network, p fdir.Probe) safety.Pattern {
+			return safety.Simplex{Primary: fdir.ChannelOverProbe("primary", p),
+				Net: live, Mon: f.mon, Fallback: conservative}
+		},
+	}
+
+	// One shared counter clock across every unit tracer and every fleet
+	// node: span ticks are a pure function of the sequential simulation
+	// below, so the reassembled cores are byte-stable run to run.
+	clock := obs.NewCounterClock()
+	unitChunks := make([][][]byte, nUnits)
+	for u := 0; u < nUnits; u++ {
+		cfg := fdir.CampaignConfig{
+			Stream:   f.test,
+			Frames:   frames,
+			InjectAt: 40,
+			Seed:     seed,
+			Health: fdir.HealthConfig{
+				QuarantineAfter: 3, ClearAfter: 8, ReprobeAfter: 4, ProbationFrames: 15,
+			},
+			MaxRestores: 4,
+			NewNet:      func() (*nn.Network, error) { return f.net.Clone("t20-live") },
+			NewFallback: func() safety.Channel { return conservative },
+			NewOutputGuard: func() *fdir.OutputGuard {
+				return fdir.CalibrateOutputGuard(fdir.NetProbe{Net: f.net}, f.train, 4, 6, 0)
+			},
+			NewInputGuard: func() *fdir.InputGuard { return fdir.CalibrateInputGuard(f.train, 0.75) },
+		}
+		fault := fdir.FaultSpec{Name: "clean", Kind: fdir.FaultSensor, Intensity: 0, Duration: 1}
+		if u < faulty {
+			cfg.InjectAt = 40 + u*3
+			fault = fdir.FaultSpec{Name: "sensor-200", Kind: fdir.FaultSensor,
+				Intensity: 200, Duration: 25}
+		}
+		var link *obs.Downlink
+		unit := uint32(u + 1)
+		cfg.NewObs = func(fn, pn string) *obs.Obs {
+			// Unit id + clock turn on v2 span stamping; the higher budget
+			// carries the 24 extra bytes per span record.
+			o := obs.New(obs.Config{Name: fmt.Sprintf("unit-%d", unit), Unit: unit, Clock: clock})
+			link = obs.NewDownlink(obs.DownlinkConfig{BytesPerFrame: 384})
+			o.AttachDownlink(link)
+			return o
+		}
+		if _, err := fdir.RunUnitCell(cfg, pattern, fault, u); err != nil {
+			panic(fmt.Sprintf("t20: unit %d: %v", u, err))
+		}
+		unitChunks[u] = fleet.SplitFrames(link.Capture())
+	}
+	totalFrames := 0
+	for u := range unitChunks {
+		totalFrames += len(unitChunks[u])
+	}
+
+	// Reference reassembly, straight from the captured payloads — and the
+	// same payloads fed fully reversed, which must not move the set hash.
+	ingestAll := func(reversed bool) *tracequery.Store {
+		st := tracequery.NewStore(nUnits*frames + 8)
+		for u := range unitChunks {
+			chunks := unitChunks[u]
+			for i := range chunks {
+				c := chunks[i]
+				if reversed {
+					c = chunks[len(chunks)-1-i]
+				}
+				if err := st.IngestFrame(c); err != nil {
+					panic(fmt.Sprintf("t20: reference ingest: %v", err))
+				}
+			}
+		}
+		return st
+	}
+	refBundles := ingestAll(false).Bundles()
+	refSetHash := tracequery.SetHash(refBundles)
+	reversedOK := tracequery.SetHash(ingestAll(true).Bundles()) == refSetHash
+
+	dialTo := func(parent *fleetnet.Node) func() (net.Conn, error) {
+		return func() (net.Conn, error) {
+			c, s := net.Pipe()
+			parent.ServeConn(s)
+			return c, nil
+		}
+	}
+	link := func(cfg fleetnet.NodeConfig) fleetnet.NodeConfig {
+		cfg.BackoffBase = time.Millisecond
+		cfg.BackoffMax = 25 * time.Millisecond
+		cfg.IOTimeout = 500 * time.Millisecond
+		cfg.Clock = clock
+		cfg.TraceCap = nUnits*frames + 8
+		return cfg
+	}
+
+	// runPoint replays the traced fleet through a two-region tier tree
+	// under one transport fault mode and audits the global trace store.
+	type point struct {
+		fps       float64
+		traces    int
+		setMatch  bool
+		clockable int     // bundles whose full hop chain is attributable
+		errMax    float64 // max |attributed sum - end-to-end ticks|, clockable bundles
+		resumes   uint64
+		hopDrops  uint64
+	}
+	runPoint := func(mode string) point {
+		global := fleetnet.NewNode(link(fleetnet.NodeConfig{
+			ID: 1000, Tier: fleetnet.TierGlobal,
+			Fleet: fleet.Config{Shards: 2, MinUnits: faulty},
+		}))
+		regionNodes := make([]*fleetnet.Node, 2)
+		for r := range regionNodes {
+			cfg := link(fleetnet.NodeConfig{
+				ID: uint32(100 + r), Tier: fleetnet.TierRegion,
+				Fleet: fleet.Config{Shards: 1, MinUnits: faulty},
+			})
+			dial := dialTo(global)
+			switch mode {
+			case "loss":
+				dial = fleetnet.CutDial(dial, 1500+977*r, 4200+1327*r)
+			case "reorder":
+				cfg.ScrambleWindow, cfg.ScrambleSeed = 8, uint64(2000+r)
+			}
+			cfg.Dial = dial
+			regionNodes[r] = fleetnet.NewNode(cfg)
+		}
+		unitNodes := make([]*fleetnet.Node, nUnits)
+		for u := range unitNodes {
+			cfg := link(fleetnet.NodeConfig{ID: uint32(u + 1), Tier: fleetnet.TierUnit})
+			dial := dialTo(regionNodes[u%len(regionNodes)])
+			switch mode {
+			case "loss":
+				dial = fleetnet.CutDial(dial, 700+211*u, 1900+389*u, 4400+607*u)
+			case "reorder":
+				cfg.ScrambleWindow, cfg.ScrambleSeed = 8, uint64(1000+u)
+			}
+			cfg.Dial = dial
+			unitNodes[u] = fleetnet.NewNode(cfg)
+		}
+
+		var pt point
+		start := time.Now()
+		for u := range unitChunks {
+			for _, c := range unitChunks[u] {
+				unitNodes[u].Submit(fleet.UnitID(u+1), c)
+			}
+		}
+		drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		for _, n := range unitNodes {
+			if err := n.Drain(drainCtx); err != nil {
+				panic(fmt.Sprintf("t20: %s: unit drain: %v", mode, err))
+			}
+			n.Close(drainCtx)
+		}
+		for _, n := range regionNodes {
+			if err := n.Drain(drainCtx); err != nil {
+				panic(fmt.Sprintf("t20: %s: region drain: %v", mode, err))
+			}
+			n.Close(drainCtx)
+		}
+		pt.fps = float64(totalFrames) / time.Since(start).Seconds()
+		for _, n := range unitNodes {
+			if st, ok := n.UplinkStatus(); ok {
+				pt.resumes += st.Resumes
+			}
+		}
+		for _, n := range regionNodes {
+			if st, ok := n.UplinkStatus(); ok {
+				pt.resumes += st.Resumes
+			}
+		}
+
+		bundles := global.Traces().Bundles()
+		pt.traces = len(bundles)
+		pt.setMatch = tracequery.SetHash(bundles) == refSetHash
+		pt.hopDrops = global.Traces().Dropped()
+		for _, b := range bundles {
+			// A bundle is fully clockable when every hop lined up on the
+			// shared clock: the attribution then has one unit slice, one
+			// link slice per hop, and one aggregation slice per relaying
+			// hop. Its slices must sum to exactly (terminal ingest − root
+			// begin) ticks.
+			if len(b.Hops) == 0 || b.RootDur() == 0 {
+				continue
+			}
+			wantSlices := 1 + len(b.Hops) + (len(b.Hops) - 1)
+			if len(b.Attribution) != wantSlices {
+				continue
+			}
+			pt.clockable++
+			var sum uint64
+			for _, a := range b.Attribution {
+				sum += a.Ticks
+			}
+			var begin uint64
+			for _, s := range b.Spans {
+				if s.Idx == 0 {
+					begin = s.Begin
+				}
+			}
+			end := b.Hops[len(b.Hops)-1].Ingest
+			if err := float64(end-begin) - float64(sum); err > pt.errMax || -err > pt.errMax {
+				if err < 0 {
+					err = -err
+				}
+				pt.errMax = err
+			}
+		}
+		global.Close(drainCtx)
+		return pt
+	}
+
+	header := []string{"fault", "frames", "fr/s", "traces", "resumes",
+		"hop-drops", "clockable", "attr-err-max", "set-hash"}
+	var rows [][]string
+	metrics := map[string]float64{
+		"traces_expected": float64(len(refBundles)),
+	}
+	if reversedOK {
+		metrics["reassembly_reversed_identical"] = 1
+	}
+
+	for _, mode := range []string{"clean", "loss", "reorder"} {
+		pt := runPoint(mode)
+		set := "MISMATCH"
+		if pt.setMatch {
+			set = "identical"
+			metrics["set_identical_"+mode] = 1
+		}
+		rows = append(rows, []string{
+			mode, fmt.Sprintf("%d", totalFrames), fmt.Sprintf("%.0f", pt.fps),
+			fmt.Sprintf("%d", pt.traces), fmt.Sprintf("%d", pt.resumes),
+			fmt.Sprintf("%d", pt.hopDrops),
+			fmt.Sprintf("%d/%d", pt.clockable, pt.traces),
+			fmt.Sprintf("%.0f", pt.errMax), set,
+		})
+		metrics["traces_"+mode] = float64(pt.traces)
+		metrics["clockable_"+mode] = float64(pt.clockable)
+		metrics["attr_err_max_"+mode] = pt.errMax
+		metrics["resumes_"+mode] = float64(pt.resumes)
+		metrics["fps_"+mode] = pt.fps
+	}
+
+	return Result{
+		ID:      "T20",
+		Title:   "End-to-end distributed tracing: bundle-set determinism under arrival reversal, link loss and reorder, with exact per-tier latency attribution (railway, 4 units, 2 faulty)",
+		Table:   table(header, rows),
+		Metrics: metrics,
+	}
+}

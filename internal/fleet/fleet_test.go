@@ -3,6 +3,7 @@ package fleet
 import (
 	"bytes"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"safexplain/internal/obs"
@@ -338,6 +339,13 @@ func TestFleetPrometheusConformance(t *testing.T) {
 	text := rep.Prometheus()
 	if issues := obs.LintExposition(text); len(issues) != 0 {
 		t.Fatalf("fleet exposition fails conformance:\n%s", issues)
+	}
+	om := rep.OpenMetrics()
+	if issues := obs.LintOpenMetrics(om); len(issues) != 0 {
+		t.Fatalf("fleet OpenMetrics exposition fails conformance:\n%s\n---\n%s", issues, om)
+	}
+	if body := rep.OpenMetricsBody(); strings.Contains(body, "# EOF") {
+		t.Fatal("OpenMetricsBody carries an EOF marker — it must stay composable")
 	}
 }
 

@@ -190,7 +190,7 @@ func (s *shard) record(st *unitState, frame int32, r *obs.DownRecord) {
 	case obs.RecDump:
 		s.cDumps.Inc()
 		st.dumps++
-	case obs.RecSpan:
+	case obs.RecSpan, obs.RecSpanV2:
 		s.cSpans.Inc()
 		st.spans++
 		sp := r.Span

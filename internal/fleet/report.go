@@ -196,6 +196,49 @@ func (r Report) Prometheus() string {
 	return b.String()
 }
 
+// OpenMetrics renders the report in the OpenMetrics text exposition —
+// the same series Prometheus() exposes, with counter families named
+// without their _total suffix, exemplars on merged histogram buckets,
+// and the mandatory terminating # EOF marker. OpenMetricsBody is the
+// composable form without the marker.
+func (r Report) OpenMetrics() string {
+	return r.OpenMetricsBody() + "# EOF\n"
+}
+
+// OpenMetricsBody renders the report's families without the # EOF
+// marker, so an endpoint can append further registries before
+// terminating the exposition.
+func (r Report) OpenMetricsBody() string {
+	var b strings.Builder
+	b.WriteString(r.Metrics.OpenMetricsBody())
+
+	unitSample := func(name, typ, help string, val func(UnitReport) string) {
+		fam := "safexplain_" + name
+		suffix := ""
+		if typ == "counter" {
+			fam = strings.TrimSuffix(fam, "_total")
+			suffix = "_total"
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", fam, help, fam, typ)
+		for _, u := range r.Reports {
+			fmt.Fprintf(&b, "%s%s{system=%q,unit=\"%d\"} %s\n", fam, suffix, r.Metrics.System, u.Unit, val(u))
+		}
+	}
+	unitSample("fleet_unit_frames_total", "counter", "telemetry frames ingested per unit",
+		func(u UnitReport) string { return fmt.Sprintf("%d", u.Frames) })
+	unitSample("fleet_unit_gap_frames_total", "counter", "missing frame numbers per unit",
+		func(u UnitReport) string { return fmt.Sprintf("%d", u.Gaps) })
+	unitSample("fleet_unit_fallbacks", "gauge", "fallback outputs reported by the unit",
+		func(u UnitReport) string { return fmt.Sprintf("%g", u.Fallbacks) })
+	unitSample("fleet_unit_health", "gauge", "FDIR health state ordinal per unit",
+		func(u UnitReport) string { return fmt.Sprintf("%d", u.Health) })
+
+	fam := "safexplain_fleet_alerts"
+	fmt.Fprintf(&b, "# HELP %s common-mode alerts raised\n# TYPE %s counter\n%s_total{system=%q} %d\n",
+		fam, fam, fam, r.Metrics.System, len(r.Alerts))
+	return b.String()
+}
+
 // Table renders the report for humans.
 func (r Report) Table() string {
 	var b strings.Builder

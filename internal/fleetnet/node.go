@@ -9,6 +9,7 @@ import (
 
 	"safexplain/internal/fleet"
 	"safexplain/internal/obs"
+	"safexplain/internal/tracequery"
 	"safexplain/internal/watch"
 )
 
@@ -44,6 +45,19 @@ type NodeConfig struct {
 	// bounds. The source must keep a stable metric layout: every metric
 	// is declared before ArmWatch and none added after.
 	WatchSource func() (obs.Snapshot, error)
+
+	// Clock, when set, turns on distributed tracing at this node: every
+	// frame flowing through is stamped with a hop record (ingest and
+	// relay ticks from this clock), routed into the node's trace store
+	// alongside the frame's v2 spans, and the stamp is relayed upward as
+	// a sidecar — the traced frame bytes themselves are forwarded
+	// unchanged, so evidence hashes match at every tier. Deterministic
+	// runs share one obs.NewCounterClock across units and nodes; nil (the
+	// default) disables all trace work.
+	Clock func() uint64
+	// TraceCap bounds the trace store when Clock is set (default
+	// tracequery.DefaultCapacity).
+	TraceCap int
 }
 
 // Node is one tier of the aggregation tree. Every tier runs the same
@@ -77,6 +91,11 @@ type Node struct {
 	cWatchAlerts  *obs.Counter
 	cWatchRelayed *obs.Counter
 	cWatchDrops   *obs.Counter
+
+	cHops     *obs.Counter
+	cHopDrops *obs.Counter
+
+	traces *tracequery.Store // nil when tracing is off (no Clock)
 
 	wmu     sync.Mutex
 	watcher *watch.Watcher //safexplain:guardedby wmu
@@ -116,6 +135,12 @@ func NewNode(cfg NodeConfig) *Node {
 		cWatchAlerts:  reg.Counter("watch_alerts_total", "alert transitions emitted by this node's watcher"),
 		cWatchRelayed: reg.Counter("watch_alerts_relayed_total", "watch alerts relayed to the parent tier"),
 		cWatchDrops:   reg.Counter("watch_alerts_dropped_total", "watch alerts dropped (corrupt relay, full uplink ring, or full ledger)"),
+
+		cHops:     reg.Counter("trace_hops_total", "trace hop records stamped at or applied by this node"),
+		cHopDrops: reg.Counter("trace_hop_drops_total", "trace hop records dropped (corrupt relay or full uplink ring)"),
+	}
+	if cfg.Clock != nil {
+		n.traces = tracequery.NewStore(cfg.TraceCap)
 	}
 	// The node watches its own health too: runtime self-gauges live in
 	// the same registry the watcher samples.
@@ -123,6 +148,7 @@ func NewNode(cfg NodeConfig) *Node {
 	n.srv = NewServer(ServerConfig{
 		Apply:      n.apply,
 		ApplyAlert: n.applyAlert,
+		ApplyHop:   n.applyHop,
 		Window:     cfg.Window,
 		AckEvery:   cfg.AckEvery,
 		IOTimeout:  cfg.IOTimeout,
@@ -170,8 +196,10 @@ func (n *Node) onEvent(ev LinkEvent) {
 // here (the server copies per envelope), so both consumers may retain it.
 func (n *Node) apply(_ uint32, unit fleet.UnitID, payload []byte) {
 	n.cApplied.Inc()
+	ingest := n.tick()
 	n.agg.Ingest(unit, payload)
 	n.relay(unit, payload)
+	n.stampHop(unit, payload, ingest)
 }
 
 // Submit feeds one locally produced telemetry frame — the unit tier's
@@ -179,8 +207,10 @@ func (n *Node) apply(_ uint32, unit fleet.UnitID, payload []byte) {
 func (n *Node) Submit(unit fleet.UnitID, frame []byte) {
 	payload := append([]byte(nil), frame...)
 	n.cApplied.Inc()
+	ingest := n.tick()
 	n.agg.Ingest(unit, payload)
 	n.relay(unit, payload)
+	n.stampHop(unit, payload, ingest)
 }
 
 func (n *Node) relay(unit fleet.UnitID, payload []byte) {
@@ -193,6 +223,77 @@ func (n *Node) relay(unit fleet.UnitID, payload []byte) {
 		n.cRelayDr.Inc()
 	}
 }
+
+// tick reads the injected trace clock (0 with tracing off).
+func (n *Node) tick() uint64 {
+	if n.cfg.Clock == nil {
+		return 0
+	}
+	return n.cfg.Clock()
+}
+
+// stampHop records this node's hop for one frame flowing through:
+// ingest tick taken before aggregation, relay tick after the frame was
+// handed to the uplink (0 on the terminal tier). The frame's v2 spans
+// are routed into the node's trace store, the hop is retained there
+// too, and the stamp is relayed upward as a sidecar record. No-op with
+// tracing off.
+func (n *Node) stampHop(unit fleet.UnitID, payload []byte, ingest uint64) {
+	if n.traces == nil {
+		return
+	}
+	frame, ok := obs.PeekFrame(payload)
+	if !ok {
+		return
+	}
+	var relay uint64
+	if n.up != nil {
+		relay = n.tick()
+	}
+	h := tracequery.Hop{
+		Unit: uint32(unit), Frame: frame,
+		Node: n.cfg.ID, Tier: n.cfg.Tier.String(),
+		Ingest: ingest, Relay: relay,
+	}
+	n.cHops.Inc()
+	n.traces.AddHop(h)
+	_ = n.traces.IngestFrame(payload) // corrupt frames already counted by fleet ingest
+	if n.up == nil {
+		return
+	}
+	if !n.up.SendHop(n.cfg.ID, tracequery.EncodeHop(h)) {
+		n.cHopDrops.Inc()
+	}
+}
+
+// applyHop receives one relayed hop record from a child link: retain it
+// in the trace store and forward the original payload upward unchanged,
+// so every ancestor tier sees the identical stamp. Hops are dropped
+// (and counted) when tracing is off at this node — they are
+// diagnostics, not evidence, so a dark relay tier costs attribution
+// detail, never correctness.
+func (n *Node) applyHop(_ uint32, origin uint32, payload []byte) {
+	if n.traces == nil {
+		n.cHopDrops.Inc()
+		return
+	}
+	h, err := tracequery.DecodeHop(payload)
+	if err != nil {
+		n.cHopDrops.Inc()
+		return
+	}
+	n.cHops.Inc()
+	n.traces.AddHop(h)
+	if n.up == nil {
+		return
+	}
+	if !n.up.SendHop(origin, payload) {
+		n.cHopDrops.Inc()
+	}
+}
+
+// Traces exposes the node's trace store (nil with tracing off).
+func (n *Node) Traces() *tracequery.Store { return n.traces }
 
 // Serve accepts child sessions from ln (regions and the global root).
 func (n *Node) Serve(ln net.Listener) { n.srv.Serve(ln) }

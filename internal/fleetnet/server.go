@@ -20,6 +20,11 @@ type ServerConfig struct {
 	// space). node is the directly-connected child, origin the node the
 	// alert originated on. Optional: nil drops relayed alerts.
 	ApplyAlert func(node uint32, origin uint32, payload []byte)
+	// ApplyHop receives each relayed trace hop record exactly once, in
+	// the same per-child sequence order as data (hops share the sequence
+	// space). node is the directly-connected child, origin the node that
+	// stamped the hop. Optional: nil drops relayed hops.
+	ApplyHop func(node uint32, origin uint32, payload []byte)
 	// Window bounds the per-child resequencing buffer (default 256
 	// envelopes). A sequence gap still open when the buffer fills is
 	// declared lost and skipped — the subtree never stalls on one
@@ -54,7 +59,7 @@ func (c ServerConfig) withDefaults() ServerConfig {
 type pendEnv struct {
 	kind    MsgKind
 	unit    fleet.UnitID // KindData
-	node    uint32       // KindAlert: origin node id
+	node    uint32       // KindAlert: origin node id; KindHop: stamping node id
 	payload []byte
 }
 
@@ -234,7 +239,7 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			continue
 		}
-		if m.Kind != KindData && m.Kind != KindAlert {
+		if m.Kind != KindData && m.Kind != KindAlert && m.Kind != KindHop {
 			continue
 		}
 		s.ingest(c, m)
@@ -323,13 +328,18 @@ func (s *Server) drainPending(c *child) {
 
 // applyEnv dispatches one in-sequence envelope to its kind's consumer.
 func (s *Server) applyEnv(node uint32, e pendEnv) {
-	if e.kind == KindAlert {
+	switch e.kind {
+	case KindAlert:
 		if s.cfg.ApplyAlert != nil {
 			s.cfg.ApplyAlert(node, e.node, e.payload)
 		}
-		return
+	case KindHop:
+		if s.cfg.ApplyHop != nil {
+			s.cfg.ApplyHop(node, e.node, e.payload)
+		}
+	default:
+		s.cfg.Apply(node, e.unit, e.payload)
 	}
-	s.cfg.Apply(node, e.unit, e.payload)
 }
 
 // ackNow sends the cumulative ack if this session still owns the link.

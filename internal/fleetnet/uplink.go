@@ -134,6 +134,13 @@ func (u *Uplink) SendAlert(origin uint32, alert []byte) bool {
 	return u.push(envelope{kind: KindAlert, node: origin}, alert)
 }
 
+// SendHop buffers one trace hop record for uplink, copying the payload.
+// origin is the node that stamped the hop (preserved across multi-tier
+// relay). Same ring, same drop semantics as Send.
+func (u *Uplink) SendHop(origin uint32, hop []byte) bool {
+	return u.push(envelope{kind: KindHop, node: origin}, hop)
+}
+
 // push assigns the next sequence to e and buffers it in the ring.
 func (u *Uplink) push(e envelope, payload []byte) bool {
 	u.mu.Lock()

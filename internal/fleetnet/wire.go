@@ -89,6 +89,7 @@ func ParseTier(s string) (Tier, error) {
 //	data    := header seq:u64 unit:u32 plen:u16 payload      (child → parent)
 //	ack     := header seq:u64                                (parent → child)
 //	alert   := header seq:u64 node:u32 plen:u16 payload      (child → parent)
+//	hop     := header seq:u64 node:u32 plen:u16 payload      (child → parent)
 //
 // A data payload is one unit telemetry frame in the downlink wire format
 // (obs.DecodeFrame decodes it); the envelope adds the link-local sequence
@@ -98,7 +99,12 @@ func ParseTier(s string) (Tier, error) {
 // and authenticates it); its body is data-shaped — same fixed lengths,
 // same sequence space — with the u32 slot carrying the origin node id,
 // so the store-and-forward ring, resume handshake and resequencing
-// window cover alert relay with no second delivery machinery.
+// window cover alert relay with no second delivery machinery. A hop
+// payload is one trace hop record (tracequery.DecodeHop decodes it)
+// with the same alert-shaped body — the u32 slot carries the stamping
+// node id — so distributed-trace sidecar records ride the identical
+// delivery machinery while the traced frame bytes themselves are
+// forwarded unchanged.
 const (
 	linkMagic0   = 'T'
 	linkMagic1   = 'L'
@@ -127,6 +133,7 @@ const (
 	KindData            // one sequenced unit telemetry frame
 	KindAck             // parent's cumulative acknowledgement
 	KindAlert           // one sequenced evidence-hashed watch alert
+	KindHop             // one sequenced trace hop record (tracequery wire form)
 )
 
 // String returns the message kind name.
@@ -142,6 +149,8 @@ func (k MsgKind) String() string {
 		return "ack"
 	case KindAlert:
 		return "alert"
+	case KindHop:
+		return "hop"
 	default:
 		return fmt.Sprintf("MsgKind(%d)", uint8(k))
 	}
@@ -152,14 +161,14 @@ func (k MsgKind) String() string {
 type Msg struct {
 	Kind MsgKind
 
-	Node uint32 // KindHello: child node id; KindAlert: origin node id
+	Node uint32 // KindHello: child node id; KindAlert: origin node id; KindHop: stamping node id
 	Tier Tier   // KindHello: child tier
 
 	Ack uint64 // KindWelcome, KindAck: cumulative applied sequence
 
-	Seq     uint64       // KindData, KindAlert: link-local sequence (1-based)
+	Seq     uint64       // KindData, KindAlert, KindHop: link-local sequence (1-based)
 	Unit    fleet.UnitID // KindData: unit the frame belongs to
-	Payload []byte       // KindData: one downlink wire-format frame; KindAlert: one watch alert (aliases the input)
+	Payload []byte       // KindData: one downlink wire-format frame; KindAlert: one watch alert; KindHop: one trace hop record (aliases the input)
 }
 
 // ErrLinkCorrupt reports a malformed tier-link message.
@@ -181,7 +190,7 @@ func AppendMsg(dst []byte, m Msg) []byte {
 		dst = append(dst, m.Payload...)
 	case KindAck:
 		dst = binary.LittleEndian.AppendUint64(dst, m.Ack)
-	case KindAlert:
+	case KindAlert, KindHop:
 		dst = binary.LittleEndian.AppendUint64(dst, m.Seq)
 		dst = binary.LittleEndian.AppendUint32(dst, m.Node)
 		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(m.Payload)))
@@ -242,9 +251,9 @@ func DecodeMsg(b []byte) (Msg, int, error) {
 		}
 		m.Ack = binary.LittleEndian.Uint64(body)
 		return m, msgHeaderLen + ackBodyLen, nil
-	case KindAlert:
+	case KindAlert, KindHop:
 		if len(body) < dataFixedLen {
-			return Msg{}, 0, fmt.Errorf("%w: truncated alert envelope (%d bytes)", ErrLinkCorrupt, len(body))
+			return Msg{}, 0, fmt.Errorf("%w: truncated %s envelope (%d bytes)", ErrLinkCorrupt, m.Kind, len(body))
 		}
 		m.Seq = binary.LittleEndian.Uint64(body)
 		m.Node = binary.LittleEndian.Uint32(body[8:])

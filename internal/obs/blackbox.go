@@ -103,7 +103,7 @@ func Reconstruct(frames []DownFrame, cfg BlackboxConfig) Report {
 	for _, f := range frames {
 		for _, r := range f.Records {
 			switch r.Kind {
-			case RecSpan:
+			case RecSpan, RecSpanV2:
 				spans = append(spans, r.Span)
 			case RecMetric:
 				rep.Metrics++

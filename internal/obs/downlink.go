@@ -59,9 +59,10 @@ type RecordKind uint8
 //safexplain:req REQ-DET
 const (
 	RecInvalid RecordKind = iota
-	RecSpan               // one causal trace span
+	RecSpan               // one causal trace span (v1, 31-byte payload)
 	RecMetric             // one housekeeping metric sample
 	RecDump               // one flight-recorder dump notice
+	RecSpanV2             // one causal trace span with TraceID + begin/duration ticks (55 B)
 )
 
 // Housekeeping metric IDs carried by RecMetric records.
@@ -145,18 +146,20 @@ func hashPrefix(hash string) uint64 {
 //	frame  := 'S' 'X' ver=0x01 frame:u32 count:u16 record*
 //	record := kind:u8 pri:u8 plen:u8 payload[plen]
 //	span   := seq:u64 frame:u32 idx:u16 parent:u16 cause:u16 stage:u8 code:u32 value:f64   (31 B)
+//	spanv2 := span traceid:u64 begin:u64 dur:u64                                           (55 B)
 //	metric := id:u16 value:f64                                                             (10 B)
 //	dump   := frame:u32 trigger:u8 spans:u16 hashprefix:u64                                (15 B)
 const (
-	wireMagic0     = 'S'
-	wireMagic1     = 'X'
-	wireVersion    = 0x01
-	frameHeaderLen = 9
-	recHeaderLen   = 3
-	spanPayloadLen = 31
-	metricPayload  = 10
-	dumpPayloadLen = 15
-	maxFrameCount  = 4096 // decoder sanity bound on records per frame
+	wireMagic0       = 'S'
+	wireMagic1       = 'X'
+	wireVersion      = 0x01
+	frameHeaderLen   = 9
+	recHeaderLen     = 3
+	spanPayloadLen   = 31
+	spanV2PayloadLen = 55
+	metricPayload    = 10
+	dumpPayloadLen   = 15
+	maxFrameCount    = 4096 // decoder sanity bound on records per frame
 )
 
 // downRec is one queued record awaiting downlink. Fixed-size so the
@@ -301,15 +304,22 @@ func spanPriority(s TraceSpan) Priority {
 	return PriHousekeeping
 }
 
-// PushSpan queues one trace span on its priority channel.
-// Zero-allocation.
+// PushSpan queues one trace span on its priority channel. Spans that
+// carry distributed-tracing v2 data (a TraceID or captured ticks)
+// travel as RecSpanV2 records; plain spans keep the v1 wire bytes, so a
+// system with no unit and no clock downlinks byte-identically to every
+// pre-v2 release. Zero-allocation.
 //
 //safexplain:hotpath
 //safexplain:wcet
 func (d *Downlink) PushSpan(s TraceSpan) {
 	pri := spanPriority(s)
+	kind := RecSpan
+	if s.ID != 0 || s.Begin != 0 || s.Dur != 0 {
+		kind = RecSpanV2
+	}
 	d.mu.Lock()
-	if !d.queues[pri].push(downRec{kind: RecSpan, span: s}) {
+	if !d.queues[pri].push(downRec{kind: kind, span: s}) {
 		d.dropped[pri]++
 	}
 	d.mu.Unlock()
@@ -355,6 +365,8 @@ func recWireSize(kind RecordKind) int {
 	switch kind {
 	case RecSpan:
 		return recHeaderLen + spanPayloadLen
+	case RecSpanV2:
+		return recHeaderLen + spanV2PayloadLen
 	case RecMetric:
 		return recHeaderLen + metricPayload
 	case RecDump:
@@ -410,6 +422,10 @@ func (d *Downlink) EmitFrame(frame int) int {
 			case RecSpan:
 				var sb [31]byte
 				encodeTraceSpan(&sb, r.span)
+				copy(b[off+recHeaderLen:], sb[:])
+			case RecSpanV2:
+				var sb [spanV2PayloadLen]byte
+				encodeTraceSpanV2(&sb, r.span)
 				copy(b[off+recHeaderLen:], sb[:])
 			case RecMetric:
 				binary.LittleEndian.PutUint16(b[off+recHeaderLen:], r.id)
@@ -510,7 +526,7 @@ type DownRecord struct {
 	Kind RecordKind
 	Pri  Priority
 
-	Span TraceSpan // when Kind == RecSpan
+	Span TraceSpan // when Kind == RecSpan or RecSpanV2
 
 	MetricID    uint16  // when Kind == RecMetric
 	MetricValue float64 // when Kind == RecMetric
@@ -534,6 +550,19 @@ type DumpSummary struct {
 type DownFrame struct {
 	Frame   int32
 	Records []DownRecord
+}
+
+// PeekFrame reads just the frame index out of a telemetry frame header
+// without decoding the records — the cheap probe a relay tier uses to
+// stamp hop records with the trace the bytes belong to. ok is false
+// when b does not start with a well-formed header.
+//
+//safexplain:req REQ-DET
+func PeekFrame(b []byte) (frame int32, ok bool) {
+	if len(b) < frameHeaderLen || b[0] != wireMagic0 || b[1] != wireMagic1 || b[2] != wireVersion {
+		return 0, false
+	}
+	return int32(binary.LittleEndian.Uint32(b[3:])), true
 }
 
 // DecodeFrame decodes one telemetry frame from the head of b, returning
@@ -593,6 +622,11 @@ func DecodeFrameAppend(b []byte, dst []DownRecord) (frame int32, recs []DownReco
 				return frame, recs, 0, fmt.Errorf("%w: span payload %d bytes, want %d", ErrCorrupt, plen, spanPayloadLen)
 			}
 			rec.Span = decodeTraceSpan(payload)
+		case RecSpanV2:
+			if plen != spanV2PayloadLen {
+				return frame, recs, 0, fmt.Errorf("%w: span v2 payload %d bytes, want %d", ErrCorrupt, plen, spanV2PayloadLen)
+			}
+			rec.Span = decodeTraceSpanV2(payload)
 		case RecMetric:
 			if plen != metricPayload {
 				return frame, recs, 0, fmt.Errorf("%w: metric payload %d bytes, want %d", ErrCorrupt, plen, metricPayload)

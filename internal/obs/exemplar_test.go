@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// exemplarRegistry builds a registry with one histogram whose bounds
+// make exemplar→bucket placement easy to assert.
+func exemplarRegistry() (*Registry, *Histogram) {
+	r := NewRegistry("extest")
+	h := r.Histogram("lat_us", "latency", 10, 100, 1000)
+	return r, h
+}
+
+// TestExemplarRetention pins the worst-case-since-scrape rule: the
+// largest value wins, ties keep the lower TraceID (order-independent),
+// smaller values never displace the holder, and the zero TraceID is
+// "untraced" and never retained.
+func TestExemplarRetention(t *testing.T) {
+	_, h := exemplarRegistry()
+
+	h.ObserveExemplar(50, 7)
+	if v, id, ok := h.TakeExemplar(); !ok || v != 50 || id != 7 {
+		t.Fatalf("first exemplar = (%v,%d,%v), want (50,7,true)", v, id, ok)
+	}
+
+	// Higher value displaces; lower value does not.
+	h.ObserveExemplar(50, 7)
+	h.ObserveExemplar(200, 9)
+	h.ObserveExemplar(120, 3)
+	if v, id, ok := h.TakeExemplar(); !ok || v != 200 || id != 9 {
+		t.Fatalf("worst-case exemplar = (%v,%d,%v), want (200,9,true)", v, id, ok)
+	}
+
+	// Tie keeps the lower TraceID regardless of arrival order.
+	h.ObserveExemplar(80, 12)
+	h.ObserveExemplar(80, 4)
+	h.ObserveExemplar(80, 30)
+	if _, id, _ := h.TakeExemplar(); id != 4 {
+		t.Fatalf("tie retained id %d, want lower id 4", id)
+	}
+
+	// The zero TraceID means untraced: the observation counts, the
+	// exemplar does not.
+	before := h.Count()
+	h.ObserveExemplar(999, 0)
+	if h.Count() != before+1 {
+		t.Fatal("ObserveExemplar(v, 0) did not record the observation")
+	}
+	if _, _, ok := h.TakeExemplar(); ok {
+		t.Fatal("zero TraceID was retained as an exemplar")
+	}
+}
+
+// TestTakeExemplarResets pins take-with-reset scrape semantics: each
+// snapshot interval carries only its own worst case.
+func TestTakeExemplarResets(t *testing.T) {
+	_, h := exemplarRegistry()
+	h.ObserveExemplar(300, 5)
+	if _, _, ok := h.TakeExemplar(); !ok {
+		t.Fatal("exemplar lost before the first take")
+	}
+	if v, id, ok := h.TakeExemplar(); ok || v != 0 || id != 0 {
+		t.Fatalf("second take = (%v,%d,%v), want empty", v, id, ok)
+	}
+	// A fresh interval starts clean: a smaller value now wins.
+	h.ObserveExemplar(1, 42)
+	if v, id, ok := h.TakeExemplar(); !ok || v != 1 || id != 42 {
+		t.Fatalf("post-reset exemplar = (%v,%d,%v), want (1,42,true)", v, id, ok)
+	}
+}
+
+// TestExemplarNilHistogram extends the nil-receiver guarantees to the
+// exemplar path.
+func TestExemplarNilHistogram(t *testing.T) {
+	var h *Histogram
+	h.ObserveExemplar(1, 1) // must not panic
+	if v, id, ok := h.TakeExemplar(); ok || v != 0 || id != 0 {
+		t.Fatalf("nil TakeExemplar = (%v,%d,%v), want empty", v, id, ok)
+	}
+}
+
+// TestSnapshotTakesExemplar checks Registry.Snapshot consumes the
+// retained exemplar — present on the scrape that observed it, absent on
+// the next — and formats the TraceID canonically.
+func TestSnapshotTakesExemplar(t *testing.T) {
+	r, h := exemplarRegistry()
+	id := TraceID(7, 5)
+	h.ObserveExemplar(42, id)
+
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %d, want 1", len(snap.Histograms))
+	}
+	ex := snap.Histograms[0].Exemplar
+	if ex == nil {
+		t.Fatal("snapshot dropped the exemplar")
+	}
+	if ex.Value != 42 || ex.TraceID != FormatTraceID(id) {
+		t.Fatalf("exemplar = %+v, want value 42 trace %s", ex, FormatTraceID(id))
+	}
+	if next := r.Snapshot(); next.Histograms[0].Exemplar != nil {
+		t.Fatalf("exemplar survived into the next scrape: %+v", next.Histograms[0].Exemplar)
+	}
+}
+
+// TestExemplarMerge pins cross-snapshot merge semantics: max value
+// wins, ties keep the lexically lower TraceID, and the result is
+// independent of merge order.
+func TestExemplarMerge(t *testing.T) {
+	build := func(v float64, id uint64) Snapshot {
+		r, h := exemplarRegistry()
+		h.ObserveExemplar(v, id)
+		return r.Snapshot()
+	}
+	a, b := build(100, 9), build(250, 3)
+
+	m1 := a.CloneMetrics()
+	if err := m1.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	m2 := b.CloneMetrics()
+	if err := m2.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Snapshot{m1, m2} {
+		ex := m.Histograms[0].Exemplar
+		if ex == nil || ex.Value != 250 || ex.TraceID != FormatTraceID(3) {
+			t.Fatalf("merged exemplar = %+v, want (250, %s)", ex, FormatTraceID(3))
+		}
+	}
+
+	// Tie: the lower TraceID survives either merge order.
+	c, d := build(100, 20), build(100, 6)
+	mc := c.CloneMetrics()
+	if err := mc.Merge(d); err != nil {
+		t.Fatal(err)
+	}
+	md := d.CloneMetrics()
+	if err := md.Merge(c); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Snapshot{mc, md} {
+		if ex := m.Histograms[0].Exemplar; ex == nil || ex.TraceID != FormatTraceID(6) {
+			t.Fatalf("tie merge exemplar = %+v, want trace %s", ex, FormatTraceID(6))
+		}
+	}
+}
+
+// TestOpenMetricsExemplarPlacement checks the exemplar annotates the
+// first bucket whose bound covers its value — and the +Inf bucket when
+// the value exceeds every bound — while staying off every other line.
+func TestOpenMetricsExemplarPlacement(t *testing.T) {
+	cases := []struct {
+		value      float64
+		wantBucket string
+	}{
+		{5, `le="10"`},
+		{42, `le="100"`},
+		{5000, `le="+Inf"`},
+	}
+	for _, tc := range cases {
+		r, h := exemplarRegistry()
+		h.ObserveExemplar(tc.value, TraceID(3, 1))
+		body := r.Snapshot().OpenMetrics()
+
+		var annotated []string
+		for _, line := range strings.Split(body, "\n") {
+			if strings.Contains(line, "# {") {
+				annotated = append(annotated, line)
+			}
+		}
+		if len(annotated) != 1 {
+			t.Fatalf("value %v: %d annotated lines, want 1:\n%s", tc.value, len(annotated), body)
+		}
+		if !strings.Contains(annotated[0], tc.wantBucket) {
+			t.Fatalf("value %v: exemplar on %q, want bucket %s", tc.value, annotated[0], tc.wantBucket)
+		}
+		want := `# {trace_id="` + FormatTraceID(TraceID(3, 1)) + `"}`
+		if !strings.Contains(annotated[0], want) {
+			t.Fatalf("value %v: exemplar labelset missing %q in %q", tc.value, want, annotated[0])
+		}
+	}
+}
+
+// TestOpenMetricsConformance runs the OpenMetrics linter over a fully
+// populated exposition — counters, gauges, histograms with exemplars —
+// and pins the counter _total family/sample split and EOF marker.
+func TestOpenMetricsConformance(t *testing.T) {
+	r := NewRegistry("omtest")
+	r.Counter("frames_total", "frames").Add(3)
+	r.Gauge("health", "health").Set(1)
+	h := r.Histogram("lat_us", "latency", 10, 100)
+	h.ObserveExemplar(42, TraceID(1, 1))
+
+	body := r.Snapshot().OpenMetrics()
+	if issues := LintOpenMetrics(body); len(issues) != 0 {
+		t.Fatalf("OpenMetrics exposition fails lint:\n%s\n---\n%s", strings.Join(issues, "\n"), body)
+	}
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Fatalf("exposition does not end with # EOF:\n%s", body)
+	}
+	// Counter family declared WITHOUT _total, sample WITH it.
+	if !strings.Contains(body, "# TYPE safexplain_frames counter") {
+		t.Fatalf("counter family not trimmed of _total:\n%s", body)
+	}
+	if !strings.Contains(body, "safexplain_frames_total{system=\"omtest\"} 3") {
+		t.Fatalf("counter sample lost its _total suffix:\n%s", body)
+	}
+	// The composable body form must be the same text minus the EOF.
+	if got := r.Snapshot().OpenMetricsBody(); strings.Contains(got, "# EOF") {
+		t.Fatalf("OpenMetricsBody carries an EOF marker:\n%s", got)
+	}
+}
+
+// TestLintOpenMetricsRejects feeds the linter known-bad expositions so
+// the oracle itself stays honest.
+func TestLintOpenMetricsRejects(t *testing.T) {
+	good := "# HELP m_lat latency\n# TYPE m_lat histogram\n" +
+		`m_lat_bucket{le="10"} 1` + "\n" +
+		`m_lat_bucket{le="+Inf"} 1` + "\n" +
+		"m_lat_sum 5\nm_lat_count 1\n# EOF\n"
+	if issues := LintOpenMetrics(good); len(issues) != 0 {
+		t.Fatalf("baseline exposition must lint clean: %v", issues)
+	}
+	cases := []struct {
+		name, text string
+	}{
+		{"missing EOF", "# HELP m_c c\n# TYPE m_c counter\nm_c_total 1\n"},
+		{"counter family with _total",
+			"# HELP m_c_total c\n# TYPE m_c_total counter\nm_c_total 1\n# EOF\n"},
+		{"counter sample without _total",
+			"# HELP m_c c\n# TYPE m_c counter\nm_c 1\n# EOF\n"},
+		{"exemplar on non-bucket line",
+			"# HELP m_c c\n# TYPE m_c counter\n" +
+				`m_c_total 1 # {trace_id="0000000000000001"} 1` + "\n# EOF\n"},
+		{"exemplar without value", "# HELP m_lat latency\n# TYPE m_lat histogram\n" +
+			`m_lat_bucket{le="10"} 1 # ` + "\n" +
+			`m_lat_bucket{le="+Inf"} 1` + "\n" +
+			"m_lat_sum 5\nm_lat_count 1\n# EOF\n"},
+	}
+	for _, tc := range cases {
+		if issues := LintOpenMetrics(tc.text); len(issues) == 0 {
+			t.Errorf("%s: linter accepted a bad exposition", tc.name)
+		}
+	}
+}
+
+// TestObserveExemplarZeroAlloc proves the exemplar record path stays
+// allocation-free — it sits inside the per-frame hotpath.
+func TestObserveExemplarZeroAlloc(t *testing.T) {
+	_, h := exemplarRegistry()
+	id := TraceID(7, 1)
+	if n := testing.AllocsPerRun(200, func() {
+		h.ObserveExemplar(42, id)
+	}); n != 0 {
+		t.Fatalf("ObserveExemplar allocates %v per op, want 0", n)
+	}
+}

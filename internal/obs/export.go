@@ -29,6 +29,17 @@ type GaugeSnap struct {
 	Value float64 `json:"value"`
 }
 
+// ExemplarSnap is a histogram's frozen exemplar: the worst observation
+// of the scrape interval and the TraceID (16 hex digits) of the frame
+// that produced it — the metric→trace link the OpenMetrics exposition
+// and the watch alert ledger surface.
+//
+//safexplain:req REQ-XAI
+type ExemplarSnap struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
+}
+
 // HistogramSnap is one histogram's frozen state. Buckets has one more
 // entry than Bounds (the +Inf bucket).
 //
@@ -40,6 +51,10 @@ type HistogramSnap struct {
 	Buckets []uint64  `json:"buckets"`
 	Count   uint64    `json:"count"`
 	Sum     float64   `json:"sum"`
+	// Exemplar is the worst-case observation since the previous snapshot
+	// (nil when none was recorded) — taken with reset, so each snapshot
+	// covers exactly its own scrape interval.
+	Exemplar *ExemplarSnap `json:"exemplar,omitempty"`
 }
 
 // FlightSnap summarizes the flight recorder's state.
@@ -105,10 +120,14 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges = append(s.Gauges, GaugeSnap{g.name, g.help, g.Value()})
 	}
 	for _, h := range r.hists {
-		s.Histograms = append(s.Histograms, HistogramSnap{
+		hs := HistogramSnap{
 			Name: h.name, Help: h.help, Bounds: h.Bounds(),
 			Buckets: h.BucketCounts(), Count: h.Count(), Sum: h.Sum(),
-		})
+		}
+		if v, id, ok := h.TakeExemplar(); ok {
+			hs.Exemplar = &ExemplarSnap{Value: v, TraceID: FormatTraceID(id)}
+		}
+		s.Histograms = append(s.Histograms, hs)
 	}
 	return s
 }
@@ -177,6 +196,79 @@ func (s Snapshot) Prometheus() string {
 			fmt.Fprintf(&b, "%s_bucket{system=%q,le=%q} %d\n", n, s.System, promFloat(bound), cum)
 		}
 		fmt.Fprintf(&b, "%s_bucket{system=%q,le=\"+Inf\"} %d\n", n, s.System, h.Count)
+		fmt.Fprintf(&b, "%s_sum%s %s\n%s_count%s %d\n", n, label, promFloat(h.Sum), n, label, h.Count)
+	}
+	return b.String()
+}
+
+// omFamily strips the _total suffix counters already carry: OpenMetrics
+// names the metric family without the suffix and the sample with it.
+func omFamily(name string) string { return strings.TrimSuffix(name, "_total") }
+
+// omExemplar renders the OpenMetrics exemplar suffix for one bucket
+// line: " # {trace_id=\"…\"} value".
+func omExemplar(e *ExemplarSnap) string {
+	return fmt.Sprintf(" # {trace_id=%q} %s", e.TraceID, promFloat(e.Value))
+}
+
+// OpenMetrics renders the snapshot in the OpenMetrics text exposition
+// (application/openmetrics-text): counter families are named without
+// their _total suffix while their samples keep it, histogram bucket
+// lines carry the scrape interval's worst-case exemplar on the bucket
+// the observation landed in, and the exposition is terminated by the
+// mandatory # EOF marker. The Prometheus text rendering remains
+// available unchanged — /metrics negotiates between the two on the
+// Accept header.
+func (s Snapshot) OpenMetrics() string {
+	return s.OpenMetricsBody() + "# EOF\n"
+}
+
+// OpenMetricsBody renders the snapshot's metric families without the
+// terminating # EOF marker — the composable form an endpoint uses to
+// concatenate several registries into one valid exposition before
+// appending the single final marker.
+func (s Snapshot) OpenMetricsBody() string {
+	var b strings.Builder
+	label := fmt.Sprintf("{system=%q}", s.System)
+	for _, c := range s.Counters {
+		fam := omFamily(promName(c.Name))
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s_total%s %d\n",
+			fam, c.Help, fam, fam, label, c.Value)
+	}
+	for _, g := range s.Gauges {
+		n := promName(g.Name)
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s%s %s\n",
+			n, g.Help, n, n, label, promFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		n := promName(h.Name)
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", n, h.Help, n)
+		// The exemplar annotates the bucket its observation fell into —
+		// the first bound at or above the value, else +Inf.
+		exBucket := -1
+		if h.Exemplar != nil {
+			exBucket = len(h.Bounds)
+			for i, bound := range h.Bounds {
+				if h.Exemplar.Value <= bound {
+					exBucket = i
+					break
+				}
+			}
+		}
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.Buckets[i]
+			ex := ""
+			if i == exBucket {
+				ex = omExemplar(h.Exemplar)
+			}
+			fmt.Fprintf(&b, "%s_bucket{system=%q,le=%q} %d%s\n", n, s.System, promFloat(bound), cum, ex)
+		}
+		ex := ""
+		if exBucket == len(h.Bounds) && h.Exemplar != nil {
+			ex = omExemplar(h.Exemplar)
+		}
+		fmt.Fprintf(&b, "%s_bucket{system=%q,le=\"+Inf\"} %d%s\n", n, s.System, h.Count, ex)
 		fmt.Fprintf(&b, "%s_sum%s %s\n%s_count%s %d\n", n, label, promFloat(h.Sum), n, label, h.Count)
 	}
 	return b.String()

@@ -45,6 +45,18 @@ func (h *HistogramSnap) Merge(src HistogramSnap) error {
 	}
 	h.Count += src.Count
 	h.Sum += src.Sum
+	// The merged exemplar is the worst one: larger value wins, ties go
+	// to the lower TraceID (fixed-width hex, so string order is numeric
+	// order) — max and min are both commutative and associative, keeping
+	// the merge order-independent.
+	if src.Exemplar != nil {
+		if h.Exemplar == nil || src.Exemplar.Value > h.Exemplar.Value ||
+			(math.Float64bits(src.Exemplar.Value) == math.Float64bits(h.Exemplar.Value) &&
+				src.Exemplar.TraceID < h.Exemplar.TraceID) {
+			ex := *src.Exemplar
+			h.Exemplar = &ex
+		}
+	}
 	return nil
 }
 
@@ -99,6 +111,10 @@ func (s Snapshot) CloneMetrics() Snapshot {
 			Bounds:  append([]float64(nil), h.Bounds...),
 			Buckets: append([]uint64(nil), h.Buckets...),
 			Count:   h.Count, Sum: h.Sum,
+		}
+		if h.Exemplar != nil {
+			ex := *h.Exemplar
+			out.Histograms[i].Exemplar = &ex
 		}
 	}
 	return out

@@ -48,6 +48,15 @@ type Config struct {
 	// MaxDumps bounds the retained auto-dump records (default 16). The
 	// dump counter keeps counting past the bound.
 	MaxDumps int
+	// Unit is the fleet unit id folded into every frame's TraceID
+	// (unit<<32 | frame). Zero leaves traces unit-less; together with a
+	// nil Clock that disables v2 span records entirely.
+	Unit uint32
+	// Clock is the injected monotonic tick source for span begin/duration
+	// capture — a wall-derived reader in production, NewCounterClock in
+	// deterministic tests. Nil (the default) disables timing capture; the
+	// package itself never reads the ambient clock.
+	Clock func() uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -127,10 +136,13 @@ func New(cfg Config) *Obs {
 	if cfg.FrameBudget > 0 {
 		cycleBounds = BudgetBounds(cfg.FrameBudget)
 	}
+	tr := NewTraceCtx(cfg.TraceCapacity)
+	tr.SetUnit(cfg.Unit)
+	tr.SetClock(cfg.Clock)
 	return &Obs{
 		Reg:    reg,
 		Flight: NewFlight(cfg.FlightCapacity),
-		Trace:  NewTraceCtx(cfg.TraceCapacity),
+		Trace:  tr,
 
 		Frames:    reg.Counter("frames_total", "frames processed by the operate path"),
 		Delivered: reg.Counter("delivered_total", "frames whose pattern output was delivered"),
@@ -224,6 +236,20 @@ func (o *Obs) TraceRoot() SpanRef {
 		return NoSpan
 	}
 	return o.Trace.Root()
+}
+
+// TraceID returns the open frame's distributed trace identity, or 0
+// with no open frame — what the record path passes to
+// Histogram.ObserveExemplar so a worst-case observation names the trace
+// that produced it. Nil-safe, zero-allocation.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (o *Obs) TraceID() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.Trace.TraceID()
 }
 
 // TraceEnd commits the frame's causal spans and, when a downlink is

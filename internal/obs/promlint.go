@@ -264,6 +264,131 @@ func LintExposition(text string) []string {
 	return issues
 }
 
+// splitOMExemplar splits an OpenMetrics sample line into its sample
+// part and its exemplar part (after " # "); hasEx is false when the
+// line carries no exemplar.
+func splitOMExemplar(line string) (sample, exemplar string, hasEx bool) {
+	if i := strings.Index(line, " # "); i >= 0 {
+		return line[:i], strings.TrimSpace(line[i+3:]), true
+	}
+	return line, "", false
+}
+
+// lintOMExemplar checks one exemplar's syntax: {label="value",...}
+// followed by a parseable value and an optional timestamp.
+func lintOMExemplar(ln int, ex string) []string {
+	var issues []string
+	if !strings.HasPrefix(ex, "{") {
+		return []string{promIssue(ln, "exemplar %q does not start with a labelset", ex)}
+	}
+	j := strings.IndexByte(ex, '}')
+	if j < 0 {
+		return []string{promIssue(ln, "exemplar %q has an unterminated labelset", ex)}
+	}
+	labels := ex[1:j]
+	for _, part := range strings.Split(labels, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || !validMetricName(kv[0]) {
+			issues = append(issues, promIssue(ln, "exemplar label %q malformed", part))
+			continue
+		}
+		if _, err := strconv.Unquote(kv[1]); err != nil {
+			issues = append(issues, promIssue(ln, "exemplar label value %q not a quoted string", kv[1]))
+		}
+	}
+	fields := strings.Fields(strings.TrimSpace(ex[j+1:]))
+	if len(fields) < 1 || len(fields) > 2 {
+		return append(issues, promIssue(ln, "exemplar %q has no value", ex))
+	}
+	if _, err := parsePromValue(fields[0]); err != nil {
+		issues = append(issues, promIssue(ln, "exemplar value %q unparseable", fields[0]))
+	}
+	return issues
+}
+
+// LintOpenMetrics checks text against the OpenMetrics exposition
+// invariants this repo relies on: the mandatory trailing # EOF marker,
+// counter samples carrying the _total suffix over a family declared
+// without it, well-formed exemplars on histogram bucket lines only, and
+// — after normalizing those OpenMetrics-specific constructs away — all
+// the Prometheus structural invariants LintExposition enforces
+// (HELP/TYPE presence, monotone cumulative buckets, +Inf == _count).
+// Pure; used as the test oracle for every OpenMetrics exposition.
+//
+//safexplain:req REQ-XAI
+func LintOpenMetrics(text string) []string {
+	var issues []string
+	lines := strings.Split(text, "\n")
+
+	// The # EOF marker must be the last content of the exposition.
+	last := len(lines) - 1
+	for last >= 0 && strings.TrimSpace(lines[last]) == "" {
+		last--
+	}
+	if last < 0 || strings.TrimSpace(lines[last]) != "# EOF" {
+		issues = append(issues, promIssue(last+1, "exposition does not end with # EOF"))
+	} else {
+		lines = lines[:last]
+	}
+
+	// First pass: family types, so exemplar placement can be checked.
+	famType := map[string]string{}
+	histFamilies := map[string]bool{}
+	for _, line := range lines {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 {
+				famType[fields[2]] = fields[3]
+				if fields[3] == "histogram" {
+					histFamilies[fields[2]] = true
+				}
+			}
+		}
+	}
+
+	// Second pass: validate and strip OpenMetrics constructs, rewriting
+	// counter families to their sample names so the Prometheus linter
+	// can check everything else on the normalized text.
+	norm := make([]string, 0, len(lines))
+	for i, line := range lines {
+		ln := i + 1
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) >= 3 {
+				fam := fields[2]
+				if strings.HasSuffix(fam, "_total") && famType[fam] == "counter" {
+					issues = append(issues, promIssue(ln, "counter family %q must be declared without the _total suffix", fam))
+				}
+				if famType[fam] == "counter" {
+					line = strings.Replace(line, " "+fam, " "+fam+"_total", 1)
+				}
+			}
+			norm = append(norm, line)
+			continue
+		}
+		if strings.HasPrefix(line, "#") || strings.TrimSpace(line) == "" {
+			norm = append(norm, line)
+			continue
+		}
+		sample, ex, hasEx := splitOMExemplar(line)
+		if hasEx {
+			name, _, _, ok := splitSample(sample)
+			if !ok || !histFamilies[sampleFamily(name, histFamilies)] || !strings.HasSuffix(name, "_bucket") {
+				issues = append(issues, promIssue(ln, "exemplar on non-bucket sample %q", sample))
+			}
+			issues = append(issues, lintOMExemplar(ln, ex)...)
+		}
+		if name, _, _, ok := splitSample(sample); ok {
+			fam := sampleFamily(name, histFamilies)
+			if famType[fam] == "counter" && !strings.HasSuffix(name, "_total") {
+				issues = append(issues, promIssue(ln, "counter sample %q must carry the _total suffix", name))
+			}
+		}
+		norm = append(norm, sample)
+	}
+	return append(issues, LintExposition(strings.Join(norm, "\n"))...)
+}
+
 // parsePromValue parses a sample value, accepting the exposition
 // spellings of the infinities and NaN.
 func parsePromValue(s string) (float64, error) {

@@ -130,6 +130,17 @@ type Histogram struct {
 	buckets    []atomic.Uint64
 	count      atomic.Uint64
 	sumBits    atomic.Uint64
+
+	// Exemplar retention: the worst (largest) observation since the last
+	// scrape and the TraceID that produced it, guarded by a dedicated
+	// mutex so the (value, id) pair is always consistent. The mutex is
+	// uncontended in the steady state — one writer per frame — and its
+	// critical section is a handful of scalar stores, so the exemplar
+	// path stays allocation-free and bounded.
+	exMu    sync.Mutex
+	exSet   bool    //safexplain:guardedby exMu
+	exValue float64 //safexplain:guardedby exMu
+	exID    uint64  //safexplain:guardedby exMu
 }
 
 // Observe records one value. Zero-allocation; the bucket scan is over the
@@ -153,6 +164,49 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value like Observe and, when id is a
+// valid TraceID (non-zero), retains it as the histogram's exemplar if
+// it is the worst observation since the last scrape — OpenMetrics-style
+// exemplar linkage, so a WCET burn-rate alert can name the exact trace
+// that blew the budget. Ties keep the lower TraceID, making retention
+// order-independent and therefore deterministic under concurrency.
+// Nil-safe and zero-allocation.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (h *Histogram) ObserveExemplar(v float64, id uint64) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if id == 0 {
+		return
+	}
+	h.exMu.Lock()
+	// Ties are detected bit-exactly: both sides are raw observations,
+	// never arithmetic results, so bit equality is value equality here.
+	if !h.exSet || v > h.exValue ||
+		(math.Float64bits(v) == math.Float64bits(h.exValue) && id < h.exID) {
+		h.exSet, h.exValue, h.exID = true, v, id
+	}
+	h.exMu.Unlock()
+}
+
+// TakeExemplar returns the worst-case exemplar retained since the
+// previous call and resets it — scrape semantics: each snapshot carries
+// the worst observation of its own scrape interval. ok is false when no
+// exemplar was recorded in the interval.
+func (h *Histogram) TakeExemplar() (v float64, id uint64, ok bool) {
+	if h == nil {
+		return 0, 0, false
+	}
+	h.exMu.Lock()
+	v, id, ok = h.exValue, h.exID, h.exSet
+	h.exSet, h.exValue, h.exID = false, 0, 0
+	h.exMu.Unlock()
+	return v, id, ok
 }
 
 // Count returns the number of observations.

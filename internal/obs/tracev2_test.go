@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// Distributed-tracing v2: deterministic TraceIDs, injected-clock span
+// timing, the 55-byte wire record, and the compatibility contract that
+// an unclocked tracer stays byte-exact with the v1 format.
+
+func TestTraceIDComposition(t *testing.T) {
+	id := TraceID(7, 1234)
+	if TraceIDUnit(id) != 7 || TraceIDFrame(id) != 1234 {
+		t.Fatalf("TraceID(7,1234) decomposed to unit %d frame %d", TraceIDUnit(id), TraceIDFrame(id))
+	}
+	if TraceID(0, 0) != 0 {
+		t.Fatal("the zero TraceID must be reserved for untraced")
+	}
+	// Negative frame indexes survive the round trip through the low word.
+	if TraceIDFrame(TraceID(1, -3)) != -3 {
+		t.Fatalf("negative frame round trip = %d", TraceIDFrame(TraceID(1, -3)))
+	}
+}
+
+func TestTraceIDFormatParseRoundTrip(t *testing.T) {
+	for _, id := range []uint64{0, 1, TraceID(7, 1234), ^uint64(0)} {
+		s := FormatTraceID(id)
+		if len(s) != 16 {
+			t.Fatalf("FormatTraceID(%d) = %q, want fixed 16 digits", id, s)
+		}
+		got, err := ParseTraceID(s)
+		if err != nil || got != id {
+			t.Fatalf("ParseTraceID(%q) = %d, %v; want %d", s, got, err, id)
+		}
+	}
+	// Operator conveniences: 0x prefix, short form, surrounding space.
+	if got, err := ParseTraceID(" 0x7d2 "); err != nil || got != 0x7d2 {
+		t.Fatalf("ParseTraceID(0x7d2) = %d, %v", got, err)
+	}
+	for _, bad := range []string{"", "zz", "00000000000000001", "0x"} {
+		if _, err := ParseTraceID(bad); err == nil {
+			t.Fatalf("ParseTraceID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCounterClockMonotonicAndShared(t *testing.T) {
+	clock := NewCounterClock()
+	if first := clock(); first != 1 {
+		t.Fatalf("counter clock starts at %d, want 1", first)
+	}
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				clock()
+			}
+		}()
+	}
+	wg.Wait()
+	if last := clock(); last != workers*per+2 {
+		t.Fatalf("counter clock = %d after %d concurrent reads, want %d", last, workers*per, workers*per+2)
+	}
+}
+
+// TestSpanV2EncodeRoundTrip pins the 55-byte layout: decode(encode(s))
+// is the identity, re-encoding is byte-identical, and the first 31
+// bytes are exactly the v1 record — ground tooling may treat a v2
+// record as v1 plus a fixed trailer.
+func TestSpanV2EncodeRoundTrip(t *testing.T) {
+	spans := []TraceSpan{
+		{}, // zero span
+		{Seq: 9, Frame: -2, Idx: 3, Parent: 0, Cause: -1, Stage: StageFDIR, Code: -7, Value: 0.25},
+		{Seq: ^uint64(0), Frame: 1 << 30, Idx: 15, Parent: 0, Cause: 14, Stage: StageVote,
+			Code: 1 << 30, Value: -1e300, ID: TraceID(9, 1<<30), Begin: 12345, Dur: 678},
+	}
+	for i, s := range spans {
+		var v2 [spanV2PayloadLen]byte
+		encodeTraceSpanV2(&v2, s)
+		got := decodeTraceSpanV2(v2[:])
+		if got != s {
+			t.Fatalf("span %d: v2 round trip = %+v, want %+v", i, got, s)
+		}
+		var again [spanV2PayloadLen]byte
+		encodeTraceSpanV2(&again, got)
+		if again != v2 {
+			t.Fatalf("span %d: re-encode not byte-identical", i)
+		}
+		var v1 [spanPayloadLen]byte
+		encodeTraceSpan(&v1, s)
+		if !bytes.Equal(v1[:], v2[:spanPayloadLen]) {
+			t.Fatalf("span %d: v2 prefix diverges from the v1 encoding", i)
+		}
+		if v1span := decodeTraceSpan(v1[:]); v1span.ID != 0 || v1span.Begin != 0 || v1span.Dur != 0 {
+			t.Fatalf("span %d: v1 decode invented v2 fields: %+v", i, v1span)
+		}
+	}
+}
+
+// TestTracedFrameStampsIdentityAndTiming runs one frame on a tracer
+// with a unit and a counter clock and checks every committed span
+// carries the frame's TraceID and a consistent begin/duration schedule.
+func TestTracedFrameStampsIdentityAndTiming(t *testing.T) {
+	o := New(Config{Name: "v2", Unit: 7, Clock: NewCounterClock()})
+	traceOneFrame(o, 5, 1)
+	spans := o.Trace.Spans()
+	if len(spans) != 5 {
+		t.Fatalf("held %d spans, want 5", len(spans))
+	}
+	want := TraceID(7, 5)
+	for i, s := range spans {
+		if s.ID != want {
+			t.Fatalf("span %d ID = %016x, want %016x", i, s.ID, want)
+		}
+		if s.Begin == 0 {
+			t.Fatalf("span %d has no begin tick", i)
+		}
+	}
+	root := spans[0]
+	if root.Dur == 0 {
+		t.Fatal("root span has no duration")
+	}
+	// The root covers the whole frame: every child begins and ends
+	// within [root.Begin, root.Begin+root.Dur].
+	for i, s := range spans[1:] {
+		if s.Begin < root.Begin || s.Begin+s.Dur > root.Begin+root.Dur {
+			t.Fatalf("child %d [%d,+%d] outside root [%d,+%d]", i, s.Begin, s.Dur, root.Begin, root.Dur)
+		}
+	}
+	// Siblings run sequentially: each child's duration ends where the
+	// next begins (the shared boundary clock read).
+	for i := 1; i < len(spans)-1; i++ {
+		if spans[i].Begin+spans[i].Dur != spans[i+1].Begin {
+			t.Fatalf("child %d ends at %d but child %d begins at %d",
+				i, spans[i].Begin+spans[i].Dur, i+1, spans[i+1].Begin)
+		}
+	}
+	if o.TraceID() != 0 {
+		t.Fatal("TraceID outside an open frame must be 0")
+	}
+}
+
+// TestUnclockedTracerStaysV1 pins the compatibility contract: without a
+// unit or clock, committed spans carry zero v2 fields and the downlink
+// emits the original 31-byte v1 records byte-for-byte.
+func TestUnclockedTracerStaysV1(t *testing.T) {
+	mk := func(cfg Config) []byte {
+		o := New(cfg)
+		link := NewDownlink(DownlinkConfig{BytesPerFrame: 256})
+		o.AttachDownlink(link)
+		traceOneFrame(o, 0, 1)
+		return link.Capture()
+	}
+	plain := mk(Config{Name: "v1"})
+	again := mk(Config{Name: "v1"})
+	if !bytes.Equal(plain, again) {
+		t.Fatal("unclocked capture not deterministic")
+	}
+	frame, recs, _, err := DecodeFrameAppend(plain, nil)
+	if err != nil || frame != 0 {
+		t.Fatalf("decoding unclocked capture: frame=%d err=%v", frame, err)
+	}
+	for _, r := range recs {
+		if r.Kind == RecSpanV2 {
+			t.Fatal("unclocked tracer emitted a v2 record")
+		}
+	}
+	traced := mk(Config{Name: "v1", Unit: 3, Clock: NewCounterClock()})
+	if bytes.Equal(plain, traced) {
+		t.Fatal("traced capture should differ from the v1 capture")
+	}
+}
+
+// TestTracedDownlinkRoundTrip pushes a traced frame through the
+// downlink and checks the v2 records decode with identity and timing
+// intact.
+func TestTracedDownlinkRoundTrip(t *testing.T) {
+	o := New(Config{Name: "v2", Unit: 7, Clock: NewCounterClock()})
+	link := NewDownlink(DownlinkConfig{BytesPerFrame: 384})
+	o.AttachDownlink(link)
+	traceOneFrame(o, 4, 1)
+
+	frame, recs, _, err := DecodeFrameAppend(link.Capture(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame != 4 {
+		t.Fatalf("decoded frame = %d, want 4", frame)
+	}
+	want := o.Trace.Spans()
+	byIdx := map[int16]TraceSpan{}
+	for _, r := range recs {
+		if r.Kind != RecSpanV2 {
+			continue
+		}
+		byIdx[r.Span.Idx] = r.Span
+	}
+	if len(byIdx) != len(want) {
+		t.Fatalf("downlinked %d v2 spans, ring holds %d", len(byIdx), len(want))
+	}
+	for _, w := range want {
+		if got := byIdx[w.Idx]; got != w {
+			t.Fatalf("span idx %d round trip = %+v, want %+v", w.Idx, got, w)
+		}
+	}
+}
+
+// TestTraceWrapBoundaries pins Overflow and the held count at the exact
+// ring-capacity boundaries: one span short of full, exactly full, and
+// one frame past full.
+func TestTraceWrapBoundaries(t *testing.T) {
+	const spansPerFrame = 2 // root + one child
+	capacity := traceScratch * 2
+	tc := NewTraceCtx(capacity)
+	frames := 0
+	emit := func() {
+		tc.Begin(frames)
+		tc.Child(StageInfer, int32(frames), 0, 0)
+		tc.End()
+		frames++
+	}
+	for tc.Total() < uint64(capacity-spansPerFrame) {
+		emit()
+	}
+	if tc.Len() != capacity-spansPerFrame {
+		t.Fatalf("one frame short of full: held %d, want %d", tc.Len(), capacity-spansPerFrame)
+	}
+	emit()
+	if tc.Len() != capacity || tc.Total() != uint64(capacity) {
+		t.Fatalf("exactly full: held %d total %d, want %d", tc.Len(), tc.Total(), capacity)
+	}
+	emit()
+	if tc.Len() != capacity {
+		t.Fatalf("one frame past full: held %d, want %d (ring never exceeds capacity)", tc.Len(), capacity)
+	}
+	if tc.Total() != uint64(capacity+spansPerFrame) {
+		t.Fatalf("total = %d, want %d", tc.Total(), capacity+spansPerFrame)
+	}
+	if tc.Overflow() != 0 {
+		t.Fatalf("ring wrap counted as overflow: %d", tc.Overflow())
+	}
+	// The oldest held span is now the one that displaced the first frame.
+	if spans := tc.Spans(); spans[0].Seq != spansPerFrame {
+		t.Fatalf("oldest held seq = %d, want %d", spans[0].Seq, spansPerFrame)
+	}
+
+	// Scratch overflow at its exact boundary: the frame holds
+	// traceScratch spans including the root; span traceScratch+1 is the
+	// first dropped.
+	tc2 := NewTraceCtx(capacity)
+	tc2.Begin(0)
+	for i := 0; i < traceScratch-1; i++ {
+		if ref := tc2.Child(StageInfer, int32(i), 0, 0); ref == NoSpan {
+			t.Fatalf("child %d rejected below the scratch budget", i)
+		}
+	}
+	if tc2.Overflow() != 0 {
+		t.Fatalf("overflow before the boundary: %d", tc2.Overflow())
+	}
+	if ref := tc2.Child(StageInfer, 99, 0, 0); ref != NoSpan {
+		t.Fatal("child beyond the scratch budget accepted")
+	}
+	tc2.End()
+	if tc2.Overflow() != 1 || tc2.Total() != traceScratch {
+		t.Fatalf("overflow = %d total = %d, want 1 and %d", tc2.Overflow(), tc2.Total(), traceScratch)
+	}
+}
+
+// TestTraceV2RecordPathZeroAllocs holds the traced record path — clock
+// reads, identity stamping, v2 downlink emission — to the same bar as
+// the v1 path: 0 allocs/op.
+func TestTraceV2RecordPathZeroAllocs(t *testing.T) {
+	o := New(Config{Name: "alloc-v2", Unit: 7, Clock: NewCounterClock()})
+	o.AttachDownlink(NewDownlink(DownlinkConfig{BytesPerFrame: 512}))
+	frame := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		traceOneFrame(o, frame, 1)
+		frame++
+	})
+	if allocs != 0 {
+		t.Fatalf("traced v2 record path allocates: %v allocs/op", allocs)
+	}
+}
+
+// BenchmarkTraceV2RecordPath is the traced counterpart of
+// BenchmarkTraceRecordPath: full per-frame path with identity and
+// timing capture, 0 allocs/op.
+func BenchmarkTraceV2RecordPath(b *testing.B) {
+	o := New(Config{Name: "bench-v2", Unit: 7, Clock: NewCounterClock()})
+	o.AttachDownlink(NewDownlink(DownlinkConfig{BytesPerFrame: 320, CaptureBytes: 1 << 26}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		traceOneFrame(o, i, 1)
+	}
+}

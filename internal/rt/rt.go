@@ -256,7 +256,7 @@ func (e *Executive) Step(frame int) FrameResult {
 		}
 	}
 	if o := e.Obs; o != nil {
-		o.FrameCycles.Observe(float64(res.Used))
+		o.FrameCycles.ObserveExemplar(float64(res.Used), o.TraceID())
 		o.DeadlineMisses.Add(uint64(len(res.Misses)))
 		o.ShedSlots.Add(uint64(len(res.Shed)))
 		o.Span(frame, obs.StageDeadline, int32(len(res.Misses)), float64(res.Used))

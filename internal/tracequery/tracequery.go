@@ -1,0 +1,450 @@
+// Package tracequery reassembles end-to-end distributed traces from the
+// artifacts the fleet tiers emit: v2 trace spans carried in downlink
+// frames (each stamped with its deterministic 8-byte TraceID) and
+// per-hop sidecar records stamped by every fleet node a frame's bytes
+// pass through. The output is a trace bundle per (unit, frame) — the
+// span tree the unit recorded, the hop chain across tiers, and a
+// per-tier latency attribution splitting end-to-end time into
+// unit-local compute, link transit, and per-node aggregation.
+//
+// The bundle's core hash deliberately covers only arrival-invariant
+// content (identity plus spans): hop stamps depend on when bytes
+// happened to arrive, so they ride outside the hash. That is what makes
+// the acceptance property checkable — reassembled bundles are
+// byte-identical under reversed interleaving and injected link loss.
+package tracequery
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"safexplain/internal/obs"
+)
+
+// maxSpanIdx bounds the per-trace span set: span indices come off the
+// wire and must not be able to grow a bundle without limit. The unit
+// tracer's scratch tree is 16 spans; 64 leaves generous headroom.
+const maxSpanIdx = 64
+
+// maxHopsPerTrace bounds the hop chain per trace — a fleet tree is a
+// few tiers deep, so 16 distinct stamping nodes is already pathological.
+const maxHopsPerTrace = 16
+
+// Hop is one tier-crossing record for a trace: node ingested the
+// frame's bytes at tick Ingest and relayed them upward at tick Relay
+// (0 when the node is terminal and never relayed). Hops are stamped as
+// sidecar records — the traced bytes themselves are forwarded unchanged
+// so evidence hashes match at every tier.
+//
+//safexplain:req REQ-XAI
+type Hop struct {
+	Unit   uint32 `json:"unit"`
+	Frame  int32  `json:"frame"`
+	Node   uint32 `json:"node"`
+	Tier   string `json:"tier"`
+	Ingest uint64 `json:"ingest"`
+	Relay  uint64 `json:"relay"`
+}
+
+// TraceID returns the trace the hop belongs to.
+func (h Hop) TraceID() uint64 { return obs.TraceID(h.Unit, h.Frame) }
+
+// hopFixedLen is the encoded size of a hop minus its variable-length
+// tier name: unit u32, frame u32, node u32, tier length u8, ingest u64,
+// relay u64.
+const hopFixedLen = 4 + 4 + 4 + 1 + 8 + 8
+
+// maxTierName bounds the encoded tier-name length.
+const maxTierName = 255
+
+// EncodeHop renders a hop in its canonical little-endian wire form. A
+// tier name longer than 255 bytes is truncated — hop records are
+// diagnostics, not evidence, and must never fail to encode.
+func EncodeHop(h Hop) []byte {
+	tier := h.Tier
+	if len(tier) > maxTierName {
+		tier = tier[:maxTierName]
+	}
+	b := make([]byte, hopFixedLen+len(tier))
+	binary.LittleEndian.PutUint32(b[0:], h.Unit)
+	binary.LittleEndian.PutUint32(b[4:], uint32(h.Frame))
+	binary.LittleEndian.PutUint32(b[8:], h.Node)
+	b[12] = byte(len(tier))
+	copy(b[13:], tier)
+	off := 13 + len(tier)
+	binary.LittleEndian.PutUint64(b[off:], h.Ingest)
+	binary.LittleEndian.PutUint64(b[off+8:], h.Relay)
+	return b
+}
+
+// DecodeHop is the inverse of EncodeHop: pure, bounds-checked, never
+// panicking on arbitrary input.
+func DecodeHop(b []byte) (Hop, error) {
+	if len(b) < hopFixedLen {
+		return Hop{}, fmt.Errorf("tracequery: hop record %d bytes, need at least %d", len(b), hopFixedLen)
+	}
+	tlen := int(b[12])
+	if len(b) != hopFixedLen+tlen {
+		return Hop{}, fmt.Errorf("tracequery: hop record %d bytes, want %d for tier length %d", len(b), hopFixedLen+tlen, tlen)
+	}
+	off := 13 + tlen
+	return Hop{
+		Unit:   binary.LittleEndian.Uint32(b[0:]),
+		Frame:  int32(binary.LittleEndian.Uint32(b[4:])),
+		Node:   binary.LittleEndian.Uint32(b[8:]),
+		Tier:   string(b[13 : 13+tlen]),
+		Ingest: binary.LittleEndian.Uint64(b[off:]),
+		Relay:  binary.LittleEndian.Uint64(b[off+8:]),
+	}, nil
+}
+
+// TierLatency is one attributed slice of a trace's end-to-end time.
+// Kind is "unit" (on-board compute, from the root span's duration),
+// "link" (transit between two stamping nodes), or "aggregation" (time a
+// node held the bytes before relaying them). Ticks are in the injected
+// clock's unit — attribution is meaningful when the unit tracers and
+// fleet nodes share one clock, as the deterministic experiments do.
+//
+//safexplain:req REQ-XAI
+type TierLatency struct {
+	Tier  string `json:"tier"`
+	Kind  string `json:"kind"`
+	Ticks uint64 `json:"ticks"`
+}
+
+// Bundle is one reassembled end-to-end trace. Spans are sorted by Idx
+// (the unit's tree order); Hops by ingest tick (the path order);
+// Attribution is derived from both. Hash is the bundle's core hash —
+// see CoreHash for what it covers and why.
+//
+//safexplain:req REQ-XAI
+type Bundle struct {
+	ID          string          `json:"id"`
+	Unit        uint32          `json:"unit"`
+	Frame       int32           `json:"frame"`
+	Spans       []obs.TraceSpan `json:"spans"`
+	Hops        []Hop           `json:"hops,omitempty"`
+	Attribution []TierLatency   `json:"attribution,omitempty"`
+	Hash        string          `json:"hash"`
+}
+
+// bundleCore is the arrival-invariant subset a bundle's hash covers.
+type bundleCore struct {
+	ID    string          `json:"id"`
+	Unit  uint32          `json:"unit"`
+	Frame int32           `json:"frame"`
+	Spans []obs.TraceSpan `json:"spans"`
+}
+
+// CoreHash returns the SHA-256 (hex) over the bundle's canonical JSON
+// core: identity and spans only. Hop stamps and the attribution derived
+// from them depend on arrival timing, so they are excluded — two
+// reassemblies that saw the same spans hash identically no matter how
+// the frames interleaved or how many link retransmissions it took.
+//
+//safexplain:req REQ-DET REQ-XAI
+func (b Bundle) CoreHash() string {
+	j, err := json.Marshal(bundleCore{ID: b.ID, Unit: b.Unit, Frame: b.Frame, Spans: b.Spans})
+	if err != nil { // unreachable: fixed-shape struct of scalars
+		return ""
+	}
+	sum := sha256.Sum256(j)
+	return hex.EncodeToString(sum[:])
+}
+
+// RootDur returns the root span's duration (the unit-local end-to-end
+// ticks), or 0 when the root span was not reassembled.
+func (b Bundle) RootDur() uint64 {
+	for _, s := range b.Spans {
+		if s.Idx == 0 {
+			return s.Dur
+		}
+	}
+	return 0
+}
+
+// SetHash returns the SHA-256 (hex) chaining the core hashes of a
+// bundle set, sorted by ID — the single scalar a trace export chains
+// into the evidence log.
+//
+//safexplain:req REQ-DET REQ-XAI
+func SetHash(bundles []Bundle) string {
+	hs := make([]string, 0, len(bundles))
+	for _, b := range bundles {
+		hs = append(hs, b.ID+":"+b.CoreHash())
+	}
+	sort.Strings(hs)
+	h := sha256.New()
+	for _, s := range hs {
+		h.Write([]byte(s))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// traceAcc accumulates one trace's spans (keyed by Idx, so a
+// retransmitted span overwrites itself byte-identically) and hops
+// (keyed by stamping node, first stamp wins).
+type traceAcc struct {
+	unit  uint32
+	frame int32
+	spans map[int16]obs.TraceSpan
+	hops  map[uint32]Hop
+}
+
+// Store reassembles traces from spans and hops as they arrive, in any
+// order, holding at most cap traces and evicting the oldest-inserted
+// beyond that. All methods are safe for concurrent use.
+//
+//safexplain:req REQ-DET REQ-XAI
+type Store struct {
+	mu      sync.Mutex
+	cap     int
+	traces  map[uint64]*traceAcc
+	order   []uint64 // insertion order, for bounded eviction
+	scratch []obs.DownRecord
+	evicted uint64
+	dropped uint64 // spans/hops rejected by the per-trace bounds
+}
+
+// DefaultCapacity is the trace capacity used when NewStore is given a
+// non-positive one.
+const DefaultCapacity = 256
+
+// NewStore returns a store holding at most capacity traces.
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Store{cap: capacity, traces: make(map[uint64]*traceAcc)}
+}
+
+// acc returns (creating and evicting as needed) the accumulator for id.
+// Caller holds the mutex.
+func (s *Store) acc(id uint64) *traceAcc {
+	if a, ok := s.traces[id]; ok {
+		return a
+	}
+	if len(s.order) >= s.cap {
+		victim := s.order[0]
+		s.order = s.order[1:]
+		delete(s.traces, victim)
+		s.evicted++
+	}
+	a := &traceAcc{
+		unit:  obs.TraceIDUnit(id),
+		frame: obs.TraceIDFrame(id),
+		spans: make(map[int16]obs.TraceSpan),
+		hops:  make(map[uint32]Hop),
+	}
+	s.traces[id] = a
+	s.order = append(s.order, id)
+	return a
+}
+
+// AddSpan routes one span into its trace. Spans without a TraceID (v1
+// records) or with an out-of-bound index are counted as dropped.
+func (s *Store) AddSpan(span obs.TraceSpan) {
+	if span.ID == 0 {
+		return
+	}
+	s.mu.Lock()
+	if span.Idx < 0 || span.Idx >= maxSpanIdx {
+		s.dropped++
+	} else {
+		s.acc(span.ID).spans[span.Idx] = span
+	}
+	s.mu.Unlock()
+}
+
+// AddHop routes one hop record into its trace. Each node stamps a trace
+// once; a duplicate stamp (a retransmitted hop record) is ignored.
+func (s *Store) AddHop(h Hop) {
+	id := h.TraceID()
+	if id == 0 {
+		return
+	}
+	s.mu.Lock()
+	a := s.acc(id)
+	if _, seen := a.hops[h.Node]; !seen {
+		if len(a.hops) >= maxHopsPerTrace {
+			s.dropped++
+		} else {
+			a.hops[h.Node] = h
+		}
+	}
+	s.mu.Unlock()
+}
+
+// IngestFrame decodes one downlink frame payload and routes every
+// identified span into the store. Decoding reuses an internal scratch
+// slice, so steady-state ingest does not allocate per frame. Corrupt
+// frames are rejected whole.
+func (s *Store) IngestFrame(payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, recs, _, err := obs.DecodeFrameAppend(payload, s.scratch[:0])
+	s.scratch = recs[:0]
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if r.Kind != obs.RecSpan && r.Kind != obs.RecSpanV2 {
+			continue
+		}
+		span := r.Span
+		if span.ID == 0 {
+			continue
+		}
+		if span.Idx < 0 || span.Idx >= maxSpanIdx {
+			s.dropped++
+			continue
+		}
+		s.acc(span.ID).spans[span.Idx] = span
+	}
+	return nil
+}
+
+// Len returns the number of traces currently held.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.traces)
+}
+
+// Evicted returns how many traces were evicted by the capacity bound.
+func (s *Store) Evicted() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
+}
+
+// Dropped returns how many spans/hops were rejected by per-trace bounds.
+func (s *Store) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// build assembles the bundle for one accumulator. Caller holds the
+// mutex.
+func (s *Store) build(id uint64, a *traceAcc) Bundle {
+	b := Bundle{
+		ID:    obs.FormatTraceID(id),
+		Unit:  a.unit,
+		Frame: a.frame,
+		Spans: make([]obs.TraceSpan, 0, len(a.spans)),
+	}
+	for _, span := range a.spans {
+		b.Spans = append(b.Spans, span)
+	}
+	sort.Slice(b.Spans, func(i, j int) bool { return b.Spans[i].Idx < b.Spans[j].Idx })
+	if len(a.hops) > 0 {
+		b.Hops = make([]Hop, 0, len(a.hops))
+		for _, h := range a.hops {
+			b.Hops = append(b.Hops, h)
+		}
+		sort.Slice(b.Hops, func(i, j int) bool {
+			if b.Hops[i].Ingest != b.Hops[j].Ingest {
+				return b.Hops[i].Ingest < b.Hops[j].Ingest
+			}
+			return b.Hops[i].Node < b.Hops[j].Node
+		})
+	}
+	b.Attribution = attribute(b)
+	b.Hash = b.CoreHash()
+	return b
+}
+
+// attribute derives the per-tier latency split: the unit's root span
+// duration, then alternating link and aggregation slices along the hop
+// chain. Slices whose clocks do not line up (a hop stamped before its
+// upstream relayed, which happens when tiers do not share a clock) are
+// omitted rather than reported negative.
+func attribute(b Bundle) []TierLatency {
+	var out []TierLatency
+	if d := b.RootDur(); d != 0 {
+		out = append(out, TierLatency{Tier: "unit", Kind: "unit", Ticks: d})
+	}
+	// The unit's frame ends at root Begin+Dur on the shared clock; that
+	// is the departure tick for the first link.
+	var prevOut uint64
+	for _, s := range b.Spans {
+		if s.Idx == 0 && s.Dur != 0 {
+			prevOut = s.Begin + s.Dur
+		}
+	}
+	for _, h := range b.Hops {
+		if prevOut != 0 && h.Ingest >= prevOut {
+			out = append(out, TierLatency{Tier: h.Tier, Kind: "link", Ticks: h.Ingest - prevOut})
+		}
+		if h.Relay != 0 && h.Relay >= h.Ingest {
+			out = append(out, TierLatency{Tier: h.Tier, Kind: "aggregation", Ticks: h.Relay - h.Ingest})
+			prevOut = h.Relay
+		} else {
+			prevOut = 0
+		}
+	}
+	return out
+}
+
+// Bundle returns the reassembled trace for id, if the store holds it.
+func (s *Store) Bundle(id uint64) (Bundle, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.traces[id]
+	if !ok {
+		return Bundle{}, false
+	}
+	return s.build(id, a), true
+}
+
+// Bundles returns every held trace, sorted by ID.
+func (s *Store) Bundles() []Bundle {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Bundle, 0, len(s.traces))
+	for id, a := range s.traces {
+		out = append(out, s.build(id, a))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByFrame returns the held traces for one frame index (across units),
+// sorted by ID.
+func (s *Store) ByFrame(frame int32) []Bundle {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Bundle
+	for id, a := range s.traces {
+		if a.frame == frame {
+			out = append(out, s.build(id, a))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Slowest returns the n traces with the largest unit-local (root span)
+// duration, slowest first; ties break toward the lower ID so the
+// ordering is total and deterministic.
+func (s *Store) Slowest(n int) []Bundle {
+	all := s.Bundles()
+	sort.SliceStable(all, func(i, j int) bool {
+		di, dj := all[i].RootDur(), all[j].RootDur()
+		if di != dj {
+			return di > dj
+		}
+		return all[i].ID < all[j].ID
+	})
+	if n > 0 && n < len(all) {
+		all = all[:n]
+	}
+	return all
+}

@@ -1,0 +1,326 @@
+package tracequery
+
+import (
+	"testing"
+
+	"safexplain/internal/fleet"
+	"safexplain/internal/obs"
+)
+
+// span builds a minimal identified v2 span.
+func span(id uint64, idx, parent int16, begin, dur uint64) obs.TraceSpan {
+	return obs.TraceSpan{
+		Frame:  obs.TraceIDFrame(id),
+		Idx:    idx,
+		Parent: parent,
+		ID:     id,
+		Begin:  begin,
+		Dur:    dur,
+	}
+}
+
+func TestHopEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Hop{
+		{Unit: 1, Frame: 0, Node: 100, Tier: "unit", Ingest: 5, Relay: 9},
+		{Unit: 0xffffffff, Frame: -1, Node: 0, Tier: "", Ingest: 0, Relay: 0},
+		{Unit: 7, Frame: 1 << 30, Node: 200, Tier: "global", Ingest: 1 << 62, Relay: 0},
+	}
+	for _, want := range cases {
+		got, err := DecodeHop(EncodeHop(want))
+		if err != nil {
+			t.Fatalf("%+v: %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("round trip = %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestHopEncodeTruncatesLongTier(t *testing.T) {
+	long := make([]byte, 400)
+	for i := range long {
+		long[i] = 'x'
+	}
+	h, err := DecodeHop(EncodeHop(Hop{Unit: 1, Frame: 2, Tier: string(long)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Tier) != maxTierName {
+		t.Fatalf("tier length = %d, want truncated to %d", len(h.Tier), maxTierName)
+	}
+}
+
+func TestDecodeHopRejectsCorruptInput(t *testing.T) {
+	good := EncodeHop(Hop{Unit: 1, Frame: 2, Node: 3, Tier: "region", Ingest: 4, Relay: 5})
+	cases := map[string][]byte{
+		"empty":         nil,
+		"short":         good[:hopFixedLen-1],
+		"tail chopped":  good[:len(good)-1],
+		"extra byte":    append(append([]byte{}, good...), 0),
+		"length beyond": {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 200, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+	}
+	for name, b := range cases {
+		if _, err := DecodeHop(b); err == nil {
+			t.Errorf("%s: decoded corrupt hop without error", name)
+		}
+	}
+}
+
+// TestStoreDedup pins the idempotency rules: a retransmitted span
+// overwrites itself by Idx, and a node stamps each trace at most once.
+func TestStoreDedup(t *testing.T) {
+	st := NewStore(8)
+	id := obs.TraceID(3, 1)
+	st.AddSpan(span(id, 0, -1, 10, 5))
+	st.AddSpan(span(id, 0, -1, 10, 5)) // retransmission
+	st.AddSpan(span(id, 1, 0, 11, 2))
+	st.AddHop(Hop{Unit: 3, Frame: 1, Node: 9, Tier: "unit", Ingest: 20, Relay: 21})
+	st.AddHop(Hop{Unit: 3, Frame: 1, Node: 9, Tier: "unit", Ingest: 99, Relay: 99}) // dup stamp
+
+	b, ok := st.Bundle(id)
+	if !ok {
+		t.Fatal("trace not held")
+	}
+	if len(b.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2 (dedup by Idx)", len(b.Spans))
+	}
+	if len(b.Hops) != 1 || b.Hops[0].Ingest != 20 {
+		t.Fatalf("hops = %+v, want the first stamp only", b.Hops)
+	}
+}
+
+// TestStoreBounds pins the wire-input bounds: out-of-range span indices
+// and hop-chain overflow are counted as drops, untraced records are
+// ignored silently.
+func TestStoreBounds(t *testing.T) {
+	st := NewStore(8)
+	id := obs.TraceID(1, 1)
+
+	st.AddSpan(span(0, 0, -1, 1, 1)) // v1: no ID, silently skipped
+	st.AddSpan(span(id, maxSpanIdx, -1, 1, 1))
+	st.AddSpan(span(id, -1, -1, 1, 1))
+	if st.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2 (idx bounds)", st.Dropped())
+	}
+	if st.Len() != 0 {
+		t.Fatalf("len = %d, want 0 — rejected spans must not create traces", st.Len())
+	}
+
+	st.AddHop(Hop{Unit: 0, Frame: 0, Node: 1, Tier: "x", Ingest: 1}) // zero TraceID
+	if st.Len() != 0 {
+		t.Fatal("untraced hop created a trace")
+	}
+	for n := uint32(1); n <= maxHopsPerTrace+3; n++ {
+		st.AddHop(Hop{Unit: 1, Frame: 1, Node: n, Tier: "t", Ingest: uint64(n)})
+	}
+	b, _ := st.Bundle(id)
+	if len(b.Hops) != maxHopsPerTrace {
+		t.Fatalf("hops = %d, want bounded at %d", len(b.Hops), maxHopsPerTrace)
+	}
+	if st.Dropped() != 2+3 {
+		t.Fatalf("dropped = %d, want 5", st.Dropped())
+	}
+}
+
+// TestStoreEviction pins the bounded-memory property: the store holds
+// at most cap traces, evicting in insertion order.
+func TestStoreEviction(t *testing.T) {
+	st := NewStore(3)
+	for f := 1; f <= 5; f++ {
+		st.AddSpan(span(obs.TraceID(1, int32(f)), 0, -1, 1, 1))
+	}
+	if st.Len() != 3 {
+		t.Fatalf("len = %d, want cap 3", st.Len())
+	}
+	if st.Evicted() != 2 {
+		t.Fatalf("evicted = %d, want 2", st.Evicted())
+	}
+	for f := 1; f <= 2; f++ {
+		if _, ok := st.Bundle(obs.TraceID(1, int32(f))); ok {
+			t.Fatalf("frame %d survived eviction, want oldest-first", f)
+		}
+	}
+	for f := 3; f <= 5; f++ {
+		if _, ok := st.Bundle(obs.TraceID(1, int32(f))); !ok {
+			t.Fatalf("frame %d missing, want newest 3 retained", f)
+		}
+	}
+}
+
+// tracedPayloads captures the downlink frame payloads of one traced
+// unit frame — the real wire form IngestFrame consumes.
+func tracedPayloads(t *testing.T, unit uint32, frame int) [][]byte {
+	t.Helper()
+	o := obs.New(obs.Config{Name: "tq-test", Unit: unit, Clock: obs.NewCounterClock()})
+	link := obs.NewDownlink(obs.DownlinkConfig{BytesPerFrame: 384})
+	o.AttachDownlink(link)
+	o.TraceBegin(frame)
+	o.TraceChild(obs.StageDeadline, 0, 1.0, o.TraceRoot())
+	o.TraceEnd(frame)
+	chunks := fleet.SplitFrames(link.Capture())
+	if len(chunks) == 0 {
+		t.Fatal("traced frame produced no chunks")
+	}
+	return chunks
+}
+
+// TestIngestFrameRoutesSpans checks frame-payload ingest lands the v2
+// spans under their TraceID and rejects corrupt payloads whole.
+func TestIngestFrameRoutesSpans(t *testing.T) {
+	st := NewStore(8)
+	for _, p := range tracedPayloads(t, 7, 4) {
+		if err := st.IngestFrame(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, ok := st.Bundle(obs.TraceID(7, 4))
+	if !ok {
+		t.Fatal("traced frame not reassembled")
+	}
+	if len(b.Spans) == 0 || b.RootDur() == 0 {
+		t.Fatalf("bundle = %+v, want spans with a timed root", b)
+	}
+	if err := st.IngestFrame([]byte{0xff, 0xfe, 0xfd}); err == nil {
+		t.Fatal("corrupt payload ingested without error")
+	}
+}
+
+// TestCoreHashArrivalInvariance pins the acceptance property: the core
+// hash covers identity+spans only, so reversed span arrival and
+// present-vs-absent hop stamps hash identically, while a changed span
+// does not.
+func TestCoreHashArrivalInvariance(t *testing.T) {
+	id := obs.TraceID(2, 9)
+	spans := []obs.TraceSpan{
+		span(id, 0, -1, 10, 8),
+		span(id, 1, 0, 11, 2),
+		span(id, 2, 0, 13, 3),
+	}
+	forward, reversed, hopped := NewStore(4), NewStore(4), NewStore(4)
+	for _, s := range spans {
+		forward.AddSpan(s)
+	}
+	for i := len(spans) - 1; i >= 0; i-- {
+		reversed.AddSpan(spans[i])
+	}
+	for _, s := range spans {
+		hopped.AddSpan(s)
+		hopped.AddSpan(s) // injected-loss retransmission
+	}
+	hopped.AddHop(Hop{Unit: 2, Frame: 9, Node: 5, Tier: "region", Ingest: 30, Relay: 31})
+
+	bf, _ := forward.Bundle(id)
+	br, _ := reversed.Bundle(id)
+	bh, _ := hopped.Bundle(id)
+	if bf.Hash == "" || bf.Hash != br.Hash || bf.Hash != bh.Hash {
+		t.Fatalf("core hashes diverge: %s / %s / %s", bf.Hash, br.Hash, bh.Hash)
+	}
+
+	mutated := NewStore(4)
+	for _, s := range spans[:2] {
+		mutated.AddSpan(s)
+	}
+	mutated.AddSpan(span(id, 2, 0, 13, 4)) // one tick longer
+	bm, _ := mutated.Bundle(id)
+	if bm.Hash == bf.Hash {
+		t.Fatal("core hash ignored a span mutation")
+	}
+}
+
+// TestSetHashOrderIndependence checks the export scalar is a pure
+// function of the bundle set, not its ordering.
+func TestSetHashOrderIndependence(t *testing.T) {
+	st := NewStore(8)
+	for f := 1; f <= 3; f++ {
+		st.AddSpan(span(obs.TraceID(1, int32(f)), 0, -1, uint64(f), 2))
+	}
+	bundles := st.Bundles()
+	shuffled := []Bundle{bundles[2], bundles[0], bundles[1]}
+	if SetHash(bundles) != SetHash(shuffled) {
+		t.Fatal("set hash depends on bundle ordering")
+	}
+	if SetHash(bundles) == SetHash(bundles[:2]) {
+		t.Fatal("set hash ignored a missing bundle")
+	}
+}
+
+// TestAttribution pins the latency-split math on a hand-built chain:
+// unit slice from the root span, link slices between stamps, and
+// aggregation slices inside relaying nodes; unclockable slices are
+// omitted, never negative.
+func TestAttribution(t *testing.T) {
+	st := NewStore(4)
+	id := obs.TraceID(5, 2)
+	st.AddSpan(span(id, 0, -1, 100, 20)) // frame departs at tick 120
+	st.AddHop(Hop{Unit: 5, Frame: 2, Node: 10, Tier: "unit", Ingest: 125, Relay: 127})
+	st.AddHop(Hop{Unit: 5, Frame: 2, Node: 11, Tier: "region", Ingest: 140, Relay: 0}) // terminal
+
+	b, _ := st.Bundle(id)
+	want := []TierLatency{
+		{Tier: "unit", Kind: "unit", Ticks: 20},
+		{Tier: "unit", Kind: "link", Ticks: 5},        // 125 - 120
+		{Tier: "unit", Kind: "aggregation", Ticks: 2}, // 127 - 125
+		{Tier: "region", Kind: "link", Ticks: 13},     // 140 - 127
+	}
+	if len(b.Attribution) != len(want) {
+		t.Fatalf("attribution = %+v, want %+v", b.Attribution, want)
+	}
+	for i, w := range want {
+		if b.Attribution[i] != w {
+			t.Fatalf("attribution[%d] = %+v, want %+v", i, b.Attribution[i], w)
+		}
+	}
+
+	// A stamp that precedes the departure tick (unshared clock) yields
+	// no link slice instead of a negative one.
+	st2 := NewStore(4)
+	st2.AddSpan(span(id, 0, -1, 100, 20))
+	st2.AddHop(Hop{Unit: 5, Frame: 2, Node: 10, Tier: "unit", Ingest: 50, Relay: 0})
+	b2, _ := st2.Bundle(id)
+	for _, a := range b2.Attribution {
+		if a.Kind == "link" {
+			t.Fatalf("unclockable hop produced a link slice: %+v", b2.Attribution)
+		}
+	}
+}
+
+// TestQueriesDeterministic pins the read-side orderings: Bundles by ID,
+// ByFrame filtered then by ID, Slowest by root duration with ID
+// tiebreak.
+func TestQueriesDeterministic(t *testing.T) {
+	st := NewStore(16)
+	st.AddSpan(span(obs.TraceID(2, 1), 0, -1, 1, 7))
+	st.AddSpan(span(obs.TraceID(1, 1), 0, -1, 1, 7)) // tie with above
+	st.AddSpan(span(obs.TraceID(1, 2), 0, -1, 1, 30))
+	st.AddSpan(span(obs.TraceID(3, 1), 0, -1, 1, 2))
+
+	all := st.Bundles()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Fatalf("Bundles not ID-sorted: %s before %s", all[i-1].ID, all[i].ID)
+		}
+	}
+
+	f1 := st.ByFrame(1)
+	if len(f1) != 3 {
+		t.Fatalf("ByFrame(1) = %d bundles, want 3", len(f1))
+	}
+	for _, b := range f1 {
+		if b.Frame != 1 {
+			t.Fatalf("ByFrame(1) returned frame %d", b.Frame)
+		}
+	}
+
+	slow := st.Slowest(3)
+	if len(slow) != 3 {
+		t.Fatalf("Slowest(3) = %d bundles", len(slow))
+	}
+	if slow[0].RootDur() != 30 {
+		t.Fatalf("slowest[0] dur = %d, want 30", slow[0].RootDur())
+	}
+	// The two 7-tick traces tie; the lower ID must come first.
+	if slow[1].ID >= slow[2].ID || slow[1].RootDur() != 7 {
+		t.Fatalf("tie break wrong: %s (%d) before %s (%d)",
+			slow[1].ID, slow[1].RootDur(), slow[2].ID, slow[2].RootDur())
+	}
+}

@@ -1,0 +1,115 @@
+package watch
+
+import (
+	"testing"
+
+	"safexplain/internal/obs"
+)
+
+// TestBurnAlertCarriesExemplarTraceID checks the exemplar linkage end
+// to end at the watcher level: a burn-rate breach names the TraceID of
+// the worst observation its histogram retained, the evidence hash
+// covers that id, and exemplar-free rules keep an empty TraceID.
+func TestBurnAlertCarriesExemplarTraceID(t *testing.T) {
+	reg := obs.NewRegistry("rt")
+	hist := reg.Histogram("rt_frame_cycles", "cycles", obs.BudgetBounds(100)...)
+	snaps := func() []obs.Snapshot { return []obs.Snapshot{reg.Snapshot()} }
+
+	w, err := New(Config{
+		Origin: "n0",
+		Rules:  mustRules(t, "burn rt_frame_cycles bound 4 slo 0.9 window 2 > 1 for 2\n"),
+	}, snaps())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	worst := obs.TraceID(7, 42)
+	tick := int64(0)
+	step := func(obsFn func()) {
+		tick++
+		obsFn()
+		if _, err := w.Observe(tick, snaps()); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+
+	// Warmup under budget; each observation is traced but in-budget.
+	for i := 0; i < 4; i++ {
+		step(func() {
+			hist.ObserveExemplar(50, obs.TraceID(7, int32(i)))
+			hist.ObserveExemplar(80, obs.TraceID(7, int32(i)))
+		})
+	}
+	// Budget blown: the 130-cycle observation from frame 42 is the worst
+	// of its scrape interval and must surface as the alert's exemplar.
+	for i := 0; i < 2; i++ {
+		step(func() {
+			hist.ObserveExemplar(50, obs.TraceID(7, 50))
+			hist.ObserveExemplar(120, obs.TraceID(7, 51))
+			hist.ObserveExemplar(130, worst)
+			hist.ObserveExemplar(125, obs.TraceID(7, 52))
+		})
+	}
+
+	alerts := w.Alerts()
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1 firing", len(alerts))
+	}
+	a := alerts[0]
+	if a.State != StateFiring {
+		t.Fatalf("alert state = %q, want firing", a.State)
+	}
+	if a.TraceID != obs.FormatTraceID(worst) {
+		t.Fatalf("alert TraceID = %q, want %s (the worst-case exemplar)",
+			a.TraceID, obs.FormatTraceID(worst))
+	}
+
+	// The evidence hash covers the TraceID: the relay round trip
+	// verifies, and a tampered id is rejected.
+	blob, err := EncodeAlert(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeAlert(blob)
+	if err != nil {
+		t.Fatalf("relay round trip: %v", err)
+	}
+	if got.TraceID != a.TraceID {
+		t.Fatal("TraceID lost in the relay round trip")
+	}
+	forged := a
+	forged.TraceID = obs.FormatTraceID(obs.TraceID(7, 1))
+	fb, _ := EncodeAlert(forged)
+	if _, err := DecodeAlert(fb); err == nil {
+		t.Fatal("evidence hash accepted a tampered TraceID")
+	}
+}
+
+// TestScalarAlertHasNoTraceID checks non-burn rules never pick up an
+// exemplar — TraceID linkage is a burn-rule property.
+func TestScalarAlertHasNoTraceID(t *testing.T) {
+	reg := obs.NewRegistry("rt")
+	g := reg.Gauge("rt_health", "health")
+	hist := reg.Histogram("rt_frame_cycles", "cycles", obs.BudgetBounds(100)...)
+	snaps := func() []obs.Snapshot { return []obs.Snapshot{reg.Snapshot()} }
+
+	w, err := New(Config{
+		Origin: "n0",
+		Rules:  mustRules(t, "threshold rt_health < 1 for 1\n"),
+	}, snaps())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	g.Set(0)
+	hist.ObserveExemplar(500, obs.TraceID(9, 9)) // exemplar present, rule scalar
+	if _, err := w.Observe(1, snaps()); err != nil {
+		t.Fatal(err)
+	}
+	alerts := w.Alerts()
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1", len(alerts))
+	}
+	if alerts[0].TraceID != "" {
+		t.Fatalf("scalar alert TraceID = %q, want empty", alerts[0].TraceID)
+	}
+}

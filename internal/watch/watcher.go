@@ -26,6 +26,14 @@ type Alert struct {
 	Value     float64 `json:"value"`
 	Threshold float64 `json:"threshold"`
 
+	// TraceID, when non-empty, is the canonical 16-hex-digit id of the
+	// worst-case exemplar the rule's histogram retained before the
+	// transition — the exact trace that blew the budget, resolvable with
+	// `safexplain trace -id`. Omitted from JSON (and therefore from the
+	// evidence hash) when no exemplar was seen, so alerts from
+	// exemplar-free sources hash exactly as before.
+	TraceID string `json:"trace_id,omitempty"`
+
 	EvidenceHash string `json:"evidence_hash"`
 }
 
@@ -156,6 +164,13 @@ type boundRule struct {
 	hist   *histSeries
 	streak int
 	firing bool
+
+	// Latest exemplar the rule's histogram carried in a snapshot: the
+	// worst observation of its scrape interval and the TraceID that
+	// produced it. Attached to the rule's alerts so a burn-rate breach
+	// names the trace to pull.
+	exVal float64
+	exID  string
 }
 
 // Watcher samples snapshots into the ring store and evaluates the armed
@@ -242,8 +257,33 @@ func (w *Watcher) Observe(tick int64, snaps []obs.Snapshot) (int, error) {
 	if err := w.store.Sample(tick, w.vals); err != nil {
 		return 0, err
 	}
+	w.noteExemplars(snaps)
 	w.tick = tick
 	return w.evalLocked(tick), nil
+}
+
+// noteExemplars retains, per burn rule, the latest exemplar its
+// histogram carried in the sampled snapshots. String and scalar copies
+// only — the steady-state Observe path stays allocation-free.
+//
+//safexplain:locked mu
+func (w *Watcher) noteExemplars(snaps []obs.Snapshot) {
+	for i := range w.rules {
+		br := &w.rules[i]
+		if br.rule.Kind != RuleBurn {
+			continue
+		}
+		//safexplain:bounded snapshot and histogram counts are frozen by the layout
+		for s := range snaps {
+			for h := range snaps[s].Histograms {
+				hs := &snaps[s].Histograms[h]
+				if hs.Name == br.rule.Metric && hs.Exemplar != nil {
+					br.exVal = hs.Exemplar.Value
+					br.exID = hs.Exemplar.TraceID
+				}
+			}
+		}
+	}
 }
 
 // evalLocked evaluates every bound rule at tick and handles transitions.
@@ -319,6 +359,7 @@ func (w *Watcher) fireLocked(ruleIdx int, br *boundRule, tick int64, v float64, 
 		Tick:      tick,
 		Value:     v,
 		Threshold: br.rule.Value,
+		TraceID:   br.exID,
 	}
 	a.EvidenceHash = hashAlert(a)
 	if len(w.alerts) < w.cfg.MaxAlerts {
