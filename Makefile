@@ -10,7 +10,8 @@ FUZZ_TARGETS = \
 	FuzzDownlinkDecode=./internal/obs \
 	FuzzFleetIngest=./internal/fleet \
 	FuzzTierDecode=./internal/fleetnet \
-	FuzzWatchRuleDecode=./internal/watch
+	FuzzWatchRuleDecode=./internal/watch \
+	FuzzProfDecode=./internal/prof
 FUZZTIME ?= 30s
 
 .PHONY: all build vet test race bench bench-json bench-diff lint safelint staticcheck govulncheck experiments examples fuzz cover clean
@@ -45,7 +46,7 @@ bench-json:
 # BENCH_DIFF_FLAGS= for report-only). The fresh pass goes to
 # BENCH_current.json (not the dated name) so it can never clobber the
 # committed baseline.
-BENCH_BASELINE ?= BENCH_2026-08-06.json
+BENCH_BASELINE ?= BENCH_2026-08-08.json
 BENCH_DIFF_FLAGS ?= -fail -threshold 40
 bench-diff:
 	$(GO) run ./cmd/benchjson -out BENCH_current.json

@@ -1,4 +1,4 @@
-// Benchmark harness: one benchmark per table (T1–T20) and figure (F1–F3)
+// Benchmark harness: one benchmark per table (T1–T21) and figure (F1–F3)
 // of EXPERIMENTS.md. Each benchmark regenerates its experiment — printing
 // the full table via -v logs — and times a regeneration pass, so
 //
@@ -186,4 +186,11 @@ func BenchmarkT19SafelintV2(b *testing.B) {
 // counter clock.
 func BenchmarkT20Tracing(b *testing.B) {
 	benchExperiment(b, "T20", "fps_clean", "resumes_loss", "attr_err_max_loss")
+}
+
+// BenchmarkT21Profiling regenerates Table T21: continuous hot-path
+// profiling — seeded slow-kernel localization with live pWCET movement,
+// order-independent fleet profile merge, and the probe-effect bound.
+func BenchmarkT21Profiling(b *testing.B) {
+	benchExperiment(b, "T21", "false_attributions", "probe_ratio", "record_allocs_per_100k")
 }

@@ -89,11 +89,13 @@ func parseBench(r io.Reader) ([]Entry, error) {
 var diffUnits = []string{"ns/op", "B/op", "allocs/op"}
 
 // diffReports renders an old-vs-new comparison and returns the names of
-// benchmarks that regressed beyond thresholdPct on any compared unit.
-// Benchmarks present on only one side are listed but never count as
-// regressions (a new benchmark has no baseline; a removed one has no
-// current cost).
-func diffReports(oldRep, newRep Report, thresholdPct float64, out io.Writer) []string {
+// benchmarks that regressed beyond thresholdPct on any compared unit,
+// plus the names present in the new run but absent from the baseline.
+// One-sided benchmarks never count as regressions (a new benchmark has
+// no baseline; a removed one has no current cost), but a run that has
+// outgrown its baseline is reported explicitly — a gate that silently
+// skips uncovered benchmarks is a gate that quietly stops gating.
+func diffReports(oldRep, newRep Report, thresholdPct float64, out io.Writer) (regressed, missing []string) {
 	oldBy := map[string]Entry{}
 	for _, e := range oldRep.Entries {
 		oldBy[e.Name] = e
@@ -103,12 +105,12 @@ func diffReports(oldRep, newRep Report, thresholdPct float64, out io.Writer) []s
 		newBy[e.Name] = e
 	}
 
-	var regressed []string
 	fmt.Fprintf(out, "%-36s %-10s %14s %14s %8s\n", "benchmark", "unit", "old", "new", "delta")
 	for _, ne := range newRep.Entries {
 		oe, ok := oldBy[ne.Name]
 		if !ok {
 			fmt.Fprintf(out, "%-36s %-10s %14s %14s %8s\n", ne.Name, "-", "(new)", "-", "-")
+			missing = append(missing, ne.Name)
 			continue
 		}
 		worst := 0.0
@@ -145,7 +147,12 @@ func diffReports(oldRep, newRep Report, thresholdPct float64, out io.Writer) []s
 	}
 	fmt.Fprintf(out, "\n%d benchmark(s) regressed beyond %.0f%% (of %d compared)\n",
 		len(regressed), thresholdPct, len(newRep.Entries))
-	return regressed
+	if len(missing) > 0 {
+		fmt.Fprintf(out, "%d benchmark(s) have no baseline entry and were not gated: %s\n",
+			len(missing), strings.Join(missing, ", "))
+		fmt.Fprintf(out, "regenerate the baseline (make bench-baseline) to bring them under the gate\n")
+	}
+	return regressed, missing
 }
 
 func readReport(path string) (Report, error) {
@@ -180,7 +187,7 @@ func run(out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		regressed := diffReports(oldRep, newRep, *threshold, out)
+		regressed, _ := diffReports(oldRep, newRep, *threshold, out)
 		if *failOnRegress && len(regressed) > 0 {
 			return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%: %s",
 				len(regressed), *threshold, strings.Join(regressed, ", "))

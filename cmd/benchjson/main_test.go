@@ -74,9 +74,12 @@ func TestDiffReportsFlagsRegressions(t *testing.T) {
 	}}
 
 	var out bytes.Buffer
-	regressed := diffReports(oldRep, newRep, 25, &out)
+	regressed, missing := diffReports(oldRep, newRep, 25, &out)
 	if want := []string{"BenchmarkSlower", "BenchmarkAllocs"}; strings.Join(regressed, ",") != strings.Join(want, ",") {
 		t.Fatalf("regressed = %v, want %v\n%s", regressed, want, out.String())
+	}
+	if want := []string{"BenchmarkFaster"}; strings.Join(missing, ",") != strings.Join(want, ",") {
+		t.Fatalf("missing = %v, want %v\n%s", missing, want, out.String())
 	}
 	for _, want := range []string{
 		"REGRESSION", "(new)", "(removed)", "2 benchmark(s) regressed beyond 25%",
@@ -97,7 +100,44 @@ func TestDiffReportsCleanWhenImproved(t *testing.T) {
 	oldRep := Report{Entries: []Entry{entry("BenchmarkX", 200, 128, 4)}}
 	newRep := Report{Entries: []Entry{entry("BenchmarkX", 100, 64, 2)}}
 	var out bytes.Buffer
-	if regressed := diffReports(oldRep, newRep, 25, &out); len(regressed) != 0 {
+	regressed, missing := diffReports(oldRep, newRep, 25, &out)
+	if len(regressed) != 0 {
 		t.Fatalf("improvement flagged as regression: %v\n%s", regressed, out.String())
+	}
+	if len(missing) != 0 {
+		t.Fatalf("fully covered run reported missing baselines: %v", missing)
+	}
+	if strings.Contains(out.String(), "no baseline entry") {
+		t.Fatalf("missing-baseline summary printed for a fully covered run:\n%s", out.String())
+	}
+}
+
+// TestDiffReportsStaleBaseline pins the behaviour the bench gate relies
+// on: a run containing benchmarks the baseline has never seen must name
+// every one of them in the summary — not silently skip them — while
+// still exiting clean (they cannot regress without a baseline).
+func TestDiffReportsStaleBaseline(t *testing.T) {
+	oldRep := Report{Entries: []Entry{entry("BenchmarkOld", 100, 64, 2)}}
+	newRep := Report{Entries: []Entry{
+		entry("BenchmarkOld", 100, 64, 2),
+		entry("BenchmarkT20Tracing", 500, 64, 2),
+		entry("BenchmarkT21Profiling", 700, 64, 2),
+	}}
+	var out bytes.Buffer
+	regressed, missing := diffReports(oldRep, newRep, 25, &out)
+	if len(regressed) != 0 {
+		t.Fatalf("uncovered benchmarks flagged as regressions: %v", regressed)
+	}
+	if want := []string{"BenchmarkT20Tracing", "BenchmarkT21Profiling"}; strings.Join(missing, ",") != strings.Join(want, ",") {
+		t.Fatalf("missing = %v, want %v", missing, want)
+	}
+	for _, want := range []string{
+		"2 benchmark(s) have no baseline entry and were not gated",
+		"BenchmarkT20Tracing", "BenchmarkT21Profiling",
+		"regenerate the baseline",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("diff output missing %q\n%s", want, out.String())
+		}
 	}
 }

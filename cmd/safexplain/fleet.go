@@ -18,6 +18,7 @@ import (
 	"safexplain/internal/fleet"
 	"safexplain/internal/nn"
 	"safexplain/internal/obs"
+	"safexplain/internal/prof"
 	"safexplain/internal/safety"
 	"safexplain/internal/trace"
 	"safexplain/internal/tracequery"
@@ -96,9 +97,17 @@ func cmdFleet(args []string, out io.Writer) error {
 		return err
 	}
 
+	// The single-process simulation profiles every unit cell at one
+	// shared stage site (deterministic counter ticks), so the /profile
+	// endpoint below serves real fleet-wide attribution.
+	profiler := prof.New(prof.Config{Name: "fleet", Clock: obs.NewCounterClock()})
+	profSite := profiler.AddSite("stage/unit-cell", prof.KindStage, 0)
+	profiler.Freeze()
+
 	chunks, err := simulateFleet(sys, fleetSimConfig{
 		units: *units, faulty: *faulty, frames: *frames, inject: *inject,
 		duration: *duration, intensity: *intensity, budget: *budget, seed: *seed,
+		prof: profiler, profSite: profSite,
 	})
 	if err != nil {
 		return err
@@ -258,8 +267,9 @@ func cmdFleet(args []string, out io.Writer) error {
 		// the command exits cleanly instead of dying mid-response.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		fmt.Fprintf(out, "serving fleet scrape endpoint on %s (/metrics, /report, /health, /alerts); interrupt to stop\n", *listen)
-		return serveHTTP(ctx, *listen, newFleetHandler(agg, watcher, nil))
+		fmt.Fprintf(out, "serving fleet scrape endpoint on %s (/metrics, /report, /health, /alerts, /profile); interrupt to stop\n", *listen)
+		return serveHTTP(ctx, *listen, newFleetHandler(agg, watcher, nil,
+			func() (prof.Report, bool) { return profiler.Report(), true }))
 	}
 	return nil
 }
@@ -299,6 +309,12 @@ type fleetSimConfig struct {
 	// ticks from this clock), so the downlink carries traceable records.
 	// v2 spans are 24 B larger on the wire — raise the budget accordingly.
 	clock func() uint64
+
+	// prof, when set, records every simulated frame's end-to-end decision
+	// latency at profSite — the hot-path samples a unit uplinks through
+	// the profile relay (tier mode) or serves on /profile (single-process).
+	prof     *prof.Profiler
+	profSite prof.SiteID
 }
 
 // simulateFleet runs one FDIR campaign cell per unit against the deployed
@@ -345,6 +361,8 @@ func simulateUnit(sys *safexplain.System, cfg fleetSimConfig, u int, faulty bool
 			return fdir.CalibrateOutputGuard(fdir.NetProbe{Net: sys.Net}, sys.TrainSet(), 4, 6, 0)
 		},
 		NewInputGuard: func() *fdir.InputGuard { return fdir.CalibrateInputGuard(sys.TrainSet(), 0.75) },
+		Prof:          cfg.prof,
+		ProfSite:      cfg.profSite,
 	}
 	pattern := fdir.PatternSpec{
 		Name: "simplex", Build: func(live *nn.Network, p fdir.Probe) safety.Pattern {
@@ -402,10 +420,11 @@ func wantsOpenMetrics(r *http.Request) bool {
 // canonical JSON, /health and /alerts from the armed watcher (w may be
 // nil: /health then answers 404 and /alerts an empty ledger), /trace
 // the reassembled trace bundles (404 when traces is nil — the untraced
-// single-process simulation). Each request freezes a fresh report from
-// the aggregator, so a scrape during ingest sees a consistent
-// point-in-time merge.
-func newFleetHandler(agg *fleet.Aggregator, w *watch.Watcher, traces *tracequery.Store) http.Handler {
+// single-process simulation), /profile the merged hot-path profile in
+// canonical JSON (404 when profile is nil or empty). Each request
+// freezes a fresh report from the aggregator, so a scrape during ingest
+// sees a consistent point-in-time merge.
+func newFleetHandler(agg *fleet.Aggregator, w *watch.Watcher, traces *tracequery.Store, profile func() (prof.Report, bool)) http.Handler {
 	mux := http.NewServeMux()
 	addWatchEndpoints(mux, "fleet",
 		func() (watch.Health, bool) {
@@ -421,6 +440,7 @@ func newFleetHandler(agg *fleet.Aggregator, w *watch.Watcher, traces *tracequery
 			return w.Alerts()
 		})
 	addTraceEndpoint(mux, "fleet", traces)
+	addProfileEndpoint(mux, profile)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		rep, err := agg.Report()
 		if err != nil {

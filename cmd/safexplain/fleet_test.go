@@ -103,7 +103,7 @@ func TestRunFleetBadArguments(t *testing.T) {
 // Prometheus server would, against an aggregator mid-ingest.
 func TestFleetHandler(t *testing.T) {
 	agg := fleet.New(fleet.Config{Shards: 1, MinUnits: 2})
-	srv := httptest.NewServer(newFleetHandler(agg, nil, nil))
+	srv := httptest.NewServer(newFleetHandler(agg, nil, nil, nil))
 	defer srv.Close()
 
 	get := func(path string) (int, string) {

@@ -86,7 +86,7 @@ func TestFleetListenShutdown(t *testing.T) {
 // valid — "reports": [], not null, and every top-level field present.
 func TestFleetReportEmptyState(t *testing.T) {
 	agg := fleet.New(fleet.Config{Shards: 2})
-	srv := httptest.NewServer(newFleetHandler(agg, nil, nil))
+	srv := httptest.NewServer(newFleetHandler(agg, nil, nil, nil))
 	defer srv.Close()
 	code, _, body := httpGet(t, srv.URL+"/report")
 	if code != http.StatusOK {

@@ -32,6 +32,12 @@
 //	           with per-tier latency attribution (the bundle-set hash
 //	           chains into the evidence log); with -addr query a running
 //	           node's /trace endpoint instead
+//	profile    operate the system under the always-on hot-path profiler
+//	           and render per-stage/per-kernel cycle attribution with
+//	           live pWCET estimates and WCET-budget headroom (the report
+//	           hash chains into the evidence log); with -addr tail a
+//	           running node's /profile endpoint, with -diff compare
+//	           against a committed baseline report
 //
 // Everything is deterministic given -seed; no files are read or written
 // unless a subcommand is given an output path.
@@ -94,13 +100,15 @@ func run(args []string, out io.Writer) error {
 		return cmdWatch(args[1:], out)
 	case "trace":
 		return cmdTrace(args[1:], out)
+	case "profile":
+		return cmdProfile(args[1:], out)
 	default:
 		return fmt.Errorf("%w: unknown subcommand %q", errUsage, args[0])
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: safexplain <lifecycle|explain|infer|timing|evidence|obs|blackbox|fleet|watch|trace> [flags]
+	fmt.Fprintln(os.Stderr, `usage: safexplain <lifecycle|explain|infer|timing|evidence|obs|blackbox|fleet|watch|trace|profile> [flags]
 run "safexplain <subcommand> -h" for flags`)
 }
 

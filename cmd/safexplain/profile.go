@@ -1,0 +1,261 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"runtime/pprof"
+	"strings"
+	"time"
+
+	"safexplain/internal/data"
+	"safexplain/internal/prof"
+	"safexplain/internal/trace"
+)
+
+// `safexplain profile` is the hot-path profiling workflow: build the
+// system (the profiler is armed always-on at Build), operate it over the
+// test stream while driving the quantized engine so both the stage sites
+// and the per-kernel sites accumulate samples, then render the canonical
+// profile report — per-site cycle attribution, live pWCET estimates from
+// the retained block maxima, and headroom against WCET budgets. The
+// report's hash chains into the evidence log like every other artifact.
+// With -addr the same rendering tails a running node's /profile endpoint
+// (the merged subtree profile of a tier tree); with -diff the run is
+// compared against a committed baseline report — report-only, intended
+// as a CI lane beside the bench-diff gate.
+
+// addProfileEndpoint registers /profile on mux: the node's merged
+// profile report in canonical JSON. Nodes that have not ingested any
+// profile record answer 404 — the endpoint is always registered so the
+// error is explicit rather than a mux miss.
+func addProfileEndpoint(mux *http.ServeMux, source func() (prof.Report, bool)) {
+	mux.HandleFunc("/profile", func(w http.ResponseWriter, r *http.Request) {
+		if source == nil {
+			http.Error(w, "profiling not available on this node", http.StatusNotFound)
+			return
+		}
+		rep, ok := source()
+		if !ok {
+			http.Error(w, "no profile ingested yet on this node", http.StatusNotFound)
+			return
+		}
+		blob, err := rep.Encode()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(blob)
+	})
+}
+
+// cmdProfile runs the hot-path profiling workflow.
+func cmdProfile(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	caseName, pattern, seed := buildFlags(fs)
+	frames := fs.Int("frames", 0, "frames to operate (0 = the whole test set)")
+	exceed := fs.Float64("p", 1e-9, "exceedance probability for the pWCET column")
+	format := fs.String("format", "table", "output format: table|json|prom")
+	outPath := fs.String("out", "", "also write the canonical JSON profile report to this file")
+	diffPath := fs.String("diff", "", "compare against this committed baseline report (report-only; never fails)")
+	addr := fs.String("addr", "", "tail a running node's /profile endpoint (host:port) instead of operating locally")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this address and label the operate goroutine (opt-in probe effect)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "table" && *format != "json" && *format != "prom" {
+		return fmt.Errorf("unknown format %q (table|json|prom)", *format)
+	}
+	if *addr != "" {
+		return profileRemote(*addr, *format, *exceed, *diffPath, *outPath, out)
+	}
+
+	sys, err := build(*caseName, *pattern, *seed)
+	if err != nil {
+		return err
+	}
+	if sys.Prof == nil {
+		return fmt.Errorf("profiler not armed (built with DisableObservability?)")
+	}
+	stream := sys.TestSet()
+	n := stream.Len()
+	if *frames > 0 && *frames < n {
+		n = *frames
+	}
+	drift, err := sys.NewDriftDetector(0, 0)
+	if err != nil {
+		return err
+	}
+	operate := func() {
+		sys.Operate(data.Limit(stream, n), drift)
+		// Operate routes frames through the float pattern; the quantized
+		// engine — where the per-kernel sites live — is driven explicitly
+		// over the same stream so kernel attribution is populated too.
+		for i := 0; i < n; i++ {
+			x, _ := stream.Sample(i)
+			sys.Engine.Infer(x)
+		}
+	}
+	if *debugAddr != "" {
+		// The Go profiler bridge: the operate loop runs under pprof labels,
+		// so a /debug/pprof/profile capture taken from -debug-addr splits
+		// the samples by workload — correlating OS-level cost with the
+		// deterministic site attribution this command reports.
+		stopDebug, err := startDebugServer(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer stopDebug()
+		pprof.Do(context.Background(),
+			pprof.Labels("safexplain_workload", "profile", "safexplain_system", sys.Name),
+			func(context.Context) { operate() })
+	} else {
+		operate()
+	}
+
+	rep := sys.Prof.Report()
+	hash, err := rep.Hash()
+	if err != nil {
+		return err
+	}
+	// Chain the profile evidence: an assessor holding the sealed log can
+	// check an exported report against this record.
+	sys.Log.Append(trace.KindOperation, "prof:report",
+		fmt.Sprintf("hot-path profile over %d frames: %d sites, block size %d, report sha256 %.12s…",
+			n, len(rep.Sites), rep.BlockSize, hash))
+
+	if err := renderProfile(out, rep, *format, *exceed); err != nil {
+		return err
+	}
+	if *format == "table" {
+		fmt.Fprintf(out, "\nreport sha256: %s\nevidence chain valid: %v\n", hash, sys.Log.Verify() == nil)
+	}
+	if *diffPath != "" {
+		if err := diffProfileAgainst(out, *diffPath, rep, *exceed); err != nil {
+			return err
+		}
+	}
+	return writeProfile(out, rep, *outPath)
+}
+
+// renderProfile writes one report in the chosen exposition.
+func renderProfile(out io.Writer, rep prof.Report, format string, p float64) error {
+	switch format {
+	case "json":
+		blob, err := rep.Encode()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s", blob)
+	case "prom":
+		fmt.Fprint(out, rep.Prometheus(p))
+	default:
+		fmt.Fprint(out, rep.Table(p))
+	}
+	return nil
+}
+
+// writeProfile writes the canonical report to path when given.
+func writeProfile(out io.Writer, rep prof.Report, path string) error {
+	if path == "" {
+		return nil
+	}
+	blob, err := rep.Encode()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote canonical profile report to %s\n", path)
+	return nil
+}
+
+// diffProfileAgainst loads a committed baseline report and prints the
+// per-site drift of the current run against it. The diff is report-only
+// by design: cycle attribution is machine-sensitive, so CI runs it as an
+// informational lane beside the hard bench-diff gate, not as a second
+// gate.
+func diffProfileAgainst(out io.Writer, path string, cur prof.Report, p float64) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	base, err := prof.Decode(blob)
+	if err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	fmt.Fprintf(out, "\nprofile diff vs %s (report-only):\n", path)
+	diffProfiles(out, base, cur, p)
+	return nil
+}
+
+// diffProfiles renders the site-by-site comparison: sample-count and
+// pWCET movement for shared sites, and sites present on only one side.
+func diffProfiles(out io.Writer, base, cur prof.Report, p float64) {
+	baseIdx := make(map[string]prof.SiteReport, len(base.Sites))
+	for _, s := range base.Sites {
+		baseIdx[s.Name] = s
+	}
+	seen := make(map[string]bool, len(cur.Sites))
+	for _, s := range cur.Sites {
+		seen[s.Name] = true
+		b, ok := baseIdx[s.Name]
+		if !ok {
+			fmt.Fprintf(out, "  + %-28s only in run (count %d)\n", s.Name, s.Count)
+			continue
+		}
+		line := fmt.Sprintf("  = %-28s count %d -> %d", s.Name, b.Count, s.Count)
+		bw, bok := b.PWCET(base.BlockSize, p)
+		cw, cok := s.PWCET(cur.BlockSize, p)
+		if bok && cok && bw > 0 {
+			line += fmt.Sprintf(", pWCET %.0f -> %.0f (%+.1f%%)", bw, cw, 100*(cw-bw)/bw)
+		}
+		fmt.Fprintln(out, line)
+	}
+	for _, s := range base.Sites {
+		if !seen[s.Name] {
+			fmt.Fprintf(out, "  - %-28s only in baseline (count %d)\n", s.Name, s.Count)
+		}
+	}
+}
+
+// profileRemote tails a running node's /profile endpoint and renders the
+// merged subtree report it returns.
+func profileRemote(addr, format string, p float64, diffPath, outPath string, out io.Writer) error {
+	u := url.URL{Scheme: "http", Host: addr, Path: "/profile"}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(u.String())
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s: %s", u.String(), resp.Status, strings.TrimSpace(string(body)))
+	}
+	rep, err := prof.Decode(body)
+	if err != nil {
+		return fmt.Errorf("decoding /profile response: %w", err)
+	}
+	if format == "table" {
+		fmt.Fprintf(out, "profile from %s (%s):\n", addr, rep.System)
+	}
+	if err := renderProfile(out, rep, format, p); err != nil {
+		return err
+	}
+	if diffPath != "" {
+		if err := diffProfileAgainst(out, diffPath, rep, p); err != nil {
+			return err
+		}
+	}
+	return writeProfile(out, rep, outPath)
+}

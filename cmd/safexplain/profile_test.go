@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"safexplain/internal/obs"
+	"safexplain/internal/prof"
+)
+
+// profileArgs is a small, fast profile invocation shared by the CLI
+// tests: 40 frames over the railway fixture keeps the run well under a
+// second while still covering every stage and kernel site.
+func profileArgs(extra ...string) []string {
+	return append([]string{
+		"profile", "-case", "railway", "-seed", "42", "-frames", "40",
+	}, extra...)
+}
+
+// TestProfileCLIDeterministic pins the headline property: the profile
+// over a fixed stream on the counter clock is a pure function of the
+// build — two runs render byte-identical output, report hash included.
+func TestProfileCLIDeterministic(t *testing.T) {
+	render := func(format string) string {
+		var out bytes.Buffer
+		if err := run(profileArgs("-format", format), &out); err != nil {
+			t.Fatalf("profile run (%s): %v", format, err)
+		}
+		return out.String()
+	}
+	a, b := render("table"), render("table")
+	if a != b {
+		t.Fatalf("profile table differs run to run:\n%s\nvs\n%s", a, b)
+	}
+	for _, want := range []string{"stage/", "kernel/", "report sha256:", "evidence chain valid: true"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("table output missing %q\n%s", want, a)
+		}
+	}
+	if j := render("json"); j != render("json") {
+		t.Fatal("profile JSON differs run to run")
+	}
+	if p := render("prom"); !strings.Contains(p, "safexplain_profile_samples_total") {
+		t.Errorf("prom output missing exposition families:\n%.400s", p)
+	}
+}
+
+// TestProfileCLIDiffAgainstSelf exports a report, diffs a fresh
+// identical run against it, and requires every shared site to read as
+// unchanged — the report-only lane CI runs against the committed
+// baseline.
+func TestProfileCLIDiffAgainstSelf(t *testing.T) {
+	path := t.TempDir() + "/baseline.json"
+	var out bytes.Buffer
+	if err := run(profileArgs("-format", "json", "-out", path), &out); err != nil {
+		t.Fatalf("baseline export: %v", err)
+	}
+	out.Reset()
+	if err := run(profileArgs("-diff", path), &out); err != nil {
+		t.Fatalf("diff run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "profile diff vs "+path) {
+		t.Fatalf("diff header missing:\n%s", s)
+	}
+	for _, bad := range []string{"only in run", "only in baseline"} {
+		if strings.Contains(s, bad) {
+			t.Errorf("self-diff reports structural drift (%q):\n%s", bad, s)
+		}
+	}
+}
+
+func TestProfileCLIBadArguments(t *testing.T) {
+	for name, args := range map[string][]string{
+		"bad format": profileArgs("-format", "xml"),
+		"bad case":   {"profile", "-case", "nope"},
+		"bad diff":   profileArgs("-diff", "/nonexistent/baseline.json"),
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("%s: run succeeded, want error", name)
+		}
+	}
+}
+
+// TestProfileEndpoint covers the /profile handler contract: 404 when
+// the node has no profiler or nothing ingested, canonical JSON once a
+// report exists.
+func TestProfileEndpoint(t *testing.T) {
+	get := func(h http.Handler) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/profile", nil))
+		return rec
+	}
+
+	none := http.NewServeMux()
+	addProfileEndpoint(none, nil)
+	if rec := get(none); rec.Code != http.StatusNotFound {
+		t.Fatalf("nil source: status %d, want 404", rec.Code)
+	}
+
+	empty := http.NewServeMux()
+	addProfileEndpoint(empty, func() (prof.Report, bool) { return prof.Report{}, false })
+	if rec := get(empty); rec.Code != http.StatusNotFound {
+		t.Fatalf("empty source: status %d, want 404", rec.Code)
+	}
+
+	p := prof.New(prof.Config{Name: "ep-test", Clock: obs.NewCounterClock()})
+	id := p.AddSite("stage/x", prof.KindStage, 0)
+	p.Freeze()
+	for i := 0; i < 10; i++ {
+		p.End(id, p.Begin())
+	}
+	live := http.NewServeMux()
+	addProfileEndpoint(live, func() (prof.Report, bool) { return p.Report(), true })
+	rec := get(live)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("live source: status %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q, want application/json", ct)
+	}
+	rep, err := prof.Decode(rec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("endpoint body does not decode: %v", err)
+	}
+	if len(rep.Sites) != 1 || rep.Sites[0].Name != "stage/x" || rep.Sites[0].Count != 10 {
+		t.Fatalf("decoded report drifted: %+v", rep.Sites)
+	}
+}

@@ -14,6 +14,8 @@ import (
 
 	"safexplain/internal/fleet"
 	"safexplain/internal/fleetnet"
+	"safexplain/internal/obs"
+	"safexplain/internal/prof"
 	"safexplain/internal/trace"
 	"safexplain/internal/watch"
 )
@@ -120,6 +122,18 @@ func runUnitTier(cfg fleetnet.NodeConfig, opt tierOptions, out io.Writer) error 
 	if err != nil {
 		return err
 	}
+	// Every unit profiles its cell at one shared stage site; the report
+	// uplinks through the profile relay, so ancestor tiers serve the
+	// merged subtree attribution on /profile. Untraced units keep the
+	// deterministic counter clock, traced ones share the trace clock.
+	clock := opt.sim.clock
+	if clock == nil {
+		clock = obs.NewCounterClock()
+	}
+	profiler := prof.New(prof.Config{Name: fmt.Sprintf("unit-%d", opt.id), Clock: clock})
+	opt.sim.prof = profiler
+	opt.sim.profSite = profiler.AddSite("stage/unit-cell", prof.KindStage, 0)
+	profiler.Freeze()
 	chunks, err := simulateUnit(sys, opt.sim, int(opt.id), opt.fault)
 	if err != nil {
 		return err
@@ -140,7 +154,12 @@ func runUnitTier(cfg fleetnet.NodeConfig, opt tierOptions, out io.Writer) error 
 			}
 		}
 	}
-	fmt.Fprintf(out, "unit %d: %d frames buffered for uplink to %s\n", opt.id, len(chunks), opt.parent)
+	// The cell's hot-path profile rides the same store-and-forward link:
+	// one wire record per site, merged order-independently at every
+	// ancestor tier.
+	profRecs := node.SubmitProfile(profiler.Report())
+	fmt.Fprintf(out, "unit %d: %d frames and %d profile records buffered for uplink to %s\n",
+		opt.id, len(chunks), profRecs, opt.parent)
 	drainErr := node.Drain(ctx)
 	st, _ := node.UplinkStatus()
 	closeCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
@@ -295,11 +314,13 @@ func startWatchLoop(ctx context.Context, node *fleetnet.Node, opt tierOptions) (
 // per-child coverage and staleness detail, /health the armed watcher's
 // summary, /alerts the node ledger (own transitions plus everything
 // relayed from the subtree), /trace the reassembled end-to-end trace
-// bundles (404 unless the node runs with -trace).
+// bundles (404 unless the node runs with -trace), /profile the merged
+// subtree hot-path profile (404 until a profile record is ingested).
 func newTierHandler(n *fleetnet.Node) http.Handler {
 	mux := http.NewServeMux()
 	addWatchEndpoints(mux, n.Name(), n.WatchHealth, n.Alerts)
 	addTraceEndpoint(mux, n.Name(), n.Traces())
+	addProfileEndpoint(mux, n.ProfileReport)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		rep, err := n.Fleet().Report()
 		if err != nil {

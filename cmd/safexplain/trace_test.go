@@ -136,7 +136,7 @@ func TestHandlerContentTypes(t *testing.T) {
 		h         http.Handler
 		endpoints []string
 	}{
-		{"fleet", newFleetHandler(fleet.New(fleet.Config{Shards: 1}), nil, tracequery.NewStore(4)),
+		{"fleet", newFleetHandler(fleet.New(fleet.Config{Shards: 1}), nil, tracequery.NewStore(4), nil),
 			[]string{"/metrics", "/report", "/health", "/alerts", "/trace"}},
 		{"tier traced", newTierHandler(traced),
 			[]string{"/metrics", "/report", "/links", "/health", "/alerts", "/trace"}},

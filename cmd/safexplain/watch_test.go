@@ -125,7 +125,7 @@ func TestDebugProfilerOptIn(t *testing.T) {
 	node := testTierNode(t, "")
 	for name, h := range map[string]http.Handler{
 		"tier":  newTierHandler(node),
-		"fleet": newFleetHandler(fleet.New(fleet.Config{Shards: 1}), nil, nil),
+		"fleet": newFleetHandler(fleet.New(fleet.Config{Shards: 1}), nil, nil, nil),
 	} {
 		srv := httptest.NewServer(h)
 		resp, err := http.Get(srv.URL + "/debug/pprof/")

@@ -29,6 +29,7 @@ import (
 	"safexplain/internal/obs"
 	"safexplain/internal/platform"
 	"safexplain/internal/prng"
+	"safexplain/internal/prof"
 	"safexplain/internal/qnn"
 	"safexplain/internal/safety"
 	"safexplain/internal/supervisor"
@@ -67,6 +68,11 @@ type Config struct {
 	DisableObservability bool
 	// FlightRecorderSpans sizes the span ring (default 256).
 	FlightRecorderSpans int
+	// Clock is the injected monotonic tick source shared by the trace
+	// clock and the continuous profiler. Nil keeps v2 trace records off
+	// (as before) and gives the profiler its own deterministic counter
+	// clock, so profiling is always on without perturbing trace state.
+	Clock func() uint64
 
 	// Acceptance thresholds for the verification stages.
 	MinAccuracy   float64 // float model test accuracy (default 0.8)
@@ -145,6 +151,11 @@ type System struct {
 	// flight recorder, shared with FDIR. Nil when
 	// Config.DisableObservability was set.
 	Obs *obs.Obs
+	// Prof is the continuous hot-path profiler: per-stage sites over the
+	// Operate pipeline plus one site per quantized kernel, frozen at
+	// build time. Nil when Config.DisableObservability was set — every
+	// record path is nil-safe, so the disabled cost is one comparison.
+	Prof *prof.Profiler
 
 	// Stages holds the lifecycle verification outcomes in order.
 	Stages []StageResult
@@ -152,6 +163,10 @@ type System struct {
 	// PWCET is the cycles bound at Config.ExceedanceP on the reference
 	// platform workload, for schedule construction.
 	PWCET float64
+
+	// Profiler site ids, resolved once when the site table is frozen.
+	profInfer, profVote, profSupervisor, profDrift prof.SiteID
+	profKernels                                    []prof.SiteID
 
 	train, test *data.Set
 }
@@ -422,6 +437,38 @@ func Build(cfg Config) (*System, error) {
 		s.Log.Append(trace.KindOperation, "obs:"+cfg.Name, s.Obs.Describe(), modelID)
 	}
 
+	// Arm the continuous profiler: a static site table — one site per
+	// Operate stage plus one per quantized kernel — frozen here, so the
+	// report layout is a build artifact and fleet merges reject drift.
+	// Stage sites are unbudgeted (the operate tick domain is not the
+	// platform cycle domain); the rt frame site carries the budget.
+	if !cfg.DisableObservability {
+		clock := cfg.Clock
+		if clock == nil {
+			clock = obs.NewCounterClock()
+		}
+		s.Prof = prof.New(prof.Config{Name: cfg.Name, Clock: clock, TraceID: s.Obs.TraceID})
+		s.profInfer = s.Prof.AddSite("stage/infer", prof.KindStage, 0)
+		s.profVote = s.Prof.AddSite("stage/vote", prof.KindStage, 0)
+		s.profSupervisor = s.Prof.AddSite("stage/supervisor", prof.KindStage, 0)
+		s.profDrift = s.Prof.AddSite("stage/drift", prof.KindStage, 0)
+		kernels := s.Engine.KernelNames()
+		s.profKernels = make([]prof.SiteID, len(kernels))
+		for i, kn := range kernels {
+			s.profKernels[i] = s.Prof.AddSite("kernel/"+kn, prof.KindKernel, 0)
+		}
+		s.Prof.Freeze()
+		if err := s.Engine.SetProfiler(s.Prof, s.profKernels); err != nil {
+			return nil, err
+		}
+		s.Log.Append(trace.KindOperation, "prof:"+cfg.Name,
+			fmt.Sprintf("profiler armed: %d sites (4 stages, %d kernels), block size %d",
+				4+len(kernels), len(kernels), prof.DefaultBlockSize), modelID)
+	} else {
+		s.profInfer, s.profVote = prof.NoSite, prof.NoSite
+		s.profSupervisor, s.profDrift = prof.NoSite, prof.NoSite
+	}
+
 	s.Log.Append(trace.KindDeployment, "deploy:"+cfg.Name,
 		fmt.Sprintf("pattern=%s engine=%s pwcet=%.0f", s.Pattern.Name(), s.Engine.ID, s.PWCET),
 		modelID, "test:accuracy", "test:determinism", "test:trust", "test:explain",
@@ -515,6 +562,22 @@ func (s *System) Readiness() trace.Readiness {
 	return trace.AssessReadiness(s.Log, s.Registry, s.Case)
 }
 
+// AttachProfiler re-homes the system onto p — typically a Fork of the
+// build-time profiler, giving one fleet unit its own sample stores over
+// the shared frozen site table (forked profiles merge by construction).
+// The site ids resolved at build time remain valid because Fork preserves
+// table positions. A nil p disarms profiling.
+func (s *System) AttachProfiler(p *prof.Profiler) error {
+	s.Prof = p
+	if s.Engine == nil {
+		return nil
+	}
+	if p == nil {
+		return s.Engine.SetProfiler(nil, nil)
+	}
+	return s.Engine.SetProfiler(p, s.profKernels)
+}
+
 // NewDriftDetector builds a CUSUM drift detector calibrated on the
 // system's own training data under its deployed supervisor — the
 // operation-phase monitor for slow degradation that per-frame rejection
@@ -569,8 +632,14 @@ func (s *System) Operate(stream interface {
 		o.TraceBegin(i)
 		var fallback bool
 		var class int
+		// Profile the decision stage: the FDIR step (or the raw pattern
+		// decide) is the inference hot path, attributed to stage/infer;
+		// the per-kernel sites inside qnn.Engine.Infer record under the
+		// same profiler, so the stage total decomposes kernel by kernel.
+		pb := s.Prof.Begin()
 		if s.FDIR != nil {
 			st := s.FDIR.Step(i, x, fdir.Signals{})
+			s.Prof.End(s.profInfer, pb)
 			fallback = st.Decision.Fallback
 			class = st.Class
 			if fallback {
@@ -578,6 +647,7 @@ func (s *System) Operate(stream interface {
 			}
 		} else {
 			v := s.Process(x)
+			s.Prof.End(s.profInfer, pb)
 			fallback = v.Decision.Fallback
 			class = v.Class
 			inferRef := o.TraceChild(obs.StageInfer, int32(class), 0, o.TraceRoot())
@@ -587,6 +657,7 @@ func (s *System) Operate(stream interface {
 			}
 			o.TraceChild(obs.StageVote, vote, float64(class), inferRef)
 		}
+		vb := s.Prof.Begin()
 		if o != nil {
 			o.Frames.Inc()
 			vote := int32(0)
@@ -607,13 +678,19 @@ func (s *System) Operate(stream interface {
 				o.Delivered.Inc()
 			}
 		}
+		s.Prof.End(s.profVote, vb)
 		if drift != nil && !rep.DriftAlarm {
+			sb := s.Prof.Begin()
 			score := s.Monitor.Sup.Score(s.Net, x)
+			s.Prof.End(s.profSupervisor, sb)
 			if o != nil {
 				o.TrustScore.Observe(score)
 				o.Span(i, obs.StageSupervisor, 0, score)
 			}
-			if drift.Observe(score) {
+			db := s.Prof.Begin()
+			alarmed := drift.Observe(score)
+			s.Prof.End(s.profDrift, db)
+			if alarmed {
 				rep.DriftAlarm = true
 				rep.AlarmFrame = i
 				o.Span(i, obs.StageDrift, 1, drift.Statistic())

@@ -6,7 +6,7 @@ import (
 )
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"F1", "F2", "F3", "T1", "T10", "T11", "T12", "T13", "T14", "T15", "T16", "T17", "T18", "T19", "T2", "T20", "T3", "T4", "T5", "T6", "T7", "T8", "T9"}
+	want := []string{"F1", "F2", "F3", "T1", "T10", "T11", "T12", "T13", "T14", "T15", "T16", "T17", "T18", "T19", "T2", "T20", "T21", "T3", "T4", "T5", "T6", "T7", "T8", "T9"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)
@@ -383,5 +383,49 @@ func TestT11Detection(t *testing.T) {
 	}
 	if r.Metrics["veto_rate"] < 0.6 {
 		t.Fatalf("T11 shape: geometric veto rate %v", r.Metrics["veto_rate"])
+	}
+}
+
+func TestT21Profiling(t *testing.T) {
+	r := requireResult(t, "T21", "false attributions")
+	// The zero-allocation claim on the record path, measured in situ.
+	if r.Metrics["record_allocs_per_100k"] != 0 {
+		t.Fatalf("T21 shape: record path allocated %v times per 100k ops",
+			r.Metrics["record_allocs_per_100k"])
+	}
+	// Every site on the frozen table must have been sampled end to end,
+	// and Report() must be byte-stable call to call.
+	if r.Metrics["sites_covered"] != r.Metrics["sites_total"] || r.Metrics["sites_total"] <= 4 {
+		t.Fatalf("T21 shape: %v/%v sites covered",
+			r.Metrics["sites_covered"], r.Metrics["sites_total"])
+	}
+	if r.Metrics["report_hash_stable"] != 1 {
+		t.Fatal("T21 shape: report hash moved between calls")
+	}
+	// The localization claim: every seeded slow kernel named, none missed,
+	// zero false attributions across all cells.
+	if r.Metrics["kernels"] <= 0 {
+		t.Fatalf("T21 shape: no kernel sites on the table: %v", r.Metrics)
+	}
+	if r.Metrics["false_attributions"] != 0 {
+		t.Fatalf("T21 shape: %v false attributions", r.Metrics["false_attributions"])
+	}
+	if r.Metrics["target_pwcet_moved"] != r.Metrics["kernels"] {
+		t.Fatalf("T21 shape: live pWCET moved for %v/%v stalled kernels",
+			r.Metrics["target_pwcet_moved"], r.Metrics["kernels"])
+	}
+	if r.Metrics["others_held"] != r.Metrics["others_total"] || r.Metrics["others_total"] <= 0 {
+		t.Fatalf("T21 shape: %v/%v unaffected kernels held their estimate",
+			r.Metrics["others_held"], r.Metrics["others_total"])
+	}
+	// The fleet claim: the global merged profile must not depend on which
+	// unit's records arrived first.
+	if r.Metrics["fleet_merge_order_independent"] != 1 {
+		t.Fatal("T21 shape: global profile depends on arrival order")
+	}
+	// The probe-effect bound is timing-based; keep the gate loose enough
+	// for loaded CI machines while still catching a pathological probe.
+	if r.Metrics["probe_ratio"] > 1.5 {
+		t.Fatalf("T21 shape: probe ratio %v > 1.5", r.Metrics["probe_ratio"])
 	}
 }

@@ -1,0 +1,317 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"time"
+
+	"safexplain/internal/core"
+	"safexplain/internal/data"
+	"safexplain/internal/fleet"
+	"safexplain/internal/fleetnet"
+	"safexplain/internal/mbpta"
+	"safexplain/internal/obs"
+	"safexplain/internal/prof"
+)
+
+func init() { registry["T21"] = runT21 }
+
+// T21 — continuous hot-path profiling: a deployed railway/simplex system
+// runs under the always-on profiler (stage sites over the Operate
+// pipeline, one site per quantized kernel), and three claims are
+// measured:
+//
+//   - Localization. A seeded slow-kernel campaign injects deterministic
+//     stalls into one kernel at a time (every kernel takes a turn as the
+//     target) over the real frozen site table. The profiler must name
+//     the stalled kernel as the hottest site in every cell — zero false
+//     attributions — and the live mbpta.Stream pWCET estimate for the
+//     target must move while every unaffected kernel's estimate holds.
+//
+//   - Fleet byte-identity. Two units' profiles travel a real fleetnet
+//     unit → global tree as per-site wire records; the global merged
+//     report must be byte-identical whichever unit's records arrive
+//     first (merging is commutative and associative by construction).
+//
+//   - Probe effect. Operating the same system with the profiler
+//     attached vs detached (AttachProfiler(nil)) bounds the record
+//     path's end-to-end cost; the record path itself must not allocate.
+func runT21() Result {
+	const seed = 120_000
+
+	// One deployed system, profiled on a deterministic counter clock so
+	// stage durations, exemplar trace ids and the report hash are pure
+	// functions of the stream.
+	sys, err := core.Build(core.Config{
+		CaseStudy: data.CaseStudy{Name: "railway", Generate: data.Railway},
+		Pattern:   core.PatternSimplex,
+		Seed:      seed,
+		Clock:     obs.NewCounterClock(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	drift, err := sys.NewDriftDetector(0, 0)
+	if err != nil {
+		panic(err)
+	}
+	stream := sys.TestSet()
+	operate := func() {
+		sys.Operate(stream, drift)
+		// Operate exercises the stage sites; the quantized engine — where
+		// the kernel sites live — is driven explicitly over the same
+		// stream.
+		for i := 0; i < stream.Len(); i++ {
+			x, _ := stream.Sample(i)
+			sys.Engine.Infer(x)
+		}
+	}
+	operate()
+
+	metrics := map[string]float64{}
+
+	// (a) End-to-end coverage and report determinism: every site on the
+	// frozen table sampled, and Report() byte-stable call to call.
+	rep := sys.Prof.Report()
+	hash1, err := rep.Hash()
+	if err != nil {
+		panic(err)
+	}
+	hash2, err := sys.Prof.Report().Hash()
+	if err != nil {
+		panic(err)
+	}
+	covered := 0
+	for _, s := range rep.Sites {
+		if s.Count > 0 {
+			covered++
+		}
+	}
+	metrics["sites_total"] = float64(len(rep.Sites))
+	metrics["sites_covered"] = float64(covered)
+	if hash1 == hash2 {
+		metrics["report_hash_stable"] = 1
+	}
+
+	// (b) Record-path allocation: a tight Begin/End loop over a fresh
+	// single-site profiler must not allocate at all.
+	zp := prof.New(prof.Config{Name: "t21-alloc", Clock: obs.NewCounterClock()})
+	zs := zp.AddSite("stage/alloc-probe", prof.KindStage, 0)
+	zp.Freeze()
+	for i := 0; i < 1000; i++ { // warm the store
+		zp.End(zs, zp.Begin())
+	}
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < 100_000; i++ {
+		zp.End(zs, zp.Begin())
+	}
+	runtime.ReadMemStats(&m1)
+	recordAllocs := float64(m1.Mallocs - m0.Mallocs)
+	metrics["record_allocs_per_100k"] = recordAllocs
+
+	// (c) Seeded slow-kernel campaign over the real frozen table: every
+	// kernel takes a turn as the stall target on a forked profiler
+	// (fresh stores, same site table). Sample durations are seeded and
+	// integer, so every cell is reproducible.
+	sites := sys.Prof.Sites()
+	var kernelIDs []prof.SiteID
+	for i, s := range sites {
+		if s.Kind == prof.KindKernel {
+			kernelIDs = append(kernelIDs, prof.SiteID(i))
+		}
+	}
+	const (
+		cellFrames = 640
+		stallFrom  = 320 // stall window start: the live estimate must move after it
+		baseTicks  = 400
+		stallTicks = 4000
+	)
+	falseAttr := 0
+	targetMoves := 0
+	othersHold := 0
+	othersTotal := 0
+	for ti, target := range kernelIDs {
+		fp := sys.Prof.Fork()
+		// One live estimator per kernel, fed the same windowed batches the
+		// profiler aggregates — the "live pWCET" surface of the claim.
+		streams := make(map[prof.SiteID]*mbpta.Stream, len(kernelIDs))
+		pre := make(map[prof.SiteID]float64, len(kernelIDs))
+		r := prngNew(seed + uint64(ti)*7919)
+		for frame := 0; frame < cellFrames; frame++ {
+			for ki, id := range kernelIDs {
+				if streams[id] == nil {
+					streams[id] = mbpta.NewStream(prof.DefaultBlockSize, prof.MaximaCap)
+				}
+				// Per-kernel base cost spreads the kernels apart a little;
+				// jitter keeps the Gumbel fit non-degenerate.
+				dur := uint64(baseTicks + 37*ki + r.Intn(24))
+				if id == target && frame >= stallFrom {
+					dur += stallTicks
+				}
+				fp.Observe(id, dur)
+				streams[id].Push(float64(dur))
+			}
+			if frame == stallFrom-1 {
+				for id, st := range streams {
+					if b, ok := st.Estimate(1e-9); ok {
+						pre[id] = b
+					}
+				}
+			}
+		}
+		// Localization: hottest kernel by accumulated ticks must be the
+		// stalled one.
+		cellRep := fp.Report()
+		hottest, hotSum := prof.NoSite, uint64(0)
+		for i, s := range cellRep.Sites {
+			if sites[i].Kind == prof.KindKernel && s.Sum > hotSum {
+				hottest, hotSum = prof.SiteID(i), s.Sum
+			}
+		}
+		if hottest != target {
+			falseAttr++
+		}
+		// Live movement: the target's post-stall estimate must rise well
+		// clear of its pre-stall bound; unaffected kernels stay within
+		// jitter of theirs.
+		for id, st := range streams {
+			post, ok := st.Estimate(1e-9)
+			if !ok || pre[id] == 0 {
+				continue
+			}
+			if id == target {
+				if post > pre[id]+float64(stallTicks)/2 {
+					targetMoves++
+				}
+			} else {
+				othersTotal++
+				if post < pre[id]*1.25 {
+					othersHold++
+				}
+			}
+		}
+	}
+	metrics["kernels"] = float64(len(kernelIDs))
+	metrics["false_attributions"] = float64(falseAttr)
+	metrics["target_pwcet_moved"] = float64(targetMoves)
+	metrics["others_held"] = float64(othersHold)
+	metrics["others_total"] = float64(othersTotal)
+
+	// (d) Fleet byte-identity: two units' forked profiles — distinct
+	// seeded sample streams over the shared table — travel a real
+	// unit → global fleetnet tree as wire records, in both submission
+	// orders. The global merged report must not depend on arrival order.
+	unitReports := make([]prof.Report, 2)
+	for u := range unitReports {
+		fp := sys.Prof.Fork()
+		r := prngNew(seed + 1000 + uint64(u))
+		for frame := 0; frame < 256; frame++ {
+			for ki, id := range kernelIDs {
+				fp.Observe(id, uint64(300+61*ki+u*13+r.Intn(40)))
+			}
+		}
+		unitReports[u] = fp.Report()
+	}
+	mergedProfile := func(order []int) []byte {
+		global := fleetnet.NewNode(fleetnet.NodeConfig{
+			ID: 1000, Tier: fleetnet.TierGlobal,
+			Fleet: fleet.Config{Shards: 1, MinUnits: 1},
+		})
+		units := make([]*fleetnet.Node, len(order))
+		for i := range units {
+			units[i] = fleetnet.NewNode(fleetnet.NodeConfig{
+				ID: uint32(i + 1), Tier: fleetnet.TierUnit,
+				Dial: func() (net.Conn, error) {
+					c, s := net.Pipe()
+					global.ServeConn(s)
+					return c, nil
+				},
+				Fleet: fleet.Config{Shards: 1, MinUnits: 1},
+			})
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		for _, u := range order {
+			units[u].SubmitProfile(unitReports[u])
+			// Drain per unit so the two orders produce genuinely different
+			// arrival interleavings at the global root.
+			if err := units[u].Drain(ctx); err != nil {
+				panic(fmt.Sprintf("t21: unit %d drain: %v", u, err))
+			}
+		}
+		for _, n := range units {
+			n.Close(ctx)
+		}
+		defer global.Close(ctx)
+		rep, ok := global.ProfileReport()
+		if !ok {
+			panic("t21: global tier holds no profile")
+		}
+		blob, err := rep.Encode()
+		if err != nil {
+			panic(err)
+		}
+		return blob
+	}
+	ab := mergedProfile([]int{0, 1})
+	ba := mergedProfile([]int{1, 0})
+	if string(ab) == string(ba) {
+		metrics["fleet_merge_order_independent"] = 1
+	}
+
+	// (e) Probe effect: the identical operate workload with the profiler
+	// attached vs detached. Drift detection runs in both; the delta
+	// isolates the record path (stage brackets + kernel sites).
+	measure := func() float64 {
+		const warm, reps = 1, 6
+		for i := 0; i < warm; i++ {
+			operate()
+		}
+		frames := 0
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			sys.Operate(stream, drift)
+			frames += stream.Len()
+			for j := 0; j < stream.Len(); j++ {
+				x, _ := stream.Sample(j)
+				sys.Engine.Infer(x)
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(frames)
+	}
+	profiler := sys.Prof
+	nsOn := measure()
+	if err := sys.AttachProfiler(nil); err != nil {
+		panic(err)
+	}
+	nsOff := measure()
+	if err := sys.AttachProfiler(profiler); err != nil {
+		panic(err)
+	}
+	probeRatio := nsOn / nsOff
+	metrics["probe_ratio"] = probeRatio
+
+	header := []string{"check", "result"}
+	rows := [][]string{
+		{"sites covered", fmt.Sprintf("%d/%d", covered, len(rep.Sites))},
+		{"report hash stable", fmt.Sprintf("%v (%.12s…)", hash1 == hash2, hash1)},
+		{"record allocs / 100k ops", fmt.Sprintf("%.0f", recordAllocs)},
+		{"slow-kernel cells", fmt.Sprintf("%d", len(kernelIDs))},
+		{"false attributions", fmt.Sprintf("%d", falseAttr)},
+		{"target pWCET moved", fmt.Sprintf("%d/%d", targetMoves, len(kernelIDs))},
+		{"unaffected kernels held", fmt.Sprintf("%d/%d", othersHold, othersTotal)},
+		{"fleet merge order-independent", fmt.Sprintf("%v", string(ab) == string(ba))},
+		{"probe ratio (on/off)", fmt.Sprintf("%.3f", probeRatio)},
+	}
+
+	return Result{
+		ID:      "T21",
+		Title:   "Continuous hot-path profiling: seeded slow-kernel localization with live pWCET movement, order-independent fleet profile merge, and probe-effect bound (railway/simplex)",
+		Table:   table(header, rows),
+		Metrics: metrics,
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"safexplain/internal/nn"
 	"safexplain/internal/obs"
 	"safexplain/internal/prng"
+	"safexplain/internal/prof"
 	"safexplain/internal/rt"
 	"safexplain/internal/safety"
 	"safexplain/internal/tensor"
@@ -107,6 +108,13 @@ type CampaignConfig struct {
 	// loop opens/commits the causal trace per frame — this is how
 	// experiment T15 downlinks a campaign.
 	NewObs func(fault, pattern string) *obs.Obs
+	// Prof, when non-nil, records every frame's end-to-end decision
+	// latency (pattern vote, FDIR supervision and recovery included) at
+	// ProfSite — how tier-mode fleet units feed real hot-path samples
+	// into the profile relay. The profiler is shared across cells; a
+	// fleet typically Forks one per unit over a common site table.
+	Prof     *prof.Profiler
+	ProfSite prof.SiteID
 }
 
 // CellResult is one (fault, pattern) campaign measurement.
@@ -387,6 +395,7 @@ func runCell(cfg CampaignConfig, p PatternSpec, f FaultSpec, faultSeed uint64) (
 		}
 
 		var st StepResult
+		pb := cfg.Prof.Begin()
 		if p.NoFDIR {
 			st = bareStep(pattern, x, dropped)
 		} else {
@@ -406,6 +415,7 @@ func runCell(cfg CampaignConfig, p PatternSpec, f FaultSpec, faultSeed uint64) (
 			}
 			fr.Obs.TraceEnd(frame)
 		}
+		cfg.Prof.End(cfg.ProfSite, pb)
 
 		// Tally.
 		if len(st.Anomalies) > 0 && res.FirstAnomaly < 0 && frame >= cfg.InjectAt {

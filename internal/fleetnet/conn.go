@@ -63,7 +63,7 @@ func (c *msgConn) read(timeout time.Duration) (Msg, error) {
 		body = helloBodyLen
 	case KindWelcome:
 		body = welcomeBodyLen
-	case KindData, KindAlert, KindHop:
+	case KindData, KindAlert, KindHop, KindProfile:
 		body = dataFixedLen
 	case KindAck:
 		body = ackBodyLen
@@ -79,7 +79,7 @@ func (c *msgConn) read(timeout time.Duration) (Msg, error) {
 	if _, err := io.ReadFull(c.br, c.rbuf[msgHeaderLen:]); err != nil {
 		return Msg{}, err
 	}
-	if k := MsgKind(c.rbuf[3]); k == KindData || k == KindAlert || k == KindHop {
+	if k := MsgKind(c.rbuf[3]); k == KindData || k == KindAlert || k == KindHop || k == KindProfile {
 		plen := int(binary.LittleEndian.Uint16(c.rbuf[msgHeaderLen+12:]))
 		if plen > MaxPayload {
 			return Msg{}, fmt.Errorf("%w: payload %d bytes exceeds bound %d", ErrLinkCorrupt, plen, MaxPayload)

@@ -9,6 +9,7 @@ import (
 
 	"safexplain/internal/fleet"
 	"safexplain/internal/obs"
+	"safexplain/internal/prof"
 	"safexplain/internal/tracequery"
 	"safexplain/internal/watch"
 )
@@ -58,6 +59,15 @@ type NodeConfig struct {
 	// TraceCap bounds the trace store when Clock is set (default
 	// tracequery.DefaultCapacity).
 	TraceCap int
+
+	// ProfileCap bounds the node's per-site profile slot store (default
+	// 512 slots). Profile records indexed beyond the bound are dropped
+	// and counted, never buffered unboundedly.
+	ProfileCap int
+	// ProfileExceedance is the exceedance probability the node's live
+	// minimum-headroom gauge is computed at (default 1e-9, matching
+	// core.Config.ExceedanceP).
+	ProfileExceedance float64
 }
 
 // Node is one tier of the aggregation tree. Every tier runs the same
@@ -95,7 +105,15 @@ type Node struct {
 	cHops     *obs.Counter
 	cHopDrops *obs.Counter
 
+	cProfRecs  *obs.Counter
+	cProfDrops *obs.Counter
+	gHeadroom  *obs.Gauge
+
 	traces *tracequery.Store // nil when tracing is off (no Clock)
+
+	pmu       sync.Mutex
+	profBlock int                //safexplain:guardedby pmu
+	profSlots []*prof.SiteReport //safexplain:guardedby pmu
 
 	wmu     sync.Mutex
 	watcher *watch.Watcher //safexplain:guardedby wmu
@@ -115,6 +133,12 @@ func NewNode(cfg NodeConfig) *Node {
 	}
 	if cfg.AlertCap <= 0 {
 		cfg.AlertCap = 256
+	}
+	if cfg.ProfileCap <= 0 {
+		cfg.ProfileCap = 512
+	}
+	if cfg.ProfileExceedance <= 0 || cfg.ProfileExceedance >= 1 {
+		cfg.ProfileExceedance = 1e-9
 	}
 	reg := obs.NewRegistry("fleetnet")
 	n := &Node{
@@ -138,6 +162,10 @@ func NewNode(cfg NodeConfig) *Node {
 
 		cHops:     reg.Counter("trace_hops_total", "trace hop records stamped at or applied by this node"),
 		cHopDrops: reg.Counter("trace_hop_drops_total", "trace hop records dropped (corrupt relay or full uplink ring)"),
+
+		cProfRecs:  reg.Counter("prof_records_total", "profile site records submitted at or applied by this node"),
+		cProfDrops: reg.Counter("prof_record_drops_total", "profile site records dropped (corrupt relay, site-table drift, slot bound, or full uplink ring)"),
+		gHeadroom:  reg.Gauge("prof_min_headroom_ratio", "tightest live (budget-pWCET)/budget across budgeted profile sites"),
 	}
 	if cfg.Clock != nil {
 		n.traces = tracequery.NewStore(cfg.TraceCap)
@@ -146,13 +174,14 @@ func NewNode(cfg NodeConfig) *Node {
 	// the same registry the watcher samples.
 	n.self = obs.NewSelfStats(reg)
 	n.srv = NewServer(ServerConfig{
-		Apply:      n.apply,
-		ApplyAlert: n.applyAlert,
-		ApplyHop:   n.applyHop,
-		Window:     cfg.Window,
-		AckEvery:   cfg.AckEvery,
-		IOTimeout:  cfg.IOTimeout,
-		OnEvent:    n.onEvent,
+		Apply:        n.apply,
+		ApplyAlert:   n.applyAlert,
+		ApplyHop:     n.applyHop,
+		ApplyProfile: n.applyProfile,
+		Window:       cfg.Window,
+		AckEvery:     cfg.AckEvery,
+		IOTimeout:    cfg.IOTimeout,
+		OnEvent:      n.onEvent,
 	})
 	if cfg.Dial != nil {
 		n.up = NewUplink(UplinkConfig{

@@ -25,6 +25,12 @@ type ServerConfig struct {
 	// space). node is the directly-connected child, origin the node that
 	// stamped the hop. Optional: nil drops relayed hops.
 	ApplyHop func(node uint32, origin uint32, payload []byte)
+	// ApplyProfile receives each relayed per-site profile record exactly
+	// once, in the same per-child sequence order as data (profile records
+	// share the sequence space). node is the directly-connected child,
+	// origin the node whose profiler produced the record. Optional: nil
+	// drops relayed profile records.
+	ApplyProfile func(node uint32, origin uint32, payload []byte)
 	// Window bounds the per-child resequencing buffer (default 256
 	// envelopes). A sequence gap still open when the buffer fills is
 	// declared lost and skipped — the subtree never stalls on one
@@ -59,7 +65,7 @@ func (c ServerConfig) withDefaults() ServerConfig {
 type pendEnv struct {
 	kind    MsgKind
 	unit    fleet.UnitID // KindData
-	node    uint32       // KindAlert: origin node id; KindHop: stamping node id
+	node    uint32       // KindAlert/KindProfile: origin node id; KindHop: stamping node id
 	payload []byte
 }
 
@@ -239,7 +245,7 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			continue
 		}
-		if m.Kind != KindData && m.Kind != KindAlert && m.Kind != KindHop {
+		if m.Kind != KindData && m.Kind != KindAlert && m.Kind != KindHop && m.Kind != KindProfile {
 			continue
 		}
 		s.ingest(c, m)
@@ -336,6 +342,10 @@ func (s *Server) applyEnv(node uint32, e pendEnv) {
 	case KindHop:
 		if s.cfg.ApplyHop != nil {
 			s.cfg.ApplyHop(node, e.node, e.payload)
+		}
+	case KindProfile:
+		if s.cfg.ApplyProfile != nil {
+			s.cfg.ApplyProfile(node, e.node, e.payload)
 		}
 	default:
 		s.cfg.Apply(node, e.unit, e.payload)

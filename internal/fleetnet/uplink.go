@@ -141,6 +141,14 @@ func (u *Uplink) SendHop(origin uint32, hop []byte) bool {
 	return u.push(envelope{kind: KindHop, node: origin}, hop)
 }
 
+// SendProfile buffers one per-site profile record for uplink, copying
+// the payload. origin is the node whose profiler produced the record
+// (preserved across multi-tier relay). Same ring, same drop semantics
+// as Send.
+func (u *Uplink) SendProfile(origin uint32, rec []byte) bool {
+	return u.push(envelope{kind: KindProfile, node: origin}, rec)
+}
+
 // push assigns the next sequence to e and buffers it in the ring.
 func (u *Uplink) push(e envelope, payload []byte) bool {
 	u.mu.Lock()

@@ -90,6 +90,7 @@ func ParseTier(s string) (Tier, error) {
 //	ack     := header seq:u64                                (parent → child)
 //	alert   := header seq:u64 node:u32 plen:u16 payload      (child → parent)
 //	hop     := header seq:u64 node:u32 plen:u16 payload      (child → parent)
+//	profile := header seq:u64 node:u32 plen:u16 payload      (child → parent)
 //
 // A data payload is one unit telemetry frame in the downlink wire format
 // (obs.DecodeFrame decodes it); the envelope adds the link-local sequence
@@ -104,7 +105,11 @@ func ParseTier(s string) (Tier, error) {
 // with the same alert-shaped body — the u32 slot carries the stamping
 // node id — so distributed-trace sidecar records ride the identical
 // delivery machinery while the traced frame bytes themselves are
-// forwarded unchanged.
+// forwarded unchanged. A profile payload is one per-site profile record
+// (prof.DecodeSiteRecord decodes it), again alert-shaped with the u32
+// slot carrying the origin node id: because per-site profile merging is
+// commutative and associative, relaying the records unchanged makes the
+// root's merged profile byte-identical across arrival interleavings.
 const (
 	linkMagic0   = 'T'
 	linkMagic1   = 'L'
@@ -134,6 +139,7 @@ const (
 	KindAck             // parent's cumulative acknowledgement
 	KindAlert           // one sequenced evidence-hashed watch alert
 	KindHop             // one sequenced trace hop record (tracequery wire form)
+	KindProfile         // one sequenced per-site profile record (prof wire form)
 )
 
 // String returns the message kind name.
@@ -151,6 +157,8 @@ func (k MsgKind) String() string {
 		return "alert"
 	case KindHop:
 		return "hop"
+	case KindProfile:
+		return "profile"
 	default:
 		return fmt.Sprintf("MsgKind(%d)", uint8(k))
 	}
@@ -161,14 +169,14 @@ func (k MsgKind) String() string {
 type Msg struct {
 	Kind MsgKind
 
-	Node uint32 // KindHello: child node id; KindAlert: origin node id; KindHop: stamping node id
+	Node uint32 // KindHello: child node id; KindAlert/KindProfile: origin node id; KindHop: stamping node id
 	Tier Tier   // KindHello: child tier
 
 	Ack uint64 // KindWelcome, KindAck: cumulative applied sequence
 
-	Seq     uint64       // KindData, KindAlert, KindHop: link-local sequence (1-based)
+	Seq     uint64       // KindData, KindAlert, KindHop, KindProfile: link-local sequence (1-based)
 	Unit    fleet.UnitID // KindData: unit the frame belongs to
-	Payload []byte       // KindData: one downlink wire-format frame; KindAlert: one watch alert; KindHop: one trace hop record (aliases the input)
+	Payload []byte       // KindData: one downlink wire-format frame; KindAlert: one watch alert; KindHop: one trace hop record; KindProfile: one prof site record (aliases the input)
 }
 
 // ErrLinkCorrupt reports a malformed tier-link message.
@@ -190,7 +198,7 @@ func AppendMsg(dst []byte, m Msg) []byte {
 		dst = append(dst, m.Payload...)
 	case KindAck:
 		dst = binary.LittleEndian.AppendUint64(dst, m.Ack)
-	case KindAlert, KindHop:
+	case KindAlert, KindHop, KindProfile:
 		dst = binary.LittleEndian.AppendUint64(dst, m.Seq)
 		dst = binary.LittleEndian.AppendUint32(dst, m.Node)
 		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(m.Payload)))
@@ -251,7 +259,7 @@ func DecodeMsg(b []byte) (Msg, int, error) {
 		}
 		m.Ack = binary.LittleEndian.Uint64(body)
 		return m, msgHeaderLen + ackBodyLen, nil
-	case KindAlert, KindHop:
+	case KindAlert, KindHop, KindProfile:
 		if len(body) < dataFixedLen {
 			return Msg{}, 0, fmt.Errorf("%w: truncated %s envelope (%d bytes)", ErrLinkCorrupt, m.Kind, len(body))
 		}

@@ -129,10 +129,28 @@ func Fit(samples []float64, blockSize int) (*Analysis, error) {
 	sort.Float64s(maxima)
 	_, maxObs := stats.MinMax(samples)
 
-	// Probability-weighted moments for Gumbel:
-	//   b0 = mean, b1 = (1/n) Σ ((i-1)/(n-1)) x_(i)   (i = 1..n, sorted)
-	//   beta = (2 b1 − b0)/ln 2,  mu = b0 − EulerGamma·beta.
-	n := float64(nBlocks)
+	mu, beta := gumbelPWM(maxima)
+	return &Analysis{
+		Mu:        mu,
+		Beta:      beta,
+		BlockSize: blockSize,
+		NBlocks:   nBlocks,
+		MaxObs:    maxObs,
+		IID:       iid,
+		maxima:    maxima,
+	}, nil
+}
+
+// gumbelPWM fits Gumbel (location mu, scale beta) to sorted block maxima
+// by probability-weighted moments:
+//
+//	b0 = mean, b1 = (1/n) Σ ((i-1)/(n-1)) x_(i)   (i = 1..n, sorted)
+//	beta = (2 b1 − b0)/ln 2,  mu = b0 − EulerGamma·beta.
+//
+// Closed-form and deterministic; negative scale estimates (decreasing
+// data) are clamped to the degenerate beta = 0 model. Zero-allocation.
+func gumbelPWM(maxima []float64) (mu, beta float64) {
+	n := float64(len(maxima))
 	var b0, b1 float64
 	for i, x := range maxima {
 		b0 += x
@@ -140,18 +158,38 @@ func Fit(samples []float64, blockSize int) (*Analysis, error) {
 	}
 	b0 /= n
 	b1 /= n
-	beta := (2*b1 - b0) / math.Ln2
+	beta = (2*b1 - b0) / math.Ln2
 	if beta < 0 {
 		beta = 0
 	}
+	return b0 - EulerGamma*beta, beta
+}
+
+// FromMaxima fits the Gumbel model directly to pre-formed block maxima —
+// the entry point for summarized profiles where the raw campaign is gone
+// but its block maxima survive (internal/prof retains a bounded maxima
+// multiset per sample site). The i.i.d. diagnostics need the raw sample
+// stream, so the returned analysis carries a degenerate-free but unchecked
+// IID report; callers treating the estimate as certification evidence
+// must gate the underlying campaign separately.
+func FromMaxima(maxima []float64, blockSize int) (*Analysis, error) {
+	if blockSize < 2 {
+		return nil, fmt.Errorf("mbpta: block size %d too small", blockSize)
+	}
+	if len(maxima) < minBlocks {
+		return nil, fmt.Errorf("%w: %d block maxima, need >= %d",
+			ErrTooFewSamples, len(maxima), minBlocks)
+	}
+	sorted := append([]float64(nil), maxima...)
+	sort.Float64s(sorted)
+	mu, beta := gumbelPWM(sorted)
 	return &Analysis{
-		Mu:        b0 - EulerGamma*beta,
+		Mu:        mu,
 		Beta:      beta,
 		BlockSize: blockSize,
-		NBlocks:   nBlocks,
-		MaxObs:    maxObs,
-		IID:       iid,
-		maxima:    maxima,
+		NBlocks:   len(sorted),
+		MaxObs:    sorted[len(sorted)-1],
+		maxima:    sorted,
 	}, nil
 }
 

@@ -1,0 +1,97 @@
+package mbpta
+
+import "sort"
+
+// Stream is an online pWCET estimator: it accumulates execution-time
+// samples into fixed-size blocks, retains the most recent block maxima in
+// a statically sized ring, and refits the Gumbel model on demand — the
+// "live" counterpart of the offline Fit pipeline, feeding continuous
+// profiling (internal/prof) and headroom alerting.
+//
+// The Push path is zero-allocation and bounded: one comparison, one
+// counter, and at block boundaries one ring store. Estimate sorts into a
+// preallocated scratch buffer, so steady-state estimation does not
+// allocate either. A Stream is not safe for concurrent use; give each
+// sample site its own.
+//
+//safexplain:req REQ-WCET
+type Stream struct {
+	blockSize int
+	ring      []float64 // most recent block maxima
+	scratch   []float64 // sort buffer for Estimate
+	head      int       // ring index of the oldest held maximum
+	held      int       // maxima currently held
+	n         int       // samples in the open block
+	cur       float64   // open block's running maximum
+	total     uint64    // samples pushed since construction
+}
+
+// NewStream builds a streaming estimator forming blocks of blockSize
+// samples and remembering the most recent capBlocks block maxima.
+// blockSize below 2 is raised to 2; capBlocks below minBlocks is raised
+// to minBlocks so a full window can always be fitted.
+func NewStream(blockSize, capBlocks int) *Stream {
+	if blockSize < 2 {
+		blockSize = 2
+	}
+	if capBlocks < minBlocks {
+		capBlocks = minBlocks
+	}
+	return &Stream{
+		blockSize: blockSize,
+		ring:      make([]float64, capBlocks),
+		scratch:   make([]float64, 0, capBlocks),
+	}
+}
+
+// Push feeds one execution-time sample. Zero-allocation, bounded-latency.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (s *Stream) Push(v float64) {
+	if s.n == 0 || v > s.cur {
+		s.cur = v
+	}
+	s.n++
+	s.total++
+	if s.n < s.blockSize {
+		return
+	}
+	// Block boundary: commit the maximum, evicting the oldest when full.
+	if s.held == len(s.ring) {
+		s.ring[s.head] = s.cur
+		s.head = (s.head + 1) % len(s.ring)
+	} else {
+		s.ring[(s.head+s.held)%len(s.ring)] = s.cur
+		s.held++
+	}
+	s.n = 0
+	s.cur = 0
+}
+
+// Blocks returns the number of block maxima currently held.
+func (s *Stream) Blocks() int { return s.held }
+
+// Samples returns the total sample count pushed since construction.
+func (s *Stream) Samples() uint64 { return s.total }
+
+// BlockSize returns the configured block size.
+func (s *Stream) BlockSize() int { return s.blockSize }
+
+// Estimate refits the Gumbel model over the held window and returns the
+// pWCET bound at exceedance probability p. ok is false until minBlocks
+// block maxima have been committed. The fit reuses the preallocated
+// scratch buffer, so the steady-state call is allocation-free.
+func (s *Stream) Estimate(p float64) (bound float64, ok bool) {
+	if s.held < minBlocks {
+		return 0, false
+	}
+	s.scratch = s.scratch[:0]
+	for i := 0; i < s.held; i++ {
+		s.scratch = append(s.scratch, s.ring[(s.head+i)%len(s.ring)])
+	}
+	sort.Float64s(s.scratch)
+	mu, beta := gumbelPWM(s.scratch)
+	a := Analysis{Mu: mu, Beta: beta, BlockSize: s.blockSize, NBlocks: s.held}
+	return a.PWCET(p), true
+}

@@ -1,0 +1,68 @@
+package prof
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzProfDecode drives arbitrary bytes through both profile decoders —
+// the canonical JSON report and the per-site relay record. Neither may
+// panic, and every accepted input must be a canonical fixed point: the
+// re-encoding of a successful decode decodes again to the identical
+// encoding (content addresses depend on it).
+func FuzzProfDecode(f *testing.F) {
+	p, ids := testProfiler("seed")
+	seed := uint64(23)
+	for i := 0; i < 300; i++ {
+		p.Observe(ids[i%len(ids)], lcg(&seed))
+	}
+	rep := p.Report()
+	if blob, err := rep.Encode(); err == nil {
+		f.Add(blob)
+	}
+	if recs, err := rep.EncodeRecords(); err == nil {
+		for _, rec := range recs {
+			f.Add(rec)
+		}
+	}
+	f.Add([]byte(`{"version":1,"system":"s","block_size":4,"sites":[]}`))
+	f.Add([]byte{wireMagic0, wireMagic1, wireVersion})
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		if rep, err := Decode(blob); err == nil {
+			enc, err := rep.Encode()
+			if err != nil {
+				t.Fatalf("accepted report fails to encode: %v", err)
+			}
+			rep2, err := Decode(enc)
+			if err != nil {
+				t.Fatalf("canonical re-encode rejected: %v", err)
+			}
+			enc2, err := rep2.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(enc, enc2) {
+				t.Fatal("canonical encoding is not a fixed point")
+			}
+			h1, _ := rep.Hash()
+			h2, _ := rep2.Hash()
+			if h1 != h2 {
+				t.Fatalf("content address moved: %s vs %s", h1, h2)
+			}
+		}
+		if idx, bs, site, err := DecodeSiteRecord(blob); err == nil {
+			rec, err := AppendSiteRecord(nil, bs, idx, site)
+			if err != nil {
+				t.Fatalf("accepted record fails to re-encode: %v", err)
+			}
+			idx2, bs2, site2, err := DecodeSiteRecord(rec)
+			if err != nil {
+				t.Fatalf("re-encoded record rejected: %v", err)
+			}
+			if idx2 != idx || bs2 != bs || site2.Name != site.Name || site2.Count != site.Count {
+				t.Fatal("wire record round-trip drifted")
+			}
+		}
+	})
+}

@@ -1,0 +1,321 @@
+// Package prof is the continuous hot-path profiler: deterministic
+// per-stage and per-kernel cycle attribution for the deployed pipeline,
+// always on, with a zero-allocation record path.
+//
+// The paper's timing pillar rests on measurement-based probabilistic WCET,
+// but an estimate is only as good as the measurements feeding it — and an
+// optimization effort (the ROADMAP's kernel-batching item) is blind
+// without knowing which kernel burns the cycles. This package closes both
+// gaps: every instrumented site (a pipeline stage in core.Operate /
+// rt.Step, or one quantized kernel inside qnn.Engine.Infer) accumulates
+// its sample stream into statically allocated per-site stores, and the
+// aggregate is exported as a canonical, content-addressed profile report
+// that merges order-independently across a fleet.
+//
+// Design rules, shared with internal/obs:
+//
+//   - Static site table: sites are declared before Freeze (typically at
+//     core.Build) and recorded through integer SiteIDs. Nothing on the
+//     record path touches a map, grows a slice, or formats a string.
+//   - Injected clock: durations come from the same injectable tick source
+//     as the trace clock (obs.NewCounterClock in deterministic tests, a
+//     wall-derived reader in production). The package never reads the
+//     ambient clock; a nil clock disables Begin/End capture while direct
+//     Observe feeds (e.g. rt frame cycles) keep working.
+//   - Integer-only aggregation: counts, tick sums, log2-bucket histograms,
+//     worst-sample exemplars (carrying trace identities) and a bounded
+//     largest-block-maxima multiset are all uint64, so merging profiles
+//     is exact and order-independent, and the canonical report is
+//     byte-stable.
+//   - Live estimation: the retained block maxima feed internal/mbpta's
+//     Gumbel fit at render time, giving each site a live pWCET estimate
+//     and, for budgeted sites, headroom against its WCET budget.
+//
+// The package is replay-deterministic: no wall clock, no ambient
+// randomness, no map iteration on any export path.
+//
+//safexplain:deterministic
+package prof
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// SiteKind classifies a sample site.
+type SiteKind uint8
+
+// Site kinds: pipeline stages (operate path, rt frames) and quantized
+// inference kernels.
+const (
+	KindStage SiteKind = iota + 1
+	KindKernel
+)
+
+// String returns the canonical kind name used in reports.
+func (k SiteKind) String() string {
+	switch k {
+	case KindStage:
+		return "stage"
+	case KindKernel:
+		return "kernel"
+	default:
+		return fmt.Sprintf("SiteKind(%d)", uint8(k))
+	}
+}
+
+// SiteID indexes the static site table. The zero table position is a
+// valid site; NoSite marks an unwired instrumentation point (records to
+// it are dropped).
+type SiteID int32
+
+// NoSite is the invalid site id.
+const NoSite SiteID = -1
+
+// NumBuckets is the fixed log2-bucket count of every site histogram:
+// bucket i counts samples whose duration has bit length i (i.e. in
+// [2^(i-1), 2^i)), with bucket 0 holding zero-tick samples and the last
+// bucket absorbing everything at or beyond 2^(NumBuckets-2) ticks.
+const NumBuckets = 32
+
+// MaximaCap bounds the per-site block-maxima multiset: the MaximaCap
+// largest block maxima observed are retained. "Keep the N largest" is a
+// commutative, associative fold over multisets, which is what makes the
+// fleet-wide profile merge order-independent.
+const MaximaCap = 64
+
+// DefaultBlockSize is the block size for block-maxima formation when the
+// config leaves it zero.
+const DefaultBlockSize = 32
+
+// Site is one static site-table entry, frozen at Freeze time.
+type Site struct {
+	Name string
+	Kind SiteKind
+	// Budget is the site's WCET budget in clock ticks (0 = unbudgeted).
+	// Budgeted sites get headroom attribution in the report.
+	Budget uint64
+}
+
+// Config sizes a Profiler. Zero values get defaults.
+type Config struct {
+	// Name labels the report (and Prometheus system label).
+	Name string
+	// Clock is the injected monotonic tick source for Begin/End capture.
+	// Nil disables Begin/End (Observe still works).
+	Clock func() uint64
+	// TraceID, when set, supplies the trace identity attached to
+	// worst-sample exemplars (typically obs.Obs.TraceID). Nil leaves
+	// exemplars trace-less.
+	TraceID func() uint64
+	// BlockSize is the block-maxima block size (default DefaultBlockSize).
+	BlockSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "system"
+	}
+	if c.BlockSize < 2 {
+		c.BlockSize = DefaultBlockSize
+	}
+	return c
+}
+
+// siteRec is one site's statically allocated sample store. All fields are
+// guarded by mu; the critical section is a bounded run of scalar
+// operations (the longest being the MaximaCap min-scan), so the record
+// path has bounded latency and zero allocations.
+type siteRec struct {
+	mu      sync.Mutex
+	count   uint64             //safexplain:guardedby mu
+	sum     uint64             //safexplain:guardedby mu
+	max     uint64             //safexplain:guardedby mu
+	buckets [NumBuckets]uint64 //safexplain:guardedby mu
+	exSet   bool               //safexplain:guardedby mu
+	exVal   uint64             //safexplain:guardedby mu
+	exID    uint64             //safexplain:guardedby mu
+	blockN  int                //safexplain:guardedby mu
+	blockMx uint64             //safexplain:guardedby mu
+	nMaxima int                //safexplain:guardedby mu
+	maxima  [MaximaCap]uint64  //safexplain:guardedby mu
+}
+
+// Profiler owns a frozen site table and its per-site sample stores. A nil
+// *Profiler is the disabled profiler: every record entry point is
+// nil-safe, which is the entire cost of profiling-off.
+type Profiler struct {
+	cfg    Config
+	sites  []Site
+	recs   []siteRec
+	frozen bool
+}
+
+// New builds an unfrozen profiler. Declare sites with AddSite, then
+// Freeze before recording.
+func New(cfg Config) *Profiler {
+	return &Profiler{cfg: cfg.withDefaults()}
+}
+
+// AddSite declares one site and returns its id. Panics after Freeze —
+// the site table is a build-time artifact, never a runtime one.
+func (p *Profiler) AddSite(name string, kind SiteKind, budget uint64) SiteID {
+	if p.frozen {
+		panic("prof: AddSite after Freeze")
+	}
+	p.sites = append(p.sites, Site{Name: name, Kind: kind, Budget: budget})
+	return SiteID(len(p.sites) - 1)
+}
+
+// Freeze seals the site table and allocates the per-site stores. Idempotent.
+func (p *Profiler) Freeze() {
+	if p.frozen {
+		return
+	}
+	p.frozen = true
+	p.recs = make([]siteRec, len(p.sites))
+}
+
+// Fork returns a fresh profiler over the same frozen site table and
+// config — empty stores, shared declarations. Forked profiles are
+// merge-compatible by construction (per-unit profiling over one build).
+func (p *Profiler) Fork() *Profiler {
+	f := &Profiler{cfg: p.cfg, sites: p.sites, frozen: true}
+	f.recs = make([]siteRec, len(p.sites))
+	return f
+}
+
+// SetClock injects (or replaces) the tick source. Call before operating;
+// nil-safe.
+func (p *Profiler) SetClock(clock func() uint64) {
+	if p == nil {
+		return
+	}
+	p.cfg.Clock = clock
+}
+
+// SetTraceID injects the exemplar trace-identity source. Nil-safe.
+func (p *Profiler) SetTraceID(id func() uint64) {
+	if p == nil {
+		return
+	}
+	p.cfg.TraceID = id
+}
+
+// Sites returns a copy of the site table.
+func (p *Profiler) Sites() []Site {
+	if p == nil {
+		return nil
+	}
+	return append([]Site(nil), p.sites...)
+}
+
+// Name returns the profiler's system label ("" when nil).
+func (p *Profiler) Name() string {
+	if p == nil {
+		return ""
+	}
+	return p.cfg.Name
+}
+
+// Begin reads the clock at a site entry. Returns 0 with a nil profiler or
+// clock; End tolerates either. Zero-allocation.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (p *Profiler) Begin() uint64 {
+	if p == nil || p.cfg.Clock == nil {
+		return 0
+	}
+	return p.cfg.Clock() //safexplain:dynamic injected tick source, fixed at configuration time
+}
+
+// End closes a Begin: it reads the clock and records the elapsed ticks at
+// the site. Nil-safe, zero-allocation.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (p *Profiler) End(id SiteID, begin uint64) {
+	if p == nil || p.cfg.Clock == nil {
+		return
+	}
+	now := p.cfg.Clock() //safexplain:dynamic injected tick source, fixed at configuration time
+	if now < begin {
+		return // clock replaced mid-span; drop rather than wrap
+	}
+	p.Observe(id, now-begin)
+}
+
+// Observe records one duration sample (in ticks) at the site — the direct
+// feed for callers that already hold a measured duration (rt frame
+// cycles). Out-of-table ids are dropped. Nil-safe, zero-allocation,
+// bounded-latency: the critical section is scalar stores plus the
+// fixed-size maxima min-scan.
+//
+//safexplain:hotpath
+//safexplain:wcet
+func (p *Profiler) Observe(id SiteID, dur uint64) {
+	if p == nil || id < 0 || int(id) >= len(p.recs) {
+		return
+	}
+	var trace uint64
+	if p.cfg.TraceID != nil {
+		trace = p.cfg.TraceID() //safexplain:dynamic injected trace-identity source, fixed at configuration time
+	}
+	b := bits.Len64(dur)
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	r := &p.recs[id]
+	r.mu.Lock()
+	r.count++
+	r.sum += dur
+	if dur > r.max {
+		r.max = dur
+	}
+	r.buckets[b]++
+	// Worst-sample exemplar: larger duration wins, ties keep the lower
+	// trace id — order-independent retention, like obs exemplars.
+	if trace != 0 && (!r.exSet || dur > r.exVal || (dur == r.exVal && trace < r.exID)) {
+		r.exSet, r.exVal, r.exID = true, dur, trace
+	}
+	// Block-maxima stream: accumulate the running block maximum; at the
+	// block boundary fold it into the bounded largest-N multiset.
+	if r.blockN == 0 || dur > r.blockMx {
+		r.blockMx = dur
+	}
+	r.blockN++
+	if r.blockN >= p.cfg.BlockSize {
+		if r.nMaxima < MaximaCap {
+			r.maxima[r.nMaxima] = r.blockMx
+			r.nMaxima++
+		} else {
+			minI := 0
+			//safexplain:bounded maxima store is a fixed MaximaCap array
+			for i := 1; i < MaximaCap; i++ {
+				if r.maxima[i] < r.maxima[minI] {
+					minI = i
+				}
+			}
+			if r.blockMx > r.maxima[minI] {
+				r.maxima[minI] = r.blockMx
+			}
+		}
+		r.blockN = 0
+		r.blockMx = 0
+	}
+	r.mu.Unlock()
+}
+
+// Count returns the sample count recorded at the site (0 when nil or out
+// of table).
+func (p *Profiler) Count(id SiteID) uint64 {
+	if p == nil || id < 0 || int(id) >= len(p.recs) {
+		return 0
+	}
+	r := &p.recs[id]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}

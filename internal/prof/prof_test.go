@@ -1,0 +1,343 @@
+package prof
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// testProfiler builds a frozen two-stage/two-kernel profiler on a local
+// counter clock.
+func testProfiler(name string) (*Profiler, []SiteID) {
+	tick := uint64(0)
+	p := New(Config{
+		Name:      name,
+		Clock:     func() uint64 { tick++; return tick },
+		TraceID:   func() uint64 { return 0x42 },
+		BlockSize: 4,
+	})
+	ids := []SiteID{
+		p.AddSite("stage/infer", KindStage, 5000),
+		p.AddSite("stage/vote", KindStage, 0),
+		p.AddSite("kernel/conv2d#0", KindKernel, 0),
+		p.AddSite("kernel/dense#4", KindKernel, 0),
+	}
+	p.Freeze()
+	return p, ids
+}
+
+// lcg is a tiny deterministic duration source for tests.
+func lcg(s *uint64) uint64 {
+	*s = *s*6364136223846793005 + 1442695040888963407
+	return (*s >> 33) % 1000
+}
+
+func TestProfRecordZeroAlloc(t *testing.T) {
+	p, ids := testProfiler("alloc")
+	if a := testing.AllocsPerRun(1000, func() {
+		b := p.Begin()
+		p.End(ids[0], b)
+	}); a != 0 {
+		t.Fatalf("Begin/End allocates %.1f per op, want 0", a)
+	}
+	if a := testing.AllocsPerRun(1000, func() {
+		p.Observe(ids[2], 37)
+	}); a != 0 {
+		t.Fatalf("Observe allocates %.1f per op, want 0", a)
+	}
+	var nilProf *Profiler
+	if a := testing.AllocsPerRun(1000, func() {
+		b := nilProf.Begin()
+		nilProf.End(ids[0], b)
+		nilProf.Observe(ids[0], 1)
+	}); a != 0 {
+		t.Fatalf("nil profiler allocates %.1f per op, want 0", a)
+	}
+}
+
+func TestRecordAggregates(t *testing.T) {
+	p, ids := testProfiler("agg")
+	for _, d := range []uint64{3, 9, 1, 20} {
+		p.Observe(ids[0], d)
+	}
+	rep := p.Report()
+	s := rep.Sites[0]
+	if s.Count != 4 || s.Sum != 33 || s.Max != 20 {
+		t.Fatalf("aggregate = count %d sum %d max %d, want 4/33/20", s.Count, s.Sum, s.Max)
+	}
+	// One full block of 4 samples committed its maximum.
+	if len(s.Maxima) != 1 || s.Maxima[0] != 20 {
+		t.Fatalf("maxima = %v, want [20]", s.Maxima)
+	}
+	if s.ExemplarValue != 20 || s.ExemplarTrace != "0000000000000042" {
+		t.Fatalf("exemplar = %d@%q", s.ExemplarValue, s.ExemplarTrace)
+	}
+	// log2 buckets: 3 -> bit length 2, 9 -> 4, 1 -> 1, 20 -> 5.
+	for _, want := range []int{2, 4, 1, 5} {
+		if s.Buckets[want] == 0 {
+			t.Fatalf("bucket %d empty: %v", want, s.Buckets[:8])
+		}
+	}
+	// Out-of-table and NoSite records are dropped, not panics.
+	p.Observe(NoSite, 1)
+	p.Observe(SiteID(99), 1)
+	if got := p.Count(SiteID(99)); got != 0 {
+		t.Fatalf("out-of-table count = %d", got)
+	}
+}
+
+func TestMaximaKeepsLargest(t *testing.T) {
+	p, ids := testProfiler("maxima")
+	// 200 blocks of 4; block b has maximum 1000+b. Only the largest
+	// MaximaCap survive.
+	for b := 0; b < 200; b++ {
+		p.Observe(ids[1], uint64(1000+b))
+		for i := 0; i < 3; i++ {
+			p.Observe(ids[1], 1)
+		}
+	}
+	s := p.Report().Sites[1]
+	if len(s.Maxima) != MaximaCap {
+		t.Fatalf("held %d maxima, want %d", len(s.Maxima), MaximaCap)
+	}
+	if s.Maxima[0] != uint64(1000+200-MaximaCap) || s.Maxima[MaximaCap-1] != 1199 {
+		t.Fatalf("maxima range [%d, %d], want [%d, 1199]",
+			s.Maxima[0], s.Maxima[MaximaCap-1], 1000+200-MaximaCap)
+	}
+}
+
+func TestReportRoundTripAndHash(t *testing.T) {
+	p, ids := testProfiler("round")
+	seed := uint64(7)
+	for i := 0; i < 500; i++ {
+		p.Observe(ids[i%len(ids)], lcg(&seed))
+	}
+	rep := p.Report()
+	blob, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(blob)
+	if err != nil {
+		t.Fatalf("decode canonical report: %v", err)
+	}
+	blob2, err := dec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("re-encode is not byte-identical")
+	}
+	h1, _ := rep.Hash()
+	h2, _ := dec.Hash()
+	if h1 != h2 || len(h1) != 64 {
+		t.Fatalf("hash mismatch %q vs %q", h1, h2)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	p, ids := testProfiler("bad")
+	p.Observe(ids[0], 5)
+	blob, _ := p.Report().Encode()
+	good, _ := Decode(blob)
+
+	corrupt := func(mut func(*Report)) error {
+		r := good
+		r.Sites = append([]SiteReport(nil), good.Sites...)
+		mut(&r)
+		b, err := r.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = Decode(b)
+		return err
+	}
+	cases := map[string]func(*Report){
+		"version":      func(r *Report) { r.Version = 2 },
+		"block size":   func(r *Report) { r.BlockSize = 1 },
+		"bucket sum":   func(r *Report) { r.Sites[0].Count++ },
+		"kind":         func(r *Report) { r.Sites[0].Kind = "mystery" },
+		"empty name":   func(r *Report) { r.Sites[0].Name = "" },
+		"max over sum": func(r *Report) { r.Sites[0].Max = r.Sites[0].Sum + 1 },
+	}
+	for name, mut := range cases {
+		if err := corrupt(mut); !errors.Is(err, ErrReport) {
+			t.Errorf("%s: error = %v, want ErrReport", name, err)
+		}
+	}
+	if _, err := Decode([]byte("{}")); !errors.Is(err, ErrReport) {
+		t.Errorf("empty object: %v", err)
+	}
+	if _, err := Decode([]byte(`{"version":1,"system":"x","block_size":4,"sites":[],"extra":1}`)); !errors.Is(err, ErrReport) {
+		t.Errorf("unknown field: %v", err)
+	}
+}
+
+func TestMergeOrderIndependent(t *testing.T) {
+	base, ids := testProfiler("unit")
+	feed := func(p *Profiler, seed uint64, n int) {
+		for i := 0; i < n; i++ {
+			p.Observe(ids[i%len(ids)], lcg(&seed))
+		}
+	}
+	forks := make([]Report, 3)
+	for u := range forks {
+		f := base.Fork()
+		feed(f, uint64(u+1)*97, 300+40*u)
+		forks[u] = f.Report()
+	}
+	mergeIn := func(order []int) []byte {
+		dst := Report{Version: ReportVersion, System: "global", BlockSize: forks[0].BlockSize}
+		dst.Sites = cloneSites(forks[order[0]].Sites)
+		dst.Sites = zeroSites(dst.Sites)
+		for _, i := range order {
+			if err := dst.Merge(forks[i]); err != nil {
+				t.Fatalf("merge: %v", err)
+			}
+		}
+		blob, err := dst.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	ref := mergeIn([]int{0, 1, 2})
+	for _, order := range [][]int{{2, 1, 0}, {1, 2, 0}, {0, 2, 1}} {
+		if !bytes.Equal(ref, mergeIn(order)) {
+			t.Fatalf("merge order %v changed the canonical report", order)
+		}
+	}
+}
+
+// cloneSites deep-copies site reports; zeroSites resets their samples to
+// an empty merge seed with the same table identity.
+func cloneSites(src []SiteReport) []SiteReport {
+	out := make([]SiteReport, len(src))
+	for i, s := range src {
+		out[i] = s
+		out[i].Buckets = append([]uint64(nil), s.Buckets...)
+		out[i].Maxima = append([]uint64(nil), s.Maxima...)
+	}
+	return out
+}
+
+func zeroSites(sites []SiteReport) []SiteReport {
+	for i := range sites {
+		sites[i].Count, sites[i].Sum, sites[i].Max = 0, 0, 0
+		sites[i].ExemplarValue, sites[i].ExemplarTrace = 0, ""
+		sites[i].Buckets = make([]uint64, NumBuckets)
+		sites[i].Maxima = nil
+	}
+	return sites
+}
+
+func TestMergeRejectsDrift(t *testing.T) {
+	a, idsA := testProfiler("a")
+	b, _ := testProfiler("b")
+	a.Observe(idsA[0], 1)
+	ra, rb := a.Report(), b.Report()
+	rb.Sites[0].Budget++ // table drift: a different WCET budget
+	if err := ra.Merge(rb); !errors.Is(err, ErrMerge) {
+		t.Fatalf("budget drift: %v, want ErrMerge", err)
+	}
+	rb2 := b.Report()
+	rb2.Sites = rb2.Sites[:len(rb2.Sites)-1]
+	if err := ra.Merge(rb2); !errors.Is(err, ErrMerge) {
+		t.Fatalf("site count drift: %v, want ErrMerge", err)
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	p, ids := testProfiler("wire")
+	seed := uint64(11)
+	for i := 0; i < 400; i++ {
+		p.Observe(ids[i%len(ids)], lcg(&seed))
+	}
+	rep := p.Report()
+	recs, err := rep.EncodeRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(rep.Sites) {
+		t.Fatalf("%d records for %d sites", len(recs), len(rep.Sites))
+	}
+	for i, rec := range recs {
+		if len(rec) > 4096 {
+			t.Fatalf("record %d is %d bytes, exceeds the envelope payload bound", i, len(rec))
+		}
+		idx, bs, s, err := DecodeSiteRecord(rec)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if idx != i || bs != rep.BlockSize {
+			t.Fatalf("record %d decoded as idx %d bs %d", i, idx, bs)
+		}
+		want := rep.Sites[i]
+		re, err := AppendSiteRecord(nil, bs, idx, s)
+		if err != nil {
+			t.Fatalf("re-encode %d: %v", i, err)
+		}
+		if !bytes.Equal(rec, re) {
+			t.Fatalf("record %d re-encode differs", i)
+		}
+		if s.Name != want.Name || s.Count != want.Count || s.Sum != want.Sum {
+			t.Fatalf("record %d round-trip = %+v, want %+v", i, s, want)
+		}
+	}
+	// Malformed inputs error, never panic.
+	for _, bad := range [][]byte{nil, {0}, recs[0][:10], recs[0][:len(recs[0])-1]} {
+		if _, _, _, err := DecodeSiteRecord(bad); err == nil {
+			t.Fatalf("decode of %d bytes succeeded", len(bad))
+		}
+	}
+}
+
+func TestLivePWCETAndHeadroom(t *testing.T) {
+	p, ids := testProfiler("pwcet")
+	seed := uint64(3)
+	for i := 0; i < 4*64; i++ {
+		p.Observe(ids[0], 1000+lcg(&seed)) // budgeted site: ~[1000,2000) vs budget 5000
+	}
+	rep := p.Report()
+	w, ok := rep.Sites[0].PWCET(rep.BlockSize, 1e-9)
+	if !ok {
+		t.Fatal("no live pWCET with a full maxima window")
+	}
+	if w < float64(rep.Sites[0].Max) {
+		t.Fatalf("pWCET %.0f below observed max %d", w, rep.Sites[0].Max)
+	}
+	h, ok := rep.Sites[0].Headroom(rep.BlockSize, 1e-9)
+	if !ok || h <= 0 || h >= 1 {
+		t.Fatalf("headroom = %.3f ok=%v, want a positive fraction", h, ok)
+	}
+	if _, ok := rep.Sites[1].Headroom(rep.BlockSize, 1e-9); ok {
+		t.Fatal("unbudgeted site reported headroom")
+	}
+	ratio, site, ok := rep.MinHeadroom(1e-9)
+	if !ok || site != "stage/infer" || ratio != h {
+		t.Fatalf("MinHeadroom = %.3f %q %v", ratio, site, ok)
+	}
+}
+
+func TestForkSharesTable(t *testing.T) {
+	p, ids := testProfiler("fork")
+	f := p.Fork()
+	f.Observe(ids[0], 9)
+	if p.Count(ids[0]) != 0 || f.Count(ids[0]) != 1 {
+		t.Fatal("fork shares sample stores with its parent")
+	}
+	ra, rb := p.Report(), f.Report()
+	if err := ra.Merge(rb); err != nil {
+		t.Fatalf("fork reports must be merge-compatible: %v", err)
+	}
+}
+
+func BenchmarkProfRecord(b *testing.B) {
+	p, ids := testProfiler("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		begin := p.Begin()
+		p.End(ids[i&3], begin)
+	}
+}

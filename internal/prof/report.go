@@ -1,0 +1,451 @@
+package prof
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"safexplain/internal/mbpta"
+)
+
+// ReportVersion is the canonical profile-report format version.
+const ReportVersion = 1
+
+// MaxReportSites bounds the site count a decoded report may carry.
+const MaxReportSites = 4096
+
+// maxNameLen bounds site and system names in decoded reports.
+const maxNameLen = 256
+
+// ErrReport marks a malformed or non-canonical profile report.
+var ErrReport = errors.New("prof: invalid profile report")
+
+// ErrMerge reports merge-incompatible profiles: different site tables,
+// budgets, or block sizes — the site-table drift rejection mirroring
+// obs.Snapshot.Merge.
+var ErrMerge = errors.New("prof: profiles are not merge-compatible")
+
+// SiteReport is one site's aggregated sample store in canonical form.
+// Every field is integral, so encoding is byte-stable and merging exact.
+type SiteReport struct {
+	Name   string `json:"name"`
+	Kind   string `json:"kind"`
+	Budget uint64 `json:"budget,omitempty"`
+	Count  uint64 `json:"count"`
+	Sum    uint64 `json:"sum"`
+	Max    uint64 `json:"max"`
+	// Buckets is the fixed log2 histogram: Buckets[i] counts samples of
+	// bit length i. Always NumBuckets long.
+	Buckets []uint64 `json:"buckets"`
+	// ExemplarValue/ExemplarTrace carry the worst sample and the trace
+	// that produced it (fixed-width hex TraceID, empty when none).
+	ExemplarValue uint64 `json:"exemplar_value,omitempty"`
+	ExemplarTrace string `json:"exemplar_trace,omitempty"`
+	// Maxima is the retained block-maxima multiset, sorted ascending,
+	// at most MaximaCap entries.
+	Maxima []uint64 `json:"maxima"`
+}
+
+// Report is the canonical content-addressed profile document.
+type Report struct {
+	Version   int          `json:"version"`
+	System    string       `json:"system"`
+	BlockSize int          `json:"block_size"`
+	Sites     []SiteReport `json:"sites"`
+}
+
+// Report snapshots the profiler into its canonical report. Allocates —
+// an export-path activity, never a per-frame one. Nil-safe (empty report).
+func (p *Profiler) Report() Report {
+	if p == nil {
+		return Report{Version: ReportVersion, System: "", BlockSize: DefaultBlockSize}
+	}
+	rep := Report{
+		Version:   ReportVersion,
+		System:    p.cfg.Name,
+		BlockSize: p.cfg.BlockSize,
+		Sites:     make([]SiteReport, len(p.sites)),
+	}
+	for i := range p.sites {
+		s := &p.sites[i]
+		r := &p.recs[i]
+		r.mu.Lock()
+		sr := SiteReport{
+			Name:    s.Name,
+			Kind:    s.Kind.String(),
+			Budget:  s.Budget,
+			Count:   r.count,
+			Sum:     r.sum,
+			Max:     r.max,
+			Buckets: make([]uint64, NumBuckets),
+			Maxima:  make([]uint64, 0, r.nMaxima),
+		}
+		copy(sr.Buckets, r.buckets[:])
+		if r.exSet {
+			sr.ExemplarValue = r.exVal
+			sr.ExemplarTrace = fmt.Sprintf("%016x", r.exID)
+		}
+		sr.Maxima = append(sr.Maxima, r.maxima[:r.nMaxima]...)
+		r.mu.Unlock()
+		sortU64(sr.Maxima)
+		rep.Sites[i] = sr
+	}
+	return rep
+}
+
+// sortU64 sorts ascending in place (insertion sort: the slices here are
+// at most MaximaCap long).
+func sortU64(v []uint64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// Encode renders the canonical JSON document. Same report, same bytes —
+// the property the content address and the fleet byte-identity claim
+// stand on.
+func (r Report) Encode() ([]byte, error) {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(blob, '\n'), nil
+}
+
+// Hash returns the SHA-256 content address of the canonical encoding —
+// what the evidence chain records.
+func (r Report) Hash() (string, error) {
+	blob, err := r.Encode()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Decode parses and validates a canonical profile report. It never
+// panics on arbitrary input, and a successful decode is a canonical
+// fixed point: Encode(Decode(b)) decodes to the same value (fuzzed by
+// FuzzProfDecode).
+func Decode(blob []byte) (Report, error) {
+	var r Report
+	dec := json.NewDecoder(bytes.NewReader(blob))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return Report{}, fmt.Errorf("%w: %v", ErrReport, err)
+	}
+	if dec.More() {
+		return Report{}, fmt.Errorf("%w: trailing data", ErrReport)
+	}
+	if err := r.validate(); err != nil {
+		return Report{}, err
+	}
+	return r, nil
+}
+
+func (r Report) validate() error {
+	if r.Version != ReportVersion {
+		return fmt.Errorf("%w: version %d, want %d", ErrReport, r.Version, ReportVersion)
+	}
+	if len(r.System) > maxNameLen {
+		return fmt.Errorf("%w: system name too long", ErrReport)
+	}
+	if r.BlockSize < 2 || r.BlockSize > 1<<20 {
+		return fmt.Errorf("%w: block size %d out of range", ErrReport, r.BlockSize)
+	}
+	if len(r.Sites) > MaxReportSites {
+		return fmt.Errorf("%w: %d sites exceed the %d bound", ErrReport, len(r.Sites), MaxReportSites)
+	}
+	for i := range r.Sites {
+		if err := r.Sites[i].validate(); err != nil {
+			return fmt.Errorf("site %d (%q): %w", i, r.Sites[i].Name, err)
+		}
+	}
+	return nil
+}
+
+func (s SiteReport) validate() error {
+	if s.Name == "" || len(s.Name) > maxNameLen {
+		return fmt.Errorf("%w: bad site name", ErrReport)
+	}
+	if s.Kind != "stage" && s.Kind != "kernel" {
+		return fmt.Errorf("%w: unknown kind %q", ErrReport, s.Kind)
+	}
+	if len(s.Buckets) != NumBuckets {
+		return fmt.Errorf("%w: %d buckets, want %d", ErrReport, len(s.Buckets), NumBuckets)
+	}
+	var bsum uint64
+	for _, b := range s.Buckets {
+		bsum += b
+	}
+	if bsum != s.Count {
+		return fmt.Errorf("%w: bucket sum %d != count %d", ErrReport, bsum, s.Count)
+	}
+	if s.Count == 0 && (s.Sum != 0 || s.Max != 0) {
+		return fmt.Errorf("%w: empty site with nonzero sum/max", ErrReport)
+	}
+	if s.Count > 0 && s.Max > s.Sum {
+		return fmt.Errorf("%w: max %d exceeds sum %d", ErrReport, s.Max, s.Sum)
+	}
+	if len(s.Maxima) > MaximaCap {
+		return fmt.Errorf("%w: %d block maxima exceed the %d bound", ErrReport, len(s.Maxima), MaximaCap)
+	}
+	for i, m := range s.Maxima {
+		if i > 0 && m < s.Maxima[i-1] {
+			return fmt.Errorf("%w: block maxima not sorted", ErrReport)
+		}
+		if m > s.Max {
+			return fmt.Errorf("%w: block maximum %d exceeds max %d", ErrReport, m, s.Max)
+		}
+	}
+	if s.ExemplarValue > s.Max {
+		return fmt.Errorf("%w: exemplar value %d exceeds max %d", ErrReport, s.ExemplarValue, s.Max)
+	}
+	if s.ExemplarTrace == "" {
+		if s.ExemplarValue != 0 {
+			return fmt.Errorf("%w: exemplar value without trace", ErrReport)
+		}
+		return nil
+	}
+	if len(s.ExemplarTrace) != 16 {
+		return fmt.Errorf("%w: exemplar trace %q not 16 hex digits", ErrReport, s.ExemplarTrace)
+	}
+	for _, c := range s.ExemplarTrace {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("%w: exemplar trace %q not canonical hex", ErrReport, s.ExemplarTrace)
+		}
+	}
+	if s.ExemplarTrace == "0000000000000000" {
+		return fmt.Errorf("%w: zero exemplar trace id", ErrReport)
+	}
+	return nil
+}
+
+// Merge folds src into r. The site tables must match exactly — same
+// names, kinds, budgets, order, and block size; drift is rejected like
+// obs.Snapshot.Merge. Counts, sums and buckets add, maxima fold as
+// largest-N multisets, exemplars keep the worst (ties to the lower
+// trace id) — every operation commutative and associative, so the merged
+// fleet profile is identical whatever the arrival order. The System
+// label of the receiver wins.
+func (r *Report) Merge(src Report) error {
+	if r.Version != src.Version {
+		return fmt.Errorf("%w: version %d vs %d", ErrMerge, r.Version, src.Version)
+	}
+	if r.BlockSize != src.BlockSize {
+		return fmt.Errorf("%w: block size %d vs %d", ErrMerge, r.BlockSize, src.BlockSize)
+	}
+	if len(r.Sites) != len(src.Sites) {
+		return fmt.Errorf("%w: %d sites vs %d", ErrMerge, len(r.Sites), len(src.Sites))
+	}
+	for i := range r.Sites {
+		if err := r.Sites[i].Merge(src.Sites[i]); err != nil {
+			return fmt.Errorf("site %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Merge folds one site's aggregates into s, with the same drift rejection
+// and order-independence as Report.Merge — the per-slot entry point relay
+// tiers use when merging individually delivered site records.
+func (s *SiteReport) Merge(src SiteReport) error {
+	if s.Name != src.Name || s.Kind != src.Kind || s.Budget != src.Budget {
+		return fmt.Errorf("%w: site %q/%s/%d vs %q/%s/%d", ErrMerge,
+			s.Name, s.Kind, s.Budget, src.Name, src.Kind, src.Budget)
+	}
+	if len(s.Buckets) != len(src.Buckets) {
+		return fmt.Errorf("%w: bucket layout differs for %q", ErrMerge, s.Name)
+	}
+	s.Count += src.Count
+	s.Sum += src.Sum
+	if src.Max > s.Max {
+		s.Max = src.Max
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] += src.Buckets[i]
+	}
+	if src.ExemplarTrace != "" {
+		if s.ExemplarTrace == "" || src.ExemplarValue > s.ExemplarValue ||
+			(src.ExemplarValue == s.ExemplarValue && src.ExemplarTrace < s.ExemplarTrace) {
+			s.ExemplarValue, s.ExemplarTrace = src.ExemplarValue, src.ExemplarTrace
+		}
+	}
+	s.Maxima = mergeMaxima(s.Maxima, src.Maxima)
+	return nil
+}
+
+// mergeMaxima folds two ascending largest-N multisets into one: the
+// MaximaCap largest elements of the union, ascending.
+func mergeMaxima(a, b []uint64) []uint64 {
+	out := make([]uint64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case i == len(a):
+			out = append(out, b[j])
+			j++
+		case j == len(b):
+			out = append(out, a[i])
+			i++
+		case a[i] <= b[j]:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	if len(out) > MaximaCap {
+		out = out[len(out)-MaximaCap:]
+	}
+	return out
+}
+
+// PWCET returns the site's live pWCET estimate at exceedance probability
+// p, fitted over the retained block maxima. ok is false until enough
+// block maxima exist for a stable fit.
+func (s SiteReport) PWCET(blockSize int, p float64) (float64, bool) {
+	if len(s.Maxima) == 0 {
+		return 0, false
+	}
+	maxima := make([]float64, len(s.Maxima))
+	for i, m := range s.Maxima {
+		maxima[i] = float64(m)
+	}
+	a, err := mbpta.FromMaxima(maxima, blockSize)
+	if err != nil {
+		return 0, false
+	}
+	return a.PWCET(p), true
+}
+
+// Headroom returns the budgeted site's live headroom ratio,
+// (budget − pWCET)/budget: positive means margin, negative means the
+// live estimate already exceeds the WCET budget. ok is false for
+// unbudgeted sites or before the fit stabilizes.
+func (s SiteReport) Headroom(blockSize int, p float64) (float64, bool) {
+	if s.Budget == 0 {
+		return 0, false
+	}
+	w, ok := s.PWCET(blockSize, p)
+	if !ok {
+		return 0, false
+	}
+	return (float64(s.Budget) - w) / float64(s.Budget), true
+}
+
+// MinHeadroom returns the tightest live headroom across budgeted sites
+// and the site holding it — the scalar a pWCET-headroom watch rule
+// alerts on. ok is false when no budgeted site has a stable estimate.
+func (r Report) MinHeadroom(p float64) (ratio float64, site string, ok bool) {
+	for _, s := range r.Sites {
+		h, hok := s.Headroom(r.BlockSize, p)
+		if !hok {
+			continue
+		}
+		if !ok || h < ratio {
+			ratio, site, ok = h, s.Name, true
+		}
+	}
+	return ratio, site, ok
+}
+
+// Table renders the human-readable profile: per-site sample statistics,
+// the live pWCET estimate at exceedance p, and headroom for budgeted
+// sites.
+func (r Report) Table(p float64) string {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "profile %q: %d sites, block size %d, pWCET at p=%g\n",
+		r.System, len(r.Sites), r.BlockSize, p)
+	w := tabwriter.NewWriter(&buf, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "site\tkind\tsamples\tmean\tmax\tpWCET\tbudget\theadroom\texemplar")
+	for _, s := range r.Sites {
+		mean := "-"
+		if s.Count > 0 {
+			mean = fmt.Sprintf("%.1f", float64(s.Sum)/float64(s.Count))
+		}
+		pw := "-"
+		if v, ok := s.PWCET(r.BlockSize, p); ok {
+			pw = fmt.Sprintf("%.0f", v)
+		}
+		budget, head := "-", "-"
+		if s.Budget > 0 {
+			budget = fmt.Sprintf("%d", s.Budget)
+			if h, ok := s.Headroom(r.BlockSize, p); ok {
+				head = fmt.Sprintf("%+.1f%%", h*100)
+			}
+		}
+		ex := "-"
+		if s.ExemplarTrace != "" {
+			ex = fmt.Sprintf("%d@%s", s.ExemplarValue, s.ExemplarTrace)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\t%s\t%d\t%s\t%s\t%s\t%s\n",
+			s.Name, s.Kind, s.Count, mean, s.Max, pw, budget, head, ex)
+	}
+	w.Flush()
+	return buf.String()
+}
+
+// Prometheus renders the profile in the Prometheus text exposition
+// format, one family per aggregate, labelled by system, site and kind.
+func (r Report) Prometheus(p float64) string {
+	var b strings.Builder
+	labels := func(s SiteReport) string {
+		return fmt.Sprintf("system=%q,site=%q,kind=%q", r.System, s.Name, s.Kind)
+	}
+	b.WriteString("# HELP safexplain_profile_samples_total samples recorded at the site\n")
+	b.WriteString("# TYPE safexplain_profile_samples_total counter\n")
+	for _, s := range r.Sites {
+		fmt.Fprintf(&b, "safexplain_profile_samples_total{%s} %d\n", labels(s), s.Count)
+	}
+	b.WriteString("# HELP safexplain_profile_ticks_total total ticks attributed to the site\n")
+	b.WriteString("# TYPE safexplain_profile_ticks_total counter\n")
+	for _, s := range r.Sites {
+		fmt.Fprintf(&b, "safexplain_profile_ticks_total{%s} %d\n", labels(s), s.Sum)
+	}
+	b.WriteString("# HELP safexplain_profile_max_ticks worst sample observed at the site\n")
+	b.WriteString("# TYPE safexplain_profile_max_ticks gauge\n")
+	for _, s := range r.Sites {
+		fmt.Fprintf(&b, "safexplain_profile_max_ticks{%s} %d\n", labels(s), s.Max)
+	}
+	b.WriteString("# HELP safexplain_profile_ticks log2-bucket distribution of site samples\n")
+	b.WriteString("# TYPE safexplain_profile_ticks histogram\n")
+	for _, s := range r.Sites {
+		var cum uint64
+		bound := uint64(1)
+		for i, c := range s.Buckets {
+			cum += c
+			if i == len(s.Buckets)-1 {
+				fmt.Fprintf(&b, "safexplain_profile_ticks_bucket{%s,le=\"+Inf\"} %d\n", labels(s), cum)
+			} else {
+				fmt.Fprintf(&b, "safexplain_profile_ticks_bucket{%s,le=\"%d\"} %d\n", labels(s), bound-1, cum)
+				bound <<= 1
+			}
+		}
+		fmt.Fprintf(&b, "safexplain_profile_ticks_sum{%s} %d\n", labels(s), s.Sum)
+		fmt.Fprintf(&b, "safexplain_profile_ticks_count{%s} %d\n", labels(s), s.Count)
+	}
+	b.WriteString("# HELP safexplain_profile_pwcet_ticks live pWCET estimate over retained block maxima\n")
+	b.WriteString("# TYPE safexplain_profile_pwcet_ticks gauge\n")
+	for _, s := range r.Sites {
+		if v, ok := s.PWCET(r.BlockSize, p); ok {
+			fmt.Fprintf(&b, "safexplain_profile_pwcet_ticks{%s} %g\n", labels(s), v)
+		}
+	}
+	b.WriteString("# HELP safexplain_profile_headroom_ratio live (budget-pWCET)/budget for budgeted sites\n")
+	b.WriteString("# TYPE safexplain_profile_headroom_ratio gauge\n")
+	for _, s := range r.Sites {
+		if h, ok := s.Headroom(r.BlockSize, p); ok {
+			fmt.Fprintf(&b, "safexplain_profile_headroom_ratio{%s} %g\n", labels(s), h)
+		}
+	}
+	return b.String()
+}

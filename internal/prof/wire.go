@@ -1,0 +1,182 @@
+package prof
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// Profile relay wire format. A full canonical report does not fit the
+// fleetnet envelope payload bound, so the relay ships one site per
+// record: a fixed header plus the site's integer aggregate. Every tier
+// decodes the record into its merged profile store and forwards the
+// original bytes unchanged, so the same record is what every tier
+// ingested — the sidecar pattern trace hops and watch alerts use.
+//
+//	'P' 'F' ver(1)
+//	block_size  u32
+//	site_index  u32      position in the frozen site table
+//	kind        u8
+//	budget      u64
+//	count       u64
+//	sum         u64
+//	max         u64
+//	buckets     NumBuckets × u64
+//	ex_value    u64
+//	ex_trace    u64      0 = no exemplar trace
+//	name_len    u16 + name bytes
+//	n_maxima    u16 + n × u64 (ascending)
+//
+// All integers big-endian. AppendSiteRecord and DecodeSiteRecord are
+// pure and never panic on arbitrary input (fuzzed via FuzzProfDecode's
+// wire leg).
+
+// wire framing constants.
+const (
+	wireMagic0  = 'P'
+	wireMagic1  = 'F'
+	wireVersion = 1
+
+	// wireFixedLen is the record length before the variable name and
+	// maxima sections.
+	wireFixedLen = 3 + 4 + 4 + 1 + 8*4 + NumBuckets*8 + 8 + 8
+)
+
+// ErrWire marks a malformed profile wire record.
+var ErrWire = errors.New("prof: invalid profile wire record")
+
+// AppendSiteRecord encodes one site of a report as a relay record,
+// appended to dst. idx is the site's position in the frozen table.
+func AppendSiteRecord(dst []byte, blockSize, idx int, s SiteReport) ([]byte, error) {
+	if err := s.validate(); err != nil {
+		return dst, err
+	}
+	if blockSize < 2 || blockSize > 1<<20 {
+		return dst, fmt.Errorf("%w: block size %d out of range", ErrWire, blockSize)
+	}
+	if idx < 0 || idx >= MaxReportSites {
+		return dst, fmt.Errorf("%w: site index %d out of range", ErrWire, idx)
+	}
+	var trace uint64
+	if s.ExemplarTrace != "" {
+		t, err := strconv.ParseUint(s.ExemplarTrace, 16, 64)
+		if err != nil {
+			return dst, fmt.Errorf("%w: exemplar trace %q", ErrWire, s.ExemplarTrace)
+		}
+		trace = t
+	}
+	dst = append(dst, wireMagic0, wireMagic1, wireVersion)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(blockSize))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(idx))
+	dst = append(dst, kindByte(s.Kind))
+	dst = binary.BigEndian.AppendUint64(dst, s.Budget)
+	dst = binary.BigEndian.AppendUint64(dst, s.Count)
+	dst = binary.BigEndian.AppendUint64(dst, s.Sum)
+	dst = binary.BigEndian.AppendUint64(dst, s.Max)
+	for _, b := range s.Buckets {
+		dst = binary.BigEndian.AppendUint64(dst, b)
+	}
+	dst = binary.BigEndian.AppendUint64(dst, s.ExemplarValue)
+	dst = binary.BigEndian.AppendUint64(dst, trace)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s.Name)))
+	dst = append(dst, s.Name...)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s.Maxima)))
+	for _, m := range s.Maxima {
+		dst = binary.BigEndian.AppendUint64(dst, m)
+	}
+	return dst, nil
+}
+
+func kindByte(kind string) byte {
+	if kind == "kernel" {
+		return byte(KindKernel)
+	}
+	return byte(KindStage)
+}
+
+// DecodeSiteRecord parses and validates one relay record. Pure,
+// never-panicking, with the same canonical constraints Decode enforces
+// on JSON reports.
+func DecodeSiteRecord(b []byte) (idx, blockSize int, s SiteReport, err error) {
+	if len(b) < wireFixedLen {
+		return 0, 0, s, fmt.Errorf("%w: %d bytes, need >= %d", ErrWire, len(b), wireFixedLen)
+	}
+	if b[0] != wireMagic0 || b[1] != wireMagic1 || b[2] != wireVersion {
+		return 0, 0, s, fmt.Errorf("%w: bad magic/version", ErrWire)
+	}
+	blockSize = int(binary.BigEndian.Uint32(b[3:]))
+	idx = int(binary.BigEndian.Uint32(b[7:]))
+	if blockSize < 2 || blockSize > 1<<20 {
+		return 0, 0, s, fmt.Errorf("%w: block size %d out of range", ErrWire, blockSize)
+	}
+	if idx >= MaxReportSites {
+		return 0, 0, s, fmt.Errorf("%w: site index %d out of range", ErrWire, idx)
+	}
+	switch SiteKind(b[11]) {
+	case KindStage:
+		s.Kind = "stage"
+	case KindKernel:
+		s.Kind = "kernel"
+	default:
+		return 0, 0, s, fmt.Errorf("%w: unknown kind %d", ErrWire, b[11])
+	}
+	off := 12
+	s.Budget = binary.BigEndian.Uint64(b[off:])
+	s.Count = binary.BigEndian.Uint64(b[off+8:])
+	s.Sum = binary.BigEndian.Uint64(b[off+16:])
+	s.Max = binary.BigEndian.Uint64(b[off+24:])
+	off += 32
+	s.Buckets = make([]uint64, NumBuckets)
+	for i := range s.Buckets {
+		s.Buckets[i] = binary.BigEndian.Uint64(b[off:])
+		off += 8
+	}
+	s.ExemplarValue = binary.BigEndian.Uint64(b[off:])
+	trace := binary.BigEndian.Uint64(b[off+8:])
+	off += 16
+	if trace != 0 {
+		s.ExemplarTrace = fmt.Sprintf("%016x", trace)
+	}
+	if len(b) < off+2 {
+		return 0, 0, s, fmt.Errorf("%w: truncated name length", ErrWire)
+	}
+	nameLen := int(binary.BigEndian.Uint16(b[off:]))
+	off += 2
+	if nameLen > maxNameLen || len(b) < off+nameLen {
+		return 0, 0, s, fmt.Errorf("%w: truncated name", ErrWire)
+	}
+	s.Name = string(b[off : off+nameLen])
+	off += nameLen
+	if len(b) < off+2 {
+		return 0, 0, s, fmt.Errorf("%w: truncated maxima length", ErrWire)
+	}
+	nMax := int(binary.BigEndian.Uint16(b[off:]))
+	off += 2
+	if nMax > MaximaCap || len(b) != off+8*nMax {
+		return 0, 0, s, fmt.Errorf("%w: bad maxima section", ErrWire)
+	}
+	s.Maxima = make([]uint64, nMax)
+	for i := range s.Maxima {
+		s.Maxima[i] = binary.BigEndian.Uint64(b[off:])
+		off += 8
+	}
+	if err := s.validate(); err != nil {
+		return 0, 0, s, err
+	}
+	return idx, blockSize, s, nil
+}
+
+// EncodeRecords encodes every site of a report as individual relay
+// records, in table order.
+func (r Report) EncodeRecords() ([][]byte, error) {
+	out := make([][]byte, 0, len(r.Sites))
+	for i, s := range r.Sites {
+		rec, err := AppendSiteRecord(nil, r.BlockSize, i, s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

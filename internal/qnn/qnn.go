@@ -31,6 +31,7 @@ import (
 
 	"safexplain/internal/fixed"
 	"safexplain/internal/nn"
+	"safexplain/internal/prof"
 	"safexplain/internal/tensor"
 )
 
@@ -69,6 +70,12 @@ type Engine struct {
 	// allocates fresh buffers per inference — the ablation baseline for
 	// experiment T5, demonstrating what the static-memory discipline buys.
 	arena bool
+
+	// Per-kernel profiling, armed by SetProfiler: every layer forward in
+	// Infer is bracketed by an injected-clock read and attributed to its
+	// site. A nil profiler costs one comparison per inference.
+	prof      *prof.Profiler
+	profSites []prof.SiteID
 }
 
 // Option configures engine construction.
@@ -199,10 +206,21 @@ func (e *Engine) Infer(x *tensor.Tensor) (class int, logits []float32) {
 		in[i] = e.inParams.Quantize(v)
 	}
 	n := e.inLen
-	for _, l := range e.layers {
-		l.forward(in[:n], out[:l.outLen()])
-		in, out = out, in
-		n = l.outLen()
+	if e.prof != nil {
+		//safexplain:bounded layer list frozen at build time
+		for i, l := range e.layers {
+			pb := e.prof.Begin()
+			l.forward(in[:n], out[:l.outLen()])
+			e.prof.End(e.profSites[i], pb)
+			in, out = out, in
+			n = l.outLen()
+		}
+	} else {
+		for _, l := range e.layers {
+			l.forward(in[:n], out[:l.outLen()])
+			in, out = out, in
+			n = l.outLen()
+		}
 	}
 	last := e.layers[len(e.layers)-1]
 	p := last.params()
@@ -239,6 +257,34 @@ func (e *Engine) InferDetection(x *tensor.Tensor, nClasses int) (class int, cx, 
 
 // NumLayers returns the quantized layer count.
 func (e *Engine) NumLayers() int { return len(e.layers) }
+
+// KernelNames returns one stable name per quantized layer
+// ("qconv2d#0", "qdense#4", …) — the identities a profiler site table
+// keys per-kernel cycle attribution on.
+func (e *Engine) KernelNames() []string {
+	out := make([]string, len(e.layers))
+	for i, l := range e.layers {
+		out[i] = fmt.Sprintf("%s#%d", l.name(), i)
+	}
+	return out
+}
+
+// SetProfiler arms per-kernel profiling: sites must hold one SiteID per
+// quantized layer, in layer order (as produced over KernelNames). A nil
+// profiler disarms. The record path inside Infer stays zero-allocation —
+// asserted by the engine's alloc tests with profiling armed.
+func (e *Engine) SetProfiler(p *prof.Profiler, sites []prof.SiteID) error {
+	if p == nil {
+		e.prof, e.profSites = nil, nil
+		return nil
+	}
+	if len(sites) != len(e.layers) {
+		return fmt.Errorf("qnn: %d profile sites for %d layers", len(sites), len(e.layers))
+	}
+	e.prof = p
+	e.profSites = append([]prof.SiteID(nil), sites...)
+	return nil
+}
 
 // InputParams returns the input quantization parameters.
 func (e *Engine) InputParams() fixed.QuantParams { return e.inParams }

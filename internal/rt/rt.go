@@ -34,6 +34,7 @@ import (
 	"strings"
 
 	"safexplain/internal/obs"
+	"safexplain/internal/prof"
 )
 
 // Criticality is the task importance scale; higher sheds later. It mirrors
@@ -127,6 +128,14 @@ type Executive struct {
 	// paths are zero-allocation, so arming this does not perturb the
 	// timing the executive enforces (experiment T13).
 	Obs *obs.Obs
+
+	// Prof/ProfSite, when armed, feed each frame's consumed cycles into
+	// the continuous profiler at the rt frame site — the cycles-domain
+	// sample stream whose live pWCET estimate is attributed against the
+	// frame's WCET budget (the site carries cfg.FrameBudget as its
+	// budget). prof record paths are zero-allocation like obs.
+	Prof     *prof.Profiler
+	ProfSite prof.SiteID
 
 	consecutive []int  // per-task consecutive overruns
 	degraded    []bool // per-task degraded flag
@@ -255,6 +264,7 @@ func (e *Executive) Step(frame int) FrameResult {
 			e.cleanRun = 0
 		}
 	}
+	e.Prof.Observe(e.ProfSite, res.Used)
 	if o := e.Obs; o != nil {
 		o.FrameCycles.ObserveExemplar(float64(res.Used), o.TraceID())
 		o.DeadlineMisses.Add(uint64(len(res.Misses)))

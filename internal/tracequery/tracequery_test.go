@@ -324,3 +324,104 @@ func TestQueriesDeterministic(t *testing.T) {
 			slow[1].ID, slow[1].RootDur(), slow[2].ID, slow[2].RootDur())
 	}
 }
+
+// addChurnTrace submits one fully populated trace (two spans and a hop)
+// for frame f — the per-trace shape the churn test replays.
+func addChurnTrace(s *Store, f int) {
+	id := obs.TraceID(1, int32(f))
+	s.AddSpan(span(id, 0, -1, uint64(f), uint64(10+f%7)))
+	s.AddSpan(span(id, 1, 0, uint64(f)+1, 3))
+	s.AddHop(Hop{Unit: 1, Frame: int32(f), Node: 9, Tier: "unit", Ingest: uint64(f), Relay: uint64(f) + 1})
+}
+
+// TestStoreEvictionChurn drives sustained over-capacity submission —
+// forty full generations through an 8-slot store — and pins the
+// steady-state invariants: Len holds at capacity, the eviction counter
+// accounts for every displaced trace exactly, and SetHash over the
+// survivors is a pure function of surviving content (recomputing is
+// stable, and an independent store fed only the survivors hashes
+// byte-identically — no residue from the 312 evicted traces).
+func TestStoreEvictionChurn(t *testing.T) {
+	const capacity, waves = 8, 40
+	st := NewStore(capacity)
+	total := 0
+	for w := 0; w < waves; w++ {
+		for i := 0; i < capacity; i++ {
+			addChurnTrace(st, total)
+			total++
+		}
+	}
+
+	if st.Len() != capacity {
+		t.Fatalf("len = %d after churn, want capacity %d", st.Len(), capacity)
+	}
+	if want := uint64(total - capacity); st.Evicted() != want {
+		t.Fatalf("evicted = %d, want %d (every displaced trace counted once)", st.Evicted(), want)
+	}
+	if st.Dropped() != 0 {
+		t.Fatalf("dropped = %d after in-bound churn, want 0", st.Dropped())
+	}
+	if _, ok := st.Bundle(obs.TraceID(1, 0)); ok {
+		t.Fatal("earliest trace survived 40 generations of eviction")
+	}
+	if _, ok := st.Bundle(obs.TraceID(1, int32(total-1))); !ok {
+		t.Fatal("latest trace missing after churn")
+	}
+
+	h1 := SetHash(st.Bundles())
+	if h2 := SetHash(st.Bundles()); h2 != h1 {
+		t.Fatalf("SetHash unstable across recomputation: %s vs %s", h1, h2)
+	}
+	// History independence: a store that only ever saw the survivors must
+	// hash identically.
+	fresh := NewStore(capacity)
+	for f := total - capacity; f < total; f++ {
+		addChurnTrace(fresh, f)
+	}
+	if hf := SetHash(fresh.Bundles()); hf != h1 {
+		t.Fatalf("SetHash carries eviction history: churned %s, fresh %s", h1, hf)
+	}
+
+	// Bounds accounting stays exact after churn: an out-of-range span is
+	// dropped without creating (or evicting) anything, and a survivor's
+	// hop chain saturates at maxHopsPerTrace.
+	evictedBefore := st.Evicted()
+	st.AddSpan(span(obs.TraceID(1, int32(total)), maxSpanIdx, -1, 1, 1))
+	if st.Dropped() != 1 {
+		t.Fatalf("dropped = %d after out-of-range span, want 1", st.Dropped())
+	}
+	if st.Len() != capacity || st.Evicted() != evictedBefore {
+		t.Fatalf("rejected span disturbed the store: len=%d evicted=%d", st.Len(), st.Evicted())
+	}
+	surv := int32(total - 1)
+	for n := uint32(0); n < maxHopsPerTrace+5; n++ {
+		st.AddHop(Hop{Unit: 1, Frame: surv, Node: 100 + n, Tier: "region", Ingest: 1, Relay: 2})
+	}
+	// The survivor already holds one hop from churn, so capacity admits
+	// maxHopsPerTrace-1 more and the rest are dropped.
+	if want := uint64(1 + 5 + 1); st.Dropped() != want {
+		t.Fatalf("dropped = %d after hop saturation, want %d", st.Dropped(), want)
+	}
+	// Hops are arrival-dependent and deliberately outside the core hash,
+	// so saturating a survivor's hop chain must not move SetHash.
+	if SetHash(st.Bundles()) != h1 {
+		t.Fatal("SetHash moved on hop traffic, want span-core invariance")
+	}
+
+	// Resurrecting an evicted trace re-enters it as a fresh partial and
+	// displaces the current oldest — the bound holds under re-arrival too.
+	st.AddSpan(span(obs.TraceID(1, 0), 0, -1, 1, 1))
+	if st.Len() != capacity {
+		t.Fatalf("len = %d after resurrection, want capacity %d", st.Len(), capacity)
+	}
+	if st.Evicted() != evictedBefore+1 {
+		t.Fatalf("evicted = %d after resurrection, want %d", st.Evicted(), evictedBefore+1)
+	}
+	h3 := SetHash(st.Bundles())
+	if h3 == h1 {
+		t.Fatal("SetHash unchanged though the survivor set changed")
+	}
+	if h4 := SetHash(st.Bundles()); h4 != h3 {
+		t.Fatalf("SetHash unstable after resurrection: %s vs %s", h3, h4)
+	}
+}

@@ -1,0 +1,102 @@
+package watch
+
+import (
+	"testing"
+
+	"safexplain/internal/obs"
+)
+
+func TestParseHeadroomRule(t *testing.T) {
+	r, err := ParseRule("headroom prof_min_headroom_ratio < 0.2 fresh 4 for 2")
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	if r.Kind != RuleHeadroom || r.Metric != "prof_min_headroom_ratio" ||
+		r.Op != OpLT || r.Value != 0.2 || r.Window != 4 || r.For != 2 {
+		t.Fatalf("parsed rule = %+v", r)
+	}
+	canon := r.String()
+	if canon != "headroom prof_min_headroom_ratio < 0.2 fresh 4 for 2" {
+		t.Fatalf("canonical form = %q", canon)
+	}
+	r2, err := ParseRule(canon)
+	if err != nil {
+		t.Fatalf("re-parse canonical: %v", err)
+	}
+	if r2 != r {
+		t.Fatalf("round trip drifted: %+v vs %+v", r2, r)
+	}
+
+	for _, bad := range []string{
+		"headroom m < 0.2",            // missing fresh clause
+		"headroom m < 0.2 fresh 0",    // fresh below 1
+		"headroom m ! 0.2 fresh 4",    // bad operator
+		"headroom m < nope fresh 4",   // bad bound
+		"headroom m < 0.2 fresh 4 x",  // trailing garbage
+		"headroom 9bad < 0.2 fresh 4", // bad metric name
+	} {
+		if _, err := ParseRule(bad); err == nil {
+			t.Errorf("ParseRule(%q) accepted", bad)
+		}
+	}
+}
+
+// TestWatcherHeadroomFreshnessGate drives the headroom rule through its
+// three regimes: fresh breach fires, a stalled gauge (unchanged for the
+// fresh window) clears the alert instead of sustaining it on stale
+// margin, and a fresh breach after the stall re-fires.
+func TestWatcherHeadroomFreshnessGate(t *testing.T) {
+	snap := testSnap()
+	w, err := New(Config{
+		Origin: "n0",
+		Rules:  mustRules(t, "headroom queue_depth < 5 fresh 3\n"),
+	}, []obs.Snapshot{snap})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	obsv := func(tick int64, v float64) int {
+		snap.Gauges[0].Value = v
+		fired, err := w.Observe(tick, []obs.Snapshot{snap})
+		if err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+		return fired
+	}
+
+	// Tick 1: staleness needs two samples — warmup, silent.
+	if f := obsv(1, 1); f != 0 {
+		t.Fatal("fired before the staleness baseline existed")
+	}
+	// Tick 2: value moved and breaches the bound — fires.
+	if f := obsv(2, 0.9); f != 1 {
+		t.Fatal("fresh breach did not fire")
+	}
+	// Ticks 3-4: unchanged but still inside the fresh window — holds.
+	obsv(3, 0.9)
+	obsv(4, 0.9)
+	if w.Firing() != 1 {
+		t.Fatalf("Firing = %d during fresh breach, want 1", w.Firing())
+	}
+	// Tick 5: three consecutive unchanged ticks — stale, clears.
+	obsv(5, 0.9)
+	if w.Firing() != 0 {
+		t.Fatalf("Firing = %d with a stalled gauge, want 0 (freshness gate)", w.Firing())
+	}
+	// Tick 6: the gauge moves again below the bound — re-fires.
+	if f := obsv(6, 0.8); f != 1 {
+		t.Fatal("fresh breach after a stall did not re-fire")
+	}
+	// Tick 7: moves above the bound — resolves on margin recovery.
+	obsv(7, 6)
+	if w.Firing() != 0 {
+		t.Fatalf("Firing = %d after margin recovered, want 0", w.Firing())
+	}
+
+	alerts := w.Alerts()
+	if len(alerts) != 4 {
+		t.Fatalf("ledger holds %d alerts, want 4 (fire, clear, fire, resolve)", len(alerts))
+	}
+	if alerts[1].State != StateResolved || alerts[1].Tick != 5 {
+		t.Errorf("stale clear alert = %+v", alerts[1])
+	}
+}

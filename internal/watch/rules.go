@@ -14,6 +14,7 @@ import (
 //	rate <metric> window <w> <op> <value> [for <n>]
 //	absence <metric> for <n>
 //	burn <hist> bound <i> slo <q> window <w> > <value> [for <n>]
+//	headroom <metric> <op> <value> fresh <w> [for <n>]
 //
 // threshold compares a metric's latest sample; rate compares its
 // per-tick rate over a window of <w> ticks; absence fires when a metric
@@ -22,8 +23,13 @@ import (
 // own declared bound at index <i> — for a BudgetBounds histogram, index
 // obs.BudgetBoundIndex is exactly 1.0x the frame budget, so the SLO
 // budget comes straight from the registry's histogram bounds rather
-// than a second copy of the number. `for <n>` requires the breach to
-// hold n consecutive ticks before the rule fires (hysteresis).
+// than a second copy of the number. headroom compares a live
+// pWCET-headroom gauge (fleetnet's prof_min_headroom_ratio) like
+// threshold, but only while the gauge is fresh — unchanged for <w> or
+// more consecutive ticks (a stalled profiler, a dark relay tier) the
+// rule clears rather than false-firing on stale margin. `for <n>`
+// requires the breach to hold n consecutive ticks before the rule fires
+// (hysteresis).
 //
 // ParseRules is a pure function: it never panics on any input
 // (FuzzWatchRuleDecode), and everything it accepts re-encodes to a
@@ -39,6 +45,7 @@ const (
 	RuleRate               // per-tick rate over a window vs a bound
 	RuleAbsence            // metric unchanged for N consecutive ticks
 	RuleBurn               // WCET burn rate of a histogram vs a bound
+	RuleHeadroom           // freshness-gated latest sample of a live headroom gauge
 )
 
 // String returns the rule-kind keyword.
@@ -52,6 +59,8 @@ func (k RuleKind) String() string {
 		return "absence"
 	case RuleBurn:
 		return "burn"
+	case RuleHeadroom:
+		return "headroom"
 	default:
 		return fmt.Sprintf("RuleKind(%d)", uint8(k))
 	}
@@ -128,6 +137,8 @@ type Rule struct {
 	For    int     // hysteresis ticks (absence: the staleness bound)
 	Bound  int     // burn: index into the histogram's declared bounds
 	SLO    float64 // burn: SLO target in (0,1)
+	// A headroom rule reuses Window as its freshness bound: the gauge must
+	// have changed within the last Window ticks or the rule clears.
 }
 
 // maxRuleInt bounds windows and hysteresis counts — far above any
@@ -287,6 +298,26 @@ func ParseRule(line string) (Rule, error) {
 		if r.For, err = parseFor(f[10:]); err != nil {
 			return fail("bad for clause: %v", err)
 		}
+	case "headroom":
+		// headroom <metric> <op> <value> fresh <w> [for <n>]
+		r.Kind = RuleHeadroom
+		if len(f) < 6 || f[4] != "fresh" {
+			return fail("expected <op> <value> fresh <w>")
+		}
+		op, ok := parseOp(f[2])
+		if !ok {
+			return fail("unknown operator %q", f[2])
+		}
+		r.Op = op
+		if r.Value, err = parseRuleFloat(f[3]); err != nil {
+			return fail("bad bound: %v", err)
+		}
+		if r.Window, err = parseRuleInt(f[5]); err != nil {
+			return fail("bad fresh clause: %v", err)
+		}
+		if r.For, err = parseFor(f[6:]); err != nil {
+			return fail("bad for clause: %v", err)
+		}
 	default:
 		return fail("unknown rule kind %q", f[0])
 	}
@@ -309,6 +340,8 @@ func (r Rule) String() string {
 	case RuleBurn:
 		fmt.Fprintf(&b, "burn %s bound %d slo %s window %d %s %s",
 			r.Metric, r.Bound, num(r.SLO), r.Window, r.Op, num(r.Value))
+	case RuleHeadroom:
+		fmt.Fprintf(&b, "headroom %s %s %s fresh %d", r.Metric, r.Op, num(r.Value), r.Window)
 	default:
 		fmt.Fprintf(&b, "invalid %s", r.Metric)
 	}

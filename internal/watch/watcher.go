@@ -210,7 +210,7 @@ func New(cfg Config, snaps []obs.Snapshot) (*Watcher, error) {
 	for _, r := range cfg.Rules {
 		br := boundRule{rule: r, canon: r.String()}
 		switch r.Kind {
-		case RuleThreshold, RuleRate, RuleAbsence:
+		case RuleThreshold, RuleRate, RuleAbsence, RuleHeadroom:
 			col, ok := layout.scalarColumn(r.Metric)
 			if !ok {
 				return nil, fmt.Errorf("watch: rule %q: metric %q not in the bound layout", br.canon, r.Metric)
@@ -341,6 +341,19 @@ func (w *Watcher) evalRule(br *boundRule) (v float64, breach, ok bool) {
 	case RuleBurn:
 		v, ok = w.store.burnHist(br.hist, br.rule.Bound, br.rule.SLO, br.rule.Window)
 		return v, ok && br.rule.Op.compare(v, br.rule.Value), ok
+	case RuleHeadroom:
+		v, ok = w.store.latestCol(br.col)
+		if !ok {
+			return v, false, false
+		}
+		// Freshness gate: a headroom gauge that stopped moving means the
+		// profiler (or its relay) stalled — stale margin clears the rule
+		// rather than sustaining a false alert on old data.
+		stale, sok := w.store.stalenessCol(br.col)
+		if !sok || stale >= br.rule.Window {
+			return v, false, true
+		}
+		return v, br.rule.Op.compare(v, br.rule.Value), true
 	}
 	return 0, false, false
 }
